@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction harnesses.
+ *
+ * Every harness prints: a banner naming the paper artifact, the
+ * reproduced series as an aligned table (or CSV with --csv), and
+ * "paper:" reference lines quoting what the original reports so the
+ * output is self-checking.
+ */
+
+#ifndef BWWALL_BENCH_BENCH_UTIL_HH
+#define BWWALL_BENCH_BENCH_UTIL_HH
+
+#include <iostream>
+#include <string>
+
+#include "util/table.hh"
+
+namespace bwwall {
+
+/** Command-line options common to all harnesses. */
+struct BenchOptions
+{
+    bool csv = false;
+
+    static BenchOptions
+    parse(int argc, char **argv)
+    {
+        BenchOptions options;
+        for (int i = 1; i < argc; ++i) {
+            if (std::string(argv[i]) == "--csv")
+                options.csv = true;
+        }
+        return options;
+    }
+
+    bool
+    hasFlag(int argc, char **argv, const std::string &flag) const
+    {
+        for (int i = 1; i < argc; ++i) {
+            if (std::string(argv[i]) == flag)
+                return true;
+        }
+        return false;
+    }
+};
+
+/** Emits a table per the options. */
+inline void
+emit(const Table &table, const BenchOptions &options)
+{
+    if (options.csv)
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+}
+
+/** Prints a "paper reports ..." reference line. */
+inline void
+paperNote(const std::string &note)
+{
+    std::cout << "paper: " << note << '\n';
+}
+
+} // namespace bwwall
+
+#include "model/bandwidth_wall.hh"
+
+namespace bwwall {
+
+/**
+ * The shared shape of Figures 4-12: sweep one technique parameter and
+ * report the supportable core count in the 32-CEA next generation
+ * under a constant traffic budget.
+ */
+inline Table
+techniqueSweepTable(
+    const std::vector<std::pair<std::string, std::vector<Technique>>>
+        &cases,
+    double alpha = 0.5)
+{
+    Table table({"configuration", "supportable_cores",
+                 "traffic_at_solution"});
+    for (const auto &[label, techniques] : cases) {
+        ScalingScenario scenario;
+        scenario.totalCeas = 32.0;
+        scenario.alpha = alpha;
+        scenario.techniques = techniques;
+        const SolveResult result = solveSupportableCores(scenario);
+        table.addRow(
+            {label,
+             Table::num(static_cast<long long>(result.supportableCores)),
+             Table::num(result.trafficAtSolution, 3)});
+    }
+    return table;
+}
+
+} // namespace bwwall
+
+#endif // BWWALL_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Validates the paper's Section 1 argument with the discrete-event
+ * system simulation: once the memory request rate exceeds the
+ * channel's service rate, queueing delay forces per-core performance
+ * down until the request rate matches the available bandwidth —
+ * "adding more cores to the chip no longer yields any additional
+ * throughput".
+ */
+
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "mem/system_sim.hh"
+
+using namespace bwwall;
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions options = BenchOptions::parse(argc, argv);
+    printBanner(std::cout, "Section 1 claim: throughput saturates at "
+                           "the bandwidth envelope");
+
+    SaturationSweepParams params;
+    params.coreCounts = {1, 2, 4, 8, 16, 32, 64, 128};
+    params.coreTemplate.meanComputeCycles = 400.0;
+    params.coreTemplate.requestBytes = 64;
+    params.channel.bytesPerCycle = 2.0;
+    params.channel.fixedLatencyCycles = 100;
+    params.simulatedCycles = 1000000;
+
+    const auto points = runSaturationSweep(params);
+    const double limit = channelSaturationThroughput(params.channel,
+                                                     64);
+
+    Table table({"cores", "aggregate_throughput", "per_core",
+                 "channel_utilization", "avg_queue_delay_cycles"});
+    for (const SaturationPoint &point : points) {
+        table.addRow({
+            Table::num(static_cast<long long>(point.cores)),
+            Table::num(point.aggregateThroughput, 2),
+            Table::num(point.perCoreThroughput, 3),
+            Table::num(point.channelUtilization, 3),
+            Table::num(point.averageQueueingDelay, 1),
+        });
+    }
+    emit(table, options);
+
+    std::cout << '\n'
+              << "analytic channel limit: " << Table::num(limit, 2)
+              << " work units per kilocycle (throughput is in work "
+                 "units per kilocycle)\n";
+    paperNote("if provided bandwidth cannot sustain the request "
+              "rate, queueing delay forces core performance to "
+              "decline until the request rate matches the available "
+              "off-chip bandwidth; beyond that, extra cores add no "
+              "throughput");
+    return 0;
+}

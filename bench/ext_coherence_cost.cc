@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Extension study (not a paper artifact): what the paper's
+ * no-coherence assumption hides.
+ *
+ * The model treats private caches as independent (threads "do not
+ * share data", Section 3).  Running the same multithreaded workload
+ * over (a) coherence-blind private caches — the model's view, (b)
+ * MSI-coherent private caches, and (c) one shared cache quantifies
+ * both sides of the simplification: read-mostly sharing costs little
+ * coherence traffic (the assumption is safe), while write sharing
+ * adds invalidation/write-back traffic the model never sees.
+ */
+
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "cache/coherent_system.hh"
+#include "cache/hierarchy.hh"
+#include "trace/shared_trace.hh"
+#include "util/units.hh"
+
+using namespace bwwall;
+
+namespace {
+
+constexpr unsigned kCores = 4;
+constexpr int kWarm = 800000;
+constexpr int kMeasured = 1200000;
+
+SharedWorkloadTraceParams
+workload(double shared_fraction, double write_bias)
+{
+    SharedWorkloadTraceParams params;
+    params.threads = kCores;
+    params.sharedLines = 4096;
+    params.sharedZipfExponent = 0.6;
+    params.sharedAccessFraction = shared_fraction;
+    params.privateMaxResidentLines = 1 << 14;
+    params.writeLineFraction = write_bias;
+    params.seed = 55;
+    return params;
+}
+
+CacheConfig
+privateCache()
+{
+    CacheConfig config;
+    config.capacityBytes = 256 * kKiB;
+    config.associativity = 8;
+    return config;
+}
+
+double
+coherentTraffic(const SharedWorkloadTraceParams &params)
+{
+    SharedWorkloadTrace trace(params);
+    CoherentCacheSystem system(kCores, privateCache());
+    for (int i = 0; i < kWarm; ++i)
+        system.access(trace.next());
+    system.resetStats();
+    for (int i = 0; i < kMeasured; ++i)
+        system.access(trace.next());
+    return static_cast<double>(system.memoryTrafficBytes()) /
+           kMeasured;
+}
+
+double
+blindPrivateTraffic(const SharedWorkloadTraceParams &params)
+{
+    SharedWorkloadTrace trace(params);
+    HierarchyConfig config;
+    config.cores = kCores;
+    config.l1Enabled = false;
+    config.sharedL2 = false;
+    config.l2 = privateCache();
+    CacheHierarchy hierarchy(config);
+    for (int i = 0; i < kWarm; ++i)
+        hierarchy.access(trace.next());
+    hierarchy.resetStats();
+    for (int i = 0; i < kMeasured; ++i)
+        hierarchy.access(trace.next());
+    return static_cast<double>(hierarchy.memoryTrafficBytes()) /
+           kMeasured;
+}
+
+double
+sharedCacheTraffic(const SharedWorkloadTraceParams &params)
+{
+    SharedWorkloadTrace trace(params);
+    HierarchyConfig config;
+    config.cores = kCores;
+    config.l1Enabled = false;
+    config.sharedL2 = true;
+    config.l2 = privateCache();
+    config.l2.capacityBytes = privateCache().capacityBytes * kCores;
+    CacheHierarchy hierarchy(config);
+    for (int i = 0; i < kWarm; ++i)
+        hierarchy.access(trace.next());
+    hierarchy.resetStats();
+    for (int i = 0; i < kMeasured; ++i)
+        hierarchy.access(trace.next());
+    return static_cast<double>(hierarchy.memoryTrafficBytes()) /
+           kMeasured;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions options = BenchOptions::parse(argc, argv);
+    printBanner(std::cout, "Extension: coherence traffic vs the "
+                           "model's no-sharing assumption (4 cores, "
+                           "bytes per access)");
+
+    Table table({"shared_access_fraction", "blind_private(model)",
+                 "msi_private", "coherence_overhead",
+                 "shared_cache"});
+    for (const double shared_fraction : {0.0, 0.1, 0.3, 0.5}) {
+        const auto params = workload(shared_fraction, 0.3);
+        const double blind = blindPrivateTraffic(params);
+        const double coherent = coherentTraffic(params);
+        const double shared = sharedCacheTraffic(params);
+        table.addRow({
+            Table::num(shared_fraction, 1),
+            Table::num(blind, 2),
+            Table::num(coherent, 2),
+            Table::num((coherent - blind) / blind * 100.0, 1) + "%",
+            Table::num(shared, 2),
+        });
+    }
+    emit(table, options);
+
+    std::cout << '\n';
+    paperNote("(Section 3) the model assumes no data sharing between "
+              "private caches, and its sharing study assumes a "
+              "shared cache; the MSI column shows the coherence "
+              "traffic that assumption hides — small for read-mostly "
+              "sharing, growing with write sharing — while the "
+              "shared-cache column shows the pooling benefit of "
+              "Eq. 13");
+    return 0;
+}

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Extension study (not a paper artifact): the bandwidth wall on the
+ * fully integrated simulator — trace-driven cores with private
+ * caches over a bank/row-aware multi-channel DRAM system.
+ *
+ * Where `claim_bandwidth_saturation` makes the paper's Section 1
+ * argument with an abstract core/channel model, this harness makes
+ * it with every substrate in the repository composed end to end,
+ * and shows the industry's "more channels" lever (paper Section 6.2)
+ * working: doubling channels roughly doubles the saturation point.
+ */
+
+#include <iostream>
+#include <memory>
+
+#include "bench/bench_util.hh"
+#include "mem/multicore_system.hh"
+#include "trace/power_law_trace.hh"
+#include "util/units.hh"
+
+using namespace bwwall;
+
+namespace {
+
+struct RunResult
+{
+    double throughputPerKcycle = 0.0;
+    double dramUtilization = 0.0;
+    double rowHitRate = 0.0;
+};
+
+RunResult
+run(unsigned cores, unsigned channels)
+{
+    EventQueue events;
+    MulticoreSystemConfig config;
+    config.cores = cores;
+    config.core.cache.capacityBytes = 64 * kKiB;
+    config.core.cache.associativity = 8;
+    config.dram.channels = channels;
+
+    MulticoreSystem system(
+        events, config,
+        [](unsigned core) -> std::unique_ptr<TraceSource> {
+            PowerLawTraceParams params;
+            params.alpha = 0.5;
+            params.seed = 42 + core;
+            params.thread = core;
+            params.warmLines = 1 << 14;
+            params.maxResidentLines = 1 << 15;
+            return std::make_unique<PowerLawTrace>(params);
+        });
+    system.warm(150000);
+    system.start();
+    const Tick duration = 400000;
+    events.runUntil(duration);
+
+    RunResult result;
+    result.throughputPerKcycle =
+        static_cast<double>(system.totalCompletedAccesses()) *
+        1000.0 / static_cast<double>(duration);
+    result.dramUtilization = system.dram().achievedBandwidth() /
+        system.dram().peakBandwidth();
+    result.rowHitRate = system.dram().aggregateStats().rowHitRate();
+    return result;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions options = BenchOptions::parse(argc, argv);
+    printBanner(std::cout, "Extension: the bandwidth wall on the "
+                           "integrated multicore + DRAM simulator");
+
+    for (const unsigned channels : {1u, 2u, 4u}) {
+        std::cout << channels << " DRAM channel"
+                  << (channels > 1 ? "s" : "") << ":\n";
+        Table table({"cores", "accesses_per_kcycle", "per_core",
+                     "dram_utilization", "row_hit_rate"});
+        for (const unsigned cores : {1u, 2u, 4u, 8u, 16u, 32u}) {
+            const RunResult result = run(cores, channels);
+            table.addRow({
+                Table::num(static_cast<long long>(cores)),
+                Table::num(result.throughputPerKcycle, 1),
+                Table::num(result.throughputPerKcycle / cores, 1),
+                Table::num(result.dramUtilization, 3),
+                Table::num(result.rowHitRate, 3),
+            });
+        }
+        emit(table, options);
+        std::cout << '\n';
+    }
+
+
+    // A paper technique on the integrated system: give each core a
+    // 2 MiB second-level (e.g. dense DRAM) cache and watch the wall
+    // recede on the single-channel configuration.
+    std::cout << "1 channel, per-core 2 MiB second-level cache:\n";
+    {
+        Table table({"cores", "accesses_per_kcycle", "per_core",
+                     "dram_utilization"});
+        for (const unsigned cores : {8u, 16u, 32u}) {
+            EventQueue events;
+            MulticoreSystemConfig config;
+            config.cores = cores;
+            config.core.cache.capacityBytes = 64 * kKiB;
+            config.core.cache.associativity = 8;
+            config.core.l2Enabled = true;
+            config.core.l2.capacityBytes = 2 * kMiB;
+            config.core.l2.associativity = 16;
+            config.core.l2HitCycles = 30;
+            config.dram.channels = 1;
+            MulticoreSystem system(
+                events, config,
+                [](unsigned core) -> std::unique_ptr<TraceSource> {
+                    PowerLawTraceParams params;
+                    params.alpha = 0.5;
+                    params.seed = 42 + core;
+                    params.thread = core;
+                    params.warmLines = 1 << 14;
+                    params.maxResidentLines = 1 << 15;
+                    return std::make_unique<PowerLawTrace>(params);
+                });
+            system.warm(150000);
+            system.start();
+            const Tick duration = 400000;
+            events.runUntil(duration);
+            const double throughput =
+                static_cast<double>(
+                    system.totalCompletedAccesses()) *
+                1000.0 / static_cast<double>(duration);
+            table.addRow({
+                Table::num(static_cast<long long>(cores)),
+                Table::num(throughput, 1),
+                Table::num(throughput / cores, 1),
+                Table::num(system.dram().achievedBandwidth() /
+                               system.dram().peakBandwidth(),
+                           3),
+            });
+        }
+        emit(table, options);
+        std::cout << '\n';
+    }
+
+    paperNote("(Sections 1, 6.1, 6.2, integrated) per-core "
+              "throughput collapses once the DRAM system saturates; "
+              "adding memory channels — the Power6/Niagara2 lever "
+              "the paper cites — moves the saturation point roughly "
+              "proportionally, and a large per-core second-level "
+              "cache (the paper's DRAM-cache technique) nearly "
+              "triples saturated throughput on a single channel");
+    return 0;
+}

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Extension study (not a paper artifact): prefetching versus the
+ * bandwidth wall.
+ *
+ * Prefetching hides latency by spending off-chip traffic — the exact
+ * resource the bandwidth wall rations.  This harness measures, for a
+ * streaming and a power-law workload, how next-line and stride
+ * prefetchers trade demand miss rate against total traffic, and what
+ * the wasted fraction would do to the model's traffic envelope.
+ */
+
+#include <iostream>
+#include <memory>
+
+#include "bench/bench_util.hh"
+#include "cache/prefetcher.hh"
+#include "trace/power_law_trace.hh"
+#include "trace/working_set_trace.hh"
+#include "util/units.hh"
+
+using namespace bwwall;
+
+namespace {
+
+struct RunResult
+{
+    double demandMissRate = 0.0;
+    double trafficBytesPerAccess = 0.0;
+    double prefetchAccuracy = 0.0;
+};
+
+std::unique_ptr<TraceSource>
+makeTrace(bool streaming)
+{
+    if (streaming) {
+        WorkingSetTraceParams params;
+        params.regions = {
+            {256, 0.3, 0.2},    // hot 16 KiB
+            {32768, 0.7, 0.1},  // 2 MiB scanned table
+        };
+        params.contiguousAddresses = true; // real-array layout
+        params.seed = 77;
+        return std::make_unique<WorkingSetTrace>(params);
+    }
+    PowerLawTraceParams params;
+    params.alpha = 0.5;
+    params.seed = 77;
+    params.warmLines = 1 << 14;
+    params.maxResidentLines = 1 << 15;
+    return std::make_unique<PowerLawTrace>(params);
+}
+
+RunResult
+run(bool streaming, bool enable_prefetch, PrefetcherKind kind,
+    unsigned degree)
+{
+    auto trace = makeTrace(streaming);
+    CacheConfig config;
+    config.capacityBytes = 128 * kKiB;
+    config.associativity = 8;
+    SetAssociativeCache cache(config);
+
+    PrefetcherConfig prefetch_config;
+    prefetch_config.kind = kind;
+    prefetch_config.degree = degree;
+    Prefetcher prefetcher(cache, prefetch_config);
+
+    const int warm = 300000, measured = 600000;
+    for (int i = 0; i < warm; ++i) {
+        const MemoryAccess access = trace->next();
+        const AccessOutcome outcome = cache.access(access);
+        if (enable_prefetch)
+            prefetcher.observe(access, outcome);
+    }
+    cache.resetStats();
+    for (int i = 0; i < measured; ++i) {
+        const MemoryAccess access = trace->next();
+        const AccessOutcome outcome = cache.access(access);
+        if (enable_prefetch)
+            prefetcher.observe(access, outcome);
+    }
+
+    RunResult result;
+    result.demandMissRate = cache.stats().missRate();
+    result.trafficBytesPerAccess =
+        cache.stats().trafficBytesPerAccess();
+    result.prefetchAccuracy = cache.stats().prefetchAccuracy();
+    return result;
+}
+
+void
+block(const char *title, bool streaming, const BenchOptions &options)
+{
+    std::cout << title << '\n';
+    Table table({"prefetcher", "demand_miss_rate",
+                 "traffic_bytes_per_access", "accuracy"});
+    const RunResult off =
+        run(streaming, false, PrefetcherKind::NextLine, 1);
+    table.addRow({"none", Table::num(off.demandMissRate, 4),
+                  Table::num(off.trafficBytesPerAccess, 2), "-"});
+    struct Case
+    {
+        const char *name;
+        PrefetcherKind kind;
+        unsigned degree;
+    };
+    const Case cases[] = {
+        {"next-line x1", PrefetcherKind::NextLine, 1},
+        {"next-line x4", PrefetcherKind::NextLine, 4},
+        {"stride x2", PrefetcherKind::Stride, 2},
+    };
+    for (const Case &c : cases) {
+        const RunResult result =
+            run(streaming, true, c.kind, c.degree);
+        table.addRow({c.name, Table::num(result.demandMissRate, 4),
+                      Table::num(result.trafficBytesPerAccess, 2),
+                      Table::num(result.prefetchAccuracy, 3)});
+    }
+    emit(table, options);
+    std::cout << '\n';
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions options = BenchOptions::parse(argc, argv);
+    printBanner(std::cout, "Extension: prefetching spends the "
+                           "bandwidth the wall rations");
+
+    block("streaming workload (2 MiB table scans):", true, options);
+    block("power-law workload (no spatial structure):", false,
+          options);
+
+    paperNote("(context) accurate prefetching on streaming code "
+              "moves the same bytes earlier — demand misses drop at "
+              "roughly constant traffic; on locality-free workloads "
+              "an aggressive prefetcher multiplies traffic at low "
+              "accuracy, tightening the very envelope the paper's "
+              "techniques try to conserve");
+    return 0;
+}

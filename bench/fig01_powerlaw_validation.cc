@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Reproduces paper Figure 1: normalized cache miss rate as a
+ * function of cache size for the commercial and SPEC 2006 workload
+ * suite, with per-workload power-law fits.
+ *
+ * The paper's traces are proprietary; each profile here is a
+ * synthetic stream whose reuse-distance tail is tuned to the paper's
+ * *fitted* exponent (DESIGN.md, substitution table), replayed
+ * through the real set-associative cache simulator over a ladder of
+ * sizes.  The capacity range is scaled down relative to the paper's
+ * plot (4 KiB - 512 KiB instead of 1 KiB - 10 MB) because synthetic
+ * trace windows of laptop-friendly length cannot populate the
+ * multi-megabyte tail; the log-log linearity and the fitted alphas
+ * are the reproduced quantities.
+ *
+ * Paper result: commercial workloads fit the power law closely with
+ * alpha from 0.36 (OLTP-2) to 0.62 (OLTP-4), average 0.48; the SPEC
+ * 2006 average fits with alpha = 0.25; individual SPEC applications
+ * are staircase-like and fit poorly.
+ *
+ * Pass --policies to add the replacement-policy ablation (fitted
+ * alpha under LRU / tree-PLRU / FIFO / random).
+ */
+
+#include <iostream>
+#include <memory>
+
+#include "bench/bench_util.hh"
+#include "cache/miss_curve.hh"
+#include "trace/profiles.hh"
+#include "trace/reuse_analyzer.hh"
+#include "trace/working_set_trace.hh"
+#include "util/units.hh"
+
+using namespace bwwall;
+
+namespace {
+
+MissCurveSweepParams
+sweepParams()
+{
+    MissCurveSweepParams params;
+    params.capacities = capacityLadder(4 * kKiB, 512 * kKiB);
+    params.cacheTemplate.associativity = 8;
+    params.warmupAccesses = 400000;
+    params.measuredAccesses = 900000;
+    return params;
+}
+
+/** Analyzer-based cross-check: fit alpha via Mattson profiling. */
+double
+analyzerAlpha(TraceSource &trace)
+{
+    trace.reset();
+    ReuseDistanceAnalyzer analyzer(64);
+    for (int i = 0; i < 400000; ++i)
+        analyzer.observe(trace.next());
+    analyzer.resetCounters();
+    for (int i = 0; i < 900000; ++i)
+        analyzer.observe(trace.next());
+
+    std::vector<double> capacities, rates;
+    for (std::size_t lines = 64; lines <= 8192; lines *= 2) {
+        capacities.push_back(static_cast<double>(lines));
+        rates.push_back(analyzer.missRateAtCapacity(lines));
+    }
+    return -fitPowerLaw(capacities, rates).exponent;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions options = BenchOptions::parse(argc, argv);
+    printBanner(std::cout, "Figure 1: normalized miss rate vs cache "
+                           "size, with power-law fits");
+
+    const MissCurveSweepParams sweep = sweepParams();
+
+    // Header: one column per capacity.
+    std::vector<std::string> headers{"workload"};
+    for (const std::uint64_t capacity : sweep.capacities)
+        headers.push_back(
+            Table::num(static_cast<long long>(capacity / kKiB)) +
+            "KiB");
+    headers.push_back("fitted_alpha");
+    headers.push_back("target_alpha");
+    headers.push_back("r_squared");
+    headers.push_back("analyzer_alpha");
+    Table table(std::move(headers));
+
+    for (const WorkloadProfileSpec &spec : figure1Profiles()) {
+        auto trace = makeProfileTrace(spec, 2026);
+        const auto points = measureMissCurve(*trace, sweep);
+        const PowerLawFit fit = fitMissCurve(points);
+
+        std::vector<std::string> row{spec.name};
+        const double reference = points.front().missRate;
+        for (const MissCurvePoint &point : points)
+            row.push_back(Table::num(point.missRate / reference, 3));
+        row.push_back(Table::num(-fit.exponent, 3));
+        row.push_back(Table::num(spec.alpha, 2));
+        row.push_back(Table::num(fit.rSquared, 4));
+        row.push_back(Table::num(analyzerAlpha(*trace), 3));
+        table.addRow(row);
+    }
+    emit(table, options);
+
+    // Individual SPEC-like applications: the staircase counterpoint.
+    std::cout << "\nindividual SPEC-like applications (discrete "
+                 "working sets; power-law fit degrades):\n";
+    Table staircase({"application", "miss_4KiB", "miss_64KiB",
+                     "miss_512KiB", "r_squared"});
+    for (const WorkingSetTraceParams &app :
+         specDiscreteAppParams(2026)) {
+        WorkingSetTrace trace(app);
+        MissCurveSweepParams app_sweep = sweep;
+        app_sweep.warmupAccesses = 150000;
+        app_sweep.measuredAccesses = 300000;
+        const auto points = measureMissCurve(trace, app_sweep);
+        const PowerLawFit fit = fitMissCurve(points);
+        staircase.addRow({app.label,
+                          Table::num(points.front().missRate, 4),
+                          Table::num(points[4].missRate, 4),
+                          Table::num(points.back().missRate, 4),
+                          Table::num(fit.rSquared, 3)});
+    }
+    emit(staircase, options);
+
+    const BenchOptions probe;
+    if (probe.hasFlag(argc, argv, "--policies")) {
+        std::cout << "\nreplacement-policy ablation (Commercial-AVG "
+                     "profile):\n";
+        Table ablation({"policy", "fitted_alpha", "r_squared"});
+        for (const ReplacementKind kind :
+             {ReplacementKind::LRU, ReplacementKind::TreePLRU,
+              ReplacementKind::FIFO, ReplacementKind::Random}) {
+            auto trace =
+                makeProfileTrace(commercialAverageProfile(), 2026);
+            MissCurveSweepParams policy_sweep = sweep;
+            policy_sweep.cacheTemplate.replacement = kind;
+            const auto points = measureMissCurve(*trace, policy_sweep);
+            const PowerLawFit fit = fitMissCurve(points);
+            ablation.addRow({replacementKindName(kind),
+                             Table::num(-fit.exponent, 3),
+                             Table::num(fit.rSquared, 4)});
+        }
+        emit(ablation, options);
+    }
+
+    std::cout << '\n';
+    paperNote("all applications follow straight lines in log-log "
+              "space; commercial avg alpha 0.48 (min 0.36 OLTP-2, "
+              "max 0.62 OLTP-4), SPEC 2006 avg 0.25; individual "
+              "SPEC apps have discrete working sets and fit worse");
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Reproduces paper Figure 2: normalized memory traffic as the core
+ * count varies in the next technology generation (32 CEAs), against
+ * flat bandwidth envelopes of 1.0x and 1.5x.
+ *
+ * Paper result: traffic grows super-linearly; a constant envelope
+ * supports 11 cores (37.5% growth), a 1.5x envelope supports 13.
+ */
+
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "model/bandwidth_wall.hh"
+
+using namespace bwwall;
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions options = BenchOptions::parse(argc, argv);
+    printBanner(std::cout, "Figure 2: next-generation traffic vs core "
+                           "count (N2 = 32 CEAs, alpha = 0.5)");
+
+    ScalingScenario scenario;
+    scenario.totalCeas = 32.0;
+
+    Table table({"cores", "normalized_traffic", "within_1.0x_envelope",
+                 "within_1.5x_envelope"});
+    for (int cores = 1; cores <= 28; ++cores) {
+        const double traffic =
+            relativeTraffic(scenario, static_cast<double>(cores));
+        table.addRow({Table::num(static_cast<long long>(cores)),
+                      Table::num(traffic, 3),
+                      traffic <= 1.0 ? "yes" : "no",
+                      traffic <= 1.5 ? "yes" : "no"});
+    }
+    emit(table, options);
+
+    const SolveResult constant = solveSupportableCores(scenario);
+    scenario.trafficBudget = 1.5;
+    const SolveResult optimistic = solveSupportableCores(scenario);
+
+    std::cout << '\n'
+              << "measured: constant envelope -> "
+              << constant.supportableCores
+              << " cores; 1.5x envelope -> "
+              << optimistic.supportableCores << " cores\n";
+    paperNote("11 cores at a constant envelope (37.5% growth); 13 "
+              "cores at a 1.5x envelope; 16 cores would double "
+              "traffic");
+    return 0;
+}

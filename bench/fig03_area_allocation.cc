@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Reproduces paper Figure 3: die-area allocation for cores and the
+ * supportable core count as the transistor budget scales 2x-128x
+ * under a constant memory-traffic requirement.
+ *
+ * Paper result: at 16x only ~10% of the die can be cores (24 cores
+ * vs 128 under proportional scaling), and the fraction keeps falling.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "model/bandwidth_wall.hh"
+
+using namespace bwwall;
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions options = BenchOptions::parse(argc, argv);
+    printBanner(std::cout,
+                "Figure 3: cores and core-area share vs scaling "
+                "ratio (constant traffic, alpha = 0.5)");
+
+    Table table({"scaling", "total_ceas", "cores",
+                 "core_area_percent", "proportional_cores"});
+    for (int generation = 0; generation <= 7; ++generation) {
+        const double scale = std::pow(2.0, generation);
+        ScalingScenario scenario;
+        scenario.totalCeas = 16.0 * scale;
+        const SolveResult result = solveSupportableCores(scenario);
+        table.addRow({
+            Table::num(static_cast<long long>(scale)) + "x",
+            Table::num(static_cast<long long>(scenario.totalCeas)),
+            Table::num(static_cast<long long>(result.supportableCores)),
+            Table::num(result.coreAreaFraction * 100.0, 1),
+            Table::num(static_cast<long long>(8 * scale)),
+        });
+    }
+    emit(table, options);
+
+    std::cout << '\n';
+    paperNote("at 16x scaling only 10% of the die can be allocated "
+              "to cores, i.e. 24 cores versus 128 under proportional "
+              "scaling; the allocation declines further with each "
+              "generation");
+    return 0;
+}

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Reproduces paper Figure 5: supportable cores with the on-chip L2
+ * implemented in DRAM at 4x/8x/16x SRAM density (32 CEAs).
+ *
+ * Paper result: SRAM -> 11 cores; DRAM 4x -> 16 (proportional), 8x
+ * -> 18, 16x -> 21 (super-proportional).
+ */
+
+#include <iostream>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.hh"
+
+using namespace bwwall;
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions options = BenchOptions::parse(argc, argv);
+    printBanner(std::cout,
+                "Figure 5: cores enabled by DRAM caches (32 CEAs)");
+
+    std::vector<std::pair<std::string, std::vector<Technique>>> cases;
+    cases.emplace_back("SRAM L2", std::vector<Technique>{});
+    for (const double density : {4.0, 8.0, 16.0}) {
+        cases.emplace_back(
+            "DRAM L2 (" + Table::num(static_cast<long long>(density)) +
+                "x)",
+            std::vector<Technique>{dramCache(density)});
+    }
+    emit(techniqueSweepTable(cases), options);
+
+    std::cout << '\n';
+    paperNote("SRAM 11 cores; DRAM 4x/8x/16x -> 16/18/21 cores; "
+              "proportional scaling already at the conservative 4x "
+              "density");
+    return 0;
+}

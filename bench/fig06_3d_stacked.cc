@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Reproduces paper Figure 6: supportable cores with a 3D-stacked
+ * cache-only die (SRAM, or DRAM at 8x/16x density), 32 CEAs.
+ *
+ * Paper result: no 3D -> 11; 3D SRAM -> 14; 3D DRAM 8x -> 25; 3D
+ * DRAM 16x -> 32 cores.
+ */
+
+#include <iostream>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.hh"
+
+using namespace bwwall;
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions options = BenchOptions::parse(argc, argv);
+    printBanner(std::cout, "Figure 6: cores enabled by 3D-stacked "
+                           "caches (32 CEAs)");
+
+    std::vector<std::pair<std::string, std::vector<Technique>>> cases;
+    cases.emplace_back("no 3D cache", std::vector<Technique>{});
+    cases.emplace_back("3D SRAM",
+                       std::vector<Technique>{stackedCache(1.0)});
+    cases.emplace_back("3D DRAM (8x)",
+                       std::vector<Technique>{stackedCache(8.0)});
+    cases.emplace_back("3D DRAM (16x)",
+                       std::vector<Technique>{stackedCache(16.0)});
+    emit(techniqueSweepTable(cases), options);
+
+    std::cout << '\n';
+    paperNote("no 3D 11 cores; 3D SRAM 14; 3D DRAM 8x 25; 3D DRAM "
+              "16x 32 — density plus a whole extra die allows "
+              "super-proportional scaling");
+    return 0;
+}

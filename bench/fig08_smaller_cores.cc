@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Reproduces paper Figure 8: supportable cores when each core is
+ * shrunk by 9x/45x/80x, freeing die area for cache (32 CEAs).
+ *
+ * Paper result: poor scaling even with tiny cores — with the core
+ * area approaching zero the cache per core only doubles, while
+ * proportional core scaling would need 4x; the ceiling is ~12 cores.
+ */
+
+#include <iostream>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "model/extensions.hh"
+
+using namespace bwwall;
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions options = BenchOptions::parse(argc, argv);
+    printBanner(std::cout, "Figure 8: cores enabled by smaller cores "
+                           "(32 CEAs)");
+
+    std::vector<std::pair<std::string, std::vector<Technique>>> cases;
+    cases.emplace_back("1x (baseline core)", std::vector<Technique>{});
+    for (const double reduction : {9.0, 40.0, 45.0, 80.0}) {
+        cases.emplace_back(
+            Table::num(static_cast<long long>(reduction)) +
+                "x smaller",
+            std::vector<Technique>{smallerCores(1.0 / reduction)});
+    }
+    emit(techniqueSweepTable(cases), options);
+
+    // The analytic asymptote: cores of measure zero leave the whole
+    // die as cache (32 CEAs), i.e. S = 32 / P.
+    ScalingScenario limit;
+    limit.totalCeas = 32.0;
+    limit.techniques = {smallerCores(1e-6)};
+    std::cout << '\n'
+              << "measured asymptote (infinitesimal cores): "
+              << solveSupportableCores(limit).supportableCores
+              << " cores\n";
+
+    // The paper's interconnect caveat, quantified: "with increasingly
+    // smaller cores, the interconnection between cores ... becomes
+    // increasingly larger and more complex".
+    std::cout << "\nwith a per-core router/link charge (40x-smaller "
+                 "cores):\n";
+    Table noc({"router_area_ceas", "supportable_cores"});
+    for (const double router : {0.0, 0.05, 0.1, 0.2, 0.5}) {
+        ScalingScenario scenario;
+        scenario.totalCeas = 32.0;
+        scenario.techniques = {
+            smallerCoresWithInterconnect(1.0 / 40.0, router)};
+        noc.addRow({Table::num(router, 2),
+                    Table::num(static_cast<long long>(
+                        solveSupportableCores(scenario)
+                            .supportableCores))});
+    }
+    emit(noc, options);
+    std::cout << '\n';
+    paperNote("even infinitesimally small cores cap near 12: cache "
+              "per core only grows 2x while proportional scaling "
+              "needs 4x");
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Reproduces paper Figure 9: supportable cores under link
+ * compression (32 CEAs), grounding the ratio axis with the real
+ * value-locality link compressor over synthetic traffic.
+ *
+ * Paper result: 2x link compression reaches proportional scaling
+ * (16 cores); higher ratios are super-proportional.
+ */
+
+#include <iostream>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "compress/link.hh"
+#include "trace/value_pattern.hh"
+
+using namespace bwwall;
+
+namespace {
+
+double
+measuredLinkRatio(const ValueMix &mix, LinkScheme scheme,
+                  std::uint64_t seed)
+{
+    LinkCompressorConfig config;
+    config.scheme = scheme;
+    LinkCompressor link(config);
+    ValuePatternGenerator generator(mix, seed);
+    for (int i = 0; i < 3000; ++i)
+        link.transferLine(generator.nextLine(64));
+    return link.compressionRatio();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions options = BenchOptions::parse(argc, argv);
+    printBanner(std::cout, "Figure 9: cores enabled by link "
+                           "compression (32 CEAs)");
+
+    std::vector<std::pair<std::string, std::vector<Technique>>> cases;
+    cases.emplace_back("no compression", std::vector<Technique>{});
+    for (const double ratio :
+         {1.25, 1.5, 1.75, 2.0, 2.5, 3.0, 3.5, 4.0}) {
+        cases.emplace_back(
+            Table::num(ratio, 2) + "x",
+            std::vector<Technique>{linkCompression(ratio)});
+    }
+    emit(techniqueSweepTable(cases), options);
+
+    std::cout << "\nmeasured link-compressor ratios over synthetic "
+                 "value streams:\n";
+    Table grounding({"value_mix", "scheme", "measured_ratio",
+                     "paper_cited"});
+    grounding.addRow({"commercial", "hybrid",
+                      Table::num(measuredLinkRatio(
+                          commercialValueMix(), LinkScheme::Hybrid, 4), 2),
+                      "~2x (50% reduction)"});
+    grounding.addRow({"integer", "hybrid",
+                      Table::num(measuredLinkRatio(
+                          integerValueMix(), LinkScheme::Hybrid, 5), 2),
+                      "up to ~3x (70% reduction)"});
+    grounding.addRow({"commercial", "fpc-only",
+                      Table::num(measuredLinkRatio(
+                          commercialValueMix(), LinkScheme::Fpc, 6), 2),
+                      "-"});
+    emit(grounding, options);
+
+    std::cout << '\n';
+    paperNote("2x compression enables proportional scaling (16 "
+              "cores); memory-link compression reduces demand ~50% "
+              "commercial, up to 70% integer/media");
+    return 0;
+}

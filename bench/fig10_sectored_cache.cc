@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Reproduces paper Figure 10: supportable cores with sectored caches
+ * that fetch only referenced sectors (32 CEAs), cross-checked by
+ * running the real sectored cache model on a trace with limited
+ * spatial footprints.
+ *
+ * Paper result: more potent than unused-data filtering at high
+ * unused fractions because the traffic reduction is direct.
+ */
+
+#include <iostream>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "cache/set_assoc_cache.hh"
+#include "trace/power_law_trace.hh"
+#include "util/units.hh"
+
+using namespace bwwall;
+
+namespace {
+
+/** Traffic per access of a (sectored?) cache on a sparse trace. */
+double
+simulatedTraffic(bool sectored, double used_word_fraction)
+{
+    PowerLawTraceParams trace_params;
+    trace_params.alpha = 0.5;
+    trace_params.usedWordFraction = used_word_fraction;
+    trace_params.seed = 7;
+    trace_params.warmLines = 1 << 14;
+    trace_params.maxResidentLines = 1 << 15;
+    PowerLawTrace trace(trace_params);
+
+    CacheConfig config;
+    config.capacityBytes = 64 * kKiB;
+    config.sectored = sectored;
+    config.sectorBytes = 8;
+    SetAssociativeCache cache(config);
+
+    for (int i = 0; i < 150000; ++i)
+        cache.access(trace.next());
+    cache.resetStats();
+    for (int i = 0; i < 300000; ++i)
+        cache.access(trace.next());
+    return cache.stats().trafficBytesPerAccess();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions options = BenchOptions::parse(argc, argv);
+    printBanner(std::cout, "Figure 10: cores enabled by sectored "
+                           "caches (32 CEAs)");
+
+    std::vector<std::pair<std::string, std::vector<Technique>>> cases;
+    cases.emplace_back("0% unused", std::vector<Technique>{});
+    for (const double unused : {0.10, 0.20, 0.40, 0.80}) {
+        cases.emplace_back(
+            Table::num(unused * 100.0, 0) + "% unused",
+            std::vector<Technique>{sectoredCache(unused)});
+    }
+    emit(techniqueSweepTable(cases), options);
+
+    std::cout << "\nsimulated grounding (64 KiB cache, 8-byte "
+                 "sectors, 40% of words unused):\n";
+    const double plain = simulatedTraffic(false, 0.6);
+    const double sect = simulatedTraffic(true, 0.6);
+    Table grounding({"cache", "traffic_bytes_per_access",
+                     "relative"});
+    grounding.addRow({"conventional", Table::num(plain, 2), "1.00"});
+    grounding.addRow({"sectored", Table::num(sect, 2),
+                      Table::num(sect / plain, 2)});
+    emit(grounding, options);
+
+    std::cout << '\n';
+    paperNote("sectored caches beat unused-data filtering at high "
+              "unused fractions: the fetch reduction acts on traffic "
+              "directly rather than through the -alpha exponent");
+    return 0;
+}

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Reproduces paper Figure 13: normalized traffic versus the fraction
+ * of shared data for proportionally-scaled CMPs of 16/32/64/128
+ * cores, and the sharing fractions required to hold traffic constant.
+ *
+ * Paper result: constant traffic under proportional core scaling
+ * requires the shared fraction to keep growing — 40%, 63%, 77%, 86%.
+ */
+
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "cache/hierarchy.hh"
+#include "trace/shared_trace.hh"
+#include "util/units.hh"
+
+using namespace bwwall;
+
+namespace {
+
+/**
+ * Simulation grounding for the paper's footnote 1: the same
+ * multithreaded workload over one shared L2 versus four private L2s
+ * of the same total capacity.  Replication of shared lines in the
+ * private caches must cost off-chip traffic.
+ */
+double
+simulatedTrafficPerAccess(bool shared_l2)
+{
+    SharedWorkloadTraceParams trace_params;
+    trace_params.threads = 4;
+    trace_params.sharedLines = 16384; // 1 MiB shared region
+    trace_params.sharedZipfExponent = 0.6;
+    trace_params.sharedAccessFraction = 0.35;
+    trace_params.privateMaxResidentLines = 1 << 15;
+    trace_params.seed = 321;
+    SharedWorkloadTrace trace(trace_params);
+
+    HierarchyConfig config;
+    config.cores = 4;
+    config.l1Enabled = false;
+    config.sharedL2 = shared_l2;
+    config.l2.associativity = 16;
+    config.l2.capacityBytes = shared_l2 ? 4 * kMiB : kMiB;
+
+    CacheHierarchy hierarchy(config);
+    const int warm = 1500000, measured = 2000000;
+    for (int i = 0; i < warm; ++i)
+        hierarchy.access(trace.next());
+    hierarchy.resetStats();
+    for (int i = 0; i < measured; ++i)
+        hierarchy.access(trace.next());
+    return static_cast<double>(hierarchy.memoryTrafficBytes()) /
+           measured;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions options = BenchOptions::parse(argc, argv);
+    printBanner(std::cout, "Figure 13: impact of data sharing on "
+                           "traffic (shared L2, alpha = 0.5)");
+
+    const int core_counts[] = {16, 32, 64, 128};
+
+    Table table({"fraction_shared", "16_cores", "32_cores",
+                 "64_cores", "128_cores"});
+    for (double fraction = 0.1; fraction <= 1.0001; fraction += 0.1) {
+        std::vector<std::string> row;
+        row.push_back(Table::num(fraction, 1));
+        for (const int cores : core_counts) {
+            ScalingScenario scenario;
+            scenario.totalCeas = 2.0 * cores; // proportional die
+            scenario.techniques = {dataSharing(fraction)};
+            const double traffic =
+                relativeTraffic(scenario, static_cast<double>(cores));
+            row.push_back(Table::num(traffic * 100.0, 1) + "%");
+        }
+        table.addRow(row);
+    }
+    emit(table, options);
+
+    std::cout << "\nrequired shared fraction for constant traffic:\n";
+    Table required({"cores", "required_fraction_shared"});
+    for (const int cores : core_counts) {
+        ScalingScenario scenario;
+        scenario.totalCeas = 2.0 * cores;
+        const double fraction = requiredSharedFraction(
+            scenario, static_cast<double>(cores));
+        required.addRow({Table::num(static_cast<long long>(cores)),
+                         Table::num(fraction * 100.0, 1) + "%"});
+    }
+    emit(required, options);
+
+    // Footnote 1: shared-cache pooling vs private-cache replication.
+    std::cout << "\nmodel: pooled shared cache vs replicating "
+                 "private caches (16 cores, 40% shared):\n";
+    Table footnote({"cache_organization", "normalized_traffic"});
+    {
+        ScalingScenario pooled;
+        pooled.totalCeas = 32.0;
+        pooled.techniques = {dataSharing(0.4)};
+        footnote.addRow({"shared L2 (Eq. 13)",
+                         Table::num(relativeTraffic(pooled, 16.0), 3)});
+        ScalingScenario replicated;
+        replicated.totalCeas = 32.0;
+        replicated.techniques = {dataSharingPrivateCaches(0.4)};
+        footnote.addRow({"private L2s (footnote 1)",
+                         Table::num(
+                             relativeTraffic(replicated, 16.0), 3)});
+    }
+    emit(footnote, options);
+
+    std::cout << "\nsimulated grounding (4 threads, 35% shared "
+                 "accesses, equal total L2):\n";
+    Table simulated({"cache_organization",
+                     "memory_bytes_per_access"});
+    simulated.addRow({"one shared 4 MiB L2",
+                      Table::num(simulatedTrafficPerAccess(true), 2)});
+    simulated.addRow({"four private 1 MiB L2s",
+                      Table::num(simulatedTrafficPerAccess(false), 2)});
+    emit(simulated, options);
+
+    std::cout << '\n';
+    paperNote("holding traffic at 100% under proportional scaling "
+              "requires the shared fraction to grow to 40%, 63%, "
+              "77%, 86% for 16/32/64/128 cores");
+    return 0;
+}

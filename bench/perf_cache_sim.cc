@@ -1,0 +1,196 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the simulation substrates:
+ * cache accesses, trace generation, reuse profiling, and the
+ * compression codecs.  Not a paper artifact — library performance.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/coherent_system.hh"
+#include "cache/set_assoc_cache.hh"
+#include "compress/bdi.hh"
+#include "compress/fpc.hh"
+#include "compress/link.hh"
+#include "mem/dram.hh"
+#include "trace/power_law_trace.hh"
+#include "trace/reuse_analyzer.hh"
+#include "trace/value_pattern.hh"
+#include "util/units.hh"
+
+namespace bwwall {
+namespace {
+
+void
+BM_PowerLawTraceNext(benchmark::State &state)
+{
+    PowerLawTraceParams params;
+    params.alpha = 0.5;
+    params.warmLines = 1 << 14;
+    params.maxResidentLines = 1 << 15;
+    PowerLawTrace trace(params);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(trace.next());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PowerLawTraceNext);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    PowerLawTraceParams trace_params;
+    trace_params.alpha = 0.5;
+    trace_params.warmLines = 1 << 14;
+    trace_params.maxResidentLines = 1 << 15;
+    PowerLawTrace trace(trace_params);
+
+    CacheConfig config;
+    config.capacityBytes =
+        static_cast<std::uint64_t>(state.range(0)) * kKiB;
+    config.associativity = 8;
+    SetAssociativeCache cache(config);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cache.access(trace.next()));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess)->Arg(32)->Arg(256)->Arg(2048);
+
+void
+BM_SectoredCacheAccess(benchmark::State &state)
+{
+    PowerLawTraceParams trace_params;
+    trace_params.alpha = 0.5;
+    trace_params.usedWordFraction = 0.5;
+    trace_params.warmLines = 1 << 14;
+    trace_params.maxResidentLines = 1 << 15;
+    PowerLawTrace trace(trace_params);
+
+    CacheConfig config;
+    config.capacityBytes = 256 * kKiB;
+    config.sectored = true;
+    config.sectorBytes = 16;
+    SetAssociativeCache cache(config);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cache.access(trace.next()));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SectoredCacheAccess);
+
+void
+BM_ReuseAnalyzerObserve(benchmark::State &state)
+{
+    PowerLawTraceParams params;
+    params.alpha = 0.5;
+    params.warmLines = 1 << 14;
+    params.maxResidentLines = 1 << 15;
+    PowerLawTrace trace(params);
+    ReuseDistanceAnalyzer analyzer(64);
+    for (auto _ : state)
+        analyzer.observe(trace.next());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReuseAnalyzerObserve);
+
+void
+BM_FpcEncode(benchmark::State &state)
+{
+    ValuePatternGenerator generator(commercialValueMix(), 1);
+    std::vector<std::vector<std::uint8_t>> lines;
+    for (int i = 0; i < 256; ++i)
+        lines.push_back(generator.nextLine(64));
+    std::size_t index = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            FpcCompressor::encode(lines[index & 255]));
+        ++index;
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_FpcEncode);
+
+void
+BM_BdiCompress(benchmark::State &state)
+{
+    ValuePatternGenerator generator(commercialValueMix(), 2);
+    std::vector<std::vector<std::uint8_t>> lines;
+    for (int i = 0; i < 256; ++i)
+        lines.push_back(generator.nextLine(64));
+    std::size_t index = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            BdiCompressor::compress(lines[index & 255]));
+        ++index;
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_BdiCompress);
+
+void
+BM_DramRequest(benchmark::State &state)
+{
+    EventQueue events;
+    DramChannel dram(events, DramConfig{});
+    Rng rng(1);
+    const bool sequential = state.range(0) != 0;
+    Address next_address = 0;
+    for (auto _ : state) {
+        const Address address = sequential
+            ? (next_address += 64)
+            : rng.nextBounded(1 << 22) * 64;
+        // Keep the queue shallow so each iteration issues.
+        if (!dram.request(address, [] {}))
+            events.runUntil(events.now() + 1000);
+        events.runUntil(events.now() + 30);
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.SetLabel(sequential ? "sequential" : "random");
+}
+BENCHMARK(BM_DramRequest)->Arg(0)->Arg(1);
+
+void
+BM_CoherentAccess(benchmark::State &state)
+{
+    CacheConfig config;
+    config.capacityBytes = 64 * kKiB;
+    CoherentCacheSystem system(
+        static_cast<unsigned>(state.range(0)), config);
+    Rng rng(2);
+    for (auto _ : state) {
+        MemoryAccess access;
+        access.address = rng.nextBounded(1 << 14) * 64;
+        access.thread =
+            static_cast<ThreadId>(rng.nextBounded(
+                static_cast<std::uint64_t>(state.range(0))));
+        access.type = rng.nextBernoulli(0.3) ? AccessType::Write
+                                             : AccessType::Read;
+        benchmark::DoNotOptimize(system.access(access));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CoherentAccess)->Arg(2)->Arg(8);
+
+void
+BM_LinkTransfer(benchmark::State &state)
+{
+    LinkCompressor link(LinkCompressorConfig{});
+    ValuePatternGenerator generator(commercialValueMix(), 3);
+    std::vector<std::vector<std::uint8_t>> lines;
+    for (int i = 0; i < 256; ++i)
+        lines.push_back(generator.nextLine(64));
+    std::size_t index = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            link.transferLine(lines[index & 255]));
+        ++index;
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_LinkTransfer);
+
+} // namespace
+} // namespace bwwall
+
+BENCHMARK_MAIN();

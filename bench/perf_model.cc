@@ -1,0 +1,69 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the analytical model: traffic
+ * evaluation, the supportable-core solver, and full multi-generation
+ * studies.  Not a paper artifact — library performance.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "model/scaling_study.hh"
+
+namespace bwwall {
+namespace {
+
+void
+BM_RelativeTraffic(benchmark::State &state)
+{
+    ScalingScenario scenario;
+    scenario.totalCeas = 256.0;
+    scenario.techniques = {cacheLinkCompression(2.0), dramCache(8.0),
+                           stackedCache(1.0), smallCacheLines(0.4)};
+    double cores = 1.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(relativeTraffic(scenario, cores));
+        cores = cores >= 180.0 ? 1.0 : cores + 1.0;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RelativeTraffic);
+
+void
+BM_SolveSupportableCores(benchmark::State &state)
+{
+    ScalingScenario scenario;
+    scenario.totalCeas = static_cast<double>(state.range(0));
+    scenario.techniques = {dramCache(8.0)};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(solveSupportableCores(scenario));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SolveSupportableCores)->Arg(32)->Arg(256)->Arg(2048);
+
+void
+BM_RequiredSharedFraction(benchmark::State &state)
+{
+    ScalingScenario scenario;
+    scenario.totalCeas = 256.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            requiredSharedFraction(scenario, 128.0));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RequiredSharedFraction);
+
+void
+BM_Figure15Study(benchmark::State &state)
+{
+    const ScalingStudyParams params;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(figure15Study(params));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Figure15Study);
+
+} // namespace
+} // namespace bwwall
+
+BENCHMARK_MAIN();

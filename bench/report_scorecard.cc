@@ -1,0 +1,198 @@
+/**
+ * @file
+ * One-page reproduction scorecard: every number the paper states in
+ * its text, recomputed and marked PASS/FAIL.  A zero exit status
+ * means the analytical reproduction is intact — suitable for CI.
+ *
+ * (Simulation-based artifacts — Figures 1 and 14, the compression
+ * groundings — have their own harnesses and tests; this scorecard
+ * covers the closed-form model so it runs in milliseconds.)
+ */
+
+#include <cmath>
+#include <iostream>
+#include <string>
+
+#include "bench/bench_util.hh"
+#include "model/power_law.hh"
+#include "model/scaling_study.hh"
+
+using namespace bwwall;
+
+namespace {
+
+int failures = 0;
+
+void
+check(Table &table, const std::string &claim, double expected,
+      double actual, double tolerance = 0.0)
+{
+    const bool pass = std::abs(actual - expected) <= tolerance;
+    if (!pass)
+        ++failures;
+    table.addRow({claim, Table::num(expected, tolerance == 0.0 ? 0 : 3),
+                  Table::num(actual, tolerance == 0.0 ? 0 : 3),
+                  pass ? "PASS" : "FAIL"});
+}
+
+int
+coresFor(double total_ceas, std::vector<Technique> techniques,
+         double budget = 1.0, double alpha = 0.5)
+{
+    ScalingScenario scenario;
+    scenario.totalCeas = total_ceas;
+    scenario.trafficBudget = budget;
+    scenario.alpha = alpha;
+    scenario.techniques = std::move(techniques);
+    return solveSupportableCores(scenario).supportableCores;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions options = BenchOptions::parse(argc, argv);
+    printBanner(std::cout,
+                "Reproduction scorecard: paper-stated numbers vs "
+                "this model");
+
+    Table table({"paper claim", "paper", "measured", "status"});
+
+    // Section 4.2 worked example.
+    {
+        ScalingScenario scenario;
+        scenario.totalCeas = 16.0;
+        check(table, "Sec 4.2: 12 cores / 4-CEA cache traffic (x)",
+              2.6, relativeTraffic(scenario, 12.0), 0.01);
+    }
+
+    // Section 5 / Figure 2.
+    check(table, "Fig 2: cores at constant envelope", 11,
+          coresFor(32.0, {}));
+    check(table, "Fig 2: cores at 1.5x envelope", 13,
+          coresFor(32.0, {}, 1.5));
+    {
+        ScalingScenario scenario;
+        scenario.totalCeas = 32.0;
+        check(table, "Fig 2: traffic at 16 cores (x)", 2.0,
+              relativeTraffic(scenario, 16.0), 1e-9);
+    }
+
+    // Figure 3 / abstract.
+    check(table, "Fig 3: cores at 16x", 24, coresFor(256.0, {}));
+    {
+        ScalingScenario scenario;
+        scenario.totalCeas = 256.0;
+        check(table, "Fig 3: core area percent at 16x", 10.0,
+              solveSupportableCores(scenario).coreAreaFraction * 100,
+              1.0);
+    }
+
+    // Figure 4.
+    check(table, "Fig 4: CC 1.3x", 11,
+          coresFor(32.0, {cacheCompression(1.3)}));
+    check(table, "Fig 4: CC 1.7x", 12,
+          coresFor(32.0, {cacheCompression(1.7)}));
+    check(table, "Fig 4: CC 2.0x", 13,
+          coresFor(32.0, {cacheCompression(2.0)}));
+    check(table, "Fig 4: CC 2.5x", 14,
+          coresFor(32.0, {cacheCompression(2.5)}));
+    check(table, "Fig 4: CC 3.0x", 14,
+          coresFor(32.0, {cacheCompression(3.0)}));
+
+    // Figure 5.
+    check(table, "Fig 5: DRAM 4x", 16,
+          coresFor(32.0, {dramCache(4.0)}));
+    check(table, "Fig 5: DRAM 8x", 18,
+          coresFor(32.0, {dramCache(8.0)}));
+    check(table, "Fig 5: DRAM 16x", 21,
+          coresFor(32.0, {dramCache(16.0)}));
+
+    // Figure 6.
+    check(table, "Fig 6: 3D SRAM", 14,
+          coresFor(32.0, {stackedCache(1.0)}));
+    check(table, "Fig 6: 3D DRAM 8x", 25,
+          coresFor(32.0, {stackedCache(8.0)}));
+    check(table, "Fig 6: 3D DRAM 16x", 32,
+          coresFor(32.0, {stackedCache(16.0)}));
+
+    // Figure 7.
+    check(table, "Fig 7: Fltr 40% unused", 12,
+          coresFor(32.0, {unusedDataFilter(0.4)}));
+    check(table, "Fig 7: Fltr 80% unused", 16,
+          coresFor(32.0, {unusedDataFilter(0.8)}));
+
+    // Figure 9 / 11 / 12.
+    check(table, "Fig 9: LC 2x (proportional)", 16,
+          coresFor(32.0, {linkCompression(2.0)}));
+    check(table, "Fig 11: SmCl 40% (proportional)", 16,
+          coresFor(32.0, {smallCacheLines(0.4)}));
+    check(table, "Fig 12: CC/LC 2x", 18,
+          coresFor(32.0, {cacheLinkCompression(2.0)}));
+
+    // Figure 13 required sharing fractions.
+    {
+        const double targets[] = {0.40, 0.63, 0.77, 0.86};
+        double total = 32.0, cores = 16.0;
+        for (const double target : targets) {
+            ScalingScenario scenario;
+            scenario.totalCeas = total;
+            check(table,
+                  "Fig 13: required sharing @ " +
+                      Table::num(static_cast<long long>(cores)) +
+                      " cores",
+                  target, requiredSharedFraction(scenario, cores),
+                  0.015);
+            total *= 2.0;
+            cores *= 2.0;
+        }
+    }
+
+    // Figure 15 16x values stated in the text.
+    check(table, "Fig 15: CC at 16x", 30,
+          coresFor(256.0, {cacheCompression(2.0)}));
+    check(table, "Fig 15: LC at 16x", 38,
+          coresFor(256.0, {linkCompression(2.0)}));
+    check(table, "Fig 15: DRAM at 16x", 47,
+          coresFor(256.0, {dramCache(8.0)}));
+
+    // Figure 16 headline.
+    check(table, "Fig 16: all combined at 16x", 183,
+          coresFor(256.0,
+                   {cacheLinkCompression(2.0), dramCache(8.0),
+                    stackedCache(1.0), smallCacheLines(0.4)}));
+    {
+        ScalingScenario scenario;
+        scenario.totalCeas = 256.0;
+        scenario.techniques = {cacheLinkCompression(2.0),
+                               dramCache(8.0), stackedCache(1.0),
+                               smallCacheLines(0.4)};
+        check(table, "Fig 16: combined die percent for cores", 71.0,
+              solveSupportableCores(scenario).coreAreaFraction * 100,
+              1.0);
+        // Secondary combined claims.
+        const TechniqueEffects effects =
+            combineEffects(scenario.techniques);
+        check(table, "Sec 6.4: LC+SmCl direct reduction (x)", 0.30,
+              effects.directFactor, 1e-9);
+        check(table, "Sec 6.4: effective capacity gain (x)", 53.3,
+              effects.cacheDensity * effects.capacityFactor * 2.0,
+              0.5);
+    }
+
+    // Section 6.1 dampening example.
+    check(table, "Sec 6.1: cache growth to halve traffic, a=0.9",
+          2.16, PowerLaw(0.9).capacityRatioForTraffic(0.5), 0.01);
+    check(table, "Sec 6.1: cache growth to halve traffic, a=0.5",
+          4.0, PowerLaw(0.5).capacityRatioForTraffic(0.5), 1e-9);
+
+    emit(table, options);
+    std::cout << '\n'
+              << (failures == 0
+                      ? "scorecard: ALL CLAIMS REPRODUCED"
+                      : "scorecard: " + std::to_string(failures) +
+                            " CLAIM(S) FAILED")
+              << '\n';
+    return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Reproduces paper Table 1: the CMP system variables of the model,
+ * instantiated for the paper's baseline configuration, plus the
+ * worked traffic example of Section 4.2.
+ */
+
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "model/bandwidth_wall.hh"
+
+using namespace bwwall;
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions options = BenchOptions::parse(argc, argv);
+    printBanner(std::cout, "Table 1: CMP system variables");
+
+    Table table({"symbol", "meaning", "baseline_value"});
+    const CmpConfig baseline = niagara2Baseline();
+    table.addRow({"CEA", "Core Equivalent Area (die area for 1 core)",
+                  "1 core + L1 caches"});
+    table.addRow({"P", "# of CEAs for cores (= # cores)",
+                  Table::num(baseline.coreCeas, 0)});
+    table.addRow({"C", "# of CEAs for on-chip cache",
+                  Table::num(baseline.cacheCeas(), 0) + " (~4 MB L2)"});
+    table.addRow({"N", "P + C, total chip die area in CEAs",
+                  Table::num(baseline.totalCeas, 0)});
+    table.addRow({"S", "C / P, amount of on-chip cache per core",
+                  Table::num(baseline.cachePerCore(), 0)});
+    emit(table, options);
+
+    // Section 4.2 worked example on top of these variables.
+    ScalingScenario scenario;
+    scenario.totalCeas = 16.0;
+    const double traffic = relativeTraffic(scenario, 12.0);
+    std::cout << "\nworked example (paper Sec. 4.2): trading 4 cache "
+                 "CEAs for 4 cores (P=12, S=1/3) multiplies traffic "
+                 "by "
+              << Table::num(traffic, 2) << "x\n";
+    paperNote("the new configuration yields 2.6x more traffic: 1.5x "
+              "from extra cores and 1.73x from less cache per core");
+    return 0;
+}

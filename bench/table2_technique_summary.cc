@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Reproduces paper Table 2: the assumption ranges and qualitative
+ * ratings of every memory-traffic reduction technique, extended with
+ * the core counts this model computes for each assumption level.
+ */
+
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "model/scaling_study.hh"
+
+using namespace bwwall;
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions options = BenchOptions::parse(argc, argv);
+    printBanner(std::cout,
+                "Table 2: summary of memory traffic reduction "
+                "techniques");
+
+    Table table({"technique", "label", "pessimistic", "realistic",
+                 "optimistic", "effectiveness", "range",
+                 "complexity"});
+    for (const TechniqueAssumption &row : table2Assumptions()) {
+        table.addRow({row.name, row.label, row.pessimistic,
+                      row.realistic, row.optimistic,
+                      row.effectiveness, row.range, row.complexity});
+    }
+    emit(table, options);
+
+    std::cout << "\ncomputed supportable cores per assumption "
+                 "(32 CEAs next generation / 256 CEAs at 16x):\n";
+    Table computed({"label", "pess_2x", "real_2x", "opt_2x",
+                    "pess_16x", "real_16x", "opt_16x"});
+    for (const TechniqueAssumption &row : table2Assumptions()) {
+        std::vector<std::string> cells{row.label};
+        for (const double ceas : {32.0, 256.0}) {
+            for (const Assumption assumption :
+                 {Assumption::Pessimistic, Assumption::Realistic,
+                  Assumption::Optimistic}) {
+                ScalingScenario scenario;
+                scenario.totalCeas = ceas;
+                scenario.techniques = {row.make(assumption)};
+                cells.push_back(Table::num(static_cast<long long>(
+                    solveSupportableCores(scenario)
+                        .supportableCores)));
+            }
+        }
+        computed.addRow(cells);
+    }
+    emit(computed, options);
+
+    std::cout << '\n';
+    paperNote("Table 2 parameter points: CC/LC/CC:LC 1.25x/2x/3.5x; "
+              "DRAM 4x/8x/16x; Fltr/Sect/SmCl 10%/40%/80% unused; "
+              "SmCo 9x/40x/80x smaller; ratings as printed");
+    return 0;
+}

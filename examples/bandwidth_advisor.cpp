@@ -1,0 +1,124 @@
+/**
+ * @file
+ * End-to-end "bandwidth advisor": measures a workload's alpha by
+ * running its trace through the cache simulator, then ranks single
+ * techniques and technique combinations by how many cores they
+ * enable for that measured workload across future generations.
+ *
+ * Demonstrates the full pipeline a performance engineer would use:
+ * synthetic (or recorded) trace -> miss-curve measurement -> fitted
+ * power law -> bandwidth-wall projection -> technique ranking.
+ *
+ * Usage:
+ *   bandwidth_advisor [profile]
+ * where profile is one of the Figure 1 workload names
+ * (default: Commercial-AVG; try OLTP-2, OLTP-4, SPEC2006-AVG).
+ */
+
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cache/miss_curve.hh"
+#include "model/scaling_study.hh"
+#include "trace/profiles.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+
+using namespace bwwall;
+
+int
+main(int argc, char **argv)
+{
+    // 1. Pick the workload profile.
+    const std::string wanted =
+        argc > 1 ? argv[1] : "Commercial-AVG";
+    WorkloadProfileSpec spec;
+    bool found = false;
+    for (const WorkloadProfileSpec &candidate : figure1Profiles()) {
+        if (candidate.name == wanted) {
+            spec = candidate;
+            found = true;
+            break;
+        }
+    }
+    if (!found) {
+        std::cerr << "unknown profile '" << wanted
+                  << "'; available:\n";
+        for (const WorkloadProfileSpec &candidate : figure1Profiles())
+            std::cerr << "  " << candidate.name << '\n';
+        return 1;
+    }
+
+    // 2. Measure the workload's miss curve on the cache simulator
+    //    and fit its alpha.
+    std::cout << "measuring miss curve of " << spec.name
+              << " on the cache simulator...\n";
+    auto trace = makeProfileTrace(spec, 7);
+    MissCurveSweepParams sweep;
+    sweep.capacities = capacityLadder(8 * kKiB, 512 * kKiB);
+    sweep.cacheTemplate.associativity = 8;
+    sweep.warmupAccesses = 300000;
+    sweep.measuredAccesses = 600000;
+    const auto points = measureMissCurve(*trace, sweep);
+    const PowerLawFit fit = fitMissCurve(points);
+    const double alpha = -fit.exponent;
+
+    std::cout << "fitted alpha = " << Table::num(alpha, 3)
+              << " (R^2 = " << Table::num(fit.rSquared, 4)
+              << "), write-back ratio "
+              << Table::num(points.back().writebackRatio, 2)
+              << "\n\n";
+
+    // 3. Rank the Table 2 techniques for this workload at 16x.
+    struct Ranked
+    {
+        std::string name;
+        int cores2x;
+        int cores16x;
+    };
+    std::vector<Ranked> ranking;
+
+    for (const TechniqueAssumption &row : table2Assumptions()) {
+        ScalingStudyParams params;
+        params.alpha = alpha;
+        params.techniques = {row.make(Assumption::Realistic)};
+        const auto results = runScalingStudy(params);
+        ranking.push_back(
+            {row.name, results.front().cores, results.back().cores});
+    }
+    for (const TechniqueCombination &combination :
+         figure16Combinations()) {
+        ScalingStudyParams params;
+        params.alpha = alpha;
+        params.techniques =
+            makeCombination(combination, Assumption::Realistic);
+        const auto results = runScalingStudy(params);
+        ranking.push_back({combination.name, results.front().cores,
+                           results.back().cores});
+    }
+    std::sort(ranking.begin(), ranking.end(),
+              [](const Ranked &a, const Ranked &b) {
+                  return a.cores16x > b.cores16x;
+              });
+
+    ScalingStudyParams base_params;
+    base_params.alpha = alpha;
+    const auto base = runScalingStudy(base_params);
+    std::cout << "baseline (no techniques): " << base.front().cores
+              << " cores at 2x, " << base.back().cores
+              << " at 16x; proportional would be 16 / 128\n\n";
+
+    Table table({"rank", "technique(s)", "cores_2x", "cores_16x"});
+    int rank = 1;
+    for (const Ranked &entry : ranking) {
+        table.addRow({Table::num(static_cast<long long>(rank++)),
+                      entry.name,
+                      Table::num(static_cast<long long>(entry.cores2x)),
+                      Table::num(static_cast<long long>(
+                          entry.cores16x))});
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Interactive design-space explorer for CMP die allocation.
+ *
+ * Given a workload alpha, a transistor scaling factor, a bandwidth
+ * budget, and an optional set of techniques, prints the full
+ * traffic-vs-cores curve and the balanced design point — the tool a
+ * chip architect would use to answer "how should I split my next die
+ * between cores and cache?".
+ *
+ * Usage:
+ *   design_explorer [--alpha A] [--scale S] [--budget B]
+ *                   [--tech CC|DRAM|3D|Fltr|SmCo|LC|Sect|CC/LC|SmCl]...
+ *                   [--assume pessimistic|realistic|optimistic]
+ *
+ * Examples:
+ *   design_explorer --scale 16
+ *   design_explorer --alpha 0.25 --scale 4 --tech DRAM --tech LC
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "model/scaling_study.hh"
+#include "util/table.hh"
+
+using namespace bwwall;
+
+namespace {
+
+void
+usage()
+{
+    std::cout <<
+        "usage: design_explorer [--alpha A] [--scale S] [--budget B]\n"
+        "                       [--tech LABEL]... [--assume LEVEL]\n"
+        "  --alpha A    workload exponent (default 0.5)\n"
+        "  --scale S    transistor scaling vs baseline (default 2)\n"
+        "  --budget B   traffic budget vs baseline (default 1.0)\n"
+        "  --tech L     add technique by Table 2 label (repeatable):\n"
+        "               CC DRAM 3D Fltr SmCo LC Sect CC/LC SmCl\n"
+        "  --assume L   pessimistic | realistic | optimistic\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double alpha = 0.5;
+    double scale = 2.0;
+    double budget = 1.0;
+    Assumption assumption = Assumption::Realistic;
+    std::vector<std::string> labels;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next_value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--alpha") {
+            alpha = std::stod(next_value());
+        } else if (arg == "--scale") {
+            scale = std::stod(next_value());
+        } else if (arg == "--budget") {
+            budget = std::stod(next_value());
+        } else if (arg == "--tech") {
+            labels.push_back(next_value());
+        } else if (arg == "--assume") {
+            const std::string level = next_value();
+            if (level == "pessimistic")
+                assumption = Assumption::Pessimistic;
+            else if (level == "realistic")
+                assumption = Assumption::Realistic;
+            else if (level == "optimistic")
+                assumption = Assumption::Optimistic;
+            else {
+                usage();
+                return 1;
+            }
+        } else {
+            usage();
+            return arg == "--help" ? 0 : 1;
+        }
+    }
+
+    ScalingScenario scenario;
+    scenario.alpha = alpha;
+    scenario.totalCeas = niagara2Baseline().totalCeas * scale;
+    scenario.trafficBudget = budget;
+    for (const std::string &label : labels)
+        scenario.techniques.push_back(makeTechnique(label, assumption));
+
+    std::cout << "die: " << scenario.totalCeas << " CEAs ("
+              << scale << "x baseline), alpha " << alpha
+              << ", budget " << budget << "x";
+    if (!labels.empty()) {
+        std::cout << ", techniques:";
+        for (const Technique &technique : scenario.techniques)
+            std::cout << " [" << technique.name() << "]";
+    }
+    std::cout << "\n\n";
+
+    // Traffic curve over the feasible core range (16 sample rows).
+    const double max_cores = maxPlaceableCores(scenario);
+    Table curve({"cores", "traffic_vs_baseline", "cache_per_core",
+                 "within_budget"});
+    const TechniqueEffects effects =
+        combineEffects(scenario.techniques);
+    const int samples = 16;
+    for (int s = 1; s <= samples; ++s) {
+        const double cores = std::max(
+            1.0, std::floor(max_cores * s / samples));
+        const double traffic = relativeTraffic(scenario, cores);
+        const double cache_ceas =
+            scenario.totalCeas - cores * effects.coreAreaFraction +
+            effects.stackedLayers * scenario.totalCeas;
+        curve.addRow({Table::num(static_cast<long long>(cores)),
+                      Table::num(traffic, 3),
+                      Table::num(cache_ceas / cores, 2),
+                      traffic <= budget ? "yes" : "no"});
+    }
+    curve.print(std::cout);
+
+    const SolveResult result = solveSupportableCores(scenario);
+    std::cout << "\nbalanced design point: "
+              << result.supportableCores << " cores ("
+              << Table::num(result.coreAreaFraction * 100.0, 1)
+              << "% of the base die), traffic "
+              << Table::num(result.trafficAtSolution, 3)
+              << "x baseline, physical cache per core "
+              << Table::num(result.cachePerCore, 2) << " CEAs\n";
+    return 0;
+}

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Config-file-driven experiment runner (sixth runnable example).
+ *
+ * Describes a bandwidth-wall what-if in a plain text file and runs
+ * it: single-generation solve, multi-generation study, and optional
+ * throughput pricing — so experiments are shareable artifacts rather
+ * than command lines.
+ *
+ * Usage:
+ *   experiment_runner <scenario.cfg>
+ *
+ * Recognised keys (all optional):
+ *   alpha = 0.5            workload exponent
+ *   scale = 2              transistor scaling vs the 16-CEA baseline
+ *   budget = 1.0           traffic budget vs baseline
+ *   generations = 4        also run a multi-generation study
+ *   bandwidth_growth = 1.0 budget growth per generation
+ *   techniques = DRAM, CC/LC, 3D, SmCl   (Table 2 labels)
+ *   assume = realistic     pessimistic | realistic | optimistic
+ *   throughput = true      also price the design in throughput
+ *   stall_share = 0.3      baseline memory-stall share for that
+ *
+ * See examples/scenarios/ for ready-made files.
+ */
+
+#include <iostream>
+#include <string>
+
+#include "bwwall.hh" // umbrella header: the whole public API
+
+using namespace bwwall;
+
+namespace {
+
+Assumption
+parseAssumption(const std::string &name)
+{
+    if (name == "pessimistic")
+        return Assumption::Pessimistic;
+    if (name == "realistic")
+        return Assumption::Realistic;
+    if (name == "optimistic")
+        return Assumption::Optimistic;
+    std::cerr << "unknown assumption level '" << name << "'\n";
+    std::exit(1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 2) {
+        std::cerr << "usage: experiment_runner <scenario.cfg>\n";
+        return 1;
+    }
+    const ConfigFile config = ConfigFile::parseFile(argv[1]);
+
+    const double alpha = config.getDouble("alpha", 0.5);
+    const double scale = config.getDouble("scale", 2.0);
+    const double budget = config.getDouble("budget", 1.0);
+    const Assumption assumption =
+        parseAssumption(config.getString("assume", "realistic"));
+
+    std::vector<Technique> techniques;
+    for (const std::string &label : config.getList("techniques"))
+        techniques.push_back(makeTechnique(label, assumption));
+
+    ScalingScenario scenario;
+    scenario.alpha = alpha;
+    scenario.totalCeas = niagara2Baseline().totalCeas * scale;
+    scenario.trafficBudget = budget;
+    scenario.techniques = techniques;
+
+    std::cout << "scenario: " << argv[1] << "\n  alpha " << alpha
+              << ", " << scenario.totalCeas << " CEAs (" << scale
+              << "x), budget " << budget << "x";
+    for (const Technique &technique : techniques)
+        std::cout << "\n  + " << technique.name();
+    std::cout << "\n\n";
+
+    const SolveResult solved = solveSupportableCores(scenario);
+    std::cout << "supportable cores: " << solved.supportableCores
+              << " (" << Table::num(solved.coreAreaFraction * 100, 1)
+              << "% of the base die, traffic "
+              << Table::num(solved.trafficAtSolution, 3)
+              << "x)\n";
+
+    const auto generations =
+        static_cast<int>(config.getInt("generations", 0));
+    if (generations > 0) {
+        ScalingStudyParams params;
+        params.alpha = alpha;
+        params.generations = generations;
+        params.bandwidthGrowthPerGeneration =
+            config.getDouble("bandwidth_growth", 1.0);
+        params.techniques = techniques;
+        const auto results = runScalingStudy(params);
+        std::cout << "\nacross generations:\n";
+        Table table({"scale", "cores", "core_area_percent"});
+        for (const GenerationResult &result : results) {
+            table.addRow({
+                Table::num(static_cast<long long>(result.scale)) + "x",
+                Table::num(static_cast<long long>(result.cores)),
+                Table::num(result.coreAreaFraction * 100.0, 1),
+            });
+        }
+        table.print(std::cout);
+    }
+
+    if (config.getBool("throughput", false)) {
+        ThroughputModelParams perf;
+        perf.memoryStallShare = config.getDouble("stall_share", 0.3);
+        const auto walled = solveThroughputOptimal(scenario, perf);
+        const auto free_bw =
+            solveThroughputUnconstrained(scenario, perf);
+        std::cout << "\nthroughput view: " << walled.cores
+                  << " cores -> "
+                  << Table::num(walled.throughput, 1)
+                  << " baseline-core units ("
+                  << Table::num((1.0 - walled.throughput /
+                                           free_bw.throughput) *
+                                    100.0,
+                                1)
+                  << "% lost to the wall vs "
+                  << free_bw.cores << " cores unconstrained)\n";
+    }
+    return 0;
+}

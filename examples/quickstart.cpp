@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Quickstart: the bandwidth-wall model in a dozen lines.
+ *
+ * Builds the paper's baseline (8-core balanced CMP), asks how many
+ * cores the next technology generation can support under a constant
+ * memory-traffic budget, and then how DRAM caching changes that.
+ *
+ *   $ ./build/examples/quickstart
+ */
+
+#include <iostream>
+
+#include "model/bandwidth_wall.hh"
+
+int
+main()
+{
+    using namespace bwwall;
+
+    // The paper's baseline: 16 CEAs, half cores, half cache,
+    // alpha = 0.5 (an average commercial workload).
+    ScalingScenario scenario;
+    scenario.baseline = niagara2Baseline();
+    scenario.alpha = 0.5;
+    scenario.totalCeas = 32.0;   // next generation: 2x transistors
+    scenario.trafficBudget = 1.0; // hold off-chip traffic constant
+
+    const SolveResult plain = solveSupportableCores(scenario);
+    std::cout << "Next generation, no techniques: "
+              << plain.supportableCores
+              << " cores (proportional scaling would want 16)\n";
+
+    // Proportional scaling doubles traffic -- that's the wall.
+    std::cout << "Traffic if we forced 16 cores anyway: "
+              << relativeTraffic(scenario, 16.0) << "x the budget\n";
+
+    // Add an 8x-dense DRAM L2: super-proportional scaling.
+    scenario.techniques = {dramCache(8.0)};
+    const SolveResult with_dram = solveSupportableCores(scenario);
+    std::cout << "With an 8x DRAM L2: " << with_dram.supportableCores
+              << " cores\n";
+
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Bandwidth-saturation demonstration on the discrete-event system
+ * simulator: watch per-core performance collapse as cores are added
+ * past the memory channel's capacity, then watch a bandwidth
+ * conservation technique (link compression, modelled as smaller
+ * transfers) push the wall out.
+ *
+ *   $ ./build/examples/saturation_demo
+ */
+
+#include <iostream>
+
+#include "mem/system_sim.hh"
+#include "util/table.hh"
+
+using namespace bwwall;
+
+namespace {
+
+void
+printSweep(const char *title, const SaturationSweepParams &params)
+{
+    std::cout << title << '\n';
+    const auto points = runSaturationSweep(params);
+    Table table({"cores", "aggregate", "per_core", "utilization",
+                 "queue_delay"});
+    for (const SaturationPoint &point : points) {
+        table.addRow({
+            Table::num(static_cast<long long>(point.cores)),
+            Table::num(point.aggregateThroughput, 2),
+            Table::num(point.perCoreThroughput, 3),
+            Table::num(point.channelUtilization, 3),
+            Table::num(point.averageQueueingDelay, 1),
+        });
+    }
+    table.print(std::cout);
+    std::cout << "channel limit: "
+              << Table::num(channelSaturationThroughput(
+                     params.channel, params.coreTemplate.requestBytes), 2)
+              << " work units / kilocycle\n\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    SaturationSweepParams params;
+    params.coreCounts = {1, 2, 4, 8, 16, 32, 64};
+    params.coreTemplate.meanComputeCycles = 400.0;
+    params.coreTemplate.requestBytes = 64;
+    params.channel.bytesPerCycle = 2.0;
+    params.channel.fixedLatencyCycles = 100;
+    params.simulatedCycles = 500000;
+
+    printSweep("baseline channel (2 B/cycle, 64 B transfers):",
+               params);
+
+    // Link compression at 2x halves the bytes each request moves,
+    // doubling the effective bandwidth and moving the wall.
+    SaturationSweepParams compressed = params;
+    compressed.coreTemplate.requestBytes = 32;
+    printSweep("with 2x link compression (32 B on the wire):",
+               compressed);
+
+    std::cout << "Takeaway: throughput tracks core count only until "
+                 "the channel saturates; past that point extra cores "
+                 "only add queueing delay. Halving bytes per request "
+                 "doubles the saturation point - the direct-technique "
+                 "effect of the paper's Section 6.2.\n";
+    return 0;
+}

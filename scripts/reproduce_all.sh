@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Reproduces every paper artifact and stores the outputs under results/.
+# Usage: scripts/reproduce_all.sh [build-dir]
+set -euo pipefail
+build="${1:-build}"
+out=results
+mkdir -p "$out"
+
+cmake -B "$build" -G Ninja
+cmake --build "$build"
+ctest --test-dir "$build" --output-on-failure
+
+for bench in "$build"/bench/*; do
+    name=$(basename "$bench")
+    echo "== $name"
+    "$bench" | tee "$out/$name.txt" >/dev/null
+    "$bench" --csv > "$out/$name.csv" || true
+done
+echo "outputs in $out/"

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Configuration and statistics for the cache models.
+ */
+
+#ifndef BWWALL_CACHE_CACHE_CONFIG_HH
+#define BWWALL_CACHE_CACHE_CONFIG_HH
+
+#include <cstdint>
+
+#include "cache/replacement.hh"
+
+namespace bwwall {
+
+/** Write-miss allocation behaviour. */
+enum class WriteAllocate : std::uint8_t
+{
+    Allocate,   ///< write-allocate (fetch the line, then dirty it)
+    NoAllocate, ///< write around: misses write straight to memory
+};
+
+/** Static parameters of one cache. */
+struct CacheConfig
+{
+    /** Total data capacity in bytes; must be a multiple of one set. */
+    std::uint64_t capacityBytes = 4ULL * 1024 * 1024;
+
+    /** Line (block) size in bytes; power of two. */
+    std::uint32_t lineBytes = 64;
+
+    /**
+     * Ways per set; 0 requests full associativity (a single set
+     * spanning the whole cache).
+     */
+    std::uint32_t associativity = 8;
+
+    ReplacementKind replacement = ReplacementKind::LRU;
+    WriteAllocate writeAllocate = WriteAllocate::Allocate;
+
+    /**
+     * When true the cache is sectored: lines are allocated whole but
+     * filled sector-by-sector on demand, so only referenced sectors
+     * consume off-chip traffic (paper Section 6.2).
+     */
+    bool sectored = false;
+
+    /** Sector size in bytes; power of two, divides lineBytes. */
+    std::uint32_t sectorBytes = 16;
+
+    /** Seed for stochastic replacement policies. */
+    std::uint64_t seed = 1;
+
+    /** Derived: number of sets (validated by the cache). */
+    std::uint64_t lines() const { return capacityBytes / lineBytes; }
+};
+
+/** What one access did. */
+struct AccessOutcome
+{
+    /** The line was resident (sector misses still count as hits). */
+    bool hit = false;
+    /** The requested sector had to be fetched (sectored caches). */
+    bool sectorFill = false;
+    /** Bytes fetched from the next level by this access. */
+    std::uint64_t bytesFetched = 0;
+    /** Bytes written back to the next level by this access. */
+    std::uint64_t bytesWrittenBack = 0;
+};
+
+/** Event counters of one cache. */
+struct CacheStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    /** Hits on a resident line whose requested sector was absent. */
+    std::uint64_t sectorMisses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t writebacks = 0;
+    /** Bytes fetched from the next level / memory. */
+    std::uint64_t bytesFetched = 0;
+    /** Bytes written back to the next level / memory. */
+    std::uint64_t bytesWrittenBack = 0;
+    /** Lines installed by a prefetcher. */
+    std::uint64_t prefetchFills = 0;
+    /** Prefetched lines that served at least one demand hit. */
+    std::uint64_t usefulPrefetches = 0;
+    /** Prefetched lines evicted without ever being used. */
+    std::uint64_t uselessPrefetches = 0;
+
+    /** Line miss rate (sector misses are not line misses). */
+    double
+    missRate() const
+    {
+        return accesses == 0
+                   ? 0.0
+                   : static_cast<double>(misses) /
+                         static_cast<double>(accesses);
+    }
+
+    /** Write backs per line miss — the paper's rwb (Section 4.2). */
+    double
+    writebackRatio() const
+    {
+        return misses == 0 ? 0.0
+                           : static_cast<double>(writebacks) /
+                                 static_cast<double>(misses);
+    }
+
+    /** Fraction of prefetched lines that were used before eviction. */
+    double
+    prefetchAccuracy() const
+    {
+        const std::uint64_t resolved =
+            usefulPrefetches + uselessPrefetches;
+        return resolved == 0
+                   ? 0.0
+                   : static_cast<double>(usefulPrefetches) /
+                         static_cast<double>(resolved);
+    }
+
+    /** Total off-chip traffic per access, in bytes. */
+    double
+    trafficBytesPerAccess() const
+    {
+        return accesses == 0
+                   ? 0.0
+                   : static_cast<double>(bytesFetched +
+                                         bytesWrittenBack) /
+                         static_cast<double>(accesses);
+    }
+
+    /** Clears every counter. */
+    void reset() { *this = CacheStats(); }
+};
+
+} // namespace bwwall
+
+#endif // BWWALL_CACHE_CACHE_CONFIG_HH

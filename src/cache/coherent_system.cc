@@ -1,0 +1,103 @@
+#include "cache/coherent_system.hh"
+
+#include "util/logging.hh"
+
+namespace bwwall {
+
+CoherentCacheSystem::CoherentCacheSystem(unsigned cores,
+                                         const CacheConfig &cache_config)
+    : lineBytes_(cache_config.lineBytes)
+{
+    if (cores == 0)
+        fatal("coherent system requires at least one core");
+    for (unsigned core = 0; core < cores; ++core) {
+        CacheConfig config = cache_config;
+        config.seed = cache_config.seed + core;
+        caches_.push_back(
+            std::make_unique<SetAssociativeCache>(config));
+    }
+}
+
+SetAssociativeCache &
+CoherentCacheSystem::cache(unsigned core)
+{
+    if (core >= caches_.size())
+        fatal("coherent system core index out of range: ", core);
+    return *caches_[core];
+}
+
+const SetAssociativeCache &
+CoherentCacheSystem::cache(unsigned core) const
+{
+    if (core >= caches_.size())
+        fatal("coherent system core index out of range: ", core);
+    return *caches_[core];
+}
+
+AccessOutcome
+CoherentCacheSystem::access(const MemoryAccess &request)
+{
+    const unsigned owner = request.thread % cores();
+    SetAssociativeCache &local = *caches_[owner];
+
+    if (isWrite(request)) {
+        // Invalidate every remote copy; remote Modified data must
+        // reach memory first (no dirty forwarding modelled).
+        for (unsigned core = 0; core < cores(); ++core) {
+            if (core == owner)
+                continue;
+            SetAssociativeCache &remote = *caches_[core];
+            if (!remote.contains(request.address))
+                continue;
+            const bool was_dirty = remote.invalidate(request.address);
+            ++stats_.invalidations;
+            if (was_dirty) {
+                ++stats_.coherenceWritebacks;
+                stats_.coherenceBytes += lineBytes_;
+            }
+        }
+        // A clean local hit is a Shared line being upgraded.
+        if (local.contains(request.address) &&
+            !local.isDirty(request.address)) {
+            ++stats_.upgrades;
+        }
+    } else {
+        // A remote Modified copy must be made visible before the
+        // read: downgrade it to Shared with a write back.
+        for (unsigned core = 0; core < cores(); ++core) {
+            if (core == owner)
+                continue;
+            SetAssociativeCache &remote = *caches_[core];
+            if (remote.isDirty(request.address)) {
+                remote.downgrade(request.address);
+                ++stats_.downgrades;
+                ++stats_.coherenceWritebacks;
+                stats_.coherenceBytes += lineBytes_;
+                break; // at most one Modified copy can exist
+            }
+        }
+    }
+
+    return local.access(request);
+}
+
+std::uint64_t
+CoherentCacheSystem::memoryTrafficBytes() const
+{
+    std::uint64_t total = stats_.coherenceBytes;
+    for (const auto &cache_ptr : caches_) {
+        total += cache_ptr->stats().bytesFetched +
+            cache_ptr->stats().bytesWrittenBack;
+    }
+    return total;
+}
+
+void
+CoherentCacheSystem::resetStats()
+{
+    stats_ = CoherenceStats{};
+    for (const auto &cache_ptr : caches_)
+        cache_ptr->resetStats();
+}
+
+} // namespace bwwall

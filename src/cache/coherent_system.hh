@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Snooping MSI coherence over private per-core caches.
+ *
+ * The paper's model ignores coherence: with private caches it simply
+ * assumes threads do not share data (its Section 3), and its
+ * data-sharing study switches to a shared cache.  Real private-cache
+ * CMPs pay coherence traffic — write upgrades invalidate remote
+ * copies, and remote dirty lines must be written back (or forwarded)
+ * before another core may read them.  This substrate quantifies that
+ * cost so the model's no-sharing assumption can be checked.
+ *
+ * Protocol (line granularity, write-back, write-allocate):
+ *  - a dirty resident line is Modified, a clean one Shared;
+ *  - read miss: a remote Modified copy is downgraded to Shared and
+ *    its data written back (counted as coherence write-back); the
+ *    reader then fetches the line;
+ *  - write (hit or miss): every remote copy is invalidated (remote
+ *    Modified ones write back first); a Shared local hit counts an
+ *    upgrade.
+ */
+
+#ifndef BWWALL_CACHE_COHERENT_SYSTEM_HH
+#define BWWALL_CACHE_COHERENT_SYSTEM_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/set_assoc_cache.hh"
+#include "trace/access.hh"
+
+namespace bwwall {
+
+/** Coherence-event counters. */
+struct CoherenceStats
+{
+    /** Remote copies invalidated by writes. */
+    std::uint64_t invalidations = 0;
+
+    /** Local Shared lines upgraded by a write hit. */
+    std::uint64_t upgrades = 0;
+
+    /** Remote Modified lines downgraded by a read. */
+    std::uint64_t downgrades = 0;
+
+    /** Write backs forced by coherence (not capacity). */
+    std::uint64_t coherenceWritebacks = 0;
+
+    /** Bytes of coherence-induced off-chip traffic. */
+    std::uint64_t coherenceBytes = 0;
+};
+
+/** N private write-back caches kept coherent by snooping MSI. */
+class CoherentCacheSystem
+{
+  public:
+    /**
+     * @param cores Number of private caches.
+     * @param cache_config Per-core cache parameters.
+     */
+    CoherentCacheSystem(unsigned cores,
+                        const CacheConfig &cache_config);
+
+    /** Routes one access (by its thread id) through the protocol. */
+    AccessOutcome access(const MemoryAccess &request);
+
+    unsigned cores() const
+    {
+        return static_cast<unsigned>(caches_.size());
+    }
+
+    SetAssociativeCache &cache(unsigned core);
+    const SetAssociativeCache &cache(unsigned core) const;
+
+    const CoherenceStats &coherenceStats() const { return stats_; }
+
+    /**
+     * Total off-chip traffic: per-cache fills and capacity write
+     * backs plus coherence write backs.
+     */
+    std::uint64_t memoryTrafficBytes() const;
+
+    /** Zeroes cache and coherence statistics (contents kept). */
+    void resetStats();
+
+  private:
+    std::uint32_t lineBytes_;
+    std::vector<std::unique_ptr<SetAssociativeCache>> caches_;
+    CoherenceStats stats_;
+};
+
+} // namespace bwwall
+
+#endif // BWWALL_CACHE_COHERENT_SYSTEM_HH

@@ -1,0 +1,217 @@
+#include "cache/compressed_cache.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace bwwall {
+
+CompressedCache::CompressedCache(const CompressedCacheConfig &config,
+                                 SizeFunction size_function)
+    : config_(config), sizeFunction_(std::move(size_function))
+{
+    if (!isPowerOfTwo(config_.lineBytes))
+        fatal("compressed cache line size must be a power of two");
+    if (!isPowerOfTwo(config_.segmentBytes) ||
+        config_.segmentBytes > config_.lineBytes) {
+        fatal("segment size must be a power of two no larger than the "
+              "line");
+    }
+    if (config_.baseWays == 0 || config_.tagFactor == 0)
+        fatal("compressed cache needs positive ways and tag factor");
+    if (!sizeFunction_)
+        fatal("compressed cache requires a size function");
+
+    const std::uint64_t total_lines =
+        config_.capacityBytes / config_.lineBytes;
+    if (total_lines == 0 || total_lines % config_.baseWays != 0)
+        fatal("baseWays must divide the uncompressed line count");
+    numSets_ = total_lines / config_.baseWays;
+    if (!isPowerOfTwo(numSets_))
+        fatal("compressed cache must have a power-of-two set count");
+
+    tagsPerSet_ = config_.baseWays * config_.tagFactor;
+    setBudgetBytes_ =
+        std::uint64_t{config_.baseWays} * config_.lineBytes;
+    lineShift_ = floorLog2(config_.lineBytes);
+    entries_.assign(numSets_ * tagsPerSet_, Entry{});
+}
+
+std::uint64_t
+CompressedCache::setIndex(Address line_number) const
+{
+    return line_number & (numSets_ - 1);
+}
+
+Address
+CompressedCache::tagOf(Address line_number) const
+{
+    return line_number / numSets_;
+}
+
+std::uint32_t
+CompressedCache::segmentRounded(std::uint32_t bytes) const
+{
+    if (bytes == 0)
+        bytes = 1;
+    if (bytes > config_.lineBytes)
+        bytes = config_.lineBytes;
+    const std::uint32_t segments =
+        (bytes + config_.segmentBytes - 1) / config_.segmentBytes;
+    return segments * config_.segmentBytes;
+}
+
+std::uint64_t
+CompressedCache::setUsedBytes(std::uint64_t set) const
+{
+    std::uint64_t used = 0;
+    for (std::uint32_t slot = 0; slot < tagsPerSet_; ++slot) {
+        const Entry &entry = entries_[set * tagsPerSet_ + slot];
+        if (entry.valid)
+            used += entry.storedBytes;
+    }
+    return used;
+}
+
+CompressedCache::Entry *
+CompressedCache::findEntry(std::uint64_t set, Address tag)
+{
+    for (std::uint32_t slot = 0; slot < tagsPerSet_; ++slot) {
+        Entry &entry = entries_[set * tagsPerSet_ + slot];
+        if (entry.valid && entry.tag == tag)
+            return &entry;
+    }
+    return nullptr;
+}
+
+void
+CompressedCache::evictLru(std::uint64_t set)
+{
+    Entry *victim = nullptr;
+    for (std::uint32_t slot = 0; slot < tagsPerSet_; ++slot) {
+        Entry &entry = entries_[set * tagsPerSet_ + slot];
+        if (!entry.valid)
+            continue;
+        if (victim == nullptr || entry.lastUse < victim->lastUse)
+            victim = &entry;
+    }
+    if (victim == nullptr)
+        panic("evictLru called on an empty set");
+    ++stats_.evictions;
+    if (victim->dirty) {
+        ++stats_.writebacks;
+        stats_.bytesWrittenBack += config_.compressedLink
+            ? victim->storedBytes
+            : config_.lineBytes;
+    }
+    *victim = Entry{};
+}
+
+AccessOutcome
+CompressedCache::access(const MemoryAccess &request)
+{
+    AccessOutcome outcome;
+    ++stats_.accesses;
+    if (isWrite(request))
+        ++stats_.writes;
+    else
+        ++stats_.reads;
+
+    const Address line_number = request.address >> lineShift_;
+    const std::uint64_t set = setIndex(line_number);
+    const Address tag = tagOf(line_number);
+
+    if (Entry *entry = findEntry(set, tag)) {
+        outcome.hit = true;
+        ++stats_.hits;
+        entry->lastUse = ++clock_;
+        if (isWrite(request))
+            entry->dirty = true;
+        return outcome;
+    }
+
+    ++stats_.misses;
+    const Address line_address = line_number << lineShift_;
+    const std::uint32_t stored =
+        segmentRounded(sizeFunction_(line_address));
+
+    // Make room: need a free tag slot and enough data segments.
+    const std::uint64_t fetched_before = stats_.bytesWrittenBack;
+    for (;;) {
+        Entry *free_slot = nullptr;
+        for (std::uint32_t slot = 0; slot < tagsPerSet_; ++slot) {
+            Entry &entry = entries_[set * tagsPerSet_ + slot];
+            if (!entry.valid) {
+                free_slot = &entry;
+                break;
+            }
+        }
+        if (free_slot != nullptr &&
+            setUsedBytes(set) + stored <= setBudgetBytes_) {
+            free_slot->valid = true;
+            free_slot->tag = tag;
+            free_slot->dirty = isWrite(request);
+            free_slot->storedBytes = stored;
+            free_slot->lastUse = ++clock_;
+            break;
+        }
+        evictLru(set);
+    }
+    outcome.bytesWrittenBack =
+        stats_.bytesWrittenBack - fetched_before;
+    outcome.bytesFetched = config_.compressedLink
+        ? stored
+        : config_.lineBytes;
+    stats_.bytesFetched += outcome.bytesFetched;
+    return outcome;
+}
+
+bool
+CompressedCache::contains(Address address) const
+{
+    const Address line_number = address >> lineShift_;
+    const std::uint64_t set = setIndex(line_number);
+    const Address tag = tagOf(line_number);
+    for (std::uint32_t slot = 0; slot < tagsPerSet_; ++slot) {
+        const Entry &entry = entries_[set * tagsPerSet_ + slot];
+        if (entry.valid && entry.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+std::uint64_t
+CompressedCache::residentLines() const
+{
+    std::uint64_t count = 0;
+    for (const Entry &entry : entries_)
+        count += entry.valid;
+    return count;
+}
+
+std::uint64_t
+CompressedCache::maxSetUsedBytes() const
+{
+    std::uint64_t worst = 0;
+    for (std::uint64_t set = 0; set < numSets_; ++set)
+        worst = std::max(worst, setUsedBytes(set));
+    return worst;
+}
+
+double
+CompressedCache::residentCompressionRatio() const
+{
+    std::uint64_t stored = 0, uncompressed = 0;
+    for (const Entry &entry : entries_) {
+        if (entry.valid) {
+            stored += entry.storedBytes;
+            uncompressed += config_.lineBytes;
+        }
+    }
+    return stored == 0 ? 1.0
+                       : static_cast<double>(uncompressed) /
+                             static_cast<double>(stored);
+}
+
+} // namespace bwwall

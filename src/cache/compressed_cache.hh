@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Compressed cache model with a segmented data array.
+ *
+ * Follows the organisation of Alameldeen's compressed L2 (the paper's
+ * cache-compression citation [1]): each set keeps its uncompressed
+ * byte budget but can track up to tagFactor times more tags, and lines
+ * occupy only ceil(size / segment) segments of the data array.  The
+ * caller supplies each line's compressed size (measured, e.g., by the
+ * FPC compressor over synthetic contents), keeping the storage model
+ * independent of any particular compression algorithm.
+ *
+ * With compressedLink set, fetches and write backs also move only the
+ * compressed bytes — the paper's combined cache+link compression
+ * (Section 6.3); otherwise traffic moves whole lines and compression
+ * helps only by reducing the miss count (Section 6.1).
+ */
+
+#ifndef BWWALL_CACHE_COMPRESSED_CACHE_HH
+#define BWWALL_CACHE_COMPRESSED_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cache/cache_config.hh"
+#include "trace/access.hh"
+
+namespace bwwall {
+
+/** Static parameters of a CompressedCache. */
+struct CompressedCacheConfig
+{
+    /** Uncompressed data capacity in bytes. */
+    std::uint64_t capacityBytes = 4ULL * 1024 * 1024;
+
+    /** Line size in bytes; power of two. */
+    std::uint32_t lineBytes = 64;
+
+    /** Data-array segment granularity in bytes. */
+    std::uint32_t segmentBytes = 8;
+
+    /** Uncompressed ways per set (sets the per-set byte budget). */
+    std::uint32_t baseWays = 8;
+
+    /** Tag entries per set = baseWays * tagFactor. */
+    std::uint32_t tagFactor = 2;
+
+    /** When true, traffic moves compressed bytes (cache+link). */
+    bool compressedLink = false;
+};
+
+/** LRU compressed cache over caller-provided compressed sizes. */
+class CompressedCache
+{
+  public:
+    /** Returns a line's compressed size in bytes, <= lineBytes. */
+    using SizeFunction = std::function<std::uint32_t(Address)>;
+
+    CompressedCache(const CompressedCacheConfig &config,
+                    SizeFunction size_function);
+
+    /** Performs one access. */
+    AccessOutcome access(const MemoryAccess &request);
+
+    const CompressedCacheConfig &config() const { return config_; }
+    const CacheStats &stats() const { return stats_; }
+    void resetStats() { stats_.reset(); }
+
+    /** True when the line containing the address is resident. */
+    bool contains(Address address) const;
+
+    /** Valid tag entries currently held. */
+    std::uint64_t residentLines() const;
+
+    /**
+     * Mean resident compression ratio: uncompressed bytes of resident
+     * lines divided by their stored (segment-rounded) bytes.
+     */
+    double residentCompressionRatio() const;
+
+    /** Data-array byte budget of one set. */
+    std::uint64_t setBudgetBytes() const { return setBudgetBytes_; }
+
+    /** Tag entries per set. */
+    std::uint32_t tagsPerSet() const { return tagsPerSet_; }
+
+    std::uint64_t sets() const { return numSets_; }
+
+    /** Stored bytes currently occupied in the fullest set. */
+    std::uint64_t maxSetUsedBytes() const;
+
+  private:
+    struct Entry
+    {
+        Address tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint32_t storedBytes = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::uint64_t setIndex(Address line_number) const;
+    Address tagOf(Address line_number) const;
+    std::uint32_t segmentRounded(std::uint32_t bytes) const;
+    std::uint64_t setUsedBytes(std::uint64_t set) const;
+    void evictLru(std::uint64_t set);
+    Entry *findEntry(std::uint64_t set, Address tag);
+
+    CompressedCacheConfig config_;
+    SizeFunction sizeFunction_;
+    std::uint64_t numSets_;
+    std::uint32_t tagsPerSet_;
+    std::uint64_t setBudgetBytes_;
+    unsigned lineShift_;
+    std::uint64_t clock_ = 0;
+    std::vector<Entry> entries_;
+    CacheStats stats_;
+};
+
+} // namespace bwwall
+
+#endif // BWWALL_CACHE_COMPRESSED_CACHE_HH

@@ -1,0 +1,147 @@
+#include "cache/hierarchy.hh"
+
+#include "util/logging.hh"
+
+namespace bwwall {
+
+CacheHierarchy::CacheHierarchy(const HierarchyConfig &config)
+    : config_(config)
+{
+    if (config_.cores == 0)
+        fatal("hierarchy requires at least one core");
+
+    if (config_.l1Enabled) {
+        for (unsigned core = 0; core < config_.cores; ++core) {
+            CacheConfig l1_config = config_.l1;
+            l1_config.seed = config_.l1.seed + core;
+            l1s_.push_back(
+                std::make_unique<SetAssociativeCache>(l1_config));
+        }
+    }
+
+    const unsigned l2_count = config_.sharedL2 ? 1 : config_.cores;
+    for (unsigned index = 0; index < l2_count; ++index) {
+        CacheConfig l2_config = config_.l2;
+        l2_config.seed = config_.l2.seed + index;
+        l2s_.push_back(
+            std::make_unique<SetAssociativeCache>(l2_config));
+    }
+}
+
+SetAssociativeCache &
+CacheHierarchy::l1(unsigned core)
+{
+    if (!config_.l1Enabled)
+        fatal("hierarchy has no L1 caches");
+    if (core >= l1s_.size())
+        fatal("L1 core index out of range: ", core);
+    return *l1s_[core];
+}
+
+SetAssociativeCache &
+CacheHierarchy::l2(unsigned core)
+{
+    if (config_.sharedL2)
+        return *l2s_[0];
+    if (core >= l2s_.size())
+        fatal("L2 core index out of range: ", core);
+    return *l2s_[core];
+}
+
+const SetAssociativeCache &
+CacheHierarchy::l2(unsigned core) const
+{
+    if (config_.sharedL2)
+        return *l2s_[0];
+    if (core >= l2s_.size())
+        fatal("L2 core index out of range: ", core);
+    return *l2s_[core];
+}
+
+SetAssociativeCache &
+CacheHierarchy::l2ForThread(ThreadId thread)
+{
+    return l2(config_.sharedL2 ? 0u : thread % config_.cores);
+}
+
+HierarchyOutcome
+CacheHierarchy::access(const MemoryAccess &request)
+{
+    HierarchyOutcome outcome;
+    SetAssociativeCache &l2_cache = l2ForThread(request.thread);
+
+    bool need_l2_fill = true;
+    if (config_.l1Enabled) {
+        SetAssociativeCache &l1_cache =
+            l1(request.thread % config_.cores);
+
+        // Collect dirty L1 victims to forward to the L2 as writes.
+        std::vector<Address> dirty_victims;
+        l1_cache.setEvictionCallback(
+            [&dirty_victims](const EvictionRecord &record) {
+                if (record.dirty)
+                    dirty_victims.push_back(record.lineAddress);
+            });
+        const AccessOutcome l1_outcome = l1_cache.access(request);
+        l1_cache.setEvictionCallback(nullptr);
+
+        outcome.l1Hit = l1_outcome.hit;
+        need_l2_fill = !l1_outcome.hit;
+
+        for (const Address victim : dirty_victims) {
+            MemoryAccess writeback;
+            writeback.address = victim;
+            writeback.type = AccessType::Write;
+            writeback.thread = request.thread;
+            l2_cache.access(writeback);
+        }
+    }
+
+    if (need_l2_fill) {
+        // With a write-allocate L1 in front, the store data stays in
+        // the L1; the L2 only services a fill read.
+        MemoryAccess fill = request;
+        if (config_.l1Enabled)
+            fill.type = AccessType::Read;
+        const AccessOutcome l2_outcome = l2_cache.access(fill);
+        outcome.l2Hit = l2_outcome.hit;
+        outcome.memoryBytes =
+            l2_outcome.bytesFetched + l2_outcome.bytesWrittenBack;
+    }
+    return outcome;
+}
+
+std::uint64_t
+CacheHierarchy::memoryBytesFetched() const
+{
+    std::uint64_t total = 0;
+    for (const auto &cache : l2s_)
+        total += cache->stats().bytesFetched;
+    return total;
+}
+
+std::uint64_t
+CacheHierarchy::memoryBytesWrittenBack() const
+{
+    std::uint64_t total = 0;
+    for (const auto &cache : l2s_)
+        total += cache->stats().bytesWrittenBack;
+    return total;
+}
+
+std::uint64_t
+CacheHierarchy::memoryTrafficBytes() const
+{
+    return memoryBytesFetched() + memoryBytesWrittenBack();
+}
+
+void
+CacheHierarchy::resetStats()
+{
+    for (const auto &cache : l1s_)
+        cache->resetStats();
+    for (const auto &cache : l2s_)
+        cache->resetStats();
+}
+
+} // namespace bwwall

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Multi-core cache hierarchy: optional private L1s in front of a
+ * shared or private L2, with off-chip traffic accounting.
+ *
+ * The paper's base configuration is private per-core L2s with no data
+ * sharing (its Section 3); the data-sharing study (its Section 6.3 and
+ * Figure 14) uses a shared L2.  Both arrangements are supported.
+ */
+
+#ifndef BWWALL_CACHE_HIERARCHY_HH
+#define BWWALL_CACHE_HIERARCHY_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/set_assoc_cache.hh"
+#include "trace/access.hh"
+
+namespace bwwall {
+
+/** Static parameters of a CacheHierarchy. */
+struct HierarchyConfig
+{
+    /** Number of cores; accesses route by their thread id. */
+    unsigned cores = 1;
+
+    /** Whether each core has a private L1 in front of the L2. */
+    bool l1Enabled = false;
+
+    /** Per-core L1 parameters (used when l1Enabled). */
+    CacheConfig l1;
+
+    /** Whether the L2 is shared by all cores (else one per core). */
+    bool sharedL2 = true;
+
+    /**
+     * L2 parameters.  For private L2s this is the *per-core* cache;
+     * for a shared L2 it is the whole cache.
+     */
+    CacheConfig l2;
+};
+
+/** What one hierarchy access did, summed over all levels. */
+struct HierarchyOutcome
+{
+    bool l1Hit = false;
+    bool l2Hit = false;
+    /** Bytes moved from memory by this access (fills + writebacks). */
+    std::uint64_t memoryBytes = 0;
+};
+
+/** Two-level multi-core cache hierarchy. */
+class CacheHierarchy
+{
+  public:
+    explicit CacheHierarchy(const HierarchyConfig &config);
+
+    /** Routes one access through the hierarchy. */
+    HierarchyOutcome access(const MemoryAccess &request);
+
+    const HierarchyConfig &config() const { return config_; }
+
+    /** Per-core L1 (must be enabled). */
+    SetAssociativeCache &l1(unsigned core);
+
+    /** The shared L2, or core's private L2. */
+    SetAssociativeCache &l2(unsigned core = 0);
+    const SetAssociativeCache &l2(unsigned core = 0) const;
+
+    /** Total bytes fetched from off-chip memory. */
+    std::uint64_t memoryBytesFetched() const;
+
+    /** Total bytes written back to off-chip memory. */
+    std::uint64_t memoryBytesWrittenBack() const;
+
+    /** Total off-chip traffic (fetched + written back). */
+    std::uint64_t memoryTrafficBytes() const;
+
+    /** Zeroes statistics at every level (contents stay warm). */
+    void resetStats();
+
+  private:
+    SetAssociativeCache &l2ForThread(ThreadId thread);
+
+    HierarchyConfig config_;
+    std::vector<std::unique_ptr<SetAssociativeCache>> l1s_;
+    std::vector<std::unique_ptr<SetAssociativeCache>> l2s_;
+};
+
+} // namespace bwwall
+
+#endif // BWWALL_CACHE_HIERARCHY_HH

@@ -1,0 +1,63 @@
+#include "cache/miss_curve.hh"
+
+#include "cache/set_assoc_cache.hh"
+#include "util/logging.hh"
+
+namespace bwwall {
+
+std::vector<MissCurvePoint>
+measureMissCurve(TraceSource &trace, const MissCurveSweepParams &params)
+{
+    if (params.capacities.empty())
+        fatal("miss-curve sweep requires at least one capacity");
+
+    std::vector<MissCurvePoint> points;
+    points.reserve(params.capacities.size());
+    for (const std::uint64_t capacity : params.capacities) {
+        CacheConfig config = params.cacheTemplate;
+        config.capacityBytes = capacity;
+        SetAssociativeCache cache(config);
+
+        trace.reset();
+        for (std::uint64_t i = 0; i < params.warmupAccesses; ++i)
+            cache.access(trace.next());
+        cache.resetStats();
+        for (std::uint64_t i = 0; i < params.measuredAccesses; ++i)
+            cache.access(trace.next());
+
+        MissCurvePoint point;
+        point.capacityBytes = capacity;
+        point.missRate = cache.stats().missRate();
+        point.writebackRatio = cache.stats().writebackRatio();
+        point.trafficBytesPerAccess =
+            cache.stats().trafficBytesPerAccess();
+        points.push_back(point);
+    }
+    return points;
+}
+
+PowerLawFit
+fitMissCurve(const std::vector<MissCurvePoint> &points)
+{
+    std::vector<double> sizes, rates;
+    sizes.reserve(points.size());
+    rates.reserve(points.size());
+    for (const MissCurvePoint &point : points) {
+        sizes.push_back(static_cast<double>(point.capacityBytes));
+        rates.push_back(point.missRate);
+    }
+    return fitPowerLaw(sizes, rates);
+}
+
+std::vector<std::uint64_t>
+capacityLadder(std::uint64_t from, std::uint64_t to)
+{
+    if (from == 0 || from > to)
+        fatal("capacityLadder requires 0 < from <= to");
+    std::vector<std::uint64_t> ladder;
+    for (std::uint64_t capacity = from; capacity <= to; capacity *= 2)
+        ladder.push_back(capacity);
+    return ladder;
+}
+
+} // namespace bwwall

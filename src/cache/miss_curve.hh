@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Miss-curve measurement: replays one trace against a ladder of cache
+ * sizes and fits the power law of cache misses, reproducing the
+ * methodology behind the paper's Figure 1.
+ */
+
+#ifndef BWWALL_CACHE_MISS_CURVE_HH
+#define BWWALL_CACHE_MISS_CURVE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache_config.hh"
+#include "trace/trace_source.hh"
+#include "util/linear_fit.hh"
+
+namespace bwwall {
+
+/** One measured point of a miss curve. */
+struct MissCurvePoint
+{
+    std::uint64_t capacityBytes = 0;
+    double missRate = 0.0;
+    /** Write backs per miss at this size (paper's rwb). */
+    double writebackRatio = 0.0;
+    /** Off-chip bytes per access at this size. */
+    double trafficBytesPerAccess = 0.0;
+};
+
+/** Parameters of a miss-curve sweep. */
+struct MissCurveSweepParams
+{
+    /** Cache sizes to measure, in bytes. */
+    std::vector<std::uint64_t> capacities;
+
+    /** Template for every cache (capacityBytes is overwritten). */
+    CacheConfig cacheTemplate;
+
+    /** Accesses replayed to warm each cache before measuring. */
+    std::uint64_t warmupAccesses = 400000;
+
+    /** Accesses measured after warm-up. */
+    std::uint64_t measuredAccesses = 1200000;
+};
+
+/**
+ * Measures the miss curve of a trace.  The trace is reset before each
+ * cache size so every size observes the byte-identical reference
+ * stream.
+ */
+std::vector<MissCurvePoint> measureMissCurve(
+    TraceSource &trace, const MissCurveSweepParams &params);
+
+/**
+ * Fits miss rate = c * capacity^-alpha over the measured points;
+ * `-fit.exponent` is the paper's alpha.
+ */
+PowerLawFit fitMissCurve(const std::vector<MissCurvePoint> &points);
+
+/** Geometric ladder of capacities: from, from*2, ..., to (inclusive). */
+std::vector<std::uint64_t> capacityLadder(std::uint64_t from,
+                                          std::uint64_t to);
+
+} // namespace bwwall
+
+#endif // BWWALL_CACHE_MISS_CURVE_HH

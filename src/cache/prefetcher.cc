@@ -1,0 +1,102 @@
+#include "cache/prefetcher.hh"
+
+#include "trace/hashing.hh"
+#include "util/logging.hh"
+
+namespace bwwall {
+
+Prefetcher::Prefetcher(SetAssociativeCache &cache,
+                       const PrefetcherConfig &config)
+    : cache_(cache), config_(config)
+{
+    if (config_.degree == 0)
+        fatal("prefetcher requires a positive degree");
+    if (config_.kind == PrefetcherKind::Stride) {
+        if (config_.strideTableEntries == 0)
+            fatal("stride prefetcher requires table entries");
+        strideTable_.assign(config_.strideTableEntries,
+                            StrideEntry{});
+    }
+}
+
+void
+Prefetcher::issueAt(Address line_address)
+{
+    ++stats_.issued;
+    stats_.bytesFetched += cache_.insertPrefetch(line_address);
+}
+
+void
+Prefetcher::triggerNextLine(Address address)
+{
+    const std::uint32_t line_bytes = cache_.config().lineBytes;
+    const Address line = address & ~Address{line_bytes - 1};
+    for (unsigned i = 1; i <= config_.degree; ++i)
+        issueAt(line + Address{i} * line_bytes);
+}
+
+void
+Prefetcher::triggerStride(Address address)
+{
+    // Streams are tracked per 4 KiB region (no PCs in the traces).
+    const Address region = address >> 12;
+    const std::size_t index = static_cast<std::size_t>(
+        mix64(region) % strideTable_.size());
+    StrideEntry &entry = strideTable_[index];
+    ++useClock_;
+
+    if (!entry.valid) {
+        entry.valid = true;
+        entry.lastAddress = address;
+        entry.stride = 0;
+        entry.confidence = 0;
+        entry.lastUse = useClock_;
+        return;
+    }
+
+    const auto stride = static_cast<std::int64_t>(address) -
+        static_cast<std::int64_t>(entry.lastAddress);
+    if (stride != 0 && stride == entry.stride) {
+        if (entry.confidence < config_.strideConfidence)
+            ++entry.confidence;
+    } else {
+        entry.stride = stride;
+        entry.confidence = 0;
+    }
+    entry.lastAddress = address;
+    entry.lastUse = useClock_;
+
+    if (entry.confidence < config_.strideConfidence ||
+        entry.stride == 0) {
+        return;
+    }
+    const std::uint32_t line_bytes = cache_.config().lineBytes;
+    for (unsigned i = 1; i <= config_.degree; ++i) {
+        const auto target = static_cast<std::int64_t>(address) +
+            entry.stride * static_cast<std::int64_t>(i);
+        if (target < 0)
+            break;
+        issueAt(static_cast<Address>(target) &
+                ~Address{line_bytes - 1});
+    }
+}
+
+void
+Prefetcher::observe(const MemoryAccess &access,
+                    const AccessOutcome &outcome)
+{
+    // Trigger on demand misses (the usual miss-driven designs).
+    if (outcome.hit)
+        return;
+    ++stats_.triggers;
+    switch (config_.kind) {
+      case PrefetcherKind::NextLine:
+        triggerNextLine(access.address);
+        break;
+      case PrefetcherKind::Stride:
+        triggerStride(access.address);
+        break;
+    }
+}
+
+} // namespace bwwall

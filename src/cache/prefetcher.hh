@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Hardware prefetchers for the cache model.
+ *
+ * Prefetching is the classic bandwidth *consumer*: it trades off-chip
+ * traffic for latency, which is exactly the currency the bandwidth
+ * wall rations.  Two standard designs are provided — a next-N-line
+ * prefetcher and a stride prefetcher keyed by access history — so the
+ * accuracy/traffic trade-off can be measured against the wall
+ * (`bench/ext_prefetch_traffic`).
+ */
+
+#ifndef BWWALL_CACHE_PREFETCHER_HH
+#define BWWALL_CACHE_PREFETCHER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/set_assoc_cache.hh"
+
+namespace bwwall {
+
+/** Which prefetch pattern generator to use. */
+enum class PrefetcherKind : std::uint8_t
+{
+    NextLine, ///< fetch the next `degree` sequential lines on a miss
+    Stride,   ///< detect constant strides in the miss stream
+};
+
+/** Static parameters of a Prefetcher. */
+struct PrefetcherConfig
+{
+    PrefetcherKind kind = PrefetcherKind::NextLine;
+
+    /** Lines prefetched per trigger. */
+    unsigned degree = 2;
+
+    /** Stride table entries (stride prefetcher only). */
+    unsigned strideTableEntries = 16;
+
+    /** Confirmations before a stride starts prefetching. */
+    unsigned strideConfidence = 2;
+};
+
+/** Prefetcher statistics (issuance side; see CacheStats for use). */
+struct PrefetcherStats
+{
+    /** Demand misses that triggered the prefetcher. */
+    std::uint64_t triggers = 0;
+
+    /** Prefetches issued (including already-resident no-ops). */
+    std::uint64_t issued = 0;
+
+    /** Bytes the prefetcher pulled from the next level. */
+    std::uint64_t bytesFetched = 0;
+};
+
+/**
+ * Drives a SetAssociativeCache's insertPrefetch from its demand
+ * stream.  Call observe() after every demand access.
+ */
+class Prefetcher
+{
+  public:
+    Prefetcher(SetAssociativeCache &cache,
+               const PrefetcherConfig &config);
+
+    /**
+     * Feeds one demand access and its outcome; misses trigger
+     * pattern detection and prefetch issue.
+     */
+    void observe(const MemoryAccess &access,
+                 const AccessOutcome &outcome);
+
+    const PrefetcherConfig &config() const { return config_; }
+    const PrefetcherStats &stats() const { return stats_; }
+
+    void resetStats() { stats_ = PrefetcherStats{}; }
+
+  private:
+    void issueAt(Address line_address);
+    void triggerNextLine(Address address);
+    void triggerStride(Address address);
+
+    struct StrideEntry
+    {
+        bool valid = false;
+        Address lastAddress = 0;
+        std::int64_t stride = 0;
+        unsigned confidence = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    SetAssociativeCache &cache_;
+    PrefetcherConfig config_;
+    PrefetcherStats stats_;
+    std::vector<StrideEntry> strideTable_;
+    std::uint64_t useClock_ = 0;
+};
+
+} // namespace bwwall
+
+#endif // BWWALL_CACHE_PREFETCHER_HH

@@ -1,0 +1,163 @@
+#include "cache/replacement.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace bwwall {
+
+std::string
+replacementKindName(ReplacementKind kind)
+{
+    switch (kind) {
+      case ReplacementKind::LRU:
+        return "lru";
+      case ReplacementKind::TreePLRU:
+        return "tree-plru";
+      case ReplacementKind::FIFO:
+        return "fifo";
+      case ReplacementKind::Random:
+        return "random";
+    }
+    panic("unknown replacement kind");
+}
+
+namespace {
+
+/** Exact LRU via per-way timestamps. */
+class LruPolicy : public ReplacementPolicy
+{
+  public:
+    explicit LruPolicy(unsigned ways) : lastUse_(ways, 0) {}
+
+    void onInsert(unsigned way) override { lastUse_[way] = ++clock_; }
+    void onAccess(unsigned way) override { lastUse_[way] = ++clock_; }
+
+    unsigned
+    victimWay() override
+    {
+        unsigned victim = 0;
+        for (unsigned way = 1; way < lastUse_.size(); ++way) {
+            if (lastUse_[way] < lastUse_[victim])
+                victim = way;
+        }
+        return victim;
+    }
+
+  private:
+    std::vector<std::uint64_t> lastUse_;
+    std::uint64_t clock_ = 0;
+};
+
+/**
+ * Binary-tree pseudo-LRU.  Requires a power-of-two way count; each
+ * internal node bit points away from the most recent traversal.
+ */
+class TreePlruPolicy : public ReplacementPolicy
+{
+  public:
+    explicit TreePlruPolicy(unsigned ways)
+        : ways_(ways), bits_(ways, false)
+    {
+        if (!isPowerOfTwo(ways))
+            fatal("tree-plru requires power-of-two associativity, got ",
+                  ways);
+    }
+
+    void onInsert(unsigned way) override { markRecent(way); }
+    void onAccess(unsigned way) override { markRecent(way); }
+
+    unsigned
+    victimWay() override
+    {
+        // Follow the plru bits from the root to a leaf.
+        unsigned node = 1;
+        while (node < ways_)
+            node = node * 2 + (bits_[node] ? 1 : 0);
+        return node - ways_;
+    }
+
+  private:
+    void
+    markRecent(unsigned way)
+    {
+        // Flip each ancestor to point away from this leaf.
+        unsigned node = way + ways_;
+        while (node > 1) {
+            const unsigned parent = node / 2;
+            bits_[parent] = (node % 2 == 0);
+            node = parent;
+        }
+    }
+
+    unsigned ways_;
+    std::vector<bool> bits_; // heap-indexed internal nodes [1, ways)
+};
+
+/** FIFO: victim rotates through ways in insertion order. */
+class FifoPolicy : public ReplacementPolicy
+{
+  public:
+    explicit FifoPolicy(unsigned ways) : inserted_(ways, 0) {}
+
+    void onInsert(unsigned way) override { inserted_[way] = ++clock_; }
+    void onAccess(unsigned) override {}
+
+    unsigned
+    victimWay() override
+    {
+        unsigned victim = 0;
+        for (unsigned way = 1; way < inserted_.size(); ++way) {
+            if (inserted_[way] < inserted_[victim])
+                victim = way;
+        }
+        return victim;
+    }
+
+  private:
+    std::vector<std::uint64_t> inserted_;
+    std::uint64_t clock_ = 0;
+};
+
+/** Uniform random victim. */
+class RandomPolicy : public ReplacementPolicy
+{
+  public:
+    RandomPolicy(unsigned ways, Rng &rng) : ways_(ways), rng_(rng) {}
+
+    void onInsert(unsigned) override {}
+    void onAccess(unsigned) override {}
+
+    unsigned
+    victimWay() override
+    {
+        return static_cast<unsigned>(rng_.nextBounded(ways_));
+    }
+
+  private:
+    unsigned ways_;
+    Rng &rng_;
+};
+
+} // namespace
+
+std::unique_ptr<ReplacementPolicy>
+makeReplacementPolicy(ReplacementKind kind, unsigned ways, Rng &rng)
+{
+    if (ways == 0)
+        fatal("replacement policy requires at least one way");
+    switch (kind) {
+      case ReplacementKind::LRU:
+        return std::make_unique<LruPolicy>(ways);
+      case ReplacementKind::TreePLRU:
+        return std::make_unique<TreePlruPolicy>(ways);
+      case ReplacementKind::FIFO:
+        return std::make_unique<FifoPolicy>(ways);
+      case ReplacementKind::Random:
+        return std::make_unique<RandomPolicy>(ways, rng);
+    }
+    panic("unknown replacement kind");
+}
+
+} // namespace bwwall

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Per-set replacement policies for the set-associative cache model.
+ */
+
+#ifndef BWWALL_CACHE_REPLACEMENT_HH
+#define BWWALL_CACHE_REPLACEMENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace bwwall {
+
+/** Available replacement policies. */
+enum class ReplacementKind : std::uint8_t
+{
+    LRU,      ///< exact least-recently-used
+    TreePLRU, ///< binary-tree pseudo-LRU
+    FIFO,     ///< first-in first-out (insertion order)
+    Random,   ///< uniform random victim
+};
+
+/** Returns the canonical short name of a policy. */
+std::string replacementKindName(ReplacementKind kind);
+
+/**
+ * Replacement state for one cache set.
+ *
+ * The cache calls onInsert when a way is (re)filled, onAccess on every
+ * hit, and victimWay when it needs a way to evict.  Implementations
+ * are small fixed-size structures; one instance exists per set.
+ */
+class ReplacementPolicy
+{
+  public:
+    virtual ~ReplacementPolicy() = default;
+
+    /** Notes that the way was just filled with a new line. */
+    virtual void onInsert(unsigned way) = 0;
+
+    /** Notes a hit on the way. */
+    virtual void onAccess(unsigned way) = 0;
+
+    /** Chooses the way to evict next. */
+    virtual unsigned victimWay() = 0;
+};
+
+/**
+ * Creates a policy instance for one set.
+ *
+ * @param kind Which policy.
+ * @param ways Set associativity (>= 1).
+ * @param rng Shared generator used by the Random policy; must outlive
+ * the returned object.
+ */
+std::unique_ptr<ReplacementPolicy> makeReplacementPolicy(
+    ReplacementKind kind, unsigned ways, Rng &rng);
+
+} // namespace bwwall
+
+#endif // BWWALL_CACHE_REPLACEMENT_HH

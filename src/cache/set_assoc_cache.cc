@@ -1,0 +1,332 @@
+#include "cache/set_assoc_cache.hh"
+
+#include <bit>
+
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace bwwall {
+
+SetAssociativeCache::SetAssociativeCache(const CacheConfig &config)
+    : config_(config), rng_(config.seed)
+{
+    if (!isPowerOfTwo(config_.lineBytes))
+        fatal("cache line size must be a power of two, got ",
+              config_.lineBytes);
+    if (config_.capacityBytes == 0 ||
+        config_.capacityBytes % config_.lineBytes != 0) {
+        fatal("cache capacity must be a positive multiple of the line "
+              "size");
+    }
+    lineShift_ = floorLog2(config_.lineBytes);
+
+    const std::uint64_t total_lines = config_.lines();
+    ways_ = config_.associativity == 0
+                ? static_cast<std::uint32_t>(total_lines)
+                : config_.associativity;
+    if (ways_ == 0 || total_lines % ways_ != 0)
+        fatal("associativity must divide the line count");
+    numSets_ = total_lines / ways_;
+    if (!isPowerOfTwo(numSets_))
+        fatal("cache must have a power-of-two set count, got ",
+              numSets_);
+
+    if (config_.sectored) {
+        if (!isPowerOfTwo(config_.sectorBytes) ||
+            config_.sectorBytes > config_.lineBytes) {
+            fatal("sector size must be a power of two no larger than "
+                  "the line");
+        }
+        sectorsPerLine_ = config_.lineBytes / config_.sectorBytes;
+        if (sectorsPerLine_ > 32)
+            fatal("at most 32 sectors per line are supported");
+    } else {
+        sectorsPerLine_ = 1;
+    }
+    fullSectorMask_ = sectorsPerLine_ >= 32
+                          ? ~std::uint32_t{0}
+                          : ((std::uint32_t{1} << sectorsPerLine_) - 1);
+
+    lines_.assign(numSets_ * ways_, LineState{});
+    replacement_.reserve(numSets_);
+    for (std::uint64_t set = 0; set < numSets_; ++set) {
+        replacement_.push_back(
+            makeReplacementPolicy(config_.replacement, ways_, rng_));
+    }
+}
+
+std::uint64_t
+SetAssociativeCache::setIndex(Address line_number) const
+{
+    return line_number & (numSets_ - 1);
+}
+
+Address
+SetAssociativeCache::tagOf(Address line_number) const
+{
+    return line_number / numSets_;
+}
+
+SetAssociativeCache::LineState &
+SetAssociativeCache::line(std::uint64_t set, unsigned way)
+{
+    return lines_[set * ways_ + way];
+}
+
+const SetAssociativeCache::LineState &
+SetAssociativeCache::line(std::uint64_t set, unsigned way) const
+{
+    return lines_[set * ways_ + way];
+}
+
+std::uint32_t
+SetAssociativeCache::sectorBit(Address address) const
+{
+    if (!config_.sectored)
+        return 1;
+    const Address offset = address & (config_.lineBytes - 1);
+    return std::uint32_t{1} << (offset / config_.sectorBytes);
+}
+
+void
+SetAssociativeCache::setEvictionCallback(EvictionCallback callback)
+{
+    evictionCallback_ = std::move(callback);
+}
+
+void
+SetAssociativeCache::evict(std::uint64_t set, unsigned way)
+{
+    LineState &state = line(set, way);
+    if (!state.valid)
+        return;
+    const bool dirty = state.sectorDirtyMask != 0;
+    if (state.prefetched)
+        ++stats_.uselessPrefetches; // never touched by a demand hit
+    ++stats_.evictions;
+    if (dirty) {
+        ++stats_.writebacks;
+        // Only dirty sectors travel back; whole line when unsectored.
+        const auto dirty_sectors = static_cast<std::uint64_t>(
+            std::popcount(state.sectorDirtyMask));
+        stats_.bytesWrittenBack += config_.sectored
+            ? dirty_sectors * config_.sectorBytes
+            : config_.lineBytes;
+    }
+    if (evictionCallback_) {
+        EvictionRecord record;
+        record.lineAddress =
+            ((state.tag * numSets_) | set) << lineShift_;
+        record.dirty = dirty;
+        record.sharerCount = static_cast<unsigned>(
+            std::popcount(state.sharerMask));
+        evictionCallback_(record);
+    }
+    state = LineState{};
+}
+
+AccessOutcome
+SetAssociativeCache::access(const MemoryAccess &request)
+{
+    AccessOutcome outcome;
+    ++stats_.accesses;
+    if (isWrite(request))
+        ++stats_.writes;
+    else
+        ++stats_.reads;
+
+    const Address line_number = request.address >> lineShift_;
+    const std::uint64_t set = setIndex(line_number);
+    const Address tag = tagOf(line_number);
+    const std::uint32_t sector = sectorBit(request.address);
+    const std::uint64_t sharer_bit =
+        std::uint64_t{1} << (request.thread & 63);
+
+    // Hit check.
+    for (unsigned way = 0; way < ways_; ++way) {
+        LineState &state = line(set, way);
+        if (!state.valid || state.tag != tag)
+            continue;
+        outcome.hit = true;
+        ++stats_.hits;
+        replacement_[set]->onAccess(way);
+        state.sharerMask |= sharer_bit;
+        if (state.prefetched) {
+            state.prefetched = false;
+            ++stats_.usefulPrefetches;
+        }
+        if ((state.sectorValidMask & sector) == 0) {
+            // Resident line, absent sector: fetch just the sector.
+            ++stats_.sectorMisses;
+            outcome.sectorFill = true;
+            outcome.bytesFetched = config_.sectorBytes;
+            stats_.bytesFetched += config_.sectorBytes;
+            state.sectorValidMask |= sector;
+        }
+        if (isWrite(request))
+            state.sectorDirtyMask |= sector;
+        return outcome;
+    }
+
+    // Miss.
+    ++stats_.misses;
+    if (isWrite(request) &&
+        config_.writeAllocate == WriteAllocate::NoAllocate) {
+        // Write-around: the store goes straight to the next level.
+        constexpr std::uint64_t store_bytes = 8;
+        outcome.bytesWrittenBack = store_bytes;
+        stats_.bytesWrittenBack += store_bytes;
+        return outcome;
+    }
+
+    // Choose a way: an invalid one if available, else the victim.
+    unsigned fill_way = ways_;
+    for (unsigned way = 0; way < ways_; ++way) {
+        if (!line(set, way).valid) {
+            fill_way = way;
+            break;
+        }
+    }
+    if (fill_way == ways_) {
+        fill_way = replacement_[set]->victimWay();
+        const std::uint64_t written_before = stats_.bytesWrittenBack;
+        evict(set, fill_way);
+        outcome.bytesWrittenBack =
+            stats_.bytesWrittenBack - written_before;
+    }
+
+    LineState &state = line(set, fill_way);
+    state.valid = true;
+    state.tag = tag;
+    state.sharerMask = sharer_bit;
+    if (config_.sectored) {
+        state.sectorValidMask = sector;
+        outcome.bytesFetched = config_.sectorBytes;
+    } else {
+        state.sectorValidMask = fullSectorMask_;
+        outcome.bytesFetched = config_.lineBytes;
+    }
+    state.sectorDirtyMask = isWrite(request) ? sector : 0;
+    stats_.bytesFetched += outcome.bytesFetched;
+    replacement_[set]->onInsert(fill_way);
+    return outcome;
+}
+
+std::uint64_t
+SetAssociativeCache::insertPrefetch(Address address)
+{
+    const Address line_number = address >> lineShift_;
+    const std::uint64_t set = setIndex(line_number);
+    const Address tag = tagOf(line_number);
+
+    for (unsigned way = 0; way < ways_; ++way) {
+        if (line(set, way).valid && line(set, way).tag == tag)
+            return 0; // already resident: nothing to do
+    }
+
+    unsigned fill_way = ways_;
+    for (unsigned way = 0; way < ways_; ++way) {
+        if (!line(set, way).valid) {
+            fill_way = way;
+            break;
+        }
+    }
+    if (fill_way == ways_) {
+        fill_way = replacement_[set]->victimWay();
+        evict(set, fill_way);
+    }
+
+    LineState &state = line(set, fill_way);
+    state.valid = true;
+    state.tag = tag;
+    state.sectorValidMask = fullSectorMask_;
+    state.sectorDirtyMask = 0;
+    state.sharerMask = 0;
+    state.prefetched = true;
+    replacement_[set]->onInsert(fill_way);
+
+    ++stats_.prefetchFills;
+    stats_.bytesFetched += config_.lineBytes;
+    return config_.lineBytes;
+}
+
+bool
+SetAssociativeCache::contains(Address address) const
+{
+    const Address line_number = address >> lineShift_;
+    const std::uint64_t set = setIndex(line_number);
+    const Address tag = tagOf(line_number);
+    for (unsigned way = 0; way < ways_; ++way) {
+        const LineState &state = line(set, way);
+        if (state.valid && state.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+bool
+SetAssociativeCache::isDirty(Address address) const
+{
+    const Address line_number = address >> lineShift_;
+    const std::uint64_t set = setIndex(line_number);
+    const Address tag = tagOf(line_number);
+    for (unsigned way = 0; way < ways_; ++way) {
+        const LineState &state = line(set, way);
+        if (state.valid && state.tag == tag)
+            return state.sectorDirtyMask != 0;
+    }
+    return false;
+}
+
+bool
+SetAssociativeCache::invalidate(Address address)
+{
+    const Address line_number = address >> lineShift_;
+    const std::uint64_t set = setIndex(line_number);
+    const Address tag = tagOf(line_number);
+    for (unsigned way = 0; way < ways_; ++way) {
+        LineState &state = line(set, way);
+        if (state.valid && state.tag == tag) {
+            const bool was_dirty = state.sectorDirtyMask != 0;
+            state = LineState{};
+            return was_dirty;
+        }
+    }
+    return false;
+}
+
+bool
+SetAssociativeCache::downgrade(Address address)
+{
+    const Address line_number = address >> lineShift_;
+    const std::uint64_t set = setIndex(line_number);
+    const Address tag = tagOf(line_number);
+    for (unsigned way = 0; way < ways_; ++way) {
+        LineState &state = line(set, way);
+        if (state.valid && state.tag == tag) {
+            const bool was_dirty = state.sectorDirtyMask != 0;
+            state.sectorDirtyMask = 0;
+            return was_dirty;
+        }
+    }
+    return false;
+}
+
+std::uint64_t
+SetAssociativeCache::residentLines() const
+{
+    std::uint64_t count = 0;
+    for (const LineState &state : lines_)
+        count += state.valid;
+    return count;
+}
+
+void
+SetAssociativeCache::flush()
+{
+    for (std::uint64_t set = 0; set < numSets_; ++set)
+        for (unsigned way = 0; way < ways_; ++way)
+            evict(set, way);
+}
+
+} // namespace bwwall

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Trace-driven set-associative write-back cache model.
+ *
+ * This is the simulation substrate behind the paper's empirical
+ * inputs: the Figure 1 miss-rate-vs-size curves, the write-back-ratio
+ * constancy claim of Section 4.2, the sectored-cache traffic model of
+ * Section 6.2, and (with the per-line sharer mask) the Figure 14
+ * shared-cache measurement.  It models tags, state, and traffic —
+ * data values live only in the compression experiments, which have
+ * their own machinery.
+ */
+
+#ifndef BWWALL_CACHE_SET_ASSOC_CACHE_HH
+#define BWWALL_CACHE_SET_ASSOC_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cache/cache_config.hh"
+#include "trace/access.hh"
+#include "util/rng.hh"
+
+namespace bwwall {
+
+/** Details of an evicted line, delivered to the eviction callback. */
+struct EvictionRecord
+{
+    /** Address of the first byte of the line. */
+    Address lineAddress = 0;
+    bool dirty = false;
+    /** Number of distinct threads that touched the line while resident. */
+    unsigned sharerCount = 0;
+};
+
+/** Set-associative cache with write-back, write-allocate semantics. */
+class SetAssociativeCache
+{
+  public:
+    using EvictionCallback = std::function<void(const EvictionRecord &)>;
+
+    explicit SetAssociativeCache(const CacheConfig &config);
+
+    /** Performs one access and updates statistics. */
+    AccessOutcome access(const MemoryAccess &request);
+
+    /**
+     * Installs the line containing the address as a (clean, whole-
+     * line) prefetch, evicting a victim if needed.  Counts the fill
+     * and its traffic separately from demand misses; a no-op when
+     * the line is already resident.  Returns the bytes fetched.
+     */
+    std::uint64_t insertPrefetch(Address address);
+
+    const CacheConfig &config() const { return config_; }
+    const CacheStats &stats() const { return stats_; }
+
+    /** Zeroes the statistics (cache contents are kept — warm). */
+    void resetStats() { stats_.reset(); }
+
+    /** Registers a callback fired at each eviction (and on flush). */
+    void setEvictionCallback(EvictionCallback callback);
+
+    /** True when the line containing the address is resident. */
+    bool contains(Address address) const;
+
+    /** True when the line is resident and dirty (modified). */
+    bool isDirty(Address address) const;
+
+    /**
+     * Removes the line without firing the eviction callback or
+     * counting an eviction — a coherence invalidation.  Returns
+     * whether the line was present and dirty (the caller decides
+     * what happens to the dirty data).
+     */
+    bool invalidate(Address address);
+
+    /**
+     * Clears the line's dirty bits, keeping it resident — a
+     * coherence downgrade (Modified -> Shared).  Returns whether it
+     * was dirty.
+     */
+    bool downgrade(Address address);
+
+    /** Number of currently valid lines. */
+    std::uint64_t residentLines() const;
+
+    /**
+     * Evicts every valid line, firing callbacks and counting
+     * writebacks, leaving the cache empty.
+     */
+    void flush();
+
+    std::uint64_t sets() const { return numSets_; }
+    std::uint32_t ways() const { return ways_; }
+
+  private:
+    /** Per-line tag/state entry. */
+    struct LineState
+    {
+        Address tag = 0;
+        bool valid = false;
+        std::uint32_t sectorValidMask = 0;
+        std::uint32_t sectorDirtyMask = 0;
+        std::uint64_t sharerMask = 0;
+        bool prefetched = false; ///< installed but not yet used
+    };
+
+    std::uint64_t setIndex(Address line_number) const;
+    Address tagOf(Address line_number) const;
+    LineState &line(std::uint64_t set, unsigned way);
+    const LineState &line(std::uint64_t set, unsigned way) const;
+    void evict(std::uint64_t set, unsigned way);
+    std::uint32_t sectorBit(Address address) const;
+
+    CacheConfig config_;
+    std::uint64_t numSets_;
+    std::uint32_t ways_;
+    unsigned lineShift_;
+    unsigned sectorsPerLine_;
+    std::uint32_t fullSectorMask_;
+    Rng rng_;
+    std::vector<LineState> lines_;
+    std::vector<std::unique_ptr<ReplacementPolicy>> replacement_;
+    CacheStats stats_;
+    EvictionCallback evictionCallback_;
+};
+
+} // namespace bwwall
+
+#endif // BWWALL_CACHE_SET_ASSOC_CACHE_HH

@@ -1,0 +1,211 @@
+#include "compress/bdi.hh"
+
+#include <cstring>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace bwwall {
+
+std::string
+bdiEncodingName(BdiEncoding encoding)
+{
+    switch (encoding) {
+      case BdiEncoding::Zeros:
+        return "zeros";
+      case BdiEncoding::Repeated:
+        return "repeated";
+      case BdiEncoding::Base8Delta1:
+        return "base8-delta1";
+      case BdiEncoding::Base8Delta2:
+        return "base8-delta2";
+      case BdiEncoding::Base8Delta4:
+        return "base8-delta4";
+      case BdiEncoding::Base4Delta1:
+        return "base4-delta1";
+      case BdiEncoding::Base4Delta2:
+        return "base4-delta2";
+      case BdiEncoding::Base2Delta1:
+        return "base2-delta1";
+      case BdiEncoding::Uncompressed:
+        return "uncompressed";
+    }
+    panic("unknown BDI encoding");
+}
+
+namespace {
+
+/** Reads an unsigned value of `bytes` width at an offset. */
+std::uint64_t
+valueAt(std::span<const std::uint8_t> line, std::size_t offset,
+        std::size_t bytes)
+{
+    std::uint64_t value = 0;
+    std::memcpy(&value, line.data() + offset, bytes);
+    return value;
+}
+
+/** True when delta fits a signed width of delta_bytes. */
+bool
+deltaFits(std::int64_t delta, std::size_t delta_bytes)
+{
+    const std::int64_t half =
+        std::int64_t{1} << (delta_bytes * 8 - 1);
+    return delta >= -half && delta < half;
+}
+
+/**
+ * Checks base+delta feasibility at the given granularities using the
+ * first value as the base (the hardware-friendly choice).
+ */
+bool
+baseDeltaApplies(std::span<const std::uint8_t> line,
+                 std::size_t base_bytes, std::size_t delta_bytes)
+{
+    const auto base =
+        static_cast<std::int64_t>(valueAt(line, 0, base_bytes));
+    for (std::size_t offset = 0; offset < line.size();
+         offset += base_bytes) {
+        const auto value = static_cast<std::int64_t>(
+            valueAt(line, offset, base_bytes));
+        if (!deltaFits(value - base, delta_bytes))
+            return false;
+    }
+    return true;
+}
+
+std::size_t
+baseDeltaSize(std::size_t line_bytes, std::size_t base_bytes,
+              std::size_t delta_bytes)
+{
+    return base_bytes + (line_bytes / base_bytes) * delta_bytes;
+}
+
+} // namespace
+
+BdiResult
+BdiCompressor::compress(std::span<const std::uint8_t> line)
+{
+    if (line.size() % 8 != 0)
+        fatal("BDI lines must be a multiple of 8 bytes, got ",
+              line.size());
+
+    bool all_zero = true;
+    for (const std::uint8_t byte : line) {
+        if (byte != 0) {
+            all_zero = false;
+            break;
+        }
+    }
+    if (all_zero)
+        return {BdiEncoding::Zeros, 1};
+
+    const std::uint64_t first = valueAt(line, 0, 8);
+    bool repeated = true;
+    for (std::size_t offset = 8; offset < line.size(); offset += 8) {
+        if (valueAt(line, offset, 8) != first) {
+            repeated = false;
+            break;
+        }
+    }
+    if (repeated)
+        return {BdiEncoding::Repeated, 8};
+
+    struct Candidate
+    {
+        BdiEncoding encoding;
+        std::size_t baseBytes;
+        std::size_t deltaBytes;
+    };
+    constexpr Candidate candidates[] = {
+        {BdiEncoding::Base8Delta1, 8, 1},
+        {BdiEncoding::Base8Delta2, 8, 2},
+        {BdiEncoding::Base8Delta4, 8, 4},
+        {BdiEncoding::Base4Delta1, 4, 1},
+        {BdiEncoding::Base4Delta2, 4, 2},
+        {BdiEncoding::Base2Delta1, 2, 1},
+    };
+
+    BdiResult best{BdiEncoding::Uncompressed, line.size()};
+    for (const Candidate &candidate : candidates) {
+        if (!baseDeltaApplies(line, candidate.baseBytes,
+                              candidate.deltaBytes)) {
+            continue;
+        }
+        const std::size_t size = baseDeltaSize(
+            line.size(), candidate.baseBytes, candidate.deltaBytes);
+        if (size < best.sizeBytes)
+            best = {candidate.encoding, size};
+    }
+    return best;
+}
+
+std::size_t
+BdiCompressor::compressedSizeBytes(std::span<const std::uint8_t> line)
+{
+    return compress(line).sizeBytes;
+}
+
+std::vector<std::uint8_t>
+BdiCompressor::roundTrip(std::span<const std::uint8_t> line)
+{
+    const BdiResult result = compress(line);
+    std::vector<std::uint8_t> reconstructed(line.size(), 0);
+
+    switch (result.encoding) {
+      case BdiEncoding::Zeros:
+        return reconstructed;
+      case BdiEncoding::Repeated: {
+        const std::uint64_t value = valueAt(line, 0, 8);
+        for (std::size_t offset = 0; offset < line.size(); offset += 8)
+            std::memcpy(reconstructed.data() + offset, &value, 8);
+        return reconstructed;
+      }
+      case BdiEncoding::Uncompressed:
+        return {line.begin(), line.end()};
+      default:
+        break;
+    }
+
+    // Base+delta: rebuild from the stored base and deltas.
+    std::size_t base_bytes = 0, delta_bytes = 0;
+    switch (result.encoding) {
+      case BdiEncoding::Base8Delta1: base_bytes = 8; delta_bytes = 1; break;
+      case BdiEncoding::Base8Delta2: base_bytes = 8; delta_bytes = 2; break;
+      case BdiEncoding::Base8Delta4: base_bytes = 8; delta_bytes = 4; break;
+      case BdiEncoding::Base4Delta1: base_bytes = 4; delta_bytes = 1; break;
+      case BdiEncoding::Base4Delta2: base_bytes = 4; delta_bytes = 2; break;
+      case BdiEncoding::Base2Delta1: base_bytes = 2; delta_bytes = 1; break;
+      default:
+        panic("unexpected BDI encoding in roundTrip");
+    }
+
+    const auto base =
+        static_cast<std::int64_t>(valueAt(line, 0, base_bytes));
+    for (std::size_t offset = 0; offset < line.size();
+         offset += base_bytes) {
+        const auto value = static_cast<std::int64_t>(
+            valueAt(line, offset, base_bytes));
+        const std::int64_t delta = value - base;
+        // Encode then decode the delta through its narrow width.
+        const auto mask_bits = delta_bytes * 8;
+        std::uint64_t narrow = static_cast<std::uint64_t>(delta);
+        if (mask_bits < 64)
+            narrow &= (std::uint64_t{1} << mask_bits) - 1;
+        std::int64_t restored = static_cast<std::int64_t>(narrow);
+        if (mask_bits < 64 &&
+            (narrow & (std::uint64_t{1} << (mask_bits - 1)))) {
+            restored -= std::int64_t{1} << mask_bits;
+        }
+        // Unsigned addition wraps defined-ly even at the int64 edges.
+        std::uint64_t rebuilt = static_cast<std::uint64_t>(base) +
+            static_cast<std::uint64_t>(restored);
+        if (base_bytes < 8)
+            rebuilt &= (std::uint64_t{1} << (base_bytes * 8)) - 1;
+        std::memcpy(reconstructed.data() + offset, &rebuilt,
+                    base_bytes);
+    }
+    return reconstructed;
+}
+
+} // namespace bwwall

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Base-Delta-Immediate (BDI) compression.
+ *
+ * Pekhimenko et al.'s scheme: a line is stored as one base value plus
+ * an array of narrow deltas when all values in the line sit close to
+ * the base.  Eight encodings are tried (zeros, repeated value, and
+ * base+delta at the granularities 8:1, 8:2, 8:4, 4:1, 4:2, 2:1) and
+ * the smallest applicable one wins.  Provided alongside FPC so the
+ * compression-technique experiments can ground their ratio parameters
+ * in more than one real codec.
+ */
+
+#ifndef BWWALL_COMPRESS_BDI_HH
+#define BWWALL_COMPRESS_BDI_HH
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace bwwall {
+
+/** BDI encodings, in the order they are attempted. */
+enum class BdiEncoding : std::uint8_t
+{
+    Zeros,      ///< all-zero line: 1 byte
+    Repeated,   ///< one 8-byte value repeated: 8 bytes
+    Base8Delta1,///< 8-byte base, 1-byte deltas
+    Base8Delta2,///< 8-byte base, 2-byte deltas
+    Base8Delta4,///< 8-byte base, 4-byte deltas
+    Base4Delta1,///< 4-byte base, 1-byte deltas
+    Base4Delta2,///< 4-byte base, 2-byte deltas
+    Base2Delta1,///< 2-byte base, 1-byte deltas
+    Uncompressed,
+};
+
+/** Name of an encoding for reports. */
+std::string bdiEncodingName(BdiEncoding encoding);
+
+/** Result of compressing one line with BDI. */
+struct BdiResult
+{
+    BdiEncoding encoding = BdiEncoding::Uncompressed;
+    std::size_t sizeBytes = 0;
+};
+
+/** Stateless BDI codec over cache-line payloads. */
+class BdiCompressor
+{
+  public:
+    /** Picks the best encoding (line length: multiple of 8 bytes). */
+    static BdiResult compress(std::span<const std::uint8_t> line);
+
+    /** Compressed size in bytes under the best encoding. */
+    static std::size_t compressedSizeBytes(
+        std::span<const std::uint8_t> line);
+
+    /**
+     * Encodes and decodes through the chosen representation,
+     * returning the reconstructed line (for round-trip validation).
+     */
+    static std::vector<std::uint8_t> roundTrip(
+        std::span<const std::uint8_t> line);
+};
+
+} // namespace bwwall
+
+#endif // BWWALL_COMPRESS_BDI_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Minimal bit-granular writer/reader used by the compression codecs.
+ */
+
+#ifndef BWWALL_COMPRESS_BITSTREAM_HH
+#define BWWALL_COMPRESS_BITSTREAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace bwwall {
+
+/** Appends variable-width fields to a bit buffer (LSB-first). */
+class BitWriter
+{
+  public:
+    /** Appends the low `bits` bits of value. */
+    void
+    write(std::uint64_t value, unsigned bits)
+    {
+        if (bits > 64)
+            panic("BitWriter field wider than 64 bits");
+        for (unsigned i = 0; i < bits; ++i)
+            bits_.push_back(((value >> i) & 1) != 0);
+    }
+
+    std::size_t bitCount() const { return bits_.size(); }
+
+    /** Size in whole bytes (rounded up). */
+    std::size_t byteCount() const { return (bits_.size() + 7) / 8; }
+
+    const std::vector<bool> &bits() const { return bits_; }
+
+  private:
+    std::vector<bool> bits_;
+};
+
+/** Reads fields back out of a BitWriter's buffer. */
+class BitReader
+{
+  public:
+    explicit BitReader(const std::vector<bool> &bits) : bits_(bits) {}
+
+    /** Reads the next `bits` bits (LSB-first). */
+    std::uint64_t
+    read(unsigned bits)
+    {
+        if (bits > 64)
+            panic("BitReader field wider than 64 bits");
+        if (position_ + bits > bits_.size())
+            panic("BitReader read past the end of the stream");
+        std::uint64_t value = 0;
+        for (unsigned i = 0; i < bits; ++i, ++position_) {
+            if (bits_[position_])
+                value |= std::uint64_t{1} << i;
+        }
+        return value;
+    }
+
+    std::size_t remaining() const { return bits_.size() - position_; }
+
+  private:
+    const std::vector<bool> &bits_;
+    std::size_t position_ = 0;
+};
+
+} // namespace bwwall
+
+#endif // BWWALL_COMPRESS_BITSTREAM_HH

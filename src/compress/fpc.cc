@@ -1,0 +1,237 @@
+#include "compress/fpc.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "compress/bitstream.hh"
+#include "util/logging.hh"
+
+namespace bwwall {
+
+namespace {
+
+constexpr unsigned kPrefixBits = 3;
+constexpr unsigned kZeroRunBits = 3;
+constexpr unsigned kMaxZeroRun = 8;
+
+/** True when the word is a sign-extension of its low `bits` bits. */
+bool
+signExtends(std::uint32_t word, unsigned bits)
+{
+    const auto value = static_cast<std::int32_t>(word);
+    const std::int32_t shifted =
+        static_cast<std::int32_t>(value << (32 - bits)) >>
+        static_cast<std::int32_t>(32 - bits);
+    return shifted == value;
+}
+
+std::uint32_t
+wordAt(std::span<const std::uint8_t> line, std::size_t index)
+{
+    std::uint32_t word;
+    std::memcpy(&word, line.data() + index * 4, 4);
+    return word;
+}
+
+} // namespace
+
+FpcPattern
+FpcCompressor::classify(std::uint32_t word)
+{
+    if (word == 0)
+        return FpcPattern::ZeroRun;
+    if (signExtends(word, 4))
+        return FpcPattern::Sign4;
+    if (signExtends(word, 8))
+        return FpcPattern::Sign8;
+    if (signExtends(word, 16))
+        return FpcPattern::Sign16;
+    if ((word & 0xFFFFu) == 0)
+        return FpcPattern::HighZeroHalf;
+    const std::uint32_t low_half = word & 0xFFFFu;
+    const std::uint32_t high_half = word >> 16;
+    if (signExtends(low_half | (low_half & 0x8000u ? 0xFFFF0000u : 0u),
+                    8) &&
+        signExtends(high_half | (high_half & 0x8000u ? 0xFFFF0000u : 0u),
+                    8)) {
+        return FpcPattern::TwoSignedHalves;
+    }
+    const std::uint32_t byte = word & 0xFFu;
+    if (word == byte * 0x01010101u)
+        return FpcPattern::RepeatedByte;
+    return FpcPattern::Uncompressed;
+}
+
+unsigned
+FpcCompressor::payloadBits(FpcPattern pattern)
+{
+    switch (pattern) {
+      case FpcPattern::ZeroRun:
+        return kZeroRunBits;
+      case FpcPattern::Sign4:
+        return 4;
+      case FpcPattern::Sign8:
+        return 8;
+      case FpcPattern::Sign16:
+        return 16;
+      case FpcPattern::HighZeroHalf:
+        return 16;
+      case FpcPattern::TwoSignedHalves:
+        return 16;
+      case FpcPattern::RepeatedByte:
+        return 8;
+      case FpcPattern::Uncompressed:
+        return 32;
+    }
+    panic("unknown FPC pattern");
+}
+
+FpcEncodedLine
+FpcCompressor::encode(std::span<const std::uint8_t> line)
+{
+    if (line.size() % 4 != 0)
+        fatal("FPC lines must be a multiple of 4 bytes, got ",
+              line.size());
+    const std::size_t words = line.size() / 4;
+
+    BitWriter writer;
+    std::size_t index = 0;
+    while (index < words) {
+        const std::uint32_t word = wordAt(line, index);
+        const FpcPattern pattern = classify(word);
+        writer.write(static_cast<std::uint64_t>(pattern), kPrefixBits);
+        switch (pattern) {
+          case FpcPattern::ZeroRun: {
+            std::size_t run = 1;
+            while (index + run < words && run < kMaxZeroRun &&
+                   wordAt(line, index + run) == 0) {
+                ++run;
+            }
+            writer.write(run - 1, kZeroRunBits);
+            index += run;
+            continue;
+          }
+          case FpcPattern::Sign4:
+            writer.write(word & 0xFu, 4);
+            break;
+          case FpcPattern::Sign8:
+            writer.write(word & 0xFFu, 8);
+            break;
+          case FpcPattern::Sign16:
+            writer.write(word & 0xFFFFu, 16);
+            break;
+          case FpcPattern::HighZeroHalf:
+            writer.write(word >> 16, 16);
+            break;
+          case FpcPattern::TwoSignedHalves:
+            writer.write(word & 0xFFu, 8);
+            writer.write((word >> 16) & 0xFFu, 8);
+            break;
+          case FpcPattern::RepeatedByte:
+            writer.write(word & 0xFFu, 8);
+            break;
+          case FpcPattern::Uncompressed:
+            writer.write(word, 32);
+            break;
+        }
+        ++index;
+    }
+
+    FpcEncodedLine encoded;
+    encoded.bits = writer.bits();
+    return encoded;
+}
+
+std::vector<std::uint8_t>
+FpcCompressor::decode(const FpcEncodedLine &encoded,
+                      std::size_t original_bytes)
+{
+    if (original_bytes % 4 != 0)
+        fatal("FPC lines must be a multiple of 4 bytes");
+    const std::size_t words = original_bytes / 4;
+
+    BitReader reader(encoded.bits);
+    std::vector<std::uint8_t> line(original_bytes, 0);
+    std::size_t index = 0;
+
+    auto emit = [&line](std::size_t word_index, std::uint32_t word) {
+        std::memcpy(line.data() + word_index * 4, &word, 4);
+    };
+
+    while (index < words) {
+        const auto pattern =
+            static_cast<FpcPattern>(reader.read(kPrefixBits));
+        switch (pattern) {
+          case FpcPattern::ZeroRun: {
+            const std::uint64_t run = reader.read(kZeroRunBits) + 1;
+            for (std::uint64_t i = 0; i < run; ++i)
+                emit(index++, 0);
+            continue;
+          }
+          case FpcPattern::Sign4: {
+            const auto raw =
+                static_cast<std::uint32_t>(reader.read(4));
+            const std::uint32_t word =
+                raw & 0x8u ? raw | 0xFFFFFFF0u : raw;
+            emit(index++, word);
+            break;
+          }
+          case FpcPattern::Sign8: {
+            const auto raw =
+                static_cast<std::uint32_t>(reader.read(8));
+            const std::uint32_t word =
+                raw & 0x80u ? raw | 0xFFFFFF00u : raw;
+            emit(index++, word);
+            break;
+          }
+          case FpcPattern::Sign16: {
+            const auto raw =
+                static_cast<std::uint32_t>(reader.read(16));
+            const std::uint32_t word =
+                raw & 0x8000u ? raw | 0xFFFF0000u : raw;
+            emit(index++, word);
+            break;
+          }
+          case FpcPattern::HighZeroHalf: {
+            const auto raw =
+                static_cast<std::uint32_t>(reader.read(16));
+            emit(index++, raw << 16);
+            break;
+          }
+          case FpcPattern::TwoSignedHalves: {
+            const auto low_byte =
+                static_cast<std::uint32_t>(reader.read(8));
+            const auto high_byte =
+                static_cast<std::uint32_t>(reader.read(8));
+            const std::uint32_t low_half =
+                low_byte & 0x80u ? (low_byte | 0xFF00u) : low_byte;
+            const std::uint32_t high_half =
+                high_byte & 0x80u ? (high_byte | 0xFF00u) : high_byte;
+            emit(index++, (high_half << 16) | low_half);
+            break;
+          }
+          case FpcPattern::RepeatedByte: {
+            const auto byte =
+                static_cast<std::uint32_t>(reader.read(8));
+            emit(index++, byte * 0x01010101u);
+            break;
+          }
+          case FpcPattern::Uncompressed:
+            emit(index++,
+                 static_cast<std::uint32_t>(reader.read(32)));
+            break;
+          default:
+            panic("corrupt FPC stream");
+        }
+    }
+    return line;
+}
+
+std::size_t
+FpcCompressor::compressedSizeBytes(std::span<const std::uint8_t> line)
+{
+    const FpcEncodedLine encoded = encode(line);
+    return std::min(encoded.sizeBytes(), line.size());
+}
+
+} // namespace bwwall

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Frequent Pattern Compression (FPC).
+ *
+ * The significance-based scheme of Alameldeen & Wood (the paper's
+ * cache-compression citations [2, 3]): each 32-bit word is encoded
+ * with a 3-bit prefix naming one of eight patterns — zero runs,
+ * sign-extended small values, halfword patterns, repeated bytes, or
+ * uncompressed.  The compressor here is a real codec (encode and
+ * decode round-trip bit-exactly); the cache and link models only
+ * consume its size accounting.
+ */
+
+#ifndef BWWALL_COMPRESS_FPC_HH
+#define BWWALL_COMPRESS_FPC_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace bwwall {
+
+/** The eight FPC word patterns (3-bit prefixes). */
+enum class FpcPattern : std::uint8_t
+{
+    ZeroRun = 0,        ///< run of 1..8 zero words (3-bit run length)
+    Sign4 = 1,          ///< 4-bit sign-extended
+    Sign8 = 2,          ///< one sign-extended byte
+    Sign16 = 3,         ///< one sign-extended halfword
+    HighZeroHalf = 4,   ///< halfword padded with a zero halfword
+    TwoSignedHalves = 5,///< two halfwords, each a sign-extended byte
+    RepeatedByte = 6,   ///< four identical bytes
+    Uncompressed = 7,   ///< full 32-bit word
+};
+
+/** One line compressed by FPC. */
+struct FpcEncodedLine
+{
+    std::vector<bool> bits;
+
+    /** Encoded size in bits. */
+    std::size_t sizeBits() const { return bits.size(); }
+
+    /** Encoded size in whole bytes. */
+    std::size_t sizeBytes() const { return (bits.size() + 7) / 8; }
+};
+
+/** Stateless FPC codec over cache-line payloads. */
+class FpcCompressor
+{
+  public:
+    /**
+     * Encodes a line (length must be a multiple of 4 bytes).
+     */
+    static FpcEncodedLine encode(std::span<const std::uint8_t> line);
+
+    /**
+     * Decodes an encoded line back to original_bytes bytes;
+     * panics on malformed input.
+     */
+    static std::vector<std::uint8_t> decode(const FpcEncodedLine &encoded,
+                                            std::size_t original_bytes);
+
+    /**
+     * Compressed size in bytes, clamped to the uncompressed size (a
+     * real implementation stores incompressible lines raw).
+     */
+    static std::size_t compressedSizeBytes(
+        std::span<const std::uint8_t> line);
+
+    /** Classifies one 32-bit word (ignoring zero-run batching). */
+    static FpcPattern classify(std::uint32_t word);
+
+    /** Payload bits for a pattern (prefix excluded). */
+    static unsigned payloadBits(FpcPattern pattern);
+};
+
+} // namespace bwwall
+
+#endif // BWWALL_COMPRESS_FPC_HH

@@ -1,0 +1,129 @@
+#include "compress/link.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "compress/fpc.hh"
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace bwwall {
+
+std::string
+linkSchemeName(LinkScheme scheme)
+{
+    switch (scheme) {
+      case LinkScheme::Fpc:
+        return "fpc";
+      case LinkScheme::FrequentValue:
+        return "frequent-value";
+      case LinkScheme::Hybrid:
+        return "hybrid";
+    }
+    panic("unknown link scheme");
+}
+
+LinkCompressor::LinkCompressor(const LinkCompressorConfig &config)
+    : config_(config)
+{
+    if (!isPowerOfTwo(config_.dictionaryEntries))
+        fatal("link dictionary size must be a power of two, got ",
+              config_.dictionaryEntries);
+    indexBits_ = floorLog2(config_.dictionaryEntries);
+    dictionary_.reserve(config_.dictionaryEntries);
+}
+
+bool
+LinkCompressor::dictionaryLookup(std::uint64_t value) const
+{
+    return std::find(dictionary_.begin(), dictionary_.end(), value) !=
+           dictionary_.end();
+}
+
+void
+LinkCompressor::dictionaryInsert(std::uint64_t value)
+{
+    const auto it =
+        std::find(dictionary_.begin(), dictionary_.end(), value);
+    if (it != dictionary_.end())
+        dictionary_.erase(it);
+    dictionary_.insert(dictionary_.begin(), value);
+    if (dictionary_.size() > config_.dictionaryEntries)
+        dictionary_.pop_back();
+}
+
+std::size_t
+LinkCompressor::frequentValueBits(std::span<const std::uint8_t> line,
+                                  bool update_dictionary)
+{
+    std::size_t bits = 0;
+    for (std::size_t offset = 0; offset < line.size(); offset += 8) {
+        std::uint64_t value;
+        std::memcpy(&value, line.data() + offset, 8);
+        if (dictionaryLookup(value))
+            bits += 1 + indexBits_;
+        else
+            bits += 1 + 64;
+        if (update_dictionary)
+            dictionaryInsert(value);
+    }
+    return bits;
+}
+
+std::size_t
+LinkCompressor::transferLine(std::span<const std::uint8_t> line)
+{
+    if (line.size() % 8 != 0)
+        fatal("link transfers must be a multiple of 8 bytes, got ",
+              line.size());
+    bytesIn_ += line.size();
+
+    std::size_t wire_bits = 0;
+    switch (config_.scheme) {
+      case LinkScheme::Fpc:
+        wire_bits = FpcCompressor::encode(line).sizeBits();
+        break;
+      case LinkScheme::FrequentValue:
+        wire_bits = frequentValueBits(line, true);
+        break;
+      case LinkScheme::Hybrid: {
+        const std::size_t fpc_bits =
+            FpcCompressor::encode(line).sizeBits();
+        // Probe the dictionary without updating, pick the smaller
+        // representation, then update — both ends see the decoded
+        // words either way, so their dictionaries stay in sync.
+        const std::size_t fv_bits = frequentValueBits(line, false);
+        wire_bits = 1 + std::min(fpc_bits, fv_bits);
+        frequentValueBits(line, true);
+        break;
+      }
+    }
+    // Never send more than the raw line (real links fall back).
+    wire_bits = std::min(wire_bits, line.size() * 8 + 1);
+    bitsOut_ += wire_bits;
+    return wire_bits;
+}
+
+double
+LinkCompressor::compressionRatio() const
+{
+    if (bitsOut_ == 0)
+        return 1.0;
+    return static_cast<double>(bytesIn_ * 8) /
+           static_cast<double>(bitsOut_);
+}
+
+void
+LinkCompressor::resetStats()
+{
+    bytesIn_ = 0;
+    bitsOut_ = 0;
+}
+
+void
+LinkCompressor::resetDictionary()
+{
+    dictionary_.clear();
+}
+
+} // namespace bwwall

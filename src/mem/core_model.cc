@@ -1,0 +1,166 @@
+#include "mem/core_model.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace bwwall {
+
+SimpleCore::SimpleCore(EventQueue &events, MemoryChannel &channel,
+                       const SimpleCoreConfig &config)
+    : events_(events), channel_(channel), config_(config),
+      rng_(config.seed)
+{
+    if (config_.meanComputeCycles < 0.0)
+        fatal("mean compute cycles must be non-negative");
+    if (config_.requestBytes == 0)
+        fatal("request size must be positive");
+    if (config_.outstandingRequests == 0)
+        fatal("a core needs at least one outstanding request slot");
+}
+
+void
+SimpleCore::start()
+{
+    // Each MSHR-style slot runs its own compute/request loop; they
+    // only interact through channel contention.
+    for (unsigned slot = 0; slot < config_.outstandingRequests; ++slot)
+        beginCompute();
+}
+
+void
+SimpleCore::beginCompute()
+{
+    // Exponential-ish jitter around the mean keeps cores out of
+    // lockstep without changing the average rate.
+    const double jitter = 0.5 + rng_.nextDouble();
+    const auto burst = static_cast<Tick>(
+        std::llround(config_.meanComputeCycles * jitter));
+    events_.scheduleAfter(burst, [this] { issueRequest(); });
+}
+
+void
+SimpleCore::issueRequest()
+{
+    const Tick issued = events_.now();
+    channel_.request(config_.requestBytes, [this, issued] {
+        ++stats_.completedRequests;
+        stats_.stallCycles += events_.now() - issued;
+        beginCompute();
+    });
+}
+
+TraceDrivenCore::TraceDrivenCore(EventQueue &events,
+                                 MemoryChannel &channel,
+                                 std::unique_ptr<TraceSource> trace,
+                                 const TraceDrivenCoreConfig &config)
+    : events_(events), channel_(channel), trace_(std::move(trace)),
+      config_(config)
+{
+    if (!trace_)
+        fatal("trace-driven core requires a trace");
+    cache_ = std::make_unique<SetAssociativeCache>(config_.cache);
+    if (config_.l2Enabled) {
+        l2_ = std::make_unique<SetAssociativeCache>(config_.l2);
+        // Dirty first-level victims become second-level writes at
+        // the *victim's* address.
+        cache_->setEvictionCallback(
+            [this](const EvictionRecord &record) {
+                if (record.dirty)
+                    dirtyVictims_.push_back(record.lineAddress);
+            });
+    }
+}
+
+const SetAssociativeCache &
+TraceDrivenCore::l2() const
+{
+    if (!l2_)
+        fatal("trace-driven core has no second-level cache");
+    return *l2_;
+}
+
+void
+TraceDrivenCore::warm(std::uint64_t accesses)
+{
+    for (std::uint64_t i = 0; i < accesses; ++i) {
+        const MemoryAccess access = trace_->next();
+        dirtyVictims_.clear();
+        const AccessOutcome outcome = cache_->access(access);
+        if (!l2_)
+            continue;
+        for (const Address victim : dirtyVictims_)
+            l2_->access({victim, AccessType::Write, access.thread});
+        if (outcome.bytesFetched > 0) {
+            MemoryAccess fill = access;
+            fill.type = AccessType::Read;
+            l2_->access(fill);
+        }
+    }
+    cache_->resetStats();
+    if (l2_)
+        l2_->resetStats();
+}
+
+void
+TraceDrivenCore::start()
+{
+    events_.scheduleAfter(config_.hitCycles, [this] { step(); });
+}
+
+void
+TraceDrivenCore::finishAfter(Tick delay)
+{
+    ++stats_.completedRequests;
+    events_.scheduleAfter(delay, [this] { step(); });
+}
+
+void
+TraceDrivenCore::step()
+{
+    const MemoryAccess access = trace_->next();
+    dirtyVictims_.clear();
+    const AccessOutcome outcome = cache_->access(access);
+    std::uint64_t bytes =
+        outcome.bytesFetched + outcome.bytesWrittenBack;
+    if (bytes == 0) {
+        // Pure first-level hit: continue after the hit latency.
+        finishAfter(config_.hitCycles);
+        return;
+    }
+
+    Tick level_latency = 0;
+    if (l2_) {
+        // The first-level traffic is serviced by the second level;
+        // only what escapes it reaches the channel.
+        level_latency = config_.l2HitCycles;
+        std::uint64_t l2_bytes = 0;
+        for (const Address victim : dirtyVictims_) {
+            const AccessOutcome wb = l2_->access(
+                {victim, AccessType::Write, access.thread});
+            l2_bytes += wb.bytesFetched + wb.bytesWrittenBack;
+        }
+        if (outcome.bytesFetched > 0) {
+            MemoryAccess fill = access;
+            fill.type = AccessType::Read;
+            const AccessOutcome l2_outcome = l2_->access(fill);
+            l2_bytes +=
+                l2_outcome.bytesFetched + l2_outcome.bytesWrittenBack;
+        }
+        bytes = l2_bytes;
+        if (bytes == 0) {
+            // Second-level hit: pay its latency, no channel traffic.
+            stats_.stallCycles += level_latency;
+            finishAfter(config_.hitCycles + level_latency);
+            return;
+        }
+    }
+
+    const Tick issued = events_.now();
+    channel_.request(bytes, [this, issued, level_latency] {
+        stats_.stallCycles += events_.now() - issued + level_latency;
+        finishAfter(config_.hitCycles + level_latency);
+    });
+}
+
+} // namespace bwwall

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Closed-loop core models that drive the memory channel.
+ *
+ * SimpleCore abstracts a core as alternating compute bursts and
+ * line-sized memory requests (the analytic workload used by the
+ * bandwidth-saturation demonstration).  TraceDrivenCore instead runs
+ * a synthetic trace through a private cache, so its request stream to
+ * the channel carries the full power-law structure.
+ */
+
+#ifndef BWWALL_MEM_CORE_MODEL_HH
+#define BWWALL_MEM_CORE_MODEL_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/set_assoc_cache.hh"
+#include "mem/memory_channel.hh"
+#include "trace/trace_source.hh"
+#include "util/rng.hh"
+
+namespace bwwall {
+
+/** Progress counters common to the core models. */
+struct CoreStats
+{
+    /** Completed compute+memory iterations (units of work). */
+    std::uint64_t completedRequests = 0;
+    /** Cycles spent blocked on memory (queueing + service). */
+    std::uint64_t stallCycles = 0;
+};
+
+/** Parameters of a SimpleCore. */
+struct SimpleCoreConfig
+{
+    /** Mean compute cycles between memory requests. */
+    double meanComputeCycles = 200.0;
+
+    /** Bytes per memory request (one cache line). */
+    std::uint64_t requestBytes = 64;
+
+    /**
+     * Memory-level parallelism: independent compute/request loops
+     * the core keeps in flight (MSHR-style overlap).  1 models a
+     * fully blocking core.
+     */
+    unsigned outstandingRequests = 1;
+
+    /** Seed for the compute-burst jitter. */
+    std::uint64_t seed = 1;
+};
+
+/** Compute/request/stall loop core. */
+class SimpleCore
+{
+  public:
+    SimpleCore(EventQueue &events, MemoryChannel &channel,
+               const SimpleCoreConfig &config);
+
+    /** Schedules the core's first compute burst. */
+    void start();
+
+    const CoreStats &stats() const { return stats_; }
+
+  private:
+    void beginCompute();
+    void issueRequest();
+
+    EventQueue &events_;
+    MemoryChannel &channel_;
+    SimpleCoreConfig config_;
+    Rng rng_;
+    CoreStats stats_;
+};
+
+/** Parameters of a TraceDrivenCore. */
+struct TraceDrivenCoreConfig
+{
+    /** Cycles consumed by a cache hit (and by issuing the access). */
+    Tick hitCycles = 1;
+
+    /** Private cache configuration. */
+    CacheConfig cache;
+
+    /**
+     * Optional second-level cache between the private cache and the
+     * channel — e.g. a large, slower DRAM cache (the paper's Section
+     * 6.1 notes "possible access latency increases" as the cost of
+     * DRAM caches; this models that trade-off).
+     */
+    bool l2Enabled = false;
+
+    /** Second-level cache configuration. */
+    CacheConfig l2;
+
+    /** Latency of reaching the second-level cache, in cycles. */
+    Tick l2HitCycles = 30;
+};
+
+/**
+ * Core that replays a trace through a private cache (optionally
+ * backed by a second-level cache); only the traffic that escapes the
+ * last level travels to the channel, each transfer blocking the core.
+ */
+class TraceDrivenCore
+{
+  public:
+    TraceDrivenCore(EventQueue &events, MemoryChannel &channel,
+                    std::unique_ptr<TraceSource> trace,
+                    const TraceDrivenCoreConfig &config);
+
+    /**
+     * Replays `accesses` trace references through the caches without
+     * consuming simulated time or channel bandwidth, then clears the
+     * cache statistics — standard warm-up before a timed run.
+     */
+    void warm(std::uint64_t accesses);
+
+    /** Schedules the core's first access. */
+    void start();
+
+    const CoreStats &stats() const { return stats_; }
+    const SetAssociativeCache &cache() const { return *cache_; }
+
+    /** The second-level cache (must be enabled). */
+    const SetAssociativeCache &l2() const;
+
+  private:
+    void step();
+    void finishAfter(Tick delay);
+
+    EventQueue &events_;
+    MemoryChannel &channel_;
+    std::unique_ptr<TraceSource> trace_;
+    TraceDrivenCoreConfig config_;
+    std::unique_ptr<SetAssociativeCache> cache_;
+    std::unique_ptr<SetAssociativeCache> l2_;
+    std::vector<Address> dirtyVictims_;
+    CoreStats stats_;
+};
+
+} // namespace bwwall
+
+#endif // BWWALL_MEM_CORE_MODEL_HH

@@ -1,0 +1,148 @@
+#include "mem/dram.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace bwwall {
+
+DramChannel::DramChannel(EventQueue &events, const DramConfig &config)
+    : events_(events), config_(config)
+{
+    if (config_.banks == 0)
+        fatal("DRAM channel requires at least one bank");
+    if (!isPowerOfTwo(config_.banks))
+        fatal("DRAM bank count must be a power of two");
+    if (!isPowerOfTwo(config_.rowBytes) ||
+        !isPowerOfTwo(config_.lineBytes) ||
+        config_.lineBytes > config_.rowBytes) {
+        fatal("DRAM row/line sizes must be powers of two with "
+              "line <= row");
+    }
+    if (config_.tBurst == 0)
+        fatal("DRAM burst time must be positive");
+    if (config_.queueCapacity == 0)
+        fatal("DRAM queue capacity must be positive");
+    banks_.assign(config_.banks, Bank{});
+}
+
+unsigned
+DramChannel::bankOf(Address address) const
+{
+    // Banks interleave at row granularity so sequential rows spread.
+    return static_cast<unsigned>(
+        (address / config_.rowBytes) & (config_.banks - 1));
+}
+
+std::uint64_t
+DramChannel::rowOf(Address address) const
+{
+    return (address / config_.rowBytes) / config_.banks;
+}
+
+bool
+DramChannel::request(Address address, EventQueue::Callback on_complete)
+{
+    if (queue_.size() >= config_.queueCapacity)
+        return false;
+    if (!on_complete)
+        fatal("DRAM request without a completion callback");
+    queue_.push_back(
+        Request{address, events_.now(), std::move(on_complete)});
+    tryDispatch();
+    return true;
+}
+
+std::size_t
+DramChannel::pickNext() const
+{
+    if (config_.scheduling == DramScheduling::FrFcfs) {
+        for (std::size_t i = 0; i < queue_.size(); ++i) {
+            const unsigned bank = bankOf(queue_[i].address);
+            if (banks_[bank].rowOpen &&
+                banks_[bank].openRow == rowOf(queue_[i].address)) {
+                return i;
+            }
+        }
+    }
+    return 0; // oldest
+}
+
+void
+DramChannel::tryDispatch()
+{
+    if (dispatchScheduled_ || queue_.empty())
+        return;
+
+    const std::size_t index = pickNext();
+    Request request = std::move(queue_[index]);
+    queue_.erase(queue_.begin() +
+                 static_cast<std::ptrdiff_t>(index));
+
+    Bank &bank = banks_[bankOf(request.address)];
+    const std::uint64_t row = rowOf(request.address);
+
+    // Row preparation (precharge/activate) serialises on the bank;
+    // the CAS-to-data latency pipelines with bus transfers and only
+    // delays the *completion*, not the bus (real DDR column commands
+    // overlap in-flight bursts, so open-row hits stream burst-to-
+    // burst at peak bandwidth).
+    Tick prep;
+    if (bank.rowOpen && bank.openRow == row) {
+        ++stats_.rowHits;
+        prep = 0;
+    } else if (!bank.rowOpen) {
+        ++stats_.rowMisses;
+        prep = config_.tRcd;
+    } else {
+        ++stats_.rowConflicts;
+        prep = config_.tRp + config_.tRcd;
+    }
+
+    const Tick now = events_.now();
+    const Tick bank_data_ready = std::max(now, bank.readyAt) + prep;
+    const Tick data_start = std::max(bank_data_ready, busFreeAt_);
+    const Tick data_done = data_start + config_.tBurst;
+    const Tick completion = data_done + config_.tCas;
+
+    bank.rowOpen = true;
+    bank.openRow = row;
+    bank.readyAt = data_done;
+    busFreeAt_ = data_done;
+
+    ++stats_.requests;
+    stats_.bytesTransferred += config_.lineBytes;
+    stats_.busBusyCycles += config_.tBurst;
+    stats_.totalServiceCycles += completion - request.arrival;
+
+    events_.schedule(completion, std::move(request.onComplete));
+
+    // The next scheduling decision happens when this transfer's data
+    // phase begins, letting the chosen bank's preparation overlap the
+    // current burst.
+    dispatchScheduled_ = true;
+    events_.schedule(std::max(data_start, now), [this] {
+        dispatchScheduled_ = false;
+        tryDispatch();
+    });
+}
+
+double
+DramChannel::achievedBandwidth() const
+{
+    const Tick elapsed = events_.now();
+    if (elapsed == 0)
+        return 0.0;
+    return static_cast<double>(stats_.bytesTransferred) /
+           static_cast<double>(elapsed);
+}
+
+double
+DramChannel::peakBandwidth() const
+{
+    return static_cast<double>(config_.lineBytes) /
+           static_cast<double>(config_.tBurst);
+}
+
+} // namespace bwwall

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Bank- and row-aware DRAM channel model.
+ *
+ * The paper's bandwidth envelope is a *peak* number; real memory
+ * systems deliver an access-pattern-dependent fraction of it because
+ * row misses serialise precharge/activate latencies behind the data
+ * bus.  This model adds the structure needed to study that gap:
+ * banks with open rows, DDR-style timing (tRP/tRCD/tCAS/burst), and
+ * either FCFS or FR-FCFS (row-hit-first) scheduling.
+ *
+ * Simplifications (documented, tested): the data bus is the only
+ * shared resource modelled between banks — bank preparation overlaps
+ * other banks' transfers, as in real parts, but command-bus and
+ * refresh slots are ignored; all requests move whole lines.
+ */
+
+#ifndef BWWALL_MEM_DRAM_HH
+#define BWWALL_MEM_DRAM_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "mem/event_queue.hh"
+#include "trace/access.hh"
+
+namespace bwwall {
+
+/** Scheduling policy of the DRAM controller. */
+enum class DramScheduling : std::uint8_t
+{
+    Fcfs,   ///< strictly oldest-first
+    FrFcfs, ///< row hits first, then oldest-first
+};
+
+/** Static parameters of a DramChannel. */
+struct DramConfig
+{
+    /** Row-precharge latency, cycles. */
+    Tick tRp = 14;
+
+    /** Row-activate (RAS-to-CAS) latency, cycles. */
+    Tick tRcd = 14;
+
+    /** Column-access latency, cycles. */
+    Tick tCas = 14;
+
+    /** Data-bus occupancy of one line transfer, cycles. */
+    Tick tBurst = 8;
+
+    /** Number of banks. */
+    unsigned banks = 8;
+
+    /** Row (page) size in bytes. */
+    std::uint32_t rowBytes = 8192;
+
+    /** Line size in bytes (one request = one line). */
+    std::uint32_t lineBytes = 64;
+
+    DramScheduling scheduling = DramScheduling::FrFcfs;
+
+    /** Maximum queued requests before request() refuses. */
+    std::size_t queueCapacity = 64;
+};
+
+/** Aggregate DRAM statistics. */
+struct DramStats
+{
+    std::uint64_t requests = 0;
+    std::uint64_t rowHits = 0;
+    std::uint64_t rowMisses = 0;    ///< bank idle/closed row
+    std::uint64_t rowConflicts = 0; ///< different row was open
+    std::uint64_t bytesTransferred = 0;
+    std::uint64_t busBusyCycles = 0;
+    std::uint64_t totalServiceCycles = 0; ///< arrival -> data done
+
+    double
+    rowHitRate() const
+    {
+        return requests == 0 ? 0.0
+                             : static_cast<double>(rowHits) /
+                                   static_cast<double>(requests);
+    }
+
+    double
+    averageServiceCycles() const
+    {
+        return requests == 0
+                   ? 0.0
+                   : static_cast<double>(totalServiceCycles) /
+                         static_cast<double>(requests);
+    }
+};
+
+/** Event-driven single-channel DRAM with open-row banks. */
+class DramChannel
+{
+  public:
+    DramChannel(EventQueue &events, const DramConfig &config);
+
+    /**
+     * Enqueues a line read/write; on_complete fires when the data
+     * transfer finishes.  Returns false (and does nothing) when the
+     * controller queue is full — callers should retry after a
+     * completion.
+     */
+    bool request(Address address, EventQueue::Callback on_complete);
+
+    const DramConfig &config() const { return config_; }
+    const DramStats &stats() const { return stats_; }
+
+    /** Pending (not yet dispatched) requests. */
+    std::size_t queuedRequests() const { return queue_.size(); }
+
+    /** Achieved bus bandwidth in bytes/cycle since construction. */
+    double achievedBandwidth() const;
+
+    /** Peak bus bandwidth in bytes/cycle (line / burst). */
+    double peakBandwidth() const;
+
+    /** Bank and row of an address (exposed for tests). */
+    unsigned bankOf(Address address) const;
+    std::uint64_t rowOf(Address address) const;
+
+  private:
+    struct Request
+    {
+        Address address;
+        Tick arrival;
+        EventQueue::Callback onComplete;
+    };
+
+    struct Bank
+    {
+        bool rowOpen = false;
+        std::uint64_t openRow = 0;
+        Tick readyAt = 0; ///< earliest tick a new CAS may issue
+    };
+
+    void tryDispatch();
+    std::size_t pickNext() const;
+
+    EventQueue &events_;
+    DramConfig config_;
+    DramStats stats_;
+    std::vector<Bank> banks_;
+    std::deque<Request> queue_;
+    Tick busFreeAt_ = 0;
+    bool dispatchScheduled_ = false;
+};
+
+} // namespace bwwall
+
+#endif // BWWALL_MEM_DRAM_HH

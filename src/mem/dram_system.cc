@@ -1,0 +1,83 @@
+#include "mem/dram_system.hh"
+
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace bwwall {
+
+DramSystem::DramSystem(EventQueue &events,
+                       const DramSystemConfig &config)
+    : config_(config)
+{
+    if (config_.channels == 0 || !isPowerOfTwo(config_.channels))
+        fatal("DRAM system needs a power-of-two channel count");
+    if (!isPowerOfTwo(config_.interleaveBytes) ||
+        config_.interleaveBytes < config_.channel.lineBytes) {
+        fatal("interleave granularity must be a power of two >= the "
+              "line size");
+    }
+    interleaveShift_ = floorLog2(config_.interleaveBytes);
+    for (unsigned i = 0; i < config_.channels; ++i) {
+        channels_.push_back(
+            std::make_unique<DramChannel>(events, config_.channel));
+    }
+}
+
+unsigned
+DramSystem::channelOf(Address address) const
+{
+    return static_cast<unsigned>((address >> interleaveShift_) &
+                                 (channels_.size() - 1));
+}
+
+bool
+DramSystem::request(Address address, EventQueue::Callback on_complete)
+{
+    return channels_[channelOf(address)]->request(
+        address, std::move(on_complete));
+}
+
+const DramChannel &
+DramSystem::channel(unsigned index) const
+{
+    if (index >= channels_.size())
+        fatal("DRAM channel index out of range: ", index);
+    return *channels_[index];
+}
+
+DramStats
+DramSystem::aggregateStats() const
+{
+    DramStats total;
+    for (const auto &channel_ptr : channels_) {
+        const DramStats &stats = channel_ptr->stats();
+        total.requests += stats.requests;
+        total.rowHits += stats.rowHits;
+        total.rowMisses += stats.rowMisses;
+        total.rowConflicts += stats.rowConflicts;
+        total.bytesTransferred += stats.bytesTransferred;
+        total.busBusyCycles += stats.busBusyCycles;
+        total.totalServiceCycles += stats.totalServiceCycles;
+    }
+    return total;
+}
+
+double
+DramSystem::achievedBandwidth() const
+{
+    double total = 0.0;
+    for (const auto &channel_ptr : channels_)
+        total += channel_ptr->achievedBandwidth();
+    return total;
+}
+
+double
+DramSystem::peakBandwidth() const
+{
+    double total = 0.0;
+    for (const auto &channel_ptr : channels_)
+        total += channel_ptr->peakBandwidth();
+    return total;
+}
+
+} // namespace bwwall

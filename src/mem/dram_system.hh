@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Multi-channel DRAM system.
+ *
+ * The paper's Section 6.2 lists the industry's two levers for raw
+ * bandwidth: faster interfaces and *more channels* (Power6 doubled
+ * its memory controllers; Niagara2 moved to FB-DIMM).  This wraps N
+ * independent DramChannels behind line-granular address interleaving
+ * so channel-count studies are one parameter.
+ */
+
+#ifndef BWWALL_MEM_DRAM_SYSTEM_HH
+#define BWWALL_MEM_DRAM_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "mem/dram.hh"
+
+namespace bwwall {
+
+/** Static parameters of a DramSystem. */
+struct DramSystemConfig
+{
+    /** Number of channels (power of two). */
+    unsigned channels = 2;
+
+    /** Per-channel configuration. */
+    DramConfig channel;
+
+    /**
+     * Interleave granularity in bytes (power of two, >= line size).
+     * Line-granular interleaving spreads streams across channels;
+     * row-granular preserves row locality per channel.
+     */
+    std::uint32_t interleaveBytes = 64;
+};
+
+/** Address-interleaved bundle of DRAM channels. */
+class DramSystem
+{
+  public:
+    DramSystem(EventQueue &events, const DramSystemConfig &config);
+
+    /**
+     * Routes the line to its channel; false when that channel's
+     * queue is full.
+     */
+    bool request(Address address, EventQueue::Callback on_complete);
+
+    const DramSystemConfig &config() const { return config_; }
+
+    unsigned channels() const
+    {
+        return static_cast<unsigned>(channels_.size());
+    }
+
+    /** Which channel services the address (exposed for tests). */
+    unsigned channelOf(Address address) const;
+
+    const DramChannel &channel(unsigned index) const;
+
+    /** Sums of the per-channel statistics. */
+    DramStats aggregateStats() const;
+
+    /** Achieved bandwidth summed over channels, bytes/cycle. */
+    double achievedBandwidth() const;
+
+    /** Peak bandwidth summed over channels, bytes/cycle. */
+    double peakBandwidth() const;
+
+  private:
+    DramSystemConfig config_;
+    std::vector<std::unique_ptr<DramChannel>> channels_;
+    unsigned interleaveShift_;
+};
+
+} // namespace bwwall
+
+#endif // BWWALL_MEM_DRAM_SYSTEM_HH

@@ -1,0 +1,52 @@
+#include "mem/event_queue.hh"
+
+#include "util/logging.hh"
+
+namespace bwwall {
+
+void
+EventQueue::schedule(Tick when, Callback callback)
+{
+    if (when < now_)
+        panic("event scheduled in the past: ", when, " < ", now_);
+    if (!callback)
+        panic("event scheduled without a callback");
+    events_.push(Event{when, nextSequence_++, std::move(callback)});
+}
+
+void
+EventQueue::scheduleAfter(Tick delay, Callback callback)
+{
+    schedule(now_ + delay, std::move(callback));
+}
+
+bool
+EventQueue::runOne()
+{
+    if (events_.empty())
+        return false;
+    // Copy out before popping: the callback may schedule new events.
+    Event event = events_.top();
+    events_.pop();
+    now_ = event.when;
+    event.callback();
+    return true;
+}
+
+void
+EventQueue::runUntil(Tick limit)
+{
+    while (!events_.empty() && events_.top().when <= limit)
+        runOne();
+    if (now_ < limit)
+        now_ = limit;
+}
+
+void
+EventQueue::runAll()
+{
+    while (runOne()) {
+    }
+}
+
+} // namespace bwwall

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Minimal discrete-event simulation kernel.
+ *
+ * Events are (tick, callback) pairs executed in time order; ties run
+ * in scheduling order so simulations are fully deterministic.
+ */
+
+#ifndef BWWALL_MEM_EVENT_QUEUE_HH
+#define BWWALL_MEM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace bwwall {
+
+/** Simulated time in cycles. */
+using Tick = std::uint64_t;
+
+/** Deterministic discrete-event scheduler. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Schedules a callback at an absolute tick >= now(). */
+    void schedule(Tick when, Callback callback);
+
+    /** Schedules a callback `delay` ticks from now. */
+    void scheduleAfter(Tick delay, Callback callback);
+
+    /** True when no events are pending. */
+    bool empty() const { return events_.empty(); }
+
+    std::size_t pendingEvents() const { return events_.size(); }
+
+    /**
+     * Runs the earliest event; returns false when none are pending.
+     */
+    bool runOne();
+
+    /**
+     * Runs events with tick <= limit; afterwards now() == limit
+     * (unless the queue drained earlier, which leaves now() at the
+     * last executed event).
+     */
+    void runUntil(Tick limit);
+
+    /** Runs everything to completion. */
+    void runAll();
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t sequence;
+        Callback callback;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.sequence > b.sequence;
+        }
+    };
+
+    Tick now_ = 0;
+    std::uint64_t nextSequence_ = 0;
+    std::priority_queue<Event, std::vector<Event>, Later> events_;
+};
+
+} // namespace bwwall
+
+#endif // BWWALL_MEM_EVENT_QUEUE_HH

@@ -1,0 +1,50 @@
+#include "mem/memory_channel.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace bwwall {
+
+MemoryChannel::MemoryChannel(EventQueue &events,
+                             const MemoryChannelConfig &config)
+    : events_(events), config_(config)
+{
+    if (config_.bytesPerCycle <= 0.0)
+        fatal("memory channel bandwidth must be positive");
+}
+
+void
+MemoryChannel::request(std::uint64_t bytes,
+                       EventQueue::Callback on_complete)
+{
+    if (bytes == 0)
+        fatal("memory channel request of zero bytes");
+
+    const auto service = static_cast<Tick>(std::ceil(
+        static_cast<double>(bytes) / config_.bytesPerCycle));
+    const Tick start = std::max(events_.now(), nextFree_);
+    const Tick done = start + service;
+
+    ++stats_.requests;
+    stats_.bytesTransferred += bytes;
+    stats_.totalQueueingCycles += start - events_.now();
+    stats_.busyCycles += service;
+    nextFree_ = done;
+
+    events_.schedule(done + config_.fixedLatencyCycles,
+                     std::move(on_complete));
+}
+
+double
+MemoryChannel::utilization() const
+{
+    const Tick elapsed = events_.now();
+    if (elapsed == 0)
+        return 0.0;
+    return std::min(1.0, static_cast<double>(stats_.busyCycles) /
+                             static_cast<double>(elapsed));
+}
+
+} // namespace bwwall

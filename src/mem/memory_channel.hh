@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Off-chip memory channel with finite bandwidth and FIFO queueing.
+ *
+ * Models the paper's Section 1 argument quantitatively: once the rate
+ * of memory requests exceeds what the channel can service, queueing
+ * delay grows and per-core performance falls until the request rate
+ * matches the available bandwidth.
+ */
+
+#ifndef BWWALL_MEM_MEMORY_CHANNEL_HH
+#define BWWALL_MEM_MEMORY_CHANNEL_HH
+
+#include <cstdint>
+
+#include "mem/event_queue.hh"
+
+namespace bwwall {
+
+/** Static parameters of a MemoryChannel. */
+struct MemoryChannelConfig
+{
+    /**
+     * Peak transfer bandwidth in bytes per cycle.  A 64-byte line at
+     * 4 bytes/cycle occupies the channel for 16 cycles.
+     */
+    double bytesPerCycle = 4.0;
+
+    /** Fixed access latency added to every request (DRAM + wires). */
+    Tick fixedLatencyCycles = 100;
+};
+
+/** Aggregate channel statistics. */
+struct MemoryChannelStats
+{
+    std::uint64_t requests = 0;
+    std::uint64_t bytesTransferred = 0;
+    /** Cycles requests spent waiting for the channel (not service). */
+    std::uint64_t totalQueueingCycles = 0;
+    /** Cycles the channel spent actively transferring. */
+    std::uint64_t busyCycles = 0;
+
+    double
+    averageQueueingDelay() const
+    {
+        return requests == 0
+                   ? 0.0
+                   : static_cast<double>(totalQueueingCycles) /
+                         static_cast<double>(requests);
+    }
+};
+
+/** FIFO-serviced bandwidth-limited memory channel. */
+class MemoryChannel
+{
+  public:
+    MemoryChannel(EventQueue &events, const MemoryChannelConfig &config);
+
+    /**
+     * Enqueues a transfer of `bytes` and invokes on_complete when the
+     * data has fully arrived (service + fixed latency).
+     */
+    void request(std::uint64_t bytes, EventQueue::Callback on_complete);
+
+    const MemoryChannelConfig &config() const { return config_; }
+    const MemoryChannelStats &stats() const { return stats_; }
+
+    /** Fraction of elapsed time the channel was busy. */
+    double utilization() const;
+
+    /** Tick at which the channel next becomes free. */
+    Tick nextFreeTick() const { return nextFree_; }
+
+  private:
+    EventQueue &events_;
+    MemoryChannelConfig config_;
+    MemoryChannelStats stats_;
+    Tick nextFree_ = 0;
+};
+
+} // namespace bwwall
+
+#endif // BWWALL_MEM_MEMORY_CHANNEL_HH

@@ -1,0 +1,214 @@
+#include "mem/multicore_system.hh"
+
+#include "util/logging.hh"
+
+namespace bwwall {
+
+namespace {
+
+/** Retry interval when a DRAM controller queue refuses a request. */
+constexpr Tick kRetryCycles = 16;
+
+} // namespace
+
+DramTraceCore::DramTraceCore(EventQueue &events, DramSystem &dram,
+                             std::unique_ptr<TraceSource> trace,
+                             const TraceDrivenCoreConfig &config)
+    : events_(events), dram_(dram), trace_(std::move(trace)),
+      config_(config)
+{
+    if (!trace_)
+        fatal("DRAM trace core requires a trace");
+    cache_ = std::make_unique<SetAssociativeCache>(config_.cache);
+    if (config_.l2Enabled)
+        l2_ = std::make_unique<SetAssociativeCache>(config_.l2);
+    cache_->setEvictionCallback(
+        [this](const EvictionRecord &record) {
+            if (record.dirty)
+                dirtyVictims_.push_back(record.lineAddress);
+        });
+}
+
+void
+DramTraceCore::warm(std::uint64_t accesses)
+{
+    for (std::uint64_t i = 0; i < accesses; ++i) {
+        const MemoryAccess access = trace_->next();
+        dirtyVictims_.clear();
+        const AccessOutcome outcome = cache_->access(access);
+        if (!l2_)
+            continue;
+        for (const Address victim : dirtyVictims_)
+            l2_->access({victim, AccessType::Write, access.thread});
+        if (outcome.bytesFetched > 0) {
+            MemoryAccess fill = access;
+            fill.type = AccessType::Read;
+            l2_->access(fill);
+        }
+    }
+    cache_->resetStats();
+    if (l2_)
+        l2_->resetStats();
+}
+
+void
+DramTraceCore::start()
+{
+    events_.scheduleAfter(config_.hitCycles, [this] { step(); });
+}
+
+void
+DramTraceCore::finishAfter(Tick delay)
+{
+    ++stats_.completedRequests;
+    events_.scheduleAfter(delay, [this] { step(); });
+}
+
+void
+DramTraceCore::step()
+{
+    const MemoryAccess access = trace_->next();
+    dirtyVictims_.clear();
+    const AccessOutcome outcome = cache_->access(access);
+    if (outcome.bytesFetched + outcome.bytesWrittenBack == 0) {
+        // Pure first-level hit: no lower level is touched.
+        finishAfter(config_.hitCycles);
+        return;
+    }
+
+    // Collect the line transfers this access caused.
+    pendingTransfers_.clear();
+    extraLatency_ = 0;
+    const Address line_mask = ~Address{config_.cache.lineBytes - 1};
+    if (l2_) {
+        extraLatency_ = config_.l2HitCycles;
+        for (const Address victim : dirtyVictims_) {
+            std::vector<Address> l2_victims;
+            l2_->setEvictionCallback(
+                [&l2_victims](const EvictionRecord &record) {
+                    if (record.dirty)
+                        l2_victims.push_back(record.lineAddress);
+                });
+            l2_->access({victim, AccessType::Write, access.thread});
+            l2_->setEvictionCallback(nullptr);
+            for (const Address l2_victim : l2_victims)
+                pendingTransfers_.push_back(l2_victim);
+        }
+        if (outcome.bytesFetched > 0) {
+            std::vector<Address> l2_victims;
+            l2_->setEvictionCallback(
+                [&l2_victims](const EvictionRecord &record) {
+                    if (record.dirty)
+                        l2_victims.push_back(record.lineAddress);
+                });
+            MemoryAccess fill = access;
+            fill.type = AccessType::Read;
+            const AccessOutcome l2_outcome = l2_->access(fill);
+            l2_->setEvictionCallback(nullptr);
+            for (const Address l2_victim : l2_victims)
+                pendingTransfers_.push_back(l2_victim);
+            if (l2_outcome.bytesFetched > 0)
+                pendingTransfers_.push_back(access.address &
+                                            line_mask);
+        }
+    } else {
+        for (const Address victim : dirtyVictims_)
+            pendingTransfers_.push_back(victim);
+        if (outcome.bytesFetched > 0)
+            pendingTransfers_.push_back(access.address & line_mask);
+    }
+
+    if (pendingTransfers_.empty()) {
+        // The second level absorbed every transfer: pay its latency.
+        stats_.stallCycles += extraLatency_;
+        finishAfter(config_.hitCycles + extraLatency_);
+        return;
+    }
+
+    issueTick_ = events_.now();
+    inFlight_ = 0;
+    issuePending();
+}
+
+void
+DramTraceCore::issuePending()
+{
+    while (!pendingTransfers_.empty()) {
+        const Address address = pendingTransfers_.back();
+        const bool accepted = dram_.request(
+            address, [this] { onTransferComplete(); });
+        if (!accepted) {
+            // Controller queue full: retry shortly.
+            events_.scheduleAfter(kRetryCycles,
+                                  [this] { issuePending(); });
+            return;
+        }
+        pendingTransfers_.pop_back();
+        ++inFlight_;
+    }
+}
+
+void
+DramTraceCore::onTransferComplete()
+{
+    if (inFlight_ == 0)
+        panic("transfer completion without an in-flight request");
+    --inFlight_;
+    if (inFlight_ == 0 && pendingTransfers_.empty()) {
+        stats_.stallCycles +=
+            events_.now() - issueTick_ + extraLatency_;
+        finishAfter(config_.hitCycles + extraLatency_);
+    }
+}
+
+MulticoreSystem::MulticoreSystem(EventQueue &events,
+                                 const MulticoreSystemConfig &config,
+                                 const TraceFactory &trace_factory)
+{
+    if (config.cores == 0)
+        fatal("multicore system requires at least one core");
+    if (!trace_factory)
+        fatal("multicore system requires a trace factory");
+
+    dram_ = std::make_unique<DramSystem>(events, config.dram);
+    for (unsigned index = 0; index < config.cores; ++index) {
+        auto trace = trace_factory(index);
+        if (!trace)
+            fatal("trace factory returned no trace for core ", index);
+        cores_.push_back(std::make_unique<DramTraceCore>(
+            events, *dram_, std::move(trace), config.core));
+    }
+}
+
+void
+MulticoreSystem::warm(std::uint64_t accesses_per_core)
+{
+    for (const auto &core_ptr : cores_)
+        core_ptr->warm(accesses_per_core);
+}
+
+void
+MulticoreSystem::start()
+{
+    for (const auto &core_ptr : cores_)
+        core_ptr->start();
+}
+
+const DramTraceCore &
+MulticoreSystem::core(unsigned index) const
+{
+    if (index >= cores_.size())
+        fatal("core index out of range: ", index);
+    return *cores_[index];
+}
+
+std::uint64_t
+MulticoreSystem::totalCompletedAccesses() const
+{
+    std::uint64_t total = 0;
+    for (const auto &core_ptr : cores_)
+        total += core_ptr->stats().completedRequests;
+    return total;
+}
+
+} // namespace bwwall

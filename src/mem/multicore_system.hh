@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Full-system multicore simulation: N trace-driven cores with
+ * private caches sharing a multi-channel DRAM system.
+ *
+ * This is the integration layer that ties the repository's
+ * substrates together — synthetic workloads, the cache model, and
+ * the bank/row DRAM — into the experiment the paper's introduction
+ * describes: adding cores to a chip whose off-chip memory cannot
+ * keep up.
+ */
+
+#ifndef BWWALL_MEM_MULTICORE_SYSTEM_HH
+#define BWWALL_MEM_MULTICORE_SYSTEM_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cache/set_assoc_cache.hh"
+#include "mem/core_model.hh"
+#include "mem/dram_system.hh"
+#include "trace/trace_source.hh"
+
+namespace bwwall {
+
+/** One trace-driven core whose misses go to a shared DramSystem. */
+class DramTraceCore
+{
+  public:
+    /**
+     * @param config Reuses TraceDrivenCoreConfig (the optional
+     * second level applies before the DRAM).
+     */
+    DramTraceCore(EventQueue &events, DramSystem &dram,
+                  std::unique_ptr<TraceSource> trace,
+                  const TraceDrivenCoreConfig &config);
+
+    /** Replays accesses through the caches only (no time). */
+    void warm(std::uint64_t accesses);
+
+    /** Schedules the core's first access. */
+    void start();
+
+    const CoreStats &stats() const { return stats_; }
+    const SetAssociativeCache &cache() const { return *cache_; }
+
+  private:
+    void step();
+    void finishAfter(Tick delay);
+    void issuePending();
+    void onTransferComplete();
+
+    EventQueue &events_;
+    DramSystem &dram_;
+    std::unique_ptr<TraceSource> trace_;
+    TraceDrivenCoreConfig config_;
+    std::unique_ptr<SetAssociativeCache> cache_;
+    std::unique_ptr<SetAssociativeCache> l2_;
+    std::vector<Address> dirtyVictims_;
+    std::vector<Address> pendingTransfers_;
+    unsigned inFlight_ = 0;
+    Tick issueTick_ = 0;
+    Tick extraLatency_ = 0;
+    CoreStats stats_;
+};
+
+/** Static parameters of a MulticoreSystem. */
+struct MulticoreSystemConfig
+{
+    unsigned cores = 8;
+
+    /** Per-core cache/latency configuration. */
+    TraceDrivenCoreConfig core;
+
+    /** Shared memory system. */
+    DramSystemConfig dram;
+};
+
+/** Builds one core's trace; called with the core index. */
+using TraceFactory =
+    std::function<std::unique_ptr<TraceSource>(unsigned core)>;
+
+/** N cores over a shared DRAM system. */
+class MulticoreSystem
+{
+  public:
+    MulticoreSystem(EventQueue &events,
+                    const MulticoreSystemConfig &config,
+                    const TraceFactory &trace_factory);
+
+    /** Warms every core's caches. */
+    void warm(std::uint64_t accesses_per_core);
+
+    /** Starts every core. */
+    void start();
+
+    unsigned cores() const
+    {
+        return static_cast<unsigned>(cores_.size());
+    }
+
+    const DramTraceCore &core(unsigned index) const;
+    DramSystem &dram() { return *dram_; }
+    const DramSystem &dram() const { return *dram_; }
+
+    /** Sum of completed accesses over all cores. */
+    std::uint64_t totalCompletedAccesses() const;
+
+  private:
+    std::unique_ptr<DramSystem> dram_;
+    std::vector<std::unique_ptr<DramTraceCore>> cores_;
+};
+
+} // namespace bwwall
+
+#endif // BWWALL_MEM_MULTICORE_SYSTEM_HH

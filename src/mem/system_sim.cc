@@ -1,0 +1,64 @@
+#include "mem/system_sim.hh"
+
+#include <memory>
+
+#include "util/logging.hh"
+
+namespace bwwall {
+
+std::vector<SaturationPoint>
+runSaturationSweep(const SaturationSweepParams &params)
+{
+    if (params.coreCounts.empty())
+        fatal("saturation sweep requires at least one core count");
+
+    std::vector<SaturationPoint> points;
+    points.reserve(params.coreCounts.size());
+
+    for (const unsigned cores : params.coreCounts) {
+        if (cores == 0)
+            fatal("core count must be positive");
+
+        EventQueue events;
+        MemoryChannel channel(events, params.channel);
+        std::vector<std::unique_ptr<SimpleCore>> core_models;
+        core_models.reserve(cores);
+        for (unsigned core = 0; core < cores; ++core) {
+            SimpleCoreConfig config = params.coreTemplate;
+            config.seed = params.coreTemplate.seed + core * 7919 + 1;
+            core_models.push_back(std::make_unique<SimpleCore>(
+                events, channel, config));
+            core_models.back()->start();
+        }
+        events.runUntil(params.simulatedCycles);
+
+        std::uint64_t completed = 0;
+        for (const auto &core : core_models)
+            completed += core->stats().completedRequests;
+
+        SaturationPoint point;
+        point.cores = cores;
+        point.aggregateThroughput =
+            static_cast<double>(completed) * 1000.0 /
+            static_cast<double>(params.simulatedCycles);
+        point.perCoreThroughput =
+            point.aggregateThroughput / static_cast<double>(cores);
+        point.channelUtilization = channel.utilization();
+        point.averageQueueingDelay =
+            channel.stats().averageQueueingDelay();
+        points.push_back(point);
+    }
+    return points;
+}
+
+double
+channelSaturationThroughput(const MemoryChannelConfig &channel,
+                            std::uint64_t request_bytes)
+{
+    if (request_bytes == 0)
+        fatal("request size must be positive");
+    return channel.bytesPerCycle * 1000.0 /
+           static_cast<double>(request_bytes);
+}
+
+} // namespace bwwall

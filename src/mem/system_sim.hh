@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Whole-system throughput simulation: N cores sharing one memory
+ * channel, swept over the core count to expose the bandwidth wall.
+ */
+
+#ifndef BWWALL_MEM_SYSTEM_SIM_HH
+#define BWWALL_MEM_SYSTEM_SIM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/core_model.hh"
+
+namespace bwwall {
+
+/** Parameters of a saturation sweep. */
+struct SaturationSweepParams
+{
+    /** Core counts to simulate. */
+    std::vector<unsigned> coreCounts = {1, 2, 4, 8, 16, 32, 64};
+
+    /** Per-core behaviour template (seed is varied per core). */
+    SimpleCoreConfig coreTemplate;
+
+    /** Shared channel parameters. */
+    MemoryChannelConfig channel;
+
+    /** Simulated duration per point, in cycles. */
+    Tick simulatedCycles = 2000000;
+};
+
+/** Result of one core-count point. */
+struct SaturationPoint
+{
+    unsigned cores = 0;
+    /** Work units completed per 1000 cycles, summed over cores. */
+    double aggregateThroughput = 0.0;
+    /** Work units per 1000 cycles per core. */
+    double perCoreThroughput = 0.0;
+    /** Fraction of time the channel was transferring. */
+    double channelUtilization = 0.0;
+    /** Mean cycles a request waited before service began. */
+    double averageQueueingDelay = 0.0;
+};
+
+/**
+ * Runs the sweep.  Each point builds a fresh event queue, channel,
+ * and cores, then simulates for the configured duration.
+ */
+std::vector<SaturationPoint> runSaturationSweep(
+    const SaturationSweepParams &params);
+
+/**
+ * Analytic saturation throughput of the channel, in work units per
+ * 1000 cycles: bandwidth divided by bytes per work unit.
+ */
+double channelSaturationThroughput(const MemoryChannelConfig &channel,
+                                   std::uint64_t request_bytes);
+
+} // namespace bwwall
+
+#endif // BWWALL_MEM_SYSTEM_SIM_HH

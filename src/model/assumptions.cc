@@ -1,0 +1,142 @@
+#include "model/assumptions.hh"
+
+#include "util/logging.hh"
+
+namespace bwwall {
+
+std::string
+assumptionName(Assumption assumption)
+{
+    switch (assumption) {
+      case Assumption::Pessimistic:
+        return "pessimistic";
+      case Assumption::Realistic:
+        return "realistic";
+      case Assumption::Optimistic:
+        return "optimistic";
+    }
+    panic("unknown assumption level");
+}
+
+namespace {
+
+// Paper Table 2 parameter points.
+
+double
+pick(Assumption assumption, double pessimistic, double realistic,
+     double optimistic)
+{
+    switch (assumption) {
+      case Assumption::Pessimistic:
+        return pessimistic;
+      case Assumption::Realistic:
+        return realistic;
+      case Assumption::Optimistic:
+        return optimistic;
+    }
+    panic("unknown assumption level");
+}
+
+Technique
+makeCc(Assumption assumption)
+{
+    return cacheCompression(pick(assumption, 1.25, 2.0, 3.5));
+}
+
+Technique
+makeDram(Assumption assumption)
+{
+    return dramCache(pick(assumption, 4.0, 8.0, 16.0));
+}
+
+Technique
+makeStacked(Assumption)
+{
+    // The paper evaluates a single point here: one SRAM layer.
+    return stackedCache(1.0);
+}
+
+Technique
+makeFltr(Assumption assumption)
+{
+    return unusedDataFilter(pick(assumption, 0.10, 0.40, 0.80));
+}
+
+Technique
+makeSmCo(Assumption assumption)
+{
+    return smallerCores(1.0 / pick(assumption, 9.0, 40.0, 80.0));
+}
+
+Technique
+makeLc(Assumption assumption)
+{
+    return linkCompression(pick(assumption, 1.25, 2.0, 3.5));
+}
+
+Technique
+makeSect(Assumption assumption)
+{
+    return sectoredCache(pick(assumption, 0.10, 0.40, 0.80));
+}
+
+Technique
+makeCcLc(Assumption assumption)
+{
+    return cacheLinkCompression(pick(assumption, 1.25, 2.0, 3.5));
+}
+
+Technique
+makeSmCl(Assumption assumption)
+{
+    return smallCacheLines(pick(assumption, 0.10, 0.40, 0.80));
+}
+
+} // namespace
+
+const std::vector<TechniqueAssumption> &
+table2Assumptions()
+{
+    static const std::vector<TechniqueAssumption> rows = {
+        {"CC", "Cache Compress", "1.25x compr.", "2x compr.",
+         "3.5x compr.", "Med.", "Low", "Med.", &makeCc},
+        {"DRAM", "DRAM Cache", "4x density", "8x density",
+         "16x density", "High", "Med.", "Low", &makeDram},
+        {"3D", "3D-stacked Cache", "3D SRAM layer", "3D SRAM layer",
+         "3D SRAM layer", "Med.", "Low", "High", &makeStacked},
+        {"Fltr", "Unused Data Filter", "10% unused data",
+         "40% unused data", "80% unused data", "Med.", "Med.", "Med.",
+         &makeFltr},
+        {"SmCo", "Smaller Cores", "9x less area", "40x less area",
+         "80x less area", "Low", "Low", "Low", &makeSmCo},
+        {"LC", "Link Compress", "1.25x compr.", "2x compr.",
+         "3.5x compr.", "High", "Med.", "Low", &makeLc},
+        {"Sect", "Sectored Caches", "10% unused data",
+         "40% unused data", "80% unused data", "Med.", "High", "Med.",
+         &makeSect},
+        {"CC/LC", "Cache+Link Compress", "1.25x compr.", "2x compr.",
+         "3.5x compr.", "High", "High", "Low", &makeCcLc},
+        {"SmCl", "Smaller Cache Lines", "10% unused data",
+         "40% unused data", "80% unused data", "High", "High", "Med.",
+         &makeSmCl},
+    };
+    return rows;
+}
+
+const TechniqueAssumption &
+table2Row(const std::string &label)
+{
+    for (const TechniqueAssumption &row : table2Assumptions()) {
+        if (row.label == label)
+            return row;
+    }
+    fatal("unknown Table 2 technique label: ", label);
+}
+
+Technique
+makeTechnique(const std::string &label, Assumption assumption)
+{
+    return table2Row(label).make(assumption);
+}
+
+} // namespace bwwall

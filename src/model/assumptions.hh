@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The paper's Table 2: pessimistic / realistic / optimistic parameter
+ * assumptions and qualitative ratings for every technique.
+ */
+
+#ifndef BWWALL_MODEL_ASSUMPTIONS_HH
+#define BWWALL_MODEL_ASSUMPTIONS_HH
+
+#include <string>
+#include <vector>
+
+#include "model/technique.hh"
+
+namespace bwwall {
+
+/** Which end of the assumption range to instantiate. */
+enum class Assumption
+{
+    Pessimistic,
+    Realistic,
+    Optimistic,
+};
+
+/** Returns "pessimistic" / "realistic" / "optimistic". */
+std::string assumptionName(Assumption assumption);
+
+/** One Table 2 row: parameter range plus qualitative ratings. */
+struct TechniqueAssumption
+{
+    /** Paper's technique label (CC, DRAM, 3D, ...). */
+    std::string label;
+
+    /** Full technique name. */
+    std::string name;
+
+    /** Human-readable parameter descriptions, per assumption. */
+    std::string pessimistic;
+    std::string realistic;
+    std::string optimistic;
+
+    /** Qualitative ratings from the paper's Table 2. */
+    std::string effectiveness;
+    std::string range;
+    std::string complexity;
+
+    /** Builds the technique at the given assumption level. */
+    Technique (*make)(Assumption);
+};
+
+/**
+ * All nine Table 2 rows, in the paper's order: CC, DRAM, 3D, Fltr,
+ * SmCo, LC, Sect, CC/LC, SmCl.
+ */
+const std::vector<TechniqueAssumption> &table2Assumptions();
+
+/** Looks a row up by its label; fatals when absent. */
+const TechniqueAssumption &table2Row(const std::string &label);
+
+/** Convenience: build a technique by label and assumption. */
+Technique makeTechnique(const std::string &label,
+                        Assumption assumption);
+
+} // namespace bwwall
+
+#endif // BWWALL_MODEL_ASSUMPTIONS_HH

@@ -1,0 +1,172 @@
+#include "model/bandwidth_wall.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "model/power_law.hh"
+#include "util/logging.hh"
+
+namespace bwwall {
+
+namespace {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+void
+validateScenario(const ScalingScenario &scenario)
+{
+    scenario.baseline.validate();
+    if (scenario.alpha <= 0.0)
+        fatal("scenario requires alpha > 0");
+    if (scenario.totalCeas <= 0.0)
+        fatal("scenario requires a positive die area");
+    if (scenario.trafficBudget <= 0.0)
+        fatal("scenario requires a positive traffic budget");
+}
+
+} // namespace
+
+double
+relativeTraffic(const ScalingScenario &scenario, double cores)
+{
+    validateScenario(scenario);
+    if (cores <= 0.0)
+        fatal("relativeTraffic requires a positive core count");
+
+    const TechniqueEffects effects =
+        combineEffects(scenario.techniques);
+
+    const double core_area = cores * effects.coreAreaFraction;
+    if (core_area > scenario.totalCeas)
+        return kInfinity; // cores do not fit on the die
+
+    const double on_die_cache =
+        (scenario.totalCeas - core_area) * effects.cacheDensity;
+    const double stacked_cache = effects.stackedLayers *
+        scenario.totalCeas * effects.stackedDensity;
+    const double cache_ceas = on_die_cache + stacked_cache;
+    if (cache_ceas <= 0.0)
+        return kInfinity; // no cache at all: unbounded traffic
+
+    // Data sharing shrinks the number of independent traffic sources
+    // (paper Eq. 14) and pools the shared cache (paper Eq. 13).
+    const double effective_cores = effects.sharedFraction >= 0.0
+        ? effects.sharedFraction +
+              (1.0 - effects.sharedFraction) * cores
+        : cores;
+
+    // With a pooled (shared) cache the per-thread capacity divides
+    // by the traffic-equivalent cores; with private caches shared
+    // lines replicate and each core keeps its plain share (paper
+    // footnote 1).
+    const double capacity_divisor =
+        effects.sharedFraction >= 0.0 && !effects.sharingPoolsCache
+            ? cores
+            : effective_cores;
+    const double effective_cache_per_core =
+        cache_ceas * effects.capacityFactor / capacity_divisor;
+
+    const PowerLaw law(scenario.alpha);
+    const double s1 = scenario.baseline.cachePerCore();
+    return (effective_cores / scenario.baseline.coreCeas) *
+           law.trafficScale(effective_cache_per_core / s1) *
+           effects.directFactor;
+}
+
+double
+maxPlaceableCores(const ScalingScenario &scenario)
+{
+    validateScenario(scenario);
+    const TechniqueEffects effects =
+        combineEffects(scenario.techniques);
+    return scenario.totalCeas / effects.coreAreaFraction;
+}
+
+SolveResult
+solveSupportableCores(const ScalingScenario &scenario)
+{
+    validateScenario(scenario);
+    const TechniqueEffects effects =
+        combineEffects(scenario.techniques);
+
+    SolveResult result;
+    const double max_cores = maxPlaceableCores(scenario);
+    const int max_whole =
+        static_cast<int>(std::floor(max_cores + 1e-9));
+    if (max_whole < 1)
+        return result;
+
+    if (relativeTraffic(scenario, 1.0) > scenario.trafficBudget)
+        return result; // even one core breaks the budget
+
+    // M(P) is monotone increasing in P: integer bisection for the
+    // largest P within budget.
+    int lo = 1, hi = max_whole;
+    while (lo < hi) {
+        const int mid = lo + (hi - lo + 1) / 2;
+        if (relativeTraffic(scenario, mid) <= scenario.trafficBudget)
+            lo = mid;
+        else
+            hi = mid - 1;
+    }
+    result.supportableCores = lo;
+    result.trafficAtSolution =
+        relativeTraffic(scenario, static_cast<double>(lo));
+
+    // Real-valued crossing for smooth plots.
+    double flo = 1.0, fhi = max_cores;
+    if (relativeTraffic(scenario, fhi) <= scenario.trafficBudget) {
+        result.fractionalCores = fhi;
+    } else {
+        for (int iteration = 0; iteration < 100; ++iteration) {
+            const double mid = 0.5 * (flo + fhi);
+            if (relativeTraffic(scenario, mid) <=
+                scenario.trafficBudget) {
+                flo = mid;
+            } else {
+                fhi = mid;
+            }
+        }
+        result.fractionalCores = flo;
+    }
+
+    const double core_area =
+        static_cast<double>(lo) * effects.coreAreaFraction;
+    result.coreAreaFraction = core_area / scenario.totalCeas;
+    result.cachePerCore =
+        (scenario.totalCeas - core_area +
+         effects.stackedLayers * scenario.totalCeas) /
+        static_cast<double>(lo);
+    return result;
+}
+
+double
+requiredSharedFraction(const ScalingScenario &scenario, double cores)
+{
+    validateScenario(scenario);
+    if (cores <= 0.0)
+        fatal("requiredSharedFraction requires a positive core count");
+
+    auto traffic_at = [&scenario, cores](double shared_fraction) {
+        ScalingScenario shared = scenario;
+        shared.techniques.push_back(dataSharing(shared_fraction));
+        return relativeTraffic(shared, cores);
+    };
+
+    if (traffic_at(0.0) <= scenario.trafficBudget)
+        return 0.0;
+    if (traffic_at(1.0) > scenario.trafficBudget)
+        return 2.0; // sentinel > 1: even full sharing is not enough
+
+    double lo = 0.0, hi = 1.0; // traffic decreasing in the fraction
+    for (int iteration = 0; iteration < 100; ++iteration) {
+        const double mid = 0.5 * (lo + hi);
+        if (traffic_at(mid) > scenario.trafficBudget)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return hi;
+}
+
+} // namespace bwwall

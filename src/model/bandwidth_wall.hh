@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The bandwidth-wall scaling model: relative memory traffic of a
+ * candidate CMP configuration (paper Equations 5-14) and the solver
+ * for the supportable core count under a traffic budget.
+ */
+
+#ifndef BWWALL_MODEL_BANDWIDTH_WALL_HH
+#define BWWALL_MODEL_BANDWIDTH_WALL_HH
+
+#include <vector>
+
+#include "model/cmp_config.hh"
+#include "model/technique.hh"
+
+namespace bwwall {
+
+/** One what-if: a die budget, workload, and technique set. */
+struct ScalingScenario
+{
+    /** Reference configuration M1 is measured on (paper Sec. 5.1). */
+    CmpConfig baseline = niagara2Baseline();
+
+    /** Workload cache-sensitivity exponent. */
+    double alpha = 0.5;
+
+    /** Die area of the candidate configuration in CEAs (paper's N2). */
+    double totalCeas = 32.0;
+
+    /**
+     * Allowed traffic relative to the baseline (paper's B); 1 keeps
+     * the memory traffic envelope fixed.
+     */
+    double trafficBudget = 1.0;
+
+    /** Bandwidth-conservation techniques in effect. */
+    std::vector<Technique> techniques;
+};
+
+/**
+ * Relative memory traffic M2/M1 of the scenario with `cores` cores
+ * (paper Eq. 5 extended per technique).  Returns +infinity for
+ * infeasible configurations (no cache left, cores exceed the die).
+ */
+double relativeTraffic(const ScalingScenario &scenario, double cores);
+
+/** Solution of a supportable-core-count query. */
+struct SolveResult
+{
+    /** Largest whole core count within the budget (0 if none). */
+    int supportableCores = 0;
+
+    /** Real-valued solution of M(P) = budget (for smooth curves). */
+    double fractionalCores = 0.0;
+
+    /** M2/M1 at the integer solution. */
+    double trafficAtSolution = 0.0;
+
+    /** Fraction of the base die occupied by cores at the solution. */
+    double coreAreaFraction = 0.0;
+
+    /** Physical cache CEAs per core at the integer solution. */
+    double cachePerCore = 0.0;
+};
+
+/**
+ * Finds the largest core count whose traffic stays within the budget.
+ * Uses the monotonicity of M2/M1 in the core count.
+ */
+SolveResult solveSupportableCores(const ScalingScenario &scenario);
+
+/** Largest physically placeable core count for the scenario. */
+double maxPlaceableCores(const ScalingScenario &scenario);
+
+/**
+ * Smallest shared-data fraction that brings the scenario's traffic
+ * with `cores` cores inside the budget (paper Figure 13 inverted).
+ * Returns a value > 1 when even full sharing is not enough.
+ */
+double requiredSharedFraction(const ScalingScenario &scenario,
+                              double cores);
+
+} // namespace bwwall
+
+#endif // BWWALL_MODEL_BANDWIDTH_WALL_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * CMP die-area accounting in Core Equivalent Areas (paper Table 1).
+ *
+ * | symbol | meaning                                             |
+ * |--------|-----------------------------------------------------|
+ * | CEA    | die area of one core plus its L1 caches             |
+ * | P      | CEAs spent on cores (= number of cores)             |
+ * | C      | CEAs spent on on-chip cache                         |
+ * | N      | P + C, the whole die in CEAs                        |
+ * | S      | C / P, cache per core                                |
+ */
+
+#ifndef BWWALL_MODEL_CMP_CONFIG_HH
+#define BWWALL_MODEL_CMP_CONFIG_HH
+
+#include "util/logging.hh"
+
+namespace bwwall {
+
+/** One CMP die split between cores and cache. */
+struct CmpConfig
+{
+    /** Total die area in CEAs (paper's N). */
+    double totalCeas = 16.0;
+
+    /** Area spent on cores (paper's P); cores are 1 CEA each. */
+    double coreCeas = 8.0;
+
+    /** Cache area in CEAs (paper's C = N - P). */
+    double
+    cacheCeas() const
+    {
+        return totalCeas - coreCeas;
+    }
+
+    /** Cache per core (paper's S = C / P). */
+    double
+    cachePerCore() const
+    {
+        if (coreCeas <= 0.0)
+            fatal("cachePerCore requires at least a fraction of a core");
+        return cacheCeas() / coreCeas;
+    }
+
+    /** Fraction of the die allocated to cores. */
+    double
+    coreAreaFraction() const
+    {
+        if (totalCeas <= 0.0)
+            fatal("coreAreaFraction requires a positive die");
+        return coreCeas / totalCeas;
+    }
+
+    /** Validates N > 0, 0 < P, C >= 0. */
+    void
+    validate() const
+    {
+        if (totalCeas <= 0.0)
+            fatal("CmpConfig requires a positive die area");
+        if (coreCeas <= 0.0)
+            fatal("CmpConfig requires a positive core area");
+        if (cacheCeas() < 0.0)
+            fatal("CmpConfig core area exceeds the die");
+    }
+};
+
+/**
+ * The paper's baseline (Section 5.1): a balanced Niagara2-like CMP
+ * with 8 cores and 8 CEAs (~4 MB) of L2 — N1 = 16, P1 = 8, S1 = 1.
+ */
+inline CmpConfig
+niagara2Baseline()
+{
+    return CmpConfig{16.0, 8.0};
+}
+
+} // namespace bwwall
+
+#endif // BWWALL_MODEL_CMP_CONFIG_HH

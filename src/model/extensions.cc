@@ -1,0 +1,121 @@
+#include "model/extensions.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace bwwall {
+
+Technique
+smtCores(unsigned threads_per_core, double marginal_traffic)
+{
+    if (threads_per_core == 0)
+        fatal("SMT requires at least one thread per core");
+    if (marginal_traffic <= 0.0 || marginal_traffic > 1.0)
+        fatal("SMT marginal traffic must be in (0, 1]");
+
+    // Per-core traffic rate relative to single-threaded: the first
+    // thread counts fully, each further thread marginally.
+    const double rate = 1.0 +
+        marginal_traffic * static_cast<double>(threads_per_core - 1);
+
+    TechniqueEffects effects;
+    effects.directFactor = rate;
+
+    std::ostringstream name;
+    name << "SMT " << threads_per_core << "-way (x" << rate
+         << " traffic)";
+    return {name.str(), "SMT", effects};
+}
+
+Technique
+smallerCoresWithInterconnect(double core_area_fraction,
+                             double router_area_ceas)
+{
+    if (core_area_fraction <= 0.0 || core_area_fraction > 1.0)
+        fatal("smaller cores require an area fraction in (0, 1]");
+    if (router_area_ceas < 0.0)
+        fatal("router area must be non-negative");
+
+    TechniqueEffects effects;
+    effects.coreAreaFraction = core_area_fraction + router_area_ceas;
+
+    std::ostringstream name;
+    name << "smaller cores " << 1.0 / core_area_fraction
+         << "x smaller + " << router_area_ceas << " CEA interconnect";
+    return {name.str(), "SmCo+NoC", effects};
+}
+
+BandwidthEnvelope
+constantEnvelope()
+{
+    return {"constant", 1.0};
+}
+
+BandwidthEnvelope
+itrsPinEnvelope()
+{
+    // 10% per year over a 1.5-year generation: 1.1^1.5.
+    return {"itrs-pins", std::pow(1.1, 1.5)};
+}
+
+BandwidthEnvelope
+optimisticEnvelope()
+{
+    return {"optimistic-1.5x", 1.5};
+}
+
+std::vector<GenerationResult>
+runExtendedStudy(const ExtendedStudyParams &params)
+{
+    if (params.base.generations < 1)
+        fatal("extended study requires at least one generation");
+    if (params.drift.trafficGrowthPerGeneration <= 0.0)
+        fatal("traffic growth per generation must be positive");
+    if (params.envelope.growthPerGeneration <= 0.0)
+        fatal("envelope growth per generation must be positive");
+
+    std::vector<GenerationResult> results;
+    results.reserve(
+        static_cast<std::size_t>(params.base.generations));
+
+    for (int generation = 1; generation <= params.base.generations;
+         ++generation) {
+        const double scale = std::pow(2.0, generation);
+
+        ScalingScenario scenario;
+        scenario.baseline = params.base.baseline;
+        scenario.alpha = params.base.alpha +
+            params.drift.alphaDriftPerGeneration * generation;
+        if (scenario.alpha <= 0.0)
+            fatal("alpha drifted non-positive at generation ",
+                  generation);
+        scenario.totalCeas = params.base.baseline.totalCeas * scale;
+        scenario.techniques = params.base.techniques;
+
+        // The budget is the envelope growth divided by the workload's
+        // own traffic growth: a workload generating w-times the
+        // traffic per unit of work shrinks the effective envelope.
+        const double envelope = std::pow(
+            params.envelope.growthPerGeneration, generation);
+        const double workload_growth = std::pow(
+            params.drift.trafficGrowthPerGeneration, generation);
+        scenario.trafficBudget =
+            std::pow(params.base.bandwidthGrowthPerGeneration,
+                     generation) *
+            envelope / workload_growth;
+
+        const SolveResult solved = solveSupportableCores(scenario);
+
+        GenerationResult result;
+        result.scale = scale;
+        result.totalCeas = scenario.totalCeas;
+        result.cores = solved.supportableCores;
+        result.coreAreaFraction = solved.coreAreaFraction;
+        results.push_back(result);
+    }
+    return results;
+}
+
+} // namespace bwwall

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Model extensions beyond the paper's evaluated configuration space,
+ * each motivated by a caveat the paper itself states (its Section 3):
+ *
+ *  - multithreaded (SMT) cores: "our study tends to underestimate
+ *    the severity of the bandwidth wall problem compared to a system
+ *    with multithreaded cores" — smtCores() models a core that keeps
+ *    the memory system busier per unit area;
+ *  - workload drift: "past trends point to the contrary, as the
+ *    working set of the average workload has been increasing" —
+ *    WorkloadDrift grows the per-core traffic baseline each
+ *    generation;
+ *  - bandwidth envelopes: the paper quotes the ITRS projection of
+ *    ~10% pin growth per year; BandwidthEnvelope captures named
+ *    budget-growth models instead of a bare constant.
+ */
+
+#ifndef BWWALL_MODEL_EXTENSIONS_HH
+#define BWWALL_MODEL_EXTENSIONS_HH
+
+#include <string>
+#include <vector>
+
+#include "model/scaling_study.hh"
+#include "model/technique.hh"
+
+namespace bwwall {
+
+/**
+ * Simultaneous multithreading: threads_per_core threads share one
+ * core.  Utilisation rises (the core idles less, generating more
+ * traffic per unit time) but sub-linearly — each extra thread
+ * contributes marginal_traffic of a full thread's traffic.  The
+ * result is an anti-technique: a direct factor > 1.
+ *
+ * @param threads_per_core >= 1.
+ * @param marginal_traffic in (0, 1]: traffic contribution of each
+ * thread beyond the first, relative to the first.
+ */
+Technique smtCores(unsigned threads_per_core,
+                   double marginal_traffic = 0.7);
+
+/**
+ * Smaller cores with an explicit interconnect charge.  The paper's
+ * Section 6.1 warns that "with increasingly smaller cores, the
+ * interconnection between cores (routers, links, buses, etc.)
+ * becomes increasingly larger and more complex" — this variant
+ * charges every core a fixed router/link area on top of its shrunken
+ * logic, so the cache reclaim saturates and the technique's already
+ * weak benefit erodes further.
+ *
+ * @param core_area_fraction Logic area of one small core relative to
+ * the baseline core, in (0, 1].
+ * @param router_area_ceas Interconnect area charged per core, in
+ * CEAs (>= 0).
+ */
+Technique smallerCoresWithInterconnect(double core_area_fraction,
+                                       double router_area_ceas);
+
+/** How the per-core traffic baseline drifts across generations. */
+struct WorkloadDrift
+{
+    /**
+     * Multiplier on generated traffic per generation (1 = the
+     * paper's stationary-workload assumption; > 1 = growing working
+     * sets).
+     */
+    double trafficGrowthPerGeneration = 1.0;
+
+    /** Additive drift of alpha per generation (usually <= 0). */
+    double alphaDriftPerGeneration = 0.0;
+};
+
+/** A named off-chip bandwidth growth model. */
+struct BandwidthEnvelope
+{
+    std::string name;
+    /** Budget multiplier per technology generation. */
+    double growthPerGeneration = 1.0;
+};
+
+/** Constant traffic: the paper's default envelope. */
+BandwidthEnvelope constantEnvelope();
+
+/**
+ * ITRS-like pins: ~10%/year pin growth over an 18-month generation
+ * (the paper's quoted projection), ~1.15x per generation.
+ */
+BandwidthEnvelope itrsPinEnvelope();
+
+/** Optimistic envelope: 1.5x per generation (paper Section 5.1). */
+BandwidthEnvelope optimisticEnvelope();
+
+/** Parameters of an extended multi-generation study. */
+struct ExtendedStudyParams
+{
+    ScalingStudyParams base;
+    WorkloadDrift drift;
+    BandwidthEnvelope envelope = constantEnvelope();
+};
+
+/**
+ * Runs the study with drift and envelope applied per generation.
+ * With default drift and the constant envelope this reduces exactly
+ * to runScalingStudy().
+ */
+std::vector<GenerationResult> runExtendedStudy(
+    const ExtendedStudyParams &params);
+
+} // namespace bwwall
+
+#endif // BWWALL_MODEL_EXTENSIONS_HH

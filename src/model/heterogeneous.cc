@@ -1,0 +1,164 @@
+#include "model/heterogeneous.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "model/power_law.hh"
+#include "util/logging.hh"
+
+namespace bwwall {
+
+namespace {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+void
+validate(const HeterogeneousScenario &scenario)
+{
+    scenario.baseline.validate();
+    if (scenario.alpha <= 0.0)
+        fatal("heterogeneous scenario requires alpha > 0");
+    if (scenario.totalCeas <= 0.0)
+        fatal("heterogeneous scenario requires a positive die");
+    if (scenario.trafficBudget <= 0.0)
+        fatal("heterogeneous scenario requires a positive budget");
+    for (const CoreClass *core_class :
+         {&scenario.big, &scenario.little}) {
+        if (core_class->areaCeas <= 0.0)
+            fatal("core class '", core_class->name,
+                  "' requires positive area");
+        if (core_class->performance <= 0.0)
+            fatal("core class '", core_class->name,
+                  "' requires positive performance");
+        if (core_class->trafficRate <= 0.0)
+            fatal("core class '", core_class->name,
+                  "' requires a positive traffic rate");
+    }
+}
+
+} // namespace
+
+CoreClass
+baselineCoreClass()
+{
+    return {"big", 1.0, 1.0, 1.0};
+}
+
+CoreClass
+littleCoreClass()
+{
+    // Kumar et al. (the paper's smaller-core citations): EV5-class
+    // cores are roughly an order of magnitude smaller than EV8-class
+    // at roughly half the throughput; slower cores stretch their
+    // traffic over time proportionally.
+    return {"little", 1.0 / 9.0, 0.5, 0.5};
+}
+
+double
+heterogeneousTraffic(const HeterogeneousScenario &scenario,
+                     double big_cores, double little_cores)
+{
+    validate(scenario);
+    if (big_cores < 0.0 || little_cores < 0.0)
+        fatal("core counts must be non-negative");
+    if (big_cores + little_cores <= 0.0)
+        fatal("heterogeneousTraffic requires at least one core");
+
+    const TechniqueEffects effects =
+        combineEffects(scenario.techniques);
+    if (effects.sharedFraction >= 0.0)
+        fatal("data sharing is not supported in the heterogeneous "
+              "extension");
+
+    const double core_area = effects.coreAreaFraction *
+        (big_cores * scenario.big.areaCeas +
+         little_cores * scenario.little.areaCeas);
+    if (core_area > scenario.totalCeas)
+        return kInfinity;
+
+    const double cache_ceas =
+        (scenario.totalCeas - core_area) * effects.cacheDensity +
+        effects.stackedLayers * scenario.totalCeas *
+            effects.stackedDensity;
+    if (cache_ceas <= 0.0)
+        return kInfinity;
+
+    // Traffic-equivalent cores: each class weighted by its rate.
+    const double equivalent_cores =
+        big_cores * scenario.big.trafficRate +
+        little_cores * scenario.little.trafficRate;
+
+    const double effective_cache_per_core =
+        cache_ceas * effects.capacityFactor / equivalent_cores;
+
+    const PowerLaw law(scenario.alpha);
+    return (equivalent_cores / scenario.baseline.coreCeas) *
+           law.trafficScale(effective_cache_per_core /
+                            scenario.baseline.cachePerCore()) *
+           effects.directFactor;
+}
+
+HeterogeneousResult
+solveHeterogeneous(const HeterogeneousScenario &scenario)
+{
+    validate(scenario);
+    const TechniqueEffects effects =
+        combineEffects(scenario.techniques);
+
+    const double effective_big_area =
+        scenario.big.areaCeas * effects.coreAreaFraction;
+    const double effective_little_area =
+        scenario.little.areaCeas * effects.coreAreaFraction;
+    const int max_big = static_cast<int>(
+        std::floor(scenario.totalCeas / effective_big_area + 1e-9));
+
+    HeterogeneousResult best;
+    for (int big = 0; big <= max_big; ++big) {
+        // For fixed big count, traffic is monotone increasing in the
+        // little count: binary-search the largest feasible count
+        // instead of scanning.
+        const double big_area = big * effective_big_area;
+        if (big_area > scenario.totalCeas)
+            break;
+        int lo = (big == 0) ? 1 : 0;
+        int hi = static_cast<int>(std::floor(
+            (scenario.totalCeas - big_area) / effective_little_area +
+            1e-9));
+        if (lo > hi)
+            continue;
+        auto feasible = [&](int little) {
+            return heterogeneousTraffic(
+                       scenario, static_cast<double>(big),
+                       static_cast<double>(little)) <=
+                   scenario.trafficBudget;
+        };
+        if (!feasible(lo))
+            continue;
+        while (lo < hi) {
+            const int mid = lo + (hi - lo + 1) / 2;
+            if (feasible(mid))
+                lo = mid;
+            else
+                hi = mid - 1;
+        }
+        const int little = lo;
+        const double throughput = big * scenario.big.performance +
+            little * scenario.little.performance;
+        const bool better = throughput > best.throughput + 1e-12 ||
+            (std::abs(throughput - best.throughput) <= 1e-12 &&
+             big + little < best.bigCores + best.littleCores);
+        if (better) {
+            best.bigCores = big;
+            best.littleCores = little;
+            best.throughput = throughput;
+            best.traffic = heterogeneousTraffic(
+                scenario, static_cast<double>(big),
+                static_cast<double>(little));
+            best.cacheCeas = scenario.totalCeas - big_area -
+                little * effective_little_area;
+        }
+    }
+    return best;
+}
+
+} // namespace bwwall

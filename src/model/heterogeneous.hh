@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Heterogeneous-CMP extension of the bandwidth-wall model.
+ *
+ * The paper restricts itself to uniform cores, noting that "a
+ * heterogeneous CMP has the potential of being more area efficient
+ * overall, and this allows caches to be larger and generates less
+ * memory traffic" but that the design space was too large for its
+ * model (its Section 3).  This extension covers the two-class case:
+ * big cores (the paper's 1-CEA baseline core) plus little cores with
+ * configurable area, performance, and traffic rate.  Traffic follows
+ * the same power law with the cache shared per traffic-equivalent
+ * core; the solver maximises aggregate throughput subject to the
+ * traffic budget.
+ */
+
+#ifndef BWWALL_MODEL_HETEROGENEOUS_HH
+#define BWWALL_MODEL_HETEROGENEOUS_HH
+
+#include <string>
+#include <vector>
+
+#include "model/cmp_config.hh"
+#include "model/technique.hh"
+
+namespace bwwall {
+
+/** One core class of a heterogeneous CMP. */
+struct CoreClass
+{
+    std::string name = "core";
+
+    /** Die area in CEAs (the baseline big core is 1). */
+    double areaCeas = 1.0;
+
+    /** Throughput relative to the baseline core. */
+    double performance = 1.0;
+
+    /**
+     * Memory traffic generated per unit of time relative to the
+     * baseline core.  Slower cores stretch their traffic over time,
+     * so trafficRate typically tracks performance.
+     */
+    double trafficRate = 1.0;
+};
+
+/** The baseline 1-CEA core. */
+CoreClass baselineCoreClass();
+
+/**
+ * A Kumar-style little core: ~9x smaller, ~half the performance,
+ * traffic stretched accordingly (the paper's Section 6.1 argument
+ * that simpler cores "naturally fit within a lower bandwidth
+ * envelope").
+ */
+CoreClass littleCoreClass();
+
+/** A heterogeneous what-if. */
+struct HeterogeneousScenario
+{
+    CmpConfig baseline = niagara2Baseline();
+    double alpha = 0.5;
+    double totalCeas = 32.0;
+    double trafficBudget = 1.0;
+
+    CoreClass big = baselineCoreClass();
+    CoreClass little = littleCoreClass();
+
+    /** Bandwidth-conservation techniques, as in ScalingScenario. */
+    std::vector<Technique> techniques;
+};
+
+/**
+ * Relative traffic of a mix of big_cores and little_cores: the
+ * uniform model (paper Eq. 5) evaluated at the traffic-equivalent
+ * core count, with the cache shared per traffic-equivalent core.
+ * Returns +infinity when the mix does not fit on the die.
+ */
+double heterogeneousTraffic(const HeterogeneousScenario &scenario,
+                            double big_cores, double little_cores);
+
+/** Best mix found for a heterogeneous scenario. */
+struct HeterogeneousResult
+{
+    int bigCores = 0;
+    int littleCores = 0;
+
+    /** Aggregate throughput in baseline-core units. */
+    double throughput = 0.0;
+
+    /** Relative traffic at the chosen mix. */
+    double traffic = 0.0;
+
+    /** Physical cache CEAs remaining on the base die. */
+    double cacheCeas = 0.0;
+};
+
+/**
+ * Exhaustively searches integer mixes maximising throughput subject
+ * to the traffic budget.  Ties prefer fewer total cores (cheaper).
+ */
+HeterogeneousResult solveHeterogeneous(
+    const HeterogeneousScenario &scenario);
+
+} // namespace bwwall
+
+#endif // BWWALL_MODEL_HETEROGENEOUS_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The power law of cache misses (paper Equation 1).
+ */
+
+#ifndef BWWALL_MODEL_POWER_LAW_HH
+#define BWWALL_MODEL_POWER_LAW_HH
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace bwwall {
+
+/**
+ * m = m0 * (C / C0)^-alpha — the empirical law (Hartstein et al.)
+ * that miss rate falls as a power of cache size, with alpha around
+ * 0.5 for commercial workloads (the "sqrt(2) rule").
+ *
+ * Because write backs are an application-constant fraction of misses
+ * (paper Section 4.2), the same law governs total memory traffic
+ * (paper Equation 2).
+ */
+class PowerLaw
+{
+  public:
+    /** @param alpha Cache-sensitivity exponent; must be positive. */
+    explicit PowerLaw(double alpha) : alpha_(alpha)
+    {
+        if (alpha <= 0.0)
+            fatal("PowerLaw requires alpha > 0, got ", alpha);
+    }
+
+    double alpha() const { return alpha_; }
+
+    /** Miss rate at cache size c given reference (m0, c0). */
+    double
+    missRate(double m0, double c0, double c) const
+    {
+        if (m0 < 0.0 || c0 <= 0.0 || c <= 0.0)
+            fatal("PowerLaw::missRate requires positive sizes");
+        return m0 * std::pow(c / c0, -alpha_);
+    }
+
+    /**
+     * Relative traffic (or miss) scale when the cache-per-core ratio
+     * changes by capacity_ratio = S2/S1: the (S2/S1)^-alpha term of
+     * paper Equation 5.
+     */
+    double
+    trafficScale(double capacity_ratio) const
+    {
+        if (capacity_ratio <= 0.0)
+            fatal("PowerLaw::trafficScale requires a positive ratio");
+        return std::pow(capacity_ratio, -alpha_);
+    }
+
+    /**
+     * Cache growth factor needed to scale traffic by traffic_ratio
+     * (< 1 reduces traffic): the inverse of trafficScale.
+     */
+    double
+    capacityRatioForTraffic(double traffic_ratio) const
+    {
+        if (traffic_ratio <= 0.0)
+            fatal("PowerLaw::capacityRatioForTraffic requires a "
+                  "positive ratio");
+        return std::pow(traffic_ratio, -1.0 / alpha_);
+    }
+
+  private:
+    double alpha_;
+};
+
+} // namespace bwwall
+
+#endif // BWWALL_MODEL_POWER_LAW_HH

@@ -1,0 +1,124 @@
+#include "model/scaling_study.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace bwwall {
+
+std::vector<GenerationResult>
+runScalingStudy(const ScalingStudyParams &params)
+{
+    if (params.generations < 1)
+        fatal("scaling study requires at least one generation");
+
+    std::vector<GenerationResult> results;
+    results.reserve(static_cast<std::size_t>(params.generations));
+
+    for (int generation = 1; generation <= params.generations;
+         ++generation) {
+        const double scale = std::pow(2.0, generation);
+
+        ScalingScenario scenario;
+        scenario.baseline = params.baseline;
+        scenario.alpha = params.alpha;
+        scenario.totalCeas = params.baseline.totalCeas * scale;
+        scenario.trafficBudget =
+            std::pow(params.bandwidthGrowthPerGeneration, generation);
+        scenario.techniques = params.techniques;
+
+        const SolveResult solved = solveSupportableCores(scenario);
+
+        GenerationResult result;
+        result.scale = scale;
+        result.totalCeas = scenario.totalCeas;
+        result.cores = solved.supportableCores;
+        result.coreAreaFraction = solved.coreAreaFraction;
+        results.push_back(result);
+    }
+    return results;
+}
+
+std::vector<GenerationResult>
+idealScaling(const CmpConfig &baseline, int generations)
+{
+    baseline.validate();
+    std::vector<GenerationResult> results;
+    for (int generation = 1; generation <= generations; ++generation) {
+        const double scale = std::pow(2.0, generation);
+        GenerationResult result;
+        result.scale = scale;
+        result.totalCeas = baseline.totalCeas * scale;
+        result.cores = static_cast<int>(baseline.coreCeas * scale);
+        result.coreAreaFraction = baseline.coreAreaFraction();
+        results.push_back(result);
+    }
+    return results;
+}
+
+std::vector<TechniqueCandle>
+figure15Study(const ScalingStudyParams &base_params)
+{
+    std::vector<TechniqueCandle> candles;
+    for (const TechniqueAssumption &row : table2Assumptions()) {
+        TechniqueCandle candle;
+        candle.label = row.label;
+        for (const Assumption assumption :
+             {Assumption::Pessimistic, Assumption::Realistic,
+              Assumption::Optimistic}) {
+            ScalingStudyParams params = base_params;
+            params.techniques = {row.make(assumption)};
+            auto results = runScalingStudy(params);
+            switch (assumption) {
+              case Assumption::Pessimistic:
+                candle.pessimistic = std::move(results);
+                break;
+              case Assumption::Realistic:
+                candle.realistic = std::move(results);
+                break;
+              case Assumption::Optimistic:
+                candle.optimistic = std::move(results);
+                break;
+            }
+        }
+        candles.push_back(std::move(candle));
+    }
+    return candles;
+}
+
+const std::vector<TechniqueCombination> &
+figure16Combinations()
+{
+    // The paper's Figure 16 x-axis, left to right.
+    static const std::vector<TechniqueCombination> combinations = {
+        {"CC + DRAM + 3D", {"CC", "DRAM", "3D"}},
+        {"CC/LC + DRAM", {"CC/LC", "DRAM"}},
+        {"CC + 3D + Fltr", {"CC", "3D", "Fltr"}},
+        {"CC/LC + Fltr", {"CC/LC", "Fltr"}},
+        {"DRAM + 3D + LC", {"DRAM", "3D", "LC"}},
+        {"DRAM + Fltr + LC", {"DRAM", "Fltr", "LC"}},
+        {"DRAM + LC + Sect", {"DRAM", "LC", "Sect"}},
+        {"3D + Fltr + LC", {"3D", "Fltr", "LC"}},
+        {"SmCl + LC", {"SmCl", "LC"}},
+        {"CC/LC + SmCl", {"CC/LC", "SmCl"}},
+        {"DRAM + 3D + SmCl", {"DRAM", "3D", "SmCl"}},
+        {"CC/LC + DRAM + SmCl", {"CC/LC", "DRAM", "SmCl"}},
+        {"CC/LC + 3D + SmCl", {"CC/LC", "3D", "SmCl"}},
+        {"CC/LC + DRAM + 3D", {"CC/LC", "DRAM", "3D"}},
+        {"CC/LC + DRAM + 3D + SmCl", {"CC/LC", "DRAM", "3D", "SmCl"}},
+    };
+    return combinations;
+}
+
+std::vector<Technique>
+makeCombination(const TechniqueCombination &combination,
+                Assumption assumption)
+{
+    std::vector<Technique> techniques;
+    techniques.reserve(combination.labels.size());
+    for (const std::string &label : combination.labels)
+        techniques.push_back(makeTechnique(label, assumption));
+    return techniques;
+}
+
+} // namespace bwwall

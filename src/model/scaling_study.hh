@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Multi-generation scaling studies (paper Figures 3 and 15-17).
+ *
+ * Each technology generation doubles the transistor budget (the die
+ * area in CEAs); the study asks, generation by generation, how many
+ * cores a technique set can support without exceeding the memory
+ * traffic budget.
+ */
+
+#ifndef BWWALL_MODEL_SCALING_STUDY_HH
+#define BWWALL_MODEL_SCALING_STUDY_HH
+
+#include <string>
+#include <vector>
+
+#include "model/assumptions.hh"
+#include "model/bandwidth_wall.hh"
+
+namespace bwwall {
+
+/** One generation's outcome for one configuration. */
+struct GenerationResult
+{
+    /** Transistor scaling relative to the baseline (2, 4, 8, 16...). */
+    double scale = 1.0;
+
+    /** Die area in CEAs at this generation. */
+    double totalCeas = 0.0;
+
+    /** Supportable cores within the traffic budget. */
+    int cores = 0;
+
+    /** Fraction of the base die spent on cores. */
+    double coreAreaFraction = 0.0;
+};
+
+/** Parameters of a multi-generation study. */
+struct ScalingStudyParams
+{
+    CmpConfig baseline = niagara2Baseline();
+    double alpha = 0.5;
+
+    /** Number of future generations (die doubles each time). */
+    int generations = 4;
+
+    /**
+     * Growth of the traffic budget per generation (1 = constant
+     * traffic; 1.1 would allow 10% more traffic each generation).
+     */
+    double bandwidthGrowthPerGeneration = 1.0;
+
+    /** Techniques applied in every generation. */
+    std::vector<Technique> techniques;
+};
+
+/** Runs the study; result[g] is generation g+1 (scale 2^(g+1)). */
+std::vector<GenerationResult> runScalingStudy(
+    const ScalingStudyParams &params);
+
+/** Proportional ("IDEAL") scaling: cores double with the die. */
+std::vector<GenerationResult> idealScaling(const CmpConfig &baseline,
+                                           int generations);
+
+/** One technique evaluated at all three assumption levels. */
+struct TechniqueCandle
+{
+    std::string label;
+    std::vector<GenerationResult> pessimistic;
+    std::vector<GenerationResult> realistic;
+    std::vector<GenerationResult> optimistic;
+};
+
+/**
+ * Figure 15: every Table 2 technique across the generations with its
+ * pessimistic/realistic/optimistic candle.
+ */
+std::vector<TechniqueCandle> figure15Study(
+    const ScalingStudyParams &base_params);
+
+/** A named technique combination (paper Figure 16 x-axis). */
+struct TechniqueCombination
+{
+    std::string name;
+    /** Table 2 labels combined, e.g. {"CC/LC", "DRAM", "3D"}. */
+    std::vector<std::string> labels;
+};
+
+/** The paper's Figure 16 combinations, in x-axis order. */
+const std::vector<TechniqueCombination> &figure16Combinations();
+
+/** Builds a combination's techniques at an assumption level. */
+std::vector<Technique> makeCombination(
+    const TechniqueCombination &combination, Assumption assumption);
+
+} // namespace bwwall
+
+#endif // BWWALL_MODEL_SCALING_STUDY_HH

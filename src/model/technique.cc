@@ -1,0 +1,201 @@
+#include "model/technique.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace bwwall {
+
+namespace {
+
+std::string
+withParameter(const char *prefix, double value, const char *suffix)
+{
+    std::ostringstream oss;
+    oss << prefix << value << suffix;
+    return oss.str();
+}
+
+void
+requireRatio(double ratio, const char *what)
+{
+    if (ratio < 1.0)
+        fatal(what, " requires a ratio >= 1, got ", ratio);
+}
+
+void
+requireFraction(double fraction, const char *what)
+{
+    if (fraction < 0.0 || fraction >= 1.0)
+        fatal(what, " requires a fraction in [0, 1), got ", fraction);
+}
+
+} // namespace
+
+Technique
+cacheCompression(double compression_ratio)
+{
+    requireRatio(compression_ratio, "cache compression");
+    TechniqueEffects effects;
+    effects.capacityFactor = compression_ratio;
+    return {withParameter("cache compression ", compression_ratio, "x"),
+            "CC", effects};
+}
+
+Technique
+dramCache(double density)
+{
+    requireRatio(density, "DRAM cache");
+    TechniqueEffects effects;
+    effects.cacheDensity = density;
+    return {withParameter("DRAM cache ", density, "x"), "DRAM",
+            effects};
+}
+
+Technique
+stackedCache(double layer_density, double layers)
+{
+    requireRatio(layer_density, "3D-stacked cache density");
+    if (layers <= 0.0)
+        fatal("3D-stacked cache requires at least one layer");
+    TechniqueEffects effects;
+    effects.stackedLayers = layers;
+    effects.stackedDensity = layer_density;
+    return {withParameter("3D-stacked cache ", layer_density,
+                          "x-density layer"),
+            "3D", effects};
+}
+
+Technique
+unusedDataFilter(double unused_fraction)
+{
+    requireFraction(unused_fraction, "unused-data filtering");
+    TechniqueEffects effects;
+    effects.capacityFactor = 1.0 / (1.0 - unused_fraction);
+    return {withParameter("unused-data filtering ",
+                          unused_fraction * 100.0, "% unused"),
+            "Fltr", effects};
+}
+
+Technique
+smallerCores(double area_fraction)
+{
+    if (area_fraction <= 0.0 || area_fraction > 1.0)
+        fatal("smaller cores require an area fraction in (0, 1]");
+    TechniqueEffects effects;
+    effects.coreAreaFraction = area_fraction;
+    return {withParameter("smaller cores ", 1.0 / area_fraction,
+                          "x smaller"),
+            "SmCo", effects};
+}
+
+Technique
+linkCompression(double compression_ratio)
+{
+    requireRatio(compression_ratio, "link compression");
+    TechniqueEffects effects;
+    effects.directFactor = 1.0 / compression_ratio;
+    return {withParameter("link compression ", compression_ratio, "x"),
+            "LC", effects};
+}
+
+Technique
+sectoredCache(double unused_fraction)
+{
+    requireFraction(unused_fraction, "sectored cache");
+    TechniqueEffects effects;
+    effects.directFactor = 1.0 - unused_fraction;
+    return {withParameter("sectored cache ", unused_fraction * 100.0,
+                          "% unused"),
+            "Sect", effects};
+}
+
+Technique
+smallCacheLines(double unused_fraction)
+{
+    requireFraction(unused_fraction, "small cache lines");
+    TechniqueEffects effects;
+    effects.capacityFactor = 1.0 / (1.0 - unused_fraction);
+    effects.directFactor = 1.0 - unused_fraction;
+    return {withParameter("small cache lines ",
+                          unused_fraction * 100.0, "% unused"),
+            "SmCl", effects};
+}
+
+Technique
+cacheLinkCompression(double compression_ratio)
+{
+    requireRatio(compression_ratio, "cache+link compression");
+    TechniqueEffects effects;
+    effects.capacityFactor = compression_ratio;
+    effects.directFactor = 1.0 / compression_ratio;
+    return {withParameter("cache+link compression ", compression_ratio,
+                          "x"),
+            "CC/LC", effects};
+}
+
+Technique
+dataSharing(double shared_fraction)
+{
+    if (shared_fraction < 0.0 || shared_fraction > 1.0)
+        fatal("data sharing requires a fraction in [0, 1]");
+    TechniqueEffects effects;
+    effects.sharedFraction = shared_fraction;
+    return {withParameter("data sharing ", shared_fraction * 100.0,
+                          "% shared"),
+            "Share", effects};
+}
+
+Technique
+dataSharingPrivateCaches(double shared_fraction)
+{
+    if (shared_fraction < 0.0 || shared_fraction > 1.0)
+        fatal("data sharing requires a fraction in [0, 1]");
+    TechniqueEffects effects;
+    effects.sharedFraction = shared_fraction;
+    effects.sharingPoolsCache = false;
+    return {withParameter("data sharing (private caches) ",
+                          shared_fraction * 100.0, "% shared"),
+            "Share/priv", effects};
+}
+
+TechniqueEffects
+combineEffects(const std::vector<Technique> &techniques)
+{
+    TechniqueEffects combined;
+    bool any_dram = false;
+    double dram_density = 1.0;
+    double standalone_stack_density = 1.0;
+
+    for (const Technique &technique : techniques) {
+        const TechniqueEffects &effects = technique.effects();
+        combined.capacityFactor *= effects.capacityFactor;
+        combined.directFactor *= effects.directFactor;
+        combined.coreAreaFraction *= effects.coreAreaFraction;
+        combined.stackedLayers += effects.stackedLayers;
+        if (effects.cacheDensity > 1.0) {
+            any_dram = true;
+            dram_density = std::max(dram_density, effects.cacheDensity);
+        }
+        standalone_stack_density =
+            std::max(standalone_stack_density, effects.stackedDensity);
+        if (effects.sharedFraction >= 0.0) {
+            if (combined.sharedFraction >= 0.0)
+                fatal("at most one data-sharing technique can be "
+                      "combined");
+            combined.sharedFraction = effects.sharedFraction;
+            combined.sharingPoolsCache = effects.sharingPoolsCache;
+        }
+    }
+
+    combined.cacheDensity = any_dram ? dram_density : 1.0;
+    // Paper composition rule: a stacked die is built in the densest
+    // memory technology available in the configuration.
+    combined.stackedDensity =
+        any_dram ? std::max(dram_density, standalone_stack_density)
+                 : standalone_stack_density;
+    return combined;
+}
+
+} // namespace bwwall

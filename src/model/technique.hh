@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Bandwidth-conservation techniques as composable model transforms
+ * (paper Section 6).
+ *
+ * Every technique decomposes into a handful of orthogonal effects on
+ * the traffic equation M2/M1 = (P2/P1) * (S2_eff/S1)^-alpha * direct:
+ *
+ *  - capacityFactor   multiplies the effective cache per core
+ *                     ("indirect" techniques: CC, Fltr, SmCl's
+ *                     capacity side, paper Eq. 8);
+ *  - directFactor     multiplies the traffic itself ("direct"
+ *                     techniques: LC, Sect, SmCl's traffic side);
+ *  - cacheDensity     multiplies on-die cache area (DRAM caches);
+ *  - stackedLayers    adds whole dies of cache area (3D stacking,
+ *                     paper Eq. 9) at stackedDensity — unless a DRAM
+ *                     technique is also present, in which case the
+ *                     stacked die inherits the DRAM density (the
+ *                     composition that reproduces the paper's
+ *                     183-core combined result);
+ *  - coreAreaFraction shrinks cores, freeing die area for cache
+ *                     (paper Eq. 11);
+ *  - sharedFraction   models inter-thread data sharing with a shared
+ *                     cache (paper Eq. 13-14).
+ */
+
+#ifndef BWWALL_MODEL_TECHNIQUE_HH
+#define BWWALL_MODEL_TECHNIQUE_HH
+
+#include <string>
+#include <vector>
+
+namespace bwwall {
+
+/** Raw effect parameters of one technique. */
+struct TechniqueEffects
+{
+    /** Multiplier on effective cache capacity per core. */
+    double capacityFactor = 1.0;
+
+    /** Multiplier on generated off-chip traffic. */
+    double directFactor = 1.0;
+
+    /** Density multiplier of on-die cache storage. */
+    double cacheDensity = 1.0;
+
+    /** Extra cache-only dies stacked on top (usually 0 or 1). */
+    double stackedLayers = 0.0;
+
+    /** Density of the stacked dies when no DRAM technique is present. */
+    double stackedDensity = 1.0;
+
+    /** Relative area of one core (1 = unchanged, <1 = smaller). */
+    double coreAreaFraction = 1.0;
+
+    /** Fraction of cached data shared by all threads; <0 disables. */
+    double sharedFraction = -1.0;
+
+    /**
+     * Whether sharing pools the cache (shared L2: one copy serves
+     * all threads) or private caches replicate shared lines and
+     * forfeit the capacity benefit (the paper's footnote 1).
+     */
+    bool sharingPoolsCache = true;
+};
+
+/** A named, parameterised bandwidth-conservation technique. */
+class Technique
+{
+  public:
+    Technique(std::string name, std::string label,
+              TechniqueEffects effects)
+        : name_(std::move(name)), label_(std::move(label)),
+          effects_(effects)
+    {}
+
+    /** Full descriptive name, e.g. "cache compression 2.0x". */
+    const std::string &name() const { return name_; }
+
+    /** Paper's short label, e.g. "CC" (its Table 2). */
+    const std::string &label() const { return label_; }
+
+    const TechniqueEffects &effects() const { return effects_; }
+
+  private:
+    std::string name_;
+    std::string label_;
+    TechniqueEffects effects_;
+};
+
+/** @name Technique factories (paper Section 6)
+ *  @{ */
+
+/** Cache compression with the given compression ratio (Sec. 6.1). */
+Technique cacheCompression(double compression_ratio);
+
+/** DRAM (eDRAM) L2 with a density gain over SRAM (Sec. 6.1). */
+Technique dramCache(double density);
+
+/**
+ * One stacked cache-only die (Sec. 6.1).  layer_density = 1 for an
+ * SRAM layer, 8 or 16 for a DRAM layer (used when no on-die DRAM
+ * technique is combined in).
+ */
+Technique stackedCache(double layer_density = 1.0,
+                       double layers = 1.0);
+
+/** Unused-data filtering; unused_fraction of words never used. */
+Technique unusedDataFilter(double unused_fraction);
+
+/** Smaller cores occupying area_fraction of a baseline core. */
+Technique smallerCores(double area_fraction);
+
+/** Link compression with the given ratio (Sec. 6.2). */
+Technique linkCompression(double compression_ratio);
+
+/** Sectored cache fetching only used sectors (Sec. 6.2). */
+Technique sectoredCache(double unused_fraction);
+
+/** Word-sized cache lines: dual capacity+traffic effect (Sec. 6.3). */
+Technique smallCacheLines(double unused_fraction);
+
+/** Combined cache+link compression (Sec. 6.3). */
+Technique cacheLinkCompression(double compression_ratio);
+
+/** Data sharing across threads with a shared cache (Sec. 6.3). */
+Technique dataSharing(double shared_fraction);
+
+/**
+ * Data sharing with *private* per-core caches (the paper's footnote
+ * 1): shared blocks are replicated in every sharer's cache, so only
+ * the direct fetch reduction survives — the cache capacity per core
+ * is unchanged.
+ */
+Technique dataSharingPrivateCaches(double shared_fraction);
+
+/** @} */
+
+/**
+ * The combined effects of a set of techniques under the paper's
+ * composition rules: capacity and direct factors multiply; core area
+ * fractions multiply; stacked layers add; on-die density is the max
+ * of the DRAM densities; the stacked die uses the DRAM density when
+ * any DRAM technique is present, otherwise its own configured
+ * density; at most one data-sharing fraction may be present.
+ */
+TechniqueEffects combineEffects(const std::vector<Technique> &techniques);
+
+} // namespace bwwall
+
+#endif // BWWALL_MODEL_TECHNIQUE_HH

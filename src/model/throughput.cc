@@ -1,0 +1,99 @@
+#include "model/throughput.hh"
+
+#include <cmath>
+
+#include "model/power_law.hh"
+#include "util/logging.hh"
+
+namespace bwwall {
+
+double
+relativeCorePerformance(const ThroughputModelParams &params,
+                        double alpha, double cache_per_core_ratio)
+{
+    if (params.memoryStallShare < 0.0 ||
+        params.memoryStallShare >= 1.0) {
+        fatal("memory stall share must be in [0, 1)");
+    }
+    if (cache_per_core_ratio <= 0.0)
+        fatal("cache-per-core ratio must be positive");
+    const PowerLaw law(alpha);
+    // Stall time scales with the miss (traffic) rate; compute time is
+    // the remaining (1 - k) share and does not change with S.
+    const double k =
+        params.memoryStallShare / (1.0 - params.memoryStallShare);
+    return (1.0 + k) /
+           (1.0 + k * law.trafficScale(cache_per_core_ratio));
+}
+
+namespace {
+
+ThroughputSolveResult
+solveImpl(const ScalingScenario &scenario,
+          const ThroughputModelParams &params, bool enforce_budget)
+{
+    const TechniqueEffects effects =
+        combineEffects(scenario.techniques);
+    const double max_cores = maxPlaceableCores(scenario);
+    const int max_whole =
+        static_cast<int>(std::floor(max_cores + 1e-9));
+
+    ThroughputSolveResult best;
+    for (int cores = 1; cores <= max_whole; ++cores) {
+        const double traffic =
+            relativeTraffic(scenario, static_cast<double>(cores));
+        if (!std::isfinite(traffic))
+            continue;
+        if (enforce_budget && traffic > scenario.trafficBudget)
+            break; // traffic is monotone in cores: nothing above fits
+
+        // Effective cache per core, consistent with the traffic
+        // model (capacity factors included).
+        const double core_area = cores * effects.coreAreaFraction;
+        const double cache_ceas =
+            (scenario.totalCeas - core_area) * effects.cacheDensity +
+            effects.stackedLayers * scenario.totalCeas *
+                effects.stackedDensity;
+        if (cache_ceas <= 0.0)
+            continue;
+        const double ratio = cache_ceas * effects.capacityFactor /
+            (static_cast<double>(cores) *
+             scenario.baseline.cachePerCore());
+        const double throughput = static_cast<double>(cores) *
+            relativeCorePerformance(params, scenario.alpha, ratio);
+        if (throughput > best.throughput) {
+            best.cores = cores;
+            best.throughput = throughput;
+            best.traffic = traffic;
+        }
+    }
+
+    if (enforce_budget && best.cores > 0 &&
+        best.cores < max_whole) {
+        // Budget-limited iff one more core would break the budget
+        // while still improving raw throughput.
+        const double next_traffic = relativeTraffic(
+            scenario, static_cast<double>(best.cores + 1));
+        best.bandwidthLimited =
+            next_traffic > scenario.trafficBudget;
+    }
+    return best;
+}
+
+} // namespace
+
+ThroughputSolveResult
+solveThroughputOptimal(const ScalingScenario &scenario,
+                       const ThroughputModelParams &params)
+{
+    return solveImpl(scenario, params, true);
+}
+
+ThroughputSolveResult
+solveThroughputUnconstrained(const ScalingScenario &scenario,
+                             const ThroughputModelParams &params)
+{
+    return solveImpl(scenario, params, false);
+}
+
+} // namespace bwwall

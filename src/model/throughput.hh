@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Throughput-oriented die allocation.
+ *
+ * The paper maximises the *core count* under a traffic budget; its
+ * related-work section contrasts this with Alameldeen's approach of
+ * balancing cores, caches, and communication to maximise IPC.  This
+ * extension adds that view: per-core performance falls as cache per
+ * core shrinks (through the memory stalls the power law predicts),
+ * so chip throughput P * perf(S) has an interior optimum even
+ * without a bandwidth limit — and the wall then caps how much of it
+ * is reachable.
+ */
+
+#ifndef BWWALL_MODEL_THROUGHPUT_HH
+#define BWWALL_MODEL_THROUGHPUT_HH
+
+#include "model/bandwidth_wall.hh"
+
+namespace bwwall {
+
+/** Parameters of the per-core performance model. */
+struct ThroughputModelParams
+{
+    /**
+     * Fraction of baseline execution time spent stalled on memory
+     * (at the baseline cache per core S1).  Per-core performance is
+     * perf(S) = (1 + k) / (1 + k * (S/S1)^-alpha), normalised so
+     * perf(S1) = 1.
+     */
+    double memoryStallShare = 0.3;
+};
+
+/**
+ * Relative per-core performance at cache_per_core_ratio = S/S1 for a
+ * workload with the given alpha.
+ */
+double relativeCorePerformance(const ThroughputModelParams &params,
+                               double alpha,
+                               double cache_per_core_ratio);
+
+/** Result of a throughput-optimal allocation query. */
+struct ThroughputSolveResult
+{
+    /** Best core count. */
+    int cores = 0;
+
+    /** Chip throughput in baseline-core units at that count. */
+    double throughput = 0.0;
+
+    /** Relative traffic at that count. */
+    double traffic = 0.0;
+
+    /** Whether the traffic budget (not the perf curve) was binding. */
+    bool bandwidthLimited = false;
+};
+
+/**
+ * Maximises P * perf(S(P)) subject to the scenario's traffic budget.
+ * Techniques apply as usual (their capacity factors also improve
+ * per-core performance through the effective S).
+ */
+ThroughputSolveResult solveThroughputOptimal(
+    const ScalingScenario &scenario,
+    const ThroughputModelParams &params);
+
+/**
+ * The same maximisation with the traffic budget ignored — what the
+ * chip could do if bandwidth were free.  Comparing against the
+ * constrained result prices the wall in throughput terms.
+ */
+ThroughputSolveResult solveThroughputUnconstrained(
+    const ScalingScenario &scenario,
+    const ThroughputModelParams &params);
+
+} // namespace bwwall
+
+#endif // BWWALL_MODEL_THROUGHPUT_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Fundamental memory-access types shared by the trace generators and
+ * the cache simulator.
+ */
+
+#ifndef BWWALL_TRACE_ACCESS_HH
+#define BWWALL_TRACE_ACCESS_HH
+
+#include <cstdint>
+
+namespace bwwall {
+
+/** Byte address in a flat 64-bit physical address space. */
+using Address = std::uint64_t;
+
+/** Identifies the requesting core/thread. */
+using ThreadId = std::uint32_t;
+
+/** Kind of memory operation. */
+enum class AccessType : std::uint8_t { Read, Write };
+
+/** One record of a memory-reference trace. */
+struct MemoryAccess
+{
+    Address address = 0;
+    AccessType type = AccessType::Read;
+    ThreadId thread = 0;
+};
+
+/** True for store operations. */
+constexpr bool
+isWrite(const MemoryAccess &access)
+{
+    return access.type == AccessType::Write;
+}
+
+} // namespace bwwall
+
+#endif // BWWALL_TRACE_ACCESS_HH

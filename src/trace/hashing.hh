@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Small deterministic mixing functions used to derive per-line
+ * properties (address layout, store/load behaviour, word footprints)
+ * from line identifiers, independent of access order.
+ */
+
+#ifndef BWWALL_TRACE_HASHING_HH
+#define BWWALL_TRACE_HASHING_HH
+
+#include <cstdint>
+
+namespace bwwall {
+
+/** SplitMix64 finaliser; a bijective 64-bit mixer. */
+constexpr std::uint64_t
+mix64(std::uint64_t x)
+{
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Mixes two words into one (order-sensitive). */
+constexpr std::uint64_t
+mix64(std::uint64_t a, std::uint64_t b)
+{
+    return mix64(a ^ (mix64(b) + 0x9e3779b97f4a7c15ULL));
+}
+
+/** Maps a hash to a double uniform in [0, 1). */
+constexpr double
+hashToUnit(std::uint64_t h)
+{
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+} // namespace bwwall
+
+#endif // BWWALL_TRACE_HASHING_HH

@@ -1,0 +1,142 @@
+#include "trace/lru_stack.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace bwwall {
+
+LruStack::LruStack(std::size_t capacity_hint)
+{
+    slotCapacity_ = std::max<std::size_t>(
+        ceilPowerOfTwo(std::max<std::size_t>(capacity_hint, 16)) * 2, 32);
+    occupancy_ = std::make_unique<FenwickTree>(slotCapacity_);
+    slotLine_.assign(slotCapacity_, 0);
+    lineToSlot_.reserve(capacity_hint);
+}
+
+bool
+LruStack::contains(std::uint64_t line) const
+{
+    return lineToSlot_.find(line) != lineToSlot_.end();
+}
+
+void
+LruStack::placeAtTop(std::uint64_t line)
+{
+    if (nextSlot_ == slotCapacity_)
+        compact(lineToSlot_.size() + 1);
+    const std::size_t slot = nextSlot_++;
+    slotLine_[slot] = line;
+    occupancy_->add(slot, +1);
+    lineToSlot_[line] = slot;
+}
+
+void
+LruStack::push(std::uint64_t line)
+{
+    if (contains(line))
+        panic("LruStack::push of a line already present");
+    placeAtTop(line);
+}
+
+void
+LruStack::moveToTop(std::uint64_t line, std::size_t slot)
+{
+    occupancy_->add(slot, -1);
+    lineToSlot_.erase(line);
+    placeAtTop(line);
+}
+
+std::size_t
+LruStack::touch(std::uint64_t line)
+{
+    const auto it = lineToSlot_.find(line);
+    if (it == lineToSlot_.end())
+        return kNotFound;
+    const std::size_t slot = it->second;
+    // Depth = lines strictly more recent than this one, plus one.
+    const auto at_or_below = occupancy_->prefixSum(slot);
+    const std::size_t depth = static_cast<std::size_t>(
+        occupancy_->total() - at_or_below) + 1;
+    moveToTop(line, slot);
+    return depth;
+}
+
+std::size_t
+LruStack::slotOfDepth(std::size_t depth) const
+{
+    if (depth == 0 || depth > size())
+        panic("LruStack depth out of range: ", depth, " of ", size());
+    // The d-th most recent line is the (size - d + 1)-th occupied slot
+    // counting from the bottom of the time axis.
+    const auto rank = static_cast<std::int64_t>(size() - depth + 1);
+    return occupancy_->select(rank);
+}
+
+std::uint64_t
+LruStack::touchAtDepth(std::size_t depth)
+{
+    const std::size_t slot = slotOfDepth(depth);
+    const std::uint64_t line = slotLine_[slot];
+    moveToTop(line, slot);
+    return line;
+}
+
+std::uint64_t
+LruStack::peekAtDepth(std::size_t depth) const
+{
+    return slotLine_[slotOfDepth(depth)];
+}
+
+std::uint64_t
+LruStack::popLru()
+{
+    if (empty())
+        panic("LruStack::popLru on an empty stack");
+    const std::size_t slot = occupancy_->select(1);
+    const std::uint64_t line = slotLine_[slot];
+    occupancy_->add(slot, -1);
+    lineToSlot_.erase(line);
+    return line;
+}
+
+void
+LruStack::clear()
+{
+    nextSlot_ = 0;
+    occupancy_ = std::make_unique<FenwickTree>(slotCapacity_);
+    lineToSlot_.clear();
+}
+
+void
+LruStack::compact(std::size_t min_capacity)
+{
+    // Gather resident lines from least to most recent.
+    std::vector<std::uint64_t> ordered;
+    ordered.reserve(lineToSlot_.size());
+    for (std::size_t slot = 0; slot < nextSlot_; ++slot) {
+        const auto it = lineToSlot_.find(slotLine_[slot]);
+        if (it != lineToSlot_.end() && it->second == slot)
+            ordered.push_back(slotLine_[slot]);
+    }
+
+    std::size_t new_capacity = slotCapacity_;
+    while (new_capacity < std::max(min_capacity * 2, ordered.size() * 2))
+        new_capacity *= 2;
+
+    slotCapacity_ = new_capacity;
+    occupancy_ = std::make_unique<FenwickTree>(slotCapacity_);
+    slotLine_.assign(slotCapacity_, 0);
+    lineToSlot_.clear();
+    nextSlot_ = 0;
+    for (std::uint64_t line : ordered) {
+        slotLine_[nextSlot_] = line;
+        occupancy_->add(nextSlot_, +1);
+        lineToSlot_[line] = nextSlot_;
+        ++nextSlot_;
+    }
+}
+
+} // namespace bwwall

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * An LRU recency stack with O(log n) depth queries and updates.
+ *
+ * This single structure serves two roles:
+ *  - the power-law trace generator *samples* a depth and asks which
+ *    line lives there (touchAtDepth), and
+ *  - the reuse-distance analyzer asks at which depth a given line
+ *    currently lives (touch).
+ *
+ * Internally lines occupy "time slots"; a Fenwick tree over slot
+ * occupancy answers rank and select queries.  Slots are compacted when
+ * the time axis fills, giving amortised O(log n) per operation.
+ */
+
+#ifndef BWWALL_TRACE_LRU_STACK_HH
+#define BWWALL_TRACE_LRU_STACK_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "util/fenwick.hh"
+
+namespace bwwall {
+
+/** Move-to-front stack over 64-bit line identifiers. */
+class LruStack
+{
+  public:
+    /** Depth value reported for lines not present in the stack. */
+    static constexpr std::size_t kNotFound = 0;
+
+    /**
+     * @param capacity_hint Expected number of resident lines; purely a
+     * performance hint, the stack grows beyond it as needed.
+     */
+    explicit LruStack(std::size_t capacity_hint = 1024);
+
+    /** Number of distinct lines currently in the stack. */
+    std::size_t size() const { return lineToSlot_.size(); }
+
+    bool empty() const { return lineToSlot_.empty(); }
+
+    /** True when the line is present. */
+    bool contains(std::uint64_t line) const;
+
+    /**
+     * Inserts a line that must not already be present at the top
+     * (most-recent) position.
+     */
+    void push(std::uint64_t line);
+
+    /**
+     * Looks up the 1-based recency depth of the line (1 = most
+     * recent), moves it to the top, and returns the depth.  Returns
+     * kNotFound and changes nothing when the line is absent.
+     */
+    std::size_t touch(std::uint64_t line);
+
+    /**
+     * Returns the line at 1-based depth (1 = most recent) and moves it
+     * to the top.  depth must be in [1, size()].
+     */
+    std::uint64_t touchAtDepth(std::size_t depth);
+
+    /** Reads the line at a depth without reordering the stack. */
+    std::uint64_t peekAtDepth(std::size_t depth) const;
+
+    /** Removes and returns the least-recently-used line. */
+    std::uint64_t popLru();
+
+    /** Removes every line. */
+    void clear();
+
+  private:
+    void moveToTop(std::uint64_t line, std::size_t slot);
+    void placeAtTop(std::uint64_t line);
+    void compact(std::size_t min_capacity);
+    std::size_t slotOfDepth(std::size_t depth) const;
+
+    std::size_t slotCapacity_;
+    std::size_t nextSlot_ = 0;
+    std::unique_ptr<FenwickTree> occupancy_;
+    std::vector<std::uint64_t> slotLine_;
+    std::unordered_map<std::uint64_t, std::size_t> lineToSlot_;
+};
+
+} // namespace bwwall
+
+#endif // BWWALL_TRACE_LRU_STACK_HH

@@ -1,0 +1,175 @@
+#include "trace/power_law_trace.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "trace/hashing.hh"
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace bwwall {
+
+namespace {
+
+// Salt constants keep the independent per-line property streams
+// (address, store behaviour, footprint) decorrelated.
+constexpr std::uint64_t kAddressSalt = 0xA11D5EEDULL;
+constexpr std::uint64_t kStoreSalt = 0x57025EEDULL;
+constexpr std::uint64_t kFootprintSalt = 0xF007F00DULL;
+constexpr std::uint64_t kWordSalt = 0x30BD5EEDULL;
+
+} // namespace
+
+PowerLawTrace::PowerLawTrace(const PowerLawTraceParams &params)
+    : params_(params),
+      rng_(params.seed),
+      stack_(std::min<std::size_t>(params.maxResidentLines, 1 << 16))
+{
+    if (params_.alpha <= 0.0)
+        fatal("PowerLawTrace requires alpha > 0, got ", params_.alpha);
+    if (!isPowerOfTwo(params_.lineBytes) || !isPowerOfTwo(params_.wordBytes))
+        fatal("PowerLawTrace line/word sizes must be powers of two");
+    if (params_.wordBytes > params_.lineBytes)
+        fatal("PowerLawTrace word size exceeds line size");
+    if (params_.usedWordFraction <= 0.0 || params_.usedWordFraction > 1.0)
+        fatal("PowerLawTrace usedWordFraction must be in (0, 1]");
+    if (params_.maxResidentLines < 2)
+        fatal("PowerLawTrace needs at least two resident lines");
+
+    wordsPerLine_ = params_.lineBytes / params_.wordBytes;
+    lineShift_ = floorLog2(params_.lineBytes);
+    reset();
+}
+
+void
+PowerLawTrace::reset()
+{
+    rng_.seed(params_.seed);
+    stack_.clear();
+    nextLineId_ = 0;
+    const std::size_t warm =
+        std::min(params_.warmLines, params_.maxResidentLines);
+    for (std::size_t i = 0; i < warm; ++i)
+        newLine();
+}
+
+Address
+PowerLawTrace::lineAddress(std::uint64_t line_id) const
+{
+    // Bijective scramble spreads line identifiers uniformly over the
+    // cache index space; keeping 58 bits of line number makes
+    // collisions between distinct identifiers negligible.
+    const std::uint64_t scrambled =
+        mix64(line_id, params_.seed ^ kAddressSalt) >> 6;
+    return scrambled << lineShift_;
+}
+
+bool
+PowerLawTrace::isStoreLine(std::uint64_t line_id) const
+{
+    const std::uint64_t h = mix64(line_id, params_.seed ^ kStoreSalt);
+    return hashToUnit(h) < params_.writeLineFraction;
+}
+
+unsigned
+PowerLawTrace::footprintWords(std::uint64_t line_id) const
+{
+    if (params_.usedWordFraction >= 1.0)
+        return wordsPerLine_;
+    // Footprint sizes are distributed around the configured mean:
+    // floor(mean * words) or the next integer up, mixed so the average
+    // over many lines equals mean * words, with at least one word.
+    const double target =
+        params_.usedWordFraction * static_cast<double>(wordsPerLine_);
+    const double base = std::floor(target);
+    const double frac = target - base;
+    const std::uint64_t h = mix64(line_id, params_.seed ^ kFootprintSalt);
+    double words = base + (hashToUnit(h) < frac ? 1.0 : 0.0);
+    words = std::clamp(words, 1.0, static_cast<double>(wordsPerLine_));
+    return static_cast<unsigned>(words);
+}
+
+std::uint64_t
+PowerLawTrace::newLine()
+{
+    const std::uint64_t line = nextLineId_++;
+    stack_.push(line);
+    if (stack_.size() > params_.maxResidentLines)
+        stack_.popLru();
+    return line;
+}
+
+std::uint64_t
+PowerLawTrace::sampleLine()
+{
+    if (stack_.size() < 2 ||
+        rng_.nextBernoulli(params_.coldMissProbability)) {
+        return newLine();
+    }
+    // Unbounded discrete Pareto: P(D > d) = d^-alpha exactly for
+    // integer d >= 1, via D = floor(u^(-1/alpha)).
+    const double u = 1.0 - rng_.nextDouble(); // in (0, 1]
+    const double x = std::pow(u, -1.0 / params_.alpha);
+    std::uint64_t depth;
+    if (x >= static_cast<double>(params_.maxResidentLines) * 2.0) {
+        depth = ~0ULL; // deep reuse: treated as compulsory below
+    } else {
+        depth = static_cast<std::uint64_t>(x);
+        if (depth < 1)
+            depth = 1;
+    }
+    if (depth > stack_.size())
+        return newLine();
+    return stack_.touchAtDepth(static_cast<std::size_t>(depth));
+}
+
+unsigned
+PowerLawTrace::sampleWord(std::uint64_t line_id)
+{
+    const unsigned footprint = footprintWords(line_id);
+    if (footprint >= wordsPerLine_ && wordsPerLine_ == 1)
+        return 0;
+    // The line's used words are those whose per-(line, word) hash
+    // ranks among the footprint smallest; sample uniformly from them.
+    // wordsPerLine_ is small (<= 32), so a linear selection is cheap.
+    const std::uint64_t base = mix64(line_id, params_.seed ^ kWordSalt);
+    const std::uint64_t pick = rng_.nextBounded(footprint) + 1;
+    std::uint64_t chosen_hash = 0;
+    unsigned chosen_word = 0;
+    // Find the pick-th smallest hash among the words.
+    for (std::uint64_t round = 0; round < pick; ++round) {
+        std::uint64_t best_hash = ~0ULL;
+        unsigned best_word = 0;
+        for (unsigned w = 0; w < wordsPerLine_; ++w) {
+            const std::uint64_t h = mix64(base, w);
+            if (h > chosen_hash && h < best_hash) {
+                best_hash = h;
+                best_word = w;
+            }
+        }
+        chosen_hash = best_hash;
+        chosen_word = best_word;
+    }
+    return chosen_word;
+}
+
+MemoryAccess
+PowerLawTrace::next()
+{
+    const std::uint64_t line = sampleLine();
+
+    MemoryAccess access;
+    const unsigned word =
+        params_.usedWordFraction >= 1.0 && wordsPerLine_ > 0
+            ? static_cast<unsigned>(rng_.nextBounded(wordsPerLine_))
+            : sampleWord(line);
+    access.address = lineAddress(line) +
+        static_cast<Address>(word) * params_.wordBytes;
+    access.thread = params_.thread;
+    const bool store = isStoreLine(line) &&
+        rng_.nextBernoulli(params_.writeProbability);
+    access.type = store ? AccessType::Write : AccessType::Read;
+    return access;
+}
+
+} // namespace bwwall

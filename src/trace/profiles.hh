@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Named synthetic workload profiles standing in for the paper's
+ * Figure 1 benchmark suite.
+ *
+ * The paper fit the power law to seven commercial traces (SPECjbb on
+ * Linux and AIX, SPECpower, OLTP-1..4) plus the SPEC 2006 average, and
+ * reports: commercial average alpha 0.48, minimum 0.36 (OLTP-2),
+ * maximum 0.62 (OLTP-4), SPEC 2006 average 0.25.  Those traces are
+ * proprietary; each profile here configures a PowerLawTrace with the
+ * paper's fitted exponent (see DESIGN.md, substitution table), along
+ * with write intensity and word-footprint parameters consistent with
+ * the literature the paper cites (roughly 40% of words unused; write
+ * backs a constant fraction of misses).
+ */
+
+#ifndef BWWALL_TRACE_PROFILES_HH
+#define BWWALL_TRACE_PROFILES_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/trace_source.hh"
+#include "trace/working_set_trace.hh"
+
+namespace bwwall {
+
+/** Parameters of one named workload. */
+struct WorkloadProfileSpec
+{
+    std::string name;
+    /** Target miss-curve exponent. */
+    double alpha = 0.5;
+    /** Fraction of store-behaviour lines (sets the write-back ratio). */
+    double writeLineFraction = 0.25;
+    /** Mean fraction of each line's words the workload touches. */
+    double usedWordFraction = 0.6;
+};
+
+/**
+ * The seven commercial profiles of Figure 1, in the paper's order:
+ * SPECjbb (linux), SPECjbb (aix), SPECpower, OLTP-1..OLTP-4.
+ */
+const std::vector<WorkloadProfileSpec> &commercialProfiles();
+
+/** The fitted commercial average (alpha = 0.48). */
+WorkloadProfileSpec commercialAverageProfile();
+
+/** The SPEC 2006 suite average (alpha = 0.25). */
+WorkloadProfileSpec spec2006AverageProfile();
+
+/** Every Figure 1 series: the seven commercial + the two averages. */
+std::vector<WorkloadProfileSpec> figure1Profiles();
+
+/**
+ * Builds the trace source for a profile.
+ *
+ * @param spec Profile parameters.
+ * @param seed Stream seed (determines the whole trace).
+ * @param line_bytes Cache-line granularity of generated addresses.
+ */
+std::unique_ptr<TraceSource> makeProfileTrace(
+    const WorkloadProfileSpec &spec, std::uint64_t seed,
+    std::uint32_t line_bytes = 64);
+
+/**
+ * SPEC-2006-like *individual* applications with discrete working
+ * sets — the staircase miss curves the paper notes fit the power law
+ * poorly in isolation.  Returned ready to construct WorkingSetTrace.
+ */
+std::vector<WorkingSetTraceParams> specDiscreteAppParams(
+    std::uint64_t seed);
+
+} // namespace bwwall
+
+#endif // BWWALL_TRACE_PROFILES_HH

@@ -1,0 +1,96 @@
+#include "trace/reuse_analyzer.hh"
+
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace bwwall {
+
+ReuseDistanceAnalyzer::ReuseDistanceAnalyzer(
+    std::uint32_t line_bytes, std::size_t max_tracked_distance)
+    : lineBytes_(line_bytes), maxTrackedDistance_(max_tracked_distance)
+{
+    if (!isPowerOfTwo(line_bytes))
+        fatal("ReuseDistanceAnalyzer line size must be a power of two");
+    if (max_tracked_distance == 0)
+        fatal("ReuseDistanceAnalyzer needs a positive tracked distance");
+    lineShift_ = floorLog2(line_bytes);
+}
+
+void
+ReuseDistanceAnalyzer::observe(const MemoryAccess &access)
+{
+    observeAddress(access.address);
+}
+
+void
+ReuseDistanceAnalyzer::observeAddress(Address address)
+{
+    ++totalAccesses_;
+    const std::uint64_t line = address >> lineShift_;
+    const std::size_t depth = stack_.touch(line);
+    if (depth == LruStack::kNotFound) {
+        ++coldAccesses_;
+        stack_.push(line);
+        // Bound memory: lines deeper than the tracked horizon can only
+        // yield distances we lump with compulsory misses anyway.
+        if (stack_.size() > maxTrackedDistance_)
+            stack_.popLru();
+        return;
+    }
+    if (depth > maxTrackedDistance_) {
+        ++coldAccesses_;
+        return;
+    }
+    if (distanceHistogram_.size() <= depth)
+        distanceHistogram_.resize(depth + 1, 0);
+    ++distanceHistogram_[depth];
+}
+
+double
+ReuseDistanceAnalyzer::missRateAtCapacity(std::size_t capacity_lines) const
+{
+    if (totalAccesses_ == 0)
+        return 0.0;
+    std::uint64_t misses = coldAccesses_;
+    for (std::size_t d = capacity_lines + 1;
+         d < distanceHistogram_.size(); ++d) {
+        misses += distanceHistogram_[d];
+    }
+    return static_cast<double>(misses) /
+           static_cast<double>(totalAccesses_);
+}
+
+std::uint64_t
+ReuseDistanceAnalyzer::distanceCount(std::size_t distance) const
+{
+    if (distance >= distanceHistogram_.size())
+        return 0;
+    return distanceHistogram_[distance];
+}
+
+std::size_t
+ReuseDistanceAnalyzer::maxObservedDistance() const
+{
+    for (std::size_t d = distanceHistogram_.size(); d > 0; --d) {
+        if (distanceHistogram_[d - 1] != 0)
+            return d - 1;
+    }
+    return 0;
+}
+
+void
+ReuseDistanceAnalyzer::reset()
+{
+    stack_.clear();
+    resetCounters();
+}
+
+void
+ReuseDistanceAnalyzer::resetCounters()
+{
+    distanceHistogram_.clear();
+    coldAccesses_ = 0;
+    totalAccesses_ = 0;
+}
+
+} // namespace bwwall

@@ -1,0 +1,105 @@
+#include "trace/shared_trace.hh"
+
+#include "trace/hashing.hh"
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace bwwall {
+
+namespace {
+
+// The shared region lives in a dedicated high window so shared and
+// private references are distinguishable by address.
+constexpr Address kSharedWindowBase = 0xFFFF000000000000ULL;
+
+} // namespace
+
+SharedWorkloadTrace::SharedWorkloadTrace(
+    const SharedWorkloadTraceParams &params)
+    : params_(params), rng_(params.seed),
+      sharedRegionBase_(kSharedWindowBase)
+{
+    if (params_.threads == 0)
+        fatal("SharedWorkloadTrace requires at least one thread");
+    if (params_.sharedLines == 0)
+        fatal("SharedWorkloadTrace requires a non-empty shared region");
+    if (params_.sharedAccessFraction < 0.0 ||
+        params_.sharedAccessFraction > 1.0) {
+        fatal("SharedWorkloadTrace sharedAccessFraction must be in [0,1]");
+    }
+    if (!isPowerOfTwo(params_.lineBytes) || !isPowerOfTwo(params_.wordBytes))
+        fatal("SharedWorkloadTrace line/word sizes must be powers of two");
+
+    lineShift_ = floorLog2(params_.lineBytes);
+    wordsPerLine_ = params_.lineBytes / params_.wordBytes;
+
+    sharedPicker_ = std::make_unique<ZipfSampler>(
+        params_.sharedLines, params_.sharedZipfExponent);
+
+    for (unsigned t = 0; t < params_.threads; ++t) {
+        PowerLawTraceParams private_params;
+        private_params.alpha = params_.privateAlpha;
+        private_params.maxResidentLines = params_.privateMaxResidentLines;
+        private_params.warmLines = std::min<std::size_t>(
+            params_.privateMaxResidentLines, std::size_t(1) << 15);
+        private_params.writeLineFraction = params_.writeLineFraction;
+        private_params.lineBytes = params_.lineBytes;
+        private_params.wordBytes = params_.wordBytes;
+        private_params.thread = t;
+        private_params.seed = mix64(params_.seed, 0x7ead0000ULL + t);
+        private_params.label = params_.label + "-private-" +
+            std::to_string(t);
+        privateStreams_.push_back(
+            std::make_unique<PowerLawTrace>(private_params));
+    }
+    reset();
+}
+
+void
+SharedWorkloadTrace::reset()
+{
+    rng_.seed(params_.seed);
+    nextThread_ = 0;
+    for (auto &stream : privateStreams_)
+        stream->reset();
+}
+
+Address
+SharedWorkloadTrace::sharedLineAddress(std::uint64_t line_index) const
+{
+    return sharedRegionBase_ +
+        (line_index << static_cast<Address>(lineShift_));
+}
+
+bool
+SharedWorkloadTrace::isSharedAddress(Address address) const
+{
+    return address >= sharedRegionBase_ &&
+           address < sharedLineAddress(params_.sharedLines);
+}
+
+MemoryAccess
+SharedWorkloadTrace::next()
+{
+    const unsigned thread = nextThread_;
+    nextThread_ = (nextThread_ + 1) % params_.threads;
+
+    if (rng_.nextBernoulli(params_.sharedAccessFraction)) {
+        // Shared reference: Zipf-popular line, uniform word within.
+        const std::uint64_t rank = sharedPicker_->sample(rng_) - 1;
+        MemoryAccess access;
+        access.address = sharedLineAddress(rank) +
+            rng_.nextBounded(wordsPerLine_) * params_.wordBytes;
+        access.thread = thread;
+        // Shared data is read-mostly: producers write, consumers read.
+        access.type = rng_.nextBernoulli(0.1) ? AccessType::Write
+                                              : AccessType::Read;
+        return access;
+    }
+
+    MemoryAccess access = privateStreams_[thread]->next();
+    access.thread = thread;
+    return access;
+}
+
+} // namespace bwwall

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Multithreaded synthetic workload with a shared region and per-thread
+ * private working sets.
+ *
+ * Models the PARSEC-style behaviour the paper measures in its Figure
+ * 14: "while the shared data set size remains somewhat constant, each
+ * new thread requires its own private working set", so the fraction of
+ * shared lines in a shared cache *declines* as threads are added.
+ * Private references follow the same power-law reuse mechanism as
+ * PowerLawTrace; shared references pick lines from a fixed-size region
+ * under a Zipf popularity distribution common to all threads.
+ */
+
+#ifndef BWWALL_TRACE_SHARED_TRACE_HH
+#define BWWALL_TRACE_SHARED_TRACE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/power_law_trace.hh"
+#include "trace/trace_source.hh"
+#include "util/distributions.hh"
+#include "util/rng.hh"
+
+namespace bwwall {
+
+/** Configuration of a SharedWorkloadTrace. */
+struct SharedWorkloadTraceParams
+{
+    /** Number of threads; accesses interleave round-robin. */
+    unsigned threads = 4;
+
+    /** Size of the shared region in lines (constant across threads). */
+    std::uint64_t sharedLines = 32 * 1024;
+
+    /** Zipf popularity exponent within the shared region. */
+    double sharedZipfExponent = 0.6;
+
+    /**
+     * Probability that any single reference targets the shared
+     * region.
+     */
+    double sharedAccessFraction = 0.2;
+
+    /** Reuse exponent of each thread's private stream. */
+    double privateAlpha = 0.5;
+
+    /** Resident-line cap per private stream. */
+    std::size_t privateMaxResidentLines = std::size_t(1) << 18;
+
+    /** Fraction of store-behaviour lines in private streams. */
+    double writeLineFraction = 0.25;
+
+    std::uint32_t lineBytes = 64;
+    std::uint32_t wordBytes = 8;
+    std::uint64_t seed = 1;
+    std::string label = "shared-workload";
+};
+
+/** Interleaved multithreaded trace with shared and private data. */
+class SharedWorkloadTrace : public TraceSource
+{
+  public:
+    explicit SharedWorkloadTrace(const SharedWorkloadTraceParams &params);
+
+    MemoryAccess next() override;
+    void reset() override;
+    std::string name() const override { return params_.label; }
+
+    const SharedWorkloadTraceParams &params() const { return params_; }
+
+    /** True when an address belongs to the shared region. */
+    bool isSharedAddress(Address address) const;
+
+  private:
+    Address sharedLineAddress(std::uint64_t line_index) const;
+
+    SharedWorkloadTraceParams params_;
+    Rng rng_;
+    std::unique_ptr<ZipfSampler> sharedPicker_;
+    std::vector<std::unique_ptr<PowerLawTrace>> privateStreams_;
+    unsigned nextThread_ = 0;
+    unsigned lineShift_;
+    unsigned wordsPerLine_;
+    Address sharedRegionBase_;
+};
+
+} // namespace bwwall
+
+#endif // BWWALL_TRACE_SHARED_TRACE_HH

@@ -1,0 +1,172 @@
+#include "trace/trace_io.hh"
+
+#include <array>
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace bwwall {
+
+namespace {
+
+constexpr char kMagic[4] = {'B', 'W', 'T', 'R'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kHeaderBytes = 16;
+constexpr std::size_t kRecordBytes = 12;
+
+void
+packU32(std::uint8_t *dest, std::uint32_t value)
+{
+    std::memcpy(dest, &value, 4);
+}
+
+std::uint32_t
+unpackU32(const std::uint8_t *src)
+{
+    std::uint32_t value;
+    std::memcpy(&value, src, 4);
+    return value;
+}
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path,
+                         std::uint32_t line_bytes_hint)
+    : out_(path, std::ios::binary | std::ios::trunc)
+{
+    if (!out_)
+        fatal("TraceWriter cannot open '", path, "'");
+    std::array<std::uint8_t, kHeaderBytes> header{};
+    std::memcpy(header.data(), kMagic, 4);
+    packU32(header.data() + 4, kVersion);
+    packU32(header.data() + 8, line_bytes_hint);
+    // Bytes 12..15 reserved (zero).
+    out_.write(reinterpret_cast<const char *>(header.data()),
+               static_cast<std::streamsize>(header.size()));
+    open_ = true;
+}
+
+TraceWriter::~TraceWriter()
+{
+    if (open_)
+        close();
+}
+
+void
+TraceWriter::write(const MemoryAccess &access)
+{
+    if (!open_)
+        fatal("TraceWriter::write after close");
+    std::array<std::uint8_t, kRecordBytes> record{};
+    std::memcpy(record.data(), &access.address, 8);
+    const auto thread = static_cast<std::uint16_t>(access.thread);
+    std::memcpy(record.data() + 8, &thread, 2);
+    record[10] = static_cast<std::uint8_t>(access.type);
+    record[11] = 0;
+    out_.write(reinterpret_cast<const char *>(record.data()),
+               static_cast<std::streamsize>(record.size()));
+    if (!out_)
+        fatal("TraceWriter: write failed (disk full?)");
+    ++records_;
+}
+
+void
+TraceWriter::writeAll(const std::vector<MemoryAccess> &accesses)
+{
+    for (const MemoryAccess &access : accesses)
+        write(access);
+}
+
+void
+TraceWriter::close()
+{
+    if (!open_)
+        return;
+    out_.flush();
+    out_.close();
+    open_ = false;
+    if (out_.fail())
+        fatal("TraceWriter: close failed");
+}
+
+FileTraceSource::FileTraceSource(const std::string &path, bool loop)
+    : path_(path), loop_(loop)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("FileTraceSource cannot open '", path, "'");
+
+    std::array<std::uint8_t, kHeaderBytes> header{};
+    in.read(reinterpret_cast<char *>(header.data()),
+            static_cast<std::streamsize>(header.size()));
+    if (in.gcount() != static_cast<std::streamsize>(kHeaderBytes) ||
+        std::memcmp(header.data(), kMagic, 4) != 0) {
+        fatal("'", path, "' is not a bwwall trace file");
+    }
+    const std::uint32_t version = unpackU32(header.data() + 4);
+    if (version != kVersion)
+        fatal("'", path, "' has unsupported trace version ", version);
+    lineBytesHint_ = unpackU32(header.data() + 8);
+
+    std::array<std::uint8_t, kRecordBytes> record{};
+    for (;;) {
+        in.read(reinterpret_cast<char *>(record.data()),
+                static_cast<std::streamsize>(record.size()));
+        if (in.gcount() == 0 && in.eof())
+            break;
+        if (in.gcount() != static_cast<std::streamsize>(kRecordBytes))
+            fatal("'", path, "' is truncated mid-record");
+        MemoryAccess access;
+        std::memcpy(&access.address, record.data(), 8);
+        std::uint16_t thread;
+        std::memcpy(&thread, record.data() + 8, 2);
+        access.thread = thread;
+        access.type = record[10] == 0 ? AccessType::Read
+                                      : AccessType::Write;
+        records_.push_back(access);
+    }
+    if (records_.empty())
+        fatal("'", path, "' contains no records");
+}
+
+MemoryAccess
+FileTraceSource::next()
+{
+    if (position_ >= records_.size()) {
+        if (!loop_)
+            fatal("FileTraceSource '", path_,
+                  "' exhausted (size ", records_.size(), ")");
+        position_ = 0;
+    }
+    return records_[position_++];
+}
+
+void
+FileTraceSource::reset()
+{
+    position_ = 0;
+}
+
+std::string
+FileTraceSource::name() const
+{
+    return "file:" + path_;
+}
+
+bool
+FileTraceSource::exhausted() const
+{
+    return !loop_ && position_ >= records_.size();
+}
+
+void
+recordTrace(TraceSource &source, const std::string &path,
+            std::uint64_t count, std::uint32_t line_bytes_hint)
+{
+    TraceWriter writer(path, line_bytes_hint);
+    for (std::uint64_t i = 0; i < count; ++i)
+        writer.write(source.next());
+    writer.close();
+}
+
+} // namespace bwwall

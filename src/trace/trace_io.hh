@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Binary trace recording and replay.
+ *
+ * Synthetic generators are deterministic, but users integrating the
+ * library with real systems need to capture reference streams (e.g.
+ * from a binary-instrumentation tool) and replay them through the
+ * simulators.  The format is a fixed 16-byte header ("BWTR", version,
+ * line-size hint) followed by packed 12-byte little-endian records:
+ * u64 address, u16 thread, u8 type, u8 reserved.
+ */
+
+#ifndef BWWALL_TRACE_TRACE_IO_HH
+#define BWWALL_TRACE_TRACE_IO_HH
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "trace/trace_source.hh"
+
+namespace bwwall {
+
+/** Streams MemoryAccess records to a trace file. */
+class TraceWriter
+{
+  public:
+    /**
+     * Opens (truncates) the file and writes the header.
+     * @param line_bytes_hint Line granularity recorded for readers.
+     */
+    TraceWriter(const std::string &path,
+                std::uint32_t line_bytes_hint = 64);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** Appends one access. */
+    void write(const MemoryAccess &access);
+
+    /** Appends many accesses. */
+    void writeAll(const std::vector<MemoryAccess> &accesses);
+
+    /** Flushes and closes; further writes are invalid. */
+    void close();
+
+    std::uint64_t recordsWritten() const { return records_; }
+
+  private:
+    std::ofstream out_;
+    std::uint64_t records_ = 0;
+    bool open_ = false;
+};
+
+/**
+ * Replays a recorded trace file as a TraceSource.  The stream can
+ * loop so finite recordings drive arbitrarily long simulations.
+ */
+class FileTraceSource : public TraceSource
+{
+  public:
+    /**
+     * @param loop When true, reaching the end rewinds to the first
+     * record; when false, next() past the end is a fatal error (use
+     * size() to bound the replay).
+     */
+    explicit FileTraceSource(const std::string &path, bool loop = true);
+
+    MemoryAccess next() override;
+    void reset() override;
+    std::string name() const override;
+
+    /** Number of records in the file. */
+    std::uint64_t size() const { return records_.size(); }
+
+    /** True when a non-looping source has replayed every record. */
+    bool exhausted() const;
+
+    /** Line-size hint stored by the writer. */
+    std::uint32_t lineBytesHint() const { return lineBytesHint_; }
+
+  private:
+    std::string path_;
+    bool loop_;
+    std::uint32_t lineBytesHint_ = 64;
+    std::vector<MemoryAccess> records_;
+    std::size_t position_ = 0;
+};
+
+/** Records `count` accesses from any source into a file. */
+void recordTrace(TraceSource &source, const std::string &path,
+                 std::uint64_t count,
+                 std::uint32_t line_bytes_hint = 64);
+
+} // namespace bwwall
+
+#endif // BWWALL_TRACE_TRACE_IO_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Abstract interface for synthetic memory-reference streams.
+ */
+
+#ifndef BWWALL_TRACE_TRACE_SOURCE_HH
+#define BWWALL_TRACE_TRACE_SOURCE_HH
+
+#include <string>
+
+#include "trace/access.hh"
+
+namespace bwwall {
+
+/**
+ * An unbounded, deterministic stream of memory accesses.
+ *
+ * Generators are infinite; the consumer decides how many references to
+ * draw.  reset() restores the stream to its initial state so the same
+ * trace can be replayed against several cache configurations — the
+ * miss-curve sweeps rely on byte-identical replay.
+ */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /** Produces the next access in the stream. */
+    virtual MemoryAccess next() = 0;
+
+    /** Rewinds the stream to its initial state. */
+    virtual void reset() = 0;
+
+    /** Human-readable stream name for reports. */
+    virtual std::string name() const = 0;
+};
+
+} // namespace bwwall
+
+#endif // BWWALL_TRACE_TRACE_SOURCE_HH

@@ -1,0 +1,124 @@
+#include "trace/value_pattern.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace bwwall {
+
+ValueMix
+commercialValueMix()
+{
+    // Commercial/OLTP data: many nulls and flags, modest integers,
+    // heap pointers — the mix prior compression studies report as
+    // yielding roughly 2x.
+    ValueMix mix;
+    mix.zero = 0.28;
+    mix.smallInt = 0.22;
+    mix.repeatedByte = 0.06;
+    mix.pointerLike = 0.16;
+    mix.halfWordPair = 0.05;
+    mix.random = 0.23;
+    return mix;
+}
+
+ValueMix
+integerValueMix()
+{
+    // SPECint-like: dominated by small integers and zeros.
+    ValueMix mix;
+    mix.zero = 0.33;
+    mix.smallInt = 0.34;
+    mix.repeatedByte = 0.08;
+    mix.pointerLike = 0.10;
+    mix.halfWordPair = 0.05;
+    mix.random = 0.10;
+    return mix;
+}
+
+ValueMix
+floatingPointValueMix()
+{
+    // SPECfp-like: mantissa noise dominates; little value locality.
+    ValueMix mix;
+    mix.zero = 0.08;
+    mix.smallInt = 0.04;
+    mix.repeatedByte = 0.02;
+    mix.pointerLike = 0.02;
+    mix.halfWordPair = 0.04;
+    mix.random = 0.80;
+    return mix;
+}
+
+ValuePatternGenerator::ValuePatternGenerator(const ValueMix &mix,
+                                             std::uint64_t seed)
+    : mix_(mix), seed_(seed), rng_(seed)
+{
+    const std::vector<double> weights = {
+        mix.zero,         mix.smallInt,    mix.repeatedByte,
+        mix.pointerLike,  mix.halfWordPair, mix.random,
+    };
+    double total = 0.0;
+    for (double w : weights)
+        total += w;
+    if (total <= 0.0)
+        fatal("ValuePatternGenerator requires a positive total weight");
+    classPicker_ = std::make_unique<AliasTable>(weights);
+    pointerBase_ = (rng_.next() & 0x0000FFFFFF000000ULL);
+}
+
+void
+ValuePatternGenerator::reset()
+{
+    rng_.seed(seed_);
+    pointerBase_ = (rng_.next() & 0x0000FFFFFF000000ULL);
+}
+
+std::uint64_t
+ValuePatternGenerator::makeWord(ValueClass cls)
+{
+    switch (cls) {
+      case ValueClass::Zero:
+        return 0;
+      case ValueClass::SmallInt: {
+        // Sign-extended value within +/- 2^15.
+        const std::int64_t v = rng_.nextRange(-32768, 32767);
+        return static_cast<std::uint64_t>(v);
+      }
+      case ValueClass::RepeatedByte: {
+        const std::uint64_t b = rng_.nextBounded(256);
+        return b * 0x0101010101010101ULL;
+      }
+      case ValueClass::PointerLike:
+        return pointerBase_ | (rng_.next() & 0xFFFFFFULL);
+      case ValueClass::HalfWordPair: {
+        const std::uint64_t half = rng_.next() & 0xFFFFFFFFULL;
+        return (half << 32) | half;
+      }
+      case ValueClass::Random:
+        return rng_.next();
+    }
+    panic("unreachable value class");
+}
+
+std::uint64_t
+ValuePatternGenerator::nextWord()
+{
+    const auto cls = static_cast<ValueClass>(classPicker_->sample(rng_));
+    return makeWord(cls);
+}
+
+std::vector<std::uint8_t>
+ValuePatternGenerator::nextLine(std::size_t line_bytes)
+{
+    if (line_bytes % 8 != 0)
+        fatal("ValuePatternGenerator line size must be a multiple of 8");
+    std::vector<std::uint8_t> line(line_bytes);
+    for (std::size_t offset = 0; offset < line_bytes; offset += 8) {
+        const std::uint64_t word = nextWord();
+        std::memcpy(line.data() + offset, &word, 8);
+    }
+    return line;
+}
+
+} // namespace bwwall

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Synthetic cache-line *contents* with controllable value locality.
+ *
+ * The paper's compression techniques (cache compression, link
+ * compression, cache+link compression) assume compression ratios taken
+ * from prior work: roughly 1.4-2.1x for commercial workloads and
+ * higher for integer codes.  To ground those parameters rather than
+ * assert them, this generator synthesises 64-bit words from the value
+ * classes that frequent-pattern compression exploits — zeros, small
+ * sign-extended integers, repeated bytes, pointer-like values sharing
+ * a common base — mixed per a workload class, and the real FPC/BDI
+ * compressors in src/compress measure the resulting ratios.
+ */
+
+#ifndef BWWALL_TRACE_VALUE_PATTERN_HH
+#define BWWALL_TRACE_VALUE_PATTERN_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/distributions.hh"
+#include "util/rng.hh"
+
+namespace bwwall {
+
+/** Value classes a generated word can belong to. */
+enum class ValueClass : std::uint8_t
+{
+    Zero,          ///< the all-zero word
+    SmallInt,      ///< sign-extended small magnitude integer
+    RepeatedByte,  ///< one byte value repeated eight times
+    PointerLike,   ///< shared high bits, varying low bits
+    HalfWordPair,  ///< two identical 32-bit halves
+    Random,        ///< incompressible noise
+};
+
+/** Mixture weights over the value classes. */
+struct ValueMix
+{
+    double zero = 0.0;
+    double smallInt = 0.0;
+    double repeatedByte = 0.0;
+    double pointerLike = 0.0;
+    double halfWordPair = 0.0;
+    double random = 1.0;
+};
+
+/** Named default mixes for the paper's workload classes. */
+ValueMix commercialValueMix();
+ValueMix integerValueMix();
+ValueMix floatingPointValueMix();
+
+/** Generates words/lines from a ValueMix. */
+class ValuePatternGenerator
+{
+  public:
+    ValuePatternGenerator(const ValueMix &mix, std::uint64_t seed);
+
+    /** Draws one 64-bit word. */
+    std::uint64_t nextWord();
+
+    /** Fills a line of line_bytes (multiple of 8) with words. */
+    std::vector<std::uint8_t> nextLine(std::size_t line_bytes);
+
+    /** Restarts the generator stream. */
+    void reset();
+
+  private:
+    std::uint64_t makeWord(ValueClass cls);
+
+    ValueMix mix_;
+    std::uint64_t seed_;
+    Rng rng_;
+    std::unique_ptr<AliasTable> classPicker_;
+    std::uint64_t pointerBase_;
+};
+
+} // namespace bwwall
+
+#endif // BWWALL_TRACE_VALUE_PATTERN_HH

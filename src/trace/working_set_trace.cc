@@ -1,0 +1,82 @@
+#include "trace/working_set_trace.hh"
+
+#include "trace/hashing.hh"
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace bwwall {
+
+WorkingSetTrace::WorkingSetTrace(const WorkingSetTraceParams &params)
+    : params_(params), rng_(params.seed)
+{
+    if (params_.regions.empty())
+        fatal("WorkingSetTrace requires at least one region");
+    if (!isPowerOfTwo(params_.lineBytes) || !isPowerOfTwo(params_.wordBytes))
+        fatal("WorkingSetTrace line/word sizes must be powers of two");
+    if (params_.wordBytes > params_.lineBytes)
+        fatal("WorkingSetTrace word size exceeds line size");
+
+    std::vector<double> weights;
+    weights.reserve(params_.regions.size());
+    std::uint64_t base = 0;
+    for (const auto &region : params_.regions) {
+        if (region.lines == 0)
+            fatal("WorkingSetTrace region must have at least one line");
+        if (region.weight < 0.0)
+            fatal("WorkingSetTrace region weight must be non-negative");
+        weights.push_back(region.weight);
+        regionBase_.push_back(base);
+        base += region.lines;
+    }
+    regionPicker_ = std::make_unique<AliasTable>(weights);
+    lineShift_ = floorLog2(params_.lineBytes);
+    wordsPerLine_ = params_.lineBytes / params_.wordBytes;
+    reset();
+}
+
+void
+WorkingSetTrace::reset()
+{
+    rng_.seed(params_.seed);
+    cursors_.assign(params_.regions.size(), 0);
+}
+
+std::uint64_t
+WorkingSetTrace::totalLines() const
+{
+    std::uint64_t total = 0;
+    for (const auto &region : params_.regions)
+        total += region.lines;
+    return total;
+}
+
+MemoryAccess
+WorkingSetTrace::next()
+{
+    const std::size_t region_index = regionPicker_->sample(rng_);
+    const auto &region = params_.regions[region_index];
+
+    const std::uint64_t line_in_region = cursors_[region_index];
+    cursors_[region_index] = (line_in_region + 1) % region.lines;
+
+    const std::uint64_t line_id = regionBase_[region_index] + line_in_region;
+    // Contiguous mode lays regions out back to back from a large
+    // seed-derived base; scrambled mode spreads lines uniformly.
+    const std::uint64_t line_number = params_.contiguousAddresses
+        ? ((mix64(params_.seed) & 0x0000FFFFFF000000ULL) >>
+           lineShift_) + line_id
+        : mix64(line_id, params_.seed ^ 0xA11D5EEDULL) >> 6;
+
+    MemoryAccess access;
+    const auto word =
+        static_cast<Address>(rng_.nextBounded(wordsPerLine_));
+    access.address =
+        (line_number << lineShift_) + word * params_.wordBytes;
+    access.thread = params_.thread;
+    access.type = rng_.nextBernoulli(region.writeFraction)
+                      ? AccessType::Write
+                      : AccessType::Read;
+    return access;
+}
+
+} // namespace bwwall

@@ -1,0 +1,164 @@
+#include "util/config.hh"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace bwwall {
+
+namespace {
+
+std::string
+trim(const std::string &text)
+{
+    std::size_t begin = 0;
+    std::size_t end = text.size();
+    while (begin < end &&
+           std::isspace(static_cast<unsigned char>(text[begin]))) {
+        ++begin;
+    }
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+        --end;
+    }
+    return text.substr(begin, end - begin);
+}
+
+} // namespace
+
+ConfigFile
+ConfigFile::parseFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open configuration file '", path, "'");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return parseString(buffer.str());
+}
+
+ConfigFile
+ConfigFile::parseString(const std::string &text)
+{
+    ConfigFile config;
+    std::istringstream in(text);
+    std::string line;
+    int line_number = 0;
+    while (std::getline(in, line)) {
+        ++line_number;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        const std::string trimmed = trim(line);
+        if (trimmed.empty())
+            continue;
+        const std::size_t equals = trimmed.find('=');
+        if (equals == std::string::npos) {
+            fatal("configuration line ", line_number,
+                  " is not 'key = value': '", trimmed, "'");
+        }
+        const std::string key = trim(trimmed.substr(0, equals));
+        const std::string value = trim(trimmed.substr(equals + 1));
+        if (key.empty())
+            fatal("configuration line ", line_number,
+                  " has an empty key");
+        config.values_[key] = value;
+    }
+    return config;
+}
+
+bool
+ConfigFile::has(const std::string &key) const
+{
+    return values_.find(key) != values_.end();
+}
+
+std::string
+ConfigFile::getString(const std::string &key,
+                      const std::string &fallback) const
+{
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+}
+
+double
+ConfigFile::getDouble(const std::string &key, double fallback) const
+{
+    const auto it = values_.find(key);
+    if (it == values_.end())
+        return fallback;
+    try {
+        std::size_t used = 0;
+        const double value = std::stod(it->second, &used);
+        if (used != it->second.size())
+            throw std::invalid_argument("trailing characters");
+        return value;
+    } catch (const std::exception &) {
+        fatal("configuration key '", key, "' is not a number: '",
+              it->second, "'");
+    }
+}
+
+std::int64_t
+ConfigFile::getInt(const std::string &key, std::int64_t fallback) const
+{
+    const auto it = values_.find(key);
+    if (it == values_.end())
+        return fallback;
+    try {
+        std::size_t used = 0;
+        const long long value = std::stoll(it->second, &used);
+        if (used != it->second.size())
+            throw std::invalid_argument("trailing characters");
+        return value;
+    } catch (const std::exception &) {
+        fatal("configuration key '", key, "' is not an integer: '",
+              it->second, "'");
+    }
+}
+
+bool
+ConfigFile::getBool(const std::string &key, bool fallback) const
+{
+    const auto it = values_.find(key);
+    if (it == values_.end())
+        return fallback;
+    const std::string &value = it->second;
+    if (value == "true" || value == "yes" || value == "1")
+        return true;
+    if (value == "false" || value == "no" || value == "0")
+        return false;
+    fatal("configuration key '", key, "' is not a boolean: '", value,
+          "'");
+}
+
+std::vector<std::string>
+ConfigFile::getList(const std::string &key) const
+{
+    std::vector<std::string> items;
+    const auto it = values_.find(key);
+    if (it == values_.end())
+        return items;
+    std::istringstream in(it->second);
+    std::string item;
+    while (std::getline(in, item, ',')) {
+        const std::string trimmed = trim(item);
+        if (!trimmed.empty())
+            items.push_back(trimmed);
+    }
+    return items;
+}
+
+std::vector<std::string>
+ConfigFile::keys() const
+{
+    std::vector<std::string> result;
+    result.reserve(values_.size());
+    for (const auto &[key, value] : values_)
+        result.push_back(key);
+    return result;
+}
+
+} // namespace bwwall

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Minimal key = value configuration files.
+ *
+ * Experiment definitions (see examples/experiment_runner) live in
+ * flat text files: one `key = value` per line, `#` comments, blank
+ * lines ignored.  Values are fetched typed, with defaults; unknown
+ * keys can be enumerated so tools can reject typos.
+ */
+
+#ifndef BWWALL_UTIL_CONFIG_HH
+#define BWWALL_UTIL_CONFIG_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bwwall {
+
+/** Parsed key/value configuration. */
+class ConfigFile
+{
+  public:
+    /** Parses a file; fatal on unreadable files or malformed lines. */
+    static ConfigFile parseFile(const std::string &path);
+
+    /** Parses configuration text directly (for tests/tools). */
+    static ConfigFile parseString(const std::string &text);
+
+    bool has(const std::string &key) const;
+
+    /** Typed getters; fall back to the default when absent and are
+     *  fatal on unparseable values. */
+    std::string getString(const std::string &key,
+                          const std::string &fallback = "") const;
+    double getDouble(const std::string &key, double fallback) const;
+    std::int64_t getInt(const std::string &key,
+                        std::int64_t fallback) const;
+    bool getBool(const std::string &key, bool fallback) const;
+
+    /**
+     * Splits a comma-separated value into trimmed items; empty when
+     * the key is absent.
+     */
+    std::vector<std::string> getList(const std::string &key) const;
+
+    /** All keys, sorted (for unknown-key validation). */
+    std::vector<std::string> keys() const;
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+} // namespace bwwall
+
+#endif // BWWALL_UTIL_CONFIG_HH

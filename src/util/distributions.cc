@@ -1,0 +1,157 @@
+#include "util/distributions.hh"
+
+#include <cmath>
+#include <deque>
+
+#include "util/logging.hh"
+
+namespace bwwall {
+
+BoundedParetoSampler::BoundedParetoSampler(double alpha, double maximum)
+    : alpha_(alpha), maximum_(maximum),
+      maxPowNegAlpha_(std::pow(maximum, -alpha))
+{
+    if (alpha <= 0.0)
+        fatal("BoundedParetoSampler requires alpha > 0, got ", alpha);
+    if (maximum < 1.0)
+        fatal("BoundedParetoSampler requires maximum >= 1, got ", maximum);
+}
+
+double
+BoundedParetoSampler::sample(Rng &rng) const
+{
+    // Inverse CDF: x = (1 - u * (1 - max^-alpha))^(-1/alpha).
+    const double u = rng.nextDouble();
+    const double base = 1.0 - u * (1.0 - maxPowNegAlpha_);
+    return std::pow(base, -1.0 / alpha_);
+}
+
+std::uint64_t
+BoundedParetoSampler::sampleInteger(Rng &rng) const
+{
+    const double x = sample(rng);
+    const double floored = std::floor(x);
+    if (floored >= maximum_)
+        return static_cast<std::uint64_t>(maximum_);
+    return static_cast<std::uint64_t>(floored);
+}
+
+double
+BoundedParetoSampler::complementaryCdf(double x) const
+{
+    if (x <= 1.0)
+        return 1.0;
+    if (x >= maximum_)
+        return 0.0;
+    return (std::pow(x, -alpha_) - maxPowNegAlpha_) /
+           (1.0 - maxPowNegAlpha_);
+}
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double s) : n_(n), s_(s)
+{
+    if (n == 0)
+        fatal("ZipfSampler requires n >= 1");
+    if (s < 0.0)
+        fatal("ZipfSampler requires s >= 0, got ", s);
+    // Hoermann & Derflinger rejection-inversion setup; the sampled
+    // support is [0.5, n + 0.5] with rounding to the nearest rank.
+    hIntegralX1_ = hIntegral(1.5) - 1.0;
+    hIntegralN_ = hIntegral(static_cast<double>(n_) + 0.5);
+    acceptThreshold_ =
+        2.0 - hIntegralInverse(hIntegral(2.5) - std::pow(2.0, -s_));
+}
+
+double
+ZipfSampler::hIntegral(double x) const
+{
+    // Integral of t^-s from 1 to x.
+    if (s_ == 1.0)
+        return std::log(x);
+    return (std::pow(x, 1.0 - s_) - 1.0) / (1.0 - s_);
+}
+
+double
+ZipfSampler::hIntegralInverse(double x) const
+{
+    if (s_ == 1.0)
+        return std::exp(x);
+    return std::pow(1.0 + x * (1.0 - s_), 1.0 / (1.0 - s_));
+}
+
+std::uint64_t
+ZipfSampler::sample(Rng &rng) const
+{
+    if (n_ == 1)
+        return 1;
+    if (s_ == 0.0)
+        return rng.nextBounded(n_) + 1;
+    for (;;) {
+        const double u = hIntegralN_ +
+            rng.nextDouble() * (hIntegralX1_ - hIntegralN_);
+        const double x = hIntegralInverse(u);
+        std::uint64_t k = x < 1.0
+            ? 1
+            : static_cast<std::uint64_t>(x + 0.5);
+        if (k > n_)
+            k = n_;
+        const double kd = static_cast<double>(k);
+        // Quick accept within the uniform acceptance band, otherwise
+        // the exact rejection test against the hat function.
+        if (kd - x <= acceptThreshold_ ||
+            u >= hIntegral(kd + 0.5) - std::pow(kd, -s_)) {
+            return k;
+        }
+    }
+}
+
+AliasTable::AliasTable(const std::vector<double> &weights)
+{
+    if (weights.empty())
+        fatal("AliasTable requires a non-empty weight vector");
+
+    double total = 0.0;
+    for (double w : weights) {
+        if (w < 0.0)
+            fatal("AliasTable weights must be non-negative");
+        total += w;
+    }
+    if (total <= 0.0)
+        fatal("AliasTable requires at least one positive weight");
+
+    const std::size_t n = weights.size();
+    probability_.assign(n, 0.0);
+    alias_.assign(n, 0);
+
+    std::vector<double> scaled(n);
+    for (std::size_t i = 0; i < n; ++i)
+        scaled[i] = weights[i] * static_cast<double>(n) / total;
+
+    std::deque<std::size_t> small, large;
+    for (std::size_t i = 0; i < n; ++i)
+        (scaled[i] < 1.0 ? small : large).push_back(i);
+
+    while (!small.empty() && !large.empty()) {
+        const std::size_t s = small.front();
+        small.pop_front();
+        const std::size_t l = large.front();
+        large.pop_front();
+        probability_[s] = scaled[s];
+        alias_[s] = l;
+        scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+        (scaled[l] < 1.0 ? small : large).push_back(l);
+    }
+    for (std::size_t i : large)
+        probability_[i] = 1.0;
+    for (std::size_t i : small)
+        probability_[i] = 1.0; // numerical leftovers
+}
+
+std::size_t
+AliasTable::sample(Rng &rng) const
+{
+    const std::size_t column = rng.nextBounded(probability_.size());
+    return rng.nextDouble() < probability_[column] ? column
+                                                   : alias_[column];
+}
+
+} // namespace bwwall

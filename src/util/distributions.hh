@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Random samplers used by the synthetic workload generators.
+ *
+ * The central sampler is BoundedParetoSampler: a reuse-distance
+ * distribution whose tail decays as d^-alpha provably yields an LRU
+ * miss curve proportional to C^-alpha, which is the power law of cache
+ * misses the paper builds on (its Equation 1).
+ */
+
+#ifndef BWWALL_UTIL_DISTRIBUTIONS_HH
+#define BWWALL_UTIL_DISTRIBUTIONS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace bwwall {
+
+/**
+ * Bounded (truncated) Pareto distribution over [1, maximum].
+ *
+ * The complementary CDF is
+ *   P(X > x) = (x^-alpha - max^-alpha) / (1 - max^-alpha),
+ * i.e. proportional to x^-alpha far from the truncation point.
+ * Sampling uses exact inverse-CDF inversion.
+ */
+class BoundedParetoSampler
+{
+  public:
+    /**
+     * @param alpha Tail exponent, must be > 0.
+     * @param maximum Upper truncation bound, must be >= 1.
+     */
+    BoundedParetoSampler(double alpha, double maximum);
+
+    /** Draws a continuous sample in [1, maximum]. */
+    double sample(Rng &rng) const;
+
+    /** Draws floor(sample) as an integer in [1, maximum]. */
+    std::uint64_t sampleInteger(Rng &rng) const;
+
+    /** Exact complementary CDF P(X > x). */
+    double complementaryCdf(double x) const;
+
+    double alpha() const { return alpha_; }
+    double maximum() const { return maximum_; }
+
+  private:
+    double alpha_;
+    double maximum_;
+    double maxPowNegAlpha_; // maximum^-alpha, cached
+};
+
+/**
+ * Zipf distribution over ranks {1, ..., n} with exponent s >= 0:
+ * P(X = k) proportional to k^-s.
+ *
+ * Uses Hoermann's rejection-inversion method, so construction is O(1)
+ * and sampling is O(1) expected time for any n.
+ */
+class ZipfSampler
+{
+  public:
+    ZipfSampler(std::uint64_t n, double s);
+
+    /** Draws a rank in [1, n]. */
+    std::uint64_t sample(Rng &rng) const;
+
+    std::uint64_t n() const { return n_; }
+    double s() const { return s_; }
+
+  private:
+    double hIntegral(double x) const;
+    double hIntegralInverse(double x) const;
+
+    std::uint64_t n_;
+    double s_;
+    double hIntegralX1_;
+    double hIntegralN_;
+    double acceptThreshold_;
+};
+
+/**
+ * O(1) sampler for an arbitrary finite discrete distribution
+ * (Walker/Vose alias method).
+ */
+class AliasTable
+{
+  public:
+    /**
+     * @param weights Non-negative weights; at least one must be
+     * positive.  They are normalised internally.
+     */
+    explicit AliasTable(const std::vector<double> &weights);
+
+    /** Draws an index in [0, size()). */
+    std::size_t sample(Rng &rng) const;
+
+    std::size_t size() const { return probability_.size(); }
+
+  private:
+    std::vector<double> probability_;
+    std::vector<std::size_t> alias_;
+};
+
+} // namespace bwwall
+
+#endif // BWWALL_UTIL_DISTRIBUTIONS_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Binary indexed (Fenwick) tree with prefix sums and rank select.
+ *
+ * Used by the LRU stack structures to locate and update entries at an
+ * arbitrary recency depth in O(log n).
+ */
+
+#ifndef BWWALL_UTIL_FENWICK_HH
+#define BWWALL_UTIL_FENWICK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace bwwall {
+
+/** Fenwick tree over non-negative integer counts. */
+class FenwickTree
+{
+  public:
+    /** Creates a tree of the given fixed size, all counts zero. */
+    explicit FenwickTree(std::size_t size)
+        : tree_(size + 1, 0), size_(size)
+    {}
+
+    std::size_t size() const { return size_; }
+
+    /** Adds delta to position index (0-based). */
+    void
+    add(std::size_t index, std::int64_t delta)
+    {
+        if (index >= size_)
+            panic("FenwickTree::add index out of range");
+        for (std::size_t i = index + 1; i <= size_; i += i & (~i + 1))
+            tree_[i] += delta;
+    }
+
+    /** Sum of positions [0, index] (0-based, inclusive). */
+    std::int64_t
+    prefixSum(std::size_t index) const
+    {
+        if (index >= size_)
+            panic("FenwickTree::prefixSum index out of range");
+        std::int64_t sum = 0;
+        for (std::size_t i = index + 1; i > 0; i -= i & (~i + 1))
+            sum += tree_[i];
+        return sum;
+    }
+
+    /** Sum over the whole array. */
+    std::int64_t
+    total() const
+    {
+        return size_ == 0 ? 0 : prefixSum(size_ - 1);
+    }
+
+    /**
+     * Smallest index whose prefix sum reaches target (select).
+     * All counts must be non-negative and target must satisfy
+     * 1 <= target <= total().
+     */
+    std::size_t
+    select(std::int64_t target) const
+    {
+        if (target < 1 || target > total())
+            panic("FenwickTree::select target out of range");
+        std::size_t position = 0;
+        std::size_t mask = 1;
+        while ((mask << 1) <= size_)
+            mask <<= 1;
+        for (; mask > 0; mask >>= 1) {
+            const std::size_t next = position + mask;
+            if (next <= size_ && tree_[next] < target) {
+                position = next;
+                target -= tree_[next];
+            }
+        }
+        return position; // 0-based index of the selected element
+    }
+
+  private:
+    std::vector<std::int64_t> tree_;
+    std::size_t size_;
+};
+
+} // namespace bwwall
+
+#endif // BWWALL_UTIL_FENWICK_HH

@@ -1,0 +1,83 @@
+#include "util/linear_fit.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace bwwall {
+
+LineFit
+fitLine(const std::vector<double> &x, const std::vector<double> &y)
+{
+    if (x.size() != y.size())
+        fatal("fitLine: x and y differ in length");
+    if (x.size() < 2)
+        fatal("fitLine: need at least two points");
+
+    const double n = static_cast<double>(x.size());
+    double sum_x = 0.0, sum_y = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        sum_x += x[i];
+        sum_y += y[i];
+    }
+    const double mean_x = sum_x / n;
+    const double mean_y = sum_y / n;
+
+    double sxx = 0.0, sxy = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const double dx = x[i] - mean_x;
+        const double dy = y[i] - mean_y;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    if (sxx == 0.0)
+        fatal("fitLine: all x values are identical");
+
+    LineFit fit;
+    fit.slope = sxy / sxx;
+    fit.intercept = mean_y - fit.slope * mean_x;
+    if (syy == 0.0) {
+        fit.rSquared = 1.0; // perfectly flat data, perfectly fit
+    } else {
+        double ss_res = 0.0;
+        for (std::size_t i = 0; i < x.size(); ++i) {
+            const double r = y[i] - (fit.slope * x[i] + fit.intercept);
+            ss_res += r * r;
+        }
+        fit.rSquared = 1.0 - ss_res / syy;
+    }
+    return fit;
+}
+
+double
+PowerLawFit::evaluate(double x) const
+{
+    return coefficient * std::pow(x, exponent);
+}
+
+PowerLawFit
+fitPowerLaw(const std::vector<double> &x, const std::vector<double> &y)
+{
+    if (x.size() != y.size())
+        fatal("fitPowerLaw: x and y differ in length");
+
+    std::vector<double> log_x, log_y;
+    log_x.reserve(x.size());
+    log_y.reserve(y.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        if (x[i] <= 0.0 || y[i] <= 0.0)
+            fatal("fitPowerLaw: values must be positive");
+        log_x.push_back(std::log(x[i]));
+        log_y.push_back(std::log(y[i]));
+    }
+
+    const LineFit line = fitLine(log_x, log_y);
+    PowerLawFit fit;
+    fit.exponent = line.slope;
+    fit.coefficient = std::exp(line.intercept);
+    fit.rSquared = line.rSquared;
+    return fit;
+}
+
+} // namespace bwwall

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Least-squares fitting, including the log-log power-law fit used to
+ * extract the cache-miss exponent alpha (paper Figure 1).
+ */
+
+#ifndef BWWALL_UTIL_LINEAR_FIT_HH
+#define BWWALL_UTIL_LINEAR_FIT_HH
+
+#include <vector>
+
+namespace bwwall {
+
+/** Result of an ordinary least-squares line fit y = slope*x + intercept. */
+struct LineFit
+{
+    double slope = 0.0;
+    double intercept = 0.0;
+    /** Coefficient of determination in [0, 1]. */
+    double rSquared = 0.0;
+};
+
+/**
+ * Fits y = slope*x + intercept by ordinary least squares.
+ * Requires at least two points with distinct x values.
+ */
+LineFit fitLine(const std::vector<double> &x, const std::vector<double> &y);
+
+/** Result of a power-law fit y = coefficient * x^exponent. */
+struct PowerLawFit
+{
+    double exponent = 0.0;
+    double coefficient = 0.0;
+    /** R^2 of the underlying log-log line fit. */
+    double rSquared = 0.0;
+
+    /** Evaluates the fitted curve. */
+    double evaluate(double x) const;
+};
+
+/**
+ * Fits y = coefficient * x^exponent by linear regression in log-log
+ * space.  All x and y values must be positive.  For a miss-rate-vs-
+ * cache-size curve the paper's alpha is -exponent.
+ */
+PowerLawFit fitPowerLaw(const std::vector<double> &x,
+                        const std::vector<double> &y);
+
+} // namespace bwwall
+
+#endif // BWWALL_UTIL_LINEAR_FIT_HH

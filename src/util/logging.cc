@@ -1,0 +1,15 @@
+#include "util/logging.hh"
+
+#include <iostream>
+
+namespace bwwall {
+namespace detail {
+
+void
+emitLine(const char *tag, const std::string &message)
+{
+    std::cerr << tag << ": " << message << std::endl;
+}
+
+} // namespace detail
+} // namespace bwwall

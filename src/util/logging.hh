@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Status and error reporting helpers.
+ *
+ * The severity split follows the gem5 convention: fatal() is for user
+ * errors (bad configuration, invalid arguments) and exits cleanly with
+ * an error code; panic() is for internal invariant violations and
+ * aborts.  inform() and warn() never stop execution.
+ */
+
+#ifndef BWWALL_UTIL_LOGGING_HH
+#define BWWALL_UTIL_LOGGING_HH
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace bwwall {
+
+namespace detail {
+
+/** Appends each argument's stream representation to a string. */
+template <typename... Args>
+std::string
+formatMessage(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+/** Writes a tagged line to stderr. */
+void emitLine(const char *tag, const std::string &message);
+
+} // namespace detail
+
+/** Prints a normal status message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::emitLine("info", detail::formatMessage(
+        std::forward<Args>(args)...));
+}
+
+/** Prints a message about suspicious but survivable conditions. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::emitLine("warn", detail::formatMessage(
+        std::forward<Args>(args)...));
+}
+
+/**
+ * Reports an unrecoverable user error (bad parameters, impossible
+ * configuration) and exits with status 1.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::emitLine("fatal", detail::formatMessage(
+        std::forward<Args>(args)...));
+    std::exit(1);
+}
+
+/**
+ * Reports an internal logic error (a bug in this library, not in its
+ * caller) and aborts so a debugger or core dump can capture state.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::emitLine("panic", detail::formatMessage(
+        std::forward<Args>(args)...));
+    std::abort();
+}
+
+} // namespace bwwall
+
+#endif // BWWALL_UTIL_LOGGING_HH

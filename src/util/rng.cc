@@ -1,0 +1,145 @@
+#include "util/rng.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace bwwall {
+
+namespace {
+
+/** SplitMix64 step, used for seeding only. */
+std::uint64_t
+splitMix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed_value)
+{
+    seed(seed_value);
+}
+
+void
+Rng::seed(std::uint64_t seed_value)
+{
+    std::uint64_t sm = seed_value;
+    for (auto &word : state_)
+        word = splitMix64(sm);
+    // xoshiro must not start from the all-zero state; SplitMix64 of any
+    // seed cannot produce four zero words, but guard anyway.
+    if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 &&
+        state_[3] == 0) {
+        state_[0] = 1;
+    }
+    hasCachedGaussian_ = false;
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+double
+Rng::nextDouble()
+{
+    // 53 high bits give a uniform dyadic rational in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t
+Rng::nextBounded(std::uint64_t bound)
+{
+    if (bound == 0)
+        panic("Rng::nextBounded requires bound > 0");
+    // Debiased modulo (Lemire-style rejection on the low range).
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+        const std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+std::int64_t
+Rng::nextRange(std::int64_t lo, std::int64_t hi)
+{
+    if (lo > hi)
+        panic("Rng::nextRange requires lo <= hi");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    // span == 0 means the full 64-bit range.
+    const std::uint64_t draw = (span == 0) ? next() : nextBounded(span);
+    return lo + static_cast<std::int64_t>(draw);
+}
+
+bool
+Rng::nextBernoulli(double probability)
+{
+    if (probability <= 0.0)
+        return false;
+    if (probability >= 1.0)
+        return true;
+    return nextDouble() < probability;
+}
+
+double
+Rng::nextGaussian()
+{
+    if (hasCachedGaussian_) {
+        hasCachedGaussian_ = false;
+        return cachedGaussian_;
+    }
+    double u, v, s;
+    do {
+        u = 2.0 * nextDouble() - 1.0;
+        v = 2.0 * nextDouble() - 1.0;
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    cachedGaussian_ = v * factor;
+    hasCachedGaussian_ = true;
+    return u * factor;
+}
+
+std::uint64_t
+Rng::nextGeometric(double p)
+{
+    if (p <= 0.0 || p > 1.0)
+        panic("Rng::nextGeometric requires p in (0, 1]");
+    if (p == 1.0)
+        return 1;
+    const double u = 1.0 - nextDouble(); // in (0, 1]
+    const double trials = std::ceil(std::log(u) / std::log1p(-p));
+    return trials < 1.0 ? 1 : static_cast<std::uint64_t>(trials);
+}
+
+Rng
+Rng::split()
+{
+    return Rng(next());
+}
+
+} // namespace bwwall

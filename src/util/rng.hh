@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic components of the library (trace generators, random
+ * replacement, value synthesis) draw from Rng so that every experiment
+ * is reproducible from a single 64-bit seed.  The generator is
+ * xoshiro256** seeded through SplitMix64, which is fast, has a 2^256-1
+ * period, and passes BigCrush.
+ */
+
+#ifndef BWWALL_UTIL_RNG_HH
+#define BWWALL_UTIL_RNG_HH
+
+#include <array>
+#include <cstdint>
+
+namespace bwwall {
+
+/**
+ * xoshiro256** pseudo-random generator with convenience draws.
+ *
+ * Satisfies the UniformRandomBitGenerator concept so it can also be
+ * plugged into <random> distributions when needed.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Constructs a generator whose entire state derives from seed. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Reseeds the generator, discarding all previous state. */
+    void seed(std::uint64_t seed);
+
+    /** Returns the next raw 64-bit output. */
+    std::uint64_t next();
+
+    /** UniformRandomBitGenerator interface. */
+    result_type operator()() { return next(); }
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ULL; }
+
+    /** Returns a double uniform in [0, 1). */
+    double nextDouble();
+
+    /** Returns an integer uniform in [0, bound), bound > 0. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Returns an integer uniform in [lo, hi] inclusive, lo <= hi. */
+    std::int64_t nextRange(std::int64_t lo, std::int64_t hi);
+
+    /** Returns true with the given probability (clamped to [0,1]). */
+    bool nextBernoulli(double probability);
+
+    /** Returns a standard-normal draw (Marsaglia polar method). */
+    double nextGaussian();
+
+    /**
+     * Returns a geometrically distributed trial count >= 1 with
+     * success probability p in (0, 1].
+     */
+    std::uint64_t nextGeometric(double p);
+
+    /**
+     * Splits off an independent generator.  The child is seeded from
+     * the parent stream, so distinct children never share sequences.
+     */
+    Rng split();
+
+  private:
+    std::array<std::uint64_t, 4> state_;
+    double cachedGaussian_ = 0.0;
+    bool hasCachedGaussian_ = false;
+};
+
+} // namespace bwwall
+
+#endif // BWWALL_UTIL_RNG_HH

@@ -1,0 +1,176 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace bwwall {
+
+void
+RunningStats::add(double value)
+{
+    if (count_ == 0) {
+        min_ = value;
+        max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    ++count_;
+    const double delta = value - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (value - mean_);
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(count_);
+    const double nb = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double n = na + nb;
+    mean_ += delta * nb / n;
+    m2_ += other.m2_ + delta * delta * na * nb / n;
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void
+RunningStats::reset()
+{
+    *this = RunningStats();
+}
+
+double
+RunningStats::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_);
+}
+
+double
+RunningStats::sampleVariance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStats::min() const
+{
+    return count_ == 0 ? 0.0 : min_;
+}
+
+double
+RunningStats::max() const
+{
+    return count_ == 0 ? 0.0 : max_;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bucket_count)
+    : lo_(lo), hi_(hi),
+      width_((hi - lo) / static_cast<double>(bucket_count)),
+      buckets_(bucket_count, 0)
+{
+    if (bucket_count == 0)
+        fatal("Histogram requires at least one bucket");
+    if (!(hi > lo))
+        fatal("Histogram requires hi > lo");
+}
+
+void
+Histogram::add(double value)
+{
+    ++total_;
+    if (value < lo_) {
+        ++underflow_;
+    } else if (value >= hi_) {
+        ++overflow_;
+    } else {
+        auto index = static_cast<std::size_t>((value - lo_) / width_);
+        if (index >= buckets_.size())
+            index = buckets_.size() - 1; // fp rounding at the edge
+        ++buckets_[index];
+    }
+}
+
+std::uint64_t
+Histogram::bucket(std::size_t index) const
+{
+    if (index >= buckets_.size())
+        panic("Histogram bucket index out of range");
+    return buckets_[index];
+}
+
+double
+Histogram::bucketLowerEdge(std::size_t index) const
+{
+    return lo_ + width_ * static_cast<double>(index);
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (total_ == 0)
+        return lo_;
+    q = std::clamp(q, 0.0, 1.0);
+    const double target = q * static_cast<double>(total_);
+    double cumulative = static_cast<double>(underflow_);
+    if (target <= cumulative)
+        return lo_;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        const double in_bucket = static_cast<double>(buckets_[i]);
+        if (cumulative + in_bucket >= target && in_bucket > 0.0) {
+            const double frac = (target - cumulative) / in_bucket;
+            return bucketLowerEdge(i) + frac * width_;
+        }
+        cumulative += in_bucket;
+    }
+    return hi_;
+}
+
+double
+percentile(std::vector<double> values, double q)
+{
+    if (values.empty())
+        fatal("percentile of an empty sample set");
+    q = std::clamp(q, 0.0, 1.0);
+    std::sort(values.begin(), values.end());
+    const double rank = q * static_cast<double>(values.size() - 1);
+    const auto below = static_cast<std::size_t>(rank);
+    const std::size_t above = std::min(below + 1, values.size() - 1);
+    const double frac = rank - static_cast<double>(below);
+    return values[below] * (1.0 - frac) + values[above] * frac;
+}
+
+double
+geometricMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        fatal("geometricMean of an empty sample set");
+    double log_sum = 0.0;
+    for (double v : values) {
+        if (v <= 0.0)
+            fatal("geometricMean requires positive values, got ", v);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace bwwall

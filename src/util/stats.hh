@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Descriptive statistics used throughout the experiment harnesses.
+ */
+
+#ifndef BWWALL_UTIL_STATS_HH
+#define BWWALL_UTIL_STATS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace bwwall {
+
+/**
+ * Single-pass running mean/variance/extremes (Welford's algorithm).
+ * Numerically stable for long event streams.
+ */
+class RunningStats
+{
+  public:
+    /** Incorporates one observation. */
+    void add(double value);
+
+    /** Merges another accumulator into this one. */
+    void merge(const RunningStats &other);
+
+    /** Discards all observations. */
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    double mean() const { return mean_; }
+    /** Population variance; 0 when fewer than two samples. */
+    double variance() const;
+    /** Unbiased sample variance; 0 when fewer than two samples. */
+    double sampleVariance() const;
+    double stddev() const;
+    double min() const;
+    double max() const;
+    double sum() const { return mean_ * static_cast<double>(count_); }
+
+  private:
+    std::uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Fixed-width histogram over [lo, hi) with overflow/underflow buckets.
+ */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t bucket_count);
+
+    void add(double value);
+
+    std::size_t bucketCount() const { return buckets_.size(); }
+    std::uint64_t bucket(std::size_t index) const;
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+    std::uint64_t total() const { return total_; }
+
+    /** Lower edge of bucket index. */
+    double bucketLowerEdge(std::size_t index) const;
+
+    /**
+     * Approximate quantile (q in [0,1]) by linear interpolation within
+     * the containing bucket.  Returns lo/hi bounds for empty data.
+     */
+    double quantile(double q) const;
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+/** Exact percentile of a sample set (sorts a copy; linear interp). */
+double percentile(std::vector<double> values, double q);
+
+/** Geometric mean; all values must be positive. */
+double geometricMean(const std::vector<double> &values);
+
+} // namespace bwwall
+
+#endif // BWWALL_UTIL_STATS_HH

@@ -1,0 +1,118 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace bwwall {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    if (headers_.empty())
+        fatal("Table requires at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size()) {
+        fatal("Table row has ", cells.size(), " cells, expected ",
+              headers_.size());
+    }
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double value, int decimals)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(decimals) << value;
+    return oss.str();
+}
+
+std::string
+Table::num(long long value)
+{
+    return std::to_string(value);
+}
+
+const std::string &
+Table::cell(std::size_t row, std::size_t column) const
+{
+    if (row >= rows_.size() || column >= headers_.size())
+        panic("Table::cell index out of range");
+    return rows_[row][column];
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << (c == 0 ? "" : "  ")
+               << std::setw(static_cast<int>(widths[c])) << row[c];
+        }
+        os << '\n';
+    };
+
+    os << std::left;
+    emit_row(headers_);
+    std::size_t rule_width = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        rule_width += widths[c] + (c == 0 ? 0 : 2);
+    os << std::string(rule_width, '-') << '\n';
+    for (const auto &row : rows_)
+        emit_row(row);
+    os.flush();
+}
+
+namespace {
+
+std::string
+csvEscape(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string out = "\"";
+    for (char ch : cell) {
+        if (ch == '"')
+            out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            os << (c == 0 ? "" : ",") << csvEscape(row[c]);
+        os << '\n';
+    };
+    emit(headers_);
+    for (const auto &row : rows_)
+        emit(row);
+    os.flush();
+}
+
+void
+printBanner(std::ostream &os, const std::string &title)
+{
+    os << '\n' << "== " << title << " ==\n\n";
+}
+
+} // namespace bwwall

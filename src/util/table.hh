@@ -1,0 +1,59 @@
+/**
+ * @file
+ * ASCII table and CSV emission for the experiment harnesses.
+ *
+ * Every bench binary prints its reproduced paper table/figure series
+ * through this class so the output format is uniform and diffable.
+ */
+
+#ifndef BWWALL_UTIL_TABLE_HH
+#define BWWALL_UTIL_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace bwwall {
+
+/**
+ * A simple column-aligned text table.  Cells are strings; numeric
+ * helpers format doubles with a fixed precision.
+ */
+class Table
+{
+  public:
+    /** Creates a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Appends a fully-formed row; must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Formats a double with the given number of decimals. */
+    static std::string num(double value, int decimals = 3);
+
+    /** Formats an integer. */
+    static std::string num(long long value);
+
+    std::size_t rowCount() const { return rows_.size(); }
+    std::size_t columnCount() const { return headers_.size(); }
+
+    /** Returns a cell (row, column); bounds are checked. */
+    const std::string &cell(std::size_t row, std::size_t column) const;
+
+    /** Writes the table with aligned columns and a header rule. */
+    void print(std::ostream &os) const;
+
+    /** Writes RFC-4180-style CSV (quotes cells containing , " or \n). */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Prints a section banner used to delimit experiment output blocks. */
+void printBanner(std::ostream &os, const std::string &title);
+
+} // namespace bwwall
+
+#endif // BWWALL_UTIL_TABLE_HH

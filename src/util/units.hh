@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Size literals and small unit helpers.
+ */
+
+#ifndef BWWALL_UTIL_UNITS_HH
+#define BWWALL_UTIL_UNITS_HH
+
+#include <cstdint>
+
+namespace bwwall {
+
+inline constexpr std::uint64_t kKiB = 1024ULL;
+inline constexpr std::uint64_t kMiB = 1024ULL * kKiB;
+inline constexpr std::uint64_t kGiB = 1024ULL * kMiB;
+
+/** True when value is a power of two (zero is not). */
+constexpr bool
+isPowerOfTwo(std::uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** floor(log2(value)); value must be non-zero. */
+constexpr unsigned
+floorLog2(std::uint64_t value)
+{
+    unsigned result = 0;
+    while (value >>= 1)
+        ++result;
+    return result;
+}
+
+/** Smallest power of two >= value (value >= 1). */
+constexpr std::uint64_t
+ceilPowerOfTwo(std::uint64_t value)
+{
+    std::uint64_t p = 1;
+    while (p < value)
+        p <<= 1;
+    return p;
+}
+
+} // namespace bwwall
+
+#endif // BWWALL_UTIL_UNITS_HH

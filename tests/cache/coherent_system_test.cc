@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Unit tests for the snooping MSI coherent cache system, plus the
+ * new invalidate/downgrade primitives on the base cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/coherent_system.hh"
+#include "trace/shared_trace.hh"
+#include "util/units.hh"
+
+namespace bwwall {
+namespace {
+
+MemoryAccess
+read(Address address, ThreadId thread)
+{
+    return MemoryAccess{address, AccessType::Read, thread};
+}
+
+MemoryAccess
+write(Address address, ThreadId thread)
+{
+    return MemoryAccess{address, AccessType::Write, thread};
+}
+
+CacheConfig
+smallCache()
+{
+    CacheConfig config;
+    config.capacityBytes = 4096;
+    config.associativity = 4;
+    return config;
+}
+
+TEST(CachePrimitivesTest, InvalidateRemovesLine)
+{
+    SetAssociativeCache cache(smallCache());
+    cache.access(write(0, 0));
+    EXPECT_TRUE(cache.isDirty(0));
+    EXPECT_TRUE(cache.invalidate(0)); // was dirty
+    EXPECT_FALSE(cache.contains(0));
+    EXPECT_FALSE(cache.invalidate(0)); // already gone
+    // Invalidation is not an eviction and produces no write back.
+    EXPECT_EQ(cache.stats().evictions, 0u);
+    EXPECT_EQ(cache.stats().writebacks, 0u);
+}
+
+TEST(CachePrimitivesTest, DowngradeClearsDirty)
+{
+    SetAssociativeCache cache(smallCache());
+    cache.access(write(0, 0));
+    EXPECT_TRUE(cache.downgrade(0));
+    EXPECT_TRUE(cache.contains(0));
+    EXPECT_FALSE(cache.isDirty(0));
+    EXPECT_FALSE(cache.downgrade(0)); // already clean
+    // A clean line evicts silently later.
+    cache.flush();
+    EXPECT_EQ(cache.stats().writebacks, 0u);
+}
+
+TEST(CoherentSystemTest, PrivateDataHasNoCoherenceEvents)
+{
+    CoherentCacheSystem system(4, smallCache());
+    // Each core touches its own region only.
+    for (int round = 0; round < 1000; ++round) {
+        for (ThreadId thread = 0; thread < 4; ++thread) {
+            const Address address =
+                (Address(thread) << 20) + (round % 16) * 64;
+            system.access(round % 3 == 0 ? write(address, thread)
+                                         : read(address, thread));
+        }
+    }
+    EXPECT_EQ(system.coherenceStats().invalidations, 0u);
+    EXPECT_EQ(system.coherenceStats().downgrades, 0u);
+    EXPECT_EQ(system.coherenceStats().coherenceBytes, 0u);
+}
+
+TEST(CoherentSystemTest, WriteInvalidatesRemoteCopies)
+{
+    CoherentCacheSystem system(4, smallCache());
+    // All four cores read the line: four copies.
+    for (ThreadId thread = 0; thread < 4; ++thread)
+        system.access(read(0, thread));
+    EXPECT_TRUE(system.cache(3).contains(0));
+    // Core 0 writes: the three remote copies are invalidated.
+    system.access(write(0, 0));
+    EXPECT_EQ(system.coherenceStats().invalidations, 3u);
+    EXPECT_FALSE(system.cache(1).contains(0));
+    EXPECT_FALSE(system.cache(2).contains(0));
+    EXPECT_FALSE(system.cache(3).contains(0));
+    EXPECT_TRUE(system.cache(0).isDirty(0));
+}
+
+TEST(CoherentSystemTest, SharedWriteHitCountsUpgrade)
+{
+    CoherentCacheSystem system(2, smallCache());
+    system.access(read(0, 0)); // Shared in cache 0
+    system.access(write(0, 0));
+    EXPECT_EQ(system.coherenceStats().upgrades, 1u);
+    // Writing again (now Modified) is not another upgrade.
+    system.access(write(0, 0));
+    EXPECT_EQ(system.coherenceStats().upgrades, 1u);
+}
+
+TEST(CoherentSystemTest, ReadDowngradesRemoteModified)
+{
+    CoherentCacheSystem system(2, smallCache());
+    system.access(write(0, 0)); // Modified in cache 0
+    system.access(read(0, 1));  // core 1 reads
+    EXPECT_EQ(system.coherenceStats().downgrades, 1u);
+    EXPECT_EQ(system.coherenceStats().coherenceWritebacks, 1u);
+    EXPECT_EQ(system.coherenceStats().coherenceBytes, 64u);
+    // Both copies now Shared (clean).
+    EXPECT_FALSE(system.cache(0).isDirty(0));
+    EXPECT_TRUE(system.cache(0).contains(0));
+    EXPECT_TRUE(system.cache(1).contains(0));
+}
+
+TEST(CoherentSystemTest, WritePingPongGeneratesTraffic)
+{
+    CoherentCacheSystem system(2, smallCache());
+    // Warm: both sides touch the line once.
+    system.access(write(0, 0));
+    system.access(write(0, 1));
+    system.resetStats();
+
+    const int rounds = 100;
+    for (int i = 0; i < rounds; ++i) {
+        system.access(write(0, 0));
+        system.access(write(0, 1));
+    }
+    // Every write invalidates the other side's Modified copy: one
+    // coherence write back plus one refill per write.
+    EXPECT_EQ(system.coherenceStats().invalidations,
+              static_cast<std::uint64_t>(2 * rounds));
+    EXPECT_EQ(system.coherenceStats().coherenceWritebacks,
+              static_cast<std::uint64_t>(2 * rounds));
+    EXPECT_GT(system.memoryTrafficBytes(),
+              static_cast<std::uint64_t>(2 * rounds) * 64);
+}
+
+TEST(CoherentSystemTest, ReadSharingIsCheapAfterDowngrade)
+{
+    CoherentCacheSystem system(4, smallCache());
+    system.access(write(0, 0));
+    for (ThreadId thread = 1; thread < 4; ++thread)
+        system.access(read(0, thread));
+    system.resetStats();
+    // Steady-state read sharing: no further coherence events.
+    for (int i = 0; i < 100; ++i)
+        for (ThreadId thread = 0; thread < 4; ++thread)
+            system.access(read(0, thread));
+    EXPECT_EQ(system.coherenceStats().downgrades, 0u);
+    EXPECT_EQ(system.memoryTrafficBytes(), 0u);
+}
+
+TEST(CoherentSystemTest, SharedWorkloadRunsCoherently)
+{
+    // Integration: the multithreaded generator over the coherent
+    // private caches; sharing must produce coherence activity.
+    SharedWorkloadTraceParams params;
+    params.threads = 4;
+    params.sharedLines = 256;
+    params.sharedAccessFraction = 0.4;
+    params.privateMaxResidentLines = 1 << 12;
+    params.seed = 9;
+    SharedWorkloadTrace trace(params);
+
+    CacheConfig config;
+    config.capacityBytes = 64 * kKiB;
+    CoherentCacheSystem system(4, config);
+    for (int i = 0; i < 200000; ++i)
+        system.access(trace.next());
+    EXPECT_GT(system.coherenceStats().invalidations, 100u);
+    EXPECT_GT(system.coherenceStats().downgrades, 100u);
+}
+
+TEST(CoherentSystemTest, RejectsZeroCores)
+{
+    EXPECT_EXIT((CoherentCacheSystem{0, smallCache()}),
+                ::testing::ExitedWithCode(1), "at least one core");
+}
+
+} // namespace
+} // namespace bwwall

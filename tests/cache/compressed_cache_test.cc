@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Unit tests for the compressed cache model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/compressed_cache.hh"
+
+namespace bwwall {
+namespace {
+
+MemoryAccess
+read(Address address)
+{
+    return MemoryAccess{address, AccessType::Read, 0};
+}
+
+MemoryAccess
+write(Address address)
+{
+    return MemoryAccess{address, AccessType::Write, 0};
+}
+
+CompressedCacheConfig
+smallConfig()
+{
+    CompressedCacheConfig config;
+    config.capacityBytes = 4096; // 64 uncompressed lines
+    config.lineBytes = 64;
+    config.baseWays = 4; // 16 sets, 256 B data per set
+    config.tagFactor = 2;
+    return config;
+}
+
+/** Every line compresses to half size. */
+std::uint32_t
+halfSize(Address)
+{
+    return 32;
+}
+
+/** Incompressible lines. */
+std::uint32_t
+fullSize(Address)
+{
+    return 64;
+}
+
+TEST(CompressedCacheTest, HitAfterMiss)
+{
+    CompressedCache cache(smallConfig(), halfSize);
+    EXPECT_FALSE(cache.access(read(0)).hit);
+    EXPECT_TRUE(cache.access(read(0)).hit);
+}
+
+TEST(CompressedCacheTest, TwoXCompressionDoublesResidentLines)
+{
+    // One set receives lines at stride sets*lineBytes; with 4 base
+    // ways and 2x compression, 8 lines fit.
+    CompressedCache cache(smallConfig(), halfSize);
+    const Address stride = 16 * 64;
+    for (Address i = 0; i < 8; ++i)
+        cache.access(read(i * stride));
+    for (Address i = 0; i < 8; ++i)
+        EXPECT_TRUE(cache.contains(i * stride)) << i;
+    EXPECT_EQ(cache.stats().evictions, 0u);
+    // A ninth line exceeds the tag budget and evicts.
+    cache.access(read(8 * stride));
+    EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(CompressedCacheTest, IncompressibleBehavesLikeBaseCache)
+{
+    CompressedCache cache(smallConfig(), fullSize);
+    const Address stride = 16 * 64;
+    for (Address i = 0; i < 4; ++i)
+        cache.access(read(i * stride));
+    EXPECT_EQ(cache.stats().evictions, 0u);
+    cache.access(read(4 * stride)); // data budget exhausted at 4 lines
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_FALSE(cache.contains(0));
+}
+
+TEST(CompressedCacheTest, LruVictimSelection)
+{
+    CompressedCache cache(smallConfig(), fullSize);
+    const Address stride = 16 * 64;
+    for (Address i = 0; i < 4; ++i)
+        cache.access(read(i * stride));
+    cache.access(read(0)); // protect line 0
+    cache.access(read(4 * stride));
+    EXPECT_TRUE(cache.contains(0));
+    EXPECT_FALSE(cache.contains(1 * stride));
+}
+
+TEST(CompressedCacheTest, SegmentRoundingLimitsPacking)
+{
+    // 20-byte lines round to 24 bytes (8-byte segments): a 256-byte
+    // set fits floor(256/24) = 10, but the 8-entry tag array caps it.
+    CompressedCacheConfig config = smallConfig();
+    CompressedCache cache(config, [](Address) { return 20u; });
+    const Address stride = 16 * 64;
+    for (Address i = 0; i < 9; ++i)
+        cache.access(read(i * stride));
+    EXPECT_EQ(cache.stats().evictions, 1u); // tag-limited at 8
+}
+
+TEST(CompressedCacheTest, UncompressedLinkMovesWholeLines)
+{
+    CompressedCacheConfig config = smallConfig();
+    config.compressedLink = false;
+    CompressedCache cache(config, halfSize);
+    EXPECT_EQ(cache.access(read(0)).bytesFetched, 64u);
+}
+
+TEST(CompressedCacheTest, CompressedLinkMovesCompressedBytes)
+{
+    CompressedCacheConfig config = smallConfig();
+    config.compressedLink = true;
+    CompressedCache cache(config, halfSize);
+    EXPECT_EQ(cache.access(read(0)).bytesFetched, 32u);
+    // Dirty eviction also moves compressed bytes.
+    const Address stride = 16 * 64;
+    cache.access(write(0));
+    for (Address i = 1; i <= 8; ++i)
+        cache.access(read(i * stride));
+    EXPECT_EQ(cache.stats().bytesWrittenBack, 32u);
+}
+
+TEST(CompressedCacheTest, ResidentCompressionRatio)
+{
+    CompressedCache cache(smallConfig(), halfSize);
+    cache.access(read(0));
+    cache.access(read(64));
+    EXPECT_DOUBLE_EQ(cache.residentCompressionRatio(), 2.0);
+    EXPECT_EQ(cache.residentLines(), 2u);
+}
+
+TEST(CompressedCacheTest, MixedSizesPackByBudget)
+{
+    // Alternate 16- and 48-byte lines: pairs cost 64 bytes, so a
+    // 256-byte set fits 8 lines exactly when tag factor is 2.
+    CompressedCacheConfig config = smallConfig();
+    CompressedCache cache(config, [](Address address) {
+        return (address / (16 * 64)) % 2 == 0 ? 16u : 48u;
+    });
+    const Address stride = 16 * 64;
+    for (Address i = 0; i < 8; ++i)
+        cache.access(read(i * stride));
+    EXPECT_EQ(cache.stats().evictions, 0u);
+    EXPECT_EQ(cache.residentLines(), 8u);
+}
+
+TEST(CompressedCacheTest, RejectsMissingSizeFunction)
+{
+    EXPECT_EXIT(CompressedCache(smallConfig(), nullptr),
+                ::testing::ExitedWithCode(1), "size function");
+}
+
+} // namespace
+} // namespace bwwall

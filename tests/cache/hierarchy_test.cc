@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Unit tests for the multi-core cache hierarchy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.hh"
+
+namespace bwwall {
+namespace {
+
+MemoryAccess
+read(Address address, ThreadId thread = 0)
+{
+    return MemoryAccess{address, AccessType::Read, thread};
+}
+
+MemoryAccess
+write(Address address, ThreadId thread = 0)
+{
+    return MemoryAccess{address, AccessType::Write, thread};
+}
+
+HierarchyConfig
+twoLevelConfig(unsigned cores, bool shared_l2)
+{
+    HierarchyConfig config;
+    config.cores = cores;
+    config.l1Enabled = true;
+    config.l1.capacityBytes = 1024; // 16 lines
+    config.l1.lineBytes = 64;
+    config.l1.associativity = 2;
+    config.sharedL2 = shared_l2;
+    config.l2.capacityBytes = 16384; // 256 lines
+    config.l2.lineBytes = 64;
+    config.l2.associativity = 8;
+    return config;
+}
+
+TEST(HierarchyTest, L1HitShieldsL2)
+{
+    CacheHierarchy hierarchy(twoLevelConfig(1, true));
+    hierarchy.access(read(0));
+    const HierarchyOutcome outcome = hierarchy.access(read(0));
+    EXPECT_TRUE(outcome.l1Hit);
+    EXPECT_EQ(hierarchy.l2().stats().accesses, 1u); // only the fill
+}
+
+TEST(HierarchyTest, L1MissFillsBothLevels)
+{
+    CacheHierarchy hierarchy(twoLevelConfig(1, true));
+    const HierarchyOutcome outcome = hierarchy.access(read(0));
+    EXPECT_FALSE(outcome.l1Hit);
+    EXPECT_FALSE(outcome.l2Hit);
+    EXPECT_EQ(outcome.memoryBytes, 64u);
+    EXPECT_TRUE(hierarchy.l1(0).contains(0));
+    EXPECT_TRUE(hierarchy.l2().contains(0));
+}
+
+TEST(HierarchyTest, L2HitAvoidsMemoryTraffic)
+{
+    CacheHierarchy hierarchy(twoLevelConfig(1, true));
+    hierarchy.access(read(0));
+    // Evict line 0 from the tiny L1 by filling its set (8 sets:
+    // stride 8*64 = 512 bytes).
+    hierarchy.access(read(512));
+    hierarchy.access(read(1024));
+    const HierarchyOutcome outcome = hierarchy.access(read(0));
+    EXPECT_FALSE(outcome.l1Hit);
+    EXPECT_TRUE(outcome.l2Hit);
+    EXPECT_EQ(outcome.memoryBytes, 0u);
+}
+
+TEST(HierarchyTest, DirtyL1VictimReachesL2)
+{
+    CacheHierarchy hierarchy(twoLevelConfig(1, true));
+    hierarchy.access(write(0));
+    hierarchy.access(read(512));
+    hierarchy.access(read(1024)); // evicts dirty line 0 from L1
+    // L2 saw: fill(0), fill(512), fill(1024), writeback-write(0).
+    EXPECT_EQ(hierarchy.l2().stats().accesses, 4u);
+    EXPECT_EQ(hierarchy.l2().stats().writes, 1u);
+    // A later L2 eviction of line 0 must write back to memory.
+    EXPECT_FALSE(hierarchy.l1(0).contains(0));
+    EXPECT_TRUE(hierarchy.l2().contains(0));
+}
+
+TEST(HierarchyTest, NoL1RoutesDirectlyToL2)
+{
+    HierarchyConfig config = twoLevelConfig(1, true);
+    config.l1Enabled = false;
+    CacheHierarchy hierarchy(config);
+    hierarchy.access(read(0));
+    EXPECT_EQ(hierarchy.l2().stats().accesses, 1u);
+    EXPECT_EXIT(hierarchy.l1(0), ::testing::ExitedWithCode(1),
+                "no L1");
+}
+
+TEST(HierarchyTest, PrivateL2PerCore)
+{
+    HierarchyConfig config = twoLevelConfig(2, false);
+    config.l1Enabled = false;
+    CacheHierarchy hierarchy(config);
+    hierarchy.access(read(0, 0));
+    hierarchy.access(read(0, 1));
+    // Each core misses separately in its own L2.
+    EXPECT_EQ(hierarchy.l2(0).stats().misses, 1u);
+    EXPECT_EQ(hierarchy.l2(1).stats().misses, 1u);
+    EXPECT_EQ(hierarchy.memoryBytesFetched(), 128u);
+}
+
+TEST(HierarchyTest, SharedL2DeduplicatesSharedLine)
+{
+    HierarchyConfig config = twoLevelConfig(2, true);
+    config.l1Enabled = false;
+    CacheHierarchy hierarchy(config);
+    hierarchy.access(read(0, 0));
+    hierarchy.access(read(0, 1)); // second core hits the shared copy
+    EXPECT_EQ(hierarchy.l2().stats().misses, 1u);
+    EXPECT_EQ(hierarchy.memoryBytesFetched(), 64u);
+}
+
+TEST(HierarchyTest, MemoryTrafficTotals)
+{
+    HierarchyConfig config = twoLevelConfig(1, true);
+    config.l1Enabled = false;
+    config.l2.capacityBytes = 1024; // 16 lines, 2 sets at assoc 8
+    CacheHierarchy hierarchy(config);
+    // Dirty a line, then stream far past capacity to force it out.
+    hierarchy.access(write(0));
+    for (Address line = 1; line <= 32; ++line)
+        hierarchy.access(read(line * 64));
+    EXPECT_GT(hierarchy.memoryBytesWrittenBack(), 0u);
+    EXPECT_EQ(hierarchy.memoryTrafficBytes(),
+              hierarchy.memoryBytesFetched() +
+                  hierarchy.memoryBytesWrittenBack());
+}
+
+TEST(HierarchyTest, ResetStatsKeepsWarmContents)
+{
+    CacheHierarchy hierarchy(twoLevelConfig(1, true));
+    hierarchy.access(read(0));
+    hierarchy.resetStats();
+    EXPECT_EQ(hierarchy.l2().stats().accesses, 0u);
+    const HierarchyOutcome outcome = hierarchy.access(read(0));
+    EXPECT_TRUE(outcome.l1Hit);
+}
+
+TEST(HierarchyTest, RejectsZeroCores)
+{
+    HierarchyConfig config;
+    config.cores = 0;
+    EXPECT_EXIT(CacheHierarchy{config}, ::testing::ExitedWithCode(1),
+                "at least one core");
+}
+
+} // namespace
+} // namespace bwwall

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for the replacement policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cache/replacement.hh"
+
+namespace bwwall {
+namespace {
+
+TEST(ReplacementTest, KindNames)
+{
+    EXPECT_EQ(replacementKindName(ReplacementKind::LRU), "lru");
+    EXPECT_EQ(replacementKindName(ReplacementKind::TreePLRU),
+              "tree-plru");
+    EXPECT_EQ(replacementKindName(ReplacementKind::FIFO), "fifo");
+    EXPECT_EQ(replacementKindName(ReplacementKind::Random), "random");
+}
+
+TEST(LruPolicyTest, EvictsLeastRecentlyUsed)
+{
+    Rng rng(1);
+    auto policy = makeReplacementPolicy(ReplacementKind::LRU, 4, rng);
+    for (unsigned way = 0; way < 4; ++way)
+        policy->onInsert(way);
+    policy->onAccess(0); // 1 is now the least recent
+    EXPECT_EQ(policy->victimWay(), 1u);
+    policy->onAccess(1);
+    EXPECT_EQ(policy->victimWay(), 2u);
+}
+
+TEST(LruPolicyTest, InsertCountsAsUse)
+{
+    Rng rng(2);
+    auto policy = makeReplacementPolicy(ReplacementKind::LRU, 2, rng);
+    policy->onInsert(0);
+    policy->onInsert(1);
+    EXPECT_EQ(policy->victimWay(), 0u);
+}
+
+TEST(FifoPolicyTest, IgnoresAccesses)
+{
+    Rng rng(3);
+    auto policy = makeReplacementPolicy(ReplacementKind::FIFO, 4, rng);
+    for (unsigned way = 0; way < 4; ++way)
+        policy->onInsert(way);
+    policy->onAccess(0);
+    policy->onAccess(0);
+    EXPECT_EQ(policy->victimWay(), 0u); // still the oldest insert
+    policy->onInsert(0);
+    EXPECT_EQ(policy->victimWay(), 1u);
+}
+
+TEST(TreePlruTest, VictimIsNotTheMostRecent)
+{
+    Rng rng(4);
+    auto policy =
+        makeReplacementPolicy(ReplacementKind::TreePLRU, 8, rng);
+    for (unsigned way = 0; way < 8; ++way)
+        policy->onInsert(way);
+    for (int round = 0; round < 50; ++round) {
+        const unsigned touched =
+            static_cast<unsigned>(rng.nextBounded(8));
+        policy->onAccess(touched);
+        EXPECT_NE(policy->victimWay(), touched);
+    }
+}
+
+TEST(TreePlruTest, SequentialFillVictimRotation)
+{
+    Rng rng(5);
+    auto policy =
+        makeReplacementPolicy(ReplacementKind::TreePLRU, 4, rng);
+    // Insert into each way in turn; the victim then cannot be the way
+    // touched last and must be a valid way index.
+    for (unsigned way = 0; way < 4; ++way)
+        policy->onInsert(way);
+    const unsigned victim = policy->victimWay();
+    EXPECT_LT(victim, 4u);
+    EXPECT_NE(victim, 3u);
+}
+
+TEST(TreePlruTest, RequiresPowerOfTwoWays)
+{
+    Rng rng(6);
+    EXPECT_EXIT(makeReplacementPolicy(ReplacementKind::TreePLRU, 6, rng),
+                ::testing::ExitedWithCode(1), "power-of-two");
+}
+
+TEST(RandomPolicyTest, CoversAllWays)
+{
+    Rng rng(7);
+    auto policy =
+        makeReplacementPolicy(ReplacementKind::Random, 8, rng);
+    std::set<unsigned> victims;
+    for (int i = 0; i < 500; ++i)
+        victims.insert(policy->victimWay());
+    EXPECT_EQ(victims.size(), 8u);
+}
+
+TEST(ReplacementTest, RejectsZeroWays)
+{
+    Rng rng(8);
+    EXPECT_EXIT(makeReplacementPolicy(ReplacementKind::LRU, 0, rng),
+                ::testing::ExitedWithCode(1), "at least one way");
+}
+
+} // namespace
+} // namespace bwwall

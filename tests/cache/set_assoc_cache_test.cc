@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Unit tests for the set-associative cache model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cache/set_assoc_cache.hh"
+
+namespace bwwall {
+namespace {
+
+MemoryAccess
+read(Address address, ThreadId thread = 0)
+{
+    return MemoryAccess{address, AccessType::Read, thread};
+}
+
+MemoryAccess
+write(Address address, ThreadId thread = 0)
+{
+    return MemoryAccess{address, AccessType::Write, thread};
+}
+
+CacheConfig
+smallCache()
+{
+    CacheConfig config;
+    config.capacityBytes = 4096; // 64 lines
+    config.lineBytes = 64;
+    config.associativity = 4; // 16 sets
+    return config;
+}
+
+TEST(SetAssocCacheTest, GeometryDerivation)
+{
+    SetAssociativeCache cache(smallCache());
+    EXPECT_EQ(cache.sets(), 16u);
+    EXPECT_EQ(cache.ways(), 4u);
+}
+
+TEST(SetAssocCacheTest, FullyAssociativeGeometry)
+{
+    CacheConfig config = smallCache();
+    config.associativity = 0;
+    SetAssociativeCache cache(config);
+    EXPECT_EQ(cache.sets(), 1u);
+    EXPECT_EQ(cache.ways(), 64u);
+}
+
+TEST(SetAssocCacheTest, ColdMissThenHit)
+{
+    SetAssociativeCache cache(smallCache());
+    EXPECT_FALSE(cache.access(read(0)).hit);
+    EXPECT_TRUE(cache.access(read(0)).hit);
+    EXPECT_TRUE(cache.access(read(32)).hit); // same line
+    EXPECT_FALSE(cache.access(read(64)).hit); // next line
+    EXPECT_EQ(cache.stats().misses, 2u);
+    EXPECT_EQ(cache.stats().hits, 2u);
+}
+
+TEST(SetAssocCacheTest, MissFetchesWholeLine)
+{
+    SetAssociativeCache cache(smallCache());
+    const AccessOutcome outcome = cache.access(read(0));
+    EXPECT_EQ(outcome.bytesFetched, 64u);
+    EXPECT_EQ(cache.stats().bytesFetched, 64u);
+}
+
+TEST(SetAssocCacheTest, LruEvictionWithinSet)
+{
+    SetAssociativeCache cache(smallCache());
+    // Fill one set: lines mapping to set 0 are multiples of 16 lines.
+    const Address stride = 16 * 64; // set count * line size
+    for (Address i = 0; i < 4; ++i)
+        cache.access(read(i * stride));
+    // Touch line 0 so line 1 is LRU, then force an eviction.
+    cache.access(read(0));
+    cache.access(read(4 * stride));
+    EXPECT_TRUE(cache.contains(0));
+    EXPECT_FALSE(cache.contains(1 * stride));
+    EXPECT_TRUE(cache.contains(2 * stride));
+}
+
+TEST(SetAssocCacheTest, DirtyEvictionWritesBack)
+{
+    SetAssociativeCache cache(smallCache());
+    const Address stride = 16 * 64;
+    cache.access(write(0));
+    for (Address i = 1; i <= 4; ++i)
+        cache.access(read(i * stride));
+    // Line 0 was dirty and is evicted by the 5th fill.
+    EXPECT_EQ(cache.stats().writebacks, 1u);
+    EXPECT_EQ(cache.stats().bytesWrittenBack, 64u);
+}
+
+TEST(SetAssocCacheTest, CleanEvictionHasNoWriteback)
+{
+    SetAssociativeCache cache(smallCache());
+    const Address stride = 16 * 64;
+    for (Address i = 0; i <= 4; ++i)
+        cache.access(read(i * stride));
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_EQ(cache.stats().writebacks, 0u);
+}
+
+TEST(SetAssocCacheTest, WriteAllocateFetchesLine)
+{
+    SetAssociativeCache cache(smallCache());
+    const AccessOutcome outcome = cache.access(write(0));
+    EXPECT_FALSE(outcome.hit);
+    EXPECT_EQ(outcome.bytesFetched, 64u);
+    EXPECT_TRUE(cache.contains(0));
+}
+
+TEST(SetAssocCacheTest, NoAllocateWritesAround)
+{
+    CacheConfig config = smallCache();
+    config.writeAllocate = WriteAllocate::NoAllocate;
+    SetAssociativeCache cache(config);
+    const AccessOutcome outcome = cache.access(write(0));
+    EXPECT_FALSE(outcome.hit);
+    EXPECT_EQ(outcome.bytesFetched, 0u);
+    EXPECT_GT(outcome.bytesWrittenBack, 0u);
+    EXPECT_FALSE(cache.contains(0));
+    // Read misses still allocate.
+    cache.access(read(64));
+    EXPECT_TRUE(cache.contains(64));
+}
+
+TEST(SetAssocCacheTest, EvictionCallbackFires)
+{
+    SetAssociativeCache cache(smallCache());
+    std::vector<EvictionRecord> records;
+    cache.setEvictionCallback([&records](const EvictionRecord &record) {
+        records.push_back(record);
+    });
+    const Address stride = 16 * 64;
+    cache.access(write(0));
+    for (Address i = 1; i <= 4; ++i)
+        cache.access(read(i * stride));
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].lineAddress, 0u);
+    EXPECT_TRUE(records[0].dirty);
+    EXPECT_EQ(records[0].sharerCount, 1u);
+}
+
+TEST(SetAssocCacheTest, SharerMaskCountsThreads)
+{
+    SetAssociativeCache cache(smallCache());
+    std::vector<EvictionRecord> records;
+    cache.setEvictionCallback([&records](const EvictionRecord &record) {
+        records.push_back(record);
+    });
+    cache.access(read(0, 0));
+    cache.access(read(8, 1));
+    cache.access(read(16, 2)); // three threads touch line 0
+    cache.flush();
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].sharerCount, 3u);
+}
+
+TEST(SetAssocCacheTest, FlushEmptiesCache)
+{
+    SetAssociativeCache cache(smallCache());
+    cache.access(write(0));
+    cache.access(read(64));
+    EXPECT_EQ(cache.residentLines(), 2u);
+    cache.flush();
+    EXPECT_EQ(cache.residentLines(), 0u);
+    EXPECT_EQ(cache.stats().writebacks, 1u); // the dirty line
+    EXPECT_EQ(cache.stats().evictions, 2u);
+}
+
+TEST(SetAssocCacheTest, ResetStatsKeepsContents)
+{
+    SetAssociativeCache cache(smallCache());
+    cache.access(read(0));
+    cache.resetStats();
+    EXPECT_EQ(cache.stats().accesses, 0u);
+    EXPECT_TRUE(cache.access(read(0)).hit); // still warm
+}
+
+TEST(SetAssocCacheTest, SectoredFetchesOnlySectors)
+{
+    CacheConfig config = smallCache();
+    config.sectored = true;
+    config.sectorBytes = 16;
+    SetAssociativeCache cache(config);
+
+    // Line miss: only the accessed 16-byte sector is fetched.
+    AccessOutcome outcome = cache.access(read(0));
+    EXPECT_FALSE(outcome.hit);
+    EXPECT_EQ(outcome.bytesFetched, 16u);
+
+    // Another sector of the same line: line hit + sector fill.
+    outcome = cache.access(read(32));
+    EXPECT_TRUE(outcome.hit);
+    EXPECT_TRUE(outcome.sectorFill);
+    EXPECT_EQ(outcome.bytesFetched, 16u);
+    EXPECT_EQ(cache.stats().sectorMisses, 1u);
+
+    // Same sector again: pure hit, no traffic.
+    outcome = cache.access(read(40));
+    EXPECT_TRUE(outcome.hit);
+    EXPECT_FALSE(outcome.sectorFill);
+    EXPECT_EQ(outcome.bytesFetched, 0u);
+}
+
+TEST(SetAssocCacheTest, SectoredWritebackOnlyDirtySectors)
+{
+    CacheConfig config = smallCache();
+    config.sectored = true;
+    config.sectorBytes = 16;
+    SetAssociativeCache cache(config);
+    cache.access(write(0));  // sector 0 dirty
+    cache.access(read(16));  // sector 1 clean
+    cache.flush();
+    EXPECT_EQ(cache.stats().bytesWrittenBack, 16u);
+}
+
+TEST(SetAssocCacheTest, SectoredTrafficLowerThanUnsectored)
+{
+    // A stream touching one word per line: a sectored cache moves a
+    // quarter of the bytes of a 64-byte-line cache at 16-byte sectors.
+    CacheConfig plain = smallCache();
+    CacheConfig sectored = smallCache();
+    sectored.sectored = true;
+    sectored.sectorBytes = 16;
+    SetAssociativeCache plain_cache(plain);
+    SetAssociativeCache sectored_cache(sectored);
+    for (Address line = 0; line < 1000; ++line) {
+        plain_cache.access(read(line * 64));
+        sectored_cache.access(read(line * 64));
+    }
+    EXPECT_EQ(sectored_cache.stats().bytesFetched * 4,
+              plain_cache.stats().bytesFetched);
+}
+
+TEST(SetAssocCacheTest, StatsDerivedMetrics)
+{
+    SetAssociativeCache cache(smallCache());
+    cache.access(read(0));
+    cache.access(read(0));
+    cache.access(read(64));
+    cache.access(read(64));
+    const CacheStats &stats = cache.stats();
+    EXPECT_DOUBLE_EQ(stats.missRate(), 0.5);
+    EXPECT_DOUBLE_EQ(stats.trafficBytesPerAccess(), 32.0);
+}
+
+TEST(SetAssocCacheTest, RejectsBadGeometry)
+{
+    CacheConfig config = smallCache();
+    config.lineBytes = 48;
+    EXPECT_EXIT(SetAssociativeCache{config},
+                ::testing::ExitedWithCode(1), "power of two");
+
+    config = smallCache();
+    config.capacityBytes = 100;
+    EXPECT_EXIT(SetAssociativeCache{config},
+                ::testing::ExitedWithCode(1), "multiple");
+
+    config = smallCache();
+    config.associativity = 3;
+    EXPECT_EXIT(SetAssociativeCache{config},
+                ::testing::ExitedWithCode(1), "divide");
+}
+
+} // namespace
+} // namespace bwwall

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Unit and property tests for the BDI codec.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "compress/bdi.hh"
+#include "trace/value_pattern.hh"
+#include "util/rng.hh"
+
+namespace bwwall {
+namespace {
+
+std::vector<std::uint8_t>
+lineOfQwords(const std::vector<std::uint64_t> &qwords)
+{
+    std::vector<std::uint8_t> line(qwords.size() * 8);
+    std::memcpy(line.data(), qwords.data(), line.size());
+    return line;
+}
+
+TEST(BdiTest, ZeroLine)
+{
+    const std::vector<std::uint8_t> line(64, 0);
+    const BdiResult result = BdiCompressor::compress(line);
+    EXPECT_EQ(result.encoding, BdiEncoding::Zeros);
+    EXPECT_EQ(result.sizeBytes, 1u);
+}
+
+TEST(BdiTest, RepeatedValue)
+{
+    const auto line = lineOfQwords(std::vector<std::uint64_t>(
+        8, 0xDEADBEEFCAFEF00DULL));
+    const BdiResult result = BdiCompressor::compress(line);
+    EXPECT_EQ(result.encoding, BdiEncoding::Repeated);
+    EXPECT_EQ(result.sizeBytes, 8u);
+}
+
+TEST(BdiTest, PointerArrayUsesBase8Delta1)
+{
+    // Pointers into one small object: 8-byte values within +/-127.
+    std::vector<std::uint64_t> qwords;
+    for (std::uint64_t i = 0; i < 8; ++i)
+        qwords.push_back(0x00007F8812340000ULL + i * 8);
+    const auto line = lineOfQwords(qwords);
+    const BdiResult result = BdiCompressor::compress(line);
+    EXPECT_EQ(result.encoding, BdiEncoding::Base8Delta1);
+    EXPECT_EQ(result.sizeBytes, 8u + 8u);
+}
+
+TEST(BdiTest, WiderDeltasFallBack)
+{
+    std::vector<std::uint64_t> qwords;
+    for (std::uint64_t i = 0; i < 8; ++i)
+        qwords.push_back(0x00007F8812340000ULL + i * 1000);
+    const auto line = lineOfQwords(qwords);
+    const BdiResult result = BdiCompressor::compress(line);
+    EXPECT_EQ(result.encoding, BdiEncoding::Base8Delta2);
+    EXPECT_EQ(result.sizeBytes, 8u + 16u);
+}
+
+TEST(BdiTest, RandomLineIsUncompressed)
+{
+    Rng rng(3);
+    std::vector<std::uint64_t> qwords;
+    for (int i = 0; i < 8; ++i)
+        qwords.push_back(rng.next());
+    const auto line = lineOfQwords(qwords);
+    const BdiResult result = BdiCompressor::compress(line);
+    EXPECT_EQ(result.encoding, BdiEncoding::Uncompressed);
+    EXPECT_EQ(result.sizeBytes, 64u);
+}
+
+TEST(BdiTest, SmallIntsUseNarrowBase)
+{
+    // 4-byte integers all below 128: base4-delta1 (or better) applies.
+    std::vector<std::uint8_t> line(64, 0);
+    for (std::size_t i = 0; i < 16; ++i) {
+        const std::uint32_t value = static_cast<std::uint32_t>(i) + 1;
+        std::memcpy(line.data() + i * 4, &value, 4);
+    }
+    const BdiResult result = BdiCompressor::compress(line);
+    EXPECT_LE(result.sizeBytes, 4u + 16u);
+}
+
+TEST(BdiTest, EncodingNamesAreDistinct)
+{
+    EXPECT_EQ(bdiEncodingName(BdiEncoding::Zeros), "zeros");
+    EXPECT_EQ(bdiEncodingName(BdiEncoding::Base8Delta1),
+              "base8-delta1");
+    EXPECT_EQ(bdiEncodingName(BdiEncoding::Uncompressed),
+              "uncompressed");
+}
+
+/** Property: round trip reconstructs the exact line for any input. */
+class BdiRoundTripTest : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(BdiRoundTripTest, MixedValueLines)
+{
+    ValuePatternGenerator commercial(commercialValueMix(), GetParam());
+    ValuePatternGenerator floating(floatingPointValueMix(),
+                                   GetParam() + 9);
+    for (int round = 0; round < 300; ++round) {
+        for (auto *gen : {&commercial, &floating}) {
+            const auto line = gen->nextLine(64);
+            ASSERT_EQ(BdiCompressor::roundTrip(line), line);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BdiRoundTripTest,
+                         ::testing::Values(2u, 23u, 456u));
+
+TEST(BdiRoundTripTest, HandcraftedBaseDeltaLines)
+{
+    // base2-delta1: 2-byte values near each other.
+    std::vector<std::uint8_t> line(64, 0);
+    for (std::size_t i = 0; i < 32; ++i) {
+        const std::uint16_t value =
+            static_cast<std::uint16_t>(5000 + (i % 7));
+        std::memcpy(line.data() + i * 2, &value, 2);
+    }
+    const BdiResult result = BdiCompressor::compress(line);
+    EXPECT_EQ(result.encoding, BdiEncoding::Base2Delta1);
+    EXPECT_EQ(BdiCompressor::roundTrip(line), line);
+}
+
+TEST(BdiTest, RejectsUnalignedLine)
+{
+    const std::vector<std::uint8_t> line(12, 0);
+    EXPECT_EXIT(BdiCompressor::compress(line),
+                ::testing::ExitedWithCode(1), "multiple of 8");
+}
+
+} // namespace
+} // namespace bwwall

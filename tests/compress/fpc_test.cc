@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Unit and property tests for the FPC codec.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "compress/fpc.hh"
+#include "trace/value_pattern.hh"
+#include "util/rng.hh"
+
+namespace bwwall {
+namespace {
+
+std::vector<std::uint8_t>
+lineOfWords(const std::vector<std::uint32_t> &words)
+{
+    std::vector<std::uint8_t> line(words.size() * 4);
+    std::memcpy(line.data(), words.data(), line.size());
+    return line;
+}
+
+TEST(FpcClassifyTest, PatternsRecognised)
+{
+    EXPECT_EQ(FpcCompressor::classify(0), FpcPattern::ZeroRun);
+    EXPECT_EQ(FpcCompressor::classify(3), FpcPattern::Sign4);
+    EXPECT_EQ(FpcCompressor::classify(0xFFFFFFFEu), FpcPattern::Sign4);
+    EXPECT_EQ(FpcCompressor::classify(100), FpcPattern::Sign8);
+    EXPECT_EQ(FpcCompressor::classify(0xFFFFFF9Cu), FpcPattern::Sign8);
+    EXPECT_EQ(FpcCompressor::classify(0xFFFFFF00u), FpcPattern::Sign16);
+    EXPECT_EQ(FpcCompressor::classify(30000), FpcPattern::Sign16);
+    EXPECT_EQ(FpcCompressor::classify(0x12340000u),
+              FpcPattern::HighZeroHalf);
+    EXPECT_EQ(FpcCompressor::classify(0x00050003u),
+              FpcPattern::TwoSignedHalves);
+    EXPECT_EQ(FpcCompressor::classify(0xABABABABu),
+              FpcPattern::RepeatedByte);
+    EXPECT_EQ(FpcCompressor::classify(0x12345678u),
+              FpcPattern::Uncompressed);
+}
+
+TEST(FpcEncodeTest, AllZeroLineIsTiny)
+{
+    const std::vector<std::uint8_t> line(64, 0);
+    const FpcEncodedLine encoded = FpcCompressor::encode(line);
+    // 16 zero words batch into two runs of 8: 2 * (3 + 3) bits.
+    EXPECT_EQ(encoded.sizeBits(), 12u);
+    EXPECT_LE(encoded.sizeBytes(), 2u);
+}
+
+TEST(FpcEncodeTest, IncompressibleLineCostsPrefixOverhead)
+{
+    Rng rng(1);
+    std::vector<std::uint32_t> words;
+    for (int i = 0; i < 16; ++i)
+        words.push_back(0x10000000u |
+                        static_cast<std::uint32_t>(rng.next() >> 36) |
+                        0x01234567u);
+    // Force genuinely incompressible values.
+    words.assign(16, 0);
+    for (auto &word : words)
+        word = static_cast<std::uint32_t>(rng.next()) | 0x01010000u;
+    const auto line = lineOfWords(words);
+    const FpcEncodedLine encoded = FpcCompressor::encode(line);
+    // No pattern fits most random words: roughly 35 bits per word.
+    EXPECT_GT(encoded.sizeBits(), 16u * 32u);
+}
+
+TEST(FpcEncodeTest, ZeroRunBatching)
+{
+    // 4 zero words then a value: one run token plus one word.
+    const auto line = lineOfWords({0, 0, 0, 0, 42});
+    const FpcEncodedLine encoded = FpcCompressor::encode(line);
+    EXPECT_EQ(encoded.sizeBits(), (3u + 3u) + (3u + 8u));
+}
+
+TEST(FpcRoundTripTest, KnownPatterns)
+{
+    const auto line = lineOfWords({
+        0, 0, 0,               // zero run
+        5,                     // sign4
+        0xFFFFFF9Cu,           // sign8 (-100)
+        1234,                  // sign16
+        0xBEEF0000u,           // high-zero half
+        0x00110022u,           // two signed halves
+        0x77777777u,           // repeated byte
+        0xDEADBEEFu,           // uncompressed
+        0, 0, 0, 0, 0, 0,      // trailing zero run
+    });
+    const FpcEncodedLine encoded = FpcCompressor::encode(line);
+    EXPECT_EQ(FpcCompressor::decode(encoded, line.size()), line);
+}
+
+/** Property: encode/decode round-trips over random pattern mixes. */
+class FpcRoundTripPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(FpcRoundTripPropertyTest, RandomMixedLines)
+{
+    Rng rng(GetParam());
+    ValuePatternGenerator commercial(commercialValueMix(), GetParam());
+    ValuePatternGenerator integer(integerValueMix(), GetParam() + 1);
+    ValuePatternGenerator floating(floatingPointValueMix(),
+                                   GetParam() + 2);
+    for (int round = 0; round < 200; ++round) {
+        for (auto *gen : {&commercial, &integer, &floating}) {
+            const auto line = gen->nextLine(64);
+            const FpcEncodedLine encoded = FpcCompressor::encode(line);
+            ASSERT_EQ(FpcCompressor::decode(encoded, 64), line);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FpcRoundTripPropertyTest,
+                         ::testing::Values(1u, 7u, 42u, 1337u));
+
+TEST(FpcRatioTest, CommercialMixInPaperRange)
+{
+    // The paper's realistic cache-compression assumption is 2x for
+    // commercial workloads (range 1.4x - 2.1x in its citations).
+    ValuePatternGenerator gen(commercialValueMix(), 99);
+    std::uint64_t raw = 0, compressed = 0;
+    for (int i = 0; i < 4000; ++i) {
+        const auto line = gen.nextLine(64);
+        raw += line.size();
+        compressed += FpcCompressor::compressedSizeBytes(line);
+    }
+    const double ratio =
+        static_cast<double>(raw) / static_cast<double>(compressed);
+    EXPECT_GT(ratio, 1.4);
+    EXPECT_LT(ratio, 2.6);
+}
+
+TEST(FpcRatioTest, FloatingPointBarelyCompresses)
+{
+    ValuePatternGenerator gen(floatingPointValueMix(), 99);
+    std::uint64_t raw = 0, compressed = 0;
+    for (int i = 0; i < 4000; ++i) {
+        const auto line = gen.nextLine(64);
+        raw += line.size();
+        compressed += FpcCompressor::compressedSizeBytes(line);
+    }
+    const double ratio =
+        static_cast<double>(raw) / static_cast<double>(compressed);
+    EXPECT_LT(ratio, 1.5); // paper cites 1.0x - 1.3x for SPECfp
+}
+
+TEST(FpcSizeTest, NeverLargerThanRawPlusClamp)
+{
+    Rng rng(5);
+    for (int i = 0; i < 500; ++i) {
+        std::vector<std::uint8_t> line(64);
+        for (auto &byte : line)
+            byte = static_cast<std::uint8_t>(rng.nextBounded(256));
+        EXPECT_LE(FpcCompressor::compressedSizeBytes(line), 64u);
+    }
+}
+
+TEST(FpcEncodeTest, RejectsUnalignedLine)
+{
+    const std::vector<std::uint8_t> line(10, 0);
+    EXPECT_EXIT(FpcCompressor::encode(line),
+                ::testing::ExitedWithCode(1), "multiple of 4");
+}
+
+} // namespace
+} // namespace bwwall

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Unit tests for the link compressor.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "compress/link.hh"
+#include "trace/value_pattern.hh"
+#include "util/rng.hh"
+
+namespace bwwall {
+namespace {
+
+std::vector<std::uint8_t>
+lineOfQwords(const std::vector<std::uint64_t> &qwords)
+{
+    std::vector<std::uint8_t> line(qwords.size() * 8);
+    std::memcpy(line.data(), qwords.data(), line.size());
+    return line;
+}
+
+TEST(LinkTest, SchemeNames)
+{
+    EXPECT_EQ(linkSchemeName(LinkScheme::Fpc), "fpc");
+    EXPECT_EQ(linkSchemeName(LinkScheme::FrequentValue),
+              "frequent-value");
+    EXPECT_EQ(linkSchemeName(LinkScheme::Hybrid), "hybrid");
+}
+
+TEST(LinkTest, RepeatedLineCompressesViaDictionary)
+{
+    LinkCompressorConfig config;
+    config.scheme = LinkScheme::FrequentValue;
+    config.dictionaryEntries = 16;
+    LinkCompressor link(config);
+
+    const auto line = lineOfQwords(
+        std::vector<std::uint64_t>(8, 0xAABBCCDDEEFF0011ULL));
+    const std::size_t first = link.transferLine(line);
+    const std::size_t second = link.transferLine(line);
+    // First transfer: one raw word then dictionary hits; second: all
+    // dictionary hits of 1 + 4 bits each.
+    EXPECT_GT(first, second);
+    EXPECT_EQ(second, 8u * (1 + 4));
+}
+
+TEST(LinkTest, RandomStreamDoesNotCompress)
+{
+    LinkCompressorConfig config;
+    config.scheme = LinkScheme::Hybrid;
+    LinkCompressor link(config);
+    Rng rng(7);
+    for (int i = 0; i < 200; ++i) {
+        std::vector<std::uint64_t> qwords;
+        for (int w = 0; w < 8; ++w)
+            qwords.push_back(rng.next());
+        link.transferLine(lineOfQwords(qwords));
+    }
+    EXPECT_LT(link.compressionRatio(), 1.05);
+    EXPECT_GT(link.compressionRatio(), 0.9);
+}
+
+TEST(LinkTest, CommercialStreamReachesPaperRatio)
+{
+    // Paper Section 6.2: about 50% bandwidth reduction (2x) for
+    // commercial workloads with simple value-locality schemes.
+    LinkCompressorConfig config;
+    config.scheme = LinkScheme::Hybrid;
+    LinkCompressor link(config);
+    ValuePatternGenerator gen(commercialValueMix(), 11);
+    for (int i = 0; i < 4000; ++i)
+        link.transferLine(gen.nextLine(64));
+    EXPECT_GT(link.compressionRatio(), 1.6);
+    EXPECT_LT(link.compressionRatio(), 3.2);
+}
+
+TEST(LinkTest, IntegerStreamCompressesMore)
+{
+    LinkCompressorConfig config;
+    LinkCompressor commercial_link(config), integer_link(config);
+    ValuePatternGenerator commercial(commercialValueMix(), 13);
+    ValuePatternGenerator integer(integerValueMix(), 13);
+    for (int i = 0; i < 3000; ++i) {
+        commercial_link.transferLine(commercial.nextLine(64));
+        integer_link.transferLine(integer.nextLine(64));
+    }
+    // Paper: up to ~70% reduction (3x+) for integer workloads.
+    EXPECT_GT(integer_link.compressionRatio(),
+              commercial_link.compressionRatio());
+}
+
+TEST(LinkTest, HybridNeverWorseThanBestPlusSelector)
+{
+    LinkCompressorConfig hybrid_config;
+    hybrid_config.scheme = LinkScheme::Hybrid;
+    LinkCompressorConfig fpc_config;
+    fpc_config.scheme = LinkScheme::Fpc;
+
+    LinkCompressor hybrid(hybrid_config), fpc(fpc_config);
+    ValuePatternGenerator gen_a(commercialValueMix(), 17);
+    ValuePatternGenerator gen_b(commercialValueMix(), 17);
+    for (int i = 0; i < 500; ++i) {
+        const auto line = gen_a.nextLine(64);
+        const auto same_line = gen_b.nextLine(64);
+        ASSERT_EQ(line, same_line);
+        const std::size_t hybrid_bits = hybrid.transferLine(line);
+        const std::size_t fpc_bits = fpc.transferLine(same_line);
+        EXPECT_LE(hybrid_bits, fpc_bits + 1);
+    }
+}
+
+TEST(LinkTest, StatsAccumulateAndReset)
+{
+    LinkCompressor link(LinkCompressorConfig{});
+    const std::vector<std::uint8_t> line(64, 0);
+    link.transferLine(line);
+    link.transferLine(line);
+    EXPECT_EQ(link.bytesIn(), 128u);
+    EXPECT_GT(link.bitsOut(), 0u);
+    link.resetStats();
+    EXPECT_EQ(link.bytesIn(), 0u);
+    EXPECT_EQ(link.bitsOut(), 0u);
+    EXPECT_DOUBLE_EQ(link.compressionRatio(), 1.0);
+}
+
+TEST(LinkTest, NeverExceedsRawPlusOneBit)
+{
+    LinkCompressor link(LinkCompressorConfig{});
+    Rng rng(19);
+    for (int i = 0; i < 300; ++i) {
+        std::vector<std::uint64_t> qwords;
+        for (int w = 0; w < 8; ++w)
+            qwords.push_back(rng.next());
+        const std::size_t bits =
+            link.transferLine(lineOfQwords(qwords));
+        EXPECT_LE(bits, 64u * 8u + 1u);
+    }
+}
+
+TEST(LinkTest, RejectsBadConfig)
+{
+    LinkCompressorConfig config;
+    config.dictionaryEntries = 48;
+    EXPECT_EXIT(LinkCompressor{config}, ::testing::ExitedWithCode(1),
+                "power of two");
+}
+
+TEST(LinkTest, RejectsUnalignedTransfer)
+{
+    LinkCompressor link(LinkCompressorConfig{});
+    const std::vector<std::uint8_t> line(12, 0);
+    EXPECT_EXIT(link.transferLine(line), ::testing::ExitedWithCode(1),
+                "multiple of 8");
+}
+
+} // namespace
+} // namespace bwwall

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Cross-module integration tests: the full pipelines the bench
+ * harnesses rely on, at reduced scale.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cache/compressed_cache.hh"
+#include "cache/miss_curve.hh"
+#include "cache/set_assoc_cache.hh"
+#include "compress/fpc.hh"
+#include "compress/link.hh"
+#include "model/scaling_study.hh"
+#include "trace/profiles.hh"
+#include "trace/shared_trace.hh"
+#include "trace/value_pattern.hh"
+#include "util/units.hh"
+
+namespace bwwall {
+namespace {
+
+/**
+ * Pipeline 1 (Figure 1 -> model): measure a profile's alpha on the
+ * cache simulator, feed it to the scaling model, and check the
+ * projection is consistent with using the profile's nominal alpha.
+ */
+TEST(EndToEndTest, MeasuredAlphaDrivesModelConsistently)
+{
+    const WorkloadProfileSpec spec = commercialAverageProfile();
+    auto trace = makeProfileTrace(spec, 11);
+
+    MissCurveSweepParams sweep;
+    sweep.capacities = capacityLadder(8 * kKiB, 256 * kKiB);
+    sweep.warmupAccesses = 200000;
+    sweep.measuredAccesses = 400000;
+    const auto points = measureMissCurve(*trace, sweep);
+    const double measured_alpha = -fitMissCurve(points).exponent;
+    EXPECT_NEAR(measured_alpha, spec.alpha, 0.05);
+
+    ScalingScenario measured;
+    measured.alpha = measured_alpha;
+    measured.totalCeas = 32.0;
+    ScalingScenario nominal;
+    nominal.alpha = spec.alpha;
+    nominal.totalCeas = 32.0;
+
+    const int measured_cores =
+        solveSupportableCores(measured).supportableCores;
+    const int nominal_cores =
+        solveSupportableCores(nominal).supportableCores;
+    EXPECT_NEAR(measured_cores, nominal_cores, 1);
+}
+
+/**
+ * Pipeline 2 (compression -> model): the FPC ratio measured over
+ * commercial-mix lines, used as the cache-compression parameter,
+ * must land the core count in the paper's Figure 4 band.
+ */
+TEST(EndToEndTest, MeasuredFpcRatioYieldsFigure4Cores)
+{
+    ValuePatternGenerator generator(commercialValueMix(), 3);
+    std::uint64_t raw = 0, compressed = 0;
+    for (int i = 0; i < 2000; ++i) {
+        const auto line = generator.nextLine(64);
+        raw += line.size();
+        compressed += FpcCompressor::compressedSizeBytes(line);
+    }
+    const double ratio =
+        static_cast<double>(raw) / static_cast<double>(compressed);
+    ASSERT_GT(ratio, 1.4);
+    ASSERT_LT(ratio, 2.6);
+
+    ScalingScenario scenario;
+    scenario.totalCeas = 32.0;
+    scenario.techniques = {cacheCompression(ratio)};
+    const int cores =
+        solveSupportableCores(scenario).supportableCores;
+    // Figure 4 band for ratios 1.4x-2.6x: 12-14 cores.
+    EXPECT_GE(cores, 12);
+    EXPECT_LE(cores, 14);
+}
+
+/**
+ * Pipeline 3 (link compressor -> model): same for link compression
+ * against Figure 9.
+ */
+TEST(EndToEndTest, MeasuredLinkRatioYieldsFigure9Cores)
+{
+    LinkCompressor link(LinkCompressorConfig{});
+    ValuePatternGenerator generator(commercialValueMix(), 5);
+    for (int i = 0; i < 2000; ++i)
+        link.transferLine(generator.nextLine(64));
+    const double ratio = link.compressionRatio();
+    ASSERT_GT(ratio, 1.5);
+
+    ScalingScenario scenario;
+    scenario.totalCeas = 32.0;
+    scenario.techniques = {linkCompression(ratio)};
+    const int cores =
+        solveSupportableCores(scenario).supportableCores;
+    // Around the paper's 2x realistic point (16 cores).
+    EXPECT_GE(cores, 14);
+    EXPECT_LE(cores, 21);
+}
+
+/**
+ * Pipeline 4 (compressed cache storage): a compressed cache fed by
+ * FPC sizes of commercial-mix lines holds roughly ratio-times more
+ * lines than its uncompressed way count.
+ */
+TEST(EndToEndTest, CompressedCachePacksMeasuredRatio)
+{
+    ValuePatternGenerator generator(commercialValueMix(), 7);
+    CompressedCacheConfig config;
+    config.capacityBytes = 64 * kKiB;
+    config.baseWays = 8;
+    config.tagFactor = 4;
+
+    // Per-line compressed size derived deterministically from FPC on
+    // a synthetic content line (hashed by address).
+    CompressedCache cache(config, [&generator](Address) {
+        return static_cast<std::uint32_t>(
+            FpcCompressor::compressedSizeBytes(
+                generator.nextLine(64)));
+    });
+
+    // Stream distinct lines to fill the cache.
+    for (Address line = 0; line < 8192; ++line)
+        cache.access({line * 64, AccessType::Read, 0});
+
+    const double packing =
+        static_cast<double>(cache.residentLines()) /
+        static_cast<double>(config.capacityBytes / 64);
+    EXPECT_GT(packing, 1.3); // clearly more than uncompressed
+    EXPECT_GT(cache.residentCompressionRatio(), 1.3);
+}
+
+/**
+ * Pipeline 5 (Figure 14 at reduced scale): the shared-line fraction
+ * measured on the shared-L2 simulator declines from 4 to 16 cores.
+ */
+TEST(EndToEndTest, SharedLineFractionDeclinesWithCores)
+{
+    auto measure = [](unsigned cores) {
+        SharedWorkloadTraceParams trace_params;
+        trace_params.threads = cores;
+        trace_params.sharedLines = 32768;
+        trace_params.sharedZipfExponent = 0.9;
+        trace_params.sharedAccessFraction = 0.10;
+        trace_params.privateMaxResidentLines = 1 << 14;
+        trace_params.seed = 77;
+        SharedWorkloadTrace trace(trace_params);
+
+        CacheConfig cache_config;
+        cache_config.capacityBytes = kMiB;
+        cache_config.associativity = 16;
+        SetAssociativeCache cache(cache_config);
+
+        std::uint64_t shared = 0, evictions = 0;
+        bool counting = false;
+        cache.setEvictionCallback([&](const EvictionRecord &record) {
+            if (!counting)
+                return;
+            ++evictions;
+            shared += record.sharerCount >= 2;
+        });
+        for (int i = 0; i < 500000; ++i)
+            cache.access(trace.next());
+        counting = true;
+        for (int i = 0; i < 1500000; ++i)
+            cache.access(trace.next());
+        return static_cast<double>(shared) /
+               static_cast<double>(evictions);
+    };
+
+    const double at4 = measure(4);
+    const double at16 = measure(16);
+    EXPECT_GT(at4, 0.02); // sharing is visible
+    EXPECT_LT(at16, at4); // and declines with the core count
+}
+
+/**
+ * Pipeline 6 (model cross-check via simulation): per the power law,
+ * quadrupling a private cache under alpha ~ 0.5 should halve the
+ * per-access traffic — the mechanism behind paper Eq. 5.
+ */
+TEST(EndToEndTest, SimulatedTrafficFollowsModelPrediction)
+{
+    auto traffic_at = [](std::uint64_t capacity) {
+        PowerLawTraceParams params;
+        params.alpha = 0.5;
+        params.seed = 13;
+        params.warmLines = 1 << 15;
+        params.maxResidentLines = 1 << 16;
+        PowerLawTrace trace(params);
+
+        CacheConfig config;
+        config.capacityBytes = capacity;
+        SetAssociativeCache cache(config);
+        for (int i = 0; i < 200000; ++i)
+            cache.access(trace.next());
+        cache.resetStats();
+        for (int i = 0; i < 500000; ++i)
+            cache.access(trace.next());
+        return cache.stats().trafficBytesPerAccess();
+    };
+
+    const double small = traffic_at(32 * kKiB);
+    const double large = traffic_at(128 * kKiB);
+    EXPECT_NEAR(small / large, 2.0, 0.25);
+}
+
+} // namespace
+} // namespace bwwall

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Randomised property (fuzz) tests: model-solver invariants over
+ * random scenarios, and structural invariants of the cache models
+ * under random access streams.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "cache/compressed_cache.hh"
+#include "cache/hierarchy.hh"
+#include "cache/set_assoc_cache.hh"
+#include "model/scaling_study.hh"
+#include "trace/hashing.hh"
+#include "util/rng.hh"
+#include "util/units.hh"
+
+namespace bwwall {
+namespace {
+
+/** Builds a random technique set (possibly empty). */
+std::vector<Technique>
+randomTechniques(Rng &rng)
+{
+    std::vector<Technique> techniques;
+    if (rng.nextBernoulli(0.5))
+        techniques.push_back(cacheCompression(
+            1.0 + rng.nextDouble() * 2.5));
+    if (rng.nextBernoulli(0.3))
+        techniques.push_back(dramCache(2.0 + rng.nextDouble() * 14.0));
+    if (rng.nextBernoulli(0.3))
+        techniques.push_back(stackedCache(
+            rng.nextBernoulli(0.5) ? 1.0
+                                   : 2.0 + rng.nextDouble() * 14.0));
+    if (rng.nextBernoulli(0.3))
+        techniques.push_back(unusedDataFilter(rng.nextDouble() * 0.8));
+    if (rng.nextBernoulli(0.3))
+        techniques.push_back(smallerCores(
+            0.0125 + rng.nextDouble() * 0.9));
+    if (rng.nextBernoulli(0.5))
+        techniques.push_back(linkCompression(
+            1.0 + rng.nextDouble() * 2.5));
+    if (rng.nextBernoulli(0.3))
+        techniques.push_back(sectoredCache(rng.nextDouble() * 0.8));
+    if (rng.nextBernoulli(0.3))
+        techniques.push_back(smallCacheLines(rng.nextDouble() * 0.8));
+    return techniques;
+}
+
+class SolverFuzzTest : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(SolverFuzzTest, SolutionIsMaximalAndWithinBudget)
+{
+    Rng rng(GetParam());
+    for (int round = 0; round < 120; ++round) {
+        ScalingScenario scenario;
+        scenario.alpha = 0.2 + rng.nextDouble() * 0.7;
+        scenario.totalCeas =
+            16.0 * std::pow(2.0, rng.nextBounded(7));
+        scenario.trafficBudget = 0.5 + rng.nextDouble() * 2.5;
+        scenario.techniques = randomTechniques(rng);
+
+        const SolveResult result = solveSupportableCores(scenario);
+        if (result.supportableCores == 0) {
+            // Even one core must then break the budget.
+            ASSERT_GT(relativeTraffic(scenario, 1.0),
+                      scenario.trafficBudget);
+            continue;
+        }
+
+        const double cores =
+            static_cast<double>(result.supportableCores);
+        ASSERT_LE(relativeTraffic(scenario, cores),
+                  scenario.trafficBudget + 1e-9);
+        // Maximality: one more core breaks the budget or the die.
+        if (cores + 1.0 <= maxPlaceableCores(scenario)) {
+            ASSERT_GT(relativeTraffic(scenario, cores + 1.0),
+                      scenario.trafficBudget);
+        }
+        // The fractional crossing brackets the integer solution.
+        ASSERT_GE(result.fractionalCores, cores - 1e-9);
+        ASSERT_GE(result.coreAreaFraction, 0.0);
+        ASSERT_LE(result.coreAreaFraction, 1.0 + 1e-9);
+    }
+}
+
+TEST_P(SolverFuzzTest, MonotoneInBudgetAndDie)
+{
+    Rng rng(GetParam() + 1000);
+    for (int round = 0; round < 60; ++round) {
+        ScalingScenario scenario;
+        scenario.alpha = 0.2 + rng.nextDouble() * 0.7;
+        scenario.totalCeas = 32.0 * std::pow(2.0, rng.nextBounded(4));
+        scenario.techniques = randomTechniques(rng);
+
+        ScalingScenario richer = scenario;
+        richer.trafficBudget = scenario.trafficBudget * 1.5;
+        ASSERT_GE(solveSupportableCores(richer).supportableCores,
+                  solveSupportableCores(scenario).supportableCores);
+
+        ScalingScenario bigger = scenario;
+        bigger.totalCeas = scenario.totalCeas * 2.0;
+        ASSERT_GE(solveSupportableCores(bigger).supportableCores,
+                  solveSupportableCores(scenario).supportableCores);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverFuzzTest,
+                         ::testing::Values(1u, 2u, 3u));
+
+class CacheFuzzTest : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(CacheFuzzTest, StatsStayConsistentUnderRandomStreams)
+{
+    Rng rng(GetParam());
+    CacheConfig config;
+    config.capacityBytes = 16 * kKiB;
+    config.associativity = 1u << rng.nextBounded(4);
+    config.sectored = rng.nextBernoulli(0.5);
+    config.sectorBytes = 8u << rng.nextBounded(3);
+    SetAssociativeCache cache(config);
+
+    std::uint64_t fetched = 0, written_back = 0;
+    for (int i = 0; i < 50000; ++i) {
+        MemoryAccess access;
+        access.address = (rng.nextBounded(2048)) * 8;
+        access.address |= rng.nextBounded(4) << 16; // 4 "regions"
+        access.type = rng.nextBernoulli(0.4) ? AccessType::Write
+                                             : AccessType::Read;
+        const AccessOutcome outcome = cache.access(access);
+        fetched += outcome.bytesFetched;
+        written_back += outcome.bytesWrittenBack;
+        ASSERT_LE(cache.residentLines(), config.lines());
+    }
+    const CacheStats &stats = cache.stats();
+    // Per-access outcomes must sum to the aggregate counters.
+    EXPECT_EQ(stats.bytesFetched, fetched);
+    EXPECT_EQ(stats.bytesWrittenBack, written_back);
+    EXPECT_EQ(stats.hits + stats.misses, stats.accesses);
+    EXPECT_EQ(stats.reads + stats.writes, stats.accesses);
+    EXPECT_LE(stats.writebacks, stats.evictions);
+    if (config.sectored) {
+        // Every fetch is exactly one sector.
+        EXPECT_EQ(stats.bytesFetched,
+                  (stats.misses + stats.sectorMisses) *
+                      config.sectorBytes);
+    } else {
+        EXPECT_EQ(stats.bytesFetched,
+                  stats.misses * config.lineBytes);
+    }
+
+    // Flush accounting: every resident dirty line writes back.
+    const std::uint64_t resident = cache.residentLines();
+    const std::uint64_t evictions_before = stats.evictions;
+    cache.flush();
+    EXPECT_EQ(cache.stats().evictions - evictions_before, resident);
+    EXPECT_EQ(cache.residentLines(), 0u);
+}
+
+TEST_P(CacheFuzzTest, CompressedCacheNeverOverpacks)
+{
+    Rng rng(GetParam() + 77);
+    CompressedCacheConfig config;
+    config.capacityBytes = 8 * kKiB;
+    config.baseWays = 4;
+    config.tagFactor = 1u + static_cast<std::uint32_t>(
+        rng.nextBounded(3));
+    config.compressedLink = rng.nextBernoulli(0.5);
+
+    const std::uint64_t size_salt = rng.next();
+    CompressedCache cache(config, [size_salt](Address address) {
+        // Deterministic pseudo-random size in [1, 64].
+        return static_cast<std::uint32_t>(
+            mix64(address, size_salt) % 64 + 1);
+    });
+
+    for (int i = 0; i < 30000; ++i) {
+        MemoryAccess access;
+        access.address = rng.nextBounded(4096) * 64;
+        access.type = rng.nextBernoulli(0.3) ? AccessType::Write
+                                             : AccessType::Read;
+        cache.access(access);
+        if (i % 500 == 0) {
+            ASSERT_LE(cache.maxSetUsedBytes(),
+                      cache.setBudgetBytes());
+            ASSERT_LE(cache.residentLines(),
+                      cache.sets() * cache.tagsPerSet());
+        }
+    }
+    EXPECT_GE(cache.residentCompressionRatio(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheFuzzTest,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+TEST(HierarchyEquivalenceTest, SingleCoreSharedL2EqualsFlatCache)
+{
+    // A hierarchy with no L1 and one core must behave byte-for-byte
+    // like a bare cache.
+    HierarchyConfig hierarchy_config;
+    hierarchy_config.cores = 1;
+    hierarchy_config.l1Enabled = false;
+    hierarchy_config.l2.capacityBytes = 32 * kKiB;
+    CacheHierarchy hierarchy(hierarchy_config);
+
+    CacheConfig flat_config = hierarchy_config.l2;
+    SetAssociativeCache flat(flat_config);
+
+    Rng rng(5);
+    for (int i = 0; i < 40000; ++i) {
+        MemoryAccess access;
+        access.address = rng.nextBounded(1 << 16) * 8;
+        access.type = rng.nextBernoulli(0.3) ? AccessType::Write
+                                             : AccessType::Read;
+        const HierarchyOutcome hierarchy_outcome =
+            hierarchy.access(access);
+        const AccessOutcome flat_outcome = flat.access(access);
+        ASSERT_EQ(hierarchy_outcome.l2Hit, flat_outcome.hit);
+        ASSERT_EQ(hierarchy_outcome.memoryBytes,
+                  flat_outcome.bytesFetched +
+                      flat_outcome.bytesWrittenBack);
+    }
+    EXPECT_EQ(hierarchy.memoryTrafficBytes(),
+              flat.stats().bytesFetched +
+                  flat.stats().bytesWrittenBack);
+}
+
+} // namespace
+} // namespace bwwall

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/event_queue.hh"
+
+namespace bwwall {
+namespace {
+
+TEST(EventQueueTest, RunsInTimeOrder)
+{
+    EventQueue events;
+    std::vector<int> order;
+    events.schedule(30, [&order] { order.push_back(3); });
+    events.schedule(10, [&order] { order.push_back(1); });
+    events.schedule(20, [&order] { order.push_back(2); });
+    events.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(events.now(), 30u);
+}
+
+TEST(EventQueueTest, TiesRunInScheduleOrder)
+{
+    EventQueue events;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        events.schedule(7, [&order, i] { order.push_back(i); });
+    events.runAll();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, CallbackCanScheduleMore)
+{
+    EventQueue events;
+    int fired = 0;
+    events.schedule(1, [&] {
+        ++fired;
+        events.scheduleAfter(5, [&] { ++fired; });
+    });
+    events.runAll();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(events.now(), 6u);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtLimit)
+{
+    EventQueue events;
+    int fired = 0;
+    events.schedule(10, [&] { ++fired; });
+    events.schedule(100, [&] { ++fired; });
+    events.runUntil(50);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(events.now(), 50u);
+    EXPECT_EQ(events.pendingEvents(), 1u);
+}
+
+TEST(EventQueueTest, RunOneOnEmptyReturnsFalse)
+{
+    EventQueue events;
+    EXPECT_FALSE(events.runOne());
+    EXPECT_TRUE(events.empty());
+}
+
+TEST(EventQueueTest, ScheduleAfterUsesCurrentTime)
+{
+    EventQueue events;
+    Tick seen = 0;
+    events.schedule(40, [&] {
+        events.scheduleAfter(2, [&] { seen = events.now(); });
+    });
+    events.runAll();
+    EXPECT_EQ(seen, 42u);
+}
+
+} // namespace
+} // namespace bwwall

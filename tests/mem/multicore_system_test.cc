@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Tests for the multi-channel DRAM system and the full multicore
+ * integration layer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "mem/multicore_system.hh"
+#include "trace/power_law_trace.hh"
+#include "util/units.hh"
+
+namespace bwwall {
+namespace {
+
+DramSystemConfig
+twoChannelConfig()
+{
+    DramSystemConfig config;
+    config.channels = 2;
+    config.interleaveBytes = 64;
+    return config;
+}
+
+TEST(DramSystemTest, ChannelRoutingInterleaves)
+{
+    EventQueue events;
+    DramSystem dram(events, twoChannelConfig());
+    EXPECT_EQ(dram.channelOf(0), 0u);
+    EXPECT_EQ(dram.channelOf(64), 1u);
+    EXPECT_EQ(dram.channelOf(128), 0u);
+    EXPECT_EQ(dram.channels(), 2u);
+}
+
+TEST(DramSystemTest, RowGranularInterleavingPreservesLocality)
+{
+    EventQueue events;
+    DramSystemConfig config = twoChannelConfig();
+    config.interleaveBytes = config.channel.rowBytes;
+    DramSystem dram(events, config);
+    // A whole row stays on one channel.
+    for (Address a = 0; a < config.channel.rowBytes; a += 64)
+        EXPECT_EQ(dram.channelOf(a), 0u);
+    EXPECT_EQ(dram.channelOf(config.channel.rowBytes), 1u);
+}
+
+TEST(DramSystemTest, AggregateStatsSumChannels)
+{
+    EventQueue events;
+    DramSystem dram(events, twoChannelConfig());
+    for (int i = 0; i < 8; ++i)
+        dram.request(static_cast<Address>(i) * 64, [] {});
+    events.runAll();
+    const DramStats total = dram.aggregateStats();
+    EXPECT_EQ(total.requests, 8u);
+    EXPECT_EQ(dram.channel(0).stats().requests, 4u);
+    EXPECT_EQ(dram.channel(1).stats().requests, 4u);
+    EXPECT_DOUBLE_EQ(dram.peakBandwidth(),
+                     2.0 * dram.channel(0).peakBandwidth());
+}
+
+TEST(DramSystemTest, MoreChannelsMoreSequentialBandwidth)
+{
+    auto run = [](unsigned channels) {
+        EventQueue events;
+        DramSystemConfig config;
+        config.channels = channels;
+        DramSystem dram(events, config);
+        int outstanding = 0;
+        Address next = 0;
+        std::function<void()> feed = [&]() {
+            while (outstanding < 64) {
+                if (!dram.request(next, [&] {
+                        --outstanding;
+                        feed();
+                    })) {
+                    break;
+                }
+                next += 64;
+                ++outstanding;
+            }
+        };
+        feed();
+        events.runUntil(100000);
+        return dram.achievedBandwidth();
+    };
+    EXPECT_GT(run(4), 3.0 * run(1));
+}
+
+TEST(DramSystemTest, RejectsBadConfig)
+{
+    EventQueue events;
+    DramSystemConfig config = twoChannelConfig();
+    config.channels = 3;
+    EXPECT_EXIT((DramSystem{events, config}),
+                ::testing::ExitedWithCode(1), "power-of-two");
+    config = twoChannelConfig();
+    config.interleaveBytes = 32; // below the 64-byte line
+    EXPECT_EXIT((DramSystem{events, config}),
+                ::testing::ExitedWithCode(1), "interleave");
+}
+
+MulticoreSystemConfig
+systemConfig(unsigned cores, unsigned channels)
+{
+    MulticoreSystemConfig config;
+    config.cores = cores;
+    config.core.cache.capacityBytes = 32 * kKiB;
+    config.core.cache.associativity = 8;
+    config.dram.channels = channels;
+    return config;
+}
+
+TraceFactory
+powerLawFactory(double alpha = 0.5)
+{
+    return [alpha](unsigned core) -> std::unique_ptr<TraceSource> {
+        PowerLawTraceParams params;
+        params.alpha = alpha;
+        params.seed = 1000 + core;
+        params.thread = core;
+        params.warmLines = 1 << 13;
+        params.maxResidentLines = 1 << 14;
+        return std::make_unique<PowerLawTrace>(params);
+    };
+}
+
+TEST(MulticoreSystemTest, CoresMakeProgress)
+{
+    EventQueue events;
+    MulticoreSystem system(events, systemConfig(4, 2),
+                           powerLawFactory());
+    system.warm(100000);
+    system.start();
+    events.runUntil(200000);
+    EXPECT_GT(system.totalCompletedAccesses(), 10000u);
+    for (unsigned core = 0; core < 4; ++core)
+        EXPECT_GT(system.core(core).stats().completedRequests, 1000u);
+    EXPECT_GT(system.dram().aggregateStats().requests, 100u);
+}
+
+TEST(MulticoreSystemTest, ThroughputSaturatesWithCores)
+{
+    auto run = [](unsigned cores) {
+        EventQueue events;
+        MulticoreSystem system(events, systemConfig(cores, 1),
+                               powerLawFactory());
+        system.warm(60000);
+        system.start();
+        events.runUntil(300000);
+        return system.totalCompletedAccesses();
+    };
+    const auto at2 = run(2);
+    const auto at16 = run(16);
+    // Sub-linear scaling: 8x the cores buys far less than 8x.
+    EXPECT_GT(at16, at2);
+    EXPECT_LT(at16, 6 * at2);
+}
+
+TEST(MulticoreSystemTest, MoreChannelsLiftTheWall)
+{
+    auto run = [](unsigned channels) {
+        EventQueue events;
+        MulticoreSystem system(events, systemConfig(16, channels),
+                               powerLawFactory());
+        system.warm(60000);
+        system.start();
+        events.runUntil(300000);
+        return system.totalCompletedAccesses();
+    };
+    EXPECT_GT(run(4), run(1));
+}
+
+
+TEST(MulticoreSystemTest, SecondLevelCacheReducesDramPressure)
+{
+    auto run = [](bool l2) {
+        EventQueue events;
+        MulticoreSystemConfig config = systemConfig(8, 1);
+        config.core.l2Enabled = l2;
+        config.core.l2.capacityBytes = 2 * kMiB;
+        config.core.l2.associativity = 16;
+        config.core.l2HitCycles = 30;
+        MulticoreSystem system(events, config, powerLawFactory());
+        system.warm(150000);
+        system.start();
+        events.runUntil(300000);
+        return std::make_pair(
+            system.totalCompletedAccesses(),
+            system.dram().aggregateStats().bytesTransferred);
+    };
+    const auto [no_l2_done, no_l2_bytes] = run(false);
+    const auto [l2_done, l2_bytes] = run(true);
+    ASSERT_GT(l2_done, 0u);
+    // The big second level absorbs most DRAM traffic per access...
+    const double no_l2_rate = static_cast<double>(no_l2_bytes) /
+        static_cast<double>(no_l2_done);
+    const double l2_rate = static_cast<double>(l2_bytes) /
+        static_cast<double>(l2_done);
+    EXPECT_LT(l2_rate * 2.0, no_l2_rate);
+    // ...and the saturated system gets more work done.
+    EXPECT_GT(l2_done, no_l2_done);
+}
+
+TEST(MulticoreSystemTest, RejectsBadConstruction)
+{
+    EventQueue events;
+    EXPECT_EXIT((MulticoreSystem{events, systemConfig(0, 1),
+                                 powerLawFactory()}),
+                ::testing::ExitedWithCode(1), "at least one core");
+    EXPECT_EXIT((MulticoreSystem{events, systemConfig(1, 1),
+                                 TraceFactory{}}),
+                ::testing::ExitedWithCode(1), "trace factory");
+}
+
+} // namespace
+} // namespace bwwall

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Tests for the core models and the bandwidth-saturation sweep — the
+ * quantitative backing for the paper's Section 1 argument.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/system_sim.hh"
+#include "trace/power_law_trace.hh"
+#include "util/units.hh"
+
+namespace bwwall {
+namespace {
+
+TEST(SimpleCoreTest, UncontendedRateMatchesModel)
+{
+    EventQueue events;
+    MemoryChannelConfig channel_config;
+    channel_config.bytesPerCycle = 64.0; // effectively unlimited
+    channel_config.fixedLatencyCycles = 100;
+    MemoryChannel channel(events, channel_config);
+
+    SimpleCoreConfig core_config;
+    core_config.meanComputeCycles = 100.0;
+    SimpleCore core(events, channel, core_config);
+    core.start();
+    events.runUntil(1000000);
+
+    // Iteration = ~100 compute + 1 service + 100 latency.
+    const double expected_rate = 1000000.0 / 201.0;
+    EXPECT_NEAR(static_cast<double>(core.stats().completedRequests),
+                expected_rate, expected_rate * 0.1);
+}
+
+TEST(SaturationSweepTest, ThroughputPlateausAtChannelLimit)
+{
+    SaturationSweepParams params;
+    params.coreCounts = {1, 2, 4, 8, 16, 32, 64};
+    params.coreTemplate.meanComputeCycles = 400.0;
+    params.coreTemplate.requestBytes = 64;
+    params.channel.bytesPerCycle = 2.0; // saturates around 16 cores
+    params.channel.fixedLatencyCycles = 100;
+    params.simulatedCycles = 500000;
+
+    const auto points = runSaturationSweep(params);
+    ASSERT_EQ(points.size(), 7u);
+
+    // Small systems scale nearly linearly.
+    EXPECT_NEAR(points[1].aggregateThroughput,
+                2.0 * points[0].aggregateThroughput,
+                0.2 * points[0].aggregateThroughput);
+
+    // Beyond saturation, aggregate throughput stops growing...
+    const double limit =
+        channelSaturationThroughput(params.channel, 64);
+    EXPECT_NEAR(points.back().aggregateThroughput, limit,
+                0.05 * limit);
+    const double growth = points[6].aggregateThroughput /
+                          points[5].aggregateThroughput;
+    EXPECT_LT(growth, 1.05); // 32 -> 64 cores buys almost nothing
+
+    // ...per-core throughput collapses...
+    EXPECT_LT(points.back().perCoreThroughput,
+              0.3 * points.front().perCoreThroughput);
+
+    // ...and the channel is pinned busy with long queues.
+    EXPECT_GT(points.back().channelUtilization, 0.95);
+    EXPECT_GT(points.back().averageQueueingDelay,
+              10.0 * points.front().averageQueueingDelay + 1.0);
+}
+
+TEST(SaturationSweepTest, MoreBandwidthMovesTheWall)
+{
+    SaturationSweepParams narrow;
+    narrow.coreCounts = {32};
+    narrow.coreTemplate.meanComputeCycles = 400.0;
+    narrow.channel.bytesPerCycle = 1.0;
+    narrow.simulatedCycles = 300000;
+
+    SaturationSweepParams wide = narrow;
+    wide.channel.bytesPerCycle = 4.0;
+
+    const double narrow_throughput =
+        runSaturationSweep(narrow)[0].aggregateThroughput;
+    const double wide_throughput =
+        runSaturationSweep(wide)[0].aggregateThroughput;
+    // 4x bandwidth at full saturation: ~4x throughput.
+    EXPECT_GT(wide_throughput, 3.0 * narrow_throughput);
+}
+
+TEST(TraceDrivenCoreTest, MissesReachTheChannel)
+{
+    EventQueue events;
+    MemoryChannelConfig channel_config;
+    channel_config.bytesPerCycle = 8.0;
+    channel_config.fixedLatencyCycles = 50;
+    MemoryChannel channel(events, channel_config);
+
+    PowerLawTraceParams trace_params;
+    trace_params.alpha = 0.5;
+    trace_params.seed = 3;
+    trace_params.warmLines = 8192;
+    trace_params.maxResidentLines = 16384;
+
+    TraceDrivenCoreConfig core_config;
+    core_config.cache.capacityBytes = 32 * kKiB;
+    core_config.cache.lineBytes = 64;
+    core_config.cache.associativity = 8;
+
+    TraceDrivenCore core(events, channel,
+                         std::make_unique<PowerLawTrace>(trace_params),
+                         core_config);
+    core.start();
+    events.runUntil(200000);
+
+    EXPECT_GT(core.stats().completedRequests, 1000u);
+    EXPECT_GT(channel.stats().requests, 100u);
+    EXPECT_GT(core.stats().stallCycles, 0u);
+    // The private cache must be filtering most accesses.
+    EXPECT_LT(static_cast<double>(channel.stats().requests),
+              0.6 * static_cast<double>(
+                        core.stats().completedRequests));
+}
+
+TEST(TraceDrivenCoreTest, BiggerCacheLowersChannelPressure)
+{
+    auto run = [](std::uint64_t cache_bytes) {
+        EventQueue events;
+        MemoryChannelConfig channel_config;
+        channel_config.bytesPerCycle = 8.0;
+        MemoryChannel channel(events, channel_config);
+
+        PowerLawTraceParams trace_params;
+        trace_params.alpha = 0.5;
+        trace_params.seed = 5;
+        trace_params.warmLines = 1 << 14;
+        trace_params.maxResidentLines = 1 << 15;
+
+        TraceDrivenCoreConfig core_config;
+        core_config.cache.capacityBytes = cache_bytes;
+
+        TraceDrivenCore core(
+            events, channel,
+            std::make_unique<PowerLawTrace>(trace_params),
+            core_config);
+        core.start();
+        events.runUntil(300000);
+        return static_cast<double>(channel.stats().bytesTransferred) /
+               static_cast<double>(core.stats().completedRequests);
+    };
+
+    const double small_traffic = run(16 * kKiB);
+    const double large_traffic = run(256 * kKiB);
+    // alpha = 0.5 and 16x capacity: traffic per access should drop by
+    // about 4x; accept any clear separation.
+    EXPECT_LT(large_traffic * 2.0, small_traffic);
+}
+
+
+TEST(SimpleCoreTest, MemoryLevelParallelismRaisesThroughput)
+{
+    auto completed = [](unsigned outstanding) {
+        EventQueue events;
+        MemoryChannelConfig channel_config;
+        channel_config.bytesPerCycle = 64.0; // uncontended
+        channel_config.fixedLatencyCycles = 200;
+        MemoryChannel channel(events, channel_config);
+        SimpleCoreConfig config;
+        config.meanComputeCycles = 100.0;
+        config.outstandingRequests = outstanding;
+        SimpleCore core(events, channel, config);
+        core.start();
+        events.runUntil(500000);
+        return core.stats().completedRequests;
+    };
+    // With latency dominating, 4 slots should give close to 4x.
+    const auto one = completed(1);
+    const auto four = completed(4);
+    EXPECT_GT(four, 3 * one);
+    EXPECT_LT(four, 5 * one);
+}
+
+TEST(SimpleCoreTest, MlpSaturatesTheChannelWithFewerCores)
+{
+    auto utilization = [](unsigned outstanding) {
+        EventQueue events;
+        MemoryChannelConfig channel_config;
+        channel_config.bytesPerCycle = 1.0;
+        MemoryChannel channel(events, channel_config);
+        std::vector<std::unique_ptr<SimpleCore>> cores;
+        for (unsigned i = 0; i < 4; ++i) {
+            SimpleCoreConfig config;
+            config.meanComputeCycles = 400.0;
+            config.outstandingRequests = outstanding;
+            config.seed = i + 1;
+            cores.push_back(std::make_unique<SimpleCore>(
+                events, channel, config));
+            cores.back()->start();
+        }
+        events.runUntil(300000);
+        return channel.utilization();
+    };
+    EXPECT_GT(utilization(8), utilization(1));
+}
+
+TEST(SimpleCoreTest, RejectsZeroOutstandingSlots)
+{
+    EventQueue events;
+    MemoryChannel channel(events, MemoryChannelConfig{});
+    SimpleCoreConfig config;
+    config.outstandingRequests = 0;
+    EXPECT_EXIT((SimpleCore{events, channel, config}),
+                ::testing::ExitedWithCode(1), "outstanding");
+}
+
+} // namespace
+} // namespace bwwall

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests for the two-level trace-driven core and its warm-up.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "mem/core_model.hh"
+#include "trace/working_set_trace.hh"
+#include "util/units.hh"
+
+namespace bwwall {
+namespace {
+
+std::unique_ptr<WorkingSetTrace>
+tableScanTrace()
+{
+    WorkingSetTraceParams params;
+    params.regions = {
+        {64, 0.5, 0.3},    // hot 4 KiB
+        {16384, 0.5, 0.1}, // 1 MiB scan
+    };
+    params.seed = 5;
+    return std::make_unique<WorkingSetTrace>(params);
+}
+
+TraceDrivenCoreConfig
+twoLevelConfig(std::uint64_t l2_kib, Tick l2_latency)
+{
+    TraceDrivenCoreConfig config;
+    config.cache.capacityBytes = 16 * kKiB;
+    config.cache.associativity = 8;
+    config.l2Enabled = true;
+    config.l2.capacityBytes = l2_kib * kKiB;
+    config.l2.associativity = 16;
+    config.l2HitCycles = l2_latency;
+    return config;
+}
+
+TEST(TraceCoreL2Test, L2AccessorRequiresEnablement)
+{
+    EventQueue events;
+    MemoryChannel channel(events, MemoryChannelConfig{});
+    TraceDrivenCoreConfig config;
+    config.cache.capacityBytes = 16 * kKiB;
+    TraceDrivenCore core(events, channel, tableScanTrace(), config);
+    EXPECT_EXIT(core.l2(), ::testing::ExitedWithCode(1),
+                "no second-level");
+}
+
+TEST(TraceCoreL2Test, BigL2AbsorbsChannelTraffic)
+{
+    auto run = [](std::uint64_t l2_kib) {
+        EventQueue events;
+        MemoryChannelConfig channel_config;
+        channel_config.bytesPerCycle = 4.0;
+        MemoryChannel channel(events, channel_config);
+        TraceDrivenCore core(events, channel, tableScanTrace(),
+                             twoLevelConfig(l2_kib, 20));
+        core.warm(400000);
+        core.start();
+        events.runUntil(400000);
+        return std::make_pair(channel.stats().bytesTransferred,
+                              core.stats().completedRequests);
+    };
+
+    // 2 MiB holds the whole 1 MiB scan; 256 KiB thrashes.
+    const auto [big_bytes, big_done] = run(2048);
+    const auto [small_bytes, small_done] = run(256);
+    ASSERT_GT(big_done, 0u);
+    ASSERT_GT(small_done, 0u);
+    const double big_per_access = static_cast<double>(big_bytes) /
+        static_cast<double>(big_done);
+    const double small_per_access =
+        static_cast<double>(small_bytes) /
+        static_cast<double>(small_done);
+    EXPECT_LT(big_per_access * 10.0, small_per_access);
+    EXPECT_GT(big_done, small_done); // and it runs faster
+}
+
+TEST(TraceCoreL2Test, WarmClearsStatsButKeepsContents)
+{
+    EventQueue events;
+    MemoryChannel channel(events, MemoryChannelConfig{});
+    TraceDrivenCore core(events, channel, tableScanTrace(),
+                         twoLevelConfig(2048, 20));
+    core.warm(300000);
+    EXPECT_EQ(core.cache().stats().accesses, 0u);
+    EXPECT_EQ(core.l2().stats().accesses, 0u);
+    EXPECT_GT(core.l2().residentLines(), 10000u); // scan resident
+}
+
+TEST(TraceCoreL2Test, HigherL2LatencySlowsTheCore)
+{
+    auto throughput = [](Tick latency) {
+        EventQueue events;
+        MemoryChannelConfig channel_config;
+        channel_config.bytesPerCycle = 8.0;
+        MemoryChannel channel(events, channel_config);
+        TraceDrivenCore core(events, channel, tableScanTrace(),
+                             twoLevelConfig(2048, latency));
+        core.warm(300000);
+        core.start();
+        events.runUntil(300000);
+        return core.stats().completedRequests;
+    };
+    EXPECT_GT(throughput(10), throughput(60));
+}
+
+TEST(TraceCoreL2Test, DirtyVictimsDirtyTheL2)
+{
+    EventQueue events;
+    MemoryChannel channel(events, MemoryChannelConfig{});
+    // Tiny write-heavy L1 forces dirty evictions into the L2.
+    WorkingSetTraceParams params;
+    params.regions = {{2048, 1.0, 1.0}}; // all writes, 128 KiB
+    params.seed = 9;
+    TraceDrivenCoreConfig config;
+    config.cache.capacityBytes = 4 * kKiB;
+    config.l2Enabled = true;
+    config.l2.capacityBytes = 64 * kKiB; // smaller than the region
+    TraceDrivenCore core(
+        events, channel, std::make_unique<WorkingSetTrace>(params),
+        config);
+    core.start();
+    events.runUntil(500000);
+    // The L2 must have received writes (dirty victims) and, being
+    // smaller than the working set, written some back to memory.
+    EXPECT_GT(core.l2().stats().writes, 0u);
+    EXPECT_GT(core.l2().stats().writebacks, 0u);
+    EXPECT_GT(channel.stats().bytesTransferred, 0u);
+}
+
+} // namespace
+} // namespace bwwall

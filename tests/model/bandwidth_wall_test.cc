@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Tests for the traffic model and solver, anchored to the worked
+ * examples in the paper's Sections 4.2 and 5.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/bandwidth_wall.hh"
+
+namespace bwwall {
+namespace {
+
+ScalingScenario
+nextGeneration()
+{
+    ScalingScenario scenario;
+    scenario.totalCeas = 32.0; // one generation after the baseline
+    return scenario;
+}
+
+TEST(TrafficModelTest, BaselineConfigurationIsUnitTraffic)
+{
+    ScalingScenario scenario;
+    scenario.totalCeas = 16.0;
+    EXPECT_NEAR(relativeTraffic(scenario, 8.0), 1.0, 1e-12);
+}
+
+TEST(TrafficModelTest, PaperSection42WorkedExample)
+{
+    // 16 CEAs, reallocate 4 cache CEAs into cores: P2 = 12, S2 = 1/3;
+    // traffic becomes 2.6x (1.5x cores x 1.73x per-core).
+    ScalingScenario scenario;
+    scenario.totalCeas = 16.0;
+    const double traffic = relativeTraffic(scenario, 12.0);
+    EXPECT_NEAR(traffic, 1.5 * std::sqrt(3.0), 1e-9);
+    EXPECT_NEAR(traffic, 2.6, 0.01);
+}
+
+TEST(TrafficModelTest, DoublingCoresAndCacheDoublesTraffic)
+{
+    // Paper Section 1: proportional scaling doubles traffic.
+    const double traffic = relativeTraffic(nextGeneration(), 16.0);
+    EXPECT_NEAR(traffic, 2.0, 1e-12);
+}
+
+TEST(TrafficModelTest, MonotoneIncreasingInCores)
+{
+    const ScalingScenario scenario = nextGeneration();
+    double previous = 0.0;
+    for (double cores = 1.0; cores <= 28.0; cores += 1.0) {
+        const double traffic = relativeTraffic(scenario, cores);
+        EXPECT_GT(traffic, previous);
+        previous = traffic;
+    }
+}
+
+TEST(TrafficModelTest, InfeasibleConfigurationsAreInfinite)
+{
+    const ScalingScenario scenario = nextGeneration();
+    EXPECT_TRUE(std::isinf(relativeTraffic(scenario, 32.0)));
+    EXPECT_TRUE(std::isinf(relativeTraffic(scenario, 40.0)));
+}
+
+TEST(TrafficModelTest, StackedCacheMakesFullDieCoresFeasible)
+{
+    ScalingScenario scenario = nextGeneration();
+    scenario.techniques = {stackedCache(1.0)};
+    EXPECT_FALSE(std::isinf(relativeTraffic(scenario, 32.0)));
+}
+
+TEST(SolverTest, PaperFigure2ElevenCores)
+{
+    // Constant traffic, next generation: 11 cores (37.5% increase).
+    const SolveResult result =
+        solveSupportableCores(nextGeneration());
+    EXPECT_EQ(result.supportableCores, 11);
+    EXPECT_LE(result.trafficAtSolution, 1.0);
+}
+
+TEST(SolverTest, PaperFigure2OptimisticBandwidth)
+{
+    // With 50% more bandwidth the next generation reaches 13 cores.
+    ScalingScenario scenario = nextGeneration();
+    scenario.trafficBudget = 1.5;
+    EXPECT_EQ(solveSupportableCores(scenario).supportableCores, 13);
+}
+
+TEST(SolverTest, FractionalSolutionBracketsInteger)
+{
+    const SolveResult result =
+        solveSupportableCores(nextGeneration());
+    EXPECT_GE(result.fractionalCores,
+              static_cast<double>(result.supportableCores));
+    EXPECT_LT(result.fractionalCores,
+              static_cast<double>(result.supportableCores) + 1.0);
+}
+
+TEST(SolverTest, PaperSection5FourGenerations)
+{
+    // Paper: "in four technology generations the number of cores can
+    // only scale to 24 ... the allocation for caches must grow to 90%".
+    ScalingScenario scenario;
+    scenario.totalCeas = 256.0; // 16x
+    const SolveResult result = solveSupportableCores(scenario);
+    EXPECT_EQ(result.supportableCores, 24);
+    EXPECT_NEAR(result.coreAreaFraction, 0.10, 0.01);
+}
+
+TEST(SolverTest, ZeroCoresWhenBudgetUnreachable)
+{
+    ScalingScenario scenario = nextGeneration();
+    scenario.trafficBudget = 0.01;
+    EXPECT_EQ(solveSupportableCores(scenario).supportableCores, 0);
+}
+
+TEST(SolverTest, SolutionRespectsBudgetBoundary)
+{
+    const ScalingScenario scenario = nextGeneration();
+    const SolveResult result = solveSupportableCores(scenario);
+    EXPECT_LE(relativeTraffic(scenario, result.supportableCores), 1.0);
+    EXPECT_GT(relativeTraffic(scenario, result.supportableCores + 1),
+              1.0);
+}
+
+TEST(SolverTest, MaxPlaceableCoresScalesWithSmallerCores)
+{
+    ScalingScenario scenario = nextGeneration();
+    EXPECT_DOUBLE_EQ(maxPlaceableCores(scenario), 32.0);
+    scenario.techniques = {smallerCores(0.25)};
+    EXPECT_DOUBLE_EQ(maxPlaceableCores(scenario), 128.0);
+}
+
+TEST(DataSharingTest, PaperFigure13SharedFractions)
+{
+    // Constant traffic with proportional scaling requires the shared
+    // fraction to grow to 40%, 63%, 77%, 86% for 16/32/64/128 cores.
+    const double expected[] = {0.40, 0.63, 0.77, 0.86};
+    double total = 32.0, cores = 16.0;
+    for (double target : expected) {
+        ScalingScenario scenario;
+        scenario.totalCeas = total;
+        const double required =
+            requiredSharedFraction(scenario, cores);
+        EXPECT_NEAR(required, target, 0.015)
+            << cores << " cores on " << total << " CEAs";
+        total *= 2.0;
+        cores *= 2.0;
+    }
+}
+
+TEST(DataSharingTest, SharingReducesTraffic)
+{
+    ScalingScenario scenario = nextGeneration();
+    const double unshared = relativeTraffic(scenario, 16.0);
+    scenario.techniques = {dataSharing(0.4)};
+    const double shared = relativeTraffic(scenario, 16.0);
+    EXPECT_LT(shared, unshared);
+    EXPECT_NEAR(shared, 1.0, 0.02); // the paper's 40% @ 16 cores
+}
+
+TEST(DataSharingTest, FullSharingActsAsOneCore)
+{
+    ScalingScenario scenario = nextGeneration();
+    scenario.techniques = {dataSharing(1.0)};
+    // P'2 = 1: traffic = (1/8) * ((C2/1)/1)^-0.5.
+    const double traffic = relativeTraffic(scenario, 16.0);
+    EXPECT_NEAR(traffic, (1.0 / 8.0) * std::pow(16.0, -0.5), 1e-12);
+}
+
+TEST(DataSharingTest, ZeroRequiredWhenAlreadyWithinBudget)
+{
+    ScalingScenario scenario = nextGeneration();
+    EXPECT_DOUBLE_EQ(requiredSharedFraction(scenario, 8.0), 0.0);
+}
+
+TEST(DataSharingTest, SentinelWhenImpossible)
+{
+    ScalingScenario scenario = nextGeneration();
+    // Even full sharing (one effective core) yields M = 0.031.
+    scenario.trafficBudget = 0.02;
+    EXPECT_GT(requiredSharedFraction(scenario, 16.0), 1.0);
+}
+
+
+TEST(DataSharingTest, PrivateCachesOnlyGetDirectBenefit)
+{
+    // Paper footnote 1: with private caches, shared lines replicate;
+    // the capacity per core is unchanged, so the benefit is smaller
+    // than with a shared cache.
+    ScalingScenario shared;
+    shared.totalCeas = 32.0;
+    shared.techniques = {dataSharing(0.4)};
+    ScalingScenario replicated;
+    replicated.totalCeas = 32.0;
+    replicated.techniques = {dataSharingPrivateCaches(0.4)};
+    const double pooled = relativeTraffic(shared, 16.0);
+    const double private_caches = relativeTraffic(replicated, 16.0);
+    EXPECT_GT(private_caches, pooled);
+
+    // Analytical check of the private-cache form:
+    // M = (P'/P1) * ((C2/P2)/S1)^-alpha with P' = f + (1-f)P.
+    const double p_eff = 0.4 + 0.6 * 16.0;
+    const double expected =
+        (p_eff / 8.0) * std::pow(16.0 / 16.0, -0.5);
+    EXPECT_NEAR(private_caches, expected, 1e-12);
+}
+
+TEST(DataSharingTest, PrivateVariantStillBeatsNoSharing)
+{
+    ScalingScenario none;
+    none.totalCeas = 32.0;
+    ScalingScenario replicated;
+    replicated.totalCeas = 32.0;
+    replicated.techniques = {dataSharingPrivateCaches(0.4)};
+    EXPECT_LT(relativeTraffic(replicated, 16.0),
+              relativeTraffic(none, 16.0));
+}
+
+} // namespace
+} // namespace bwwall

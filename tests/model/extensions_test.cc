@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Tests for the model extensions: SMT cores, workload drift,
+ * bandwidth envelopes, and the heterogeneous-CMP solver.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/extensions.hh"
+#include "model/heterogeneous.hh"
+
+namespace bwwall {
+namespace {
+
+TEST(SmtTest, SingleThreadIsIdentity)
+{
+    const Technique smt = smtCores(1);
+    EXPECT_DOUBLE_EQ(smt.effects().directFactor, 1.0);
+}
+
+TEST(SmtTest, ExtraThreadsRaiseTraffic)
+{
+    const Technique smt = smtCores(4, 0.7);
+    EXPECT_NEAR(smt.effects().directFactor, 1.0 + 3 * 0.7, 1e-12);
+}
+
+TEST(SmtTest, SmtWorsensCoreScaling)
+{
+    // The paper's Section 3 caveat: multithreaded cores make the
+    // bandwidth wall *more* severe.
+    ScalingScenario scenario;
+    scenario.totalCeas = 32.0;
+    const int single = solveSupportableCores(scenario).supportableCores;
+    scenario.techniques = {smtCores(2)};
+    const int smt = solveSupportableCores(scenario).supportableCores;
+    EXPECT_LT(smt, single);
+}
+
+TEST(SmtTest, RejectsInvalidParameters)
+{
+    EXPECT_EXIT(smtCores(0), ::testing::ExitedWithCode(1), "thread");
+    EXPECT_EXIT(smtCores(2, 0.0), ::testing::ExitedWithCode(1),
+                "marginal");
+}
+
+TEST(EnvelopeTest, NamedModels)
+{
+    EXPECT_DOUBLE_EQ(constantEnvelope().growthPerGeneration, 1.0);
+    EXPECT_NEAR(itrsPinEnvelope().growthPerGeneration,
+                std::pow(1.1, 1.5), 1e-12);
+    EXPECT_DOUBLE_EQ(optimisticEnvelope().growthPerGeneration, 1.5);
+}
+
+TEST(ExtendedStudyTest, DefaultReducesToBaseStudy)
+{
+    ExtendedStudyParams params;
+    const auto extended = runExtendedStudy(params);
+    const auto base = runScalingStudy(params.base);
+    ASSERT_EQ(extended.size(), base.size());
+    for (std::size_t g = 0; g < base.size(); ++g)
+        EXPECT_EQ(extended[g].cores, base[g].cores);
+}
+
+TEST(ExtendedStudyTest, ItrsEnvelopeBeatsConstant)
+{
+    ExtendedStudyParams constant;
+    ExtendedStudyParams itrs;
+    itrs.envelope = itrsPinEnvelope();
+    const auto constant_results = runExtendedStudy(constant);
+    const auto itrs_results = runExtendedStudy(itrs);
+    for (std::size_t g = 0; g < constant_results.size(); ++g)
+        EXPECT_GE(itrs_results[g].cores, constant_results[g].cores);
+    EXPECT_GT(itrs_results.back().cores,
+              constant_results.back().cores);
+}
+
+TEST(ExtendedStudyTest, WorkloadGrowthWorsensScaling)
+{
+    ExtendedStudyParams stationary;
+    ExtendedStudyParams growing;
+    growing.drift.trafficGrowthPerGeneration = 1.2;
+    const auto stationary_results = runExtendedStudy(stationary);
+    const auto growing_results = runExtendedStudy(growing);
+    for (std::size_t g = 0; g < stationary_results.size(); ++g)
+        EXPECT_LE(growing_results[g].cores,
+                  stationary_results[g].cores);
+    EXPECT_LT(growing_results.back().cores,
+              stationary_results.back().cores);
+}
+
+TEST(ExtendedStudyTest, AlphaDriftChangesOutcome)
+{
+    ExtendedStudyParams drifting;
+    drifting.drift.alphaDriftPerGeneration = -0.04;
+    const auto drifted = runExtendedStudy(drifting);
+    const auto base = runExtendedStudy(ExtendedStudyParams{});
+    // Falling alpha (less cache-sensitive workloads) hurts scaling.
+    EXPECT_LT(drifted.back().cores, base.back().cores);
+}
+
+TEST(HeterogeneousTest, AllBigMatchesUniformModel)
+{
+    HeterogeneousScenario scenario;
+    scenario.totalCeas = 32.0;
+    ScalingScenario uniform;
+    uniform.totalCeas = 32.0;
+    for (double cores = 1.0; cores <= 20.0; cores += 1.0) {
+        EXPECT_NEAR(heterogeneousTraffic(scenario, cores, 0.0),
+                    relativeTraffic(uniform, cores), 1e-12);
+    }
+}
+
+TEST(HeterogeneousTest, LittleCoresGenerateLessTraffic)
+{
+    HeterogeneousScenario scenario;
+    scenario.totalCeas = 32.0;
+    // One big core vs one little core (rate 0.5): less traffic, and
+    // the little core leaves more die for cache.
+    EXPECT_LT(heterogeneousTraffic(scenario, 0.0, 1.0),
+              heterogeneousTraffic(scenario, 1.0, 0.0));
+}
+
+TEST(HeterogeneousTest, InfeasibleMixIsInfinite)
+{
+    HeterogeneousScenario scenario;
+    scenario.totalCeas = 32.0;
+    EXPECT_TRUE(std::isinf(
+        heterogeneousTraffic(scenario, 33.0, 0.0)));
+}
+
+TEST(HeterogeneousTest, SolverBeatsUniformThroughputWithinBudget)
+{
+    // The paper's conjecture: heterogeneity is more area- and
+    // bandwidth-efficient.  The best mix must deliver at least the
+    // throughput of the best all-big design.
+    HeterogeneousScenario scenario;
+    scenario.totalCeas = 32.0;
+    const HeterogeneousResult best = solveHeterogeneous(scenario);
+
+    ScalingScenario uniform;
+    uniform.totalCeas = 32.0;
+    const int all_big =
+        solveSupportableCores(uniform).supportableCores;
+
+    EXPECT_GE(best.throughput, static_cast<double>(all_big));
+    EXPECT_LE(best.traffic, scenario.trafficBudget + 1e-9);
+    EXPECT_GE(best.cacheCeas, 0.0);
+}
+
+TEST(HeterogeneousTest, SolverRespectsBudgetTightly)
+{
+    HeterogeneousScenario scenario;
+    scenario.totalCeas = 64.0;
+    const HeterogeneousResult best = solveHeterogeneous(scenario);
+    ASSERT_GT(best.bigCores + best.littleCores, 0);
+    // Adding one more little core must break the budget (otherwise
+    // the solver was not maximal), unless the die is full.
+    const double little_area = scenario.little.areaCeas;
+    const double used = best.bigCores * scenario.big.areaCeas +
+        best.littleCores * little_area;
+    if (used + little_area <= scenario.totalCeas) {
+        EXPECT_GT(heterogeneousTraffic(
+                      scenario, best.bigCores,
+                      best.littleCores + 1),
+                  scenario.trafficBudget);
+    }
+}
+
+TEST(HeterogeneousTest, PureLittleWinsWhenLittleIsEfficient)
+{
+    // Little cores at half performance, half traffic, 1/9 area: per
+    // CEA they deliver 4.5x the throughput of big cores, so the
+    // optimal mix under a loose budget uses many of them.
+    HeterogeneousScenario scenario;
+    scenario.totalCeas = 32.0;
+    scenario.trafficBudget = 2.0;
+    const HeterogeneousResult best = solveHeterogeneous(scenario);
+    EXPECT_GT(best.littleCores, best.bigCores);
+}
+
+TEST(HeterogeneousTest, TechniquesComposeWithMixes)
+{
+    HeterogeneousScenario plain;
+    plain.totalCeas = 32.0;
+    HeterogeneousScenario compressed = plain;
+    compressed.techniques = {linkCompression(2.0)};
+    const HeterogeneousResult plain_best = solveHeterogeneous(plain);
+    const HeterogeneousResult compressed_best =
+        solveHeterogeneous(compressed);
+    EXPECT_GT(compressed_best.throughput, plain_best.throughput);
+}
+
+TEST(HeterogeneousTest, RejectsDataSharing)
+{
+    HeterogeneousScenario scenario;
+    scenario.techniques = {dataSharing(0.4)};
+    EXPECT_EXIT(heterogeneousTraffic(scenario, 1.0, 1.0),
+                ::testing::ExitedWithCode(1), "not supported");
+}
+
+
+TEST(SmallerCoresNocTest, InterconnectChargeErodesTheBenefit)
+{
+    // Same 40x-smaller logic, with and without a per-core router
+    // charge: the charge must cost cores.
+    ScalingScenario plain;
+    plain.totalCeas = 32.0;
+    plain.techniques = {smallerCores(1.0 / 40.0)};
+    ScalingScenario with_noc;
+    with_noc.totalCeas = 32.0;
+    with_noc.techniques = {
+        smallerCoresWithInterconnect(1.0 / 40.0, 0.2)};
+    const int plain_cores =
+        solveSupportableCores(plain).supportableCores;
+    const int noc_cores =
+        solveSupportableCores(with_noc).supportableCores;
+    EXPECT_LE(noc_cores, plain_cores);
+    // Zero router area is identical to the plain technique.
+    ScalingScenario zero;
+    zero.totalCeas = 32.0;
+    zero.techniques = {smallerCoresWithInterconnect(1.0 / 40.0, 0.0)};
+    EXPECT_EQ(solveSupportableCores(zero).supportableCores,
+              plain_cores);
+}
+
+TEST(SmallerCoresNocTest, RouterAreaLimitsPlaceableCores)
+{
+    ScalingScenario scenario;
+    scenario.totalCeas = 32.0;
+    scenario.techniques = {
+        smallerCoresWithInterconnect(1.0 / 80.0, 0.5)};
+    // Each core costs ~0.5125 CEAs: at most 62 fit.
+    EXPECT_NEAR(maxPlaceableCores(scenario), 32.0 / 0.5125, 0.5);
+}
+
+TEST(SmallerCoresNocTest, RejectsNegativeRouterArea)
+{
+    EXPECT_EXIT(smallerCoresWithInterconnect(0.1, -0.1),
+                ::testing::ExitedWithCode(1), "non-negative");
+}
+
+} // namespace
+} // namespace bwwall

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Unit tests for the PowerLaw and CmpConfig primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/cmp_config.hh"
+#include "model/power_law.hh"
+
+namespace bwwall {
+namespace {
+
+TEST(PowerLawModelTest, MissRateAtReferenceIsM0)
+{
+    const PowerLaw law(0.5);
+    EXPECT_DOUBLE_EQ(law.missRate(0.1, 1024, 1024), 0.1);
+}
+
+TEST(PowerLawModelTest, Sqrt2Rule)
+{
+    // alpha = 0.5: doubling the cache divides misses by sqrt(2).
+    const PowerLaw law(0.5);
+    const double m1 = law.missRate(0.1, 1024, 2048);
+    EXPECT_NEAR(0.1 / m1, std::sqrt(2.0), 1e-12);
+}
+
+TEST(PowerLawModelTest, TrafficScaleIdentity)
+{
+    const PowerLaw law(0.62);
+    EXPECT_DOUBLE_EQ(law.trafficScale(1.0), 1.0);
+    EXPECT_NEAR(law.trafficScale(4.0), std::pow(4.0, -0.62), 1e-12);
+}
+
+TEST(PowerLawModelTest, CapacityRatioInvertsTrafficScale)
+{
+    const PowerLaw law(0.36);
+    for (double target : {0.25, 0.5, 0.9, 1.5}) {
+        const double ratio = law.capacityRatioForTraffic(target);
+        EXPECT_NEAR(law.trafficScale(ratio), target, 1e-12);
+    }
+}
+
+TEST(PowerLawModelTest, PaperDampeningExample)
+{
+    // Paper Section 6.1: with alpha = 0.9 the cache must grow 2.16x to
+    // halve traffic; with alpha = 0.5 it must grow 4x.
+    EXPECT_NEAR(PowerLaw(0.9).capacityRatioForTraffic(0.5), 2.16,
+                0.01);
+    EXPECT_NEAR(PowerLaw(0.5).capacityRatioForTraffic(0.5), 4.0,
+                1e-9);
+}
+
+TEST(PowerLawModelTest, RejectsNonPositiveAlpha)
+{
+    EXPECT_EXIT(PowerLaw{0.0}, ::testing::ExitedWithCode(1), "alpha");
+    EXPECT_EXIT(PowerLaw{-0.5}, ::testing::ExitedWithCode(1), "alpha");
+}
+
+TEST(CmpConfigTest, Table1Accounting)
+{
+    const CmpConfig config{16.0, 8.0};
+    EXPECT_DOUBLE_EQ(config.cacheCeas(), 8.0);
+    EXPECT_DOUBLE_EQ(config.cachePerCore(), 1.0);
+    EXPECT_DOUBLE_EQ(config.coreAreaFraction(), 0.5);
+}
+
+TEST(CmpConfigTest, BaselineMatchesPaperSection51)
+{
+    const CmpConfig baseline = niagara2Baseline();
+    EXPECT_DOUBLE_EQ(baseline.totalCeas, 16.0);
+    EXPECT_DOUBLE_EQ(baseline.coreCeas, 8.0);
+    EXPECT_DOUBLE_EQ(baseline.cachePerCore(), 1.0);
+    baseline.validate();
+}
+
+TEST(CmpConfigTest, ValidationRejectsOversizedCores)
+{
+    const CmpConfig config{16.0, 17.0};
+    EXPECT_EXIT(config.validate(), ::testing::ExitedWithCode(1),
+                "exceeds");
+}
+
+} // namespace
+} // namespace bwwall

@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Calibration tests: the multi-generation studies must reproduce the
+ * core-count numbers the paper reports in its text and figures.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/scaling_study.hh"
+
+namespace bwwall {
+namespace {
+
+ScalingStudyParams
+paperBase()
+{
+    return ScalingStudyParams{}; // Niagara2-like, alpha 0.5, 4 gens
+}
+
+std::vector<int>
+coresOf(const std::vector<GenerationResult> &results)
+{
+    std::vector<int> cores;
+    for (const GenerationResult &result : results)
+        cores.push_back(result.cores);
+    return cores;
+}
+
+TEST(ScalingStudyTest, IdealScalingDoublesCores)
+{
+    const auto ideal = idealScaling(niagara2Baseline(), 4);
+    EXPECT_EQ(coresOf(ideal), (std::vector<int>{16, 32, 64, 128}));
+    for (const GenerationResult &result : ideal)
+        EXPECT_DOUBLE_EQ(result.coreAreaFraction, 0.5);
+}
+
+TEST(ScalingStudyTest, BaseCaseMatchesPaper)
+{
+    // No techniques: 11 cores next generation, 24 at 16x (paper
+    // abstract and Figure 15's BASE series).
+    const auto base = runScalingStudy(paperBase());
+    EXPECT_EQ(coresOf(base), (std::vector<int>{11, 14, 19, 24}));
+    // "the allocation for caches must grow to 90%".
+    EXPECT_NEAR(base.back().coreAreaFraction, 0.10, 0.01);
+}
+
+TEST(ScalingStudyTest, DramCacheMatchesPaper)
+{
+    // Paper: DRAM caches allow 47 cores in four generations; 18 in
+    // the next generation at 8x density (Figure 5).
+    ScalingStudyParams params = paperBase();
+    params.techniques = {dramCache(8.0)};
+    const auto results = runScalingStudy(params);
+    EXPECT_EQ(results.front().cores, 18);
+    EXPECT_EQ(results.back().cores, 47);
+}
+
+TEST(ScalingStudyTest, LinkCompressionMatchesPaper)
+{
+    // Paper: link compression enables 38 cores at 16x; 16 at 2x.
+    ScalingStudyParams params = paperBase();
+    params.techniques = {linkCompression(2.0)};
+    const auto results = runScalingStudy(params);
+    EXPECT_EQ(results.front().cores, 16);
+    EXPECT_EQ(results.back().cores, 38);
+}
+
+TEST(ScalingStudyTest, CacheCompressionMatchesPaper)
+{
+    // Paper: cache compression enables only 30 at 16x (13 at 2x).
+    ScalingStudyParams params = paperBase();
+    params.techniques = {cacheCompression(2.0)};
+    const auto results = runScalingStudy(params);
+    EXPECT_EQ(results.front().cores, 13);
+    EXPECT_EQ(results.back().cores, 30);
+}
+
+TEST(ScalingStudyTest, DirectBeatsIndirectAtEqualFactor)
+{
+    // The paper's central insight: the -alpha exponent dampens
+    // indirect techniques, so LC(2x) > CC(2x) at every generation.
+    ScalingStudyParams lc = paperBase();
+    lc.techniques = {linkCompression(2.0)};
+    ScalingStudyParams cc = paperBase();
+    cc.techniques = {cacheCompression(2.0)};
+    const auto lc_results = runScalingStudy(lc);
+    const auto cc_results = runScalingStudy(cc);
+    for (std::size_t g = 0; g < lc_results.size(); ++g)
+        EXPECT_GT(lc_results[g].cores, cc_results[g].cores);
+}
+
+TEST(ScalingStudyTest, BandwidthGrowthRaisesCores)
+{
+    ScalingStudyParams params = paperBase();
+    params.bandwidthGrowthPerGeneration = 1.5;
+    const auto results = runScalingStudy(params);
+    // 50% budget growth in the first future generation: 13 cores.
+    EXPECT_EQ(results.front().cores, 13);
+    const auto constant = runScalingStudy(paperBase());
+    for (std::size_t g = 0; g < results.size(); ++g)
+        EXPECT_GT(results[g].cores, constant[g].cores);
+}
+
+TEST(Figure15Test, NineCandlesOrderedAsTable2)
+{
+    const auto candles = figure15Study(paperBase());
+    ASSERT_EQ(candles.size(), 9u);
+    EXPECT_EQ(candles[0].label, "CC");
+    EXPECT_EQ(candles[1].label, "DRAM");
+    EXPECT_EQ(candles[8].label, "SmCl");
+    for (const TechniqueCandle &candle : candles) {
+        ASSERT_EQ(candle.realistic.size(), 4u);
+        for (std::size_t g = 0; g < 4; ++g) {
+            EXPECT_LE(candle.pessimistic[g].cores,
+                      candle.realistic[g].cores)
+                << candle.label;
+            EXPECT_LE(candle.realistic[g].cores,
+                      candle.optimistic[g].cores)
+                << candle.label;
+        }
+    }
+}
+
+TEST(Figure15Test, PaperFigure4CompressionSweep)
+{
+    // Figure 4: compression 1.3/1.7/2.0/2.5/3.0x -> 11/12/13/14/14
+    // cores in the 32-CEA generation.
+    const double ratios[] = {1.3, 1.7, 2.0, 2.5, 3.0};
+    const int expected[] = {11, 12, 13, 14, 14};
+    for (int i = 0; i < 5; ++i) {
+        ScalingScenario scenario;
+        scenario.totalCeas = 32.0;
+        scenario.techniques = {cacheCompression(ratios[i])};
+        EXPECT_EQ(solveSupportableCores(scenario).supportableCores,
+                  expected[i])
+            << "ratio " << ratios[i];
+    }
+}
+
+TEST(Figure15Test, PaperFigure5DramSweep)
+{
+    // Figure 5: DRAM 4x/8x/16x -> 16/18/21 cores (32 CEAs).
+    const double densities[] = {4.0, 8.0, 16.0};
+    const int expected[] = {16, 18, 21};
+    for (int i = 0; i < 3; ++i) {
+        ScalingScenario scenario;
+        scenario.totalCeas = 32.0;
+        scenario.techniques = {dramCache(densities[i])};
+        EXPECT_EQ(solveSupportableCores(scenario).supportableCores,
+                  expected[i]);
+    }
+}
+
+TEST(Figure15Test, PaperFigure6StackedSweep)
+{
+    // Figure 6: 3D SRAM -> 14; 3D DRAM 8x -> 25; 16x -> 32.
+    struct Case
+    {
+        double density;
+        int expected;
+    };
+    for (const Case &c :
+         {Case{1.0, 14}, Case{8.0, 25}, Case{16.0, 32}}) {
+        ScalingScenario scenario;
+        scenario.totalCeas = 32.0;
+        scenario.techniques = {stackedCache(c.density)};
+        EXPECT_EQ(solveSupportableCores(scenario).supportableCores,
+                  c.expected)
+            << "density " << c.density;
+    }
+}
+
+TEST(Figure15Test, PaperFigure7FilterSweep)
+{
+    // Figure 7: 40% unused -> 12 cores (one more than base); 80% ->
+    // 16 (proportional scaling).
+    ScalingScenario scenario;
+    scenario.totalCeas = 32.0;
+    scenario.techniques = {unusedDataFilter(0.4)};
+    EXPECT_EQ(solveSupportableCores(scenario).supportableCores, 12);
+    scenario.techniques = {unusedDataFilter(0.8)};
+    EXPECT_EQ(solveSupportableCores(scenario).supportableCores, 16);
+}
+
+TEST(Figure15Test, PaperFigure8SmallerCoresAsymptote)
+{
+    // Figure 8: even infinitesimal cores cap near 12 — cache per core
+    // only doubles while proportional scaling needs 4x.
+    ScalingScenario scenario;
+    scenario.totalCeas = 32.0;
+    scenario.techniques = {smallerCores(1.0 / 80.0)};
+    const int cores = solveSupportableCores(scenario).supportableCores;
+    EXPECT_GE(cores, 12);
+    EXPECT_LE(cores, 13);
+}
+
+TEST(Figure15Test, PaperFigure11SmallLines)
+{
+    // Figure 11: 40% unused with word-sized lines -> proportional
+    // scaling (16 cores).
+    ScalingScenario scenario;
+    scenario.totalCeas = 32.0;
+    scenario.techniques = {smallCacheLines(0.4)};
+    EXPECT_EQ(solveSupportableCores(scenario).supportableCores, 16);
+}
+
+TEST(Figure15Test, PaperFigure12CacheLinkCompression)
+{
+    // Figure 12: 2x cache+link compression -> 18 cores.
+    ScalingScenario scenario;
+    scenario.totalCeas = 32.0;
+    scenario.techniques = {cacheLinkCompression(2.0)};
+    EXPECT_EQ(solveSupportableCores(scenario).supportableCores, 18);
+}
+
+TEST(Figure16Test, CombinationListMatchesPaperAxis)
+{
+    const auto &combinations = figure16Combinations();
+    ASSERT_EQ(combinations.size(), 15u);
+    EXPECT_EQ(combinations.front().name, "CC + DRAM + 3D");
+    EXPECT_EQ(combinations.back().name,
+              "CC/LC + DRAM + 3D + SmCl");
+}
+
+TEST(Figure16Test, AllCombinedReaches183Cores)
+{
+    // The paper's headline: CC/LC + DRAM + 3D + SmCl at realistic
+    // assumptions supports 183 cores (71% of the die) at 16x.
+    ScalingStudyParams params = paperBase();
+    params.techniques =
+        makeCombination(figure16Combinations().back(),
+                        Assumption::Realistic);
+    const auto results = runScalingStudy(params);
+    EXPECT_EQ(results.back().cores, 183);
+    EXPECT_NEAR(results.back().coreAreaFraction, 0.71, 0.01);
+}
+
+TEST(Figure16Test, SuperProportionalScalingAllGenerations)
+{
+    // The combined techniques exceed IDEAL at every generation.
+    ScalingStudyParams params = paperBase();
+    params.techniques =
+        makeCombination(figure16Combinations().back(),
+                        Assumption::Realistic);
+    const auto combined = runScalingStudy(params);
+    const auto ideal = idealScaling(niagara2Baseline(), 4);
+    for (std::size_t g = 0; g < combined.size(); ++g)
+        EXPECT_GT(combined[g].cores, ideal[g].cores);
+}
+
+TEST(Figure17Test, AlphaSensitivity)
+{
+    // Figure 17: large alpha (0.62) supports roughly twice the cores
+    // of small alpha (0.25) in the base case, and the gap widens with
+    // techniques applied.
+    ScalingStudyParams small_alpha = paperBase();
+    small_alpha.alpha = 0.25;
+    ScalingStudyParams large_alpha = paperBase();
+    large_alpha.alpha = 0.62;
+
+    const auto small_base = runScalingStudy(small_alpha);
+    const auto large_base = runScalingStudy(large_alpha);
+    EXPECT_NEAR(static_cast<double>(large_base.back().cores) /
+                    static_cast<double>(small_base.back().cores),
+                2.0, 0.5);
+
+    small_alpha.techniques = {dramCache(8.0)};
+    large_alpha.techniques = {dramCache(8.0)};
+    const auto small_dram = runScalingStudy(small_alpha);
+    const auto large_dram = runScalingStudy(large_alpha);
+    const int base_gap =
+        large_base.back().cores - small_base.back().cores;
+    const int dram_gap =
+        large_dram.back().cores - small_dram.back().cores;
+    EXPECT_GT(dram_gap, base_gap);
+}
+
+TEST(Table2Test, RowsAndLookup)
+{
+    ASSERT_EQ(table2Assumptions().size(), 9u);
+    EXPECT_EQ(table2Row("DRAM").effectiveness, "High");
+    EXPECT_EQ(table2Row("SmCo").effectiveness, "Low");
+    EXPECT_EQ(table2Row("3D").complexity, "High");
+    EXPECT_EXIT(table2Row("nope"), ::testing::ExitedWithCode(1),
+                "unknown");
+}
+
+TEST(Table2Test, AssumptionNames)
+{
+    EXPECT_EQ(assumptionName(Assumption::Pessimistic), "pessimistic");
+    EXPECT_EQ(assumptionName(Assumption::Realistic), "realistic");
+    EXPECT_EQ(assumptionName(Assumption::Optimistic), "optimistic");
+}
+
+TEST(Table2Test, MakeTechniqueByLabel)
+{
+    const Technique cc =
+        makeTechnique("CC", Assumption::Realistic);
+    EXPECT_DOUBLE_EQ(cc.effects().capacityFactor, 2.0);
+    const Technique lc =
+        makeTechnique("LC", Assumption::Optimistic);
+    EXPECT_NEAR(lc.effects().directFactor, 1.0 / 3.5, 1e-12);
+}
+
+} // namespace
+} // namespace bwwall

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Unit tests for the technique effect parameters and composition.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/technique.hh"
+
+namespace bwwall {
+namespace {
+
+TEST(TechniqueTest, CacheCompressionIsPureCapacity)
+{
+    const Technique technique = cacheCompression(2.0);
+    EXPECT_EQ(technique.label(), "CC");
+    EXPECT_DOUBLE_EQ(technique.effects().capacityFactor, 2.0);
+    EXPECT_DOUBLE_EQ(technique.effects().directFactor, 1.0);
+}
+
+TEST(TechniqueTest, DramCacheIsDensity)
+{
+    const Technique technique = dramCache(8.0);
+    EXPECT_DOUBLE_EQ(technique.effects().cacheDensity, 8.0);
+    EXPECT_DOUBLE_EQ(technique.effects().capacityFactor, 1.0);
+}
+
+TEST(TechniqueTest, StackedCacheAddsOneLayer)
+{
+    const Technique technique = stackedCache(1.0);
+    EXPECT_DOUBLE_EQ(technique.effects().stackedLayers, 1.0);
+    EXPECT_DOUBLE_EQ(technique.effects().stackedDensity, 1.0);
+
+    const Technique dram_layer = stackedCache(8.0);
+    EXPECT_DOUBLE_EQ(dram_layer.effects().stackedDensity, 8.0);
+}
+
+TEST(TechniqueTest, FilterCapacityFromUnusedFraction)
+{
+    // 40% unused words -> 1/(1-0.4) = 1.667x effective capacity.
+    const Technique technique = unusedDataFilter(0.4);
+    EXPECT_NEAR(technique.effects().capacityFactor, 1.0 / 0.6, 1e-12);
+    // 80% unused -> the paper's "5x effective increase".
+    EXPECT_NEAR(unusedDataFilter(0.8).effects().capacityFactor, 5.0,
+                1e-12);
+}
+
+TEST(TechniqueTest, LinkCompressionIsPureDirect)
+{
+    const Technique technique = linkCompression(2.0);
+    EXPECT_DOUBLE_EQ(technique.effects().directFactor, 0.5);
+    EXPECT_DOUBLE_EQ(technique.effects().capacityFactor, 1.0);
+}
+
+TEST(TechniqueTest, SectoredCacheIsPureDirect)
+{
+    const Technique technique = sectoredCache(0.4);
+    EXPECT_DOUBLE_EQ(technique.effects().directFactor, 0.6);
+    EXPECT_DOUBLE_EQ(technique.effects().capacityFactor, 1.0);
+}
+
+TEST(TechniqueTest, SmallLinesAreDual)
+{
+    const Technique technique = smallCacheLines(0.4);
+    EXPECT_NEAR(technique.effects().capacityFactor, 1.0 / 0.6, 1e-12);
+    EXPECT_DOUBLE_EQ(technique.effects().directFactor, 0.6);
+}
+
+TEST(TechniqueTest, CacheLinkCompressionIsDual)
+{
+    const Technique technique = cacheLinkCompression(2.0);
+    EXPECT_DOUBLE_EQ(technique.effects().capacityFactor, 2.0);
+    EXPECT_DOUBLE_EQ(technique.effects().directFactor, 0.5);
+}
+
+TEST(TechniqueTest, SmallerCoresShrinkCoreArea)
+{
+    const Technique technique = smallerCores(1.0 / 40.0);
+    EXPECT_NEAR(technique.effects().coreAreaFraction, 0.025, 1e-12);
+}
+
+TEST(CombineTest, FactorsMultiply)
+{
+    const TechniqueEffects combined = combineEffects(
+        {cacheCompression(2.0), unusedDataFilter(0.4),
+         linkCompression(2.0), sectoredCache(0.5)});
+    EXPECT_NEAR(combined.capacityFactor, 2.0 / 0.6, 1e-12);
+    EXPECT_NEAR(combined.directFactor, 0.25, 1e-12);
+}
+
+TEST(CombineTest, StackedLayerInheritsDramDensity)
+{
+    // Paper composition: DRAM + 3D puts DRAM on both dies.
+    const TechniqueEffects combined =
+        combineEffects({dramCache(8.0), stackedCache(1.0)});
+    EXPECT_DOUBLE_EQ(combined.cacheDensity, 8.0);
+    EXPECT_DOUBLE_EQ(combined.stackedDensity, 8.0);
+    EXPECT_DOUBLE_EQ(combined.stackedLayers, 1.0);
+}
+
+TEST(CombineTest, StandaloneStackKeepsOwnDensity)
+{
+    const TechniqueEffects combined =
+        combineEffects({stackedCache(16.0)});
+    EXPECT_DOUBLE_EQ(combined.cacheDensity, 1.0); // on-die SRAM
+    EXPECT_DOUBLE_EQ(combined.stackedDensity, 16.0);
+}
+
+TEST(CombineTest, EmptySetIsIdentity)
+{
+    const TechniqueEffects combined = combineEffects({});
+    EXPECT_DOUBLE_EQ(combined.capacityFactor, 1.0);
+    EXPECT_DOUBLE_EQ(combined.directFactor, 1.0);
+    EXPECT_DOUBLE_EQ(combined.cacheDensity, 1.0);
+    EXPECT_DOUBLE_EQ(combined.stackedLayers, 0.0);
+    EXPECT_DOUBLE_EQ(combined.coreAreaFraction, 1.0);
+    EXPECT_LT(combined.sharedFraction, 0.0);
+}
+
+TEST(CombineTest, PaperCombinedCapacityClaim)
+{
+    // Paper Section 6.4: "3D-stacked DRAM cache, cache compression,
+    // and small cache lines can increase the effective cache capacity
+    // by 53x" — 8 (DRAM) * 2 (CC) * 1.667 (SmCl) * 2 (extra die).
+    const TechniqueEffects combined = combineEffects(
+        {cacheLinkCompression(2.0), dramCache(8.0), stackedCache(1.0),
+         smallCacheLines(0.4)});
+    const double capacity_gain = combined.cacheDensity *
+        combined.capacityFactor * 2.0; // 2 = both dies vs one
+    EXPECT_NEAR(capacity_gain, 53.3, 0.5);
+    // "link compression and small cache lines alone can directly
+    // reduce memory traffic by 70%".
+    EXPECT_NEAR(combined.directFactor, 0.3, 1e-9);
+}
+
+TEST(CombineTest, RejectsTwoSharingTechniques)
+{
+    EXPECT_EXIT(combineEffects({dataSharing(0.3), dataSharing(0.4)}),
+                ::testing::ExitedWithCode(1), "data-sharing");
+}
+
+TEST(TechniqueTest, RejectsInvalidParameters)
+{
+    EXPECT_EXIT(cacheCompression(0.9), ::testing::ExitedWithCode(1),
+                "ratio");
+    EXPECT_EXIT(unusedDataFilter(1.0), ::testing::ExitedWithCode(1),
+                "fraction");
+    EXPECT_EXIT(smallerCores(0.0), ::testing::ExitedWithCode(1),
+                "area fraction");
+    EXPECT_EXIT(dataSharing(1.5), ::testing::ExitedWithCode(1),
+                "fraction");
+}
+
+} // namespace
+} // namespace bwwall

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for the throughput-oriented allocation extension.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/throughput.hh"
+
+namespace bwwall {
+namespace {
+
+TEST(CorePerformanceTest, BaselineIsUnity)
+{
+    const ThroughputModelParams params;
+    EXPECT_DOUBLE_EQ(relativeCorePerformance(params, 0.5, 1.0), 1.0);
+}
+
+TEST(CorePerformanceTest, MoreCacheFasterCore)
+{
+    const ThroughputModelParams params;
+    const double at1 = relativeCorePerformance(params, 0.5, 1.0);
+    const double at4 = relativeCorePerformance(params, 0.5, 4.0);
+    const double at_quarter =
+        relativeCorePerformance(params, 0.5, 0.25);
+    EXPECT_GT(at4, at1);
+    EXPECT_LT(at_quarter, at1);
+}
+
+TEST(CorePerformanceTest, BoundedByComputeLimit)
+{
+    // Infinite cache removes all stalls: speedup = 1/(1-k).
+    ThroughputModelParams params;
+    params.memoryStallShare = 0.3;
+    const double limit = 1.0 / 0.7;
+    EXPECT_LT(relativeCorePerformance(params, 0.5, 1e9), limit);
+    EXPECT_NEAR(relativeCorePerformance(params, 0.5, 1e9), limit,
+                0.01);
+}
+
+TEST(CorePerformanceTest, ZeroStallShareIsFlat)
+{
+    ThroughputModelParams params;
+    params.memoryStallShare = 0.0;
+    EXPECT_DOUBLE_EQ(relativeCorePerformance(params, 0.5, 0.1), 1.0);
+    EXPECT_DOUBLE_EQ(relativeCorePerformance(params, 0.5, 10.0), 1.0);
+}
+
+TEST(ThroughputSolverTest, ConstrainedNeverExceedsUnconstrained)
+{
+    ScalingScenario scenario;
+    scenario.totalCeas = 256.0;
+    const ThroughputModelParams params;
+    const auto constrained =
+        solveThroughputOptimal(scenario, params);
+    const auto unconstrained =
+        solveThroughputUnconstrained(scenario, params);
+    EXPECT_LE(constrained.throughput,
+              unconstrained.throughput + 1e-12);
+    EXPECT_LE(constrained.cores, unconstrained.cores);
+    EXPECT_LE(constrained.traffic, scenario.trafficBudget + 1e-12);
+}
+
+TEST(ThroughputSolverTest, WallIsBindingAtConstantBudget)
+{
+    // At 16x with a constant envelope the budget, not the perf
+    // curve, limits the design.
+    ScalingScenario scenario;
+    scenario.totalCeas = 256.0;
+    const auto result = solveThroughputOptimal(
+        scenario, ThroughputModelParams{});
+    EXPECT_TRUE(result.bandwidthLimited);
+    // Core-count-maximal and throughput-maximal coincide when the
+    // wall binds.
+    EXPECT_EQ(result.cores,
+              solveSupportableCores(scenario).supportableCores);
+}
+
+TEST(ThroughputSolverTest, UnconstrainedHasInteriorOptimum)
+{
+    // Without a budget the optimum is far below the die capacity:
+    // the last cores cost more in per-core slowdown than they add.
+    ScalingScenario scenario;
+    scenario.totalCeas = 64.0;
+    ThroughputModelParams params;
+    params.memoryStallShare = 0.5; // strongly memory-bound workload
+    const auto result =
+        solveThroughputUnconstrained(scenario, params);
+    EXPECT_GT(result.cores, 0);
+    EXPECT_LT(result.cores, 63);
+}
+
+TEST(ThroughputSolverTest, TechniquesRaiseConstrainedThroughput)
+{
+    ScalingScenario plain;
+    plain.totalCeas = 256.0;
+    ScalingScenario boosted = plain;
+    boosted.techniques = {cacheLinkCompression(2.0), dramCache(8.0)};
+    const ThroughputModelParams params;
+    EXPECT_GT(solveThroughputOptimal(boosted, params).throughput,
+              solveThroughputOptimal(plain, params).throughput);
+}
+
+TEST(ThroughputSolverTest, RejectsBadStallShare)
+{
+    ThroughputModelParams params;
+    params.memoryStallShare = 1.0;
+    EXPECT_EXIT(relativeCorePerformance(params, 0.5, 1.0),
+                ::testing::ExitedWithCode(1), "stall share");
+}
+
+} // namespace
+} // namespace bwwall

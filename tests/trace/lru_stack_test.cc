@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Unit tests for the order-statistic LRU stack, including a randomized
+ * cross-check against a naive list-based reference.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <list>
+
+#include "trace/lru_stack.hh"
+#include "util/rng.hh"
+
+namespace bwwall {
+namespace {
+
+TEST(LruStackTest, PushAndContains)
+{
+    LruStack stack;
+    EXPECT_TRUE(stack.empty());
+    stack.push(10);
+    stack.push(20);
+    EXPECT_EQ(stack.size(), 2u);
+    EXPECT_TRUE(stack.contains(10));
+    EXPECT_TRUE(stack.contains(20));
+    EXPECT_FALSE(stack.contains(30));
+}
+
+TEST(LruStackTest, TouchReportsDepthAndPromotes)
+{
+    LruStack stack;
+    stack.push(1); // depth 3 after the next pushes
+    stack.push(2);
+    stack.push(3); // most recent, depth 1
+    EXPECT_EQ(stack.touch(3), 1u);
+    EXPECT_EQ(stack.touch(1), 3u); // was deepest
+    EXPECT_EQ(stack.touch(1), 1u); // now on top
+    EXPECT_EQ(stack.touch(2), 3u); // pushed down by the promotions
+}
+
+TEST(LruStackTest, TouchMissingReturnsNotFound)
+{
+    LruStack stack;
+    stack.push(5);
+    EXPECT_EQ(stack.touch(99), LruStack::kNotFound);
+    EXPECT_EQ(stack.size(), 1u);
+}
+
+TEST(LruStackTest, TouchAtDepthReturnsExpectedLine)
+{
+    LruStack stack;
+    for (std::uint64_t line = 0; line < 5; ++line)
+        stack.push(line);
+    // Depth 1 is the most recent push (4), depth 5 the oldest (0).
+    EXPECT_EQ(stack.peekAtDepth(1), 4u);
+    EXPECT_EQ(stack.peekAtDepth(5), 0u);
+    EXPECT_EQ(stack.touchAtDepth(3), 2u);
+    EXPECT_EQ(stack.peekAtDepth(1), 2u); // promoted
+}
+
+TEST(LruStackTest, PopLruRemovesOldest)
+{
+    LruStack stack;
+    stack.push(1);
+    stack.push(2);
+    stack.push(3);
+    stack.touch(1); // order now (MRU) 1, 3, 2 (LRU)
+    EXPECT_EQ(stack.popLru(), 2u);
+    EXPECT_EQ(stack.popLru(), 3u);
+    EXPECT_EQ(stack.popLru(), 1u);
+    EXPECT_TRUE(stack.empty());
+}
+
+TEST(LruStackTest, ClearEmptiesStack)
+{
+    LruStack stack;
+    stack.push(1);
+    stack.push(2);
+    stack.clear();
+    EXPECT_TRUE(stack.empty());
+    EXPECT_FALSE(stack.contains(1));
+    stack.push(1); // reusable after clear
+    EXPECT_EQ(stack.size(), 1u);
+}
+
+TEST(LruStackTest, CompactionPreservesOrder)
+{
+    // Small capacity hint forces many compactions.
+    LruStack stack(16);
+    for (std::uint64_t line = 0; line < 64; ++line)
+        stack.push(line);
+    // Touch lines heavily to consume time slots; 2048 is a multiple
+    // of 64 so the final round ends on line 63.
+    for (int round = 0; round < 2048; ++round)
+        stack.touch(static_cast<std::uint64_t>(round % 64));
+    // After round-robin touching 0..63 repeatedly, the final order is
+    // ascending recency in round order: line 63 last touched.
+    EXPECT_EQ(stack.peekAtDepth(1), 63u);
+    EXPECT_EQ(stack.peekAtDepth(64), 0u);
+    EXPECT_EQ(stack.size(), 64u);
+}
+
+TEST(LruStackTest, RandomizedAgainstListReference)
+{
+    LruStack stack(8);
+    std::list<std::uint64_t> reference; // front = MRU
+    Rng rng(1234);
+
+    for (int step = 0; step < 20000; ++step) {
+        const int op = static_cast<int>(rng.nextBounded(4));
+        if (op == 0 || reference.empty()) {
+            // Push a fresh line.
+            const std::uint64_t line = 1000000u + static_cast<std::uint64_t>(step);
+            stack.push(line);
+            reference.push_front(line);
+        } else if (op == 1) {
+            // Touch an existing line chosen at random.
+            auto it = reference.begin();
+            std::advance(it, static_cast<long>(
+                rng.nextBounded(reference.size())));
+            const std::uint64_t line = *it;
+            const std::size_t expected_depth = static_cast<std::size_t>(
+                std::distance(reference.begin(), it)) + 1;
+            ASSERT_EQ(stack.touch(line), expected_depth);
+            reference.erase(it);
+            reference.push_front(line);
+        } else if (op == 2) {
+            // Touch by depth.
+            const std::size_t depth = static_cast<std::size_t>(
+                rng.nextBounded(reference.size())) + 1;
+            auto it = reference.begin();
+            std::advance(it, static_cast<long>(depth - 1));
+            const std::uint64_t expected_line = *it;
+            ASSERT_EQ(stack.touchAtDepth(depth), expected_line);
+            reference.erase(it);
+            reference.push_front(expected_line);
+        } else {
+            ASSERT_EQ(stack.popLru(), reference.back());
+            reference.pop_back();
+        }
+        ASSERT_EQ(stack.size(), reference.size());
+    }
+}
+
+} // namespace
+} // namespace bwwall

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Tests for the power-law trace generator — most importantly the
+ * property that the generated stream's LRU miss curve really follows
+ * C^-alpha with the configured exponent.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "trace/power_law_trace.hh"
+#include "trace/reuse_analyzer.hh"
+#include "util/linear_fit.hh"
+
+namespace bwwall {
+namespace {
+
+PowerLawTraceParams
+baseParams(double alpha)
+{
+    PowerLawTraceParams params;
+    params.alpha = alpha;
+    params.seed = 42;
+    params.maxResidentLines = 1 << 18;
+    params.warmLines = 1 << 17; // deeper than any capacity probed here
+    return params;
+}
+
+TEST(PowerLawTraceTest, DeterministicReplayAfterReset)
+{
+    PowerLawTrace trace(baseParams(0.5));
+    std::vector<MemoryAccess> first;
+    for (int i = 0; i < 2000; ++i)
+        first.push_back(trace.next());
+    trace.reset();
+    for (int i = 0; i < 2000; ++i) {
+        const MemoryAccess access = trace.next();
+        EXPECT_EQ(access.address, first[static_cast<std::size_t>(i)].address);
+        EXPECT_EQ(access.type, first[static_cast<std::size_t>(i)].type);
+    }
+}
+
+TEST(PowerLawTraceTest, AddressesAreLineAlignedWords)
+{
+    PowerLawTraceParams params = baseParams(0.5);
+    params.lineBytes = 64;
+    params.wordBytes = 8;
+    PowerLawTrace trace(params);
+    for (int i = 0; i < 5000; ++i) {
+        const MemoryAccess access = trace.next();
+        EXPECT_EQ(access.address % 8, 0u);
+    }
+}
+
+TEST(PowerLawTraceTest, ThreadIdPropagated)
+{
+    PowerLawTraceParams params = baseParams(0.5);
+    params.thread = 7;
+    PowerLawTrace trace(params);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(trace.next().thread, 7u);
+}
+
+TEST(PowerLawTraceTest, WriteFractionMatchesConfiguration)
+{
+    PowerLawTraceParams params = baseParams(0.5);
+    params.writeLineFraction = 0.3;
+    PowerLawTrace trace(params);
+    int writes = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        writes += isWrite(trace.next());
+    // Store lines are hotter or colder at random; tolerance is loose.
+    EXPECT_NEAR(static_cast<double>(writes) / n, 0.3, 0.05);
+}
+
+TEST(PowerLawTraceTest, StoreBehaviourIsPerLineStable)
+{
+    PowerLawTraceParams params = baseParams(0.5);
+    params.writeLineFraction = 0.4;
+    PowerLawTrace trace(params);
+    for (std::uint64_t line = 0; line < 200; ++line) {
+        const bool store = trace.isStoreLine(line);
+        EXPECT_EQ(trace.isStoreLine(line), store); // deterministic
+    }
+}
+
+TEST(PowerLawTraceTest, DistinctLineIdsGetDistinctAddresses)
+{
+    PowerLawTrace trace(baseParams(0.5));
+    std::set<Address> seen;
+    for (std::uint64_t line = 0; line < 10000; ++line)
+        EXPECT_TRUE(seen.insert(trace.lineAddress(line)).second);
+}
+
+TEST(PowerLawTraceTest, FullFootprintWhenFractionIsOne)
+{
+    PowerLawTraceParams params = baseParams(0.5);
+    params.usedWordFraction = 1.0;
+    PowerLawTrace trace(params);
+    for (std::uint64_t line = 0; line < 50; ++line)
+        EXPECT_EQ(trace.footprintWords(line), 8u);
+}
+
+TEST(PowerLawTraceTest, FootprintMeanMatchesFraction)
+{
+    PowerLawTraceParams params = baseParams(0.5);
+    params.usedWordFraction = 0.6;
+    PowerLawTrace trace(params);
+    double total = 0.0;
+    const int lines = 20000;
+    for (std::uint64_t line = 0; line < lines; ++line)
+        total += trace.footprintWords(line);
+    EXPECT_NEAR(total / lines / 8.0, 0.6, 0.02);
+}
+
+TEST(PowerLawTraceTest, FootprintLimitsWordsTouched)
+{
+    PowerLawTraceParams params = baseParams(0.5);
+    params.usedWordFraction = 0.25; // 2 of 8 words
+    params.warmLines = 64;
+    params.maxResidentLines = 64; // tiny so lines repeat often
+    PowerLawTrace trace(params);
+
+    std::map<Address, std::set<Address>> words_touched;
+    std::map<Address, int> touch_count;
+    for (int i = 0; i < 200000; ++i) {
+        const MemoryAccess access = trace.next();
+        const Address line = access.address & ~Address{63};
+        words_touched[line].insert(access.address);
+        ++touch_count[line];
+    }
+    // Every line's footprint is exactly 2 of its 8 words.
+    for (const auto &[line, words] : words_touched)
+        EXPECT_LE(words.size(), 2u);
+    // Heavily-reused lines must have exercised their full footprint.
+    double total_words = 0.0;
+    std::size_t hot_lines = 0;
+    for (const auto &[line, words] : words_touched) {
+        if (touch_count[line] >= 20) {
+            total_words += static_cast<double>(words.size());
+            ++hot_lines;
+        }
+    }
+    ASSERT_GT(hot_lines, 0u);
+    EXPECT_NEAR(total_words / static_cast<double>(hot_lines), 2.0, 0.1);
+}
+
+/**
+ * Property test over the paper's alpha range: the fully-associative
+ * LRU miss curve of a generated trace must have slope -alpha in
+ * log-log space.
+ */
+class PowerLawAlphaRecoveryTest : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(PowerLawAlphaRecoveryTest, MissCurveSlopeMatchesAlpha)
+{
+    const double alpha = GetParam();
+    PowerLawTraceParams params = baseParams(alpha);
+    params.usedWordFraction = 1.0;
+    PowerLawTrace trace(params);
+
+    ReuseDistanceAnalyzer analyzer(params.lineBytes);
+    // Warm the profiler through the same stream, then measure.  The
+    // fit stops at 4096 lines: capacities must stay well below the
+    // set of lines the warm window can have established, or
+    // first-sight accesses masquerade as compulsory misses and bend
+    // the top of the curve (see resetCounters()).
+    const int warmup = 400000;
+    const int measured = 1200000;
+    for (int i = 0; i < warmup; ++i)
+        analyzer.observe(trace.next());
+    analyzer.resetCounters();
+    for (int i = 0; i < measured; ++i)
+        analyzer.observe(trace.next());
+
+    std::vector<double> capacities, miss_rates;
+    for (std::size_t lines = 128; lines <= 4096; lines *= 2) {
+        capacities.push_back(static_cast<double>(lines));
+        miss_rates.push_back(analyzer.missRateAtCapacity(lines));
+    }
+    const PowerLawFit fit = fitPowerLaw(capacities, miss_rates);
+    EXPECT_NEAR(-fit.exponent, alpha, 0.05)
+        << "fitted alpha diverges from configured alpha";
+    EXPECT_GT(fit.rSquared, 0.98);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperAlphaRange, PowerLawAlphaRecoveryTest,
+                         ::testing::Values(0.25, 0.36, 0.48, 0.62));
+
+TEST(PowerLawTraceTest, ColdMissFloorRaisesMissRate)
+{
+    PowerLawTraceParams params = baseParams(0.5);
+    params.coldMissProbability = 0.05;
+    PowerLawTrace trace(params);
+    ReuseDistanceAnalyzer analyzer(params.lineBytes);
+    for (int i = 0; i < 300000; ++i)
+        analyzer.observe(trace.next());
+    // At a huge capacity only compulsory misses remain; they must be
+    // at least the configured floor.
+    EXPECT_GE(analyzer.missRateAtCapacity(1 << 20), 0.04);
+}
+
+TEST(PowerLawTraceTest, RejectsInvalidParameters)
+{
+    PowerLawTraceParams bad = baseParams(0.5);
+    bad.alpha = 0.0;
+    EXPECT_EXIT(PowerLawTrace{bad}, ::testing::ExitedWithCode(1),
+                "alpha");
+
+    bad = baseParams(0.5);
+    bad.lineBytes = 48;
+    EXPECT_EXIT(PowerLawTrace{bad}, ::testing::ExitedWithCode(1),
+                "powers of two");
+
+    bad = baseParams(0.5);
+    bad.usedWordFraction = 0.0;
+    EXPECT_EXIT(PowerLawTrace{bad}, ::testing::ExitedWithCode(1),
+                "usedWordFraction");
+}
+
+} // namespace
+} // namespace bwwall

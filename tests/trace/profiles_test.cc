@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for the named workload profiles (the Figure 1 suite).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "trace/profiles.hh"
+#include "trace/reuse_analyzer.hh"
+#include "util/linear_fit.hh"
+
+namespace bwwall {
+namespace {
+
+TEST(ProfilesTest, SevenCommercialProfiles)
+{
+    const auto &profiles = commercialProfiles();
+    ASSERT_EQ(profiles.size(), 7u);
+    std::set<std::string> names;
+    for (const auto &profile : profiles)
+        names.insert(profile.name);
+    EXPECT_EQ(names.size(), 7u);
+    EXPECT_TRUE(names.count("OLTP-2"));
+    EXPECT_TRUE(names.count("SPECjbb-linux"));
+}
+
+TEST(ProfilesTest, PaperFittedExtremes)
+{
+    // The paper reports OLTP-2 as the smallest commercial alpha (0.36)
+    // and OLTP-4 as the largest (0.62).
+    double min_alpha = 1.0, max_alpha = 0.0;
+    std::string min_name, max_name;
+    for (const auto &profile : commercialProfiles()) {
+        if (profile.alpha < min_alpha) {
+            min_alpha = profile.alpha;
+            min_name = profile.name;
+        }
+        if (profile.alpha > max_alpha) {
+            max_alpha = profile.alpha;
+            max_name = profile.name;
+        }
+    }
+    EXPECT_EQ(min_name, "OLTP-2");
+    EXPECT_DOUBLE_EQ(min_alpha, 0.36);
+    EXPECT_EQ(max_name, "OLTP-4");
+    EXPECT_DOUBLE_EQ(max_alpha, 0.62);
+}
+
+TEST(ProfilesTest, CommercialAverageNearPaperValue)
+{
+    // Mean of the individual commercial alphas should sit near the
+    // paper's fitted average of 0.48.
+    double total = 0.0;
+    for (const auto &profile : commercialProfiles())
+        total += profile.alpha;
+    const double mean = total / 7.0;
+    EXPECT_NEAR(mean, 0.48, 0.02);
+    EXPECT_DOUBLE_EQ(commercialAverageProfile().alpha, 0.48);
+}
+
+TEST(ProfilesTest, Spec2006AverageAlpha)
+{
+    EXPECT_DOUBLE_EQ(spec2006AverageProfile().alpha, 0.25);
+}
+
+TEST(ProfilesTest, Figure1SuiteHasNineSeries)
+{
+    EXPECT_EQ(figure1Profiles().size(), 9u);
+}
+
+TEST(ProfilesTest, TraceBuilderHonoursLineSize)
+{
+    const auto spec = commercialAverageProfile();
+    auto trace = makeProfileTrace(spec, 1, 128);
+    ASSERT_NE(trace, nullptr);
+    EXPECT_EQ(trace->name(), "Commercial-AVG");
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(trace->next().address % 8, 0u);
+}
+
+TEST(ProfilesTest, GeneratedTraceMatchesProfileAlpha)
+{
+    const WorkloadProfileSpec spec{"probe", 0.4, 0.3, 1.0};
+    auto trace = makeProfileTrace(spec, 77);
+    ReuseDistanceAnalyzer analyzer(64);
+    for (int i = 0; i < 300000; ++i)
+        analyzer.observe(trace->next());
+    analyzer.resetCounters(); // warmed; measure steady state
+    for (int i = 0; i < 900000; ++i)
+        analyzer.observe(trace->next());
+
+    std::vector<double> capacities, rates;
+    for (std::size_t lines = 256; lines <= 4096; lines *= 2) {
+        capacities.push_back(static_cast<double>(lines));
+        rates.push_back(analyzer.missRateAtCapacity(lines));
+    }
+    const PowerLawFit fit = fitPowerLaw(capacities, rates);
+    EXPECT_NEAR(-fit.exponent, 0.4, 0.06);
+}
+
+TEST(ProfilesTest, DiscreteAppsHaveDistinctFootprints)
+{
+    const auto apps = specDiscreteAppParams(3);
+    ASSERT_EQ(apps.size(), 3u);
+    std::set<std::string> labels;
+    for (const auto &app : apps) {
+        labels.insert(app.label);
+        EXPECT_FALSE(app.regions.empty());
+    }
+    EXPECT_EQ(labels.size(), 3u);
+}
+
+} // namespace
+} // namespace bwwall

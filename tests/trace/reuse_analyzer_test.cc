@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Unit tests for the Mattson stack-distance profiler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/reuse_analyzer.hh"
+
+namespace bwwall {
+namespace {
+
+MemoryAccess
+read(Address address)
+{
+    return MemoryAccess{address, AccessType::Read, 0};
+}
+
+TEST(ReuseAnalyzerTest, ColdAccessesCounted)
+{
+    ReuseDistanceAnalyzer analyzer(64);
+    analyzer.observe(read(0));
+    analyzer.observe(read(64));
+    analyzer.observe(read(128));
+    EXPECT_EQ(analyzer.accessCount(), 3u);
+    EXPECT_EQ(analyzer.coldAccesses(), 3u);
+}
+
+TEST(ReuseAnalyzerTest, SameLineDistanceOne)
+{
+    ReuseDistanceAnalyzer analyzer(64);
+    analyzer.observe(read(0));
+    analyzer.observe(read(8)); // same 64-byte line
+    EXPECT_EQ(analyzer.coldAccesses(), 1u);
+    EXPECT_EQ(analyzer.distanceCount(1), 1u);
+}
+
+TEST(ReuseAnalyzerTest, KnownDistanceSequence)
+{
+    ReuseDistanceAnalyzer analyzer(64);
+    // Touch lines A B C, then A again: distance 3.
+    analyzer.observe(read(0));
+    analyzer.observe(read(64));
+    analyzer.observe(read(128));
+    analyzer.observe(read(0));
+    EXPECT_EQ(analyzer.distanceCount(3), 1u);
+    // Then B: distance 3 again (order after A-touch: A C B).
+    analyzer.observe(read(64));
+    EXPECT_EQ(analyzer.distanceCount(3), 2u);
+}
+
+TEST(ReuseAnalyzerTest, MissRateMatchesMattson)
+{
+    ReuseDistanceAnalyzer analyzer(64);
+    // Cyclic sweep over 4 lines, 10 rounds: every reuse has distance 4.
+    for (int round = 0; round < 10; ++round)
+        for (Address line = 0; line < 4; ++line)
+            analyzer.observe(read(line * 64));
+    EXPECT_EQ(analyzer.accessCount(), 40u);
+    EXPECT_EQ(analyzer.coldAccesses(), 4u);
+    // Capacity 4 lines: only the 4 cold misses. Capacity 3: all miss.
+    EXPECT_DOUBLE_EQ(analyzer.missRateAtCapacity(4), 0.1);
+    EXPECT_DOUBLE_EQ(analyzer.missRateAtCapacity(3), 1.0);
+    EXPECT_DOUBLE_EQ(analyzer.missRateAtCapacity(100), 0.1);
+}
+
+TEST(ReuseAnalyzerTest, MissRateMonotoneInCapacity)
+{
+    ReuseDistanceAnalyzer analyzer(64);
+    for (Address a = 0; a < 5000; ++a)
+        analyzer.observe(read((a * 7919) % 1024 * 64));
+    double previous = 1.0;
+    for (std::size_t capacity = 1; capacity <= 2048; capacity *= 2) {
+        const double rate = analyzer.missRateAtCapacity(capacity);
+        EXPECT_LE(rate, previous + 1e-12);
+        previous = rate;
+    }
+}
+
+TEST(ReuseAnalyzerTest, MaxObservedDistance)
+{
+    ReuseDistanceAnalyzer analyzer(64);
+    analyzer.observe(read(0));
+    analyzer.observe(read(64));
+    analyzer.observe(read(128));
+    analyzer.observe(read(0)); // distance 3
+    EXPECT_EQ(analyzer.maxObservedDistance(), 3u);
+}
+
+TEST(ReuseAnalyzerTest, ResetClearsState)
+{
+    ReuseDistanceAnalyzer analyzer(64);
+    analyzer.observe(read(0));
+    analyzer.observe(read(0));
+    analyzer.reset();
+    EXPECT_EQ(analyzer.accessCount(), 0u);
+    EXPECT_EQ(analyzer.coldAccesses(), 0u);
+    EXPECT_EQ(analyzer.distanceCount(1), 0u);
+}
+
+TEST(ReuseAnalyzerTest, TrackingHorizonLumpsDeepReuse)
+{
+    ReuseDistanceAnalyzer analyzer(64, 8);
+    // Touch 20 distinct lines, then the first again: its distance
+    // exceeds the horizon of 8 and must count as compulsory.
+    for (Address line = 0; line < 20; ++line)
+        analyzer.observe(read(line * 64));
+    analyzer.observe(read(0));
+    EXPECT_EQ(analyzer.coldAccesses(), 21u);
+}
+
+TEST(ReuseAnalyzerTest, LineGranularityRespected)
+{
+    ReuseDistanceAnalyzer analyzer(128);
+    analyzer.observe(read(0));
+    analyzer.observe(read(127)); // same 128-byte line
+    analyzer.observe(read(128)); // next line
+    EXPECT_EQ(analyzer.coldAccesses(), 2u);
+    EXPECT_EQ(analyzer.distanceCount(1), 1u);
+}
+
+} // namespace
+} // namespace bwwall

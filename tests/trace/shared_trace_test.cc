@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for the multithreaded shared/private workload generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "trace/shared_trace.hh"
+
+namespace bwwall {
+namespace {
+
+SharedWorkloadTraceParams
+baseParams(unsigned threads)
+{
+    SharedWorkloadTraceParams params;
+    params.threads = threads;
+    params.sharedLines = 4096;
+    params.sharedAccessFraction = 0.3;
+    params.privateMaxResidentLines = 1 << 14;
+    params.seed = 9;
+    return params;
+}
+
+TEST(SharedTraceTest, ThreadsInterleaveRoundRobin)
+{
+    SharedWorkloadTrace trace(baseParams(4));
+    for (int i = 0; i < 100; ++i) {
+        const MemoryAccess access = trace.next();
+        EXPECT_EQ(access.thread, static_cast<ThreadId>(i % 4));
+    }
+}
+
+TEST(SharedTraceTest, SharedFractionMatchesConfiguration)
+{
+    SharedWorkloadTrace trace(baseParams(8));
+    int shared = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        shared += trace.isSharedAddress(trace.next().address);
+    EXPECT_NEAR(static_cast<double>(shared) / n, 0.3, 0.01);
+}
+
+TEST(SharedTraceTest, SharedAddressesCommonAcrossThreads)
+{
+    SharedWorkloadTrace trace(baseParams(4));
+    // Collect shared lines per thread; heavy Zipf head means the top
+    // lines appear for every thread.
+    std::vector<std::set<Address>> per_thread(4);
+    for (int i = 0; i < 200000; ++i) {
+        const MemoryAccess access = trace.next();
+        if (trace.isSharedAddress(access.address))
+            per_thread[access.thread].insert(access.address & ~Address{63});
+    }
+    // Intersection of all four sets must be substantial.
+    std::set<Address> common = per_thread[0];
+    for (unsigned t = 1; t < 4; ++t) {
+        std::set<Address> next;
+        for (Address a : common)
+            if (per_thread[t].count(a))
+                next.insert(a);
+        common.swap(next);
+    }
+    EXPECT_GT(common.size(), 100u);
+}
+
+TEST(SharedTraceTest, PrivateAddressesAreThreadLocal)
+{
+    SharedWorkloadTrace trace(baseParams(4));
+    std::vector<std::set<Address>> per_thread(4);
+    for (int i = 0; i < 100000; ++i) {
+        const MemoryAccess access = trace.next();
+        if (!trace.isSharedAddress(access.address))
+            per_thread[access.thread].insert(access.address & ~Address{63});
+    }
+    // Private working sets of distinct threads must be disjoint (the
+    // per-thread address scrambles are independent).
+    for (unsigned a = 0; a < 4; ++a) {
+        for (unsigned b = a + 1; b < 4; ++b) {
+            std::size_t overlap = 0;
+            for (Address address : per_thread[a])
+                overlap += per_thread[b].count(address);
+            EXPECT_EQ(overlap, 0u) << "threads " << a << " and " << b;
+        }
+    }
+}
+
+TEST(SharedTraceTest, DeterministicReplayAfterReset)
+{
+    SharedWorkloadTrace trace(baseParams(2));
+    std::vector<Address> first;
+    for (int i = 0; i < 2000; ++i)
+        first.push_back(trace.next().address);
+    trace.reset();
+    for (int i = 0; i < 2000; ++i)
+        EXPECT_EQ(trace.next().address,
+                  first[static_cast<std::size_t>(i)]);
+}
+
+TEST(SharedTraceTest, ZeroSharedFractionHasNoSharedAccesses)
+{
+    SharedWorkloadTraceParams params = baseParams(2);
+    params.sharedAccessFraction = 0.0;
+    SharedWorkloadTrace trace(params);
+    for (int i = 0; i < 20000; ++i)
+        EXPECT_FALSE(trace.isSharedAddress(trace.next().address));
+}
+
+TEST(SharedTraceTest, RejectsZeroThreads)
+{
+    SharedWorkloadTraceParams params = baseParams(1);
+    params.threads = 0;
+    EXPECT_EXIT(SharedWorkloadTrace{params},
+                ::testing::ExitedWithCode(1), "at least one thread");
+}
+
+} // namespace
+} // namespace bwwall

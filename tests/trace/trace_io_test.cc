@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Tests for trace recording and replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "trace/power_law_trace.hh"
+#include "trace/trace_io.hh"
+
+namespace bwwall {
+namespace {
+
+/** Temp-file fixture that cleans up after itself. */
+class TraceIoTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path_ = ::testing::TempDir() + "bwwall_trace_" +
+            std::to_string(reinterpret_cast<std::uintptr_t>(this)) +
+            ".bwtr";
+    }
+
+    void TearDown() override { std::remove(path_.c_str()); }
+
+    std::string path_;
+};
+
+TEST_F(TraceIoTest, RoundTripPreservesRecords)
+{
+    std::vector<MemoryAccess> accesses = {
+        {0x1000, AccessType::Read, 0},
+        {0x2040, AccessType::Write, 3},
+        {0xFFFFFFFFFFFFFFC0ULL, AccessType::Read, 65535},
+    };
+    {
+        TraceWriter writer(path_, 128);
+        writer.writeAll(accesses);
+        EXPECT_EQ(writer.recordsWritten(), 3u);
+    }
+
+    FileTraceSource source(path_, false);
+    EXPECT_EQ(source.size(), 3u);
+    EXPECT_EQ(source.lineBytesHint(), 128u);
+    for (const MemoryAccess &expected : accesses) {
+        const MemoryAccess actual = source.next();
+        EXPECT_EQ(actual.address, expected.address);
+        EXPECT_EQ(actual.type, expected.type);
+        EXPECT_EQ(actual.thread, expected.thread);
+    }
+    EXPECT_TRUE(source.exhausted());
+}
+
+TEST_F(TraceIoTest, LoopingReplayWrapsAround)
+{
+    {
+        TraceWriter writer(path_);
+        writer.write({0x40, AccessType::Read, 0});
+        writer.write({0x80, AccessType::Write, 1});
+    }
+    FileTraceSource source(path_, true);
+    for (int round = 0; round < 5; ++round) {
+        EXPECT_EQ(source.next().address, 0x40u);
+        EXPECT_EQ(source.next().address, 0x80u);
+    }
+    EXPECT_FALSE(source.exhausted());
+}
+
+TEST_F(TraceIoTest, ResetRestartsReplay)
+{
+    {
+        TraceWriter writer(path_);
+        writer.write({0x40, AccessType::Read, 0});
+        writer.write({0x80, AccessType::Read, 0});
+    }
+    FileTraceSource source(path_, false);
+    EXPECT_EQ(source.next().address, 0x40u);
+    source.reset();
+    EXPECT_EQ(source.next().address, 0x40u);
+}
+
+TEST_F(TraceIoTest, RecordTraceCapturesGenerator)
+{
+    PowerLawTraceParams params;
+    params.alpha = 0.5;
+    params.seed = 9;
+    params.warmLines = 1024;
+    params.maxResidentLines = 4096;
+    PowerLawTrace generator(params);
+    recordTrace(generator, path_, 5000);
+
+    // Replay must match a fresh run of the same generator.
+    generator.reset();
+    FileTraceSource replay(path_, false);
+    ASSERT_EQ(replay.size(), 5000u);
+    for (int i = 0; i < 5000; ++i) {
+        const MemoryAccess expected = generator.next();
+        const MemoryAccess actual = replay.next();
+        ASSERT_EQ(actual.address, expected.address);
+        ASSERT_EQ(actual.type, expected.type);
+    }
+}
+
+TEST_F(TraceIoTest, NonLoopingExhaustionIsFatal)
+{
+    {
+        TraceWriter writer(path_);
+        writer.write({0x40, AccessType::Read, 0});
+    }
+    FileTraceSource source(path_, false);
+    source.next();
+    EXPECT_EXIT(source.next(), ::testing::ExitedWithCode(1),
+                "exhausted");
+}
+
+TEST_F(TraceIoTest, RejectsGarbageFile)
+{
+    {
+        std::ofstream out(path_, std::ios::binary);
+        out << "this is not a trace";
+    }
+    EXPECT_EXIT(FileTraceSource(path_, true),
+                ::testing::ExitedWithCode(1), "not a bwwall trace");
+}
+
+TEST_F(TraceIoTest, RejectsTruncatedRecord)
+{
+    {
+        TraceWriter writer(path_);
+        writer.write({0x40, AccessType::Read, 0});
+    }
+    // Chop the last 4 bytes off.
+    std::ifstream in(path_, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    in.close();
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() - 4));
+    out.close();
+    EXPECT_EXIT(FileTraceSource(path_, true),
+                ::testing::ExitedWithCode(1), "truncated");
+}
+
+TEST_F(TraceIoTest, RejectsMissingFile)
+{
+    EXPECT_EXIT(FileTraceSource("/nonexistent/nope.bwtr", true),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST_F(TraceIoTest, RejectsEmptyTrace)
+{
+    {
+        TraceWriter writer(path_);
+    }
+    EXPECT_EXIT(FileTraceSource(path_, true),
+                ::testing::ExitedWithCode(1), "no records");
+}
+
+} // namespace
+} // namespace bwwall

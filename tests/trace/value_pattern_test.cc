@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tests for the value-locality line-content generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "trace/value_pattern.hh"
+
+namespace bwwall {
+namespace {
+
+TEST(ValuePatternTest, LineHasRequestedSize)
+{
+    ValuePatternGenerator gen(commercialValueMix(), 1);
+    EXPECT_EQ(gen.nextLine(64).size(), 64u);
+    EXPECT_EQ(gen.nextLine(32).size(), 32u);
+}
+
+TEST(ValuePatternTest, DeterministicAfterReset)
+{
+    ValuePatternGenerator gen(commercialValueMix(), 5);
+    const auto first = gen.nextLine(64);
+    const auto second = gen.nextLine(64);
+    gen.reset();
+    EXPECT_EQ(gen.nextLine(64), first);
+    EXPECT_EQ(gen.nextLine(64), second);
+}
+
+TEST(ValuePatternTest, CommercialMixProducesZeros)
+{
+    ValuePatternGenerator gen(commercialValueMix(), 2);
+    int zero_words = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        zero_words += gen.nextWord() == 0;
+    // Zeros arrive from the Zero class and occasionally SmallInt 0.
+    EXPECT_NEAR(static_cast<double>(zero_words) / n, 0.28, 0.03);
+}
+
+TEST(ValuePatternTest, FloatingPointMixIsMostlyRandom)
+{
+    ValuePatternGenerator commercial(commercialValueMix(), 3);
+    ValuePatternGenerator floating(floatingPointValueMix(), 3);
+    auto count_zero = [](ValuePatternGenerator &gen) {
+        int zero_words = 0;
+        for (int i = 0; i < 20000; ++i)
+            zero_words += gen.nextWord() == 0;
+        return zero_words;
+    };
+    EXPECT_GT(count_zero(commercial), 2 * count_zero(floating));
+}
+
+TEST(ValuePatternTest, IntegerMixHasSmallMagnitudes)
+{
+    ValuePatternGenerator gen(integerValueMix(), 4);
+    int small = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const auto word = static_cast<std::int64_t>(gen.nextWord());
+        small += word >= -32768 && word <= 32767;
+    }
+    // Zero + SmallInt classes together: roughly 2/3 of words.
+    EXPECT_GT(static_cast<double>(small) / n, 0.55);
+}
+
+TEST(ValuePatternTest, PureRandomMixHasNoStructure)
+{
+    ValueMix mix;
+    mix.random = 1.0;
+    ValuePatternGenerator gen(mix, 6);
+    int zero_words = 0;
+    for (int i = 0; i < 10000; ++i)
+        zero_words += gen.nextWord() == 0;
+    EXPECT_EQ(zero_words, 0);
+}
+
+TEST(ValuePatternTest, RejectsUnalignedLineSize)
+{
+    ValuePatternGenerator gen(commercialValueMix(), 7);
+    EXPECT_EXIT(gen.nextLine(60), ::testing::ExitedWithCode(1),
+                "multiple of 8");
+}
+
+} // namespace
+} // namespace bwwall

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tests for the discrete working-set trace generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "trace/reuse_analyzer.hh"
+#include "trace/working_set_trace.hh"
+
+namespace bwwall {
+namespace {
+
+WorkingSetTraceParams
+singleRegionParams(std::uint64_t lines)
+{
+    WorkingSetTraceParams params;
+    params.regions = {{lines, 1.0, 0.0}};
+    params.seed = 7;
+    return params;
+}
+
+TEST(WorkingSetTraceTest, FootprintMatchesRegionSizes)
+{
+    WorkingSetTraceParams params;
+    params.regions = {{100, 1.0, 0.0}, {200, 1.0, 0.0}};
+    params.seed = 1;
+    WorkingSetTrace trace(params);
+    EXPECT_EQ(trace.totalLines(), 300u);
+}
+
+TEST(WorkingSetTraceTest, SingleRegionTouchesExactlyItsLines)
+{
+    WorkingSetTrace trace(singleRegionParams(64));
+    std::set<Address> lines;
+    for (int i = 0; i < 10000; ++i)
+        lines.insert(trace.next().address & ~Address{63});
+    EXPECT_EQ(lines.size(), 64u);
+}
+
+TEST(WorkingSetTraceTest, DeterministicReplayAfterReset)
+{
+    WorkingSetTraceParams params;
+    params.regions = {{32, 0.5, 0.2}, {512, 0.5, 0.0}};
+    params.seed = 3;
+    WorkingSetTrace trace(params);
+    std::vector<Address> first;
+    for (int i = 0; i < 1000; ++i)
+        first.push_back(trace.next().address);
+    trace.reset();
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(trace.next().address,
+                  first[static_cast<std::size_t>(i)]);
+}
+
+TEST(WorkingSetTraceTest, CyclicScanMissCurveIsAStep)
+{
+    // A cyclic scan of W lines hits fully at capacity >= W and
+    // thrashes (LRU) below it: the staircase the paper describes for
+    // individual SPEC applications.
+    const std::uint64_t region_lines = 256;
+    WorkingSetTrace trace(singleRegionParams(region_lines));
+    ReuseDistanceAnalyzer analyzer(64);
+    for (int i = 0; i < 50000; ++i)
+        analyzer.observe(trace.next());
+
+    EXPECT_GT(analyzer.missRateAtCapacity(region_lines - 1), 0.95);
+    EXPECT_LT(analyzer.missRateAtCapacity(region_lines), 0.05);
+}
+
+TEST(WorkingSetTraceTest, WriteFractionPerRegion)
+{
+    WorkingSetTraceParams params;
+    params.regions = {{64, 1.0, 0.5}};
+    params.seed = 11;
+    WorkingSetTrace trace(params);
+    int writes = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        writes += isWrite(trace.next());
+    EXPECT_NEAR(static_cast<double>(writes) / n, 0.5, 0.02);
+}
+
+TEST(WorkingSetTraceTest, RegionWeightsRespected)
+{
+    WorkingSetTraceParams params;
+    // Region 0 lines fit in [0, 16); region 1 in [16, 16+64).
+    params.regions = {{16, 0.75, 0.0}, {64, 0.25, 0.0}};
+    params.seed = 13;
+    WorkingSetTrace trace(params);
+
+    // Identify region 0 as the 16 most frequently accessed lines and
+    // check that they collect their configured share of accesses.
+    std::map<Address, int> counts;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        ++counts[trace.next().address & ~Address{63}];
+    ASSERT_EQ(counts.size(), 80u);
+    std::vector<int> sorted;
+    for (const auto &[line, count] : counts)
+        sorted.push_back(count);
+    std::sort(sorted.rbegin(), sorted.rend());
+    // Top 16 lines (region 0) should hold ~75% of accesses.
+    double top16 = 0;
+    for (int i = 0; i < 16; ++i)
+        top16 += sorted[static_cast<std::size_t>(i)];
+    EXPECT_NEAR(top16 / n, 0.75, 0.02);
+}
+
+TEST(WorkingSetTraceTest, RejectsEmptyRegions)
+{
+    WorkingSetTraceParams params;
+    params.regions = {};
+    EXPECT_EXIT(WorkingSetTrace{params}, ::testing::ExitedWithCode(1),
+                "at least one region");
+}
+
+TEST(WorkingSetTraceTest, RejectsZeroSizedRegion)
+{
+    WorkingSetTraceParams params;
+    params.regions = {{0, 1.0, 0.0}};
+    EXPECT_EXIT(WorkingSetTrace{params}, ::testing::ExitedWithCode(1),
+                "at least one line");
+}
+
+
+TEST(WorkingSetTraceTest, ContiguousModeIsSequential)
+{
+    WorkingSetTraceParams params;
+    params.regions = {{64, 1.0, 0.0}};
+    params.contiguousAddresses = true;
+    params.seed = 5;
+    WorkingSetTrace trace(params);
+    // A single cyclically scanned region visits consecutive lines.
+    Address previous = trace.next().address & ~Address{63};
+    for (int i = 0; i < 63; ++i) {
+        const Address line = trace.next().address & ~Address{63};
+        EXPECT_EQ(line, previous + 64);
+        previous = line;
+    }
+    // And wraps back to the start.
+    EXPECT_EQ(trace.next().address & ~Address{63}, previous - 63 * 64);
+}
+
+TEST(WorkingSetTraceTest, ContiguousRegionsAreAdjacent)
+{
+    WorkingSetTraceParams params;
+    params.regions = {{16, 1.0, 0.0}, {16, 0.0, 0.0}};
+    params.contiguousAddresses = true;
+    params.seed = 9;
+    WorkingSetTrace trace(params);
+    std::set<Address> lines;
+    for (int i = 0; i < 64; ++i)
+        lines.insert(trace.next().address & ~Address{63});
+    // Only region 0 is accessed (weight 1 vs 0): 16 contiguous lines.
+    EXPECT_EQ(lines.size(), 16u);
+    EXPECT_EQ(*lines.rbegin() - *lines.begin(), 15u * 64u);
+}
+
+} // namespace
+} // namespace bwwall

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Unit tests for the key = value configuration parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/config.hh"
+
+namespace bwwall {
+namespace {
+
+TEST(ConfigTest, ParsesKeysAndValues)
+{
+    const ConfigFile config = ConfigFile::parseString(
+        "alpha = 0.5\n"
+        "scale=16\n"
+        "  name   =   hello world  \n");
+    EXPECT_TRUE(config.has("alpha"));
+    EXPECT_DOUBLE_EQ(config.getDouble("alpha", 0.0), 0.5);
+    EXPECT_EQ(config.getInt("scale", 0), 16);
+    EXPECT_EQ(config.getString("name"), "hello world");
+}
+
+TEST(ConfigTest, CommentsAndBlankLinesIgnored)
+{
+    const ConfigFile config = ConfigFile::parseString(
+        "# full-line comment\n"
+        "\n"
+        "key = value # trailing comment\n");
+    EXPECT_EQ(config.getString("key"), "value");
+    EXPECT_EQ(config.keys().size(), 1u);
+}
+
+TEST(ConfigTest, DefaultsWhenAbsent)
+{
+    const ConfigFile config = ConfigFile::parseString("");
+    EXPECT_DOUBLE_EQ(config.getDouble("missing", 2.5), 2.5);
+    EXPECT_EQ(config.getInt("missing", 7), 7);
+    EXPECT_EQ(config.getString("missing", "d"), "d");
+    EXPECT_TRUE(config.getBool("missing", true));
+    EXPECT_TRUE(config.getList("missing").empty());
+}
+
+TEST(ConfigTest, BooleanSpellings)
+{
+    const ConfigFile config = ConfigFile::parseString(
+        "a = true\nb = no\nc = 1\nd = false\n");
+    EXPECT_TRUE(config.getBool("a", false));
+    EXPECT_FALSE(config.getBool("b", true));
+    EXPECT_TRUE(config.getBool("c", false));
+    EXPECT_FALSE(config.getBool("d", true));
+}
+
+TEST(ConfigTest, ListsSplitAndTrim)
+{
+    const ConfigFile config = ConfigFile::parseString(
+        "techniques = CC/LC , DRAM,3D,  SmCl\n");
+    const auto list = config.getList("techniques");
+    ASSERT_EQ(list.size(), 4u);
+    EXPECT_EQ(list[0], "CC/LC");
+    EXPECT_EQ(list[1], "DRAM");
+    EXPECT_EQ(list[2], "3D");
+    EXPECT_EQ(list[3], "SmCl");
+}
+
+TEST(ConfigTest, LaterKeysOverrideEarlier)
+{
+    const ConfigFile config =
+        ConfigFile::parseString("k = 1\nk = 2\n");
+    EXPECT_EQ(config.getInt("k", 0), 2);
+}
+
+TEST(ConfigTest, RejectsMalformedLines)
+{
+    EXPECT_EXIT(ConfigFile::parseString("not a key value line\n"),
+                ::testing::ExitedWithCode(1), "key = value");
+    EXPECT_EXIT(ConfigFile::parseString("= value\n"),
+                ::testing::ExitedWithCode(1), "empty key");
+}
+
+TEST(ConfigTest, RejectsBadTypes)
+{
+    const ConfigFile config = ConfigFile::parseString(
+        "num = abc\nflag = maybe\n");
+    EXPECT_EXIT(config.getDouble("num", 0.0),
+                ::testing::ExitedWithCode(1), "not a number");
+    EXPECT_EXIT(config.getInt("num", 0),
+                ::testing::ExitedWithCode(1), "not an integer");
+    EXPECT_EXIT(config.getBool("flag", false),
+                ::testing::ExitedWithCode(1), "not a boolean");
+}
+
+TEST(ConfigTest, RejectsMissingFile)
+{
+    EXPECT_EXIT(ConfigFile::parseFile("/nonexistent/nope.cfg"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+} // namespace
+} // namespace bwwall

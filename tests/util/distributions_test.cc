@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Unit and property tests for the random samplers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "util/distributions.hh"
+#include "util/rng.hh"
+
+namespace bwwall {
+namespace {
+
+TEST(BoundedParetoTest, SamplesWithinSupport)
+{
+    Rng rng(1);
+    BoundedParetoSampler sampler(0.5, 1000.0);
+    for (int i = 0; i < 10000; ++i) {
+        const double x = sampler.sample(rng);
+        EXPECT_GE(x, 1.0);
+        EXPECT_LE(x, 1000.0);
+    }
+}
+
+TEST(BoundedParetoTest, ComplementaryCdfEndpoints)
+{
+    BoundedParetoSampler sampler(0.7, 500.0);
+    EXPECT_DOUBLE_EQ(sampler.complementaryCdf(1.0), 1.0);
+    EXPECT_DOUBLE_EQ(sampler.complementaryCdf(500.0), 0.0);
+    EXPECT_DOUBLE_EQ(sampler.complementaryCdf(0.5), 1.0);
+    EXPECT_DOUBLE_EQ(sampler.complementaryCdf(501.0), 0.0);
+}
+
+/** Empirical tail frequencies must match the analytic CCDF. */
+TEST(BoundedParetoTest, EmpiricalTailMatchesCcdf)
+{
+    Rng rng(2);
+    BoundedParetoSampler sampler(0.5, 100000.0);
+    const int n = 400000;
+    const std::vector<double> thresholds = {2, 10, 100, 1000};
+    std::vector<int> exceed(thresholds.size(), 0);
+    for (int i = 0; i < n; ++i) {
+        const double x = sampler.sample(rng);
+        for (std::size_t t = 0; t < thresholds.size(); ++t)
+            exceed[t] += x > thresholds[t];
+    }
+    for (std::size_t t = 0; t < thresholds.size(); ++t) {
+        const double expected = sampler.complementaryCdf(thresholds[t]);
+        const double observed = static_cast<double>(exceed[t]) / n;
+        EXPECT_NEAR(observed, expected, 5e-3)
+            << "threshold " << thresholds[t];
+    }
+}
+
+TEST(BoundedParetoTest, IntegerSamplesInRange)
+{
+    Rng rng(3);
+    BoundedParetoSampler sampler(0.4, 64.0);
+    for (int i = 0; i < 10000; ++i) {
+        const std::uint64_t v = sampler.sampleInteger(rng);
+        EXPECT_GE(v, 1u);
+        EXPECT_LE(v, 64u);
+    }
+}
+
+/** Parameterized over alpha: tail exponent recovered from samples. */
+class BoundedParetoAlphaTest : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(BoundedParetoAlphaTest, TailExponentRecovered)
+{
+    const double alpha = GetParam();
+    Rng rng(4);
+    BoundedParetoSampler sampler(alpha, 1e9);
+    const int n = 300000;
+    int above10 = 0, above100 = 0;
+    for (int i = 0; i < n; ++i) {
+        const double x = sampler.sample(rng);
+        above10 += x > 10.0;
+        above100 += x > 100.0;
+    }
+    // P(X>100)/P(X>10) should be 10^-alpha for the unbounded tail.
+    const double ratio = static_cast<double>(above100) /
+                         static_cast<double>(above10);
+    const double estimated_alpha = -std::log10(ratio);
+    EXPECT_NEAR(estimated_alpha, alpha, 0.06);
+}
+
+INSTANTIATE_TEST_SUITE_P(AlphaSweep, BoundedParetoAlphaTest,
+                         ::testing::Values(0.25, 0.36, 0.5, 0.62, 0.9));
+
+TEST(ZipfTest, RankOneIsMostFrequent)
+{
+    Rng rng(5);
+    ZipfSampler sampler(100, 1.0);
+    std::map<std::uint64_t, int> counts;
+    for (int i = 0; i < 50000; ++i)
+        ++counts[sampler.sample(rng)];
+    int max_count = 0;
+    std::uint64_t max_rank = 0;
+    for (const auto &[rank, count] : counts) {
+        if (count > max_count) {
+            max_count = count;
+            max_rank = rank;
+        }
+    }
+    EXPECT_EQ(max_rank, 1u);
+}
+
+TEST(ZipfTest, SamplesWithinRange)
+{
+    Rng rng(6);
+    ZipfSampler sampler(1000, 0.8);
+    for (int i = 0; i < 20000; ++i) {
+        const std::uint64_t v = sampler.sample(rng);
+        EXPECT_GE(v, 1u);
+        EXPECT_LE(v, 1000u);
+    }
+}
+
+TEST(ZipfTest, ExponentZeroIsUniform)
+{
+    Rng rng(7);
+    ZipfSampler sampler(10, 0.0);
+    std::vector<int> counts(11, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++counts[sampler.sample(rng)];
+    for (std::uint64_t k = 1; k <= 10; ++k)
+        EXPECT_NEAR(counts[k] / static_cast<double>(n), 0.1, 0.01);
+}
+
+TEST(ZipfTest, FrequencyRatioMatchesExponent)
+{
+    Rng rng(8);
+    const double s = 1.0;
+    ZipfSampler sampler(10000, s);
+    int rank1 = 0, rank2 = 0, rank4 = 0;
+    for (int i = 0; i < 500000; ++i) {
+        const std::uint64_t v = sampler.sample(rng);
+        rank1 += v == 1;
+        rank2 += v == 2;
+        rank4 += v == 4;
+    }
+    // P(1)/P(2) = 2^s and P(2)/P(4) = 2^s.
+    EXPECT_NEAR(static_cast<double>(rank1) / rank2, std::pow(2.0, s),
+                0.15);
+    EXPECT_NEAR(static_cast<double>(rank2) / rank4, std::pow(2.0, s),
+                0.15);
+}
+
+TEST(ZipfTest, SingleElementAlwaysRankOne)
+{
+    Rng rng(9);
+    ZipfSampler sampler(1, 1.2);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(sampler.sample(rng), 1u);
+}
+
+TEST(AliasTableTest, RespectsWeights)
+{
+    Rng rng(10);
+    AliasTable table({1.0, 3.0, 6.0});
+    std::vector<int> counts(3, 0);
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        ++counts[table.sample(rng)];
+    EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+    EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+    EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(AliasTableTest, ZeroWeightNeverSampled)
+{
+    Rng rng(11);
+    AliasTable table({0.0, 1.0, 0.0, 1.0});
+    for (int i = 0; i < 10000; ++i) {
+        const std::size_t v = table.sample(rng);
+        EXPECT_TRUE(v == 1 || v == 3);
+    }
+}
+
+TEST(AliasTableTest, SingleBucket)
+{
+    Rng rng(12);
+    AliasTable table({5.0});
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(table.sample(rng), 0u);
+}
+
+} // namespace
+} // namespace bwwall

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for the Fenwick tree, including a randomized cross-check
+ * against a naive reference implementation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "util/fenwick.hh"
+#include "util/rng.hh"
+
+namespace bwwall {
+namespace {
+
+TEST(FenwickTest, EmptyTreeTotalsZero)
+{
+    FenwickTree tree(8);
+    EXPECT_EQ(tree.total(), 0);
+    EXPECT_EQ(tree.prefixSum(7), 0);
+}
+
+TEST(FenwickTest, SingleElement)
+{
+    FenwickTree tree(1);
+    tree.add(0, 5);
+    EXPECT_EQ(tree.total(), 5);
+    EXPECT_EQ(tree.prefixSum(0), 5);
+    EXPECT_EQ(tree.select(1), 0u);
+    EXPECT_EQ(tree.select(5), 0u);
+}
+
+TEST(FenwickTest, PrefixSumsAccumulate)
+{
+    FenwickTree tree(10);
+    for (std::size_t i = 0; i < 10; ++i)
+        tree.add(i, static_cast<std::int64_t>(i + 1));
+    std::int64_t expected = 0;
+    for (std::size_t i = 0; i < 10; ++i) {
+        expected += static_cast<std::int64_t>(i + 1);
+        EXPECT_EQ(tree.prefixSum(i), expected);
+    }
+}
+
+TEST(FenwickTest, SelectFindsOccupiedSlots)
+{
+    FenwickTree tree(16);
+    tree.add(3, 1);
+    tree.add(7, 1);
+    tree.add(12, 1);
+    EXPECT_EQ(tree.select(1), 3u);
+    EXPECT_EQ(tree.select(2), 7u);
+    EXPECT_EQ(tree.select(3), 12u);
+}
+
+TEST(FenwickTest, SelectWithMultiCounts)
+{
+    FenwickTree tree(4);
+    tree.add(1, 3);
+    tree.add(3, 2);
+    EXPECT_EQ(tree.select(1), 1u);
+    EXPECT_EQ(tree.select(3), 1u);
+    EXPECT_EQ(tree.select(4), 3u);
+    EXPECT_EQ(tree.select(5), 3u);
+}
+
+TEST(FenwickTest, RemovalUpdatesSelect)
+{
+    FenwickTree tree(8);
+    for (std::size_t i = 0; i < 8; ++i)
+        tree.add(i, 1);
+    tree.add(4, -1);
+    EXPECT_EQ(tree.total(), 7);
+    EXPECT_EQ(tree.select(5), 5u); // slot 4 is skipped now
+}
+
+TEST(FenwickTest, RandomizedAgainstReference)
+{
+    const std::size_t size = 200;
+    FenwickTree tree(size);
+    std::vector<std::int64_t> reference(size, 0);
+    Rng rng(99);
+
+    for (int step = 0; step < 5000; ++step) {
+        const auto index =
+            static_cast<std::size_t>(rng.nextBounded(size));
+        if (rng.nextBernoulli(0.6)) {
+            tree.add(index, 1);
+            reference[index] += 1;
+        } else if (reference[index] > 0) {
+            tree.add(index, -1);
+            reference[index] -= 1;
+        }
+
+        const auto probe =
+            static_cast<std::size_t>(rng.nextBounded(size));
+        const std::int64_t expected = std::accumulate(
+            reference.begin(),
+            reference.begin() + static_cast<std::ptrdiff_t>(probe) + 1,
+            std::int64_t{0});
+        ASSERT_EQ(tree.prefixSum(probe), expected);
+    }
+
+    // Verify select on the final state.
+    const std::int64_t total = tree.total();
+    for (std::int64_t target = 1; target <= total;
+         target += std::max<std::int64_t>(total / 37, 1)) {
+        const std::size_t found = tree.select(target);
+        // Reference select: smallest index with prefix >= target.
+        std::int64_t cumulative = 0;
+        std::size_t expected_index = 0;
+        for (std::size_t i = 0; i < size; ++i) {
+            cumulative += reference[i];
+            if (cumulative >= target) {
+                expected_index = i;
+                break;
+            }
+        }
+        ASSERT_EQ(found, expected_index) << "target " << target;
+    }
+}
+
+} // namespace
+} // namespace bwwall

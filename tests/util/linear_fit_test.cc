@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Unit tests for least-squares and power-law fitting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/linear_fit.hh"
+#include "util/rng.hh"
+
+namespace bwwall {
+namespace {
+
+TEST(FitLineTest, ExactLine)
+{
+    const std::vector<double> x = {1, 2, 3, 4, 5};
+    const std::vector<double> y = {3, 5, 7, 9, 11}; // y = 2x + 1
+    const LineFit fit = fitLine(x, y);
+    EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+    EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+    EXPECT_NEAR(fit.rSquared, 1.0, 1e-12);
+}
+
+TEST(FitLineTest, FlatData)
+{
+    const std::vector<double> x = {1, 2, 3};
+    const std::vector<double> y = {4, 4, 4};
+    const LineFit fit = fitLine(x, y);
+    EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+    EXPECT_NEAR(fit.intercept, 4.0, 1e-12);
+    EXPECT_DOUBLE_EQ(fit.rSquared, 1.0);
+}
+
+TEST(FitLineTest, NoisyLineRecovered)
+{
+    Rng rng(7);
+    std::vector<double> x, y;
+    for (int i = 0; i < 500; ++i) {
+        const double xi = i * 0.1;
+        x.push_back(xi);
+        y.push_back(-1.5 * xi + 2.0 + 0.05 * rng.nextGaussian());
+    }
+    const LineFit fit = fitLine(x, y);
+    EXPECT_NEAR(fit.slope, -1.5, 0.01);
+    EXPECT_NEAR(fit.intercept, 2.0, 0.02);
+    EXPECT_GT(fit.rSquared, 0.99);
+}
+
+TEST(FitPowerLawTest, ExactPowerLaw)
+{
+    std::vector<double> x, y;
+    for (double xi : {1.0, 2.0, 4.0, 8.0, 16.0, 64.0}) {
+        x.push_back(xi);
+        y.push_back(3.0 * std::pow(xi, -0.5));
+    }
+    const PowerLawFit fit = fitPowerLaw(x, y);
+    EXPECT_NEAR(fit.exponent, -0.5, 1e-10);
+    EXPECT_NEAR(fit.coefficient, 3.0, 1e-9);
+    EXPECT_NEAR(fit.rSquared, 1.0, 1e-12);
+    EXPECT_NEAR(fit.evaluate(4.0), 1.5, 1e-9);
+}
+
+/**
+ * The paper's sqrt(2) rule: doubling the cache size should reduce the
+ * miss rate by sqrt(2) when alpha = 0.5; verify the fit recovers alpha
+ * from such a curve.
+ */
+TEST(FitPowerLawTest, Sqrt2RuleCurve)
+{
+    std::vector<double> sizes, misses;
+    double miss = 0.1;
+    for (double size = 8.0; size <= 8192.0; size *= 2.0) {
+        sizes.push_back(size);
+        misses.push_back(miss);
+        miss /= std::sqrt(2.0);
+    }
+    const PowerLawFit fit = fitPowerLaw(sizes, misses);
+    EXPECT_NEAR(-fit.exponent, 0.5, 1e-10);
+}
+
+TEST(FitPowerLawTest, NoisyAlphaRecovered)
+{
+    Rng rng(11);
+    std::vector<double> x, y;
+    for (double xi = 128.0; xi <= 131072.0; xi *= 2.0) {
+        x.push_back(xi);
+        const double noise = 1.0 + 0.02 * rng.nextGaussian();
+        y.push_back(std::pow(xi, -0.36) * noise);
+    }
+    const PowerLawFit fit = fitPowerLaw(x, y);
+    EXPECT_NEAR(-fit.exponent, 0.36, 0.02);
+    EXPECT_GT(fit.rSquared, 0.99);
+}
+
+} // namespace
+} // namespace bwwall

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Unit tests for the xoshiro256** generator wrapper.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.hh"
+#include "util/stats.hh"
+
+namespace bwwall {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int differing = 0;
+    for (int i = 0; i < 64; ++i)
+        differing += a.next() != b.next();
+    EXPECT_GT(differing, 60);
+}
+
+TEST(RngTest, ReseedRestartsStream)
+{
+    Rng rng(7);
+    std::vector<std::uint64_t> first;
+    for (int i = 0; i < 16; ++i)
+        first.push_back(rng.next());
+    rng.seed(7);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(rng.next(), first[static_cast<std::size_t>(i)]);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval)
+{
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i) {
+        const double v = rng.nextDouble();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(RngTest, NextDoubleMeanNearHalf)
+{
+    Rng rng(11);
+    RunningStats stats;
+    for (int i = 0; i < 100000; ++i)
+        stats.add(rng.nextDouble());
+    EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+}
+
+TEST(RngTest, NextBoundedWithinBound)
+{
+    Rng rng(5);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.nextBounded(17), 17u);
+}
+
+TEST(RngTest, NextBoundedCoversAllResidues)
+{
+    Rng rng(5);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.nextBounded(7));
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, NextRangeInclusiveBounds)
+{
+    Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const std::int64_t v = rng.nextRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, BernoulliExtremes)
+{
+    Rng rng(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.nextBernoulli(0.0));
+        EXPECT_TRUE(rng.nextBernoulli(1.0));
+    }
+}
+
+TEST(RngTest, BernoulliFrequency)
+{
+    Rng rng(17);
+    int hits = 0;
+    const int trials = 100000;
+    for (int i = 0; i < trials; ++i)
+        hits += rng.nextBernoulli(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.01);
+}
+
+TEST(RngTest, GaussianMoments)
+{
+    Rng rng(19);
+    RunningStats stats;
+    for (int i = 0; i < 200000; ++i)
+        stats.add(rng.nextGaussian());
+    EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+    EXPECT_NEAR(stats.stddev(), 1.0, 0.02);
+}
+
+TEST(RngTest, GeometricMeanMatchesTheory)
+{
+    Rng rng(23);
+    const double p = 0.2;
+    RunningStats stats;
+    for (int i = 0; i < 100000; ++i)
+        stats.add(static_cast<double>(rng.nextGeometric(p)));
+    EXPECT_NEAR(stats.mean(), 1.0 / p, 0.1);
+}
+
+TEST(RngTest, GeometricWithCertainSuccessIsOne)
+{
+    Rng rng(29);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.nextGeometric(1.0), 1u);
+}
+
+TEST(RngTest, SplitProducesIndependentStream)
+{
+    Rng parent(31);
+    Rng child = parent.split();
+    int differing = 0;
+    for (int i = 0; i < 64; ++i)
+        differing += parent.next() != child.next();
+    EXPECT_GT(differing, 60);
+}
+
+} // namespace
+} // namespace bwwall

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Unit tests for descriptive statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.hh"
+
+namespace bwwall {
+namespace {
+
+TEST(RunningStatsTest, EmptyDefaults)
+{
+    RunningStats stats;
+    EXPECT_EQ(stats.count(), 0u);
+    EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.min(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.max(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue)
+{
+    RunningStats stats;
+    stats.add(4.5);
+    EXPECT_EQ(stats.count(), 1u);
+    EXPECT_DOUBLE_EQ(stats.mean(), 4.5);
+    EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.min(), 4.5);
+    EXPECT_DOUBLE_EQ(stats.max(), 4.5);
+}
+
+TEST(RunningStatsTest, KnownMoments)
+{
+    RunningStats stats;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        stats.add(v);
+    EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(stats.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(stats.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+    EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+    EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, MergeEqualsCombinedStream)
+{
+    RunningStats left, right, combined;
+    for (int i = 0; i < 100; ++i) {
+        const double v = std::sin(i * 0.7) * 10.0;
+        combined.add(v);
+        (i % 2 == 0 ? left : right).add(v);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), combined.count());
+    EXPECT_NEAR(left.mean(), combined.mean(), 1e-12);
+    EXPECT_NEAR(left.variance(), combined.variance(), 1e-10);
+    EXPECT_DOUBLE_EQ(left.min(), combined.min());
+    EXPECT_DOUBLE_EQ(left.max(), combined.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty)
+{
+    RunningStats stats, empty;
+    stats.add(1.0);
+    stats.add(3.0);
+    stats.merge(empty);
+    EXPECT_EQ(stats.count(), 2u);
+    EXPECT_DOUBLE_EQ(stats.mean(), 2.0);
+
+    RunningStats fresh;
+    fresh.merge(stats);
+    EXPECT_EQ(fresh.count(), 2u);
+    EXPECT_DOUBLE_EQ(fresh.mean(), 2.0);
+}
+
+TEST(RunningStatsTest, ResetClears)
+{
+    RunningStats stats;
+    stats.add(1.0);
+    stats.reset();
+    EXPECT_EQ(stats.count(), 0u);
+    EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+}
+
+TEST(HistogramTest, BucketsAndEdges)
+{
+    Histogram histogram(0.0, 10.0, 5);
+    EXPECT_EQ(histogram.bucketCount(), 5u);
+    EXPECT_DOUBLE_EQ(histogram.bucketLowerEdge(0), 0.0);
+    EXPECT_DOUBLE_EQ(histogram.bucketLowerEdge(4), 8.0);
+
+    histogram.add(0.5);
+    histogram.add(9.9);
+    histogram.add(-1.0);
+    histogram.add(10.0);
+    EXPECT_EQ(histogram.bucket(0), 1u);
+    EXPECT_EQ(histogram.bucket(4), 1u);
+    EXPECT_EQ(histogram.underflow(), 1u);
+    EXPECT_EQ(histogram.overflow(), 1u);
+    EXPECT_EQ(histogram.total(), 4u);
+}
+
+TEST(HistogramTest, QuantileUniformData)
+{
+    Histogram histogram(0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        histogram.add(i + 0.5);
+    EXPECT_NEAR(histogram.quantile(0.5), 50.0, 1.5);
+    EXPECT_NEAR(histogram.quantile(0.9), 90.0, 1.5);
+}
+
+TEST(PercentileTest, ExactValues)
+{
+    std::vector<double> values = {5.0, 1.0, 3.0, 2.0, 4.0};
+    EXPECT_DOUBLE_EQ(percentile(values, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(values, 0.5), 3.0);
+    EXPECT_DOUBLE_EQ(percentile(values, 1.0), 5.0);
+    EXPECT_DOUBLE_EQ(percentile(values, 0.25), 2.0);
+}
+
+TEST(GeometricMeanTest, KnownValue)
+{
+    EXPECT_NEAR(geometricMean({1.0, 4.0, 16.0}), 4.0, 1e-12);
+    EXPECT_NEAR(geometricMean({2.0, 8.0}), 4.0, 1e-12);
+}
+
+} // namespace
+} // namespace bwwall

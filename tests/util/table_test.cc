@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Unit tests for table formatting and CSV output.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/table.hh"
+
+namespace bwwall {
+namespace {
+
+TEST(TableTest, NumFormatting)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(3.14159, 0), "3");
+    EXPECT_EQ(Table::num(static_cast<long long>(42)), "42");
+    EXPECT_EQ(Table::num(-1.5, 1), "-1.5");
+}
+
+TEST(TableTest, CellAccess)
+{
+    Table table({"a", "b"});
+    table.addRow({"1", "2"});
+    table.addRow({"3", "4"});
+    EXPECT_EQ(table.rowCount(), 2u);
+    EXPECT_EQ(table.columnCount(), 2u);
+    EXPECT_EQ(table.cell(0, 1), "2");
+    EXPECT_EQ(table.cell(1, 0), "3");
+}
+
+TEST(TableTest, PrintContainsHeadersAndCells)
+{
+    Table table({"cores", "traffic"});
+    table.addRow({"8", "1.000"});
+    table.addRow({"16", "2.000"});
+    std::ostringstream oss;
+    table.print(oss);
+    const std::string text = oss.str();
+    EXPECT_NE(text.find("cores"), std::string::npos);
+    EXPECT_NE(text.find("traffic"), std::string::npos);
+    EXPECT_NE(text.find("2.000"), std::string::npos);
+    EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(TableTest, CsvOutput)
+{
+    Table table({"name", "value"});
+    table.addRow({"plain", "1"});
+    table.addRow({"with,comma", "2"});
+    table.addRow({"with\"quote", "3"});
+    std::ostringstream oss;
+    table.printCsv(oss);
+    const std::string text = oss.str();
+    EXPECT_NE(text.find("name,value\n"), std::string::npos);
+    EXPECT_NE(text.find("\"with,comma\",2\n"), std::string::npos);
+    EXPECT_NE(text.find("\"with\"\"quote\",3\n"), std::string::npos);
+}
+
+TEST(TableTest, BannerContainsTitle)
+{
+    std::ostringstream oss;
+    printBanner(oss, "Figure 2");
+    EXPECT_NE(oss.str().find("Figure 2"), std::string::npos);
+}
+
+} // namespace
+} // namespace bwwall
