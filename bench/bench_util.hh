@@ -11,9 +11,11 @@
 #ifndef BWWALL_BENCH_BENCH_UTIL_HH
 #define BWWALL_BENCH_BENCH_UTIL_HH
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
+#include "util/metrics.hh"
 #include "util/table.hh"
 
 namespace bwwall {
@@ -23,13 +25,25 @@ struct BenchOptions
 {
     bool csv = false;
 
+    /** Worker threads for parallel sweeps (0 = BWWALL_JOBS / auto). */
+    unsigned jobs = 0;
+
+    /** When non-empty, run metrics are written here as JSON. */
+    std::string jsonPath;
+
     static BenchOptions
     parse(int argc, char **argv)
     {
         BenchOptions options;
         for (int i = 1; i < argc; ++i) {
-            if (std::string(argv[i]) == "--csv")
+            const std::string arg = argv[i];
+            if (arg == "--csv")
                 options.csv = true;
+            else if (arg == "--jobs" && i + 1 < argc)
+                options.jobs = static_cast<unsigned>(
+                    std::strtoul(argv[++i], nullptr, 10));
+            else if (arg == "--json" && i + 1 < argc)
+                options.jsonPath = argv[++i];
         }
         return options;
     }
@@ -60,6 +74,39 @@ inline void
 paperNote(const std::string &note)
 {
     std::cout << "paper: " << note << '\n';
+}
+
+/**
+ * True when BWWALL_QUICK is set (CI smoke mode): harnesses shrink
+ * their sample counts so every figure stays runnable on each PR.
+ */
+inline bool
+quickMode()
+{
+    const char *env = std::getenv("BWWALL_QUICK");
+    return env != nullptr && *env != '\0' &&
+           std::string(env) != "0";
+}
+
+/** `full` normally; `full / divisor` (at least 1) in quick mode. */
+inline std::uint64_t
+quickScaled(std::uint64_t full, std::uint64_t divisor = 10)
+{
+    if (!quickMode())
+        return full;
+    const std::uint64_t scaled = full / divisor;
+    return scaled == 0 ? 1 : scaled;
+}
+
+/** Writes the registry to options.jsonPath when requested. */
+inline void
+emitMetricsJson(const MetricsRegistry &metrics,
+                const BenchOptions &options)
+{
+    if (options.jsonPath.empty())
+        return;
+    metrics.writeJsonFile(options.jsonPath);
+    std::cout << "metrics: " << options.jsonPath << '\n';
 }
 
 } // namespace bwwall

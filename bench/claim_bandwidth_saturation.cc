@@ -22,13 +22,16 @@ main(int argc, char **argv)
     printBanner(std::cout, "Section 1 claim: throughput saturates at "
                            "the bandwidth envelope");
 
+    MetricsRegistry metrics;
     SaturationSweepParams params;
     params.coreCounts = {1, 2, 4, 8, 16, 32, 64, 128};
     params.coreTemplate.meanComputeCycles = 400.0;
     params.coreTemplate.requestBytes = 64;
     params.channel.bytesPerCycle = 2.0;
     params.channel.fixedLatencyCycles = 100;
-    params.simulatedCycles = 1000000;
+    params.simulatedCycles = quickScaled(1000000, 5);
+    params.jobs = options.jobs;
+    params.metrics = &metrics;
 
     const auto points = runSaturationSweep(params);
     const double limit = channelSaturationThroughput(params.channel,
@@ -56,5 +59,6 @@ main(int argc, char **argv)
               "decline until the request rate matches the available "
               "off-chip bandwidth; beyond that, extra cores add no "
               "throughput");
+    emitMetricsJson(metrics, options);
     return 0;
 }

@@ -41,8 +41,8 @@ main(int argc, char **argv)
         // The warm-up must fully populate the largest cache
         // (capacity / miss-rate accesses), or fills into invalid
         // ways depress the measured eviction/write-back counts.
-        sweep.warmupAccesses = 1200000;
-        sweep.measuredAccesses = 600000;
+        sweep.warmupAccesses = quickScaled(1200000);
+        sweep.measuredAccesses = quickScaled(600000);
         const auto points = measureMissCurve(trace, sweep);
 
         RunningStats spread;

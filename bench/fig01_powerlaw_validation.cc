@@ -43,8 +43,8 @@ sweepParams()
     MissCurveSweepParams params;
     params.capacities = capacityLadder(4 * kKiB, 512 * kKiB);
     params.cacheTemplate.associativity = 8;
-    params.warmupAccesses = 400000;
-    params.measuredAccesses = 900000;
+    params.warmupAccesses = quickScaled(400000);
+    params.measuredAccesses = quickScaled(900000);
     return params;
 }
 
@@ -54,10 +54,12 @@ analyzerAlpha(TraceSource &trace)
 {
     trace.reset();
     ReuseDistanceAnalyzer analyzer(64);
-    for (int i = 0; i < 400000; ++i)
+    const std::uint64_t warm = quickScaled(400000);
+    const std::uint64_t measured = quickScaled(900000);
+    for (std::uint64_t i = 0; i < warm; ++i)
         analyzer.observe(trace.next());
     analyzer.resetCounters();
-    for (int i = 0; i < 900000; ++i)
+    for (std::uint64_t i = 0; i < measured; ++i)
         analyzer.observe(trace.next());
 
     std::vector<double> capacities, rates;
@@ -117,8 +119,8 @@ main(int argc, char **argv)
          specDiscreteAppParams(2026)) {
         WorkingSetTrace trace(app);
         MissCurveSweepParams app_sweep = sweep;
-        app_sweep.warmupAccesses = 150000;
-        app_sweep.measuredAccesses = 300000;
+        app_sweep.warmupAccesses = quickScaled(150000);
+        app_sweep.measuredAccesses = quickScaled(300000);
         const auto points = measureMissCurve(trace, app_sweep);
         const PowerLawFit fit = fitMissCurve(points);
         staircase.addRow({app.label,

@@ -39,10 +39,12 @@ simulatedTraffic(std::uint32_t line_bytes)
     config.lineBytes = line_bytes;
     SetAssociativeCache cache(config);
 
-    for (int i = 0; i < 150000; ++i)
+    const std::uint64_t warm = quickScaled(150000);
+    const std::uint64_t measured = quickScaled(300000);
+    for (std::uint64_t i = 0; i < warm; ++i)
         cache.access(trace.next());
     cache.resetStats();
-    for (int i = 0; i < 300000; ++i)
+    for (std::uint64_t i = 0; i < measured; ++i)
         cache.access(trace.next());
     return cache.stats().trafficBytesPerAccess();
 }

@@ -45,7 +45,8 @@ simulatedTrafficPerAccess(bool shared_l2)
     config.l2.capacityBytes = shared_l2 ? 4 * kMiB : kMiB;
 
     CacheHierarchy hierarchy(config);
-    const int warm = 1500000, measured = 2000000;
+    const auto warm = static_cast<int>(quickScaled(1500000));
+    const auto measured = static_cast<int>(quickScaled(2000000));
     for (int i = 0; i < warm; ++i)
         hierarchy.access(trace.next());
     hierarchy.resetStats();

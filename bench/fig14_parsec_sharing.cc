@@ -59,8 +59,8 @@ measure(unsigned cores, std::uint64_t seed)
         shared_evictions += record.sharerCount >= 2;
     });
 
-    const std::uint64_t warm = 2000000;
-    const std::uint64_t measured = 6000000;
+    const std::uint64_t warm = quickScaled(2000000);
+    const std::uint64_t measured = quickScaled(6000000);
     for (std::uint64_t i = 0; i < warm; ++i)
         cache.access(trace.next());
     counting = true;

@@ -39,7 +39,10 @@ main(int argc, char **argv)
                 "generations — cells are realistic [pessimistic-"
                 "optimistic]");
 
-    const ScalingStudyParams base;
+    MetricsRegistry metrics;
+    ScalingStudyParams base;
+    base.jobs = options.jobs;
+    base.metrics = &metrics;
     const auto ideal = idealScaling(niagara2Baseline(), 4);
     const auto baseline = runScalingStudy(base);
     const auto candles = figure15Study(base);
@@ -91,6 +94,8 @@ main(int argc, char **argv)
     };
     for (const Entry &entry : entries) {
         ScalingStudyParams params;
+        params.jobs = options.jobs;
+        params.metrics = &metrics;
         params.techniques = {entry.technique};
         const auto results = runScalingStudy(params);
         comparison.addRow({entry.name, entry.kind,
@@ -104,5 +109,6 @@ main(int argc, char **argv)
               "LC 38, CC only 30 — direct techniques beat indirect "
               "ones because the -alpha exponent dampens capacity "
               "gains");
+    emitMetricsJson(metrics, options);
     return 0;
 }

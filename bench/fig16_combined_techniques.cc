@@ -15,6 +15,7 @@
 
 #include "bench/bench_util.hh"
 #include "model/scaling_study.hh"
+#include "util/thread_pool.hh"
 
 using namespace bwwall;
 
@@ -26,6 +27,7 @@ main(int argc, char **argv)
                 "Figure 16: core scaling for technique combinations "
                 "(realistic assumptions)");
 
+    MetricsRegistry metrics;
     Table table({"combination", "2x", "4x", "8x", "16x"});
     {
         const auto ideal = idealScaling(niagara2Baseline(), 4);
@@ -43,17 +45,26 @@ main(int argc, char **argv)
                 Table::num(static_cast<long long>(result.cores)));
         table.addRow(row);
     }
-    for (const TechniqueCombination &combination :
-         figure16Combinations()) {
-        ScalingStudyParams params;
-        params.techniques =
-            makeCombination(combination, Assumption::Realistic);
-        const auto results = runScalingStudy(params);
-        std::vector<std::string> row{combination.name};
-        for (const GenerationResult &result : results)
-            row.push_back(
-                Table::num(static_cast<long long>(result.cores)));
-        table.addRow(row);
+    {
+        // One task per combination; each cell runs a serial study.
+        const auto &combinations = figure16Combinations();
+        const auto studies = parallelMap(
+            combinations.size(), options.jobs,
+            [&combinations](std::size_t c) {
+                ScalingStudyParams params;
+                params.jobs = 1;
+                params.techniques = makeCombination(
+                    combinations[c], Assumption::Realistic);
+                return runScalingStudy(params);
+            });
+        metrics.addCounter("scaling.cells", combinations.size());
+        for (std::size_t c = 0; c < combinations.size(); ++c) {
+            std::vector<std::string> row{combinations[c].name};
+            for (const GenerationResult &result : studies[c])
+                row.push_back(
+                    Table::num(static_cast<long long>(result.cores)));
+            table.addRow(row);
+        }
     }
     emit(table, options);
 
@@ -93,5 +104,6 @@ main(int argc, char **argv)
               "super-proportional scaling for all four generations; "
               "LC + SmCl alone cut traffic 70%, and 3D DRAM + CC + "
               "SmCl raise effective capacity ~53x");
+    emitMetricsJson(metrics, options);
     return 0;
 }

@@ -7,7 +7,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
 #include "cache/coherent_system.hh"
+#include "cache/trace_sim.hh"
 #include "cache/set_assoc_cache.hh"
 #include "compress/bdi.hh"
 #include "compress/fpc.hh"
@@ -16,6 +23,7 @@
 #include "trace/power_law_trace.hh"
 #include "trace/reuse_analyzer.hh"
 #include "trace/value_pattern.hh"
+#include "util/metrics.hh"
 #include "util/units.hh"
 
 namespace bwwall {
@@ -190,7 +198,138 @@ BM_LinkTransfer(benchmark::State &state)
 }
 BENCHMARK(BM_LinkTransfer);
 
+/** Sweep parameters shared by the BM_ and the speedup measurement. */
+TraceCacheSweepParams
+traceSweepParams()
+{
+    TraceCacheSweepParams params;
+    params.cache.capacityBytes = 256 * kKiB;
+    params.cache.associativity = 8;
+    for (const WorkloadProfileSpec &spec : figure1Profiles()) {
+        TraceCacheWorkload workload;
+        workload.profile = spec;
+        workload.warmAccesses = 20000;
+        workload.measuredAccesses = 80000;
+        workload.shards = 4;
+        params.workloads.push_back(workload);
+    }
+    return params;
+}
+
+void
+BM_TraceCacheSweepJobs(benchmark::State &state)
+{
+    TraceCacheSweepParams params = traceSweepParams();
+    params.jobs = static_cast<unsigned>(state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(runTraceCacheSweep(params));
+    state.SetItemsProcessed(
+        state.iterations() * params.workloads.size());
+}
+BENCHMARK(BM_TraceCacheSweepJobs)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+bool
+identicalResults(const std::vector<TraceCacheResult> &a,
+                 const std::vector<TraceCacheResult> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const CacheStats &x = a[i].stats;
+        const CacheStats &y = b[i].stats;
+        if (a[i].workload != b[i].workload ||
+            x.accesses != y.accesses || x.hits != y.hits ||
+            x.misses != y.misses || x.evictions != y.evictions ||
+            x.writebacks != y.writebacks ||
+            x.bytesFetched != y.bytesFetched ||
+            x.bytesWrittenBack != y.bytesWrittenBack) {
+            return false;
+        }
+    }
+    return true;
+}
+
+/**
+ * Explicit serial-vs-parallel trace sweep: times jobs=1 against
+ * jobs=4, checks bit-identity, and records everything in @p metrics.
+ */
+void
+measureSweepSpeedup(MetricsRegistry &metrics)
+{
+    std::vector<TraceCacheResult> serial, parallel4;
+    TraceCacheSweepParams params = traceSweepParams();
+
+    params.jobs = 1;
+    auto start = std::chrono::steady_clock::now();
+    serial = runTraceCacheSweep(params);
+    const std::chrono::duration<double> serial_elapsed =
+        std::chrono::steady_clock::now() - start;
+
+    params.jobs = 4;
+    start = std::chrono::steady_clock::now();
+    parallel4 = runTraceCacheSweep(params);
+    const std::chrono::duration<double> parallel_elapsed =
+        std::chrono::steady_clock::now() - start;
+
+    const double serial_seconds = serial_elapsed.count();
+    const double parallel_seconds = parallel_elapsed.count();
+    const bool identical = identicalResults(serial, parallel4);
+
+    metrics.addCounter("trace_sim.workloads", serial.size());
+    metrics.setGauge("trace_sim.serial_seconds", serial_seconds);
+    metrics.setGauge("trace_sim.parallel4_seconds", parallel_seconds);
+    metrics.setGauge("trace_sim.speedup_4_threads",
+                     parallel_seconds > 0.0
+                         ? serial_seconds / parallel_seconds
+                         : 0.0);
+    metrics.setGauge("trace_sim.bit_identical",
+                     identical ? 1.0 : 0.0);
+
+    std::cout << "trace cache sweep: serial " << serial_seconds
+              << " s, jobs=4 " << parallel_seconds << " s, speedup "
+              << (parallel_seconds > 0.0
+                      ? serial_seconds / parallel_seconds
+                      : 0.0)
+              << "x, results "
+              << (identical ? "bit-identical" : "DIVERGED") << '\n';
+}
+
 } // namespace
 } // namespace bwwall
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Strip --json FILE before google-benchmark sees the arguments
+    // (it owns a conflicting --benchmark_out and rejects strangers).
+    std::string json_path;
+    std::vector<char *> args;
+    for (int i = 0; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+            continue;
+        }
+        args.push_back(argv[i]);
+    }
+    int filtered_argc = static_cast<int>(args.size());
+    benchmark::Initialize(&filtered_argc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(filtered_argc,
+                                               args.data())) {
+        return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    bwwall::MetricsRegistry metrics;
+    bwwall::measureSweepSpeedup(metrics);
+    if (!json_path.empty()) {
+        metrics.writeJsonFile(json_path);
+        std::cout << "metrics: " << json_path << '\n';
+    }
+    return 0;
+}

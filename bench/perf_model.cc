@@ -3,11 +3,25 @@
  * google-benchmark microbenchmarks for the analytical model: traffic
  * evaluation, the supportable-core solver, and full multi-generation
  * studies.  Not a paper artifact — library performance.
+ *
+ * In addition to the google-benchmark suite, a custom main() runs a
+ * timed jobs=1 versus jobs=4 saturation sweep and (with --json FILE)
+ * writes a MetricsRegistry report containing the measured parallel
+ * speedup and a bit-identical flag comparing the two result sets.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "mem/system_sim.hh"
 #include "model/scaling_study.hh"
+#include "util/metrics.hh"
+#include "util/thread_pool.hh"
 
 namespace bwwall {
 namespace {
@@ -56,14 +70,142 @@ BENCHMARK(BM_RequiredSharedFraction);
 void
 BM_Figure15Study(benchmark::State &state)
 {
-    const ScalingStudyParams params;
+    ScalingStudyParams params;
+    params.jobs = 1;
     for (auto _ : state)
         benchmark::DoNotOptimize(figure15Study(params));
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_Figure15Study);
 
+/** Sweep parameters shared by the BM_ and the speedup measurement. */
+SaturationSweepParams
+speedupSweepParams()
+{
+    SaturationSweepParams params;
+    // Twelve evenly-spread points (>= 8 per the CI gate); even
+    // spreading keeps the greedy in-order dispenser load-balanced so
+    // four workers stay busy until the tail.
+    params.coreCounts = {2, 4, 6, 8, 10, 12, 14, 16, 20, 24, 28, 32};
+    // Long enough that worker start-up is noise next to the points
+    // (tens of milliseconds serially even on a fast machine).
+    params.simulatedCycles = 2000000;
+    return params;
+}
+
+void
+BM_SaturationSweepJobs(benchmark::State &state)
+{
+    SaturationSweepParams params = speedupSweepParams();
+    params.jobs = static_cast<unsigned>(state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(runSaturationSweep(params));
+    state.SetItemsProcessed(
+        state.iterations() * params.coreCounts.size());
+}
+BENCHMARK(BM_SaturationSweepJobs)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/** Wall-clock of one sweep at the given job count, in seconds. */
+double
+timedSweep(unsigned jobs, std::vector<SaturationPoint> &out)
+{
+    SaturationSweepParams params = speedupSweepParams();
+    params.jobs = jobs;
+    const auto start = std::chrono::steady_clock::now();
+    out = runSaturationSweep(params);
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    return elapsed.count();
+}
+
+bool
+identicalResults(const std::vector<SaturationPoint> &a,
+                 const std::vector<SaturationPoint> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].cores != b[i].cores ||
+            a[i].aggregateThroughput != b[i].aggregateThroughput ||
+            a[i].perCoreThroughput != b[i].perCoreThroughput ||
+            a[i].channelUtilization != b[i].channelUtilization ||
+            a[i].averageQueueingDelay != b[i].averageQueueingDelay) {
+            return false;
+        }
+    }
+    return true;
+}
+
+/**
+ * Explicit serial-vs-parallel sweep: times jobs=1 against jobs=4,
+ * checks bit-identity, and records everything in @p metrics.
+ */
+void
+measureSweepSpeedup(MetricsRegistry &metrics)
+{
+    std::vector<SaturationPoint> serial, parallel4;
+    const double serial_seconds = timedSweep(1, serial);
+    const double parallel_seconds = timedSweep(4, parallel4);
+    const bool identical = identicalResults(serial, parallel4);
+
+    metrics.addCounter("saturation.points", serial.size());
+    metrics.setGauge("saturation.serial_seconds", serial_seconds);
+    metrics.setGauge("saturation.parallel4_seconds",
+                     parallel_seconds);
+    metrics.setGauge("saturation.speedup_4_threads",
+                     parallel_seconds > 0.0
+                         ? serial_seconds / parallel_seconds
+                         : 0.0);
+    metrics.setGauge("saturation.bit_identical",
+                     identical ? 1.0 : 0.0);
+    metrics.setGauge("saturation.hardware_threads",
+                     static_cast<double>(hardwareJobs()));
+
+    std::cout << "saturation sweep: serial " << serial_seconds
+              << " s, jobs=4 " << parallel_seconds << " s, speedup "
+              << (parallel_seconds > 0.0
+                      ? serial_seconds / parallel_seconds
+                      : 0.0)
+              << "x, results "
+              << (identical ? "bit-identical" : "DIVERGED") << '\n';
+}
+
 } // namespace
 } // namespace bwwall
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Strip --json FILE before google-benchmark sees the arguments
+    // (it owns a conflicting --benchmark_out and rejects strangers).
+    std::string json_path;
+    std::vector<char *> args;
+    for (int i = 0; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+            continue;
+        }
+        args.push_back(argv[i]);
+    }
+    int filtered_argc = static_cast<int>(args.size());
+    benchmark::Initialize(&filtered_argc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(filtered_argc,
+                                               args.data())) {
+        return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    bwwall::MetricsRegistry metrics;
+    bwwall::measureSweepSpeedup(metrics);
+    if (!json_path.empty()) {
+        metrics.writeJsonFile(json_path);
+        std::cout << "metrics: " << json_path << '\n';
+    }
+    return 0;
+}

@@ -3,12 +3,17 @@
  * Config-file-driven experiment runner (sixth runnable example).
  *
  * Describes a bandwidth-wall what-if in a plain text file and runs
- * it: single-generation solve, multi-generation study, and optional
- * throughput pricing — so experiments are shareable artifacts rather
- * than command lines.
+ * it: single-generation solve, multi-generation study, optional
+ * throughput pricing, and an optional trace-driven cache sweep — so
+ * experiments are shareable artifacts rather than command lines.
  *
  * Usage:
- *   experiment_runner <scenario.cfg>
+ *   experiment_runner <scenario.cfg> [--jobs N] [--json FILE]
+ *
+ * --jobs N caps the worker threads used by the parallel sweeps (0 =
+ * hardware concurrency; overrides the cfg "jobs" key) and --json
+ * FILE writes the run's MetricsRegistry as JSON.  Parallel results
+ * are bit-identical to serial ones at any job count.
  *
  * Recognised keys (all optional):
  *   alpha = 0.5            workload exponent
@@ -20,10 +25,19 @@
  *   assume = realistic     pessimistic | realistic | optimistic
  *   throughput = true      also price the design in throughput
  *   stall_share = 0.3      baseline memory-stall share for that
+ *   jobs = 0               worker threads for the parallel sweeps
+ *   cache_profiles = Commercial-AVG, SPEC2006-AVG   trace-driven
+ *                          cache sweep over named Figure 1 profiles
+ *   cache_kib = 256        cache capacity for that sweep, in KiB
+ *   cache_warm = 100000    warm-up accesses per shard
+ *   cache_accesses = 400000  measured accesses per workload
+ *   cache_shards = 4       independent shards per workload
  *
  * See examples/scenarios/ for ready-made files.
  */
 
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <string>
 
@@ -46,22 +60,62 @@ parseAssumption(const std::string &name)
     std::exit(1);
 }
 
+/** Looks up a Figure 1 profile by name; exits on an unknown name. */
+WorkloadProfileSpec
+profileByName(const std::string &name)
+{
+    for (const WorkloadProfileSpec &spec : figure1Profiles()) {
+        if (spec.name == name)
+            return spec;
+    }
+    std::cerr << "unknown cache profile '" << name
+              << "'; known profiles:";
+    for (const WorkloadProfileSpec &spec : figure1Profiles())
+        std::cerr << ' ' << spec.name;
+    std::cerr << '\n';
+    std::exit(1);
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    if (argc != 2) {
-        std::cerr << "usage: experiment_runner <scenario.cfg>\n";
+    std::string config_path, json_path;
+    bool jobs_from_cli = false;
+    unsigned cli_jobs = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+            cli_jobs = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+            jobs_from_cli = true;
+        } else if (std::strcmp(argv[i], "--json") == 0 &&
+                   i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (config_path.empty()) {
+            config_path = argv[i];
+        } else {
+            std::cerr << "usage: experiment_runner <scenario.cfg> "
+                         "[--jobs N] [--json FILE]\n";
+            return 1;
+        }
+    }
+    if (config_path.empty()) {
+        std::cerr << "usage: experiment_runner <scenario.cfg> "
+                     "[--jobs N] [--json FILE]\n";
         return 1;
     }
-    const ConfigFile config = ConfigFile::parseFile(argv[1]);
+    const ConfigFile config = ConfigFile::parseFile(config_path);
 
     const double alpha = config.getDouble("alpha", 0.5);
     const double scale = config.getDouble("scale", 2.0);
     const double budget = config.getDouble("budget", 1.0);
     const Assumption assumption =
         parseAssumption(config.getString("assume", "realistic"));
+    const unsigned jobs = jobs_from_cli
+        ? cli_jobs
+        : static_cast<unsigned>(config.getInt("jobs", 0));
+    MetricsRegistry metrics;
 
     std::vector<Technique> techniques;
     for (const std::string &label : config.getList("techniques"))
@@ -73,7 +127,7 @@ main(int argc, char **argv)
     scenario.trafficBudget = budget;
     scenario.techniques = techniques;
 
-    std::cout << "scenario: " << argv[1] << "\n  alpha " << alpha
+    std::cout << "scenario: " << config_path << "\n  alpha " << alpha
               << ", " << scenario.totalCeas << " CEAs (" << scale
               << "x), budget " << budget << "x";
     for (const Technique &technique : techniques)
@@ -96,6 +150,8 @@ main(int argc, char **argv)
         params.bandwidthGrowthPerGeneration =
             config.getDouble("bandwidth_growth", 1.0);
         params.techniques = techniques;
+        params.jobs = jobs;
+        params.metrics = &metrics;
         const auto results = runScalingStudy(params);
         std::cout << "\nacross generations:\n";
         Table table({"scale", "cores", "core_area_percent"});
@@ -125,6 +181,49 @@ main(int argc, char **argv)
                                 1)
                   << "% lost to the wall vs "
                   << free_bw.cores << " cores unconstrained)\n";
+    }
+
+    const auto cache_profiles = config.getList("cache_profiles");
+    if (!cache_profiles.empty()) {
+        TraceCacheSweepParams sweep;
+        sweep.cache.capacityBytes =
+            static_cast<std::uint64_t>(
+                config.getInt("cache_kib", 256)) *
+            1024;
+        sweep.jobs = jobs;
+        sweep.metrics = &metrics;
+        for (const std::string &name : cache_profiles) {
+            TraceCacheWorkload workload;
+            workload.profile = profileByName(name);
+            workload.warmAccesses = static_cast<std::uint64_t>(
+                config.getInt("cache_warm", 100000));
+            workload.measuredAccesses = static_cast<std::uint64_t>(
+                config.getInt("cache_accesses", 400000));
+            workload.shards = static_cast<unsigned>(
+                config.getInt("cache_shards", 4));
+            sweep.workloads.push_back(workload);
+        }
+        const auto results = runTraceCacheSweep(sweep);
+        std::cout << "\ntrace-driven cache sweep ("
+                  << sweep.cache.capacityBytes / 1024 << " KiB, "
+                  << sweep.workloads.front().shards
+                  << " shards/workload):\n";
+        Table table({"workload", "miss_rate", "writeback_ratio",
+                     "traffic_bytes_per_access"});
+        for (const TraceCacheResult &result : results) {
+            table.addRow({
+                result.workload,
+                Table::num(result.stats.missRate(), 4),
+                Table::num(result.stats.writebackRatio(), 3),
+                Table::num(result.stats.trafficBytesPerAccess(), 2),
+            });
+        }
+        table.print(std::cout);
+    }
+
+    if (!json_path.empty()) {
+        metrics.writeJsonFile(json_path);
+        std::cout << "\nmetrics: " << json_path << '\n';
     }
     return 0;
 }

@@ -1,19 +1,74 @@
 #!/usr/bin/env bash
 # Reproduces every paper artifact and stores the outputs under results/.
+#
 # Usage: scripts/reproduce_all.sh [build-dir]
+#
+# Environment:
+#   BWWALL_QUICK=1  quick mode: the figure benches shrink their trace
+#                   lengths ~10x and the perf benches run with a
+#                   minimal measurement time — used by CI as a smoke
+#                   pass over the full artifact pipeline.
+#   BWWALL_JOBS=N   worker threads for the parallel sweep engines.
+#
+# Any failing bench fails the whole script (nonzero exit) after every
+# bench has had its chance to run, so one broken figure does not hide
+# the state of the others.
 set -euo pipefail
 build="${1:-build}"
 out=results
 mkdir -p "$out"
 
-cmake -B "$build" -G Ninja
-cmake --build "$build"
+if [ ! -f "$build/CMakeCache.txt" ]; then
+    if command -v ninja >/dev/null 2>&1; then
+        cmake -B "$build" -G Ninja
+    else
+        cmake -B "$build"
+    fi
+fi
+cmake --build "$build" -j "$(nproc)"
 ctest --test-dir "$build" --output-on-failure
 
+quick="${BWWALL_QUICK:-}"
+failed=()
 for bench in "$build"/bench/*; do
+    [ -x "$bench" ] || continue
     name=$(basename "$bench")
     echo "== $name"
-    "$bench" | tee "$out/$name.txt" >/dev/null
-    "$bench" --csv > "$out/$name.csv" || true
+    case "$name" in
+      perf_*)
+        # Library microbenchmarks: no --csv mode; in quick mode cap
+        # the per-benchmark measurement time.  Always capture the
+        # structured run metrics.
+        args=(--json "$out/$name.metrics.json")
+        if [ -n "$quick" ] && [ "$quick" != 0 ]; then
+            # benchmark >= 1.8 wants a suffixed duration, older
+            # versions a bare double; probe which one this build has.
+            min_time=0.01s
+            if ! "$bench" --benchmark_min_time="$min_time" \
+                    --benchmark_list_tests >/dev/null 2>&1; then
+                min_time=0.01
+            fi
+            args+=("--benchmark_min_time=$min_time")
+        fi
+        if ! "$bench" "${args[@]}" | tee "$out/$name.txt" >/dev/null
+        then
+            failed+=("$name")
+        fi
+        ;;
+      *)
+        if ! "$bench" --json "$out/$name.metrics.json" \
+                | tee "$out/$name.txt" >/dev/null; then
+            failed+=("$name")
+        fi
+        if ! "$bench" --csv > "$out/$name.csv"; then
+            failed+=("$name (--csv)")
+        fi
+        ;;
+    esac
 done
+
+if [ "${#failed[@]}" -gt 0 ]; then
+    echo "FAILED benches: ${failed[*]}" >&2
+    exit 1
+fi
 echo "outputs in $out/"

@@ -20,6 +20,7 @@
 #include "cache/miss_curve.hh"
 #include "cache/prefetcher.hh"
 #include "cache/set_assoc_cache.hh"
+#include "cache/trace_sim.hh"
 #include "compress/bdi.hh"
 #include "compress/fpc.hh"
 #include "compress/link.hh"
@@ -50,9 +51,11 @@
 #include "util/config.hh"
 #include "util/distributions.hh"
 #include "util/linear_fit.hh"
+#include "util/metrics.hh"
 #include "util/rng.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
+#include "util/thread_pool.hh"
 #include "util/units.hh"
 
 #endif // BWWALL_BWWALL_HH

@@ -1,0 +1,146 @@
+#include "cache/trace_sim.hh"
+
+#include <chrono>
+#include <memory>
+
+#include "cache/set_assoc_cache.hh"
+#include "util/logging.hh"
+#include "util/metrics.hh"
+#include "util/thread_pool.hh"
+
+namespace bwwall {
+
+namespace {
+
+/** Flat task coordinates: one task per (workload, shard) pair. */
+struct ShardTask
+{
+    std::size_t workload = 0;
+    unsigned shard = 0;
+};
+
+/** Accesses measured by one shard (remainder goes to shard 0). */
+std::uint64_t
+shardAccesses(const TraceCacheWorkload &workload, unsigned shard)
+{
+    const std::uint64_t share =
+        workload.measuredAccesses / workload.shards;
+    return shard == 0
+               ? share + workload.measuredAccesses % workload.shards
+               : share;
+}
+
+/** Simulates one shard; fully self-contained. */
+CacheStats
+simulateShard(const TraceCacheSweepParams &params,
+              const ShardTask &task)
+{
+    const TraceCacheWorkload &workload =
+        params.workloads[task.workload];
+    const std::uint64_t seed =
+        shardSeed(params.seed, task.workload, task.shard);
+
+    CacheConfig config = params.cache;
+    config.seed = seed;
+    SetAssociativeCache cache(config);
+
+    const std::unique_ptr<TraceSource> trace = makeProfileTrace(
+        workload.profile, seed, config.lineBytes);
+
+    for (std::uint64_t i = 0; i < workload.warmAccesses; ++i)
+        cache.access(trace->next());
+    cache.resetStats();
+    const std::uint64_t measured = shardAccesses(workload,
+                                                 task.shard);
+    for (std::uint64_t i = 0; i < measured; ++i)
+        cache.access(trace->next());
+    return cache.stats();
+}
+
+/** Sums the second stats block into the first, field by field. */
+void
+mergeStats(CacheStats &into, const CacheStats &from)
+{
+    into.accesses += from.accesses;
+    into.reads += from.reads;
+    into.writes += from.writes;
+    into.hits += from.hits;
+    into.misses += from.misses;
+    into.sectorMisses += from.sectorMisses;
+    into.evictions += from.evictions;
+    into.writebacks += from.writebacks;
+    into.bytesFetched += from.bytesFetched;
+    into.bytesWrittenBack += from.bytesWrittenBack;
+    into.prefetchFills += from.prefetchFills;
+    into.usefulPrefetches += from.usefulPrefetches;
+    into.uselessPrefetches += from.uselessPrefetches;
+}
+
+} // namespace
+
+std::uint64_t
+shardSeed(std::uint64_t base, std::size_t workload, unsigned shard)
+{
+    // SplitMix64 over the (workload, shard) coordinates: distinct
+    // coordinates land in distinct, well-mixed streams.
+    std::uint64_t z = base +
+                      0x9e3779b97f4a7c15ULL *
+                          (static_cast<std::uint64_t>(workload) *
+                               0x10001ULL +
+                           shard + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::vector<TraceCacheResult>
+runTraceCacheSweep(const TraceCacheSweepParams &params)
+{
+    if (params.workloads.empty())
+        fatal("trace cache sweep requires at least one workload");
+
+    std::vector<ShardTask> tasks;
+    for (std::size_t w = 0; w < params.workloads.size(); ++w) {
+        if (params.workloads[w].shards == 0)
+            fatal("workload '", params.workloads[w].profile.name,
+                  "' must have at least one shard");
+        for (unsigned s = 0; s < params.workloads[w].shards; ++s)
+            tasks.push_back({w, s});
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    // One task per shard; every shard derives its whole trace and
+    // cache from shardSeed(), so the parallel sweep is bit-identical
+    // to the serial one.
+    const std::vector<CacheStats> shard_stats = parallelMap(
+        tasks.size(), params.jobs,
+        [&params, &tasks](std::size_t i) {
+            return simulateShard(params, tasks[i]);
+        });
+    const double wall = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - start).count();
+
+    std::vector<TraceCacheResult> results(params.workloads.size());
+    for (std::size_t w = 0; w < params.workloads.size(); ++w)
+        results[w].workload = params.workloads[w].profile.name;
+    for (std::size_t i = 0; i < tasks.size(); ++i)
+        mergeStats(results[tasks[i].workload].stats, shard_stats[i]);
+
+    if (params.metrics != nullptr) {
+        MetricsRegistry &metrics = *params.metrics;
+        metrics.addCounter("trace_sim.workloads",
+                           params.workloads.size());
+        metrics.addCounter("trace_sim.shards", tasks.size());
+        std::uint64_t accesses = 0;
+        for (const TraceCacheResult &result : results)
+            accesses += result.stats.accesses;
+        metrics.addCounter("trace_sim.accesses", accesses);
+        metrics.observeTimer("trace_sim.sweep", wall);
+        if (wall > 0.0)
+            metrics.setGauge("trace_sim.accesses_per_second",
+                             static_cast<double>(accesses) / wall);
+    }
+    return results;
+}
+
+} // namespace bwwall

@@ -1,52 +1,102 @@
 #include "mem/system_sim.hh"
 
+#include <algorithm>
+#include <chrono>
 #include <memory>
 
 #include "util/logging.hh"
+#include "util/metrics.hh"
+#include "util/thread_pool.hh"
 
 namespace bwwall {
+
+namespace {
+
+/** Simulates one core-count point; fully self-contained. */
+SaturationPoint
+simulatePoint(const SaturationSweepParams &params, unsigned cores)
+{
+    EventQueue events;
+    MemoryChannel channel(events, params.channel);
+    std::vector<std::unique_ptr<SimpleCore>> core_models;
+    core_models.reserve(cores);
+    for (unsigned core = 0; core < cores; ++core) {
+        SimpleCoreConfig config = params.coreTemplate;
+        config.seed = params.coreTemplate.seed + core * 7919 + 1;
+        core_models.push_back(std::make_unique<SimpleCore>(
+            events, channel, config));
+        core_models.back()->start();
+    }
+    events.runUntil(params.simulatedCycles);
+
+    std::uint64_t completed = 0;
+    for (const auto &core : core_models)
+        completed += core->stats().completedRequests;
+
+    SaturationPoint point;
+    point.cores = cores;
+    point.aggregateThroughput =
+        static_cast<double>(completed) * 1000.0 /
+        static_cast<double>(params.simulatedCycles);
+    point.perCoreThroughput =
+        point.aggregateThroughput / static_cast<double>(cores);
+    point.channelUtilization = channel.utilization();
+    point.averageQueueingDelay =
+        channel.stats().averageQueueingDelay();
+    return point;
+}
+
+} // namespace
 
 std::vector<SaturationPoint>
 runSaturationSweep(const SaturationSweepParams &params)
 {
     if (params.coreCounts.empty())
         fatal("saturation sweep requires at least one core count");
-
-    std::vector<SaturationPoint> points;
-    points.reserve(params.coreCounts.size());
-
     for (const unsigned cores : params.coreCounts) {
         if (cores == 0)
             fatal("core count must be positive");
+    }
 
-        EventQueue events;
-        MemoryChannel channel(events, params.channel);
-        std::vector<std::unique_ptr<SimpleCore>> core_models;
-        core_models.reserve(cores);
-        for (unsigned core = 0; core < cores; ++core) {
-            SimpleCoreConfig config = params.coreTemplate;
-            config.seed = params.coreTemplate.seed + core * 7919 + 1;
-            core_models.push_back(std::make_unique<SimpleCore>(
-                events, channel, config));
-            core_models.back()->start();
+    const auto start = std::chrono::steady_clock::now();
+    // One task per core-count point.  Each point builds its own
+    // event queue, channel, and cores from per-point seeds, so the
+    // parallel sweep is bit-identical to the serial one.
+    std::vector<SaturationPoint> points = parallelMap(
+        params.coreCounts.size(), params.jobs,
+        [&params](std::size_t i) {
+            return simulatePoint(params, params.coreCounts[i]);
+        });
+    const double wall = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - start).count();
+
+    if (params.metrics != nullptr) {
+        MetricsRegistry &metrics = *params.metrics;
+        metrics.addCounter("saturation.points", points.size());
+        metrics.observeTimer("saturation.sweep", wall);
+        const double simulated =
+            static_cast<double>(params.simulatedCycles) *
+            static_cast<double>(points.size());
+        if (wall > 0.0)
+            metrics.setGauge("saturation.sim_cycles_per_second",
+                             simulated / wall);
+        double peak_throughput = 0.0;
+        double peak_utilization = 0.0;
+        double peak_delay = 0.0;
+        for (const SaturationPoint &point : points) {
+            peak_throughput = std::max(peak_throughput,
+                                       point.aggregateThroughput);
+            peak_utilization = std::max(peak_utilization,
+                                        point.channelUtilization);
+            peak_delay = std::max(peak_delay,
+                                  point.averageQueueingDelay);
         }
-        events.runUntil(params.simulatedCycles);
-
-        std::uint64_t completed = 0;
-        for (const auto &core : core_models)
-            completed += core->stats().completedRequests;
-
-        SaturationPoint point;
-        point.cores = cores;
-        point.aggregateThroughput =
-            static_cast<double>(completed) * 1000.0 /
-            static_cast<double>(params.simulatedCycles);
-        point.perCoreThroughput =
-            point.aggregateThroughput / static_cast<double>(cores);
-        point.channelUtilization = channel.utilization();
-        point.averageQueueingDelay =
-            channel.stats().averageQueueingDelay();
-        points.push_back(point);
+        metrics.setGauge("saturation.peak_aggregate_throughput",
+                         peak_throughput);
+        metrics.setGauge("saturation.peak_channel_utilization",
+                         peak_utilization);
+        metrics.setGauge("saturation.peak_queueing_delay",
+                         peak_delay);
     }
     return points;
 }

@@ -14,6 +14,8 @@
 
 namespace bwwall {
 
+class MetricsRegistry;
+
 /** Parameters of a saturation sweep. */
 struct SaturationSweepParams
 {
@@ -28,6 +30,17 @@ struct SaturationSweepParams
 
     /** Simulated duration per point, in cycles. */
     Tick simulatedCycles = 2000000;
+
+    /**
+     * Worker threads simulating points concurrently; 0 defers to
+     * BWWALL_JOBS / hardware_concurrency().  Every point is an
+     * independent simulation with its own seeds, so the results are
+     * bit-identical for any job count.
+     */
+    unsigned jobs = 0;
+
+    /** Optional sink for run metrics ("saturation.*"); may be null. */
+    MetricsRegistry *metrics = nullptr;
 };
 
 /** Result of one core-count point. */

@@ -1,10 +1,41 @@
 #include "model/scaling_study.hh"
 
+#include <chrono>
 #include <cmath>
 
 #include "util/logging.hh"
+#include "util/metrics.hh"
+#include "util/thread_pool.hh"
 
 namespace bwwall {
+
+namespace {
+
+/** Evaluates one generation; a pure function of the parameters. */
+GenerationResult
+evaluateGeneration(const ScalingStudyParams &params, int generation)
+{
+    const double scale = std::pow(2.0, generation);
+
+    ScalingScenario scenario;
+    scenario.baseline = params.baseline;
+    scenario.alpha = params.alpha;
+    scenario.totalCeas = params.baseline.totalCeas * scale;
+    scenario.trafficBudget =
+        std::pow(params.bandwidthGrowthPerGeneration, generation);
+    scenario.techniques = params.techniques;
+
+    const SolveResult solved = solveSupportableCores(scenario);
+
+    GenerationResult result;
+    result.scale = scale;
+    result.totalCeas = scenario.totalCeas;
+    result.cores = solved.supportableCores;
+    result.coreAreaFraction = solved.coreAreaFraction;
+    return result;
+}
+
+} // namespace
 
 std::vector<GenerationResult>
 runScalingStudy(const ScalingStudyParams &params)
@@ -12,29 +43,26 @@ runScalingStudy(const ScalingStudyParams &params)
     if (params.generations < 1)
         fatal("scaling study requires at least one generation");
 
-    std::vector<GenerationResult> results;
-    results.reserve(static_cast<std::size_t>(params.generations));
+    const auto start = std::chrono::steady_clock::now();
+    // One task per generation; each evaluation is pure, so the
+    // parallel study is bit-identical to the serial one.
+    std::vector<GenerationResult> results = parallelMap(
+        static_cast<std::size_t>(params.generations), params.jobs,
+        [&params](std::size_t g) {
+            return evaluateGeneration(params,
+                                      static_cast<int>(g) + 1);
+        });
 
-    for (int generation = 1; generation <= params.generations;
-         ++generation) {
-        const double scale = std::pow(2.0, generation);
-
-        ScalingScenario scenario;
-        scenario.baseline = params.baseline;
-        scenario.alpha = params.alpha;
-        scenario.totalCeas = params.baseline.totalCeas * scale;
-        scenario.trafficBudget =
-            std::pow(params.bandwidthGrowthPerGeneration, generation);
-        scenario.techniques = params.techniques;
-
-        const SolveResult solved = solveSupportableCores(scenario);
-
-        GenerationResult result;
-        result.scale = scale;
-        result.totalCeas = scenario.totalCeas;
-        result.cores = solved.supportableCores;
-        result.coreAreaFraction = solved.coreAreaFraction;
-        results.push_back(result);
+    if (params.metrics != nullptr) {
+        params.metrics->addCounter("scaling.generations",
+                                   results.size());
+        params.metrics->observeTimer(
+            "scaling.study",
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start).count());
+        params.metrics->setGauge(
+            "scaling.cores_at_final_generation",
+            static_cast<double>(results.back().cores));
     }
     return results;
 }
@@ -59,29 +87,47 @@ idealScaling(const CmpConfig &baseline, int generations)
 std::vector<TechniqueCandle>
 figure15Study(const ScalingStudyParams &base_params)
 {
-    std::vector<TechniqueCandle> candles;
-    for (const TechniqueAssumption &row : table2Assumptions()) {
-        TechniqueCandle candle;
-        candle.label = row.label;
-        for (const Assumption assumption :
-             {Assumption::Pessimistic, Assumption::Realistic,
-              Assumption::Optimistic}) {
+    static constexpr Assumption kAssumptions[] = {
+        Assumption::Pessimistic, Assumption::Realistic,
+        Assumption::Optimistic};
+    static constexpr std::size_t kLevels = 3;
+
+    const std::vector<TechniqueAssumption> &rows =
+        table2Assumptions();
+    const auto start = std::chrono::steady_clock::now();
+
+    // One task per technique×assumption cell.  Each cell runs its
+    // own serial study (jobs = 1) so the cell grid, not nested
+    // pools, carries the parallelism.
+    const auto cells = parallelMap(
+        rows.size() * kLevels, base_params.jobs,
+        [&base_params, &rows](std::size_t cell) {
             ScalingStudyParams params = base_params;
-            params.techniques = {row.make(assumption)};
-            auto results = runScalingStudy(params);
-            switch (assumption) {
-              case Assumption::Pessimistic:
-                candle.pessimistic = std::move(results);
-                break;
-              case Assumption::Realistic:
-                candle.realistic = std::move(results);
-                break;
-              case Assumption::Optimistic:
-                candle.optimistic = std::move(results);
-                break;
-            }
-        }
+            params.jobs = 1;
+            params.metrics = nullptr;
+            params.techniques = {rows[cell / kLevels].make(
+                kAssumptions[cell % kLevels])};
+            return runScalingStudy(params);
+        });
+
+    std::vector<TechniqueCandle> candles;
+    candles.reserve(rows.size());
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        TechniqueCandle candle;
+        candle.label = rows[r].label;
+        candle.pessimistic = cells[r * kLevels + 0];
+        candle.realistic = cells[r * kLevels + 1];
+        candle.optimistic = cells[r * kLevels + 2];
         candles.push_back(std::move(candle));
+    }
+
+    if (base_params.metrics != nullptr) {
+        base_params.metrics->addCounter("scaling.cells",
+                                        rows.size() * kLevels);
+        base_params.metrics->observeTimer(
+            "scaling.figure15_study",
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start).count());
     }
     return candles;
 }

@@ -19,6 +19,8 @@
 
 namespace bwwall {
 
+class MetricsRegistry;
+
 /** One generation's outcome for one configuration. */
 struct GenerationResult
 {
@@ -52,6 +54,18 @@ struct ScalingStudyParams
 
     /** Techniques applied in every generation. */
     std::vector<Technique> techniques;
+
+    /**
+     * Worker threads evaluating generations (and, in figure15Study,
+     * technique×assumption cells) concurrently; 0 defers to
+     * BWWALL_JOBS / hardware_concurrency().  Every cell is a pure
+     * function of the parameters, so the results are bit-identical
+     * for any job count.
+     */
+    unsigned jobs = 0;
+
+    /** Optional sink for run metrics ("scaling.*"); may be null. */
+    MetricsRegistry *metrics = nullptr;
 };
 
 /** Runs the study; result[g] is generation g+1 (scale 2^(g+1)). */

@@ -1,0 +1,182 @@
+#include "util/metrics.hh"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace bwwall {
+
+namespace {
+
+/** Escapes a string for inclusion in a JSON string literal. */
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                std::ostringstream hex;
+                hex << "\\u" << std::hex << std::setw(4)
+                    << std::setfill('0') << static_cast<int>(c);
+                out += hex.str();
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/**
+ * Formats a double with enough digits to round-trip, using a fixed
+ * style so serialization is deterministic.
+ */
+std::string
+jsonNumber(double value)
+{
+    std::ostringstream oss;
+    oss << std::setprecision(17) << value;
+    const std::string text = oss.str();
+    // JSON has no inf/nan literals; report them as null.
+    if (text.find("inf") != std::string::npos ||
+        text.find("nan") != std::string::npos)
+        return "null";
+    return text;
+}
+
+} // namespace
+
+void
+MetricsRegistry::addCounter(const std::string &name,
+                            std::uint64_t delta)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_[name] += delta;
+}
+
+void
+MetricsRegistry::setGauge(const std::string &name, double value)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    gauges_[name] = value;
+}
+
+void
+MetricsRegistry::observeTimer(const std::string &name, double seconds)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    TimerCell &cell = timers_[name];
+    ++cell.count;
+    cell.seconds += seconds;
+}
+
+std::uint64_t
+MetricsRegistry::counter(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+double
+MetricsRegistry::gauge(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0.0 : it->second;
+}
+
+double
+MetricsRegistry::timerSeconds(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = timers_.find(name);
+    return it == timers_.end() ? 0.0 : it->second.seconds;
+}
+
+std::uint64_t
+MetricsRegistry::timerCount(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = timers_.find(name);
+    return it == timers_.end() ? 0 : it->second.count;
+}
+
+bool
+MetricsRegistry::empty() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_.empty() && gauges_.empty() && timers_.empty();
+}
+
+void
+MetricsRegistry::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_.clear();
+    gauges_.clear();
+    timers_.clear();
+}
+
+void
+MetricsRegistry::writeJson(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    os << "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto &[name, value] : counters_) {
+        os << (first ? "" : ",") << "\n    \"" << jsonEscape(name)
+           << "\": " << value;
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+    first = true;
+    for (const auto &[name, value] : gauges_) {
+        os << (first ? "" : ",") << "\n    \"" << jsonEscape(name)
+           << "\": " << jsonNumber(value);
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "},\n  \"timers\": {";
+    first = true;
+    for (const auto &[name, cell] : timers_) {
+        os << (first ? "" : ",") << "\n    \"" << jsonEscape(name)
+           << "\": {\"count\": " << cell.count
+           << ", \"seconds\": " << jsonNumber(cell.seconds) << "}";
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "}\n}\n";
+}
+
+void
+MetricsRegistry::writeJsonFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot write metrics file '", path, "'");
+    writeJson(out);
+    out.flush();
+    if (!out)
+        fatal("failed writing metrics file '", path, "'");
+}
+
+} // namespace bwwall

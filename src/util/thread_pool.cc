@@ -1,0 +1,151 @@
+#include "util/thread_pool.hh"
+
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace bwwall {
+
+namespace {
+
+constexpr std::size_t kNoFailure = ~std::size_t{0};
+
+} // namespace
+
+unsigned
+hardwareJobs()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1u : hw;
+}
+
+unsigned
+defaultJobs()
+{
+    const char *env = std::getenv("BWWALL_JOBS");
+    if (env == nullptr || *env == '\0')
+        return hardwareJobs();
+    char *end = nullptr;
+    const long value = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || value <= 0)
+        fatal("BWWALL_JOBS must be a positive integer, got '", env,
+              "'");
+    return static_cast<unsigned>(value);
+}
+
+unsigned
+resolveJobs(unsigned requested)
+{
+    return requested != 0 ? requested : defaultJobs();
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    const unsigned count = threads == 0 ? 1u : threads;
+    workers_.reserve(count);
+    for (unsigned i = 0; i < count; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    workCv_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::run(std::size_t task_count,
+                const std::function<void(std::size_t)> &body)
+{
+    if (task_count == 0)
+        return;
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    // Wait out stragglers from a previous batch so resetting the
+    // dispenser below can never be observed with stale batch state.
+    doneCv_.wait(lock, [this] { return busy_ == 0; });
+
+    taskCount_ = task_count;
+    body_ = &body;
+    nextIndex_.store(0, std::memory_order_relaxed);
+    finished_ = 0;
+    failedIndex_.store(kNoFailure, std::memory_order_relaxed);
+    error_ = nullptr;
+    errorIndex_ = 0;
+    ++generation_;
+    workCv_.notify_all();
+
+    doneCv_.wait(lock, [this] {
+        return finished_ == taskCount_ && busy_ == 0;
+    });
+    body_ = nullptr;
+    if (error_) {
+        const std::exception_ptr error = error_;
+        error_ = nullptr;
+        lock.unlock();
+        std::rethrow_exception(error);
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        workCv_.wait(lock, [this, seen] {
+            return stop_ || generation_ != seen;
+        });
+        if (stop_)
+            return;
+        seen = generation_;
+        const std::size_t count = taskCount_;
+        const std::function<void(std::size_t)> *body = body_;
+        ++busy_;
+        lock.unlock();
+
+        for (;;) {
+            const std::size_t index =
+                nextIndex_.fetch_add(1, std::memory_order_relaxed);
+            if (index >= count)
+                break;
+
+            // Skip only indices above the lowest failure; running
+            // everything below it keeps the rethrown exception equal
+            // to the one a serial loop would throw first.
+            if (index <=
+                failedIndex_.load(std::memory_order_acquire)) {
+                try {
+                    (*body)(index);
+                } catch (...) {
+                    std::size_t prev = failedIndex_.load(
+                        std::memory_order_relaxed);
+                    while (index < prev &&
+                           !failedIndex_.compare_exchange_weak(
+                               prev, index,
+                               std::memory_order_acq_rel)) {
+                    }
+                    std::lock_guard<std::mutex> error_lock(mutex_);
+                    if (!error_ || index < errorIndex_) {
+                        error_ = std::current_exception();
+                        errorIndex_ = index;
+                    }
+                }
+            }
+
+            std::lock_guard<std::mutex> finish_lock(mutex_);
+            ++finished_;
+        }
+
+        lock.lock();
+        if (--busy_ == 0)
+            doneCv_.notify_all();
+    }
+}
+
+} // namespace bwwall

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Deterministic parallel execution for the sweep drivers.
+ *
+ * Every experiment in this suite decomposes into independent design
+ * points (one core count, one generation, one trace shard) whose
+ * results land in pre-assigned output slots, so running them on N
+ * threads is bit-identical to running them serially.  ThreadPool is
+ * deliberately work-stealing-free: tasks are dispensed from a single
+ * monotonic counter in submission order, each task owns its output
+ * slot, and no task ever observes another's state.  parallelFor /
+ * parallelMap are the facade the sweep drivers use.
+ *
+ * The worker count comes from (in priority order) the caller's
+ * explicit request, the BWWALL_JOBS environment variable, and
+ * std::thread::hardware_concurrency().
+ */
+
+#ifndef BWWALL_UTIL_THREAD_POOL_HH
+#define BWWALL_UTIL_THREAD_POOL_HH
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace bwwall {
+
+/** Usable hardware threads; at least 1 even when unknown. */
+unsigned hardwareJobs();
+
+/**
+ * The default worker count: BWWALL_JOBS when set (fatal if it is not
+ * a positive integer), otherwise hardwareJobs().
+ */
+unsigned defaultJobs();
+
+/** Maps the conventional "0 = auto" job request to a real count. */
+unsigned resolveJobs(unsigned requested);
+
+/**
+ * Fixed-size pool executing batches of index-addressed tasks.
+ *
+ * run(count, body) executes body(0) .. body(count - 1) exactly once
+ * each.  Indices are dispensed in increasing order from an atomic
+ * counter (no stealing, no per-thread queues), and the lowest-index
+ * failure wins deterministically: the exception rethrown by run() is
+ * the one a serial loop would have thrown first.  Tasks whose index
+ * exceeds the lowest failing index are skipped; lower-index tasks
+ * still run, exactly as they would have under a serial loop.
+ */
+class ThreadPool
+{
+  public:
+    /** Spawns `threads` workers (at least one). */
+    explicit ThreadPool(unsigned threads);
+
+    /** Joins all workers; pending batches must have completed. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    unsigned threadCount() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /**
+     * Runs one batch to completion on the pool's workers, blocking
+     * the caller.  Rethrows the lowest-index task exception, if any.
+     */
+    void run(std::size_t task_count,
+             const std::function<void(std::size_t)> &body);
+
+  private:
+    void workerLoop();
+
+    std::mutex mutex_;
+    std::condition_variable workCv_;
+    std::condition_variable doneCv_;
+    std::vector<std::thread> workers_;
+    bool stop_ = false;
+
+    // State of the in-flight batch, guarded as commented.
+    std::uint64_t generation_ = 0;             ///< guarded by mutex_
+    std::size_t taskCount_ = 0;                ///< set before wakeup
+    const std::function<void(std::size_t)> *body_ = nullptr;
+    std::atomic<std::size_t> nextIndex_{0};
+    std::size_t finished_ = 0;                 ///< guarded by mutex_
+    /** Workers currently inside a batch's task loop. */
+    std::size_t busy_ = 0;                     ///< guarded by mutex_
+    /** Lowest failing task index so far; SIZE_MAX when none. */
+    std::atomic<std::size_t> failedIndex_{~std::size_t{0}};
+    std::exception_ptr error_;                 ///< guarded by mutex_
+    std::size_t errorIndex_ = 0;               ///< guarded by mutex_
+};
+
+/**
+ * Runs body(0) .. body(count - 1), each exactly once, on up to
+ * `jobs` threads (0 = defaultJobs()).  Serial when jobs resolves to
+ * 1 or the batch has a single task; parallel execution is
+ * result-identical to serial for self-contained tasks.
+ */
+template <typename Body>
+void
+parallelFor(std::size_t count, unsigned jobs, Body &&body)
+{
+    if (count == 0)
+        return;
+    const unsigned resolved = resolveJobs(jobs);
+    if (resolved <= 1 || count == 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            body(i);
+        return;
+    }
+    const auto threads = static_cast<unsigned>(
+        std::min<std::size_t>(resolved, count));
+    ThreadPool pool(threads);
+    const std::function<void(std::size_t)> fn =
+        [&body](std::size_t i) { body(i); };
+    pool.run(count, fn);
+}
+
+/**
+ * Maps index i to body(i) and returns the results in index order.
+ * Each task writes only its own slot, so the returned vector is
+ * bit-identical whatever the thread count.
+ */
+template <typename Body>
+auto
+parallelMap(std::size_t count, unsigned jobs, Body &&body)
+    -> std::vector<std::decay_t<decltype(body(std::size_t{0}))>>
+{
+    using Result = std::decay_t<decltype(body(std::size_t{0}))>;
+    std::vector<Result> results(count);
+    parallelFor(count, jobs,
+                [&results, &body](std::size_t i) {
+                    results[i] = body(i);
+                });
+    return results;
+}
+
+} // namespace bwwall
+
+#endif // BWWALL_UTIL_THREAD_POOL_HH

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Unit tests for the run-metrics registry: accumulation semantics,
+ * deterministic JSON serialization, string escaping, file output,
+ * and thread-safety of concurrent updates.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "util/metrics.hh"
+
+namespace bwwall {
+namespace {
+
+TEST(MetricsRegistryTest, StartsEmpty)
+{
+    MetricsRegistry metrics;
+    EXPECT_TRUE(metrics.empty());
+    EXPECT_EQ(metrics.counter("absent"), 0u);
+    EXPECT_DOUBLE_EQ(metrics.gauge("absent"), 0.0);
+    EXPECT_DOUBLE_EQ(metrics.timerSeconds("absent"), 0.0);
+    EXPECT_EQ(metrics.timerCount("absent"), 0u);
+}
+
+TEST(MetricsRegistryTest, CountersAccumulate)
+{
+    MetricsRegistry metrics;
+    metrics.addCounter("sweep.points");
+    metrics.addCounter("sweep.points", 41);
+    EXPECT_EQ(metrics.counter("sweep.points"), 42u);
+    EXPECT_FALSE(metrics.empty());
+}
+
+TEST(MetricsRegistryTest, GaugesLastWriteWins)
+{
+    MetricsRegistry metrics;
+    metrics.setGauge("speedup", 1.5);
+    metrics.setGauge("speedup", 3.25);
+    EXPECT_DOUBLE_EQ(metrics.gauge("speedup"), 3.25);
+}
+
+TEST(MetricsRegistryTest, TimersAccumulateObservations)
+{
+    MetricsRegistry metrics;
+    metrics.observeTimer("sweep", 0.5);
+    metrics.observeTimer("sweep", 0.25);
+    EXPECT_DOUBLE_EQ(metrics.timerSeconds("sweep"), 0.75);
+    EXPECT_EQ(metrics.timerCount("sweep"), 2u);
+}
+
+TEST(MetricsRegistryTest, ClearDiscardsEverything)
+{
+    MetricsRegistry metrics;
+    metrics.addCounter("a");
+    metrics.setGauge("b", 1.0);
+    metrics.observeTimer("c", 1.0);
+    metrics.clear();
+    EXPECT_TRUE(metrics.empty());
+}
+
+TEST(MetricsRegistryTest, JsonShapeAndOrdering)
+{
+    MetricsRegistry metrics;
+    metrics.addCounter("z.last", 2);
+    metrics.addCounter("a.first", 1);
+    metrics.setGauge("ratio", 0.5);
+    metrics.observeTimer("run", 1.5);
+
+    std::ostringstream out;
+    metrics.writeJson(out);
+    EXPECT_EQ(out.str(),
+              "{\n"
+              "  \"counters\": {\n"
+              "    \"a.first\": 1,\n"
+              "    \"z.last\": 2\n"
+              "  },\n"
+              "  \"gauges\": {\n"
+              "    \"ratio\": 0.5\n"
+              "  },\n"
+              "  \"timers\": {\n"
+              "    \"run\": {\"count\": 1, \"seconds\": 1.5}\n"
+              "  }\n"
+              "}\n");
+}
+
+TEST(MetricsRegistryTest, JsonIsDeterministic)
+{
+    auto build = [] {
+        MetricsRegistry metrics;
+        metrics.setGauge("pi-ish", 3.141592653589793);
+        metrics.addCounter("events", 123456789);
+        metrics.observeTimer("t", 0.125);
+        std::ostringstream out;
+        metrics.writeJson(out);
+        return out.str();
+    };
+    EXPECT_EQ(build(), build());
+}
+
+TEST(MetricsRegistryTest, JsonEscapesNames)
+{
+    MetricsRegistry metrics;
+    metrics.addCounter("quote\"back\\slash\nnewline", 1);
+    std::ostringstream out;
+    metrics.writeJson(out);
+    EXPECT_NE(out.str().find("quote\\\"back\\\\slash\\nnewline"),
+              std::string::npos);
+}
+
+TEST(MetricsRegistryTest, NonFiniteGaugesSerializeAsNull)
+{
+    MetricsRegistry metrics;
+    metrics.setGauge("inf", std::numeric_limits<double>::infinity());
+    std::ostringstream out;
+    metrics.writeJson(out);
+    EXPECT_NE(out.str().find("\"inf\": null"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, WriteJsonFileRoundTrips)
+{
+    MetricsRegistry metrics;
+    metrics.addCounter("written", 7);
+    const std::string path =
+        testing::TempDir() + "bwwall_metrics_test.json";
+    metrics.writeJsonFile(path);
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::ostringstream content;
+    content << in.rdbuf();
+    EXPECT_NE(content.str().find("\"written\": 7"),
+              std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(MetricsRegistryTest, ScopedTimerObservesOnDestruction)
+{
+    MetricsRegistry metrics;
+    {
+        ScopedTimer timer(metrics, "scope");
+    }
+    EXPECT_EQ(metrics.timerCount("scope"), 1u);
+    EXPECT_GE(metrics.timerSeconds("scope"), 0.0);
+}
+
+TEST(MetricsRegistryTest, ConcurrentCountersDoNotDropUpdates)
+{
+    MetricsRegistry metrics;
+    const int threads = 8, increments = 10000;
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t) {
+        pool.emplace_back([&metrics] {
+            for (int i = 0; i < increments; ++i)
+                metrics.addCounter("shared");
+        });
+    }
+    for (std::thread &thread : pool)
+        thread.join();
+    EXPECT_EQ(metrics.counter("shared"),
+              static_cast<std::uint64_t>(threads) * increments);
+}
+
+} // namespace
+} // namespace bwwall

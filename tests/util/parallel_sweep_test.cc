@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Serial-versus-parallel equivalence of the sweep drivers: the same
+ * parameters run at jobs=1 and jobs=N must produce field-for-field
+ * identical results, and the optional MetricsRegistry sink must be
+ * populated.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/system_sim.hh"
+#include "model/scaling_study.hh"
+#include "util/metrics.hh"
+
+namespace bwwall {
+namespace {
+
+SaturationSweepParams
+smallSaturationParams(unsigned jobs)
+{
+    SaturationSweepParams params;
+    params.coreCounts = {1, 2, 4, 8};
+    params.simulatedCycles = 50000;
+    params.jobs = jobs;
+    return params;
+}
+
+void
+expectIdentical(const std::vector<SaturationPoint> &a,
+                const std::vector<SaturationPoint> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].cores, b[i].cores);
+        // Exact equality: the parallel run must be bit-identical,
+        // not merely close.
+        EXPECT_EQ(a[i].aggregateThroughput,
+                  b[i].aggregateThroughput);
+        EXPECT_EQ(a[i].perCoreThroughput, b[i].perCoreThroughput);
+        EXPECT_EQ(a[i].channelUtilization,
+                  b[i].channelUtilization);
+        EXPECT_EQ(a[i].averageQueueingDelay,
+                  b[i].averageQueueingDelay);
+    }
+}
+
+void
+expectIdentical(const std::vector<GenerationResult> &a,
+                const std::vector<GenerationResult> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].scale, b[i].scale);
+        EXPECT_EQ(a[i].totalCeas, b[i].totalCeas);
+        EXPECT_EQ(a[i].cores, b[i].cores);
+        EXPECT_EQ(a[i].coreAreaFraction, b[i].coreAreaFraction);
+    }
+}
+
+TEST(ParallelSaturationSweepTest, MatchesSerialAtAnyJobCount)
+{
+    const auto serial = runSaturationSweep(smallSaturationParams(1));
+    for (const unsigned jobs : {2u, 4u}) {
+        const auto parallel =
+            runSaturationSweep(smallSaturationParams(jobs));
+        expectIdentical(serial, parallel);
+    }
+}
+
+TEST(ParallelSaturationSweepTest, PopulatesMetrics)
+{
+    MetricsRegistry metrics;
+    SaturationSweepParams params = smallSaturationParams(2);
+    params.metrics = &metrics;
+    const auto points = runSaturationSweep(params);
+    EXPECT_EQ(metrics.counter("saturation.points"), points.size());
+    EXPECT_EQ(metrics.timerCount("saturation.sweep"), 1u);
+    EXPECT_GT(metrics.gauge("saturation.sim_cycles_per_second"),
+              0.0);
+}
+
+TEST(ParallelScalingStudyTest, MatchesSerialAtAnyJobCount)
+{
+    ScalingStudyParams params;
+    params.generations = 5;
+    params.techniques = {dramCache(8.0), smallCacheLines(0.4)};
+
+    params.jobs = 1;
+    const auto serial = runScalingStudy(params);
+    for (const unsigned jobs : {2u, 4u}) {
+        params.jobs = jobs;
+        expectIdentical(serial, runScalingStudy(params));
+    }
+}
+
+TEST(ParallelScalingStudyTest, PopulatesMetrics)
+{
+    MetricsRegistry metrics;
+    ScalingStudyParams params;
+    params.jobs = 2;
+    params.metrics = &metrics;
+    const auto results = runScalingStudy(params);
+    EXPECT_EQ(metrics.counter("scaling.generations"),
+              results.size());
+    EXPECT_EQ(metrics.timerCount("scaling.study"), 1u);
+}
+
+TEST(ParallelFigure15StudyTest, MatchesSerialAtAnyJobCount)
+{
+    ScalingStudyParams params;
+    params.jobs = 1;
+    const auto serial = figure15Study(params);
+    for (const unsigned jobs : {2u, 4u}) {
+        params.jobs = jobs;
+        const auto parallel = figure15Study(params);
+        ASSERT_EQ(parallel.size(), serial.size());
+        for (std::size_t i = 0; i < serial.size(); ++i) {
+            EXPECT_EQ(parallel[i].label, serial[i].label);
+            expectIdentical(serial[i].pessimistic,
+                            parallel[i].pessimistic);
+            expectIdentical(serial[i].realistic,
+                            parallel[i].realistic);
+            expectIdentical(serial[i].optimistic,
+                            parallel[i].optimistic);
+        }
+    }
+}
+
+TEST(ParallelFigure15StudyTest, PopulatesCellMetrics)
+{
+    MetricsRegistry metrics;
+    ScalingStudyParams params;
+    params.jobs = 2;
+    params.metrics = &metrics;
+    const auto candles = figure15Study(params);
+    EXPECT_EQ(metrics.counter("scaling.cells"), candles.size() * 3);
+    EXPECT_EQ(metrics.timerCount("scaling.figure15_study"), 1u);
+}
+
+} // namespace
+} // namespace bwwall

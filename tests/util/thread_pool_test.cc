@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Unit tests for the deterministic thread pool and the parallelFor /
+ * parallelMap facade: bit-identical results at any thread count,
+ * exactly-once execution, serial-equivalent exception propagation,
+ * and the BWWALL_JOBS / resolveJobs plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hh"
+#include "util/thread_pool.hh"
+
+namespace bwwall {
+namespace {
+
+/** A moderately expensive pure function of the index. */
+double
+workload(std::size_t i)
+{
+    Rng rng(static_cast<std::uint64_t>(i) + 1);
+    double sum = 0.0;
+    for (int draw = 0; draw < 1000; ++draw)
+        sum += rng.nextDouble();
+    return sum + static_cast<double>(i);
+}
+
+TEST(ResolveJobsTest, ZeroMeansDefault)
+{
+    EXPECT_EQ(resolveJobs(0), defaultJobs());
+    EXPECT_EQ(resolveJobs(3), 3u);
+    EXPECT_GE(hardwareJobs(), 1u);
+}
+
+TEST(ResolveJobsTest, EnvironmentOverride)
+{
+    ASSERT_EQ(setenv("BWWALL_JOBS", "5", 1), 0);
+    EXPECT_EQ(defaultJobs(), 5u);
+    EXPECT_EQ(resolveJobs(0), 5u);
+    // An explicit request still wins over the environment.
+    EXPECT_EQ(resolveJobs(2), 2u);
+    ASSERT_EQ(unsetenv("BWWALL_JOBS"), 0);
+    EXPECT_EQ(defaultJobs(), hardwareJobs());
+}
+
+TEST(ParallelForTest, ExecutesEveryIndexExactlyOnce)
+{
+    for (const unsigned jobs : {1u, 2u, 4u, 8u}) {
+        std::vector<std::atomic<int>> hits(257);
+        parallelFor(hits.size(), jobs,
+                    [&hits](std::size_t i) { ++hits[i]; });
+        for (const std::atomic<int> &hit : hits)
+            EXPECT_EQ(hit.load(), 1);
+    }
+}
+
+TEST(ParallelForTest, ZeroAndSingleTaskBatches)
+{
+    int calls = 0;
+    parallelFor(0, 4, [&calls](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    parallelFor(1, 4, [&calls](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelMapTest, BitIdenticalAcrossThreadCounts)
+{
+    const std::size_t count = 64;
+    const std::vector<double> serial =
+        parallelMap(count, 1, workload);
+    for (const unsigned jobs : {2u, 4u, 8u}) {
+        const std::vector<double> parallel =
+            parallelMap(count, jobs, workload);
+        ASSERT_EQ(parallel.size(), serial.size());
+        // Bit identity, not approximate equality.
+        EXPECT_EQ(std::memcmp(parallel.data(), serial.data(),
+                              serial.size() * sizeof(double)),
+                  0)
+            << "diverged at jobs=" << jobs;
+    }
+}
+
+TEST(ParallelMapTest, MoreJobsThanTasks)
+{
+    const std::vector<double> serial = parallelMap(3, 1, workload);
+    const std::vector<double> wide = parallelMap(3, 16, workload);
+    EXPECT_EQ(serial, wide);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossBatches)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threadCount(), 4u);
+    for (int batch = 0; batch < 50; ++batch) {
+        std::atomic<std::size_t> sum{0};
+        const std::function<void(std::size_t)> body =
+            [&sum](std::size_t i) { sum += i + 1; };
+        pool.run(10, body);
+        EXPECT_EQ(sum.load(), 55u);
+    }
+}
+
+TEST(ThreadPoolTest, PropagatesException)
+{
+    EXPECT_THROW(
+        parallelFor(32, 4,
+                    [](std::size_t i) {
+                        if (i == 7)
+                            throw std::runtime_error("task 7");
+                    }),
+        std::runtime_error);
+}
+
+TEST(ThreadPoolTest, LowestIndexFailureWinsDeterministically)
+{
+    // Several tasks throw; the rethrown exception must be the one a
+    // serial loop would hit first, at every thread count.
+    for (const unsigned jobs : {2u, 4u, 8u}) {
+        for (int repeat = 0; repeat < 20; ++repeat) {
+            try {
+                parallelFor(64, jobs, [](std::size_t i) {
+                    if (i == 5 || i == 23 || i == 60)
+                        throw std::runtime_error(
+                            "task " + std::to_string(i));
+                });
+                FAIL() << "expected an exception";
+            } catch (const std::runtime_error &error) {
+                EXPECT_STREQ(error.what(), "task 5");
+            }
+        }
+    }
+}
+
+TEST(ThreadPoolTest, TasksBelowFailureStillRun)
+{
+    // Indices below the failing one must execute even in parallel,
+    // exactly as a serial loop would have done before throwing.
+    std::vector<std::atomic<int>> hits(16);
+    try {
+        parallelFor(hits.size(), 4, [&hits](std::size_t i) {
+            if (i == 10)
+                throw std::runtime_error("boom");
+            ++hits[i];
+        });
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error &) {
+    }
+    for (std::size_t i = 0; i < 10; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+} // namespace
+} // namespace bwwall
