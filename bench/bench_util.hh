@@ -15,49 +15,15 @@
 #include <iostream>
 #include <string>
 
+#include "util/cli.hh"
 #include "util/metrics.hh"
 #include "util/table.hh"
 
 namespace bwwall {
 
-/** Command-line options common to all harnesses. */
-struct BenchOptions
-{
-    bool csv = false;
-
-    /** Worker threads for parallel sweeps (0 = BWWALL_JOBS / auto). */
-    unsigned jobs = 0;
-
-    /** When non-empty, run metrics are written here as JSON. */
-    std::string jsonPath;
-
-    static BenchOptions
-    parse(int argc, char **argv)
-    {
-        BenchOptions options;
-        for (int i = 1; i < argc; ++i) {
-            const std::string arg = argv[i];
-            if (arg == "--csv")
-                options.csv = true;
-            else if (arg == "--jobs" && i + 1 < argc)
-                options.jobs = static_cast<unsigned>(
-                    std::strtoul(argv[++i], nullptr, 10));
-            else if (arg == "--json" && i + 1 < argc)
-                options.jsonPath = argv[++i];
-        }
-        return options;
-    }
-
-    bool
-    hasFlag(int argc, char **argv, const std::string &flag) const
-    {
-        for (int i = 1; i < argc; ++i) {
-            if (std::string(argv[i]) == flag)
-                return true;
-        }
-        return false;
-    }
-};
+// BenchOptions (the flags every harness shares) and CliParser moved
+// to util/cli.hh so the examples use the same parser; this header
+// re-exports them for the harness sources.
 
 /** Emits a table per the options. */
 inline void

@@ -9,7 +9,7 @@
 #include <iostream>
 
 #include "bench/bench_util.hh"
-#include "cache/miss_curve.hh"
+#include "cache/miss_curve_estimator.hh"
 #include "trace/power_law_trace.hh"
 #include "util/stats.hh"
 #include "util/units.hh"
@@ -35,15 +35,16 @@ main(int argc, char **argv)
         trace_params.maxResidentLines = 1 << 17;
         PowerLawTrace trace(trace_params);
 
-        MissCurveSweepParams sweep;
-        sweep.capacities = {8 * kKiB, 32 * kKiB, 128 * kKiB,
-                            512 * kKiB};
+        MissCurveSpec spec;
+        spec.capacities = {8 * kKiB, 32 * kKiB, 128 * kKiB,
+                           512 * kKiB};
         // The warm-up must fully populate the largest cache
         // (capacity / miss-rate accesses), or fills into invalid
         // ways depress the measured eviction/write-back counts.
-        sweep.warmupAccesses = quickScaled(1200000);
-        sweep.measuredAccesses = quickScaled(600000);
-        const auto points = measureMissCurve(trace, sweep);
+        spec.warmupAccesses = quickScaled(1200000);
+        spec.measuredAccesses = quickScaled(600000);
+        spec.kind = MissCurveEstimatorKind::ExactSim;
+        const auto points = estimateMissCurve(trace, spec).points;
 
         RunningStats spread;
         std::vector<std::string> row{Table::num(write_fraction, 2)};

@@ -6,13 +6,16 @@
  *
  * The paper's traces are proprietary; each profile here is a
  * synthetic stream whose reuse-distance tail is tuned to the paper's
- * *fitted* exponent (DESIGN.md, substitution table), replayed
- * through the real set-associative cache simulator over a ladder of
- * sizes.  The capacity range is scaled down relative to the paper's
- * plot (4 KiB - 512 KiB instead of 1 KiB - 10 MB) because synthetic
- * trace windows of laptop-friendly length cannot populate the
- * multi-megabyte tail; the log-log linearity and the fitted alphas
- * are the reproduced quantities.
+ * *fitted* exponent (DESIGN.md, substitution table).  The whole size
+ * grid comes from ONE pass per workload through the selected
+ * MissCurveEstimator (default: the single-pass stack-distance
+ * engine); an exact per-size replay runs alongside as the oracle
+ * column, and the two fitted alphas must agree.  The capacity range
+ * is scaled down relative to the paper's plot (4 KiB - 512 KiB
+ * instead of 1 KiB - 10 MB) because synthetic trace windows of
+ * laptop-friendly length cannot populate the multi-megabyte tail;
+ * the log-log linearity and the fitted alphas are the reproduced
+ * quantities.
  *
  * Paper result: commercial workloads fit the power law closely with
  * alpha from 0.36 (OLTP-2) to 0.62 (OLTP-4), average 0.48; the SPEC
@@ -20,54 +23,41 @@
  * are staircase-like and fit poorly.
  *
  * Pass --policies to add the replacement-policy ablation (fitted
- * alpha under LRU / tree-PLRU / FIFO / random).
+ * alpha under LRU / tree-PLRU / FIFO / random; always measured with
+ * the exact estimator — the stack engine models LRU only).
  */
 
+#include <algorithm>
+#include <cmath>
 #include <iostream>
 #include <memory>
 
 #include "bench/bench_util.hh"
-#include "cache/miss_curve.hh"
+#include "cache/trace_sim.hh"
 #include "trace/profiles.hh"
-#include "trace/reuse_analyzer.hh"
 #include "trace/working_set_trace.hh"
+#include "util/logging.hh"
 #include "util/units.hh"
 
 using namespace bwwall;
 
 namespace {
 
-MissCurveSweepParams
-sweepParams()
+MissCurveSpec
+baseSpec(const BenchOptions &options)
 {
-    MissCurveSweepParams params;
-    params.capacities = capacityLadder(4 * kKiB, 512 * kKiB);
-    params.cacheTemplate.associativity = 8;
-    params.warmupAccesses = quickScaled(400000);
-    params.measuredAccesses = quickScaled(900000);
-    return params;
-}
-
-/** Analyzer-based cross-check: fit alpha via Mattson profiling. */
-double
-analyzerAlpha(TraceSource &trace)
-{
-    trace.reset();
-    ReuseDistanceAnalyzer analyzer(64);
-    const std::uint64_t warm = quickScaled(400000);
-    const std::uint64_t measured = quickScaled(900000);
-    for (std::uint64_t i = 0; i < warm; ++i)
-        analyzer.observe(trace.next());
-    analyzer.resetCounters();
-    for (std::uint64_t i = 0; i < measured; ++i)
-        analyzer.observe(trace.next());
-
-    std::vector<double> capacities, rates;
-    for (std::size_t lines = 64; lines <= 8192; lines *= 2) {
-        capacities.push_back(static_cast<double>(lines));
-        rates.push_back(analyzer.missRateAtCapacity(lines));
-    }
-    return -fitPowerLaw(capacities, rates).exponent;
+    MissCurveSpec spec;
+    spec.capacities = capacityLadder(4 * kKiB, 512 * kKiB);
+    spec.cache.associativity = 8;
+    spec.warmupAccesses = quickScaled(400000);
+    spec.measuredAccesses = quickScaled(900000);
+    spec.kind = MissCurveEstimatorKind::StackDistance;
+    if (!options.estimator.empty() &&
+        !parseMissCurveEstimatorKind(options.estimator, &spec.kind))
+        fatal("unknown estimator '", options.estimator, "'");
+    spec.sampleRate = options.sampleRateOr(0.1);
+    spec.seed = options.seedOr(2026);
+    return spec;
 }
 
 } // namespace
@@ -75,76 +65,110 @@ analyzerAlpha(TraceSource &trace)
 int
 main(int argc, char **argv)
 {
-    const BenchOptions options = BenchOptions::parse(argc, argv);
+    bool policies = false;
+    CliParser parser("fig01_powerlaw_validation",
+                     "Figure 1: miss rate vs cache size power law");
+    parser.addFlag("--policies", &policies,
+                   "add the replacement-policy ablation");
+    const BenchOptions options =
+        BenchOptions::parse(argc, argv, parser);
     printBanner(std::cout, "Figure 1: normalized miss rate vs cache "
                            "size, with power-law fits");
 
-    const MissCurveSweepParams sweep = sweepParams();
+    const MissCurveSpec spec = baseSpec(options);
+    MetricsRegistry metrics;
+
+    // One single-pass estimate and one exact replay per workload;
+    // the exact column is the oracle the fitted alpha must match.
+    TraceMissCurveSweepParams sweep;
+    sweep.workloads = figure1Profiles();
+    sweep.spec = spec;
+    sweep.jobs = options.jobs;
+    sweep.metrics = &metrics;
+    const auto estimated = runTraceMissCurveSweep(sweep);
+
+    TraceMissCurveSweepParams oracle = sweep;
+    oracle.spec.kind = MissCurveEstimatorKind::ExactSim;
+    oracle.metrics = nullptr;
+    const auto exact = runTraceMissCurveSweep(oracle);
 
     // Header: one column per capacity.
     std::vector<std::string> headers{"workload"};
-    for (const std::uint64_t capacity : sweep.capacities)
+    for (const std::uint64_t capacity : spec.capacities)
         headers.push_back(
             Table::num(static_cast<long long>(capacity / kKiB)) +
             "KiB");
     headers.push_back("fitted_alpha");
+    headers.push_back("exact_alpha");
     headers.push_back("target_alpha");
     headers.push_back("r_squared");
-    headers.push_back("analyzer_alpha");
+    headers.push_back("passes");
     Table table(std::move(headers));
 
-    for (const WorkloadProfileSpec &spec : figure1Profiles()) {
-        auto trace = makeProfileTrace(spec, 2026);
-        const auto points = measureMissCurve(*trace, sweep);
-        const PowerLawFit fit = fitMissCurve(points);
+    double worst_alpha_gap = 0.0;
+    for (std::size_t w = 0; w < estimated.size(); ++w) {
+        const MissCurve &curve = estimated[w].curve;
+        const PowerLawFit fit = curve.fit();
+        const double exact_alpha = -exact[w].curve.fit().exponent;
+        worst_alpha_gap = std::max(
+            worst_alpha_gap, std::abs(-fit.exponent - exact_alpha));
 
-        std::vector<std::string> row{spec.name};
-        const double reference = points.front().missRate;
-        for (const MissCurvePoint &point : points)
+        std::vector<std::string> row{estimated[w].workload};
+        const double reference = curve.points.front().missRate;
+        for (const MissCurvePoint &point : curve.points)
             row.push_back(Table::num(point.missRate / reference, 3));
         row.push_back(Table::num(-fit.exponent, 3));
-        row.push_back(Table::num(spec.alpha, 2));
+        row.push_back(Table::num(exact_alpha, 3));
+        row.push_back(Table::num(sweep.workloads[w].alpha, 2));
         row.push_back(Table::num(fit.rSquared, 4));
-        row.push_back(Table::num(analyzerAlpha(*trace), 3));
+        row.push_back(
+            Table::num(static_cast<long long>(curve.tracePasses)));
         table.addRow(row);
     }
     emit(table, options);
+    metrics.setGauge("fig01.worst_alpha_gap_vs_exact",
+                     worst_alpha_gap);
+    std::cout << "worst |alpha_" << missCurveEstimatorKindName(spec.kind)
+              << " - alpha_exact| = "
+              << Table::num(worst_alpha_gap, 4) << '\n';
 
-    // Individual SPEC-like applications: the staircase counterpoint.
+    // Individual SPEC-like applications: the staircase counterpoint,
+    // through the same estimator entry point.
     std::cout << "\nindividual SPEC-like applications (discrete "
                  "working sets; power-law fit degrades):\n";
     Table staircase({"application", "miss_4KiB", "miss_64KiB",
                      "miss_512KiB", "r_squared"});
     for (const WorkingSetTraceParams &app :
-         specDiscreteAppParams(2026)) {
+         specDiscreteAppParams(spec.seed)) {
         WorkingSetTrace trace(app);
-        MissCurveSweepParams app_sweep = sweep;
-        app_sweep.warmupAccesses = quickScaled(150000);
-        app_sweep.measuredAccesses = quickScaled(300000);
-        const auto points = measureMissCurve(trace, app_sweep);
-        const PowerLawFit fit = fitMissCurve(points);
+        MissCurveSpec app_spec = spec;
+        app_spec.warmupAccesses = quickScaled(150000);
+        app_spec.measuredAccesses = quickScaled(300000);
+        const MissCurve curve = estimateMissCurve(trace, app_spec);
+        const PowerLawFit fit = curve.fit();
         staircase.addRow({app.label,
-                          Table::num(points.front().missRate, 4),
-                          Table::num(points[4].missRate, 4),
-                          Table::num(points.back().missRate, 4),
+                          Table::num(curve.points.front().missRate, 4),
+                          Table::num(curve.points[4].missRate, 4),
+                          Table::num(curve.points.back().missRate, 4),
                           Table::num(fit.rSquared, 3)});
     }
     emit(staircase, options);
 
-    const BenchOptions probe;
-    if (probe.hasFlag(argc, argv, "--policies")) {
+    if (policies) {
         std::cout << "\nreplacement-policy ablation (Commercial-AVG "
-                     "profile):\n";
+                     "profile; exact estimator):\n";
         Table ablation({"policy", "fitted_alpha", "r_squared"});
         for (const ReplacementKind kind :
              {ReplacementKind::LRU, ReplacementKind::TreePLRU,
               ReplacementKind::FIFO, ReplacementKind::Random}) {
-            auto trace =
-                makeProfileTrace(commercialAverageProfile(), 2026);
-            MissCurveSweepParams policy_sweep = sweep;
-            policy_sweep.cacheTemplate.replacement = kind;
-            const auto points = measureMissCurve(*trace, policy_sweep);
-            const PowerLawFit fit = fitMissCurve(points);
+            auto trace = makeProfileTrace(commercialAverageProfile(),
+                                          spec.seed);
+            MissCurveSpec policy_spec = spec;
+            policy_spec.kind = MissCurveEstimatorKind::ExactSim;
+            policy_spec.cache.replacement = kind;
+            const MissCurve curve =
+                estimateMissCurve(*trace, policy_spec);
+            const PowerLawFit fit = curve.fit();
             ablation.addRow({replacementKindName(kind),
                              Table::num(-fit.exponent, 3),
                              Table::num(fit.rSquared, 4)});
@@ -152,6 +176,7 @@ main(int argc, char **argv)
         emit(ablation, options);
     }
 
+    emitMetricsJson(metrics, options);
     std::cout << '\n';
     paperNote("all applications follow straight lines in log-log "
               "space; commercial avg alpha 0.48 (min 0.36 OLTP-2, "

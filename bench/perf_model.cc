@@ -13,13 +13,13 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
-#include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "mem/system_sim.hh"
 #include "model/scaling_study.hh"
+#include "util/cli.hh"
 #include "util/metrics.hh"
 #include "util/thread_pool.hh"
 
@@ -181,31 +181,28 @@ measureSweepSpeedup(MetricsRegistry &metrics)
 int
 main(int argc, char **argv)
 {
-    // Strip --json FILE before google-benchmark sees the arguments
-    // (it owns a conflicting --benchmark_out and rejects strangers).
-    std::string json_path;
-    std::vector<char *> args;
-    for (int i = 0; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-            json_path = argv[++i];
-            continue;
-        }
-        args.push_back(argv[i]);
-    }
-    int filtered_argc = static_cast<int>(args.size());
-    benchmark::Initialize(&filtered_argc, args.data());
-    if (benchmark::ReportUnrecognizedArguments(filtered_argc,
-                                               args.data())) {
+    // Consume this repository's shared flags before google-benchmark
+    // sees the arguments (it owns a conflicting --benchmark_out and
+    // rejects strangers); everything unrecognised stays in argv.
+    bwwall::CliParser parser("perf_model");
+    bwwall::BenchOptions options;
+    options.registerWith(parser);
+    bwwall::CliParser::Status status = bwwall::CliParser::Status::Ok;
+    argc = parser.parseKnown(argc, argv, &status);
+    if (status != bwwall::CliParser::Status::Ok)
         return 1;
-    }
+
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
 
     bwwall::MetricsRegistry metrics;
     bwwall::measureSweepSpeedup(metrics);
-    if (!json_path.empty()) {
-        metrics.writeJsonFile(json_path);
-        std::cout << "metrics: " << json_path << '\n';
+    if (!options.jsonPath.empty()) {
+        metrics.writeJsonFile(options.jsonPath);
+        std::cout << "metrics: " << options.jsonPath << '\n';
     }
     return 0;
 }

@@ -20,7 +20,7 @@
 #include <string>
 #include <vector>
 
-#include "cache/miss_curve.hh"
+#include "cache/miss_curve_estimator.hh"
 #include "model/scaling_study.hh"
 #include "trace/profiles.hh"
 #include "util/table.hh"
@@ -51,24 +51,25 @@ main(int argc, char **argv)
         return 1;
     }
 
-    // 2. Measure the workload's miss curve on the cache simulator
-    //    and fit its alpha.
+    // 2. Measure the workload's miss curve in one stack-distance
+    //    pass and fit its alpha.
     std::cout << "measuring miss curve of " << spec.name
-              << " on the cache simulator...\n";
+              << " (single-pass stack-distance estimator)...\n";
     auto trace = makeProfileTrace(spec, 7);
-    MissCurveSweepParams sweep;
-    sweep.capacities = capacityLadder(8 * kKiB, 512 * kKiB);
-    sweep.cacheTemplate.associativity = 8;
-    sweep.warmupAccesses = 300000;
-    sweep.measuredAccesses = 600000;
-    const auto points = measureMissCurve(*trace, sweep);
-    const PowerLawFit fit = fitMissCurve(points);
+    MissCurveSpec curve_spec;
+    curve_spec.capacities = capacityLadder(8 * kKiB, 512 * kKiB);
+    curve_spec.cache.associativity = 8;
+    curve_spec.warmupAccesses = 300000;
+    curve_spec.measuredAccesses = 600000;
+    curve_spec.kind = MissCurveEstimatorKind::StackDistance;
+    const MissCurve curve = estimateMissCurve(*trace, curve_spec);
+    const PowerLawFit fit = curve.fit();
     const double alpha = -fit.exponent;
 
     std::cout << "fitted alpha = " << Table::num(alpha, 3)
               << " (R^2 = " << Table::num(fit.rSquared, 4)
               << "), write-back ratio "
-              << Table::num(points.back().writebackRatio, 2)
+              << Table::num(curve.points.back().writebackRatio, 2)
               << "\n\n";
 
     // 3. Rank the Table 2 techniques for this workload at 16x.

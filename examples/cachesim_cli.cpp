@@ -4,53 +4,36 @@
  *
  * Drives a configurable cache with either a named synthetic workload
  * profile or a recorded trace file, and prints the full statistics —
- * the mini-cachegrind a downstream user would reach for first.
- *
- * Usage:
- *   cachesim_cli [--profile NAME | --trace FILE]
- *                [--size KIB] [--line BYTES] [--assoc WAYS]
- *                [--policy lru|tree-plru|fifo|random]
- *                [--sectored] [--sector BYTES]
- *                [--warm N] [--accesses N] [--seed S]
- *                [--record FILE]
+ * the mini-cachegrind a downstream user would reach for first.  With
+ * --curve it estimates the whole miss curve up to the configured
+ * capacity through the MissCurveEstimator engine instead (one pass
+ * with the stack estimators, one replay per size with --estimator
+ * exact).
  *
  * Examples:
  *   cachesim_cli --profile OLTP-2 --size 256
  *   cachesim_cli --profile Commercial-AVG --sectored --sector 16
  *   cachesim_cli --profile OLTP-4 --record /tmp/oltp4.bwtr
  *   cachesim_cli --trace /tmp/oltp4.bwtr --size 64
+ *   cachesim_cli --profile OLTP-4 --curve --estimator sampled
  */
 
-#include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <string>
 
+#include "cache/miss_curve_estimator.hh"
 #include "cache/set_assoc_cache.hh"
 #include "trace/profiles.hh"
 #include "trace/trace_io.hh"
+#include "util/cli.hh"
+#include "util/logging.hh"
 #include "util/table.hh"
 #include "util/units.hh"
 
 using namespace bwwall;
 
 namespace {
-
-void
-usage()
-{
-    std::cout <<
-        "usage: cachesim_cli [--profile NAME | --trace FILE]\n"
-        "                    [--size KIB] [--line BYTES]\n"
-        "                    [--assoc WAYS] [--policy P]\n"
-        "                    [--sectored] [--sector BYTES]\n"
-        "                    [--warm N] [--accesses N] [--seed S]\n"
-        "                    [--record FILE]\n"
-        "profiles:";
-    for (const WorkloadProfileSpec &spec : figure1Profiles())
-        std::cout << ' ' << spec.name;
-    std::cout << "\npolicies: lru tree-plru fifo random\n";
-}
 
 ReplacementKind
 parsePolicy(const std::string &name)
@@ -63,8 +46,8 @@ parsePolicy(const std::string &name)
         return ReplacementKind::FIFO;
     if (name == "random")
         return ReplacementKind::Random;
-    usage();
-    std::exit(1);
+    fatal("unknown policy '", name,
+          "'; expected lru | tree-plru | fifo | random");
 }
 
 } // namespace
@@ -75,53 +58,54 @@ main(int argc, char **argv)
     std::string profile_name = "Commercial-AVG";
     std::string trace_path;
     std::string record_path;
+    std::string policy = "lru";
+    std::string estimator = "stack";
+    bool sectored = false;
+    bool curve = false;
+    double sample_rate = 0.1;
     CacheConfig config;
-    config.capacityBytes = 256 * kKiB;
+    std::uint64_t size_kib = 256;
     std::uint64_t warm = 200000;
     std::uint64_t accesses = 500000;
     std::uint64_t seed = 1;
 
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        auto value = [&]() -> std::string {
-            if (i + 1 >= argc) {
-                usage();
-                std::exit(1);
-            }
-            return argv[++i];
-        };
-        if (arg == "--profile")
-            profile_name = value();
-        else if (arg == "--trace")
-            trace_path = value();
-        else if (arg == "--size")
-            config.capacityBytes = std::stoull(value()) * kKiB;
-        else if (arg == "--line")
-            config.lineBytes =
-                static_cast<std::uint32_t>(std::stoul(value()));
-        else if (arg == "--assoc")
-            config.associativity =
-                static_cast<std::uint32_t>(std::stoul(value()));
-        else if (arg == "--policy")
-            config.replacement = parsePolicy(value());
-        else if (arg == "--sectored")
-            config.sectored = true;
-        else if (arg == "--sector")
-            config.sectorBytes =
-                static_cast<std::uint32_t>(std::stoul(value()));
-        else if (arg == "--warm")
-            warm = std::stoull(value());
-        else if (arg == "--accesses")
-            accesses = std::stoull(value());
-        else if (arg == "--seed")
-            seed = std::stoull(value());
-        else if (arg == "--record")
-            record_path = value();
-        else {
-            usage();
-            return arg == "--help" ? 0 : 1;
-        }
-    }
+    CliParser parser("cachesim_cli",
+                     "trace-driven cache simulator and miss-curve "
+                     "estimator");
+    parser.addOption("--profile", &profile_name, "NAME",
+                     "synthetic workload profile (Figure 1 name)");
+    parser.addOption("--trace", &trace_path, "FILE",
+                     "replay a recorded trace instead of a profile");
+    parser.addOption("--size", &size_kib, "KIB",
+                     "cache capacity in KiB");
+    parser.addOption("--line", &config.lineBytes, "BYTES",
+                     "line size in bytes");
+    parser.addOption("--assoc", &config.associativity, "WAYS",
+                     "ways per set (0 = fully associative)");
+    parser.addOption("--policy", &policy, "P",
+                     "replacement: lru | tree-plru | fifo | random");
+    parser.addFlag("--sectored", &sectored,
+                   "sectored cache (fill sector-by-sector)");
+    parser.addOption("--sector", &config.sectorBytes, "BYTES",
+                     "sector size in bytes");
+    parser.addOption("--warm", &warm, "N", "warm-up accesses");
+    parser.addOption("--accesses", &accesses, "N",
+                     "measured accesses");
+    parser.addOption("--seed", &seed, "S", "trace seed");
+    parser.addOption("--record", &record_path, "FILE",
+                     "record the stream, then replay the file");
+    parser.addFlag("--curve", &curve,
+                   "estimate the miss curve up to --size instead of "
+                   "simulating one size");
+    parser.addOption("--estimator", &estimator, "KIND",
+                     "miss-curve estimator: exact | stack | sampled");
+    parser.addOption("--sample-rate", &sample_rate, "R",
+                     "SHARDS sampling rate in (0, 1]");
+    parser.parseOrExit(argc, argv);
+
+    config.capacityBytes = size_kib * kKiB;
+    config.replacement = parsePolicy(policy);
+    config.sectored = sectored;
 
     // Build the reference stream.
     std::unique_ptr<TraceSource> trace;
@@ -137,8 +121,11 @@ main(int argc, char **argv)
             }
         }
         if (!found) {
-            std::cerr << "unknown profile '" << profile_name << "'\n";
-            usage();
+            std::cerr << "unknown profile '" << profile_name
+                      << "'; known profiles:";
+            for (const WorkloadProfileSpec &spec : figure1Profiles())
+                std::cerr << ' ' << spec.name;
+            std::cerr << '\n';
             return 1;
         }
     }
@@ -151,7 +138,6 @@ main(int argc, char **argv)
         trace = std::make_unique<FileTraceSource>(record_path, true);
     }
 
-    SetAssociativeCache cache(config);
     std::cout << "cache: " << config.capacityBytes / kKiB << " KiB, "
               << config.lineBytes << "B lines, "
               << (config.associativity == 0
@@ -163,6 +149,44 @@ main(int argc, char **argv)
     std::cout << "\ntrace: " << trace->name() << ", warm " << warm
               << ", measured " << accesses << "\n\n";
 
+    if (curve) {
+        MissCurveSpec spec;
+        spec.cache = config;
+        spec.capacities =
+            capacityLadder(4 * kKiB, config.capacityBytes);
+        spec.warmupAccesses = warm;
+        spec.measuredAccesses = accesses;
+        spec.sampleRate = sample_rate;
+        spec.seed = seed;
+        if (!parseMissCurveEstimatorKind(estimator, &spec.kind))
+            fatal("unknown estimator '", estimator, "'");
+
+        const MissCurve result = estimateMissCurve(*trace, spec);
+        Table table({"capacity_kib", "miss_rate", "writeback_ratio",
+                     "traffic_bytes_per_access"});
+        for (const MissCurvePoint &point : result.points) {
+            table.addRow({
+                Table::num(static_cast<long long>(
+                    point.capacityBytes / kKiB)),
+                Table::num(point.missRate, 5),
+                Table::num(point.writebackRatio, 4),
+                Table::num(point.trafficBytesPerAccess, 3),
+            });
+        }
+        table.print(std::cout);
+        const PowerLawFit fit = result.fit();
+        std::cout << "estimator " << result.estimator << ", "
+                  << result.tracePasses << " trace pass"
+                  << (result.tracePasses == 1 ? "" : "es") << ", "
+                  << result.sampledAccesses << '/'
+                  << result.profiledAccesses
+                  << " accesses profiled\nfitted alpha "
+                  << Table::num(-fit.exponent, 3) << " (r^2 "
+                  << Table::num(fit.rSquared, 4) << ")\n";
+        return 0;
+    }
+
+    SetAssociativeCache cache(config);
     for (std::uint64_t i = 0; i < warm; ++i)
         cache.access(trace->next());
     cache.resetStats();

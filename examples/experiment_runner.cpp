@@ -4,8 +4,9 @@
  *
  * Describes a bandwidth-wall what-if in a plain text file and runs
  * it: single-generation solve, multi-generation study, optional
- * throughput pricing, and an optional trace-driven cache sweep — so
- * experiments are shareable artifacts rather than command lines.
+ * throughput pricing, an optional trace-driven cache sweep, and an
+ * optional miss-curve estimation sweep — so experiments are
+ * shareable artifacts rather than command lines.
  *
  * Usage:
  *   experiment_runner <scenario.cfg> [--jobs N] [--json FILE]
@@ -32,12 +33,19 @@
  *   cache_warm = 100000    warm-up accesses per shard
  *   cache_accesses = 400000  measured accesses per workload
  *   cache_shards = 4       independent shards per workload
+ *   curve_profiles = OLTP-4, SPEC2006-AVG   miss-curve estimation
+ *                          sweep over named Figure 1 profiles
+ *   curve_kib = 512        largest ladder capacity, in KiB
+ *   curve_estimator = stack  exact | stack | sampled
+ *   curve_sample_rate = 0.1  SHARDS rate for curve_estimator=sampled
+ *   curve_warm = 100000    warm-up accesses per workload
+ *   curve_accesses = 400000  measured accesses per workload
+ *   curve_seed = 2026      base trace seed for the curve sweep
  *
  * See examples/scenarios/ for ready-made files.
  */
 
 #include <cstdlib>
-#include <cstring>
 #include <iostream>
 #include <string>
 
@@ -46,6 +54,9 @@
 using namespace bwwall;
 
 namespace {
+
+/** --jobs sentinel: the cfg "jobs" key applies unless it was given. */
+constexpr std::uint32_t kJobsUnset = 0xffffffffu;
 
 Assumption
 parseAssumption(const std::string &name)
@@ -82,29 +93,18 @@ int
 main(int argc, char **argv)
 {
     std::string config_path, json_path;
-    bool jobs_from_cli = false;
-    unsigned cli_jobs = 0;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-            cli_jobs = static_cast<unsigned>(
-                std::strtoul(argv[++i], nullptr, 10));
-            jobs_from_cli = true;
-        } else if (std::strcmp(argv[i], "--json") == 0 &&
-                   i + 1 < argc) {
-            json_path = argv[++i];
-        } else if (config_path.empty()) {
-            config_path = argv[i];
-        } else {
-            std::cerr << "usage: experiment_runner <scenario.cfg> "
-                         "[--jobs N] [--json FILE]\n";
-            return 1;
-        }
-    }
-    if (config_path.empty()) {
-        std::cerr << "usage: experiment_runner <scenario.cfg> "
-                     "[--jobs N] [--json FILE]\n";
-        return 1;
-    }
+    std::uint32_t cli_jobs = kJobsUnset;
+    CliParser parser("experiment_runner",
+                     "run a bandwidth-wall what-if described in a "
+                     "scenario config file");
+    parser.addPositional("scenario.cfg", &config_path,
+                         "experiment description (key = value lines)");
+    parser.addOption("--jobs", &cli_jobs, "N",
+                     "worker threads for the parallel sweeps "
+                     "(0 = hardware; overrides the cfg jobs key)");
+    parser.addOption("--json", &json_path, "FILE",
+                     "write the run's metrics registry as JSON");
+    parser.parseOrExit(argc, argv);
     const ConfigFile config = ConfigFile::parseFile(config_path);
 
     const double alpha = config.getDouble("alpha", 0.5);
@@ -112,7 +112,7 @@ main(int argc, char **argv)
     const double budget = config.getDouble("budget", 1.0);
     const Assumption assumption =
         parseAssumption(config.getString("assume", "realistic"));
-    const unsigned jobs = jobs_from_cli
+    const unsigned jobs = cli_jobs != kJobsUnset
         ? cli_jobs
         : static_cast<unsigned>(config.getInt("jobs", 0));
     MetricsRegistry metrics;
@@ -216,6 +216,60 @@ main(int argc, char **argv)
                 Table::num(result.stats.missRate(), 4),
                 Table::num(result.stats.writebackRatio(), 3),
                 Table::num(result.stats.trafficBytesPerAccess(), 2),
+            });
+        }
+        table.print(std::cout);
+    }
+
+    const auto curve_profiles = config.getList("curve_profiles");
+    if (!curve_profiles.empty()) {
+        TraceMissCurveSweepParams sweep;
+        for (const std::string &name : curve_profiles)
+            sweep.workloads.push_back(profileByName(name));
+        sweep.spec.capacities = capacityLadder(
+            4 * kKiB,
+            static_cast<std::uint64_t>(
+                config.getInt("curve_kib", 512)) *
+                kKiB);
+        sweep.spec.cache.associativity = 8;
+        sweep.spec.warmupAccesses = static_cast<std::uint64_t>(
+            config.getInt("curve_warm", 100000));
+        sweep.spec.measuredAccesses = static_cast<std::uint64_t>(
+            config.getInt("curve_accesses", 400000));
+        const std::string estimator =
+            config.getString("curve_estimator", "stack");
+        if (!parseMissCurveEstimatorKind(estimator,
+                                         &sweep.spec.kind)) {
+            std::cerr << "unknown curve_estimator '" << estimator
+                      << "'\n";
+            return 1;
+        }
+        sweep.spec.sampleRate =
+            config.getDouble("curve_sample_rate", 0.1);
+        sweep.spec.seed = static_cast<std::uint64_t>(
+            config.getInt("curve_seed", 2026));
+        sweep.jobs = jobs;
+        sweep.metrics = &metrics;
+        const auto results = runTraceMissCurveSweep(sweep);
+        std::cout << "\nmiss-curve estimation sweep ("
+                  << missCurveEstimatorKindName(sweep.spec.kind)
+                  << " estimator, "
+                  << sweep.spec.capacities.size()
+                  << "-point ladder up to "
+                  << sweep.spec.capacities.back() / kKiB
+                  << " KiB):\n";
+        Table table({"workload", "miss_min_kib", "miss_max_kib",
+                     "fitted_alpha", "r_squared", "passes"});
+        for (const TraceMissCurveResult &result : results) {
+            const PowerLawFit fit = result.curve.fit();
+            table.addRow({
+                result.workload,
+                Table::num(result.curve.points.front().missRate, 4),
+                Table::num(result.curve.points.back().missRate, 4),
+                Table::num(-fit.exponent, 3),
+                Table::num(fit.rSquared, 4),
+                Table::num(static_cast<long long>(
+                    result.curve.tracePasses)),
             });
         }
         table.print(std::cout);

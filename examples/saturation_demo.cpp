@@ -13,12 +13,11 @@
  * any job count) and --json FILE writes run metrics as JSON.
  */
 
-#include <cstdlib>
-#include <cstring>
 #include <iostream>
 #include <string>
 
 #include "mem/system_sim.hh"
+#include "util/cli.hh"
 #include "util/metrics.hh"
 #include "util/table.hh"
 
@@ -54,21 +53,16 @@ printSweep(const char *title, const SaturationSweepParams &params)
 int
 main(int argc, char **argv)
 {
-    unsigned jobs = 0;
+    std::uint32_t jobs = 0;
     std::string json_path;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-            jobs = static_cast<unsigned>(
-                std::strtoul(argv[++i], nullptr, 10));
-        } else if (std::strcmp(argv[i], "--json") == 0 &&
-                   i + 1 < argc) {
-            json_path = argv[++i];
-        } else {
-            std::cerr << "usage: saturation_demo [--jobs N] "
-                         "[--json FILE]\n";
-            return 1;
-        }
-    }
+    CliParser parser("saturation_demo",
+                     "memory-channel saturation walkthrough on the "
+                     "event-driven system simulator");
+    parser.addOption("--jobs", &jobs, "N",
+                     "worker threads for the sweep (0 = hardware)");
+    parser.addOption("--json", &json_path, "FILE",
+                     "write run metrics as JSON");
+    parser.parseOrExit(argc, argv);
     MetricsRegistry metrics;
 
     SaturationSweepParams params;

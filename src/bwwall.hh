@@ -11,13 +11,14 @@
 
 // Library version.
 #define BWWALL_VERSION_MAJOR 1
-#define BWWALL_VERSION_MINOR 0
+#define BWWALL_VERSION_MINOR 1
 #define BWWALL_VERSION_PATCH 0
 
 #include "cache/coherent_system.hh"
 #include "cache/compressed_cache.hh"
 #include "cache/hierarchy.hh"
 #include "cache/miss_curve.hh"
+#include "cache/miss_curve_estimator.hh"
 #include "cache/prefetcher.hh"
 #include "cache/set_assoc_cache.hh"
 #include "cache/trace_sim.hh"
@@ -44,10 +45,12 @@
 #include "trace/profiles.hh"
 #include "trace/reuse_analyzer.hh"
 #include "trace/shared_trace.hh"
+#include "trace/stack_distance.hh"
 #include "trace/trace_io.hh"
 #include "trace/trace_source.hh"
 #include "trace/value_pattern.hh"
 #include "trace/working_set_trace.hh"
+#include "util/cli.hh"
 #include "util/config.hh"
 #include "util/distributions.hh"
 #include "util/linear_fit.hh"

@@ -1,40 +1,28 @@
 #include "cache/miss_curve.hh"
 
-#include "cache/set_assoc_cache.hh"
+#include "cache/miss_curve_estimator.hh"
 #include "util/logging.hh"
 
 namespace bwwall {
 
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 std::vector<MissCurvePoint>
 measureMissCurve(TraceSource &trace, const MissCurveSweepParams &params)
 {
-    if (params.capacities.empty())
-        fatal("miss-curve sweep requires at least one capacity");
-
-    std::vector<MissCurvePoint> points;
-    points.reserve(params.capacities.size());
-    for (const std::uint64_t capacity : params.capacities) {
-        CacheConfig config = params.cacheTemplate;
-        config.capacityBytes = capacity;
-        SetAssociativeCache cache(config);
-
-        trace.reset();
-        for (std::uint64_t i = 0; i < params.warmupAccesses; ++i)
-            cache.access(trace.next());
-        cache.resetStats();
-        for (std::uint64_t i = 0; i < params.measuredAccesses; ++i)
-            cache.access(trace.next());
-
-        MissCurvePoint point;
-        point.capacityBytes = capacity;
-        point.missRate = cache.stats().missRate();
-        point.writebackRatio = cache.stats().writebackRatio();
-        point.trafficBytesPerAccess =
-            cache.stats().trafficBytesPerAccess();
-        points.push_back(point);
-    }
-    return points;
+    // Compatibility shim: forwards to the exact estimator of the
+    // unified engine, preserving the old bit-exact behaviour.
+    MissCurveSpec spec;
+    spec.cache = params.cacheTemplate;
+    spec.capacities = params.capacities;
+    spec.warmupAccesses = params.warmupAccesses;
+    spec.measuredAccesses = params.measuredAccesses;
+    spec.kind = MissCurveEstimatorKind::ExactSim;
+    return estimateMissCurve(trace, spec).points;
 }
+
+#pragma GCC diagnostic pop
 
 PowerLawFit
 fitMissCurve(const std::vector<MissCurvePoint> &points)

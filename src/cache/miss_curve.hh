@@ -1,8 +1,12 @@
 /**
  * @file
- * Miss-curve measurement: replays one trace against a ladder of cache
- * sizes and fits the power law of cache misses, reproducing the
- * methodology behind the paper's Figure 1.
+ * Miss-curve data types and power-law fitting.
+ *
+ * The sweep machinery that used to live here (MissCurveSweepParams /
+ * measureMissCurve) is superseded by the MissCurveEstimator API in
+ * cache/miss_curve_estimator.hh, which adds single-pass stack-distance
+ * estimation next to the per-size replay; the old entry points remain
+ * as deprecated shims for one release.
  */
 
 #ifndef BWWALL_CACHE_MISS_CURVE_HH
@@ -28,8 +32,18 @@ struct MissCurvePoint
     double trafficBytesPerAccess = 0.0;
 };
 
-/** Parameters of a miss-curve sweep. */
-struct MissCurveSweepParams
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+/**
+ * Parameters of a miss-curve sweep.
+ * @deprecated Use MissCurveSpec (cache/miss_curve_estimator.hh); it
+ * holds one CacheConfig plus the size grid instead of duplicating the
+ * fields, and selects between exact and single-pass estimators.
+ */
+struct [[deprecated("use MissCurveSpec from "
+                    "cache/miss_curve_estimator.hh")]]
+MissCurveSweepParams
 {
     /** Cache sizes to measure, in bytes. */
     std::vector<std::uint64_t> capacities;
@@ -48,9 +62,15 @@ struct MissCurveSweepParams
  * Measures the miss curve of a trace.  The trace is reset before each
  * cache size so every size observes the byte-identical reference
  * stream.
+ * @deprecated Use estimateMissCurve with
+ * MissCurveEstimatorKind::ExactSim; this shim forwards there.
  */
+[[deprecated("use estimateMissCurve from "
+             "cache/miss_curve_estimator.hh")]]
 std::vector<MissCurvePoint> measureMissCurve(
     TraceSource &trace, const MissCurveSweepParams &params);
+
+#pragma GCC diagnostic pop
 
 /**
  * Fits miss rate = c * capacity^-alpha over the measured points;

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * The miss-curve engine: one API, three estimators.
+ *
+ * Every power-law artifact in the paper needs miss ratios at many
+ * cache sizes.  A MissCurveEstimator turns one reference stream plus
+ * a MissCurveSpec (cache template, size grid, estimator kind,
+ * sampling parameters) into a MissCurve over the whole grid:
+ *
+ *  - **ExactSimEstimator** replays the trace through the real
+ *    SetAssociativeCache once per size — O(sizes x accesses), any
+ *    replacement policy, sectoring, write-no-allocate; the ground
+ *    truth oracle.
+ *  - **StackDistanceEstimator** makes a single Mattson pass
+ *    (trace/stack_distance.hh) and reads every size off the
+ *    stack-distance histogram — O(accesses), bit-exact against the
+ *    exact simulation for fully-associative LRU, and within a small
+ *    model error for set-associative LRU via a binomial
+ *    set-conflict correction.
+ *  - **SampledStackDistanceEstimator** adds SHARDS spatial sampling
+ *    to that single pass — O(accesses x R) stack work with bounded
+ *    error, the configuration the CI speed/accuracy gate runs.
+ *
+ * The stack-based estimators model LRU, write-allocate,
+ * non-sectored caches; request anything else and they refuse with a
+ * pointer at the exact oracle.
+ */
+
+#ifndef BWWALL_CACHE_MISS_CURVE_ESTIMATOR_HH
+#define BWWALL_CACHE_MISS_CURVE_ESTIMATOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/cache_config.hh"
+#include "cache/miss_curve.hh"
+#include "trace/trace_source.hh"
+#include "util/linear_fit.hh"
+
+namespace bwwall {
+
+/** Which estimator a MissCurveSpec selects. */
+enum class MissCurveEstimatorKind : std::uint8_t
+{
+    ExactSim,             ///< per-size replay through the simulator
+    StackDistance,        ///< single-pass exact Mattson profiling
+    SampledStackDistance, ///< single-pass SHARDS-sampled profiling
+};
+
+/** Canonical name of an estimator kind ("exact" / "stack" / ...). */
+const char *missCurveEstimatorKindName(MissCurveEstimatorKind kind);
+
+/**
+ * Parses an estimator name; accepts the canonical names and common
+ * aliases ("exact-sim", "mattson", "shards").  Returns false and
+ * leaves *kind untouched on an unknown name.
+ */
+bool parseMissCurveEstimatorKind(const std::string &name,
+                                 MissCurveEstimatorKind *kind);
+
+/**
+ * Everything a miss-curve measurement needs: one cache
+ * configuration (capacityBytes is overridden by the grid), the size
+ * grid, the trace window, and the estimator selection.
+ */
+struct MissCurveSpec
+{
+    /** Template for every size point; capacityBytes is overwritten. */
+    CacheConfig cache;
+
+    /** Cache sizes to estimate, in bytes. */
+    std::vector<std::uint64_t> capacities;
+
+    /** Accesses replayed to warm state before measuring. */
+    std::uint64_t warmupAccesses = 400000;
+
+    /** Accesses measured after warm-up. */
+    std::uint64_t measuredAccesses = 1200000;
+
+    /** Selected estimator. */
+    MissCurveEstimatorKind kind =
+        MissCurveEstimatorKind::StackDistance;
+
+    /** SHARDS fixed-rate sampling rate in (0, 1] (sampled kind). */
+    double sampleRate = 0.1;
+
+    /**
+     * When non-zero: SHARDS fixed-size mode, keeping at most this
+     * many sampled lines resident (R_max variant; the rate then
+     * decays below sampleRate as the footprint grows).
+     */
+    std::size_t maxSampledLines = 0;
+
+    /** Salt of the spatial sampling hash. */
+    std::uint64_t seed = 1;
+};
+
+/** A measured miss curve plus how it was produced. */
+struct MissCurve
+{
+    /** One point per spec capacity, in grid order. */
+    std::vector<MissCurvePoint> points;
+
+    /** Name of the estimator that produced the curve. */
+    std::string estimator;
+
+    /** Full passes over the trace (1 for the stack estimators). */
+    std::uint64_t tracePasses = 0;
+
+    /** Measured-window accesses observed, summed over passes. */
+    std::uint64_t profiledAccesses = 0;
+
+    /** Accesses that passed the spatial filter (== profiled when
+     * unsampled). */
+    std::uint64_t sampledAccesses = 0;
+
+    /** Power-law fit over the points; alpha is -fit().exponent. */
+    PowerLawFit fit() const;
+};
+
+/** Interface shared by the three estimators. */
+class MissCurveEstimator
+{
+  public:
+    virtual ~MissCurveEstimator() = default;
+
+    /** Canonical kind name, also stamped into MissCurve::estimator. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Estimates the miss curve of the trace over spec.capacities.
+     * The trace is reset() first, so repeated calls see the
+     * byte-identical stream.
+     */
+    virtual MissCurve estimate(TraceSource &trace,
+                               const MissCurveSpec &spec) const = 0;
+};
+
+/** Ground-truth per-size replay through SetAssociativeCache. */
+class ExactSimEstimator : public MissCurveEstimator
+{
+  public:
+    std::string name() const override;
+    MissCurve estimate(TraceSource &trace,
+                       const MissCurveSpec &spec) const override;
+};
+
+/** Single-pass exact Mattson stack-distance estimator. */
+class StackDistanceEstimator : public MissCurveEstimator
+{
+  public:
+    std::string name() const override;
+    MissCurve estimate(TraceSource &trace,
+                       const MissCurveSpec &spec) const override;
+};
+
+/** Single-pass SHARDS-sampled stack-distance estimator. */
+class SampledStackDistanceEstimator : public MissCurveEstimator
+{
+  public:
+    std::string name() const override;
+    MissCurve estimate(TraceSource &trace,
+                       const MissCurveSpec &spec) const override;
+};
+
+/** Builds the estimator for a kind. */
+std::unique_ptr<MissCurveEstimator>
+makeMissCurveEstimator(MissCurveEstimatorKind kind);
+
+/**
+ * The one entry point: builds the estimator spec.kind selects and
+ * runs it over the trace.
+ */
+MissCurve estimateMissCurve(TraceSource &trace,
+                            const MissCurveSpec &spec);
+
+} // namespace bwwall
+
+#endif // BWWALL_CACHE_MISS_CURVE_ESTIMATOR_HH

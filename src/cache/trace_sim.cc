@@ -135,10 +135,62 @@ runTraceCacheSweep(const TraceCacheSweepParams &params)
         for (const TraceCacheResult &result : results)
             accesses += result.stats.accesses;
         metrics.addCounter("trace_sim.accesses", accesses);
+        // Warm-up runs per shard (see TraceCacheWorkload), so the
+        // total unmeasured work scales with the shard count.
+        std::uint64_t warm_total = 0;
+        for (const TraceCacheWorkload &workload : params.workloads)
+            warm_total += workload.warmAccesses * workload.shards;
+        metrics.addCounter("trace_sim.warm_accesses_total",
+                           warm_total);
         metrics.observeTimer("trace_sim.sweep", wall);
         if (wall > 0.0)
             metrics.setGauge("trace_sim.accesses_per_second",
                              static_cast<double>(accesses) / wall);
+    }
+    return results;
+}
+
+std::vector<TraceMissCurveResult>
+runTraceMissCurveSweep(const TraceMissCurveSweepParams &params)
+{
+    if (params.workloads.empty())
+        fatal("miss-curve sweep requires at least one workload");
+
+    const auto start = std::chrono::steady_clock::now();
+    // One task per workload; each derives its trace seed from the
+    // base spec seed, so the parallel sweep is deterministic.
+    const std::vector<TraceMissCurveResult> results = parallelMap(
+        params.workloads.size(), params.jobs,
+        [&params](std::size_t w) {
+            MissCurveSpec spec = params.spec;
+            spec.seed = shardSeed(params.spec.seed, w, 0);
+            const std::unique_ptr<TraceSource> trace =
+                makeProfileTrace(params.workloads[w], spec.seed,
+                                 spec.cache.lineBytes);
+            TraceMissCurveResult result;
+            result.workload = params.workloads[w].name;
+            result.curve = estimateMissCurve(*trace, spec);
+            return result;
+        });
+    const double wall = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - start).count();
+
+    if (params.metrics != nullptr) {
+        MetricsRegistry &metrics = *params.metrics;
+        metrics.addCounter("miss_curve.workloads",
+                           params.workloads.size());
+        metrics.addCounter("miss_curve.grid_points",
+                           params.spec.capacities.size());
+        std::uint64_t passes = 0, profiled = 0, sampled = 0;
+        for (const TraceMissCurveResult &result : results) {
+            passes += result.curve.tracePasses;
+            profiled += result.curve.profiledAccesses;
+            sampled += result.curve.sampledAccesses;
+        }
+        metrics.addCounter("miss_curve.trace_passes", passes);
+        metrics.addCounter("miss_curve.profiled_accesses", profiled);
+        metrics.addCounter("miss_curve.sampled_accesses", sampled);
+        metrics.observeTimer("miss_curve.sweep", wall);
     }
     return results;
 }

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "cache/cache_config.hh"
+#include "cache/miss_curve_estimator.hh"
 #include "trace/profiles.hh"
 
 namespace bwwall {
@@ -31,7 +32,16 @@ struct TraceCacheWorkload
     /** Synthetic profile generating the reference stream. */
     WorkloadProfileSpec profile;
 
-    /** Unmeasured accesses warming each shard's cache. */
+    /**
+     * Unmeasured accesses warming each shard's cache, applied **per
+     * shard**, not split across them: a workload with S shards replays
+     * S * warmAccesses unmeasured accesses in total.  Each shard owns
+     * a private cold cache, so each needs its own full warm-up before
+     * its statistics are meaningful; raising the shard count therefore
+     * buys parallelism at the price of proportionally more warm-up
+     * work.  The total is reported as the
+     * `trace_sim.warm_accesses_total` metric.
+     */
     std::uint64_t warmAccesses = 100000;
 
     /** Measured accesses, divided across the workload's shards. */
@@ -88,6 +98,43 @@ std::uint64_t shardSeed(std::uint64_t base, std::size_t workload,
  */
 std::vector<TraceCacheResult> runTraceCacheSweep(
     const TraceCacheSweepParams &params);
+
+/** Parameters of a sharded multi-workload miss-curve sweep. */
+struct TraceMissCurveSweepParams
+{
+    /** Workloads whose miss curves are estimated independently. */
+    std::vector<WorkloadProfileSpec> workloads;
+
+    /**
+     * Estimator selection, cache template, size grid, and trace
+     * windows shared by every workload; spec.seed is the base from
+     * which per-workload trace seeds are derived.
+     */
+    MissCurveSpec spec;
+
+    /** Worker threads (0 defers to BWWALL_JOBS / auto). */
+    unsigned jobs = 0;
+
+    /** Optional sink for run metrics ("miss_curve.*"); may be null. */
+    MetricsRegistry *metrics = nullptr;
+};
+
+/** One workload's estimated miss curve. */
+struct TraceMissCurveResult
+{
+    std::string workload;
+    MissCurve curve;
+};
+
+/**
+ * Estimates every workload's miss curve over the shared size grid,
+ * one workload per parallel task, all routed through the
+ * MissCurveEstimator selected by params.spec.kind.  Per-workload
+ * trace seeds derive deterministically from spec.seed, so results are
+ * independent of the job count.
+ */
+std::vector<TraceMissCurveResult> runTraceMissCurveSweep(
+    const TraceMissCurveSweepParams &params);
 
 } // namespace bwwall
 

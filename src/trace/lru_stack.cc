@@ -102,6 +102,17 @@ LruStack::popLru()
     return line;
 }
 
+bool
+LruStack::remove(std::uint64_t line)
+{
+    const auto it = lineToSlot_.find(line);
+    if (it == lineToSlot_.end())
+        return false;
+    occupancy_->add(it->second, -1);
+    lineToSlot_.erase(it);
+    return true;
+}
+
 void
 LruStack::clear()
 {

@@ -71,6 +71,14 @@ class LruStack
     /** Removes and returns the least-recently-used line. */
     std::uint64_t popLru();
 
+    /**
+     * Removes the line regardless of its depth, keeping the relative
+     * order of every other line.  Returns whether it was present.
+     * Used by the SHARDS fixed-size sampler, which must drop lines
+     * whose spatial hash rises above the shrinking threshold.
+     */
+    bool remove(std::uint64_t line);
+
     /** Removes every line. */
     void clear();
 

@@ -1,0 +1,226 @@
+#include "trace/stack_distance.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "trace/hashing.hh"
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace bwwall {
+
+namespace {
+
+/** Salt separating the spatial-sampling hash from other mix64 uses. */
+constexpr std::uint64_t kShardsSalt = 0x53484152'44530001ULL;
+
+std::uint64_t
+spatialHash(std::uint64_t line, std::uint64_t seed)
+{
+    return mix64(line, seed ^ kShardsSalt);
+}
+
+/** Threshold encoding a sampling rate as a 64-bit hash bound. */
+std::uint64_t
+rateToThreshold(double rate)
+{
+    if (rate >= 1.0)
+        return std::numeric_limits<std::uint64_t>::max();
+    return static_cast<std::uint64_t>(rate * 0x1.0p64);
+}
+
+} // namespace
+
+StackDistanceProfiler::StackDistanceProfiler(
+    const StackDistanceProfilerConfig &config)
+    : config_(config)
+{
+    if (!isPowerOfTwo(config.lineBytes))
+        fatal("StackDistanceProfiler line size must be a power of two");
+    if (config.maxTrackedDistance == 0)
+        fatal("StackDistanceProfiler needs a positive tracked "
+              "distance");
+    if (config.sampleRate <= 0.0 || config.sampleRate > 1.0)
+        fatal("StackDistanceProfiler sample rate must be in (0, 1], "
+              "got ", config.sampleRate);
+    lineShift_ = floorLog2(config.lineBytes);
+    sampleAll_ =
+        config.sampleRate >= 1.0 && config.maxSampledLines == 0;
+    threshold_ = rateToThreshold(config.sampleRate);
+}
+
+bool
+StackDistanceProfiler::sampled(std::uint64_t line) const
+{
+    return sampleAll_ ||
+           spatialHash(line, config_.seed) < threshold_;
+}
+
+double
+StackDistanceProfiler::currentSampleRate() const
+{
+    if (sampleAll_ ||
+        threshold_ == std::numeric_limits<std::uint64_t>::max())
+        return 1.0;
+    return std::ldexp(static_cast<double>(threshold_), -64);
+}
+
+void
+StackDistanceProfiler::recordDistance(double estimated, double weight)
+{
+    const auto bucket = static_cast<std::size_t>(estimated);
+    if (bucket > config_.maxTrackedDistance) {
+        coldWeight_ += weight;
+        return;
+    }
+    if (distanceWeights_.size() <= bucket)
+        distanceWeights_.resize(bucket + 1, 0.0);
+    distanceWeights_[bucket] += weight;
+}
+
+void
+StackDistanceProfiler::recordWriteback(double window_max,
+                                       double weight)
+{
+    if (window_max == kUnbounded ||
+        window_max >
+            static_cast<double>(config_.maxTrackedDistance)) {
+        coldWritebackWeight_ += weight;
+        return;
+    }
+    const auto bucket = static_cast<std::size_t>(window_max);
+    if (writebackWeights_.size() <= bucket)
+        writebackWeights_.resize(bucket + 1, 0.0);
+    writebackWeights_[bucket] += weight;
+}
+
+void
+StackDistanceProfiler::evictLine(std::uint64_t line)
+{
+    stack_.remove(line);
+    lineState_.erase(line);
+    if (config_.maxSampledLines != 0)
+        byHash_.erase({spatialHash(line, config_.seed), line});
+}
+
+void
+StackDistanceProfiler::enforceBounds()
+{
+    // SHARDS fixed-size: lower the threshold until at most
+    // maxSampledLines sampled lines remain, evicting every line whose
+    // hash no longer qualifies (ties on the boundary hash included).
+    while (config_.maxSampledLines != 0 &&
+           byHash_.size() > config_.maxSampledLines) {
+        threshold_ = byHash_.rbegin()->first;
+        while (!byHash_.empty() &&
+               byHash_.rbegin()->first >= threshold_) {
+            const std::uint64_t line = byHash_.rbegin()->second;
+            evictLine(line);
+        }
+    }
+
+    // Bound the recency stack: a line deeper than the scaled horizon
+    // can only yield distances lumped with compulsory misses anyway.
+    const double max_depth =
+        static_cast<double>(config_.maxTrackedDistance) *
+            currentSampleRate() +
+        1.0;
+    while (static_cast<double>(stack_.size()) > max_depth) {
+        const std::uint64_t victim = stack_.popLru();
+        lineState_.erase(victim);
+        if (config_.maxSampledLines != 0)
+            byHash_.erase({spatialHash(victim, config_.seed), victim});
+    }
+}
+
+void
+StackDistanceProfiler::observe(const MemoryAccess &access)
+{
+    ++totalAccesses_;
+    const std::uint64_t line = access.address >> lineShift_;
+    if (!sampled(line))
+        return;
+    ++sampledAccesses_;
+
+    const double rate = currentSampleRate();
+    const double weight = 1.0 / rate;
+    const bool is_write = access.type == AccessType::Write;
+    const std::size_t depth = stack_.touch(line);
+
+    if (depth == LruStack::kNotFound) {
+        // First touch (or re-touch past the horizon): a compulsory
+        // miss at every capacity, and an unbounded dirty window when
+        // it is a write.
+        coldWeight_ += weight;
+        stack_.push(line);
+        if (config_.maxSampledLines != 0)
+            byHash_.insert({spatialHash(line, config_.seed), line});
+        LineState state;
+        if (is_write) {
+            coldWritebackWeight_ += weight;
+            state.maxDistanceSinceWrite = 0.0;
+        } else {
+            state.maxDistanceSinceWrite = kUnbounded;
+        }
+        lineState_[line] = state;
+        enforceBounds();
+        return;
+    }
+
+    // Depth within the sampled stack estimates rate * true distance.
+    double estimated = static_cast<double>(depth);
+    if (!sampleAll_ && rate < 1.0) {
+        estimated = std::max(1.0, std::round(estimated / rate));
+    }
+    recordDistance(estimated, weight);
+
+    LineState &state = lineState_[line];
+    if (is_write) {
+        const double window =
+            state.maxDistanceSinceWrite == kUnbounded
+                ? kUnbounded
+                : std::max(state.maxDistanceSinceWrite, estimated);
+        recordWriteback(window, weight);
+        state.maxDistanceSinceWrite = 0.0;
+    } else if (state.maxDistanceSinceWrite != kUnbounded) {
+        state.maxDistanceSinceWrite =
+            std::max(state.maxDistanceSinceWrite, estimated);
+    }
+}
+
+double
+StackDistanceProfiler::missRateAtCapacity(
+    std::size_t capacity_lines) const
+{
+    if (totalAccesses_ == 0)
+        return 0.0;
+    double misses = coldWeight_;
+    for (std::size_t d = capacity_lines + 1;
+         d < distanceWeights_.size(); ++d) {
+        misses += distanceWeights_[d];
+    }
+    return misses / static_cast<double>(totalAccesses_);
+}
+
+void
+StackDistanceProfiler::reset()
+{
+    stack_.clear();
+    lineState_.clear();
+    byHash_.clear();
+    threshold_ = rateToThreshold(config_.sampleRate);
+    resetCounters();
+}
+
+void
+StackDistanceProfiler::resetCounters()
+{
+    distanceWeights_.clear();
+    writebackWeights_.clear();
+    coldWeight_ = 0.0;
+    coldWritebackWeight_ = 0.0;
+    totalAccesses_ = 0;
+    sampledAccesses_ = 0;
+}
+
+} // namespace bwwall

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Single-pass stack-distance histogram accumulation with optional
+ * SHARDS spatial sampling.
+ *
+ * One pass over a reference stream yields, via Mattson's stack
+ * algorithm, the fully-associative LRU miss count at *every* capacity
+ * simultaneously.  This profiler extends the plain analyzer
+ * (trace/reuse_analyzer.hh) in three ways the miss-curve engine
+ * needs:
+ *
+ *  - **weighted histograms** so spatially sampled accesses can stand
+ *    in for 1/R accesses each;
+ *  - **SHARDS sampling** (Waldspurger et al., FAST'15): a line is
+ *    profiled only when hash(line) < T.  Fixed-rate keeps T constant
+ *    (R = T / 2^64); fixed-size starts at R = 1 and lowers T whenever
+ *    more than `maxSampledLines` sampled lines are resident, evicting
+ *    lines whose hash rises above the new threshold — bounded memory
+ *    for unbounded streams;
+ *  - a **write-back histogram**: for each write, the maximum stack
+ *    distance reached since the previous write to the same line tells
+ *    exactly which capacities will eventually write the line back
+ *    (the line fell out of any smaller cache while dirty), giving the
+ *    per-capacity write-back curve from the same single pass.
+ *
+ * Distances measured in the sampled stack are scaled by 1/R back to
+ * full-stream line distances, so histogram indices are always in
+ * unsampled units.
+ */
+
+#ifndef BWWALL_TRACE_STACK_DISTANCE_HH
+#define BWWALL_TRACE_STACK_DISTANCE_HH
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "trace/access.hh"
+#include "trace/lru_stack.hh"
+
+namespace bwwall {
+
+/** Configuration of a StackDistanceProfiler. */
+struct StackDistanceProfilerConfig
+{
+    /** Cache-line granularity at which addresses are collapsed. */
+    std::uint32_t lineBytes = 64;
+
+    /**
+     * Distances above this (in full-stream lines) are lumped with
+     * compulsory misses — they miss at every capacity of interest.
+     * Also bounds the recency stack's memory.
+     */
+    std::size_t maxTrackedDistance = std::size_t(1) << 22;
+
+    /**
+     * SHARDS spatial sampling rate in (0, 1]; 1.0 profiles every
+     * access (exact Mattson).
+     */
+    double sampleRate = 1.0;
+
+    /**
+     * When non-zero: SHARDS fixed-size mode.  Sampling starts at
+     * rate 1 and the threshold decays so that at most this many
+     * sampled lines are resident (the paper's R_max variant).
+     * Overrides sampleRate as the stream grows.
+     */
+    std::size_t maxSampledLines = 0;
+
+    /** Salt of the spatial hash (pick per experiment, not per size). */
+    std::uint64_t seed = 1;
+};
+
+/** Single-pass weighted stack-distance and write-back profiler. */
+class StackDistanceProfiler
+{
+  public:
+    explicit StackDistanceProfiler(
+        const StackDistanceProfilerConfig &config);
+
+    /** Profiles one access (reads and writes). */
+    void observe(const MemoryAccess &access);
+
+    const StackDistanceProfilerConfig &config() const
+    {
+        return config_;
+    }
+
+    /** Total accesses seen, sampled or not. */
+    std::uint64_t totalAccesses() const { return totalAccesses_; }
+
+    /** Accesses that passed the spatial filter. */
+    std::uint64_t sampledAccesses() const { return sampledAccesses_; }
+
+    /** Current sampling rate (decays in fixed-size mode). */
+    double currentSampleRate() const;
+
+    /**
+     * Estimated access count at each stack distance (index is the
+     * 1-based distance in full-stream lines; index 0 is unused).
+     */
+    const std::vector<double> &distanceWeights() const
+    {
+        return distanceWeights_;
+    }
+
+    /**
+     * Estimated accesses with infinite or beyond-horizon distance —
+     * misses at every capacity.
+     */
+    double coldWeight() const { return coldWeight_; }
+
+    /**
+     * Estimated write count whose dirty window spans each stack
+     * distance: an entry at index G becomes a write-back in every
+     * cache smaller than G lines.
+     */
+    const std::vector<double> &writebackWeights() const
+    {
+        return writebackWeights_;
+    }
+
+    /** Writes whose dirty window is unbounded (write-back anywhere). */
+    double coldWritebackWeight() const { return coldWritebackWeight_; }
+
+    /**
+     * Estimated fully-associative LRU miss rate at the capacity, in
+     * lines: (cold + sum of weights beyond the capacity) / accesses.
+     */
+    double missRateAtCapacity(std::size_t capacity_lines) const;
+
+    /** Clears profile state including the recency stack. */
+    void reset();
+
+    /**
+     * Clears the histograms and counters but keeps the recency stack,
+     * per-line dirty windows, and sampling threshold — call after a
+     * warm-up pass, exactly like SetAssociativeCache::resetStats().
+     */
+    void resetCounters();
+
+  private:
+    /** Per-line dirty-window state, in full-stream line distances. */
+    struct LineState
+    {
+        /**
+         * Maximum estimated distance reached since the last write to
+         * the line; kUnbounded when the line was never written while
+         * tracked (its first write-back window extends to infinity).
+         */
+        double maxDistanceSinceWrite = 0.0;
+    };
+
+    static constexpr double kUnbounded = -1.0;
+
+    bool sampled(std::uint64_t line) const;
+    void recordDistance(double estimated, double weight);
+    void recordWriteback(double window_max, double weight);
+    void evictLine(std::uint64_t line);
+    void enforceBounds();
+
+    StackDistanceProfilerConfig config_;
+    unsigned lineShift_;
+    bool sampleAll_;
+    std::uint64_t threshold_ = 0; ///< sample iff hash < threshold_
+    LruStack stack_;
+    std::unordered_map<std::uint64_t, LineState> lineState_;
+    /** Resident sampled lines ordered by hash (fixed-size mode). */
+    std::set<std::pair<std::uint64_t, std::uint64_t>> byHash_;
+
+    std::vector<double> distanceWeights_; // index = distance
+    std::vector<double> writebackWeights_;
+    double coldWeight_ = 0.0;
+    double coldWritebackWeight_ = 0.0;
+    std::uint64_t totalAccesses_ = 0;
+    std::uint64_t sampledAccesses_ = 0;
+};
+
+} // namespace bwwall
+
+#endif // BWWALL_TRACE_STACK_DISTANCE_HH

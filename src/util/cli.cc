@@ -1,0 +1,304 @@
+#include "util/cli.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace bwwall {
+
+namespace {
+
+/** Parses a non-negative integer; false on any trailing garbage. */
+bool
+parseUint(const std::string &text, std::uint64_t *out)
+{
+    // std::stoull would silently wrap a negative value.
+    if (text.empty() || text.front() == '-')
+        return false;
+    try {
+        std::size_t used = 0;
+        const unsigned long long value = std::stoull(text, &used);
+        if (used != text.size())
+            return false;
+        *out = value;
+        return true;
+    } catch (...) {
+        return false;
+    }
+}
+
+bool
+parseDouble(const std::string &text, double *out)
+{
+    if (text.empty())
+        return false;
+    try {
+        std::size_t used = 0;
+        const double value = std::stod(text, &used);
+        if (used != text.size())
+            return false;
+        *out = value;
+        return true;
+    } catch (...) {
+        return false;
+    }
+}
+
+} // namespace
+
+CliParser::CliParser(std::string program, std::string summary)
+    : program_(std::move(program)), summary_(std::move(summary))
+{}
+
+void
+CliParser::addFlag(const std::string &name, bool *target,
+                   const std::string &help)
+{
+    Spec spec;
+    spec.name = name;
+    spec.help = help;
+    spec.isFlag = true;
+    spec.apply = [target](const std::string &) {
+        *target = true;
+        return true;
+    };
+    specs_.push_back(std::move(spec));
+}
+
+void
+CliParser::addOption(const std::string &name, std::string *target,
+                     const std::string &value_name,
+                     const std::string &help)
+{
+    Spec spec;
+    spec.name = name;
+    spec.valueName = value_name;
+    spec.help = help;
+    spec.apply = [target](const std::string &value) {
+        *target = value;
+        return true;
+    };
+    specs_.push_back(std::move(spec));
+}
+
+void
+CliParser::addOption(const std::string &name, std::uint64_t *target,
+                     const std::string &value_name,
+                     const std::string &help)
+{
+    Spec spec;
+    spec.name = name;
+    spec.valueName = value_name;
+    spec.help = help;
+    spec.apply = [target](const std::string &value) {
+        return parseUint(value, target);
+    };
+    specs_.push_back(std::move(spec));
+}
+
+void
+CliParser::addOption(const std::string &name, std::uint32_t *target,
+                     const std::string &value_name,
+                     const std::string &help)
+{
+    Spec spec;
+    spec.name = name;
+    spec.valueName = value_name;
+    spec.help = help;
+    spec.apply = [target](const std::string &value) {
+        std::uint64_t wide = 0;
+        if (!parseUint(value, &wide) || wide > 0xffffffffULL)
+            return false;
+        *target = static_cast<std::uint32_t>(wide);
+        return true;
+    };
+    specs_.push_back(std::move(spec));
+}
+
+void
+CliParser::addOption(const std::string &name, double *target,
+                     const std::string &value_name,
+                     const std::string &help)
+{
+    Spec spec;
+    spec.name = name;
+    spec.valueName = value_name;
+    spec.help = help;
+    spec.apply = [target](const std::string &value) {
+        return parseDouble(value, target);
+    };
+    specs_.push_back(std::move(spec));
+}
+
+void
+CliParser::addPositional(const std::string &name, std::string *target,
+                         const std::string &help, bool required)
+{
+    positionals_.push_back({name, target, help, required});
+}
+
+const CliParser::Spec *
+CliParser::find(const std::string &name) const
+{
+    for (const Spec &spec : specs_) {
+        if (spec.name == name)
+            return &spec;
+    }
+    return nullptr;
+}
+
+bool
+CliParser::fail(const std::string &message) const
+{
+    std::cerr << program_ << ": " << message << '\n';
+    printUsage(std::cerr);
+    return false;
+}
+
+CliParser::Status
+CliParser::parse(int argc, char **argv)
+{
+    std::size_t positional = 0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            printUsage(std::cout);
+            return Status::Help;
+        }
+        if (const Spec *spec = find(arg)) {
+            if (spec->isFlag) {
+                spec->apply("");
+                continue;
+            }
+            if (i + 1 >= argc) {
+                fail("missing value for " + arg);
+                return Status::Error;
+            }
+            const std::string value = argv[++i];
+            if (!spec->apply(value)) {
+                fail("bad value '" + value + "' for " + arg);
+                return Status::Error;
+            }
+            continue;
+        }
+        if (!arg.empty() && arg.front() == '-') {
+            fail("unknown flag '" + arg + "'");
+            return Status::Error;
+        }
+        if (positional >= positionals_.size()) {
+            fail("unexpected argument '" + arg + "'");
+            return Status::Error;
+        }
+        *positionals_[positional++].target = arg;
+    }
+    for (std::size_t p = positional; p < positionals_.size(); ++p) {
+        if (positionals_[p].required) {
+            fail("missing required argument <" + positionals_[p].name +
+                 ">");
+            return Status::Error;
+        }
+    }
+    return Status::Ok;
+}
+
+int
+CliParser::parseKnown(int argc, char **argv, Status *status)
+{
+    if (status != nullptr)
+        *status = Status::Ok;
+    int kept = 1; // argv[0] always survives
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (const Spec *spec = find(arg)) {
+            if (spec->isFlag) {
+                spec->apply("");
+                continue;
+            }
+            if (i + 1 >= argc) {
+                fail("missing value for " + arg);
+                if (status != nullptr)
+                    *status = Status::Error;
+                continue;
+            }
+            const std::string value = argv[++i];
+            if (!spec->apply(value)) {
+                fail("bad value '" + value + "' for " + arg);
+                if (status != nullptr)
+                    *status = Status::Error;
+            }
+            continue;
+        }
+        argv[kept++] = argv[i];
+    }
+    return kept;
+}
+
+void
+CliParser::printUsage(std::ostream &os) const
+{
+    os << "usage: " << program_ << " [options]";
+    for (const Positional &positional : positionals_) {
+        os << (positional.required ? " <" : " [<") << positional.name
+           << (positional.required ? ">" : ">]");
+    }
+    os << '\n';
+    if (!summary_.empty())
+        os << "  " << summary_ << '\n';
+    for (const Positional &positional : positionals_) {
+        os << "  <" << positional.name << ">  " << positional.help
+           << '\n';
+    }
+    for (const Spec &spec : specs_) {
+        os << "  " << spec.name;
+        if (!spec.valueName.empty())
+            os << ' ' << spec.valueName;
+        os << "  " << spec.help << '\n';
+    }
+    os << "  --help  show this message\n";
+}
+
+void
+CliParser::parseOrExit(int argc, char **argv)
+{
+    switch (parse(argc, argv)) {
+      case Status::Ok:
+        return;
+      case Status::Help:
+        std::exit(0);
+      case Status::Error:
+        std::exit(1);
+    }
+}
+
+void
+BenchOptions::registerWith(CliParser &parser)
+{
+    parser.addFlag("--csv", &csv, "emit tables as CSV");
+    parser.addOption("--jobs", &jobs, "N",
+                     "worker threads for parallel sweeps (0 = auto)");
+    parser.addOption("--json", &jsonPath, "FILE",
+                     "write run metrics as JSON");
+    parser.addOption("--seed", &seed, "S",
+                     "trace seed (0 = harness default)");
+    parser.addOption("--estimator", &estimator, "KIND",
+                     "miss-curve estimator: exact | stack | sampled");
+    parser.addOption("--sample-rate", &sampleRate, "R",
+                     "SHARDS sampling rate in (0, 1]");
+}
+
+BenchOptions
+BenchOptions::parse(int argc, char **argv)
+{
+    CliParser parser(argc > 0 ? argv[0] : "bench");
+    return parse(argc, argv, parser);
+}
+
+BenchOptions
+BenchOptions::parse(int argc, char **argv, CliParser &parser)
+{
+    BenchOptions options;
+    options.registerWith(parser);
+    parser.parseOrExit(argc, argv);
+    return options;
+}
+
+} // namespace bwwall

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Shared command-line parsing for the bench harnesses and examples.
+ *
+ * Every runnable in this repository used to hand-roll its own argv
+ * loop; this header centralises the idiom.  CliParser registers typed
+ * flags and options, produces a usage text from their help strings,
+ * and rejects unknown arguments (usage to stderr, nonzero exit) so a
+ * typo never silently runs the default experiment.  parseKnown()
+ * supports the google-benchmark mains, which must extract this
+ * repository's flags and forward everything else untouched.
+ *
+ * BenchOptions bundles the flags every harness shares
+ * (--csv --jobs --json --seed --estimator --sample-rate).
+ */
+
+#ifndef BWWALL_UTIL_CLI_HH
+#define BWWALL_UTIL_CLI_HH
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace bwwall {
+
+/** Declarative argv parser with generated usage text. */
+class CliParser
+{
+  public:
+    /** Outcome of a parse() call. */
+    enum class Status
+    {
+        Ok,    ///< every argument consumed
+        Help,  ///< --help requested; caller should exit 0
+        Error, ///< unknown flag / bad value; caller should exit nonzero
+    };
+
+    /**
+     * @param program Name shown in the usage line.
+     * @param summary One-line description shown under the usage line.
+     */
+    explicit CliParser(std::string program, std::string summary = "");
+
+    /** Registers a valueless boolean flag; sets *target when seen. */
+    void addFlag(const std::string &name, bool *target,
+                 const std::string &help);
+
+    /** Registers a string-valued option (--name VALUE). */
+    void addOption(const std::string &name, std::string *target,
+                   const std::string &value_name,
+                   const std::string &help);
+
+    /** Registers an unsigned-integer-valued option. */
+    void addOption(const std::string &name, std::uint64_t *target,
+                   const std::string &value_name,
+                   const std::string &help);
+
+    /** Registers an unsigned-valued option (thread counts, sizes). */
+    void addOption(const std::string &name, std::uint32_t *target,
+                   const std::string &value_name,
+                   const std::string &help);
+
+    /** Registers a double-valued option. */
+    void addOption(const std::string &name, double *target,
+                   const std::string &value_name,
+                   const std::string &help);
+
+    /**
+     * Registers a positional argument, filled in registration order.
+     * Optional positionals may be left empty.
+     */
+    void addPositional(const std::string &name, std::string *target,
+                       const std::string &help, bool required = true);
+
+    /**
+     * Strict parse: every argument must be a registered flag, a
+     * registered option with a valid value, or an expected
+     * positional.  On Error the diagnostic and usage text have been
+     * written to stderr; on Help the usage text went to stdout.
+     */
+    Status parse(int argc, char **argv);
+
+    /**
+     * Lenient parse for mains that forward unrecognised arguments to
+     * another library (google-benchmark): consumes registered
+     * flags/options in place, keeps everything else (including
+     * argv[0]) in order, and returns the new argc.  Bad values for
+     * *registered* options still produce Error via *status when the
+     * pointer is non-null.
+     */
+    int parseKnown(int argc, char **argv, Status *status = nullptr);
+
+    /** Writes the generated usage text. */
+    void printUsage(std::ostream &os) const;
+
+    /**
+     * parse() and exit on anything but Ok: usage-to-stdout/exit 0 for
+     * --help, exit 1 for errors.  The common main() prologue.
+     */
+    void parseOrExit(int argc, char **argv);
+
+  private:
+    struct Spec
+    {
+        std::string name;       ///< including leading dashes
+        std::string valueName;  ///< empty for flags
+        std::string help;
+        std::function<bool(const std::string &)> apply;
+        bool isFlag = false;
+    };
+
+    struct Positional
+    {
+        std::string name;
+        std::string *target = nullptr;
+        std::string help;
+        bool required = true;
+    };
+
+    const Spec *find(const std::string &name) const;
+    bool fail(const std::string &message) const;
+
+    std::string program_;
+    std::string summary_;
+    std::vector<Spec> specs_;
+    std::vector<Positional> positionals_;
+};
+
+/** Command-line options common to all harnesses. */
+struct BenchOptions
+{
+    /** Emit tables as CSV instead of aligned text. */
+    bool csv = false;
+
+    /** Worker threads for parallel sweeps (0 = BWWALL_JOBS / auto). */
+    unsigned jobs = 0;
+
+    /** When non-empty, run metrics are written here as JSON. */
+    std::string jsonPath;
+
+    /** Trace/stream seed; 0 keeps each harness's default. */
+    std::uint64_t seed = 0;
+
+    /**
+     * Miss-curve estimator name ("exact", "stack", "sampled");
+     * empty keeps each harness's default.
+     */
+    std::string estimator;
+
+    /** SHARDS sampling rate in (0, 1]; 0 keeps the default. */
+    double sampleRate = 0.0;
+
+    /** Registers the shared flags on an existing parser. */
+    void registerWith(CliParser &parser);
+
+    /**
+     * Strict parse of the shared flags only; exits on unknown flags
+     * (usage + status 1) and on --help (usage + status 0).
+     */
+    static BenchOptions parse(int argc, char **argv);
+
+    /**
+     * Strict parse with harness-specific flags pre-registered on
+     * @p parser (the shared flags are added here); exits like
+     * parse(argc, argv).
+     */
+    static BenchOptions parse(int argc, char **argv,
+                              CliParser &parser);
+
+    /** seed when set, otherwise the harness default. */
+    std::uint64_t
+    seedOr(std::uint64_t fallback) const
+    {
+        return seed == 0 ? fallback : seed;
+    }
+
+    /** sampleRate when set, otherwise the harness default. */
+    double
+    sampleRateOr(double fallback) const
+    {
+        return sampleRate == 0.0 ? fallback : sampleRate;
+    }
+};
+
+} // namespace bwwall
+
+#endif // BWWALL_UTIL_CLI_HH

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Cross-validation of the three MissCurveEstimator implementations:
+ * the single-pass stack estimator must be bit-exact against the
+ * per-size replay on fully-associative LRU, within tight tolerance on
+ * set-associative LRU, and the SHARDS-sampled estimator must stay
+ * within the CI error bound across many sampling seeds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cache/miss_curve_estimator.hh"
+#include "cache/trace_sim.hh"
+#include "trace/power_law_trace.hh"
+#include "util/metrics.hh"
+#include "util/units.hh"
+
+namespace bwwall {
+namespace {
+
+PowerLawTrace
+makeTrace(double alpha, std::uint64_t seed)
+{
+    PowerLawTraceParams params;
+    params.alpha = alpha;
+    params.writeLineFraction = 0.3;
+    params.seed = seed;
+    params.warmLines = 1 << 15;
+    params.maxResidentLines = 1 << 16;
+    return PowerLawTrace(params);
+}
+
+MissCurveSpec
+makeSpec(MissCurveEstimatorKind kind)
+{
+    MissCurveSpec spec;
+    spec.kind = kind;
+    spec.capacities = capacityLadder(8 * kKiB, 256 * kKiB);
+    spec.warmupAccesses = 100000;
+    spec.measuredAccesses = 300000;
+    return spec;
+}
+
+TEST(MissCurveEstimatorKindTest, NameParseRoundTrip)
+{
+    for (const auto kind : {MissCurveEstimatorKind::ExactSim,
+                            MissCurveEstimatorKind::StackDistance,
+                            MissCurveEstimatorKind::SampledStackDistance}) {
+        MissCurveEstimatorKind parsed =
+            MissCurveEstimatorKind::ExactSim;
+        ASSERT_TRUE(parseMissCurveEstimatorKind(
+            missCurveEstimatorKindName(kind), &parsed));
+        EXPECT_EQ(parsed, kind);
+        EXPECT_EQ(makeMissCurveEstimator(kind)->name(),
+                  missCurveEstimatorKindName(kind));
+    }
+}
+
+TEST(MissCurveEstimatorKindTest, AliasesAndRejects)
+{
+    MissCurveEstimatorKind kind = MissCurveEstimatorKind::ExactSim;
+    EXPECT_TRUE(parseMissCurveEstimatorKind("mattson", &kind));
+    EXPECT_EQ(kind, MissCurveEstimatorKind::StackDistance);
+    EXPECT_TRUE(parseMissCurveEstimatorKind("shards", &kind));
+    EXPECT_EQ(kind, MissCurveEstimatorKind::SampledStackDistance);
+    EXPECT_TRUE(parseMissCurveEstimatorKind("exact-sim", &kind));
+    EXPECT_EQ(kind, MissCurveEstimatorKind::ExactSim);
+    EXPECT_FALSE(parseMissCurveEstimatorKind("psel", &kind));
+}
+
+/**
+ * Property: on a fully-associative LRU cache the Mattson profile is
+ * not an approximation — the single-pass estimator must reproduce the
+ * per-size replay's miss rates bit for bit, on every trace.
+ */
+class StackExactnessTest
+    : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(StackExactnessTest, BitExactOnFullyAssociativeLru)
+{
+    PowerLawTrace trace = makeTrace(0.5, GetParam());
+
+    MissCurveSpec spec = makeSpec(MissCurveEstimatorKind::ExactSim);
+    spec.cache.associativity = 0; // fully associative
+    const MissCurve exact = estimateMissCurve(trace, spec);
+
+    spec.kind = MissCurveEstimatorKind::StackDistance;
+    const MissCurve stack = estimateMissCurve(trace, spec);
+
+    ASSERT_EQ(exact.points.size(), stack.points.size());
+    for (std::size_t i = 0; i < exact.points.size(); ++i) {
+        EXPECT_EQ(exact.points[i].missRate, stack.points[i].missRate)
+            << "at capacity " << exact.points[i].capacityBytes;
+    }
+    EXPECT_EQ(stack.tracePasses, 1u);
+    EXPECT_EQ(exact.tracePasses, spec.capacities.size());
+    EXPECT_EQ(stack.sampledAccesses, stack.profiledAccesses);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTraces, StackExactnessTest,
+                         ::testing::Values(3, 17, 291, 4242, 99991));
+
+/**
+ * The write-back model predicts evictions from dirty windows instead
+ * of observing them, so it is not bit-exact — the replay only counts
+ * a write back once the dirty line is actually evicted, which lags
+ * the write by up to a full cache capacity of misses.  Over a window
+ * long relative to the largest capacity the two must agree closely.
+ */
+TEST(StackEstimatorTest, WritebackRatioTracksExactReplay)
+{
+    PowerLawTrace trace = makeTrace(0.5, 71);
+
+    MissCurveSpec spec = makeSpec(MissCurveEstimatorKind::ExactSim);
+    spec.cache.associativity = 0;
+    spec.measuredAccesses = 1200000;
+    const MissCurve exact = estimateMissCurve(trace, spec);
+
+    spec.kind = MissCurveEstimatorKind::StackDistance;
+    const MissCurve stack = estimateMissCurve(trace, spec);
+
+    for (std::size_t i = 0; i < exact.points.size(); ++i) {
+        EXPECT_NEAR(stack.points[i].writebackRatio,
+                    exact.points[i].writebackRatio, 0.05)
+            << "at capacity " << exact.points[i].capacityBytes;
+    }
+}
+
+/**
+ * On a set-associative cache the binomial conflict correction is a
+ * model; its error against the replay must stay within the CI bound.
+ */
+TEST(StackEstimatorTest, SetAssociativeCorrectionWithinTolerance)
+{
+    PowerLawTrace trace = makeTrace(0.5, 13);
+
+    MissCurveSpec spec = makeSpec(MissCurveEstimatorKind::ExactSim);
+    spec.cache.associativity = 8;
+    const MissCurve exact = estimateMissCurve(trace, spec);
+
+    spec.kind = MissCurveEstimatorKind::StackDistance;
+    const MissCurve stack = estimateMissCurve(trace, spec);
+
+    for (std::size_t i = 0; i < exact.points.size(); ++i) {
+        EXPECT_NEAR(stack.points[i].missRate,
+                    exact.points[i].missRate, 0.02)
+            << "at capacity " << exact.points[i].capacityBytes;
+    }
+    EXPECT_NEAR(-stack.fit().exponent, -exact.fit().exponent, 0.05);
+}
+
+/**
+ * Statistical bound: across 20 sampling seeds the SHARDS estimator's
+ * worst-case miss-rate error against the exact replay must stay
+ * within the CI gate's 0.02 bound at the default 10% rate.
+ */
+TEST(SampledEstimatorTest, ErrorBoundAcrossTwentySeeds)
+{
+    PowerLawTrace trace = makeTrace(0.5, 47);
+
+    MissCurveSpec spec = makeSpec(MissCurveEstimatorKind::ExactSim);
+    spec.cache.associativity = 8;
+    const MissCurve exact = estimateMissCurve(trace, spec);
+
+    spec.kind = MissCurveEstimatorKind::SampledStackDistance;
+    spec.sampleRate = 0.1;
+    double worst = 0.0;
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        spec.seed = seed;
+        const MissCurve sampled = estimateMissCurve(trace, spec);
+        ASSERT_EQ(sampled.points.size(), exact.points.size());
+        // Sampling must actually drop accesses (rate well below 1).
+        EXPECT_LT(sampled.sampledAccesses,
+                  sampled.profiledAccesses / 5);
+        for (std::size_t i = 0; i < exact.points.size(); ++i) {
+            worst = std::max(worst,
+                             std::abs(sampled.points[i].missRate -
+                                      exact.points[i].missRate));
+        }
+        EXPECT_NEAR(-sampled.fit().exponent, -exact.fit().exponent,
+                    0.05)
+            << "seed " << seed;
+    }
+    EXPECT_LE(worst, 0.02);
+}
+
+/** Fixed-size (R_max) mode must bound memory yet stay accurate. */
+TEST(SampledEstimatorTest, FixedSizeModeTracksExact)
+{
+    PowerLawTrace trace = makeTrace(0.5, 53);
+
+    MissCurveSpec spec = makeSpec(MissCurveEstimatorKind::ExactSim);
+    spec.cache.associativity = 0;
+    const MissCurve exact = estimateMissCurve(trace, spec);
+
+    spec.kind = MissCurveEstimatorKind::SampledStackDistance;
+    spec.sampleRate = 1.0; // rate decays as the threshold drops
+    spec.maxSampledLines = 4096;
+    const MissCurve sampled = estimateMissCurve(trace, spec);
+
+    for (std::size_t i = 0; i < exact.points.size(); ++i) {
+        EXPECT_NEAR(sampled.points[i].missRate,
+                    exact.points[i].missRate, 0.03)
+            << "at capacity " << exact.points[i].capacityBytes;
+    }
+}
+
+TEST(StackEstimatorTest, RefusesNonLruReplacement)
+{
+    PowerLawTrace trace = makeTrace(0.5, 5);
+    MissCurveSpec spec = makeSpec(MissCurveEstimatorKind::StackDistance);
+    spec.cache.replacement = ReplacementKind::Random;
+    EXPECT_EXIT(estimateMissCurve(trace, spec),
+                ::testing::ExitedWithCode(1), "LRU");
+}
+
+TEST(StackEstimatorTest, RefusesWriteNoAllocate)
+{
+    PowerLawTrace trace = makeTrace(0.5, 5);
+    MissCurveSpec spec = makeSpec(MissCurveEstimatorKind::StackDistance);
+    spec.cache.writeAllocate = WriteAllocate::NoAllocate;
+    EXPECT_EXIT(estimateMissCurve(trace, spec),
+                ::testing::ExitedWithCode(1), "write-allocate");
+}
+
+TEST(StackEstimatorTest, RefusesSectoredCaches)
+{
+    PowerLawTrace trace = makeTrace(0.5, 5);
+    MissCurveSpec spec = makeSpec(MissCurveEstimatorKind::StackDistance);
+    spec.cache.sectored = true;
+    EXPECT_EXIT(estimateMissCurve(trace, spec),
+                ::testing::ExitedWithCode(1), "sectored");
+}
+
+/** The sharded multi-workload sweep routes through the estimator. */
+TEST(TraceMissCurveSweepTest, SweepsWorkloadsThroughOneEstimator)
+{
+    TraceMissCurveSweepParams params;
+    params.workloads = {commercialAverageProfile(),
+                        spec2006AverageProfile()};
+    params.spec = makeSpec(MissCurveEstimatorKind::StackDistance);
+    params.spec.warmupAccesses = 50000;
+    params.spec.measuredAccesses = 150000;
+    MetricsRegistry metrics;
+    params.metrics = &metrics;
+
+    const auto results = runTraceMissCurveSweep(params);
+    ASSERT_EQ(results.size(), 2u);
+    for (const TraceMissCurveResult &result : results) {
+        EXPECT_EQ(result.curve.tracePasses, 1u);
+        EXPECT_EQ(result.curve.points.size(),
+                  params.spec.capacities.size());
+    }
+    // Commercial-average decays faster with size (alpha 0.48) than
+    // the SPEC 2006 average (alpha 0.25).
+    EXPECT_GT(-results[0].curve.fit().exponent,
+              -results[1].curve.fit().exponent);
+
+    EXPECT_EQ(metrics.counter("miss_curve.workloads"), 2u);
+    EXPECT_EQ(metrics.counter("miss_curve.trace_passes"), 2u);
+}
+
+} // namespace
+} // namespace bwwall

@@ -2,12 +2,16 @@
  * @file
  * Integration tests: trace generators driven through the real cache
  * simulator, validating the power law of cache misses end to end and
- * the paper's Section 4.2 write-back-ratio claim.
+ * the paper's Section 4.2 write-back-ratio claim.  All measurements
+ * route through the unified MissCurveEstimator API with the exact
+ * estimator; the estimator cross-validation lives in
+ * miss_curve_estimator_test.cc.
  */
 
 #include <gtest/gtest.h>
 
 #include "cache/miss_curve.hh"
+#include "cache/miss_curve_estimator.hh"
 #include "trace/power_law_trace.hh"
 #include "trace/working_set_trace.hh"
 #include "util/units.hh"
@@ -39,11 +43,12 @@ TEST(MissCurveTest, MonotoneDecreasingMissRate)
     params.maxResidentLines = 1 << 16;
     PowerLawTrace trace(params);
 
-    MissCurveSweepParams sweep;
-    sweep.capacities = capacityLadder(8 * kKiB, 256 * kKiB);
-    sweep.warmupAccesses = 100000;
-    sweep.measuredAccesses = 200000;
-    const auto points = measureMissCurve(trace, sweep);
+    MissCurveSpec spec;
+    spec.kind = MissCurveEstimatorKind::ExactSim;
+    spec.capacities = capacityLadder(8 * kKiB, 256 * kKiB);
+    spec.warmupAccesses = 100000;
+    spec.measuredAccesses = 200000;
+    const auto points = estimateMissCurve(trace, spec).points;
 
     ASSERT_EQ(points.size(), 6u);
     for (std::size_t i = 1; i < points.size(); ++i)
@@ -67,16 +72,19 @@ TEST_P(MissCurveAlphaTest, SimulatedCurveRecoversAlpha)
     params.maxResidentLines = 1 << 17;
     PowerLawTrace trace(params);
 
-    MissCurveSweepParams sweep;
-    sweep.capacities = capacityLadder(8 * kKiB, 256 * kKiB);
-    sweep.cacheTemplate.associativity = 8;
-    sweep.warmupAccesses = 300000;
-    sweep.measuredAccesses = 700000;
-    const auto points = measureMissCurve(trace, sweep);
+    MissCurveSpec spec;
+    spec.kind = MissCurveEstimatorKind::ExactSim;
+    spec.capacities = capacityLadder(8 * kKiB, 256 * kKiB);
+    spec.cache.associativity = 8;
+    spec.warmupAccesses = 300000;
+    spec.measuredAccesses = 700000;
+    const MissCurve curve = estimateMissCurve(trace, spec);
 
-    const PowerLawFit fit = fitMissCurve(points);
+    const PowerLawFit fit = curve.fit();
     EXPECT_NEAR(-fit.exponent, alpha, 0.07);
     EXPECT_GT(fit.rSquared, 0.97);
+    // The exact estimator replays the trace once per grid point.
+    EXPECT_EQ(curve.tracePasses, spec.capacities.size());
 }
 
 INSTANTIATE_TEST_SUITE_P(PaperAlphas, MissCurveAlphaTest,
@@ -97,11 +105,12 @@ TEST(MissCurveTest, WritebackRatioConstantAcrossSizes)
     params.maxResidentLines = 1 << 16;
     PowerLawTrace trace(params);
 
-    MissCurveSweepParams sweep;
-    sweep.capacities = capacityLadder(8 * kKiB, 256 * kKiB);
-    sweep.warmupAccesses = 200000;
-    sweep.measuredAccesses = 400000;
-    const auto points = measureMissCurve(trace, sweep);
+    MissCurveSpec spec;
+    spec.kind = MissCurveEstimatorKind::ExactSim;
+    spec.capacities = capacityLadder(8 * kKiB, 256 * kKiB);
+    spec.warmupAccesses = 200000;
+    spec.measuredAccesses = 400000;
+    const auto points = estimateMissCurve(trace, spec).points;
 
     for (const MissCurvePoint &point : points) {
         EXPECT_NEAR(point.writebackRatio, 0.3, 0.06)
@@ -117,11 +126,12 @@ TEST(MissCurveTest, WorkingSetTraceShowsStaircase)
     params.seed = 23;
     WorkingSetTrace trace(params);
 
-    MissCurveSweepParams sweep;
-    sweep.capacities = capacityLadder(8 * kKiB, 1024 * kKiB);
-    sweep.warmupAccesses = 100000;
-    sweep.measuredAccesses = 200000;
-    const auto points = measureMissCurve(trace, sweep);
+    MissCurveSpec spec;
+    spec.kind = MissCurveEstimatorKind::ExactSim;
+    spec.capacities = capacityLadder(8 * kKiB, 1024 * kKiB);
+    spec.warmupAccesses = 100000;
+    spec.measuredAccesses = 200000;
+    const auto points = estimateMissCurve(trace, spec).points;
 
     // Above the total footprint the miss rate collapses to ~0; below
     // the hot region it stays near 1.  The power-law fit quality of a
@@ -141,21 +151,59 @@ TEST(MissCurveTest, SectoredTemplateReducesTraffic)
     params.maxResidentLines = 1 << 15;
     PowerLawTrace trace(params);
 
-    MissCurveSweepParams plain;
+    MissCurveSpec plain;
+    plain.kind = MissCurveEstimatorKind::ExactSim;
     plain.capacities = {64 * kKiB};
     plain.warmupAccesses = 100000;
     plain.measuredAccesses = 200000;
 
-    MissCurveSweepParams sectored = plain;
-    sectored.cacheTemplate.sectored = true;
-    sectored.cacheTemplate.sectorBytes = 8;
+    MissCurveSpec sectored = plain;
+    sectored.cache.sectored = true;
+    sectored.cache.sectorBytes = 8;
 
-    const auto plain_points = measureMissCurve(trace, plain);
-    const auto sectored_points = measureMissCurve(trace, sectored);
+    const auto plain_points = estimateMissCurve(trace, plain).points;
+    const auto sectored_points =
+        estimateMissCurve(trace, sectored).points;
     // With 2 of 8 words used, sector fetches cut traffic severalfold.
     EXPECT_LT(sectored_points[0].trafficBytesPerAccess * 2.0,
               plain_points[0].trafficBytesPerAccess);
 }
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+/** The deprecated sweep shim must keep its exact-replay behaviour. */
+TEST(MissCurveTest, DeprecatedSweepMatchesExactEstimator)
+{
+    PowerLawTraceParams params;
+    params.alpha = 0.5;
+    params.seed = 31;
+    params.warmLines = 1 << 14;
+    params.maxResidentLines = 1 << 15;
+    PowerLawTrace trace(params);
+
+    MissCurveSweepParams sweep;
+    sweep.capacities = capacityLadder(8 * kKiB, 64 * kKiB);
+    sweep.warmupAccesses = 50000;
+    sweep.measuredAccesses = 100000;
+    const auto shim_points = measureMissCurve(trace, sweep);
+
+    MissCurveSpec spec;
+    spec.kind = MissCurveEstimatorKind::ExactSim;
+    spec.capacities = sweep.capacities;
+    spec.warmupAccesses = sweep.warmupAccesses;
+    spec.measuredAccesses = sweep.measuredAccesses;
+    const auto points = estimateMissCurve(trace, spec).points;
+
+    ASSERT_EQ(shim_points.size(), points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        EXPECT_EQ(shim_points[i].missRate, points[i].missRate);
+        EXPECT_EQ(shim_points[i].writebackRatio,
+                  points[i].writebackRatio);
+    }
+}
+
+#pragma GCC diagnostic pop
 
 } // namespace
 } // namespace bwwall

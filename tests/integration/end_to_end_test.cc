@@ -9,7 +9,7 @@
 #include <memory>
 
 #include "cache/compressed_cache.hh"
-#include "cache/miss_curve.hh"
+#include "cache/miss_curve_estimator.hh"
 #include "cache/set_assoc_cache.hh"
 #include "compress/fpc.hh"
 #include "compress/link.hh"
@@ -23,21 +23,24 @@ namespace bwwall {
 namespace {
 
 /**
- * Pipeline 1 (Figure 1 -> model): measure a profile's alpha on the
- * cache simulator, feed it to the scaling model, and check the
- * projection is consistent with using the profile's nominal alpha.
+ * Pipeline 1 (Figure 1 -> model): measure a profile's alpha with the
+ * single-pass stack-distance estimator, feed it to the scaling
+ * model, and check the projection is consistent with using the
+ * profile's nominal alpha.
  */
 TEST(EndToEndTest, MeasuredAlphaDrivesModelConsistently)
 {
     const WorkloadProfileSpec spec = commercialAverageProfile();
     auto trace = makeProfileTrace(spec, 11);
 
-    MissCurveSweepParams sweep;
-    sweep.capacities = capacityLadder(8 * kKiB, 256 * kKiB);
-    sweep.warmupAccesses = 200000;
-    sweep.measuredAccesses = 400000;
-    const auto points = measureMissCurve(*trace, sweep);
-    const double measured_alpha = -fitMissCurve(points).exponent;
+    MissCurveSpec curve_spec;
+    curve_spec.capacities = capacityLadder(8 * kKiB, 256 * kKiB);
+    curve_spec.warmupAccesses = 200000;
+    curve_spec.measuredAccesses = 400000;
+    curve_spec.kind = MissCurveEstimatorKind::StackDistance;
+    const MissCurve curve = estimateMissCurve(*trace, curve_spec);
+    EXPECT_EQ(curve.tracePasses, 1u);
+    const double measured_alpha = -curve.fit().exponent;
     EXPECT_NEAR(measured_alpha, spec.alpha, 0.05);
 
     ScalingScenario measured;

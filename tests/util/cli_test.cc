@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Tests for the shared command-line parser used by every bench
+ * harness and example.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/cli.hh"
+
+namespace bwwall {
+namespace {
+
+/** Mutable argv built from string literals for one parse call. */
+class Argv
+{
+  public:
+    explicit Argv(std::vector<std::string> args)
+        : storage_(std::move(args))
+    {
+        for (std::string &arg : storage_)
+            pointers_.push_back(arg.data());
+    }
+
+    int argc() const { return static_cast<int>(pointers_.size()); }
+    char **argv() { return pointers_.data(); }
+
+    /** argv[i] after a parseKnown compaction. */
+    std::string
+    at(int i) const
+    {
+        return pointers_[static_cast<std::size_t>(i)];
+    }
+
+  private:
+    std::vector<std::string> storage_;
+    std::vector<char *> pointers_;
+};
+
+TEST(CliParserTest, ParsesEveryOptionType)
+{
+    bool flag = false;
+    std::string text;
+    std::uint64_t wide = 0;
+    std::uint32_t narrow = 0;
+    double ratio = 0.0;
+
+    CliParser parser("prog");
+    parser.addFlag("--flag", &flag, "a flag");
+    parser.addOption("--text", &text, "S", "a string");
+    parser.addOption("--wide", &wide, "N", "a 64-bit count");
+    parser.addOption("--narrow", &narrow, "N", "a 32-bit count");
+    parser.addOption("--ratio", &ratio, "R", "a double");
+
+    Argv argv({"prog", "--flag", "--text", "hello", "--wide",
+               "5000000000", "--narrow", "7", "--ratio", "0.25"});
+    EXPECT_EQ(parser.parse(argv.argc(), argv.argv()),
+              CliParser::Status::Ok);
+    EXPECT_TRUE(flag);
+    EXPECT_EQ(text, "hello");
+    EXPECT_EQ(wide, 5000000000ULL);
+    EXPECT_EQ(narrow, 7u);
+    EXPECT_DOUBLE_EQ(ratio, 0.25);
+}
+
+TEST(CliParserTest, DefaultsSurviveWhenFlagsAbsent)
+{
+    std::uint64_t seed = 42;
+    CliParser parser("prog");
+    parser.addOption("--seed", &seed, "S", "seed");
+    Argv argv({"prog"});
+    EXPECT_EQ(parser.parse(argv.argc(), argv.argv()),
+              CliParser::Status::Ok);
+    EXPECT_EQ(seed, 42u);
+}
+
+TEST(CliParserTest, HelpShortCircuits)
+{
+    CliParser parser("prog", "summary line");
+    Argv argv({"prog", "--help"});
+    testing::internal::CaptureStdout();
+    EXPECT_EQ(parser.parse(argv.argc(), argv.argv()),
+              CliParser::Status::Help);
+    const std::string usage = testing::internal::GetCapturedStdout();
+    EXPECT_NE(usage.find("usage: prog"), std::string::npos);
+    EXPECT_NE(usage.find("summary line"), std::string::npos);
+}
+
+TEST(CliParserTest, RejectsUnknownFlagWithUsage)
+{
+    CliParser parser("prog");
+    Argv argv({"prog", "--nope"});
+    testing::internal::CaptureStderr();
+    EXPECT_EQ(parser.parse(argv.argc(), argv.argv()),
+              CliParser::Status::Error);
+    const std::string text = testing::internal::GetCapturedStderr();
+    EXPECT_NE(text.find("unknown flag '--nope'"), std::string::npos);
+    EXPECT_NE(text.find("usage: prog"), std::string::npos);
+}
+
+TEST(CliParserTest, RejectsBadAndMissingValues)
+{
+    std::uint64_t count = 0;
+    std::uint32_t narrow = 0;
+    double ratio = 0.0;
+    CliParser parser("prog");
+    parser.addOption("--count", &count, "N", "count");
+    parser.addOption("--narrow", &narrow, "N", "narrow");
+    parser.addOption("--ratio", &ratio, "R", "ratio");
+
+    for (const std::vector<std::string> &args :
+         std::vector<std::vector<std::string>>{
+             {"prog", "--count", "12x"},      // trailing garbage
+             {"prog", "--count", "-3"},       // negative
+             {"prog", "--narrow", "4294967296"}, // > 32 bits
+             {"prog", "--ratio", "fast"},     // not a number
+             {"prog", "--count"},             // missing value
+         }) {
+        Argv argv(args);
+        testing::internal::CaptureStderr();
+        EXPECT_EQ(parser.parse(argv.argc(), argv.argv()),
+                  CliParser::Status::Error);
+        testing::internal::GetCapturedStderr();
+    }
+}
+
+TEST(CliParserTest, FillsPositionalsInOrder)
+{
+    std::string first, second;
+    CliParser parser("prog");
+    parser.addPositional("first", &first, "first file");
+    parser.addPositional("second", &second, "second file",
+                         /*required=*/false);
+
+    Argv both({"prog", "a.cfg", "b.cfg"});
+    EXPECT_EQ(parser.parse(both.argc(), both.argv()),
+              CliParser::Status::Ok);
+    EXPECT_EQ(first, "a.cfg");
+    EXPECT_EQ(second, "b.cfg");
+
+    second.clear();
+    Argv one({"prog", "c.cfg"});
+    EXPECT_EQ(parser.parse(one.argc(), one.argv()),
+              CliParser::Status::Ok);
+    EXPECT_EQ(first, "c.cfg");
+    EXPECT_TRUE(second.empty());
+}
+
+TEST(CliParserTest, MissingRequiredPositionalIsAnError)
+{
+    std::string path;
+    CliParser parser("prog");
+    parser.addPositional("scenario.cfg", &path, "config");
+    Argv argv({"prog"});
+    testing::internal::CaptureStderr();
+    EXPECT_EQ(parser.parse(argv.argc(), argv.argv()),
+              CliParser::Status::Error);
+    const std::string text = testing::internal::GetCapturedStderr();
+    EXPECT_NE(text.find("missing required argument <scenario.cfg>"),
+              std::string::npos);
+}
+
+TEST(CliParserTest, UnexpectedPositionalIsAnError)
+{
+    CliParser parser("prog");
+    Argv argv({"prog", "stray"});
+    testing::internal::CaptureStderr();
+    EXPECT_EQ(parser.parse(argv.argc(), argv.argv()),
+              CliParser::Status::Error);
+    testing::internal::GetCapturedStderr();
+}
+
+TEST(CliParserTest, ParseKnownCompactsRecognisedArguments)
+{
+    std::string json;
+    bool csv = false;
+    CliParser parser("prog");
+    parser.addOption("--json", &json, "FILE", "metrics");
+    parser.addFlag("--csv", &csv, "csv");
+
+    Argv argv({"prog", "--benchmark_filter=BM_Foo", "--json",
+               "out.json", "--csv", "--benchmark_list_tests"});
+    CliParser::Status status = CliParser::Status::Error;
+    const int argc = parser.parseKnown(argv.argc(), argv.argv(),
+                                       &status);
+    EXPECT_EQ(status, CliParser::Status::Ok);
+    ASSERT_EQ(argc, 3);
+    EXPECT_EQ(argv.at(0), "prog");
+    EXPECT_EQ(argv.at(1), "--benchmark_filter=BM_Foo");
+    EXPECT_EQ(argv.at(2), "--benchmark_list_tests");
+    EXPECT_EQ(json, "out.json");
+    EXPECT_TRUE(csv);
+}
+
+TEST(CliParserTest, ParseKnownReportsBadValuesForOwnOptions)
+{
+    std::uint64_t seed = 0;
+    CliParser parser("prog");
+    parser.addOption("--seed", &seed, "S", "seed");
+    Argv argv({"prog", "--seed", "banana"});
+    CliParser::Status status = CliParser::Status::Ok;
+    testing::internal::CaptureStderr();
+    parser.parseKnown(argv.argc(), argv.argv(), &status);
+    testing::internal::GetCapturedStderr();
+    EXPECT_EQ(status, CliParser::Status::Error);
+}
+
+TEST(CliParserTest, UsageListsEveryRegisteredArgument)
+{
+    bool flag = false;
+    std::string path;
+    CliParser parser("prog", "does things");
+    parser.addFlag("--verbose", &flag, "more output");
+    parser.addPositional("input", &path, "the input file");
+    std::ostringstream usage;
+    parser.printUsage(usage);
+    EXPECT_NE(usage.str().find("--verbose"), std::string::npos);
+    EXPECT_NE(usage.str().find("<input>"), std::string::npos);
+    EXPECT_NE(usage.str().find("--help"), std::string::npos);
+}
+
+TEST(BenchOptionsTest, SharedFlagsRoundTrip)
+{
+    CliParser parser("bench");
+    BenchOptions options;
+    options.registerWith(parser);
+    Argv argv({"bench", "--csv", "--jobs", "4", "--json", "m.json",
+               "--seed", "99", "--estimator", "sampled",
+               "--sample-rate", "0.05"});
+    EXPECT_EQ(parser.parse(argv.argc(), argv.argv()),
+              CliParser::Status::Ok);
+    EXPECT_TRUE(options.csv);
+    EXPECT_EQ(options.jobs, 4u);
+    EXPECT_EQ(options.jsonPath, "m.json");
+    EXPECT_EQ(options.seed, 99u);
+    EXPECT_EQ(options.estimator, "sampled");
+    EXPECT_DOUBLE_EQ(options.sampleRate, 0.05);
+}
+
+TEST(BenchOptionsTest, FallbackAccessors)
+{
+    BenchOptions options;
+    EXPECT_EQ(options.seedOr(7), 7u);
+    EXPECT_DOUBLE_EQ(options.sampleRateOr(0.1), 0.1);
+    options.seed = 3;
+    options.sampleRate = 0.5;
+    EXPECT_EQ(options.seedOr(7), 3u);
+    EXPECT_DOUBLE_EQ(options.sampleRateOr(0.1), 0.5);
+}
+
+} // namespace
+} // namespace bwwall
