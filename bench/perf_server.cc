@@ -1,0 +1,260 @@
+/**
+ * @file
+ * perf_server: closed-loop load generator for the bwwalld server.
+ *
+ * Starts an in-process BwwallServer on an ephemeral loopback port
+ * and drives it over keep-alive connections, one HttpClient per
+ * client thread.  Not a paper artifact — server performance.
+ *
+ * Phase 1 (cache-hit /v1/traffic): every thread posts the same body,
+ * so after the first compute all requests are served from the result
+ * cache.  Local target: >= 5000 qps at 8 client threads with
+ * p99 < 10 ms.
+ *
+ * Phase 2 (/v1/sweep miss-curve, cold vs warm): distinct bodies are
+ * posted once each against an empty cache (every request computes),
+ * then the same bodies are replayed (every request hits).  Local
+ * target: warm >= 10x cold qps.
+ *
+ * CI gates both with slack through the --json MetricsRegistry report
+ * (see .github/workflows/ci.yml, bench-smoke).
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "server/http_client.hh"
+#include "server/server.hh"
+#include "util/logging.hh"
+
+namespace bwwall {
+namespace {
+
+/** One finished load phase. */
+struct LoadResult
+{
+    double seconds = 0.0;
+    std::uint64_t requests = 0;
+    /** Per-request wall latency, seconds, unsorted. */
+    std::vector<double> latencies;
+};
+
+/**
+ * Closed loop: @p threads clients round-robin over @p bodies until
+ * @p totalRequests have been sent (0 = unlimited) or @p maxSeconds
+ * elapse.  Every response must be HTTP 200.
+ */
+LoadResult
+runLoad(std::uint16_t port, unsigned threads,
+        const std::string &path,
+        const std::vector<std::string> &bodies,
+        std::uint64_t totalRequests, double maxSeconds)
+{
+    std::atomic<std::uint64_t> next{0};
+    std::vector<std::vector<double>> latencies(threads);
+    std::vector<std::uint64_t> counts(threads, 0);
+    const auto start = std::chrono::steady_clock::now();
+    const auto deadline =
+        start + std::chrono::duration<double>(maxSeconds);
+
+    std::vector<std::thread> clients;
+    clients.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+        clients.emplace_back([&, t] {
+            HttpClient client("127.0.0.1", port);
+            HttpClientResponse response;
+            std::string error;
+            for (;;) {
+                const std::uint64_t index =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (totalRequests != 0 && index >= totalRequests)
+                    break;
+                if (std::chrono::steady_clock::now() >= deadline)
+                    break;
+                const std::string &body =
+                    bodies[index % bodies.size()];
+                const auto before =
+                    std::chrono::steady_clock::now();
+                if (!client.post(path, body, &response, &error))
+                    fatal("perf_server transport: ", error);
+                if (response.status != 200) {
+                    fatal("perf_server: ", path, " -> ",
+                          response.status, ": ", response.body);
+                }
+                const std::chrono::duration<double> took =
+                    std::chrono::steady_clock::now() - before;
+                latencies[t].push_back(took.count());
+                ++counts[t];
+            }
+        });
+    }
+    for (std::thread &client : clients)
+        client.join();
+
+    LoadResult result;
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    result.seconds = elapsed.count();
+    for (unsigned t = 0; t < threads; ++t) {
+        result.requests += counts[t];
+        result.latencies.insert(result.latencies.end(),
+                                latencies[t].begin(),
+                                latencies[t].end());
+    }
+    return result;
+}
+
+double
+qps(const LoadResult &result)
+{
+    return result.seconds > 0.0
+               ? static_cast<double>(result.requests) /
+                     result.seconds
+               : 0.0;
+}
+
+/** Exact quantile (nearest-rank) over the phase's latencies. */
+double
+latencyQuantile(const LoadResult &result, double q)
+{
+    if (result.latencies.empty())
+        return 0.0;
+    std::vector<double> sorted = result.latencies;
+    std::sort(sorted.begin(), sorted.end());
+    const double position =
+        q * static_cast<double>(sorted.size() - 1);
+    return sorted[static_cast<std::size_t>(position + 0.5)];
+}
+
+/** Distinct /v1/sweep miss-curve bodies (seed varies). */
+std::vector<std::string>
+sweepBodies(std::size_t count, std::uint64_t accesses)
+{
+    std::vector<std::string> bodies;
+    bodies.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        bodies.push_back(
+            "{\"kind\":\"miss_curve\",\"estimator\":\"stack\","
+            "\"size_kib\":128,\"warm\":0,\"accesses\":" +
+            std::to_string(accesses) +
+            ",\"seed\":" + std::to_string(i + 1) + "}");
+    }
+    return bodies;
+}
+
+} // namespace
+} // namespace bwwall
+
+int
+main(int argc, char **argv)
+{
+    using namespace bwwall;
+
+    std::uint64_t seconds_flag = 0;
+    std::uint64_t sweeps_flag = 0;
+    CliParser parser("perf_server",
+                     "closed-loop load generator for the bwwalld "
+                     "model-query server");
+    parser.addOption("--seconds", &seconds_flag, "S",
+                     "cache-hit phase duration "
+                     "(default 2, quick 1)");
+    parser.addOption("--sweeps", &sweeps_flag, "N",
+                     "distinct miss-curve sweeps in the cold/warm "
+                     "phase (default 24, quick 8)");
+    // scripts/reproduce_all.sh treats every perf_* binary as a
+    // google-benchmark main and passes --benchmark_min_time in
+    // quick mode; accept and ignore that family only.
+    BenchOptions options;
+    options.registerWith(parser);
+    CliParser::Status status = CliParser::Status::Ok;
+    argc = parser.parseKnown(argc, argv, &status);
+    if (status != CliParser::Status::Ok)
+        return status == CliParser::Status::Help ? 0 : 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]).rfind("--benchmark_", 0) != 0) {
+            std::cerr << "perf_server: unknown argument "
+                      << argv[i] << "\n";
+            return 1;
+        }
+    }
+
+    const unsigned threads =
+        options.jobs == 0 ? 8 : options.jobs;
+    const double seconds =
+        seconds_flag != 0 ? static_cast<double>(seconds_flag)
+                          : (quickMode() ? 1.0 : 2.0);
+    const std::size_t sweeps =
+        sweeps_flag != 0 ? static_cast<std::size_t>(sweeps_flag)
+                         : (quickMode() ? 8 : 24);
+    const std::uint64_t accesses = quickScaled(100000, 5);
+
+    ServerConfig config;
+    config.port = 0;
+    config.threads = threads;
+    config.deadlineMs = 0;
+    BwwallServer server(config);
+    server.start();
+    const std::uint16_t port = server.port();
+    std::cout << "perf_server: bwwalld on 127.0.0.1:" << port
+              << ", " << threads << " client threads\n";
+
+    // Phase 1: identical /v1/traffic bodies -> result-cache hits.
+    const std::vector<std::string> traffic_body = {
+        "{\"cores\":16,\"alpha\":0.5,\"total_ceas\":32,"
+        "\"techniques\":[{\"label\":\"CC\","
+        "\"assumption\":\"realistic\"}]}"};
+    const LoadResult hits = runLoad(
+        port, threads, "/v1/traffic", traffic_body, 0, seconds);
+    const double hit_qps = qps(hits);
+    const double hit_p50_ms =
+        latencyQuantile(hits, 0.50) * 1e3;
+    const double hit_p99_ms =
+        latencyQuantile(hits, 0.99) * 1e3;
+    std::cout << "cache-hit /v1/traffic: " << hits.requests
+              << " requests in " << hits.seconds << " s, "
+              << hit_qps << " qps, p50 " << hit_p50_ms
+              << " ms, p99 " << hit_p99_ms << " ms\n";
+
+    // Phase 2: distinct sweeps cold, then the same sweeps warm.
+    const std::vector<std::string> bodies =
+        sweepBodies(sweeps, accesses);
+    server.cache().invalidateAll();
+    const LoadResult cold = runLoad(
+        port, threads, "/v1/sweep", bodies, bodies.size(), 600.0);
+    const std::uint64_t warm_rounds = 20;
+    const LoadResult warm =
+        runLoad(port, threads, "/v1/sweep", bodies,
+                bodies.size() * warm_rounds, 600.0);
+    const double cold_qps = qps(cold);
+    const double warm_qps = qps(warm);
+    const double ratio =
+        cold_qps > 0.0 ? warm_qps / cold_qps : 0.0;
+    std::cout << "/v1/sweep miss-curve: cold " << cold_qps
+              << " qps (" << cold.requests << " sweeps), warm "
+              << warm_qps << " qps, warm/cold " << ratio
+              << "x\n";
+
+    server.stop();
+
+    MetricsRegistry metrics;
+    metrics.setGauge("perf_server.threads",
+                     static_cast<double>(threads));
+    metrics.addCounter("perf_server.hit.requests",
+                       hits.requests);
+    metrics.setGauge("perf_server.hit.qps", hit_qps);
+    metrics.setGauge("perf_server.hit.p50_ms", hit_p50_ms);
+    metrics.setGauge("perf_server.hit.p99_ms", hit_p99_ms);
+    metrics.addCounter("perf_server.sweep.bodies", sweeps);
+    metrics.setGauge("perf_server.sweep.cold_qps", cold_qps);
+    metrics.setGauge("perf_server.sweep.warm_qps", warm_qps);
+    metrics.setGauge("perf_server.sweep.warm_over_cold", ratio);
+    emitMetricsJson(metrics, options);
+    return 0;
+}

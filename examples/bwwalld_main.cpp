@@ -1,0 +1,112 @@
+/**
+ * @file
+ * bwwalld: the bandwidth-wall model-query daemon.
+ *
+ * Serves the scaling model over HTTP/1.1 + JSON with a sharded
+ * result cache (see docs/SERVER.md for the protocol).  Runs until
+ * SIGINT/SIGTERM, then drains gracefully: stops accepting, finishes
+ * queued and in-flight requests, optionally flushes the metrics
+ * registry to JSON, and exits 0.
+ *
+ * Examples:
+ *   bwwalld --port 8080 --threads 8
+ *   bwwalld --port 0 --cache-mb 128 --deadline-ms 2000
+ *   curl -s localhost:8080/healthz
+ *   curl -s -X POST localhost:8080/v1/solve -d '{"alpha":0.5}'
+ */
+
+#include <csignal>
+#include <iostream>
+
+#include "server/server.hh"
+#include "util/cli.hh"
+#include "util/logging.hh"
+#include "util/metrics.hh"
+
+using namespace bwwall;
+
+int
+main(int argc, char **argv)
+{
+    ServerConfig config;
+    std::uint64_t port = 8080;
+    std::uint32_t threads = 0;
+    std::uint64_t cache_mb = 64;
+    std::uint64_t shards = 16;
+    double ttl_seconds = 0.0;
+    std::uint64_t deadline_ms = 10000;
+    std::uint64_t idle_timeout_ms = 5000;
+    std::uint64_t max_inflight = 256;
+    std::uint64_t max_body_kib = 1024;
+    std::string metrics_json;
+    bool log_requests = false;
+
+    CliParser parser("bwwalld",
+                     "bandwidth-wall model-query server (HTTP/1.1 "
+                     "+ JSON, sharded result cache)");
+    parser.addOption("--port", &port, "PORT",
+                     "TCP port (0 = ephemeral)");
+    parser.addOption("--bind", &config.bindAddress, "ADDR",
+                     "bind address");
+    parser.addOption("--threads", &threads, "N",
+                     "worker threads (0 = BWWALL_JOBS / auto)");
+    parser.addOption("--cache-mb", &cache_mb, "MB",
+                     "result-cache byte budget");
+    parser.addOption("--shards", &shards, "N",
+                     "result-cache shards");
+    parser.addOption("--ttl-seconds", &ttl_seconds, "S",
+                     "result-cache TTL (0 = never expires)");
+    parser.addOption("--deadline-ms", &deadline_ms, "MS",
+                     "per-request deadline (0 = none)");
+    parser.addOption("--idle-timeout-ms", &idle_timeout_ms, "MS",
+                     "socket receive timeout");
+    parser.addOption("--max-inflight", &max_inflight, "N",
+                     "admission limit before 503 shedding "
+                     "(0 = unlimited)");
+    parser.addOption("--max-body-kib", &max_body_kib, "KIB",
+                     "largest accepted request body");
+    parser.addOption("--metrics-json", &metrics_json, "FILE",
+                     "flush the metrics registry here on exit");
+    parser.addFlag("--log-requests", &log_requests,
+                   "log one line per served request");
+    parser.parseOrExit(argc, argv);
+
+    if (port > 65535)
+        parser.usageError("--port must be at most 65535");
+    config.port = static_cast<std::uint16_t>(port);
+    config.threads = threads;
+    config.cacheBytes =
+        static_cast<std::size_t>(cache_mb) << 20;
+    config.cacheShards = static_cast<std::size_t>(shards);
+    config.cacheTtlSeconds = ttl_seconds;
+    config.deadlineMs = static_cast<unsigned>(deadline_ms);
+    config.idleTimeoutMs = static_cast<unsigned>(idle_timeout_ms);
+    config.maxInflight = static_cast<unsigned>(max_inflight);
+    config.maxBodyBytes =
+        static_cast<std::size_t>(max_body_kib) << 10;
+    config.logRequests = log_requests;
+
+    // Route SIGINT/SIGTERM to sigwait below: block them before the
+    // server spawns its threads so every thread inherits the mask.
+    sigset_t signals;
+    sigemptyset(&signals);
+    sigaddset(&signals, SIGINT);
+    sigaddset(&signals, SIGTERM);
+    pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+    BwwallServer server(config);
+    server.start();
+    // Machine-readable port line for scripts driving --port 0.
+    std::cout << "bwwalld listening on " << config.bindAddress
+              << ":" << server.port() << std::endl;
+
+    int signal_number = 0;
+    sigwait(&signals, &signal_number);
+    inform("received ",
+           signal_number == SIGTERM ? "SIGTERM" : "SIGINT",
+           "; draining");
+    server.stop();
+    if (!metrics_json.empty())
+        server.metrics().writeJsonFile(metrics_json);
+    return 0;
+}

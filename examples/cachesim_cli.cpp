@@ -55,19 +55,22 @@ parsePolicy(const std::string &name)
 int
 main(int argc, char **argv)
 {
-    std::string profile_name = "Commercial-AVG";
+    // Empty / zero defaults mark options the user did not pass, so
+    // contradictory combinations can be rejected after parsing; the
+    // real defaults are filled in below.
+    std::string profile_name;
     std::string trace_path;
     std::string record_path;
     std::string policy = "lru";
-    std::string estimator = "stack";
+    std::string estimator;
     bool sectored = false;
     bool curve = false;
-    double sample_rate = 0.1;
+    double sample_rate = 0.0;
     CacheConfig config;
     std::uint64_t size_kib = 256;
     std::uint64_t warm = 200000;
     std::uint64_t accesses = 500000;
-    std::uint64_t seed = 1;
+    std::uint64_t seed = 0;
 
     CliParser parser("cachesim_cli",
                      "trace-driven cache simulator and miss-curve "
@@ -102,6 +105,44 @@ main(int argc, char **argv)
     parser.addOption("--sample-rate", &sample_rate, "R",
                      "SHARDS sampling rate in (0, 1]");
     parser.parseOrExit(argc, argv);
+
+    // Reject contradictory combinations instead of silently
+    // reinterpreting them.
+    if (!curve && !estimator.empty()) {
+        parser.usageError(
+            "--estimator only applies to --curve estimation; "
+            "pass --curve or drop --estimator");
+    }
+    if (!curve && sample_rate != 0.0) {
+        parser.usageError(
+            "--sample-rate only applies to --curve estimation; "
+            "pass --curve or drop --sample-rate");
+    }
+    if (!trace_path.empty() && !profile_name.empty()) {
+        parser.usageError(
+            "--trace replays a recorded file; it conflicts with "
+            "--profile (the synthetic stream)");
+    }
+    if (!trace_path.empty() && !record_path.empty()) {
+        parser.usageError(
+            "--record captures a synthetic profile stream; it "
+            "conflicts with --trace (already a recording)");
+    }
+    if (!trace_path.empty() && seed != 0) {
+        parser.usageError(
+            "--seed shapes the synthetic stream; it conflicts "
+            "with --trace (replayed verbatim)");
+    }
+
+    // Fill in the real defaults for everything not passed.
+    if (profile_name.empty())
+        profile_name = "Commercial-AVG";
+    if (estimator.empty())
+        estimator = "stack";
+    if (sample_rate == 0.0)
+        sample_rate = 0.1;
+    if (seed == 0)
+        seed = 1;
 
     config.capacityBytes = size_kib * kKiB;
     config.replacement = parsePolicy(policy);

@@ -1,0 +1,192 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the bwwalld model-query server.
+#
+# Usage: scripts/server_smoke.sh BWWALLD_BINARY [CLIENT_BINARY]
+#
+# Starts the daemon on an ephemeral port, exercises the protocol with
+# curl (valid queries, cache-hit determinism, malformed JSON,
+# oversized bodies, unknown paths, wrong methods, concurrent
+# duplicate sweeps), asserts the /metrics counters reflect what was
+# sent, then SIGTERMs the daemon and requires a clean drain (exit 0).
+# CI runs this against an AddressSanitizer build.
+set -euo pipefail
+
+bwwalld="${1:?usage: server_smoke.sh BWWALLD_BINARY [CLIENT_BINARY]}"
+client="${2:-}"
+
+work=$(mktemp -d)
+server_pid=""
+cleanup() {
+    if [ -n "$server_pid" ] && kill -0 "$server_pid" 2>/dev/null; then
+        kill -9 "$server_pid" 2>/dev/null || true
+    fi
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "FAIL: $*" >&2
+    echo "--- server log ---" >&2
+    cat "$work/server.log" >&2 || true
+    exit 1
+}
+
+# Max body 4 KiB so an oversized request is easy to produce.
+"$bwwalld" --port 0 --threads 4 --max-body-kib 4 \
+    --metrics-json "$work/final_metrics.json" \
+    >"$work/server.out" 2>"$work/server.log" &
+server_pid=$!
+
+# The daemon prints "bwwalld listening on ADDR:PORT" once bound.
+port=""
+for _ in $(seq 1 100); do
+    if ! kill -0 "$server_pid" 2>/dev/null; then
+        fail "server exited before binding"
+    fi
+    port=$(sed -n 's/^bwwalld listening on .*:\([0-9]*\)$/\1/p' \
+        "$work/server.out" | head -n1)
+    [ -n "$port" ] && break
+    sleep 0.1
+done
+[ -n "$port" ] || fail "could not parse the listening port"
+base="http://127.0.0.1:$port"
+echo "== bwwalld up on port $port"
+
+# --- health -----------------------------------------------------------
+body=$(curl -sf "$base/healthz")
+[ "$body" = '{"status":"ok"}' ] || fail "/healthz said: $body"
+
+# --- valid model queries ---------------------------------------------
+traffic='{"cores":16,"alpha":0.5,"total_ceas":32}'
+curl -sf -X POST -d "$traffic" "$base/v1/traffic" \
+    >"$work/traffic1.json" || fail "/v1/traffic rejected a valid query"
+grep -q '"relative_traffic"' "$work/traffic1.json" ||
+    fail "/v1/traffic response lacks relative_traffic"
+
+# Cache hit: the identical query must return the identical bytes.
+curl -sf -X POST -d "$traffic" "$base/v1/traffic" \
+    >"$work/traffic2.json"
+cmp -s "$work/traffic1.json" "$work/traffic2.json" ||
+    fail "cache hit returned different bytes"
+
+# Whitespace / key order must not change the cache key (the response
+# is canonical either way).
+curl -sf -X POST -d '{ "alpha": 0.5, "total_ceas": 32, "cores": 16 }' \
+    "$base/v1/traffic" >"$work/traffic3.json"
+cmp -s "$work/traffic1.json" "$work/traffic3.json" ||
+    fail "reordered request missed the cache"
+
+curl -sf -X POST -d '{"alpha":0.5,"techniques":[{"label":"CC"}]}' \
+    "$base/v1/solve" | grep -q '"supportable_cores"' ||
+    fail "/v1/solve failed"
+
+# --- error handling ---------------------------------------------------
+status=$(curl -s -o "$work/bad.json" -w '%{http_code}' \
+    -X POST -d '{"cores":16,' "$base/v1/traffic")
+[ "$status" = 400 ] || fail "malformed JSON got $status, want 400"
+grep -q '"error"' "$work/bad.json" ||
+    fail "400 body is not a structured error"
+
+status=$(curl -s -o /dev/null -w '%{http_code}' \
+    -X POST -d '{"cores":16,"frobnicate":1}' "$base/v1/traffic")
+[ "$status" = 400 ] || fail "unknown key got $status, want 400"
+
+python3 -c "print('{\"pad\":\"' + 'x' * 8192 + '\"}')" \
+    >"$work/oversized.json"
+status=$(curl -s -o /dev/null -w '%{http_code}' \
+    -X POST --data-binary @"$work/oversized.json" "$base/v1/traffic")
+[ "$status" = 413 ] || fail "oversized body got $status, want 413"
+
+status=$(curl -s -o /dev/null -w '%{http_code}' "$base/v1/nope")
+[ "$status" = 404 ] || fail "unknown path got $status, want 404"
+
+status=$(curl -s -o /dev/null -w '%{http_code}' "$base/v1/traffic")
+[ "$status" = 405 ] || fail "GET on a POST endpoint got $status"
+echo "== error handling OK"
+
+# --- concurrent duplicate sweeps -------------------------------------
+# Eight identical cold sweeps in flight at once: the result cache's
+# single-flight path must compute exactly once (cache.misses +1) and
+# serve the other seven as joins or hits.
+metrics_value() {
+    python3 - "$1" "$2" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+section = report.get("counters", {})
+print(section.get(sys.argv[2], 0))
+EOF
+}
+curl -sf "$base/metrics?format=json" >"$work/before.json"
+sweep='{"kind":"miss_curve","estimator":"stack","size_kib":64,"warm":1000,"accesses":5000,"seed":77}'
+curl_pids=()
+for i in $(seq 1 8); do
+    curl -sf -X POST -d "$sweep" "$base/v1/sweep" \
+        >"$work/sweep$i.json" &
+    curl_pids+=($!)
+done
+wait "${curl_pids[@]}"
+for i in $(seq 2 8); do
+    cmp -s "$work/sweep1.json" "$work/sweep$i.json" ||
+        fail "concurrent duplicate $i diverged"
+done
+grep -q '"kind":"miss_curve"' "$work/sweep1.json" ||
+    fail "sweep response malformed"
+curl -sf "$base/metrics?format=json" >"$work/after.json"
+misses_before=$(metrics_value "$work/before.json" cache.misses)
+misses_after=$(metrics_value "$work/after.json" cache.misses)
+[ $((misses_after - misses_before)) -eq 1 ] ||
+    fail "8 duplicate sweeps computed $((misses_after - misses_before)) times, want 1"
+served=$(metrics_value "$work/after.json" \
+    "server.endpoint./v1/sweep.requests")
+[ "$served" -eq 8 ] || fail "/v1/sweep served $served, want 8"
+echo "== single-flight OK (1 compute for 8 duplicates)"
+
+# --- metrics sanity ---------------------------------------------------
+curl -sf "$base/metrics" >"$work/metrics.txt"
+grep -q '^counter server.requests ' "$work/metrics.txt" ||
+    fail "text metrics lack server.requests"
+grep -q '^histogram server.endpoint./v1/traffic.latency_seconds ' \
+    "$work/metrics.txt" || fail "text metrics lack the latency histogram"
+hits=$(metrics_value "$work/after.json" cache.hits)
+[ "$hits" -ge 2 ] || fail "expected >= 2 cache hits, saw $hits"
+
+# --- optional client binary ------------------------------------------
+if [ -n "$client" ]; then
+    "$client" --port "$port" --path /v1/traffic \
+        --body "$traffic" >"$work/client.json"
+    cmp -s "$work/traffic1.json" "$work/client.json" ||
+        fail "bwwall_client response differs from curl's"
+    echo "== bwwall_client OK"
+fi
+
+# --- graceful drain ---------------------------------------------------
+kill -TERM "$server_pid"
+drain_status=0
+wait "$server_pid" || drain_status=$?
+[ "$drain_status" -eq 0 ] || fail "drain exited $drain_status, want 0"
+server_pid=""
+[ -s "$work/final_metrics.json" ] ||
+    fail "--metrics-json was not written on drain"
+python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
+    "$work/final_metrics.json" || fail "final metrics are not JSON"
+grep -q '^info: ' "$work/server.log" ||
+    fail "default log level suppressed info lines"
+echo "== graceful drain OK"
+
+# --- BWWALL_LOG_LEVEL=silent drops the info chatter -------------------
+BWWALL_LOG_LEVEL=silent "$bwwalld" --port 0 --threads 1 \
+    >"$work/silent.out" 2>"$work/silent.log" &
+server_pid=$!
+for _ in $(seq 1 100); do
+    grep -q 'listening on' "$work/silent.out" && break
+    sleep 0.1
+done
+kill -TERM "$server_pid"
+wait "$server_pid" || fail "silent daemon did not drain cleanly"
+server_pid=""
+if grep -q '^info: ' "$work/silent.log"; then
+    fail "BWWALL_LOG_LEVEL=silent still printed info lines"
+fi
+echo "== BWWALL_LOG_LEVEL override OK"
+echo "server smoke: all checks passed"

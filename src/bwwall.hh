@@ -41,6 +41,12 @@
 #include "model/scaling_study.hh"
 #include "model/technique.hh"
 #include "model/throughput.hh"
+#include "server/http.hh"
+#include "server/http_client.hh"
+#include "server/json.hh"
+#include "server/model_service.hh"
+#include "server/result_cache.hh"
+#include "server/server.hh"
 #include "trace/power_law_trace.hh"
 #include "trace/profiles.hh"
 #include "trace/reuse_analyzer.hh"

@@ -1,0 +1,282 @@
+#include "server/http.hh"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+#include "server/json.hh"
+
+namespace bwwall {
+
+namespace {
+
+constexpr std::size_t kReadChunk = 8192;
+
+std::string
+toLower(std::string text)
+{
+    std::transform(text.begin(), text.end(), text.begin(),
+                   [](unsigned char c) {
+                       return static_cast<char>(std::tolower(c));
+                   });
+    return text;
+}
+
+std::string
+trim(const std::string &text)
+{
+    std::size_t begin = 0;
+    std::size_t end = text.size();
+    while (begin < end && (text[begin] == ' ' || text[begin] == '\t'))
+        ++begin;
+    while (end > begin &&
+           (text[end - 1] == ' ' || text[end - 1] == '\t'))
+        --end;
+    return text.substr(begin, end - begin);
+}
+
+/** Splits the request head into lines on CRLF (tolerating bare LF). */
+bool
+nextLine(const std::string &head, std::size_t *cursor,
+         std::string *line)
+{
+    if (*cursor >= head.size())
+        return false;
+    const std::size_t eol = head.find('\n', *cursor);
+    std::size_t end = eol == std::string::npos ? head.size() : eol;
+    std::size_t next = eol == std::string::npos ? head.size()
+                                                : eol + 1;
+    if (end > *cursor && head[end - 1] == '\r')
+        --end;
+    *line = head.substr(*cursor, end - *cursor);
+    *cursor = next;
+    return true;
+}
+
+} // namespace
+
+HttpConnection::Fill
+HttpConnection::fillMore()
+{
+    char chunk[kReadChunk];
+    while (true) {
+        const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (got > 0) {
+            buffer_.append(chunk, static_cast<std::size_t>(got));
+            return Fill::More;
+        }
+        if (got == 0)
+            return Fill::Eof;
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return Fill::Timeout;
+        return Fill::Error;
+    }
+}
+
+HttpReadStatus
+HttpConnection::readRequest(HttpRequest *out)
+{
+    // Accumulate until the blank line ending the header block.
+    std::size_t head_end;
+    while (true) {
+        head_end = buffer_.find("\r\n\r\n");
+        std::size_t separator = 4;
+        if (head_end == std::string::npos) {
+            head_end = buffer_.find("\n\n");
+            separator = 2;
+        }
+        if (head_end != std::string::npos) {
+            head_end += separator;
+            break;
+        }
+        if (buffer_.size() > limits_.maxHeaderBytes)
+            return HttpReadStatus::TooLarge;
+        switch (fillMore()) {
+          case Fill::More:
+            continue;
+          case Fill::Eof:
+            return buffer_.empty() ? HttpReadStatus::Closed
+                                   : HttpReadStatus::Malformed;
+          case Fill::Timeout:
+            return HttpReadStatus::Timeout;
+          case Fill::Error:
+            return HttpReadStatus::Malformed;
+        }
+    }
+    if (head_end > limits_.maxHeaderBytes)
+        return HttpReadStatus::TooLarge;
+
+    const std::string head = buffer_.substr(0, head_end);
+    std::size_t cursor = 0;
+    std::string line;
+    if (!nextLine(head, &cursor, &line) || line.empty())
+        return HttpReadStatus::Malformed;
+
+    // Request line: METHOD SP TARGET SP VERSION.
+    HttpRequest request;
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos
+                                 : line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos)
+        return HttpReadStatus::Malformed;
+    request.method = line.substr(0, sp1);
+    request.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const std::string version = line.substr(sp2 + 1);
+    if (request.method.empty() || request.target.empty())
+        return HttpReadStatus::Malformed;
+    if (version != "HTTP/1.1" && version != "HTTP/1.0")
+        return HttpReadStatus::Malformed;
+    request.keepAlive = version == "HTTP/1.1";
+
+    const std::size_t question = request.target.find('?');
+    if (question == std::string::npos) {
+        request.path = request.target;
+    } else {
+        request.path = request.target.substr(0, question);
+        request.query = request.target.substr(question + 1);
+    }
+
+    // Header fields.
+    while (nextLine(head, &cursor, &line)) {
+        if (line.empty())
+            break;
+        const std::size_t colon = line.find(':');
+        if (colon == std::string::npos)
+            return HttpReadStatus::Malformed;
+        request.headers[toLower(line.substr(0, colon))] =
+            trim(line.substr(colon + 1));
+    }
+
+    const auto connection = request.headers.find("connection");
+    if (connection != request.headers.end()) {
+        const std::string value = toLower(connection->second);
+        if (value == "close")
+            request.keepAlive = false;
+        else if (value == "keep-alive")
+            request.keepAlive = true;
+    }
+
+    if (request.headers.count("transfer-encoding") != 0)
+        return HttpReadStatus::Unsupported;
+
+    // Body: Content-Length bytes (0 when absent).
+    std::size_t body_bytes = 0;
+    const auto length = request.headers.find("content-length");
+    if (length != request.headers.end()) {
+        const std::string &text = length->second;
+        if (text.empty() ||
+            text.find_first_not_of("0123456789") !=
+                std::string::npos)
+            return HttpReadStatus::Malformed;
+        char *end = nullptr;
+        const unsigned long long parsed =
+            std::strtoull(text.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0')
+            return HttpReadStatus::Malformed;
+        body_bytes = static_cast<std::size_t>(parsed);
+    }
+    if (body_bytes > limits_.maxBodyBytes)
+        return HttpReadStatus::TooLarge;
+
+    while (buffer_.size() < head_end + body_bytes) {
+        switch (fillMore()) {
+          case Fill::More:
+            continue;
+          case Fill::Eof:
+            return HttpReadStatus::Malformed;
+          case Fill::Timeout:
+            return HttpReadStatus::Timeout;
+          case Fill::Error:
+            return HttpReadStatus::Malformed;
+        }
+    }
+    request.body = buffer_.substr(head_end, body_bytes);
+    buffer_.erase(0, head_end + body_bytes);
+    *out = std::move(request);
+    return HttpReadStatus::Ok;
+}
+
+bool
+HttpConnection::writeResponse(const HttpResponse &response)
+{
+    std::string wire;
+    wire.reserve(response.body.size() + 160);
+    wire += "HTTP/1.1 ";
+    wire += std::to_string(response.status);
+    wire += ' ';
+    wire += httpStatusText(response.status);
+    wire += "\r\nContent-Type: ";
+    wire += response.contentType;
+    wire += "\r\nContent-Length: ";
+    wire += std::to_string(response.body.size());
+    wire += "\r\nConnection: ";
+    wire += response.close ? "close" : "keep-alive";
+    wire += "\r\n\r\n";
+    wire += response.body;
+
+    const char *data = wire.data();
+    std::size_t remaining = wire.size();
+    while (remaining > 0) {
+        const ssize_t wrote =
+            ::send(fd_, data, remaining, MSG_NOSIGNAL);
+        if (wrote < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        data += wrote;
+        remaining -= static_cast<std::size_t>(wrote);
+    }
+    return true;
+}
+
+const char *
+httpStatusText(int status)
+{
+    switch (status) {
+      case 200:
+        return "OK";
+      case 400:
+        return "Bad Request";
+      case 404:
+        return "Not Found";
+      case 405:
+        return "Method Not Allowed";
+      case 408:
+        return "Request Timeout";
+      case 413:
+        return "Payload Too Large";
+      case 500:
+        return "Internal Server Error";
+      case 501:
+        return "Not Implemented";
+      case 503:
+        return "Service Unavailable";
+      case 504:
+        return "Gateway Timeout";
+      default:
+        return "Unknown";
+    }
+}
+
+HttpResponse
+httpErrorResponse(int status, const std::string &message)
+{
+    JsonValue body = JsonValue::makeObject();
+    body.set("error", JsonValue(message));
+    body.set("status", JsonValue(static_cast<double>(status)));
+    HttpResponse response;
+    response.status = status;
+    response.body = body.dump();
+    response.body += '\n';
+    return response;
+}
+
+} // namespace bwwall

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Minimal HTTP/1.1 framing for bwwalld — no third-party deps.
+ *
+ * Just enough of RFC 9112 for a JSON query API on loopback/LAN:
+ * request-line + headers + Content-Length bodies, keep-alive
+ * connections, and fixed responses.  Deliberately out of scope:
+ * chunked transfer encoding (rejected with 501), multi-line header
+ * folding, and TLS.  All limits (header bytes, body bytes) are
+ * enforced while reading so a misbehaving client cannot balloon
+ * server memory, and every read honours the socket receive timeout
+ * so a stalled client cannot pin a worker forever.
+ */
+
+#ifndef BWWALL_SERVER_HTTP_HH
+#define BWWALL_SERVER_HTTP_HH
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+namespace bwwall {
+
+/** One parsed request. */
+struct HttpRequest
+{
+    std::string method;           ///< "GET", "POST", ...
+    std::string target;           ///< raw request target
+    std::string path;             ///< target up to '?'
+    std::string query;            ///< target after '?' (no '?')
+    /** Header fields, names lowercased, values trimmed. */
+    std::map<std::string, std::string> headers;
+    std::string body;
+
+    /** Whether the connection may serve another request after this. */
+    bool keepAlive = true;
+};
+
+/** One response to serialize. */
+struct HttpResponse
+{
+    int status = 200;
+    std::string contentType = "application/json";
+    std::string body;
+
+    /** Send "Connection: close" and stop serving the connection. */
+    bool close = false;
+};
+
+/** Outcome of reading one request from a connection. */
+enum class HttpReadStatus
+{
+    Ok,          ///< *out holds a complete request
+    Closed,      ///< peer closed cleanly between requests
+    Malformed,   ///< unparseable framing; respond 400 and close
+    TooLarge,    ///< header or body limit exceeded; respond 413
+    Timeout,     ///< socket receive timeout expired; close
+    Unsupported, ///< valid HTTP this server refuses (chunked); 501
+};
+
+/** Read-side limits of one connection. */
+struct HttpLimits
+{
+    std::size_t maxHeaderBytes = 16u << 10;
+    std::size_t maxBodyBytes = 1u << 20;
+};
+
+/**
+ * One accepted socket being served: buffers leftover bytes between
+ * keep-alive requests.  Does not own the fd.
+ */
+class HttpConnection
+{
+  public:
+    HttpConnection(int fd, HttpLimits limits)
+        : fd_(fd), limits_(limits)
+    {}
+
+    /** Reads and parses the next request off the connection. */
+    HttpReadStatus readRequest(HttpRequest *out);
+
+    /**
+     * Serializes and writes a response (headers + body in one
+     * buffer); false when the peer is gone.
+     */
+    bool writeResponse(const HttpResponse &response);
+
+    int fd() const { return fd_; }
+
+  private:
+    /** Appends more bytes from the socket; false on EOF/error. */
+    enum class Fill
+    {
+        More,
+        Eof,
+        Timeout,
+        Error,
+    };
+    Fill fillMore();
+
+    int fd_;
+    HttpLimits limits_;
+    std::string buffer_;
+};
+
+/** Reason phrase for the handful of statuses the server emits. */
+const char *httpStatusText(int status);
+
+/** A canned {"error": message} JSON response. */
+HttpResponse httpErrorResponse(int status,
+                               const std::string &message);
+
+} // namespace bwwall
+
+#endif // BWWALL_SERVER_HTTP_HH

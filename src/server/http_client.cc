@@ -1,0 +1,239 @@
+#include "server/http_client.hh"
+
+#include <netdb.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace bwwall {
+
+namespace {
+
+/** Lowercases ASCII in place (header names are case-insensitive). */
+std::string
+lowered(std::string text)
+{
+    for (char &c : text) {
+        if (c >= 'A' && c <= 'Z')
+            c = static_cast<char>(c - 'A' + 'a');
+    }
+    return text;
+}
+
+/** Trims leading/trailing spaces and tabs. */
+std::string
+trimmed(const std::string &text)
+{
+    std::size_t first = text.find_first_not_of(" \t");
+    if (first == std::string::npos)
+        return "";
+    std::size_t last = text.find_last_not_of(" \t");
+    return text.substr(first, last - first + 1);
+}
+
+} // namespace
+
+HttpClient::~HttpClient()
+{
+    disconnect();
+}
+
+void
+HttpClient::disconnect()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    buffer_.clear();
+}
+
+bool
+HttpClient::connect(std::string *error)
+{
+    disconnect();
+
+    addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo *results = nullptr;
+    const std::string service = std::to_string(port_);
+    int rc = ::getaddrinfo(host_.c_str(), service.c_str(), &hints,
+                           &results);
+    if (rc != 0) {
+        if (error)
+            *error = "resolve " + host_ + ": " + gai_strerror(rc);
+        return false;
+    }
+
+    int last_errno = 0;
+    for (addrinfo *entry = results; entry;
+         entry = entry->ai_next) {
+        int fd = ::socket(entry->ai_family, entry->ai_socktype,
+                          entry->ai_protocol);
+        if (fd < 0) {
+            last_errno = errno;
+            continue;
+        }
+        if (::connect(fd, entry->ai_addr, entry->ai_addrlen) ==
+            0) {
+            fd_ = fd;
+            break;
+        }
+        last_errno = errno;
+        ::close(fd);
+    }
+    ::freeaddrinfo(results);
+
+    if (fd_ < 0) {
+        if (error) {
+            *error = "connect " + host_ + ":" + service + ": " +
+                     std::strerror(last_errno);
+        }
+        return false;
+    }
+    return true;
+}
+
+bool
+HttpClient::sendAll(const std::string &wire, std::string *error)
+{
+    std::size_t sent = 0;
+    while (sent < wire.size()) {
+        ssize_t n = ::send(fd_, wire.data() + sent,
+                           wire.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (error)
+                *error = std::string("send: ") +
+                         std::strerror(errno);
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+HttpClient::readResponse(HttpClientResponse *out,
+                         std::string *error)
+{
+    // Pull bytes until the header block is complete.
+    std::size_t header_end;
+    while ((header_end = buffer_.find("\r\n\r\n")) ==
+           std::string::npos) {
+        char chunk[4096];
+        ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0) {
+            if (error)
+                *error = n == 0 ? "connection closed mid-response"
+                                : std::string("recv: ") +
+                                      std::strerror(errno);
+            return false;
+        }
+        buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+
+    const std::string header = buffer_.substr(0, header_end);
+    buffer_.erase(0, header_end + 4);
+
+    // Status line: "HTTP/1.1 200 OK".
+    std::size_t line_end = header.find("\r\n");
+    const std::string status_line = header.substr(0, line_end);
+    std::size_t space = status_line.find(' ');
+    if (space == std::string::npos ||
+        status_line.compare(0, 5, "HTTP/") != 0) {
+        if (error)
+            *error = "malformed status line: " + status_line;
+        return false;
+    }
+    out->status = std::atoi(status_line.c_str() + space + 1);
+    out->headers.clear();
+    out->body.clear();
+
+    std::size_t cursor =
+        line_end == std::string::npos ? header.size()
+                                      : line_end + 2;
+    while (cursor < header.size()) {
+        std::size_t eol = header.find("\r\n", cursor);
+        if (eol == std::string::npos)
+            eol = header.size();
+        const std::string line =
+            header.substr(cursor, eol - cursor);
+        cursor = eol + 2;
+        std::size_t colon = line.find(':');
+        if (colon == std::string::npos)
+            continue;
+        out->headers[lowered(trimmed(line.substr(0, colon)))] =
+            trimmed(line.substr(colon + 1));
+    }
+
+    auto length_it = out->headers.find("content-length");
+    std::size_t want =
+        length_it == out->headers.end()
+            ? 0
+            : static_cast<std::size_t>(
+                  std::strtoull(length_it->second.c_str(),
+                                nullptr, 10));
+    while (buffer_.size() < want) {
+        char chunk[4096];
+        ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0) {
+            if (error)
+                *error = "connection closed mid-body";
+            return false;
+        }
+        buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+    out->body = buffer_.substr(0, want);
+    buffer_.erase(0, want);
+
+    auto connection_it = out->headers.find("connection");
+    if (connection_it != out->headers.end() &&
+        lowered(connection_it->second) == "close") {
+        disconnect();
+    }
+    return true;
+}
+
+bool
+HttpClient::request(const std::string &method,
+                    const std::string &target,
+                    const std::string &body,
+                    HttpClientResponse *out, std::string *error)
+{
+    if (fd_ < 0 && !connect(error))
+        return false;
+
+    std::string wire;
+    wire.reserve(target.size() + body.size() + 128);
+    wire += method;
+    wire += ' ';
+    wire += target;
+    wire += " HTTP/1.1\r\nHost: ";
+    wire += host_;
+    wire += "\r\nContent-Length: ";
+    wire += std::to_string(body.size());
+    wire += "\r\n\r\n";
+    wire += body;
+
+    if (!sendAll(wire, error) || !readResponse(out, error)) {
+        // A stale keep-alive connection the server already closed
+        // shows up as a transport error; retry once on a fresh one.
+        if (!connect(error))
+            return false;
+        return sendAll(wire, error) && readResponse(out, error);
+    }
+    return true;
+}
+
+} // namespace bwwall

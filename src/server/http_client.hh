@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tiny blocking HTTP/1.1 client for bwwalld.
+ *
+ * Shared by the bwwall_client example, the perf_server closed-loop
+ * load generator, and the server tests, so every consumer talks to
+ * the daemon through the same code path.  Keep-alive by default:
+ * one HttpClient is one TCP connection, reconnecting transparently
+ * when the server (or a Connection: close response) drops it.
+ */
+
+#ifndef BWWALL_SERVER_HTTP_CLIENT_HH
+#define BWWALL_SERVER_HTTP_CLIENT_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace bwwall {
+
+/** One parsed client-side response. */
+struct HttpClientResponse
+{
+    int status = 0;
+    /** Header fields, names lowercased. */
+    std::map<std::string, std::string> headers;
+    std::string body;
+};
+
+/** One keep-alive connection to an HTTP server. */
+class HttpClient
+{
+  public:
+    HttpClient(std::string host, std::uint16_t port)
+        : host_(std::move(host)), port_(port)
+    {}
+
+    ~HttpClient();
+
+    HttpClient(const HttpClient &) = delete;
+    HttpClient &operator=(const HttpClient &) = delete;
+
+    /**
+     * Sends one request and reads the full response.  Connects (or
+     * reconnects) as needed.  Returns false with *error set on
+     * transport failure; HTTP error statuses are successful
+     * transports.
+     */
+    bool request(const std::string &method,
+                 const std::string &target,
+                 const std::string &body, HttpClientResponse *out,
+                 std::string *error = nullptr);
+
+    /** Convenience wrappers. */
+    bool
+    get(const std::string &target, HttpClientResponse *out,
+        std::string *error = nullptr)
+    {
+        return request("GET", target, "", out, error);
+    }
+
+    bool
+    post(const std::string &target, const std::string &body,
+         HttpClientResponse *out, std::string *error = nullptr)
+    {
+        return request("POST", target, body, out, error);
+    }
+
+    bool connected() const { return fd_ >= 0; }
+
+  private:
+    bool connect(std::string *error);
+    void disconnect();
+    bool sendAll(const std::string &wire, std::string *error);
+    bool readResponse(HttpClientResponse *out,
+                      std::string *error);
+
+    std::string host_;
+    std::uint16_t port_;
+    int fd_ = -1;
+    std::string buffer_;
+};
+
+} // namespace bwwall
+
+#endif // BWWALL_SERVER_HTTP_CLIENT_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The model-query service: JSON requests in, JSON answers out.
+ *
+ * This is the bridge between the HTTP layer and the bandwidth-wall
+ * library: each POST endpoint's body is parsed into model structures
+ * (strictly — unknown keys, wrong types, and out-of-range values are
+ * BadRequest, never silently ignored), evaluated through the same
+ * entry points the batch binaries use (relativeTraffic,
+ * solveSupportableCores, runScalingStudy, figure15Study,
+ * estimateMissCurve), and serialized back canonically so responses
+ * are byte-identical across runs, processes, and cache hits.
+ *
+ * Endpoints:
+ *  - POST /v1/traffic  relative traffic of one configuration
+ *  - POST /v1/solve    supportable core count under a budget
+ *  - POST /v1/sweep    scaling study / technique comparison /
+ *                      miss-curve estimation
+ */
+
+#ifndef BWWALL_SERVER_MODEL_SERVICE_HH
+#define BWWALL_SERVER_MODEL_SERVICE_HH
+
+#include <stdexcept>
+#include <string>
+
+#include "server/json.hh"
+#include "server/result_cache.hh"
+
+namespace bwwall {
+
+/** A client error in the request body; becomes an HTTP 400. */
+class BadRequest : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** True for the cacheable POST model-query paths (/v1/...). */
+bool isModelQueryPath(const std::string &path);
+
+/**
+ * The result-cache key of a request: the path plus the canonical
+ * dump of the parsed body, so key order and whitespace in the
+ * client's JSON never cause duplicate cache entries.
+ */
+std::string canonicalCacheKey(const std::string &path,
+                              const JsonValue &request);
+
+/**
+ * Evaluates one model query.  Deterministic: equal (path, request)
+ * pairs produce byte-identical bodies.  Throws BadRequest for
+ * semantic errors in the request.
+ */
+CachedResponse executeModelQuery(const std::string &path,
+                                 const JsonValue &request);
+
+} // namespace bwwall
+
+#endif // BWWALL_SERVER_MODEL_SERVICE_HH

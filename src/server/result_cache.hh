@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Sharded memoization cache for model-query responses.
+ *
+ * Every bwwalld endpoint is a pure function of its canonicalized
+ * request, so the serving hot path is a lookup: requests hash to one
+ * of N independently locked shards, each shard keeps an LRU list
+ * under a byte budget with optional TTL expiry, and *single-flight*
+ * deduplication guarantees that concurrent identical requests
+ * compute the answer exactly once — late arrivals block on the
+ * in-flight computation and share its result instead of piling onto
+ * the thread pool with duplicate sweeps.
+ *
+ * Only status-200 responses are cached; errors are shared with the
+ * waiters of the flight that produced them but never stored.
+ */
+
+#ifndef BWWALL_SERVER_RESULT_CACHE_HH
+#define BWWALL_SERVER_RESULT_CACHE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace bwwall {
+
+class MetricsRegistry;
+
+/** One cacheable response body. */
+struct CachedResponse
+{
+    /** HTTP status; only 200 responses are stored. */
+    int status = 200;
+
+    std::string contentType = "application/json";
+    std::string body;
+};
+
+/** Sizing and expiry of a ResultCache. */
+struct ResultCacheConfig
+{
+    /** Independently locked shards (rounded up to at least 1). */
+    std::size_t shardCount = 16;
+
+    /** Total byte budget across shards (0 disables storage). */
+    std::size_t maxBytes = 64u << 20;
+
+    /** Seconds before an entry expires; 0 = never. */
+    double ttlSeconds = 0.0;
+};
+
+/** Sharded LRU + TTL + single-flight response cache. */
+class ResultCache
+{
+  public:
+    using Compute = std::function<CachedResponse()>;
+
+    /**
+     * @param config Sizing; the byte budget is split evenly across
+     *               shards.
+     * @param metrics Optional sink for "cache.*" counters/gauges.
+     */
+    explicit ResultCache(const ResultCacheConfig &config,
+                         MetricsRegistry *metrics = nullptr);
+
+    /** How a response was obtained. */
+    struct Outcome
+    {
+        std::shared_ptr<const CachedResponse> response;
+
+        /** Served from the cache without computing. */
+        bool hit = false;
+
+        /** Joined another request's in-flight computation. */
+        bool sharedFlight = false;
+    };
+
+    /**
+     * Returns the cached response for `key`, or computes it.  When
+     * an identical request is already computing, blocks until that
+     * flight finishes and shares its result (exactly one compute()
+     * runs per key at a time).  Exceptions from compute() propagate
+     * to the computing caller and every waiter; nothing is cached.
+     */
+    Outcome getOrCompute(const std::string &key,
+                         const Compute &compute);
+
+    /** Cached bytes across all shards. */
+    std::size_t sizeBytes() const;
+
+    /** Cached entries across all shards. */
+    std::size_t entryCount() const;
+
+    /** Drops every cached entry (in-flight computations finish). */
+    void invalidateAll();
+
+    std::size_t shardCount() const { return shards_.size(); }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    /** One request's in-progress computation. */
+    struct Flight
+    {
+        std::mutex mutex;
+        std::condition_variable cv;
+        bool done = false;
+        std::shared_ptr<const CachedResponse> response;
+        std::exception_ptr error;
+    };
+
+    struct Entry
+    {
+        std::shared_ptr<const CachedResponse> response;
+        std::list<std::string>::iterator lruIt;
+        Clock::time_point expiry{};
+        std::size_t bytes = 0;
+    };
+
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        std::unordered_map<std::string, Entry> entries;
+        /** Front = most recently used key. */
+        std::list<std::string> lru;
+        std::unordered_map<std::string, std::shared_ptr<Flight>>
+            flights;
+        std::size_t bytes = 0;
+    };
+
+    Shard &shardFor(const std::string &key);
+
+    /** Inserts under the shard lock, evicting LRU entries as needed. */
+    void insertLocked(Shard &shard, const std::string &key,
+                      std::shared_ptr<const CachedResponse> response);
+
+    /** Removes one entry under the shard lock. */
+    void eraseLocked(Shard &shard,
+                     std::unordered_map<std::string,
+                                        Entry>::iterator it);
+
+    std::size_t shardBudget_ = 0;
+    std::chrono::nanoseconds ttl_{0};
+    std::vector<std::unique_ptr<Shard>> shards_;
+    MetricsRegistry *metrics_ = nullptr;
+};
+
+} // namespace bwwall
+
+#endif // BWWALL_SERVER_RESULT_CACHE_HH

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * bwwalld: the concurrent model-query server.
+ *
+ * Architecture: one accept thread blocks in poll()/accept() on a
+ * TCP listening socket and feeds accepted connections through a
+ * queue to a fixed worker pool (the existing util/thread_pool run
+ * as N long-lived connection-serving tasks).  Each worker owns one
+ * connection at a time, serving keep-alive requests serially; the
+ * cross-request concurrency is the worker count.
+ *
+ * Robustness is first-class:
+ *  - admission control: beyond --max-inflight queued + active
+ *    connections, new arrivals get an immediate 503 and close;
+ *  - per-request deadline: requests that overrun --deadline-ms
+ *    answer 504 (the computed result still lands in the cache, so
+ *    a retry is a hit);
+ *  - bounded request bodies (413) and header blocks;
+ *  - malformed JSON and bad model parameters become structured
+ *    400s, never daemon exits;
+ *  - graceful drain: requestStop() stops accepting, lets queued
+ *    and in-flight requests finish, then joins every thread.
+ *
+ * All answers flow through the sharded single-flight ResultCache,
+ * and everything observable lands in a MetricsRegistry served by
+ * GET /metrics.
+ */
+
+#ifndef BWWALL_SERVER_SERVER_HH
+#define BWWALL_SERVER_SERVER_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "server/http.hh"
+#include "server/result_cache.hh"
+#include "util/metrics.hh"
+
+namespace bwwall {
+
+class ThreadPool;
+
+/** Everything tunable about one bwwalld instance. */
+struct ServerConfig
+{
+    /** Listen address; loopback by default. */
+    std::string bindAddress = "127.0.0.1";
+
+    /** TCP port; 0 asks the kernel for an ephemeral port. */
+    std::uint16_t port = 0;
+
+    /** Worker threads (0 = BWWALL_JOBS / hardware). */
+    unsigned threads = 0;
+
+    /** Result-cache byte budget. */
+    std::size_t cacheBytes = 64u << 20;
+
+    /** Result-cache shards. */
+    std::size_t cacheShards = 16;
+
+    /** Result-cache TTL in seconds (0 = entries never expire). */
+    double cacheTtlSeconds = 0.0;
+
+    /** Per-request deadline in milliseconds (0 = none). */
+    unsigned deadlineMs = 10000;
+
+    /** Socket receive timeout per read, milliseconds. */
+    unsigned idleTimeoutMs = 5000;
+
+    /** Admission limit: queued + active connections before 503. */
+    unsigned maxInflight = 256;
+
+    /** Largest accepted request body. */
+    std::size_t maxBodyBytes = 1u << 20;
+
+    /** inform() one line per served request. */
+    bool logRequests = false;
+};
+
+/** The daemon: listen, serve, drain. */
+class BwwallServer
+{
+  public:
+    explicit BwwallServer(ServerConfig config);
+
+    /** Drains and joins if still running. */
+    ~BwwallServer();
+
+    BwwallServer(const BwwallServer &) = delete;
+    BwwallServer &operator=(const BwwallServer &) = delete;
+
+    /**
+     * Binds, listens, and spawns the accept thread plus the worker
+     * pool.  Fatal on unusable bind configuration (that is a user
+     * error, not a runtime condition).
+     */
+    void start();
+
+    /** The bound port (resolves port 0 after start()). */
+    std::uint16_t port() const { return boundPort_; }
+
+    /**
+     * Begins a graceful drain: stop accepting, finish queued and
+     * in-flight requests.  Safe to call from any thread, more than
+     * once.  (Not async-signal-safe: call it from a normal thread
+     * after observing a signal flag, not from the handler itself.)
+     */
+    void requestStop();
+
+    /** Blocks until the drain completes and every thread is joined. */
+    void join();
+
+    /** requestStop() + join(). */
+    void stop();
+
+    MetricsRegistry &metrics() { return metrics_; }
+    ResultCache &cache() { return *cache_; }
+
+    /** Served requests so far (for tests and the load generator). */
+    std::uint64_t requestCount() const
+    {
+        return requestCount_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    void acceptLoop();
+    void workerLoop();
+
+    /** Pops the next queued connection; -1 when draining is done. */
+    int popConnection();
+
+    void serveConnection(int fd);
+
+    /** Routes one request; never throws. */
+    HttpResponse dispatch(const HttpRequest &request,
+                          Clock::time_point received);
+
+    HttpResponse handleModelQuery(const HttpRequest &request,
+                                  Clock::time_point received);
+
+    HttpResponse handleMetrics(const HttpRequest &request) const;
+
+    ServerConfig config_;
+    MetricsRegistry metrics_;
+    std::unique_ptr<ResultCache> cache_;
+    std::unique_ptr<ThreadPool> pool_;
+
+    int listenFd_ = -1;
+    /** Self-pipe waking the accept poll() on requestStop(). */
+    int wakePipe_[2] = {-1, -1};
+    std::uint16_t boundPort_ = 0;
+
+    std::thread acceptThread_;
+    std::thread poolThread_;
+
+    std::mutex queueMutex_;
+    std::condition_variable queueCv_;
+    std::deque<int> queue_;
+
+    std::atomic<bool> started_{false};
+    std::atomic<bool> stopping_{false};
+    std::atomic<bool> joined_{false};
+    /** Queued + actively served connections (admission control). */
+    std::atomic<unsigned> inflight_{0};
+    std::atomic<std::uint64_t> requestCount_{0};
+};
+
+} // namespace bwwall
+
+#endif // BWWALL_SERVER_SERVER_HH

@@ -154,6 +154,13 @@ CliParser::fail(const std::string &message) const
     return false;
 }
 
+void
+CliParser::usageError(const std::string &message) const
+{
+    fail(message);
+    std::exit(1);
+}
+
 CliParser::Status
 CliParser::parse(int argc, char **argv)
 {

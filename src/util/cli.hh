@@ -101,6 +101,14 @@ class CliParser
      */
     void parseOrExit(int argc, char **argv);
 
+    /**
+     * Reports a usage error found *after* parsing — contradictory
+     * flag combinations, values that only make sense together —
+     * with the same diagnostic-plus-usage format as a parse error,
+     * and exits with status 1.
+     */
+    [[noreturn]] void usageError(const std::string &message) const;
+
   private:
     struct Spec
     {

@@ -1,14 +1,100 @@
 #include "util/logging.hh"
 
-#include <iostream>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
 
 namespace bwwall {
+
+namespace {
+
+/** Programmatic override; -1 while only the environment applies. */
+std::atomic<int> g_override{-1};
+
+LogLevel
+levelFromEnvironment()
+{
+    const char *env = std::getenv("BWWALL_LOG_LEVEL");
+    if (env == nullptr || *env == '\0')
+        return LogLevel::Info;
+    LogLevel level = LogLevel::Info;
+    if (!parseLogLevel(env, &level)) {
+        detail::emitLine(LogLevel::Warn, "warn",
+                         detail::formatMessage(
+                             "ignoring unknown BWWALL_LOG_LEVEL '",
+                             env, "'"));
+    }
+    return level;
+}
+
+} // namespace
+
+bool
+parseLogLevel(const std::string &name, LogLevel *level)
+{
+    if (name == "debug") {
+        *level = LogLevel::Debug;
+    } else if (name == "info") {
+        *level = LogLevel::Info;
+    } else if (name == "warn" || name == "warning") {
+        *level = LogLevel::Warn;
+    } else if (name == "error" || name == "silent" ||
+               name == "off") {
+        // fatal/panic always report, so "silent" is Error.
+        *level = LogLevel::Error;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+LogLevel
+logLevel()
+{
+    const int forced = g_override.load(std::memory_order_relaxed);
+    if (forced >= 0)
+        return static_cast<LogLevel>(forced);
+    static const LogLevel from_env = levelFromEnvironment();
+    return from_env;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    g_override.store(static_cast<int>(level),
+                     std::memory_order_relaxed);
+}
+
 namespace detail {
 
 void
-emitLine(const char *tag, const std::string &message)
+emitLine(LogLevel severity, const char *tag,
+         const std::string &message)
 {
-    std::cerr << tag << ": " << message << std::endl;
+    if (severity < logLevel())
+        return;
+    // One pre-assembled buffer, one write(2): concurrent threads
+    // (the server's worker pool) never interleave within a line.
+    std::string line;
+    line.reserve(message.size() + 16);
+    line += tag;
+    line += ": ";
+    line += message;
+    line += '\n';
+    const char *data = line.data();
+    std::size_t remaining = line.size();
+    while (remaining > 0) {
+        const ssize_t wrote = ::write(STDERR_FILENO, data,
+                                      remaining);
+        if (wrote < 0) {
+            if (errno == EINTR)
+                continue;
+            break; // stderr is gone; nothing sensible left to do
+        }
+        data += wrote;
+        remaining -= static_cast<std::size_t>(wrote);
+    }
 }
 
 } // namespace detail

@@ -6,6 +6,13 @@
  * errors (bad configuration, invalid arguments) and exits cleanly with
  * an error code; panic() is for internal invariant violations and
  * aborts.  inform() and warn() never stop execution.
+ *
+ * Emission is thread-safe: every message is assembled into one buffer
+ * and handed to the kernel as a single write(2) per line, so lines
+ * from concurrent threads (the server's worker pool, parallel sweeps)
+ * never interleave mid-line.  The BWWALL_LOG_LEVEL environment
+ * variable (debug | info | warn | error | silent) raises the emission
+ * threshold; fatal() and panic() always report before terminating.
  */
 
 #ifndef BWWALL_UTIL_LOGGING_HH
@@ -16,6 +23,32 @@
 #include <string>
 
 namespace bwwall {
+
+/** Message severities, least to most severe. */
+enum class LogLevel
+{
+    Debug,
+    Info,
+    Warn,
+    Error,
+};
+
+/**
+ * Parses a level name ("debug", "info", "warn"/"warning", "error",
+ * "silent"/"off"); returns false and leaves *level untouched on an
+ * unknown name.  "silent" maps to Error: fatal/panic still report.
+ */
+bool parseLogLevel(const std::string &name, LogLevel *level);
+
+/**
+ * The current emission threshold: messages below it are dropped.
+ * Defaults to Info, overridable by BWWALL_LOG_LEVEL (bad values are
+ * ignored with a one-time warning) and by setLogLevel().
+ */
+LogLevel logLevel();
+
+/** Programmatic threshold override (wins over the environment). */
+void setLogLevel(LogLevel level);
 
 namespace detail {
 
@@ -29,18 +62,33 @@ formatMessage(Args &&...args)
     return oss.str();
 }
 
-/** Writes a tagged line to stderr. */
-void emitLine(const char *tag, const std::string &message);
+/**
+ * Writes a tagged line to stderr in one write(2) call when the
+ * severity clears the threshold.
+ */
+void emitLine(LogLevel severity, const char *tag,
+              const std::string &message);
 
 } // namespace detail
+
+/** Prints a verbose diagnostic message. */
+template <typename... Args>
+void
+logDebug(Args &&...args)
+{
+    detail::emitLine(LogLevel::Debug, "debug",
+                     detail::formatMessage(
+                         std::forward<Args>(args)...));
+}
 
 /** Prints a normal status message. */
 template <typename... Args>
 void
 inform(Args &&...args)
 {
-    detail::emitLine("info", detail::formatMessage(
-        std::forward<Args>(args)...));
+    detail::emitLine(LogLevel::Info, "info",
+                     detail::formatMessage(
+                         std::forward<Args>(args)...));
 }
 
 /** Prints a message about suspicious but survivable conditions. */
@@ -48,8 +96,9 @@ template <typename... Args>
 void
 warn(Args &&...args)
 {
-    detail::emitLine("warn", detail::formatMessage(
-        std::forward<Args>(args)...));
+    detail::emitLine(LogLevel::Warn, "warn",
+                     detail::formatMessage(
+                         std::forward<Args>(args)...));
 }
 
 /**
@@ -60,8 +109,9 @@ template <typename... Args>
 [[noreturn]] void
 fatal(Args &&...args)
 {
-    detail::emitLine("fatal", detail::formatMessage(
-        std::forward<Args>(args)...));
+    detail::emitLine(LogLevel::Error, "fatal",
+                     detail::formatMessage(
+                         std::forward<Args>(args)...));
     std::exit(1);
 }
 
@@ -73,8 +123,9 @@ template <typename... Args>
 [[noreturn]] void
 panic(Args &&...args)
 {
-    detail::emitLine("panic", detail::formatMessage(
-        std::forward<Args>(args)...));
+    detail::emitLine(LogLevel::Error, "panic",
+                     detail::formatMessage(
+                         std::forward<Args>(args)...));
     std::abort();
 }
 

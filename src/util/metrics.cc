@@ -1,7 +1,10 @@
 #include "util/metrics.hh"
 
+#include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <iomanip>
+#include <limits>
 #include <sstream>
 
 #include "util/logging.hh"
@@ -122,11 +125,98 @@ MetricsRegistry::timerCount(const std::string &name) const
     return it == timers_.end() ? 0 : it->second.count;
 }
 
+const std::vector<double> &
+MetricsRegistry::histogramBucketBounds()
+{
+    static const std::vector<double> bounds = [] {
+        std::vector<double> ladder;
+        for (double bound = 1e-6; bound <= 141.0;
+             bound *= std::sqrt(2.0))
+            ladder.push_back(bound);
+        return ladder;
+    }();
+    return bounds;
+}
+
+void
+MetricsRegistry::observeHistogram(const std::string &name,
+                                  double value)
+{
+    const std::vector<double> &bounds = histogramBucketBounds();
+    const auto slot = static_cast<std::size_t>(
+        std::lower_bound(bounds.begin(), bounds.end(), value) -
+        bounds.begin());
+    std::lock_guard<std::mutex> lock(mutex_);
+    HistogramCell &cell = histograms_[name];
+    if (cell.buckets.empty())
+        cell.buckets.assign(bounds.size() + 1, 0);
+    ++cell.buckets[slot];
+    ++cell.count;
+    cell.sum += value;
+}
+
+std::uint64_t
+MetricsRegistry::histogramCount(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = histograms_.find(name);
+    return it == histograms_.end() ? 0 : it->second.count;
+}
+
+double
+MetricsRegistry::histogramSum(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = histograms_.find(name);
+    return it == histograms_.end() ? 0.0 : it->second.sum;
+}
+
+double
+MetricsRegistry::quantileOf(const HistogramCell &cell, double q)
+{
+    if (cell.count == 0)
+        return 0.0;
+    const std::vector<double> &bounds = histogramBucketBounds();
+    const double clamped = std::min(std::max(q, 0.0), 1.0);
+    const double rank =
+        clamped * static_cast<double>(cell.count);
+    double cumulative = 0.0;
+    for (std::size_t slot = 0; slot < cell.buckets.size();
+         ++slot) {
+        const double in_bucket =
+            static_cast<double>(cell.buckets[slot]);
+        if (in_bucket == 0.0)
+            continue;
+        if (cumulative + in_bucket >= rank) {
+            if (slot >= bounds.size())
+                return bounds.back(); // overflow bucket
+            const double hi = bounds[slot];
+            const double lo = slot == 0 ? 0.0 : bounds[slot - 1];
+            const double fraction =
+                (rank - cumulative) / in_bucket;
+            return lo + (hi - lo) * fraction;
+        }
+        cumulative += in_bucket;
+    }
+    return bounds.back();
+}
+
+double
+MetricsRegistry::histogramQuantile(const std::string &name,
+                                   double q) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = histograms_.find(name);
+    return it == histograms_.end() ? 0.0
+                                   : quantileOf(it->second, q);
+}
+
 bool
 MetricsRegistry::empty() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    return counters_.empty() && gauges_.empty() && timers_.empty();
+    return counters_.empty() && gauges_.empty() &&
+           timers_.empty() && histograms_.empty();
 }
 
 void
@@ -136,6 +226,7 @@ MetricsRegistry::clear()
     counters_.clear();
     gauges_.clear();
     timers_.clear();
+    histograms_.clear();
 }
 
 void
@@ -164,7 +255,52 @@ MetricsRegistry::writeJson(std::ostream &os) const
            << ", \"seconds\": " << jsonNumber(cell.seconds) << "}";
         first = false;
     }
+    os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+    first = true;
+    const std::vector<double> &bounds = histogramBucketBounds();
+    for (const auto &[name, cell] : histograms_) {
+        os << (first ? "" : ",") << "\n    \"" << jsonEscape(name)
+           << "\": {\"count\": " << cell.count << ", \"sum\": "
+           << jsonNumber(cell.sum)
+           << ", \"p50\": " << jsonNumber(quantileOf(cell, 0.50))
+           << ", \"p99\": " << jsonNumber(quantileOf(cell, 0.99))
+           << ", \"buckets\": [";
+        bool first_bucket = true;
+        for (std::size_t slot = 0; slot < cell.buckets.size();
+             ++slot) {
+            if (cell.buckets[slot] == 0)
+                continue;
+            const double le = slot < bounds.size()
+                                  ? bounds[slot]
+                                  : std::numeric_limits<
+                                        double>::infinity();
+            os << (first_bucket ? "" : ", ") << "["
+               << jsonNumber(le) << ", " << cell.buckets[slot]
+               << "]";
+            first_bucket = false;
+        }
+        os << "]}";
+        first = false;
+    }
     os << (first ? "" : "\n  ") << "}\n}\n";
+}
+
+void
+MetricsRegistry::writeText(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &[name, value] : counters_)
+        os << "counter " << name << ' ' << value << '\n';
+    for (const auto &[name, value] : gauges_)
+        os << "gauge " << name << ' ' << jsonNumber(value) << '\n';
+    for (const auto &[name, cell] : timers_)
+        os << "timer " << name << ' ' << cell.count << ' '
+           << jsonNumber(cell.seconds) << '\n';
+    for (const auto &[name, cell] : histograms_)
+        os << "histogram " << name << ' ' << cell.count << ' '
+           << jsonNumber(cell.sum) << ' '
+           << jsonNumber(quantileOf(cell, 0.50)) << ' '
+           << jsonNumber(quantileOf(cell, 0.99)) << '\n';
 }
 
 void

@@ -9,12 +9,13 @@
  * table, so CI diffs and gates runs mechanically instead of by
  * eyeball.
  *
- * The registry holds three metric kinds under dot-separated names:
+ * The registry holds four metric kinds under dot-separated names:
  * counters (monotonic integer event counts), gauges (last-value
- * doubles), and timers (accumulated wall seconds with an observation
- * count).  All mutation is thread-safe; serialization is
- * deterministic (names sorted, fixed formatting) so two identical
- * runs emit identical bytes.
+ * doubles), timers (accumulated wall seconds with an observation
+ * count), and histograms (log-scale bucketed distributions with
+ * quantile estimation, for request latencies).  All mutation is
+ * thread-safe; serialization is deterministic (names sorted, fixed
+ * formatting) so two identical runs emit identical bytes.
  */
 
 #ifndef BWWALL_UTIL_METRICS_HH
@@ -26,6 +27,7 @@
 #include <mutex>
 #include <ostream>
 #include <string>
+#include <vector>
 
 namespace bwwall {
 
@@ -54,6 +56,36 @@ class MetricsRegistry
     /** Number of observations of a timer. */
     std::uint64_t timerCount(const std::string &name) const;
 
+    /**
+     * Adds one observation to a histogram, creating it on first
+     * touch.  Buckets are a fixed geometric ladder (see
+     * histogramBucketBounds()) sized for wall times from one
+     * microsecond to minutes; values beyond the ladder land in an
+     * overflow bucket.
+     */
+    void observeHistogram(const std::string &name, double value);
+
+    /** Number of observations of a histogram. */
+    std::uint64_t histogramCount(const std::string &name) const;
+
+    /** Sum of a histogram's observations. */
+    double histogramSum(const std::string &name) const;
+
+    /**
+     * Estimated quantile (q in [0, 1]) by linear interpolation
+     * within the containing bucket; 0.0 for empty histograms.
+     * Overflow observations report the top bucket bound.
+     */
+    double histogramQuantile(const std::string &name,
+                             double q) const;
+
+    /**
+     * The shared bucket upper bounds: a geometric ladder from 1e-6
+     * by a factor of sqrt(2) up past 100 (54 finite buckets plus
+     * overflow).
+     */
+    static const std::vector<double> &histogramBucketBounds();
+
     /** True when no metric of any kind has been recorded. */
     bool empty() const;
 
@@ -63,12 +95,23 @@ class MetricsRegistry
     /**
      * Writes the registry as a JSON object:
      * {"counters": {...}, "gauges": {...}, "timers":
-     * {"name": {"count": N, "seconds": S}, ...}}.
+     * {"name": {"count": N, "seconds": S}, ...}, "histograms":
+     * {"name": {"count": N, "sum": S, "p50": ..., "p99": ...,
+     * "buckets": [[le, count], ...]}, ...}} (non-empty buckets
+     * only).
      */
     void writeJson(std::ostream &os) const;
 
     /** writeJson into a file; fatal when the file cannot be written. */
     void writeJsonFile(const std::string &path) const;
+
+    /**
+     * Writes the registry as plain text, one metric per line
+     * (`counter NAME VALUE`, `gauge NAME VALUE`, `timer NAME COUNT
+     * SECONDS`, `histogram NAME COUNT SUM P50 P99`), sorted by name
+     * within each kind — the server's /metrics text format.
+     */
+    void writeText(std::ostream &os) const;
 
   private:
     struct TimerCell
@@ -77,10 +120,21 @@ class MetricsRegistry
         double seconds = 0.0;
     };
 
+    struct HistogramCell
+    {
+        /** One slot per finite bound plus a trailing overflow slot. */
+        std::vector<std::uint64_t> buckets;
+        std::uint64_t count = 0;
+        double sum = 0.0;
+    };
+
+    static double quantileOf(const HistogramCell &cell, double q);
+
     mutable std::mutex mutex_;
     std::map<std::string, std::uint64_t> counters_;
     std::map<std::string, double> gauges_;
     std::map<std::string, TimerCell> timers_;
+    std::map<std::string, HistogramCell> histograms_;
 };
 
 /**

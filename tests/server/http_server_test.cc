@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Integration tests for BwwallServer: a real server on an ephemeral
+ * loopback port, driven through HttpClient.  Covers the golden
+ * byte-identity guarantee (server responses == direct library
+ * calls), protocol errors, caching and single-flight behaviour over
+ * the wire, /metrics, and graceful shutdown.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/http.hh"
+#include "server/http_client.hh"
+#include "server/json.hh"
+#include "server/model_service.hh"
+#include "server/server.hh"
+
+namespace bwwall {
+namespace {
+
+/** Starts a server on port 0 and tears it down with the fixture. */
+class HttpServerTest : public testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        ServerConfig config;
+        config.port = 0;
+        config.threads = 4;
+        config.maxBodyBytes = 16u << 10;
+        server_ = std::make_unique<BwwallServer>(config);
+        server_->start();
+        client_ = std::make_unique<HttpClient>("127.0.0.1",
+                                               server_->port());
+    }
+
+    void
+    TearDown() override
+    {
+        client_.reset();
+        if (server_)
+            server_->stop();
+    }
+
+    HttpClientResponse
+    post(const std::string &path, const std::string &body)
+    {
+        HttpClientResponse response;
+        std::string error;
+        EXPECT_TRUE(
+            client_->post(path, body, &response, &error))
+            << error;
+        return response;
+    }
+
+    HttpClientResponse
+    get(const std::string &path)
+    {
+        HttpClientResponse response;
+        std::string error;
+        EXPECT_TRUE(client_->get(path, &response, &error))
+            << error;
+        return response;
+    }
+
+    std::unique_ptr<BwwallServer> server_;
+    std::unique_ptr<HttpClient> client_;
+};
+
+TEST_F(HttpServerTest, HealthzReportsOk)
+{
+    const HttpClientResponse response = get("/healthz");
+    EXPECT_EQ(response.status, 200);
+    EXPECT_EQ(response.body, "{\"status\":\"ok\"}\n");
+    EXPECT_EQ(response.headers.at("content-type"),
+              "application/json");
+}
+
+TEST_F(HttpServerTest, ServerResponseIsByteIdenticalToLibrary)
+{
+    const std::string text =
+        "{\"cores\":16,\"alpha\":0.5,\"total_ceas\":32,"
+        "\"techniques\":[{\"label\":\"CC\"}]}";
+    const HttpClientResponse wire = post("/v1/traffic", text);
+    EXPECT_EQ(wire.status, 200);
+
+    JsonValue parsed_request;
+    ASSERT_TRUE(JsonValue::parse(text, &parsed_request));
+    const CachedResponse direct =
+        executeModelQuery("/v1/traffic", parsed_request);
+    EXPECT_EQ(wire.body, direct.body); // the golden guarantee
+
+    // And the cached second serving is byte-identical too.
+    const HttpClientResponse again = post("/v1/traffic", text);
+    EXPECT_EQ(again.body, direct.body);
+}
+
+TEST_F(HttpServerTest, WhitespaceInsensitiveRequestsHitTheCache)
+{
+    post("/v1/solve", "{\"alpha\":0.5,\"total_ceas\":32}");
+    const std::uint64_t misses_before =
+        server_->metrics().counter("cache.misses");
+    post("/v1/solve",
+         "{ \"total_ceas\" : 32.0 , \"alpha\" : 0.5 }");
+    EXPECT_EQ(server_->metrics().counter("cache.misses"),
+              misses_before);
+    EXPECT_GE(server_->metrics().counter("cache.hits"), 1u);
+}
+
+TEST_F(HttpServerTest, MalformedJsonIsAStructured400)
+{
+    const HttpClientResponse response =
+        post("/v1/traffic", "{\"cores\":16,");
+    EXPECT_EQ(response.status, 400);
+    JsonValue payload;
+    ASSERT_TRUE(JsonValue::parse(response.body, &payload));
+    ASSERT_NE(payload.find("error"), nullptr);
+    EXPECT_NE(payload.find("error")->asString().find(
+                  "malformed JSON"),
+              std::string::npos);
+    EXPECT_DOUBLE_EQ(payload.find("status")->asNumber(), 400.0);
+}
+
+TEST_F(HttpServerTest, BadRequestsAndUnknownPathsMapToStatuses)
+{
+    EXPECT_EQ(post("/v1/traffic", "{}").status, 400);
+    EXPECT_EQ(post("/v1/traffic", "[1,2]").status, 400);
+    EXPECT_EQ(post("/v1/nope", "{}").status, 404);
+    EXPECT_EQ(get("/v1/traffic").status, 405);
+    EXPECT_EQ(post("/healthz", "{}").status, 405);
+}
+
+TEST_F(HttpServerTest, OversizedBodiesAreRejectedWith413)
+{
+    const std::string huge(32u << 10, 'x');
+    const HttpClientResponse response =
+        post("/v1/traffic", "{\"pad\":\"" + huge + "\"}");
+    EXPECT_EQ(response.status, 413);
+}
+
+TEST_F(HttpServerTest, KeepAliveServesManyRequestsPerConnection)
+{
+    // The fixture's client connects lazily, so the very first
+    // request opens the one and only connection.
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(get("/healthz").status, 200);
+    EXPECT_EQ(server_->metrics().counter("server.connections"),
+              1u);
+}
+
+TEST_F(HttpServerTest, MetricsExposeTextAndJson)
+{
+    post("/v1/solve", "{\"total_ceas\":32}");
+    const HttpClientResponse text = get("/metrics");
+    EXPECT_EQ(text.status, 200);
+    EXPECT_EQ(text.headers.at("content-type"), "text/plain");
+    EXPECT_NE(text.body.find("counter server.requests "),
+              std::string::npos);
+    EXPECT_NE(
+        text.body.find(
+            "histogram server.endpoint./v1/solve.latency_seconds"),
+        std::string::npos);
+
+    const HttpClientResponse json =
+        get("/metrics?format=json");
+    EXPECT_EQ(json.status, 200);
+    JsonValue report;
+    std::string error;
+    ASSERT_TRUE(JsonValue::parse(json.body, &report, &error))
+        << error;
+    const JsonValue *counters = report.find("counters");
+    ASSERT_NE(counters, nullptr);
+    ASSERT_NE(counters->find(
+                  "server.endpoint./v1/solve.requests"),
+              nullptr);
+    EXPECT_GE(counters
+                  ->find("server.endpoint./v1/solve.requests")
+                  ->asNumber(),
+              1.0);
+}
+
+TEST_F(HttpServerTest, ConcurrentIdenticalSweepsComputeOnce)
+{
+    const std::string sweep =
+        "{\"kind\":\"miss_curve\",\"estimator\":\"stack\","
+        "\"size_kib\":64,\"warm\":1000,\"accesses\":5000,"
+        "\"seed\":99}";
+    const std::uint64_t misses_before =
+        server_->metrics().counter("cache.misses");
+
+    const int threads = 6;
+    std::vector<std::thread> pool;
+    std::vector<std::string> bodies(threads);
+    std::atomic<int> failures{0};
+    for (int t = 0; t < threads; ++t) {
+        pool.emplace_back([&, t] {
+            HttpClient client("127.0.0.1", server_->port());
+            HttpClientResponse response;
+            std::string error;
+            if (!client.post("/v1/sweep", sweep, &response,
+                             &error) ||
+                response.status != 200) {
+                failures.fetch_add(1);
+                return;
+            }
+            bodies[static_cast<std::size_t>(t)] = response.body;
+        });
+    }
+    for (std::thread &thread : pool)
+        thread.join();
+    ASSERT_EQ(failures.load(), 0);
+    for (int t = 1; t < threads; ++t)
+        EXPECT_EQ(bodies[static_cast<std::size_t>(t)], bodies[0]);
+    EXPECT_EQ(server_->metrics().counter("cache.misses"),
+              misses_before + 1);
+}
+
+TEST_F(HttpServerTest, GracefulStopFinishesAndRefusesReconnect)
+{
+    EXPECT_EQ(get("/healthz").status, 200);
+    const std::uint64_t served = server_->requestCount();
+    server_->stop();
+    EXPECT_GE(server_->requestCount(), served);
+    EXPECT_DOUBLE_EQ(server_->metrics().gauge("server.drained"),
+                     1.0);
+
+    // The listener is closed: a fresh connection must fail.
+    HttpClient late("127.0.0.1", server_->port());
+    HttpClientResponse response;
+    std::string error;
+    EXPECT_FALSE(late.get("/healthz", &response, &error));
+}
+
+TEST(HttpErrorResponseTest, ShapesAStructuredBody)
+{
+    const HttpResponse response =
+        httpErrorResponse(503, "at capacity");
+    EXPECT_EQ(response.status, 503);
+    JsonValue payload;
+    ASSERT_TRUE(JsonValue::parse(response.body, &payload));
+    EXPECT_EQ(payload.find("error")->asString(), "at capacity");
+    EXPECT_DOUBLE_EQ(payload.find("status")->asNumber(), 503.0);
+}
+
+} // namespace
+} // namespace bwwall

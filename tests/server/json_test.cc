@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests for the server's JSON values: parsing (including the
+ * hostile inputs a network-facing parser must survive), canonical
+ * serialization, and the parse/dump round trip the result cache's
+ * canonical keys depend on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "server/json.hh"
+
+namespace bwwall {
+namespace {
+
+JsonValue
+parsed(const std::string &text)
+{
+    JsonValue value;
+    std::string error;
+    EXPECT_TRUE(JsonValue::parse(text, &value, &error))
+        << text << ": " << error;
+    return value;
+}
+
+TEST(JsonTest, ParsesScalars)
+{
+    EXPECT_TRUE(parsed("null").isNull());
+    EXPECT_TRUE(parsed("true").asBool());
+    EXPECT_FALSE(parsed("false").asBool());
+    EXPECT_DOUBLE_EQ(parsed("42").asNumber(), 42.0);
+    EXPECT_DOUBLE_EQ(parsed("-2.5e3").asNumber(), -2500.0);
+    EXPECT_EQ(parsed("\"hi\"").asString(), "hi");
+}
+
+TEST(JsonTest, ParsesNestedStructures)
+{
+    const JsonValue value =
+        parsed("{\"a\":[1,2,{\"b\":true}],\"c\":null}");
+    ASSERT_TRUE(value.isObject());
+    const JsonValue *a = value.find("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_TRUE(a->isArray());
+    ASSERT_EQ(a->items().size(), 3u);
+    EXPECT_DOUBLE_EQ(a->items()[0].asNumber(), 1.0);
+    EXPECT_TRUE(a->items()[2].find("b")->asBool());
+    EXPECT_TRUE(value.find("c")->isNull());
+    EXPECT_EQ(value.find("absent"), nullptr);
+}
+
+TEST(JsonTest, ParsesEscapesAndUnicode)
+{
+    EXPECT_EQ(parsed("\"a\\n\\t\\\"b\\\\\"").asString(),
+              "a\n\t\"b\\");
+    EXPECT_EQ(parsed("\"\\u0041\"").asString(), "A");
+    // Surrogate pair: U+1F600 -> 4-byte UTF-8.
+    EXPECT_EQ(parsed("\"\\uD83D\\uDE00\"").asString(),
+              "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonTest, RejectsMalformedInputWithPositionedErrors)
+{
+    const char *bad[] = {
+        "",           "{",       "[1,",      "{\"a\":}",
+        "{\"a\" 1}",  "tru",     "01",       "1.",
+        "\"unterminated", "{]",  "[1 2]",    "nullx",
+        "{\"a\":1,}", "\"\\q\"", "\"\\uD83D\"",
+    };
+    for (const char *text : bad) {
+        JsonValue value;
+        std::string error;
+        EXPECT_FALSE(JsonValue::parse(text, &value, &error))
+            << "accepted: " << text;
+        EXPECT_FALSE(error.empty()) << text;
+    }
+}
+
+TEST(JsonTest, RejectsTrailingGarbage)
+{
+    JsonValue value;
+    std::string error;
+    EXPECT_FALSE(JsonValue::parse("{} {}", &value, &error));
+    EXPECT_FALSE(JsonValue::parse("1 2", &value, &error));
+}
+
+TEST(JsonTest, RejectsPathologicalNesting)
+{
+    std::string deep;
+    for (int i = 0; i < 100; ++i)
+        deep += '[';
+    for (int i = 0; i < 100; ++i)
+        deep += ']';
+    JsonValue value;
+    std::string error;
+    EXPECT_FALSE(JsonValue::parse(deep, &value, &error));
+    EXPECT_NE(error.find("nest"), std::string::npos);
+}
+
+TEST(JsonTest, DumpIsCanonical)
+{
+    // Keys sort, whitespace dies, integer-valued doubles print
+    // without an exponent or decimal point.
+    const JsonValue value = parsed(
+        "{ \"z\" : 2.0 , \"a\" : [ 1 , true , \"x\" ] }");
+    EXPECT_EQ(value.dump(), "{\"a\":[1,true,\"x\"],\"z\":2}");
+}
+
+TEST(JsonTest, EquivalentRequestsDumpIdentically)
+{
+    const std::string a =
+        "{\"cores\":16,\"alpha\":0.5,\"total_ceas\":32}";
+    const std::string b =
+        "{ \"total_ceas\": 32.0,\n  \"alpha\": 0.5, "
+        "\"cores\": 16 }";
+    EXPECT_EQ(parsed(a).dump(), parsed(b).dump());
+}
+
+TEST(JsonTest, RoundTripsThroughDump)
+{
+    const std::string text =
+        "{\"a\":[1,2.5,null,true,\"s\\n\"],"
+        "\"b\":{\"c\":-0.125}}";
+    const JsonValue value = parsed(text);
+    EXPECT_EQ(parsed(value.dump()).dump(), value.dump());
+}
+
+TEST(JsonTest, NumberTextFormatsIntegersAndDoubles)
+{
+    EXPECT_EQ(jsonNumberText(0.0), "0");
+    EXPECT_EQ(jsonNumberText(42.0), "42");
+    EXPECT_EQ(jsonNumberText(-3.0), "-3");
+    EXPECT_EQ(jsonNumberText(0.5), "0.5");
+    EXPECT_EQ(jsonNumberText(1.0 / 0.0), "null");
+}
+
+TEST(JsonTest, EscapeTextCoversControlCharacters)
+{
+    EXPECT_EQ(jsonEscapeText("a\"b\\c\nd"),
+              "a\\\"b\\\\c\\nd");
+    EXPECT_EQ(jsonEscapeText(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonTest, BuildersProduceSortedObjects)
+{
+    JsonValue object = JsonValue::makeObject();
+    object.set("zeta", JsonValue(1.0));
+    object.set("alpha", JsonValue("first"));
+    JsonValue list = JsonValue::makeArray();
+    list.append(JsonValue(true));
+    object.set("list", std::move(list));
+    EXPECT_EQ(object.dump(),
+              "{\"alpha\":\"first\",\"list\":[true],\"zeta\":1}");
+}
+
+} // namespace
+} // namespace bwwall

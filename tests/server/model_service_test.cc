@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Tests for the model-query service layer: endpoint semantics,
+ * strict request validation (unknown keys, bad types, out-of-range
+ * values all become BadRequest, never a daemon death), canonical
+ * cache keys, and agreement with direct library calls.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "model/assumptions.hh"
+#include "model/bandwidth_wall.hh"
+#include "server/json.hh"
+#include "server/model_service.hh"
+
+namespace bwwall {
+namespace {
+
+JsonValue
+request(const std::string &text)
+{
+    JsonValue value;
+    std::string error;
+    EXPECT_TRUE(JsonValue::parse(text, &value, &error))
+        << text << ": " << error;
+    return value;
+}
+
+JsonValue
+body(const CachedResponse &response)
+{
+    JsonValue value;
+    std::string error;
+    EXPECT_TRUE(
+        JsonValue::parse(response.body, &value, &error))
+        << error;
+    return value;
+}
+
+TEST(ModelServiceTest, RecognisesTheModelQueryPaths)
+{
+    EXPECT_TRUE(isModelQueryPath("/v1/traffic"));
+    EXPECT_TRUE(isModelQueryPath("/v1/solve"));
+    EXPECT_TRUE(isModelQueryPath("/v1/sweep"));
+    EXPECT_FALSE(isModelQueryPath("/v1/other"));
+    EXPECT_FALSE(isModelQueryPath("/healthz"));
+}
+
+TEST(ModelServiceTest, TrafficMatchesTheLibrary)
+{
+    const CachedResponse response = executeModelQuery(
+        "/v1/traffic",
+        request("{\"cores\":16,\"alpha\":0.5,"
+                "\"total_ceas\":32}"));
+    EXPECT_EQ(response.status, 200);
+
+    ScalingScenario scenario;
+    scenario.alpha = 0.5;
+    scenario.totalCeas = 32.0;
+    const double expected = relativeTraffic(scenario, 16.0);
+
+    const JsonValue payload = body(response);
+    EXPECT_DOUBLE_EQ(
+        payload.find("relative_traffic")->asNumber(), expected);
+    EXPECT_TRUE(payload.find("feasible")->asBool());
+}
+
+TEST(ModelServiceTest, InfeasibleTrafficSerializesAsNull)
+{
+    // More cores than the die can place: traffic is infinite.
+    const CachedResponse response = executeModelQuery(
+        "/v1/traffic",
+        request("{\"cores\":1000,\"total_ceas\":32}"));
+    const JsonValue payload = body(response);
+    EXPECT_TRUE(payload.find("relative_traffic")->isNull());
+    EXPECT_FALSE(payload.find("feasible")->asBool());
+}
+
+TEST(ModelServiceTest, SolveMatchesTheLibrary)
+{
+    const CachedResponse response = executeModelQuery(
+        "/v1/solve",
+        request("{\"alpha\":0.5,\"total_ceas\":32,"
+                "\"techniques\":[{\"label\":\"CC\","
+                "\"assumption\":\"realistic\"}]}"));
+    EXPECT_EQ(response.status, 200);
+
+    ScalingScenario scenario;
+    scenario.alpha = 0.5;
+    scenario.totalCeas = 32.0;
+    for (const TechniqueAssumption &row : table2Assumptions()) {
+        if (row.label == "CC") {
+            scenario.techniques = {row.make(
+                Assumption::Realistic)};
+            break;
+        }
+    }
+    const SolveResult expected =
+        solveSupportableCores(scenario);
+    const JsonValue payload = body(response);
+    EXPECT_DOUBLE_EQ(
+        payload.find("supportable_cores")->asNumber(),
+        static_cast<double>(expected.supportableCores));
+    EXPECT_DOUBLE_EQ(
+        payload.find("traffic_at_solution")->asNumber(),
+        expected.trafficAtSolution);
+}
+
+TEST(ModelServiceTest, ResponsesAreDeterministic)
+{
+    const char *text = "{\"alpha\":0.5,\"total_ceas\":32}";
+    const CachedResponse a =
+        executeModelQuery("/v1/solve", request(text));
+    const CachedResponse b =
+        executeModelQuery("/v1/solve", request(text));
+    EXPECT_EQ(a.body, b.body);
+}
+
+TEST(ModelServiceTest, CacheKeyIgnoresWhitespaceAndKeyOrder)
+{
+    const JsonValue a = request(
+        "{\"cores\":16,\"alpha\":0.5,\"total_ceas\":32}");
+    const JsonValue b = request(
+        "{ \"total_ceas\" : 32.0, \"cores\" : 16, "
+        "\"alpha\" : 0.5 }");
+    EXPECT_EQ(canonicalCacheKey("/v1/traffic", a),
+              canonicalCacheKey("/v1/traffic", b));
+    EXPECT_NE(canonicalCacheKey("/v1/traffic", a),
+              canonicalCacheKey("/v1/solve", a));
+}
+
+TEST(ModelServiceTest, RejectsUnknownKeys)
+{
+    EXPECT_THROW(executeModelQuery(
+                     "/v1/traffic",
+                     request("{\"cores\":16,\"frobnicate\":1}")),
+                 BadRequest);
+    EXPECT_THROW(
+        executeModelQuery("/v1/solve",
+                          request("{\"corse\":16}")), // typo
+        BadRequest);
+}
+
+TEST(ModelServiceTest, RejectsMissingAndMistypedFields)
+{
+    // /v1/traffic requires cores.
+    EXPECT_THROW(
+        executeModelQuery("/v1/traffic", request("{}")),
+        BadRequest);
+    EXPECT_THROW(executeModelQuery(
+                     "/v1/traffic",
+                     request("{\"cores\":\"sixteen\"}")),
+                 BadRequest);
+    EXPECT_THROW(executeModelQuery(
+                     "/v1/solve",
+                     request("{\"techniques\":{}}")),
+                 BadRequest);
+}
+
+TEST(ModelServiceTest, RejectsOutOfRangeValues)
+{
+    EXPECT_THROW(executeModelQuery(
+                     "/v1/traffic",
+                     request("{\"cores\":16,\"alpha\":50}")),
+                 BadRequest);
+    EXPECT_THROW(executeModelQuery(
+                     "/v1/traffic",
+                     request("{\"cores\":-1}")),
+                 BadRequest);
+    EXPECT_THROW(
+        executeModelQuery(
+            "/v1/sweep",
+            request("{\"kind\":\"scaling\","
+                    "\"generations\":99}")),
+        BadRequest);
+}
+
+TEST(ModelServiceTest, RejectsUnknownTechniquesAndAssumptions)
+{
+    EXPECT_THROW(executeModelQuery(
+                     "/v1/solve",
+                     request("{\"techniques\":[{\"label\":"
+                             "\"NOPE\"}]}")),
+                 BadRequest);
+    EXPECT_THROW(executeModelQuery(
+                     "/v1/solve",
+                     request("{\"techniques\":[{\"label\":\"CC\","
+                             "\"assumption\":\"hopeful\"}]}")),
+                 BadRequest);
+    EXPECT_THROW(executeModelQuery(
+                     "/v1/solve",
+                     request("{\"techniques\":[{\"type\":"
+                             "\"warp_drive\"}]}")),
+                 BadRequest);
+}
+
+TEST(ModelServiceTest, ParameterisedTechniquesWork)
+{
+    const CachedResponse response = executeModelQuery(
+        "/v1/solve",
+        request("{\"total_ceas\":32,\"techniques\":["
+                "{\"type\":\"cache_compression\",\"ratio\":2},"
+                "{\"type\":\"dram_cache\",\"density\":8},"
+                "{\"type\":\"data_sharing\","
+                "\"shared_fraction\":0.5,\"pooled\":false}]}"));
+    EXPECT_EQ(response.status, 200);
+    EXPECT_GT(
+        body(response).find("supportable_cores")->asNumber(),
+        0.0);
+}
+
+TEST(ModelServiceTest, ScalingSweepIncludesIdealSeries)
+{
+    const CachedResponse response = executeModelQuery(
+        "/v1/sweep",
+        request("{\"kind\":\"scaling\",\"generations\":3}"));
+    const JsonValue payload = body(response);
+    EXPECT_EQ(payload.find("kind")->asString(), "scaling");
+    EXPECT_EQ(payload.find("generations")->items().size(), 3u);
+    ASSERT_NE(payload.find("ideal"), nullptr);
+    EXPECT_EQ(payload.find("ideal")->items().size(), 3u);
+
+    const CachedResponse without = executeModelQuery(
+        "/v1/sweep",
+        request("{\"kind\":\"scaling\",\"generations\":3,"
+                "\"include_ideal\":false}"));
+    EXPECT_EQ(body(without).find("ideal"), nullptr);
+}
+
+TEST(ModelServiceTest, MissCurveSweepReportsAlphaAndPoints)
+{
+    const CachedResponse response = executeModelQuery(
+        "/v1/sweep",
+        request("{\"kind\":\"miss_curve\",\"profile\":\"OLTP-2\","
+                "\"estimator\":\"stack\",\"size_kib\":64,"
+                "\"warm\":2000,\"accesses\":10000,\"seed\":7}"));
+    const JsonValue payload = body(response);
+    EXPECT_EQ(payload.find("kind")->asString(), "miss_curve");
+    EXPECT_EQ(payload.find("estimator")->asString(), "stack");
+    EXPECT_DOUBLE_EQ(payload.find("trace_passes")->asNumber(),
+                     1.0);
+    EXPECT_GE(payload.find("points")->items().size(), 2u);
+    EXPECT_GT(payload.find("alpha")->asNumber(), 0.0);
+}
+
+TEST(ModelServiceTest, RejectsUnknownSweepKindAndProfile)
+{
+    EXPECT_THROW(
+        executeModelQuery("/v1/sweep",
+                          request("{\"kind\":\"banana\"}")),
+        BadRequest);
+    EXPECT_THROW(executeModelQuery(
+                     "/v1/sweep",
+                     request("{\"kind\":\"miss_curve\","
+                             "\"profile\":\"NOPE\"}")),
+                 BadRequest);
+    EXPECT_THROW(executeModelQuery(
+                     "/v1/sweep",
+                     request("{\"kind\":\"miss_curve\","
+                             "\"estimator\":\"oracle\"}")),
+                 BadRequest);
+}
+
+TEST(ModelServiceTest, UnknownPathThrows)
+{
+    EXPECT_THROW(executeModelQuery("/v1/nope", request("{}")),
+                 BadRequest);
+}
+
+TEST(ModelServiceTest, ResponsesEndWithNewline)
+{
+    const CachedResponse response = executeModelQuery(
+        "/v1/solve", request("{\"total_ceas\":32}"));
+    ASSERT_FALSE(response.body.empty());
+    EXPECT_EQ(response.body.back(), '\n');
+}
+
+} // namespace
+} // namespace bwwall

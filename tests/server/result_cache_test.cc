@@ -1,0 +1,342 @@
+/**
+ * @file
+ * Tests for the sharded result cache: hit/miss accounting, LRU
+ * eviction under the byte budget, TTL expiry, error pass-through,
+ * and the single-flight guarantee (concurrent identical requests
+ * compute exactly once).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/result_cache.hh"
+#include "util/metrics.hh"
+
+namespace bwwall {
+namespace {
+
+CachedResponse
+responseOf(const std::string &body)
+{
+    CachedResponse response;
+    response.body = body;
+    return response;
+}
+
+TEST(ResultCacheTest, MissComputesThenHitReuses)
+{
+    MetricsRegistry metrics;
+    ResultCache cache(ResultCacheConfig{}, &metrics);
+    int computes = 0;
+    const auto compute = [&] {
+        ++computes;
+        return responseOf("r1");
+    };
+
+    const ResultCache::Outcome first =
+        cache.getOrCompute("k", compute);
+    EXPECT_FALSE(first.hit);
+    EXPECT_EQ(first.response->body, "r1");
+
+    const ResultCache::Outcome second =
+        cache.getOrCompute("k", compute);
+    EXPECT_TRUE(second.hit);
+    EXPECT_EQ(second.response->body, "r1");
+    EXPECT_EQ(computes, 1);
+    EXPECT_EQ(metrics.counter("cache.misses"), 1u);
+    EXPECT_EQ(metrics.counter("cache.hits"), 1u);
+    EXPECT_EQ(cache.entryCount(), 1u);
+    EXPECT_GT(cache.sizeBytes(), 0u);
+}
+
+TEST(ResultCacheTest, DistinctKeysComputeIndependently)
+{
+    ResultCache cache(ResultCacheConfig{});
+    for (int i = 0; i < 10; ++i) {
+        const std::string key = "key" + std::to_string(i);
+        const ResultCache::Outcome outcome = cache.getOrCompute(
+            key, [&] { return responseOf(key + "-body"); });
+        EXPECT_FALSE(outcome.hit);
+        EXPECT_EQ(outcome.response->body, key + "-body");
+    }
+    EXPECT_EQ(cache.entryCount(), 10u);
+}
+
+TEST(ResultCacheTest, ByteBudgetEvictsLeastRecentlyUsed)
+{
+    ResultCacheConfig config;
+    config.shardCount = 1; // deterministic LRU order
+    config.maxBytes = 4096;
+    MetricsRegistry metrics;
+    ResultCache cache(config, &metrics);
+
+    const std::string kilobyte(1024, 'x');
+    for (int i = 0; i < 4; ++i) {
+        cache.getOrCompute("key" + std::to_string(i),
+                           [&] { return responseOf(kilobyte); });
+    }
+    EXPECT_GT(metrics.counter("cache.evictions"), 0u);
+    EXPECT_LE(cache.sizeBytes(), config.maxBytes);
+
+    // key0 went in first and was never touched again, so it must
+    // have been the one evicted: recomputing it is a miss...
+    int recomputes = 0;
+    cache.getOrCompute("key0", [&] {
+        ++recomputes;
+        return responseOf(kilobyte);
+    });
+    EXPECT_EQ(recomputes, 1);
+
+    // ...while the most recently inserted key is still resident.
+    const ResultCache::Outcome last = cache.getOrCompute(
+        "key3", [&] { return responseOf(kilobyte); });
+    EXPECT_TRUE(last.hit);
+}
+
+TEST(ResultCacheTest, TouchingAnEntryProtectsItFromEviction)
+{
+    ResultCacheConfig config;
+    config.shardCount = 1;
+    config.maxBytes = 4096;
+    ResultCache cache(config);
+
+    const std::string kilobyte(1024, 'x');
+    cache.getOrCompute("hot",
+                       [&] { return responseOf(kilobyte); });
+    for (int i = 0; i < 2; ++i) {
+        cache.getOrCompute("cold" + std::to_string(i),
+                           [&] { return responseOf(kilobyte); });
+        // Re-touch the hot key so it stays at the front of the LRU.
+        EXPECT_TRUE(
+            cache
+                .getOrCompute("hot",
+                              [&] { return responseOf("no"); })
+                .hit);
+    }
+    cache.getOrCompute("cold2",
+                       [&] { return responseOf(kilobyte); });
+    EXPECT_TRUE(cache
+                    .getOrCompute("hot",
+                                  [&] { return responseOf("no"); })
+                    .hit);
+}
+
+TEST(ResultCacheTest, ZeroBudgetDisablesStorageButStillServes)
+{
+    ResultCacheConfig config;
+    config.maxBytes = 0;
+    ResultCache cache(config);
+    int computes = 0;
+    for (int i = 0; i < 2; ++i) {
+        const ResultCache::Outcome outcome = cache.getOrCompute(
+            "k", [&] {
+                ++computes;
+                return responseOf("body");
+            });
+        EXPECT_FALSE(outcome.hit);
+        EXPECT_EQ(outcome.response->body, "body");
+    }
+    EXPECT_EQ(computes, 2);
+    EXPECT_EQ(cache.entryCount(), 0u);
+}
+
+TEST(ResultCacheTest, TtlExpiresEntries)
+{
+    ResultCacheConfig config;
+    config.ttlSeconds = 0.05;
+    MetricsRegistry metrics;
+    ResultCache cache(config, &metrics);
+
+    cache.getOrCompute("k", [&] { return responseOf("v1"); });
+    EXPECT_TRUE(
+        cache.getOrCompute("k", [&] { return responseOf("v2"); })
+            .hit);
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    const ResultCache::Outcome after = cache.getOrCompute(
+        "k", [&] { return responseOf("v2"); });
+    EXPECT_FALSE(after.hit);
+    EXPECT_EQ(after.response->body, "v2");
+    EXPECT_GE(metrics.counter("cache.expired"), 1u);
+}
+
+TEST(ResultCacheTest, ErrorResponsesAreNeverCached)
+{
+    ResultCache cache(ResultCacheConfig{});
+    int computes = 0;
+    const auto failing = [&] {
+        ++computes;
+        CachedResponse response;
+        response.status = 400;
+        response.body = "bad";
+        return response;
+    };
+    EXPECT_EQ(cache.getOrCompute("k", failing).response->status,
+              400);
+    EXPECT_EQ(cache.getOrCompute("k", failing).response->status,
+              400);
+    EXPECT_EQ(computes, 2);
+    EXPECT_EQ(cache.entryCount(), 0u);
+}
+
+TEST(ResultCacheTest, ExceptionsPropagateAndAreNotCached)
+{
+    ResultCache cache(ResultCacheConfig{});
+    EXPECT_THROW(cache.getOrCompute(
+                     "k",
+                     []() -> CachedResponse {
+                         throw std::runtime_error("boom");
+                     }),
+                 std::runtime_error);
+    // The flight is gone; the key computes fresh afterwards.
+    const ResultCache::Outcome retry = cache.getOrCompute(
+        "k", [] { return responseOf("recovered"); });
+    EXPECT_FALSE(retry.hit);
+    EXPECT_EQ(retry.response->body, "recovered");
+}
+
+TEST(ResultCacheTest, InvalidateAllDropsEverything)
+{
+    ResultCache cache(ResultCacheConfig{});
+    cache.getOrCompute("a", [] { return responseOf("1"); });
+    cache.getOrCompute("b", [] { return responseOf("2"); });
+    EXPECT_EQ(cache.entryCount(), 2u);
+    cache.invalidateAll();
+    EXPECT_EQ(cache.entryCount(), 0u);
+    EXPECT_EQ(cache.sizeBytes(), 0u);
+    EXPECT_FALSE(
+        cache.getOrCompute("a", [] { return responseOf("1"); })
+            .hit);
+}
+
+TEST(ResultCacheTest, SingleFlightComputesExactlyOnce)
+{
+    MetricsRegistry metrics;
+    ResultCache cache(ResultCacheConfig{}, &metrics);
+
+    // Gate the compute so every thread is in getOrCompute before
+    // the owner finishes: the joiners must all share one flight.
+    std::mutex gate_mutex;
+    std::condition_variable gate_cv;
+    std::atomic<int> waiting{0};
+    bool release = false;
+    std::atomic<int> computes{0};
+    const int threads = 8;
+
+    const auto compute = [&] {
+        computes.fetch_add(1);
+        std::unique_lock<std::mutex> lock(gate_mutex);
+        gate_cv.wait(lock, [&] { return release; });
+        return responseOf("shared");
+    };
+
+    std::vector<std::thread> pool;
+    std::vector<ResultCache::Outcome> outcomes(threads);
+    for (int t = 0; t < threads; ++t) {
+        pool.emplace_back([&, t] {
+            waiting.fetch_add(1);
+            outcomes[static_cast<std::size_t>(t)] =
+                cache.getOrCompute("k", compute);
+        });
+    }
+    // Wait until every thread has entered, then open the gate.
+    while (waiting.load() < threads)
+        std::this_thread::yield();
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    {
+        std::lock_guard<std::mutex> lock(gate_mutex);
+        release = true;
+    }
+    gate_cv.notify_all();
+    for (std::thread &thread : pool)
+        thread.join();
+
+    EXPECT_EQ(computes.load(), 1);
+    int shared_flights = 0, hits = 0;
+    for (const ResultCache::Outcome &outcome : outcomes) {
+        ASSERT_NE(outcome.response, nullptr);
+        EXPECT_EQ(outcome.response->body, "shared");
+        shared_flights += outcome.sharedFlight ? 1 : 0;
+        hits += outcome.hit ? 1 : 0;
+    }
+    // One owner computed; everyone else joined the flight or (if
+    // they arrived after completion) hit the cache.
+    EXPECT_EQ(shared_flights + hits, threads - 1);
+    EXPECT_EQ(metrics.counter("cache.misses"), 1u);
+}
+
+TEST(ResultCacheTest, ExceptionReachesEveryFlightWaiter)
+{
+    ResultCache cache(ResultCacheConfig{});
+    std::mutex gate_mutex;
+    std::condition_variable gate_cv;
+    std::atomic<int> waiting{0};
+    bool release = false;
+    const int threads = 4;
+
+    const auto compute = [&]() -> CachedResponse {
+        std::unique_lock<std::mutex> lock(gate_mutex);
+        gate_cv.wait(lock, [&] { return release; });
+        throw std::runtime_error("shared failure");
+    };
+
+    std::atomic<int> caught{0};
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t) {
+        pool.emplace_back([&] {
+            waiting.fetch_add(1);
+            try {
+                cache.getOrCompute("k", compute);
+            } catch (const std::runtime_error &) {
+                caught.fetch_add(1);
+            }
+        });
+    }
+    while (waiting.load() < threads)
+        std::this_thread::yield();
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    {
+        std::lock_guard<std::mutex> lock(gate_mutex);
+        release = true;
+    }
+    gate_cv.notify_all();
+    for (std::thread &thread : pool)
+        thread.join();
+    EXPECT_EQ(caught.load(), threads);
+    EXPECT_EQ(cache.entryCount(), 0u);
+}
+
+TEST(ResultCacheTest, ConcurrentDistinctKeysDoNotCorruptShards)
+{
+    ResultCacheConfig config;
+    config.shardCount = 4;
+    ResultCache cache(config);
+    const int threads = 8, keys = 200;
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t) {
+        pool.emplace_back([&] {
+            for (int i = 0; i < keys; ++i) {
+                const std::string key =
+                    "key" + std::to_string(i);
+                const ResultCache::Outcome outcome =
+                    cache.getOrCompute(key, [&] {
+                        return responseOf(key + "-v");
+                    });
+                ASSERT_EQ(outcome.response->body, key + "-v");
+            }
+        });
+    }
+    for (std::thread &thread : pool)
+        thread.join();
+    EXPECT_EQ(cache.entryCount(), static_cast<std::size_t>(keys));
+}
+
+} // namespace
+} // namespace bwwall

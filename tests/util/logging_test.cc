@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Tests for the logging helpers: level parsing, threshold
+ * filtering, and the one-write()-per-line guarantee that keeps
+ * concurrent emitters from interleaving mid-line.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace bwwall {
+namespace {
+
+/** Captures everything written to stderr while in scope. */
+class StderrCapture
+{
+  public:
+    explicit StderrCapture(const std::string &path) : path_(path)
+    {
+        ::fflush(stderr);
+        saved_ = ::dup(STDERR_FILENO);
+        const int fd = ::open(path.c_str(),
+                              O_CREAT | O_WRONLY | O_TRUNC, 0600);
+        ::dup2(fd, STDERR_FILENO);
+        ::close(fd);
+    }
+
+    ~StderrCapture()
+    {
+        ::fflush(stderr);
+        ::dup2(saved_, STDERR_FILENO);
+        ::close(saved_);
+    }
+
+    std::string
+    text() const
+    {
+        ::fflush(stderr);
+        std::ifstream in(path_);
+        std::ostringstream content;
+        content << in.rdbuf();
+        return content.str();
+    }
+
+  private:
+    std::string path_;
+    int saved_ = -1;
+};
+
+/** Restores the default threshold when a test returns. */
+struct LevelGuard
+{
+    ~LevelGuard() { setLogLevel(LogLevel::Info); }
+};
+
+TEST(LoggingTest, ParseLogLevelAcceptsTheDocumentedNames)
+{
+    LogLevel level = LogLevel::Info;
+    EXPECT_TRUE(parseLogLevel("debug", &level));
+    EXPECT_EQ(level, LogLevel::Debug);
+    EXPECT_TRUE(parseLogLevel("info", &level));
+    EXPECT_EQ(level, LogLevel::Info);
+    EXPECT_TRUE(parseLogLevel("warn", &level));
+    EXPECT_EQ(level, LogLevel::Warn);
+    EXPECT_TRUE(parseLogLevel("warning", &level));
+    EXPECT_EQ(level, LogLevel::Warn);
+    EXPECT_TRUE(parseLogLevel("error", &level));
+    EXPECT_EQ(level, LogLevel::Error);
+    EXPECT_TRUE(parseLogLevel("silent", &level));
+    EXPECT_EQ(level, LogLevel::Error);
+    EXPECT_TRUE(parseLogLevel("off", &level));
+    EXPECT_EQ(level, LogLevel::Error);
+
+    level = LogLevel::Warn;
+    EXPECT_FALSE(parseLogLevel("chatty", &level));
+    EXPECT_EQ(level, LogLevel::Warn); // untouched on failure
+}
+
+TEST(LoggingTest, ThresholdFiltersBelowTheConfiguredLevel)
+{
+    LevelGuard guard;
+    const std::string path =
+        testing::TempDir() + "bwwall_logging_threshold.txt";
+
+    setLogLevel(LogLevel::Warn);
+    {
+        StderrCapture capture(path);
+        logDebug("dropped debug");
+        inform("dropped info");
+        warn("kept warning");
+        const std::string text = capture.text();
+        EXPECT_EQ(text.find("dropped"), std::string::npos);
+        EXPECT_NE(text.find("warn: kept warning\n"),
+                  std::string::npos);
+    }
+
+    setLogLevel(LogLevel::Debug);
+    {
+        StderrCapture capture(path);
+        logDebug("verbose detail");
+        EXPECT_NE(capture.text().find("debug: verbose detail\n"),
+                  std::string::npos);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(LoggingTest, FormatsArbitraryArgumentSequences)
+{
+    LevelGuard guard;
+    setLogLevel(LogLevel::Info);
+    const std::string path =
+        testing::TempDir() + "bwwall_logging_format.txt";
+    {
+        StderrCapture capture(path);
+        inform("cores=", 16, ", alpha=", 0.5);
+        EXPECT_NE(
+            capture.text().find("info: cores=16, alpha=0.5\n"),
+            std::string::npos);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(LoggingTest, ConcurrentEmittersNeverInterleaveMidLine)
+{
+    LevelGuard guard;
+    setLogLevel(LogLevel::Info);
+    const std::string path =
+        testing::TempDir() + "bwwall_logging_interleave.txt";
+    const int threads = 8, lines = 200;
+    {
+        StderrCapture capture(path);
+        std::vector<std::thread> pool;
+        for (int t = 0; t < threads; ++t) {
+            pool.emplace_back([t] {
+                const std::string marker(
+                    40, static_cast<char>('a' + t));
+                for (int i = 0; i < lines; ++i)
+                    inform("<", marker, ">");
+            });
+        }
+        for (std::thread &thread : pool)
+            thread.join();
+    }
+
+    // Every line in the capture must be exactly one whole message:
+    // a "info: <" prefix, 40 identical marker bytes, then ">".
+    std::ifstream in(path);
+    std::string line;
+    int seen = 0;
+    while (std::getline(in, line)) {
+        ASSERT_EQ(line.size(),
+                  std::string("info: <>").size() + 40)
+            << "torn line: " << line;
+        ASSERT_EQ(line.rfind("info: <", 0), 0u) << line;
+        ASSERT_EQ(line.back(), '>') << line;
+        const std::string marker = line.substr(7, 40);
+        for (const char c : marker)
+            ASSERT_EQ(c, marker[0]) << "interleaved: " << line;
+        ++seen;
+    }
+    EXPECT_EQ(seen, threads * lines);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace bwwall
