@@ -414,6 +414,7 @@ main(int argc, char **argv)
     argc = parser.parseKnown(argc, argv, &status);
     if (status != bwwall::CliParser::Status::Ok)
         return 1;
+    options.startTraceExport();
 
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))

@@ -184,6 +184,7 @@ main(int argc, char **argv)
             return 1;
         }
     }
+    options.startTraceExport();
 
     const unsigned threads =
         options.jobs == 0 ? 8 : options.jobs;

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Measures what the span tracer costs, off and on.
+ *
+ * Three numbers matter:
+ *  - the disabled span cost (one relaxed atomic load + branch): what
+ *    every instrumented hot path pays when no recorder is installed;
+ *  - the enabled span cost: two clock reads plus one buffer append;
+ *  - the end-to-end check: a full figure-15 study (the perf_model
+ *    workload) run with tracing off, priced against its own span
+ *    count — the `trace_overhead.disabled_overhead_fraction` gauge
+ *    that CI gates below 2%.
+ *
+ * Like the other perf_* binaries this accepts (and ignores) the
+ * --benchmark_* flag family so scripts/reproduce_all.sh can drive
+ * every perf bench uniformly.
+ */
+
+#include <chrono>
+#include <iostream>
+#include <string>
+
+#include "bench/bench_util.hh"
+#include "model/scaling_study.hh"
+#include "util/trace_span.hh"
+
+using namespace bwwall;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start)
+        .count();
+}
+
+/** Defeats loop elision without perturbing the measured body. */
+void
+compilerBarrier()
+{
+    __asm__ __volatile__("" ::: "memory");
+}
+
+/** Wall seconds for `count` back-to-back spans. */
+double
+timeSpans(std::uint64_t count)
+{
+    const Clock::time_point start = Clock::now();
+    for (std::uint64_t i = 0; i < count; ++i) {
+        Span span("overhead.probe");
+        compilerBarrier();
+    }
+    return secondsSince(start);
+}
+
+/** Minimum wall seconds for one figure-15 study over `reps` runs. */
+double
+minStudyWall(const ScalingStudyParams &params, int reps)
+{
+    double best = 0.0;
+    for (int rep = 0; rep < reps; ++rep) {
+        const Clock::time_point start = Clock::now();
+        figure15Study(params);
+        const double wall = secondsSince(start);
+        if (rep == 0 || wall < best)
+            best = wall;
+    }
+    return best;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliParser parser("perf_trace_overhead",
+                     "span tracer cost, disabled and enabled");
+    BenchOptions options;
+    options.registerWith(parser);
+    CliParser::Status status = CliParser::Status::Ok;
+    argc = parser.parseKnown(argc, argv, &status);
+    if (status != CliParser::Status::Ok)
+        return status == CliParser::Status::Help ? 0 : 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]).rfind("--benchmark_", 0) != 0) {
+            std::cerr << "perf_trace_overhead: unknown argument "
+                      << argv[i] << "\n";
+            return 1;
+        }
+    }
+
+    printBanner(std::cout,
+                "Span tracer overhead: disabled fast path, enabled "
+                "recording, and the <2% end-to-end budget");
+
+    const std::uint64_t disabled_spans =
+        quickScaled(4'000'000, 20);
+    const std::uint64_t enabled_spans = quickScaled(400'000, 20);
+    const int study_reps = quickMode() ? 2 : 5;
+
+    // 1. Disabled: no recorder installed anywhere.
+    const double disabled_wall = timeSpans(disabled_spans);
+    const double disabled_ns =
+        disabled_wall * 1e9 / static_cast<double>(disabled_spans);
+
+    // 2. Enabled: recorder installed, buffer sized to never drop.
+    double enabled_ns = 0.0;
+    {
+        TraceRecorderConfig config;
+        config.bufferCapacity = enabled_spans + 1024;
+        TraceRecorder recorder(config);
+        recorder.install(true);
+        const double enabled_wall = timeSpans(enabled_spans);
+        enabled_ns = enabled_wall * 1e9 /
+                     static_cast<double>(enabled_spans);
+        recorder.uninstall();
+    }
+
+    // 3. The real workload, tracing off: price its span count at the
+    //    measured disabled cost against its own wall time.
+    ScalingStudyParams params;
+    params.jobs = options.jobs;
+    const double baseline_wall = minStudyWall(params, study_reps);
+
+    std::uint64_t study_events = 0;
+    double traced_wall = 0.0;
+    std::string self_time;
+    {
+        TraceRecorderConfig config;
+        config.bufferCapacity = std::size_t{1} << 20;
+        TraceRecorder recorder(config);
+        recorder.install(true);
+        traced_wall = minStudyWall(params, study_reps);
+        recorder.uninstall();
+        // study_reps runs landed in the buffer; count one run's
+        // share so the budget math prices a single study.
+        study_events = recorder.collect().size() /
+                       static_cast<std::uint64_t>(study_reps);
+        self_time = recorder.selfTimeSummary(8);
+    }
+
+    const double overhead_fraction =
+        baseline_wall <= 0.0
+            ? 0.0
+            : static_cast<double>(study_events) * disabled_ns /
+                  (baseline_wall * 1e9);
+    const double traced_ratio =
+        baseline_wall <= 0.0 ? 1.0 : traced_wall / baseline_wall;
+
+    Table table({"measurement", "value"});
+    table.addRow({"disabled span cost (ns)",
+                  Table::num(disabled_ns, 2)});
+    table.addRow({"enabled span cost (ns)",
+                  Table::num(enabled_ns, 2)});
+    table.addRow({"figure-15 study wall, tracing off (s)",
+                  Table::num(baseline_wall, 4)});
+    table.addRow({"figure-15 study wall, tracing on (s)",
+                  Table::num(traced_wall, 4)});
+    table.addRow({"spans per study",
+                  Table::num(static_cast<long long>(study_events))});
+    table.addRow({"disabled overhead fraction",
+                  Table::num(overhead_fraction, 6)});
+    table.addRow({"traced / untraced wall",
+                  Table::num(traced_ratio, 3)});
+    emit(table, options);
+
+    std::cout << "\nself-time profile of the traced study:\n"
+              << self_time;
+    paperNote("instrumentation must not move the measured wall — "
+              "CI gates the disabled overhead fraction below 0.02");
+
+    MetricsRegistry metrics;
+    metrics.setGauge("trace_overhead.disabled_ns_per_span",
+                     disabled_ns);
+    metrics.setGauge("trace_overhead.enabled_ns_per_span",
+                     enabled_ns);
+    metrics.setGauge("trace_overhead.study_wall_seconds",
+                     baseline_wall);
+    metrics.setGauge("trace_overhead.traced_wall_seconds",
+                     traced_wall);
+    metrics.setGauge("trace_overhead.study_spans",
+                     static_cast<double>(study_events));
+    metrics.setGauge("trace_overhead.disabled_overhead_fraction",
+                     overhead_fraction);
+    metrics.setGauge("trace_overhead.traced_over_untraced",
+                     traced_ratio);
+    emitMetricsJson(metrics, options);
+    return 0;
+}

@@ -40,6 +40,9 @@ main(int argc, char **argv)
     std::uint64_t max_body_kib = 1024;
     std::string metrics_json;
     bool log_requests = false;
+    bool trace = false;
+    bool trace_all = false;
+    std::string trace_out;
 
     CliParser parser("bwwalld",
                      "bandwidth-wall model-query server (HTTP/1.1 "
@@ -69,6 +72,14 @@ main(int argc, char **argv)
                      "flush the metrics registry here on exit");
     parser.addFlag("--log-requests", &log_requests,
                    "log one line per served request");
+    parser.addFlag("--trace", &trace,
+                   "serve GET /v1/trace; record requests that send "
+                   "an X-BWWall-Trace header");
+    parser.addFlag("--trace-all", &trace_all,
+                   "with --trace: record every request");
+    parser.addOption("--trace-out", &trace_out, "FILE",
+                     "write the Chrome trace here on drain "
+                     "(implies --trace)");
     parser.parseOrExit(argc, argv);
 
     if (port > 65535)
@@ -85,6 +96,8 @@ main(int argc, char **argv)
     config.maxBodyBytes =
         static_cast<std::size_t>(max_body_kib) << 10;
     config.logRequests = log_requests;
+    config.trace = trace || trace_all || !trace_out.empty();
+    config.traceAll = trace_all;
 
     // Route SIGINT/SIGTERM to sigwait below: block them before the
     // server spawns its threads so every thread inherits the mask.
@@ -108,5 +121,11 @@ main(int argc, char **argv)
     server.stop();
     if (!metrics_json.empty())
         server.metrics().writeJsonFile(metrics_json);
+    if (!trace_out.empty() && server.traceRecorder() != nullptr) {
+        server.traceRecorder()->writeChromeTraceFile(trace_out);
+        inform("trace: wrote ",
+               server.traceRecorder()->collect().size(),
+               " event(s) to ", trace_out);
+    }
     return 0;
 }

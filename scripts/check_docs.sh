@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# Documentation lint, run by CI on every push.
+#
+# Usage: scripts/check_docs.sh [BUILD_DIR]
+#
+# Three checks keep the docs from drifting away from the code:
+#   1. every page under docs/ is linked from the README;
+#   2. every relative markdown link (and every docs/X.md mention)
+#      in README.md, DESIGN.md, and docs/ resolves to a real file;
+#   3. every `--flag` mentioned in the docs exists in the --help
+#      output of at least one built binary (so a renamed or removed
+#      flag cannot survive in prose).
+set -euo pipefail
+
+build_dir="${1:-build}"
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+failures=0
+fail() {
+    echo "FAIL: $*" >&2
+    failures=$((failures + 1))
+}
+
+doc_files=(README.md DESIGN.md docs/*.md)
+
+# --- 1. every docs page is reachable from the README -----------------
+for page in docs/*.md; do
+    if ! grep -q "$page" README.md; then
+        fail "$page is not linked from README.md"
+    fi
+done
+
+# --- 2. relative links and docs/X.md mentions resolve ----------------
+for doc in "${doc_files[@]}"; do
+    dir=$(dirname "$doc")
+    # [text](target) markdown links, skipping absolute URLs/anchors.
+    while IFS= read -r target; do
+        case "$target" in
+        # Absolute URLs, anchors, and GitHub-site-relative paths
+        # (the CI badge) are not files in this repository.
+        http://* | https://* | "#"* | ../../*) continue ;;
+        esac
+        target="${target%%#*}"
+        [ -n "$target" ] || continue
+        if [ ! -e "$dir/$target" ] && [ ! -e "$target" ]; then
+            fail "$doc links to missing file: $target"
+        fi
+    done < <(grep -o '\[[^]]*\]([^)]*)' "$doc" |
+        sed 's/.*(\(.*\))/\1/')
+    # Prose mentions of docs pages ("see docs/SERVER.md").
+    while IFS= read -r mention; do
+        if [ ! -e "$mention" ]; then
+            fail "$doc mentions missing page: $mention"
+        fi
+    done < <(grep -o 'docs/[A-Za-z0-9_]*\.md' "$doc" | sort -u)
+done
+
+# --- 3. documented flags exist in a binary's --help ------------------
+# Flags used by external tools in CI/docs prose, not by our binaries.
+allow_external='^--(help|version|dry-run|output-on-failure|test-dir|
+build|benchmark_[a-z_]*|gtest_[a-z_]*)$'
+
+help_binaries=(
+    examples/bwwalld
+    examples/bwwall_client
+    examples/design_explorer
+    examples/cachesim_cli
+    examples/experiment_runner
+    examples/saturation_demo
+    bench/fig01_powerlaw_validation
+    bench/fig15_technique_comparison
+    bench/fig16_combined_techniques
+    bench/claim_bandwidth_saturation
+    bench/perf_server
+    bench/perf_trace_overhead
+)
+
+if [ ! -d "$build_dir" ]; then
+    echo "build dir '$build_dir' not found" >&2
+    exit 2
+fi
+
+known_flags=$(mktemp)
+trap 'rm -f "$known_flags"' EXIT
+for binary in "${help_binaries[@]}"; do
+    path="$build_dir/$binary"
+    if [ ! -x "$path" ]; then
+        fail "expected binary missing from build: $binary"
+        continue
+    fi
+    timeout 20 "$path" --help 2>&1 |
+        grep -o '\--[a-z][a-z0-9-]*' >>"$known_flags" || true
+done
+sort -u "$known_flags" -o "$known_flags"
+
+doc_flags=$(grep -ho '\--[a-z][a-z0-9_-]*' "${doc_files[@]}" |
+    sort -u)
+for flag in $doc_flags; do
+    if echo "$flag" |
+        grep -qE "$(echo "$allow_external" | tr -d '\n')"; then
+        continue
+    fi
+    if ! grep -qx -- "$flag" "$known_flags"; then
+        fail "documented flag $flag not found in any --help output"
+    fi
+done
+
+if [ "$failures" -ne 0 ]; then
+    echo "check_docs: $failures problem(s)" >&2
+    exit 1
+fi
+echo "check_docs: all documentation checks passed"

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Regenerates the sample Chrome trace and explains how to view it.
+#
+# Usage: scripts/open_trace.sh [BUILD_DIR] [OUT_FILE]
+#
+# Runs the figure-15 harness with span recording on and writes the
+# trace to OUT_FILE (default: the committed sample under results/).
+# Any bench accepts --trace-out; this script just picks a quick,
+# representative one. See docs/OBSERVABILITY.md.
+set -euo pipefail
+
+build_dir="${1:-build}"
+out="${2:-results/fig15_technique_comparison.trace.json}"
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+bench="$build_dir/bench/fig15_technique_comparison"
+if [ ! -x "$bench" ]; then
+    echo "$bench not built — run: cmake -B $build_dir && \
+cmake --build $build_dir" >&2
+    exit 2
+fi
+
+BWWALL_QUICK=1 "$bench" --jobs 2 --trace-out "$out" >/dev/null
+events=$(python3 -c "import json,sys
+print(len(json.load(open(sys.argv[1]))['traceEvents']))" "$out")
+
+cat <<EOF
+wrote $out ($events events)
+
+To view the timeline, open the file in either:
+  - chrome://tracing  (Chrome: load the JSON via the Load button)
+  - https://ui.perfetto.dev  (any browser: "Open trace file")
+
+Lanes are logical threads (main, worker-0, ...); spans nest by call
+depth, and each parallel task carries its index in args.arg.
+EOF

@@ -4,6 +4,12 @@
  *
  * Fine-grained headers (e.g. "model/bandwidth_wall.hh") keep builds
  * lean; include this one for exploratory code and examples.
+ *
+ * Deprecations: the legacy per-size sweep API in
+ * cache/miss_curve.hh (MissCurveSweepParams / measureMissCurve) is
+ * superseded by the unified MissCurveSpec / estimateMissCurve
+ * engine in cache/miss_curve_estimator.hh and is kept only as
+ * [[deprecated]] shims for one release.
  */
 
 #ifndef BWWALL_BWWALL_HH
@@ -11,7 +17,7 @@
 
 // Library version.
 #define BWWALL_VERSION_MAJOR 1
-#define BWWALL_VERSION_MINOR 1
+#define BWWALL_VERSION_MINOR 2
 #define BWWALL_VERSION_PATCH 0
 
 #include "cache/coherent_system.hh"
@@ -65,6 +71,7 @@
 #include "util/stats.hh"
 #include "util/table.hh"
 #include "util/thread_pool.hh"
+#include "util/trace_span.hh"
 #include "util/units.hh"
 
 #endif // BWWALL_BWWALL_HH

@@ -6,6 +6,7 @@
 #include "cache/set_assoc_cache.hh"
 #include "trace/stack_distance.hh"
 #include "util/logging.hh"
+#include "util/trace_span.hh"
 
 namespace bwwall {
 
@@ -167,11 +168,17 @@ stackEstimate(TraceSource &trace, const MissCurveSpec &spec,
     StackDistanceProfiler profiler(profiler_config);
 
     trace.reset();
-    for (std::uint64_t i = 0; i < spec.warmupAccesses; ++i)
-        profiler.observe(trace.next());
+    {
+        Span warmup_span("miss_curve.warmup");
+        for (std::uint64_t i = 0; i < spec.warmupAccesses; ++i)
+            profiler.observe(trace.next());
+    }
     profiler.resetCounters();
-    for (std::uint64_t i = 0; i < spec.measuredAccesses; ++i)
-        profiler.observe(trace.next());
+    {
+        Span profile_span("miss_curve.profile");
+        for (std::uint64_t i = 0; i < spec.measuredAccesses; ++i)
+            profiler.observe(trace.next());
+    }
 
     // SHARDS_adj note: dividing the estimated miss mass by the exact
     // access count N (known, not estimated) is equivalent to the
@@ -181,6 +188,7 @@ stackEstimate(TraceSource &trace, const MissCurveSpec &spec,
     const auto accesses =
         static_cast<double>(profiler.totalAccesses());
 
+    Span readout_span("miss_curve.readout");
     MissCurve curve;
     curve.estimator = estimator_name;
     curve.tracePasses = 1;
@@ -266,6 +274,7 @@ ExactSimEstimator::estimate(TraceSource &trace,
     curve.estimator = name();
     curve.points.reserve(spec.capacities.size());
     for (const std::uint64_t capacity : spec.capacities) {
+        Span replay_span("miss_curve.exact_replay", capacity);
         CacheConfig config = spec.cache;
         config.capacityBytes = capacity;
         SetAssociativeCache cache(config);
@@ -336,6 +345,7 @@ makeMissCurveEstimator(MissCurveEstimatorKind kind)
 MissCurve
 estimateMissCurve(TraceSource &trace, const MissCurveSpec &spec)
 {
+    Span span("miss_curve.estimate");
     return makeMissCurveEstimator(spec.kind)->estimate(trace, spec);
 }
 

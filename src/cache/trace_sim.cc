@@ -7,6 +7,7 @@
 #include "util/logging.hh"
 #include "util/metrics.hh"
 #include "util/thread_pool.hh"
+#include "util/trace_span.hh"
 
 namespace bwwall {
 
@@ -35,6 +36,7 @@ CacheStats
 simulateShard(const TraceCacheSweepParams &params,
               const ShardTask &task)
 {
+    Span span("trace_sim.shard", task.shard);
     const TraceCacheWorkload &workload =
         params.workloads[task.workload];
     const std::uint64_t seed =
@@ -108,6 +110,7 @@ runTraceCacheSweep(const TraceCacheSweepParams &params)
             tasks.push_back({w, s});
     }
 
+    Span span("trace_sim.sweep");
     const auto start = std::chrono::steady_clock::now();
     // One task per shard; every shard derives its whole trace and
     // cache from shardSeed(), so the parallel sweep is bit-identical
@@ -156,12 +159,14 @@ runTraceMissCurveSweep(const TraceMissCurveSweepParams &params)
     if (params.workloads.empty())
         fatal("miss-curve sweep requires at least one workload");
 
+    Span span("miss_curve.sweep");
     const auto start = std::chrono::steady_clock::now();
     // One task per workload; each derives its trace seed from the
     // base spec seed, so the parallel sweep is deterministic.
     const std::vector<TraceMissCurveResult> results = parallelMap(
         params.workloads.size(), params.jobs,
         [&params](std::size_t w) {
+            Span workload_span("miss_curve.workload", w);
             MissCurveSpec spec = params.spec;
             spec.seed = shardSeed(params.spec.seed, w, 0);
             const std::unique_ptr<TraceSource> trace =

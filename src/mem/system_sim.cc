@@ -7,6 +7,7 @@
 #include "util/logging.hh"
 #include "util/metrics.hh"
 #include "util/thread_pool.hh"
+#include "util/trace_span.hh"
 
 namespace bwwall {
 
@@ -16,6 +17,7 @@ namespace {
 SaturationPoint
 simulatePoint(const SaturationSweepParams &params, unsigned cores)
 {
+    Span span("saturation.point", cores);
     EventQueue events;
     MemoryChannel channel(events, params.channel);
     std::vector<std::unique_ptr<SimpleCore>> core_models;
@@ -58,6 +60,7 @@ runSaturationSweep(const SaturationSweepParams &params)
             fatal("core count must be positive");
     }
 
+    Span span("saturation.sweep");
     const auto start = std::chrono::steady_clock::now();
     // One task per core-count point.  Each point builds its own
     // event queue, channel, and cores from per-point seeds, so the

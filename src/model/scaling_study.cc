@@ -6,6 +6,7 @@
 #include "util/logging.hh"
 #include "util/metrics.hh"
 #include "util/thread_pool.hh"
+#include "util/trace_span.hh"
 
 namespace bwwall {
 
@@ -15,6 +16,8 @@ namespace {
 GenerationResult
 evaluateGeneration(const ScalingStudyParams &params, int generation)
 {
+    Span span("scaling.generation",
+              static_cast<std::uint64_t>(generation));
     const double scale = std::pow(2.0, generation);
 
     ScalingScenario scenario;
@@ -43,6 +46,7 @@ runScalingStudy(const ScalingStudyParams &params)
     if (params.generations < 1)
         fatal("scaling study requires at least one generation");
 
+    Span span("scaling.study");
     const auto start = std::chrono::steady_clock::now();
     // One task per generation; each evaluation is pure, so the
     // parallel study is bit-identical to the serial one.
@@ -94,6 +98,7 @@ figure15Study(const ScalingStudyParams &base_params)
 
     const std::vector<TechniqueAssumption> &rows =
         table2Assumptions();
+    Span span("scaling.figure15");
     const auto start = std::chrono::steady_clock::now();
 
     // One task per technique×assumption cell.  Each cell runs its
@@ -102,6 +107,7 @@ figure15Study(const ScalingStudyParams &base_params)
     const auto cells = parallelMap(
         rows.size() * kLevels, base_params.jobs,
         [&base_params, &rows](std::size_t cell) {
+            Span cell_span("scaling.cell", cell);
             ScalingStudyParams params = base_params;
             params.jobs = 1;
             params.metrics = nullptr;

@@ -211,6 +211,16 @@ HttpClient::request(const std::string &method,
                     const std::string &body,
                     HttpClientResponse *out, std::string *error)
 {
+    return request(method, target, {}, body, out, error);
+}
+
+bool
+HttpClient::request(
+    const std::string &method, const std::string &target,
+    const std::map<std::string, std::string> &headers,
+    const std::string &body, HttpClientResponse *out,
+    std::string *error)
+{
     if (fd_ < 0 && !connect(error))
         return false;
 
@@ -223,7 +233,14 @@ HttpClient::request(const std::string &method,
     wire += host_;
     wire += "\r\nContent-Length: ";
     wire += std::to_string(body.size());
-    wire += "\r\n\r\n";
+    wire += "\r\n";
+    for (const auto &[name, value] : headers) {
+        wire += name;
+        wire += ": ";
+        wire += value;
+        wire += "\r\n";
+    }
+    wire += "\r\n";
     wire += body;
 
     if (!sendAll(wire, error) || !readResponse(out, error)) {

@@ -51,6 +51,16 @@ class HttpClient
                  const std::string &body, HttpClientResponse *out,
                  std::string *error = nullptr);
 
+    /**
+     * Like request(), with extra request headers ("X-BWWall-Trace"
+     * opts a bwwalld request into span recording — docs/SERVER.md).
+     */
+    bool request(const std::string &method,
+                 const std::string &target,
+                 const std::map<std::string, std::string> &headers,
+                 const std::string &body, HttpClientResponse *out,
+                 std::string *error = nullptr);
+
     /** Convenience wrappers. */
     bool
     get(const std::string &target, HttpClientResponse *out,

@@ -62,6 +62,12 @@ BwwallServer::BwwallServer(ServerConfig config)
     cache_config.ttlSeconds = config_.cacheTtlSeconds;
     cache_ = std::make_unique<ResultCache>(cache_config,
                                            &metrics_);
+    if (config_.trace) {
+        // Standby unless traceAll: only threads inside a
+        // ScopedThreadTrace (the per-request opt-in) record.
+        recorder_ = std::make_unique<TraceRecorder>();
+        recorder_->install(config_.traceAll);
+    }
 }
 
 BwwallServer::~BwwallServer()
@@ -257,15 +263,47 @@ BwwallServer::serveConnection(int fd)
           }
         }
 
+        const ScopedThreadTrace trace_scope(requestTraced(request));
+        Span request_span("server.request");
         HttpResponse response = dispatch(request, received);
         if (!request.keepAlive ||
             stopping_.load(std::memory_order_acquire))
             response.close = true;
-        if (!connection.writeResponse(response))
+        bool written;
+        {
+            Span serialize_span("server.serialize");
+            written = connection.writeResponse(response);
+        }
+        if (!written)
             return;
         if (response.close)
             return;
     }
+}
+
+bool
+BwwallServer::requestTraced(const HttpRequest &request) const
+{
+    if (recorder_ == nullptr)
+        return false;
+    if (config_.traceAll)
+        return true;
+    const auto header = request.headers.find("x-bwwall-trace");
+    return header != request.headers.end() &&
+           header->second != "0";
+}
+
+HttpResponse
+BwwallServer::handleTrace() const
+{
+    if (recorder_ == nullptr) {
+        return httpErrorResponse(
+            404, "tracing is disabled; start bwwalld with --trace");
+    }
+    HttpResponse response;
+    response.body = recorder_->chromeTraceJson();
+    response.body += '\n';
+    return response;
 }
 
 HttpResponse
@@ -289,9 +327,15 @@ BwwallServer::handleModelQuery(const HttpRequest &request,
 {
     JsonValue body;
     std::string parse_error;
-    if (!JsonValue::parse(request.body.empty() ? "{}"
-                                               : request.body,
-                          &body, &parse_error))
+    bool parsed;
+    {
+        Span parse_span("server.parse");
+        parsed = JsonValue::parse(request.body.empty()
+                                      ? "{}"
+                                      : request.body,
+                                  &body, &parse_error);
+    }
+    if (!parsed)
         return httpErrorResponse(400,
                                  "malformed JSON body: " +
                                      parse_error);
@@ -304,10 +348,14 @@ BwwallServer::handleModelQuery(const HttpRequest &request,
     try {
         const std::string key =
             canonicalCacheKey(request.path, body);
+        Span cache_span("server.cache");
         const ResultCache::Outcome outcome =
             cache_->getOrCompute(key, [&] {
+                Span compute_span("server.compute");
                 return executeModelQuery(request.path, body);
             });
+        traceInstant(outcome.hit ? "server.cache_hit"
+                                 : "server.cache_miss");
 
         if (config_.deadlineMs != 0 &&
             secondsSince(received) > deadline) {
@@ -352,6 +400,10 @@ BwwallServer::dispatch(const HttpRequest &request,
         response = request.method == "GET"
                        ? handleMetrics(request)
                        : httpErrorResponse(405, "use GET /metrics");
+    } else if (request.path == "/v1/trace") {
+        response = request.method == "GET"
+                       ? handleTrace()
+                       : httpErrorResponse(405, "use GET /v1/trace");
     } else if (isModelQueryPath(request.path)) {
         response =
             request.method == "POST"

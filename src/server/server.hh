@@ -42,6 +42,7 @@
 #include "server/http.hh"
 #include "server/result_cache.hh"
 #include "util/metrics.hh"
+#include "util/trace_span.hh"
 
 namespace bwwall {
 
@@ -82,6 +83,16 @@ struct ServerConfig
 
     /** inform() one line per served request. */
     bool logRequests = false;
+
+    /**
+     * Own a TraceRecorder and serve GET /v1/trace.  Requests carrying
+     * an X-BWWall-Trace header record their lifecycle spans (parse →
+     * cache → compute → serialize); everything else stays untraced.
+     */
+    bool trace = false;
+
+    /** With trace: record every request, opt-in header or not. */
+    bool traceAll = false;
 };
 
 /** The daemon: listen, serve, drain. */
@@ -123,6 +134,9 @@ class BwwallServer
     MetricsRegistry &metrics() { return metrics_; }
     ResultCache &cache() { return *cache_; }
 
+    /** The owned recorder; null unless config.trace. */
+    TraceRecorder *traceRecorder() { return recorder_.get(); }
+
     /** Served requests so far (for tests and the load generator). */
     std::uint64_t requestCount() const
     {
@@ -149,9 +163,15 @@ class BwwallServer
 
     HttpResponse handleMetrics(const HttpRequest &request) const;
 
+    HttpResponse handleTrace() const;
+
+    /** True when this request opted into (or is forced into) tracing. */
+    bool requestTraced(const HttpRequest &request) const;
+
     ServerConfig config_;
     MetricsRegistry metrics_;
     std::unique_ptr<ResultCache> cache_;
+    std::unique_ptr<TraceRecorder> recorder_;
     std::unique_ptr<ThreadPool> pool_;
 
     int listenFd_ = -1;

@@ -2,6 +2,9 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <memory>
+
+#include "util/trace_span.hh"
 
 namespace bwwall {
 
@@ -290,6 +293,21 @@ BenchOptions::registerWith(CliParser &parser)
                      "miss-curve estimator: exact | stack | sampled");
     parser.addOption("--sample-rate", &sampleRate, "R",
                      "SHARDS sampling rate in (0, 1]");
+    parser.addOption("--trace-out", &traceOut, "FILE",
+                     "record spans; write Chrome trace JSON here");
+}
+
+void
+BenchOptions::startTraceExport() const
+{
+    if (traceOut.empty())
+        return;
+    // Destroyed during static teardown, after main() has joined all
+    // workers — which uninstalls the recorder and writes the file.
+    static std::unique_ptr<ScopedTraceFile> session;
+    if (session != nullptr)
+        return;
+    session = std::make_unique<ScopedTraceFile>(traceOut);
 }
 
 BenchOptions
@@ -305,6 +323,7 @@ BenchOptions::parse(int argc, char **argv, CliParser &parser)
     BenchOptions options;
     options.registerWith(parser);
     parser.parseOrExit(argc, argv);
+    options.startTraceExport();
     return options;
 }
 

@@ -11,7 +11,8 @@
  * repository's flags and forward everything else untouched.
  *
  * BenchOptions bundles the flags every harness shares
- * (--csv --jobs --json --seed --estimator --sample-rate).
+ * (--csv --jobs --json --seed --estimator --sample-rate
+ * --trace-out).
  */
 
 #ifndef BWWALL_UTIL_CLI_HH
@@ -160,8 +161,22 @@ struct BenchOptions
     /** SHARDS sampling rate in (0, 1]; 0 keeps the default. */
     double sampleRate = 0.0;
 
+    /**
+     * When non-empty, a process-wide TraceRecorder is installed and
+     * the Chrome trace is written here at exit (util/trace_span.hh).
+     */
+    std::string traceOut;
+
     /** Registers the shared flags on an existing parser. */
     void registerWith(CliParser &parser);
+
+    /**
+     * Honors traceOut: installs a process-lifetime trace session
+     * whose Chrome JSON is written to the file at exit.  No-op when
+     * traceOut is empty.  BenchOptions::parse calls this; mains that
+     * use parseKnown/registerWith directly must call it themselves.
+     */
+    void startTraceExport() const;
 
     /**
      * Strict parse of the shared flags only; exits on unknown flags

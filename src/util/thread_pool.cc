@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "util/logging.hh"
+#include "util/trace_span.hh"
 
 namespace bwwall {
 
@@ -43,8 +44,14 @@ ThreadPool::ThreadPool(unsigned threads)
 {
     const unsigned count = threads == 0 ? 1u : threads;
     workers_.reserve(count);
-    for (unsigned i = 0; i < count; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+    for (unsigned i = 0; i < count; ++i) {
+        // Worker i records on logical trace lane i + 1; lane 0 is
+        // the thread that installed the recorder.
+        workers_.emplace_back([this, i] {
+            setTraceThreadId(i + 1);
+            workerLoop();
+        });
+    }
 }
 
 ThreadPool::~ThreadPool()

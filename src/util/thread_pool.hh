@@ -32,6 +32,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/trace_span.hh"
+
 namespace bwwall {
 
 /** Usable hardware threads; at least 1 even when unknown. */
@@ -118,15 +120,20 @@ parallelFor(std::size_t count, unsigned jobs, Body &&body)
         return;
     const unsigned resolved = resolveJobs(jobs);
     if (resolved <= 1 || count == 1) {
-        for (std::size_t i = 0; i < count; ++i)
+        for (std::size_t i = 0; i < count; ++i) {
+            Span task_span("parallel_for.task", i);
             body(i);
+        }
         return;
     }
     const auto threads = static_cast<unsigned>(
         std::min<std::size_t>(resolved, count));
     ThreadPool pool(threads);
     const std::function<void(std::size_t)> fn =
-        [&body](std::size_t i) { body(i); };
+        [&body](std::size_t i) {
+            Span task_span("parallel_for.task", i);
+            body(i);
+        };
     pool.run(count, fn);
 }
 

@@ -12,6 +12,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -237,6 +238,136 @@ TEST_F(HttpServerTest, GracefulStopFinishesAndRefusesReconnect)
     HttpClientResponse response;
     std::string error;
     EXPECT_FALSE(late.get("/healthz", &response, &error));
+}
+
+TEST(HttpServerTraceTest, TraceEndpointIs404WhenTracingIsOff)
+{
+    ServerConfig config;
+    config.port = 0;
+    config.threads = 2;
+    BwwallServer server(config);
+    server.start();
+    EXPECT_EQ(server.traceRecorder(), nullptr);
+
+    {
+        HttpClient client("127.0.0.1", server.port());
+        HttpClientResponse response;
+        std::string error;
+        ASSERT_TRUE(client.get("/v1/trace", &response, &error))
+            << error;
+        EXPECT_EQ(response.status, 404);
+    }
+    server.stop();
+}
+
+TEST(HttpServerTraceTest, OptedInRequestRoundTripsThroughV1Trace)
+{
+    ServerConfig config;
+    config.port = 0;
+    config.threads = 2;
+    config.trace = true; // standby: only opted-in requests record
+    BwwallServer server(config);
+    server.start();
+    ASSERT_NE(server.traceRecorder(), nullptr);
+
+    // unique_ptr so the keep-alive connection can be closed before
+    // server.stop() (which otherwise waits out the idle timeout).
+    auto client = std::make_unique<HttpClient>("127.0.0.1",
+                                               server.port());
+    HttpClientResponse response;
+    std::string error;
+
+    // A plain request records nothing.
+    ASSERT_TRUE(client->post("/v1/solve",
+                            "{\"alpha\":0.5,\"total_ceas\":32}",
+                            &response, &error))
+        << error;
+    EXPECT_EQ(response.status, 200);
+    EXPECT_TRUE(server.traceRecorder()->collect().empty());
+
+    // An X-BWWall-Trace request records its lifecycle; a distinct
+    // body forces a cache miss, so server.compute must appear.
+    ASSERT_TRUE(client->request(
+        "POST", "/v1/solve", {{"X-BWWall-Trace", "1"}},
+        "{\"alpha\":0.4,\"total_ceas\":32}", &response, &error))
+        << error;
+    EXPECT_EQ(response.status, 200);
+
+    // The export is strict-parser-clean Chrome JSON containing the
+    // request lifecycle spans.
+    ASSERT_TRUE(client->get("/v1/trace", &response, &error))
+        << error;
+    EXPECT_EQ(response.status, 200);
+    EXPECT_EQ(response.headers.at("content-type"),
+              "application/json");
+    JsonValue trace;
+    ASSERT_TRUE(JsonValue::parse(response.body, &trace, &error))
+        << error;
+    const JsonValue *events = trace.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+
+    std::set<std::string> names;
+    for (const JsonValue &event : events->items()) {
+        const JsonValue *name = event.find("name");
+        if (name != nullptr)
+            names.insert(name->asString());
+    }
+    EXPECT_EQ(names.count("server.request"), 1u);
+    EXPECT_EQ(names.count("server.parse"), 1u);
+    EXPECT_EQ(names.count("server.cache"), 1u);
+    EXPECT_EQ(names.count("server.compute"), 1u);
+    EXPECT_EQ(names.count("server.cache_miss"), 1u);
+
+    // An opted-in cache hit records the hit marker, not a compute.
+    ASSERT_TRUE(client->request(
+        "POST", "/v1/solve", {{"X-BWWall-Trace", "1"}},
+        "{\"alpha\":0.4,\"total_ceas\":32}", &response, &error))
+        << error;
+    EXPECT_EQ(response.status, 200);
+    bool hit = false;
+    for (const TraceEvent &event :
+         server.traceRecorder()->collect()) {
+        if (std::string(event.name) == "server.cache_hit")
+            hit = true;
+    }
+    EXPECT_TRUE(hit);
+
+    // Only GET is allowed on /v1/trace.
+    ASSERT_TRUE(
+        client->post("/v1/trace", "{}", &response, &error))
+        << error;
+    EXPECT_EQ(response.status, 405);
+    client.reset();
+    server.stop();
+}
+
+TEST(HttpServerTraceTest, TraceAllRecordsEveryRequest)
+{
+    ServerConfig config;
+    config.port = 0;
+    config.threads = 2;
+    config.trace = true;
+    config.traceAll = true;
+    BwwallServer server(config);
+    server.start();
+
+    {
+        HttpClient client("127.0.0.1", server.port());
+        HttpClientResponse response;
+        std::string error;
+        ASSERT_TRUE(client.get("/healthz", &response, &error))
+            << error;
+        EXPECT_EQ(response.status, 200);
+    }
+    bool request_span = false;
+    for (const TraceEvent &event :
+         server.traceRecorder()->collect()) {
+        if (std::string(event.name) == "server.request")
+            request_span = true;
+    }
+    EXPECT_TRUE(request_span);
+    server.stop();
 }
 
 TEST(HttpErrorResponseTest, ShapesAStructuredBody)
