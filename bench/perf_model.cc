@@ -190,7 +190,7 @@ main(int argc, char **argv)
     bwwall::CliParser::Status status = bwwall::CliParser::Status::Ok;
     argc = parser.parseKnown(argc, argv, &status);
     if (status != bwwall::CliParser::Status::Ok)
-        return 1;
+        return status == bwwall::CliParser::Status::Help ? 0 : 1;
     options.startTraceExport();
 
     benchmark::Initialize(&argc, argv);

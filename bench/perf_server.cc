@@ -32,6 +32,7 @@
 #include "bench/bench_util.hh"
 #include "server/http_client.hh"
 #include "server/server.hh"
+#include "util/fault.hh"
 #include "util/logging.hh"
 
 namespace bwwall {
@@ -120,13 +121,13 @@ qps(const LoadResult &result)
                : 0.0;
 }
 
-/** Exact quantile (nearest-rank) over the phase's latencies. */
+/** Exact quantile (nearest-rank) over a phase's latencies. */
 double
-latencyQuantile(const LoadResult &result, double q)
+latencyQuantile(const std::vector<double> &latencies, double q)
 {
-    if (result.latencies.empty())
+    if (latencies.empty())
         return 0.0;
-    std::vector<double> sorted = result.latencies;
+    std::vector<double> sorted = latencies;
     std::sort(sorted.begin(), sorted.end());
     const double position =
         q * static_cast<double>(sorted.size() - 1);
@@ -149,6 +150,149 @@ sweepBodies(std::size_t count, std::uint64_t accesses)
     return bodies;
 }
 
+/** Tallies from one chaos phase (see runChaos). */
+struct ChaosResult
+{
+    double seconds = 0.0;
+    std::uint64_t requests = 0;
+    std::uint64_t transportErrors = 0;
+    std::uint64_t ok = 0;
+    std::uint64_t staleServed = 0;
+    std::uint64_t degraded = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t faulted = 0;
+    std::uint64_t deadlineExceeded = 0;
+    /** Responses no deliberate failure mode explains: must be 0. */
+    std::uint64_t unexpected = 0;
+    std::vector<double> latencies;
+};
+
+/**
+ * Fault-tolerant closed loop: every response is classified rather
+ * than asserted.  Deliberate outcomes under an armed fault plan are
+ * 200 (possibly stale/degraded), 503 sheds, 424 solver faults, 500
+ * bodies naming category "faulted", and 504 deadline misses;
+ * anything else counts as unexpected and fails the chaos gate.
+ */
+ChaosResult
+runChaos(std::uint16_t port, unsigned threads,
+         const std::vector<std::string> &trafficBodies,
+         const std::vector<std::string> &solveBodies,
+         const std::vector<std::string> &sweepBodies,
+         double maxSeconds)
+{
+    std::atomic<std::uint64_t> next{0};
+    std::vector<ChaosResult> partial(threads);
+    const auto start = std::chrono::steady_clock::now();
+    const auto deadline =
+        start + std::chrono::duration<double>(maxSeconds);
+
+    std::vector<std::thread> clients;
+    clients.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+        clients.emplace_back([&, t] {
+            HttpClient client("127.0.0.1", port);
+            HttpClientResponse response;
+            std::string error;
+            ChaosResult &mine = partial[t];
+            while (std::chrono::steady_clock::now() < deadline) {
+                const std::uint64_t index =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                // Mostly cheap traffic queries, with solves (the
+                // model.solve point) and sweeps (the expensive
+                // endpoint class) under fire too.
+                const std::uint64_t turn = index % 8;
+                const bool sweep = turn == 7;
+                const bool solve = turn == 5 || turn == 6;
+                const std::string &body =
+                    sweep ? sweepBodies[index % sweepBodies.size()]
+                    : solve
+                        ? solveBodies[index % solveBodies.size()]
+                        : trafficBodies[index %
+                                        trafficBodies.size()];
+                const char *path = sweep    ? "/v1/sweep"
+                                   : solve ? "/v1/solve"
+                                           : "/v1/traffic";
+                const auto before =
+                    std::chrono::steady_clock::now();
+                ++mine.requests;
+                if (!client.post(path, body, &response, &error)) {
+                    // An injected read/write/accept fault killed
+                    // the connection; reconnect on the next turn.
+                    ++mine.transportErrors;
+                    continue;
+                }
+                const std::chrono::duration<double> took =
+                    std::chrono::steady_clock::now() - before;
+                mine.latencies.push_back(took.count());
+                switch (response.status) {
+                  case 200:
+                    ++mine.ok;
+                    if (response.headers.count("x-bwwall-stale"))
+                        ++mine.staleServed;
+                    if (response.headers.count(
+                            "x-bwwall-degraded"))
+                        ++mine.degraded;
+                    break;
+                  case 400:
+                    // An injected http.read fault corrupts the
+                    // request stream mid-read; the server answers
+                    // 400 and closes.  Our bodies are valid, so
+                    // any other 400 is a real bug.
+                    if (response.body.find(
+                            "malformed HTTP request") !=
+                        std::string::npos)
+                        ++mine.faulted;
+                    else
+                        ++mine.unexpected;
+                    break;
+                  case 503:
+                    ++mine.shed;
+                    break;
+                  case 424:
+                    ++mine.faulted;
+                    break;
+                  case 500:
+                    if (response.body.find(
+                            "\"category\":\"faulted\"") !=
+                        std::string::npos)
+                        ++mine.faulted;
+                    else
+                        ++mine.unexpected;
+                    break;
+                  case 504:
+                    ++mine.deadlineExceeded;
+                    break;
+                  default:
+                    ++mine.unexpected;
+                }
+            }
+        });
+    }
+    for (std::thread &client : clients)
+        client.join();
+
+    ChaosResult result;
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    result.seconds = elapsed.count();
+    for (const ChaosResult &mine : partial) {
+        result.requests += mine.requests;
+        result.transportErrors += mine.transportErrors;
+        result.ok += mine.ok;
+        result.staleServed += mine.staleServed;
+        result.degraded += mine.degraded;
+        result.shed += mine.shed;
+        result.faulted += mine.faulted;
+        result.deadlineExceeded += mine.deadlineExceeded;
+        result.unexpected += mine.unexpected;
+        result.latencies.insert(result.latencies.end(),
+                                mine.latencies.begin(),
+                                mine.latencies.end());
+    }
+    return result;
+}
+
 } // namespace
 } // namespace bwwall
 
@@ -159,6 +303,7 @@ main(int argc, char **argv)
 
     std::uint64_t seconds_flag = 0;
     std::uint64_t sweeps_flag = 0;
+    bool chaos = false;
     CliParser parser("perf_server",
                      "closed-loop load generator for the bwwalld "
                      "model-query server");
@@ -168,6 +313,10 @@ main(int argc, char **argv)
     parser.addOption("--sweeps", &sweeps_flag, "N",
                      "distinct miss-curve sweeps in the cold/warm "
                      "phase (default 24, quick 8)");
+    parser.addFlag("--chaos", &chaos,
+                   "drive the server under an armed fault plan and "
+                   "report shed/stale/degraded/faulted rates "
+                   "instead of the throughput phases");
     // scripts/reproduce_all.sh treats every perf_* binary as a
     // google-benchmark main and passes --benchmark_min_time in
     // quick mode; accept and ignore that family only.
@@ -200,11 +349,101 @@ main(int argc, char **argv)
     config.port = 0;
     config.threads = threads;
     config.deadlineMs = 0;
+    if (chaos) {
+        // Short TTL + stale window + degradation: the chaos loop
+        // exercises every graceful-degradation path at once.
+        config.cacheTtlSeconds = 0.25;
+        config.cacheStaleSeconds = 10.0;
+        config.degradeSweeps = true;
+        config.degradePressure = 0.0; // degrade every sweep
+        config.shedP99Ms = 25.0;      // latency sheds fire too
+        config.breakerThreshold = 1u << 30; // rates, not breakers
+    }
     BwwallServer server(config);
+
+    if (chaos) {
+        FaultConfig fault_config;
+        std::string fault_error;
+        if (!parseFaultConfig(
+                "seed=7;http.read=prob:0.004;"
+                "http.write=prob:0.004;http.write.short=prob:0.01;"
+                "server.accept=prob:0.01;cache.compute=prob:0.02;"
+                "model.solve=prob:0.02;mem.event_dispatch="
+                "prob:0.0005",
+                &fault_config, &fault_error))
+            fatal("chaos fault plan: ", fault_error);
+        installFaults(fault_config, &server.metrics());
+    }
+
     server.start();
     const std::uint16_t port = server.port();
     std::cout << "perf_server: bwwalld on 127.0.0.1:" << port
               << ", " << threads << " client threads\n";
+
+    if (chaos) {
+        const std::vector<std::string> traffic_bodies = {
+            "{\"cores\":16,\"alpha\":0.5,\"total_ceas\":32}",
+            "{\"cores\":32,\"alpha\":0.6,\"total_ceas\":64}",
+        };
+        const std::vector<std::string> solve_bodies = {
+            "{\"alpha\":0.5,\"total_ceas\":32}",
+            "{\"alpha\":0.6,\"total_ceas\":64,"
+            "\"traffic_budget\":1.5}",
+        };
+        const std::vector<std::string> chaos_sweeps =
+            sweepBodies(sweeps, quickScaled(20000, 4));
+        const ChaosResult storm =
+            runChaos(port, threads, traffic_bodies, solve_bodies,
+                     chaos_sweeps, seconds);
+        server.stop();
+        uninstallFaults();
+
+        const double p99_ms =
+            latencyQuantile(storm.latencies, 0.99) * 1e3;
+        const double shed_rate =
+            storm.requests > 0
+                ? static_cast<double>(storm.shed) /
+                      static_cast<double>(storm.requests)
+                : 0.0;
+        const double stale_rate =
+            storm.ok > 0 ? static_cast<double>(storm.staleServed) /
+                               static_cast<double>(storm.ok)
+                         : 0.0;
+        std::cout << "chaos: " << storm.requests << " requests in "
+                  << storm.seconds << " s: " << storm.ok
+                  << " ok (" << storm.staleServed << " stale, "
+                  << storm.degraded << " degraded), " << storm.shed
+                  << " shed, " << storm.faulted << " faulted, "
+                  << storm.transportErrors
+                  << " transport errors, " << storm.unexpected
+                  << " unexpected, p99 " << p99_ms << " ms\n";
+
+        MetricsRegistry metrics;
+        metrics.setGauge("perf_server.chaos.threads",
+                         static_cast<double>(threads));
+        metrics.addCounter("perf_server.chaos.requests",
+                           storm.requests);
+        metrics.addCounter("perf_server.chaos.ok", storm.ok);
+        metrics.addCounter("perf_server.chaos.stale_served",
+                           storm.staleServed);
+        metrics.addCounter("perf_server.chaos.degraded",
+                           storm.degraded);
+        metrics.addCounter("perf_server.chaos.shed", storm.shed);
+        metrics.addCounter("perf_server.chaos.faulted",
+                           storm.faulted);
+        metrics.addCounter("perf_server.chaos.transport_errors",
+                           storm.transportErrors);
+        metrics.addCounter("perf_server.chaos.deadline_exceeded",
+                           storm.deadlineExceeded);
+        metrics.addCounter("perf_server.chaos.unexpected_5xx",
+                           storm.unexpected);
+        metrics.setGauge("perf_server.chaos.shed_rate", shed_rate);
+        metrics.setGauge("perf_server.chaos.stale_rate",
+                         stale_rate);
+        metrics.setGauge("perf_server.chaos.p99_ms", p99_ms);
+        emitMetricsJson(metrics, options);
+        return storm.unexpected == 0 ? 0 : 1;
+    }
 
     // Phase 1: identical /v1/traffic bodies -> result-cache hits.
     const std::vector<std::string> traffic_body = {
@@ -215,9 +454,9 @@ main(int argc, char **argv)
         port, threads, "/v1/traffic", traffic_body, 0, seconds);
     const double hit_qps = qps(hits);
     const double hit_p50_ms =
-        latencyQuantile(hits, 0.50) * 1e3;
+        latencyQuantile(hits.latencies, 0.50) * 1e3;
     const double hit_p99_ms =
-        latencyQuantile(hits, 0.99) * 1e3;
+        latencyQuantile(hits.latencies, 0.99) * 1e3;
     std::cout << "cache-hit /v1/traffic: " << hits.requests
               << " requests in " << hits.seconds << " s, "
               << hit_qps << " qps, p50 " << hit_p50_ms

@@ -35,6 +35,10 @@ main(int argc, char **argv)
     bool use_get = false;
     std::uint64_t repeat = 1;
     bool show_status = false;
+    std::uint64_t connect_timeout_ms = 0;
+    std::uint64_t retries = 0;
+    bool retry_posts = false;
+    double deadline_ms = 0.0;
 
     CliParser parser("bwwall_client",
                      "send model queries to a running bwwalld");
@@ -53,6 +57,21 @@ main(int argc, char **argv)
                      "response");
     parser.addFlag("--status", &show_status,
                    "print the HTTP status before the body");
+    parser.addOption("--connect-timeout-ms", &connect_timeout_ms,
+                     "MS",
+                     "bound connect() instead of hanging on an "
+                     "unreachable server (0 = OS default)");
+    parser.addOption("--retries", &retries, "N",
+                     "retry transport failures and 503/429 sheds "
+                     "up to N times with backoff");
+    parser.addFlag("--retry-posts", &retry_posts,
+                   "with --retries: also resend POSTs after "
+                   "transport errors (only safe when the request "
+                   "is idempotent)");
+    parser.addOption("--deadline-ms", &deadline_ms, "MS",
+                     "total deadline across retries, propagated to "
+                     "the server as X-BWWall-Deadline-Ms (0 = "
+                     "none)");
     parser.parseOrExit(argc, argv);
 
     if (port == 0 || port > 65535)
@@ -73,14 +92,21 @@ main(int argc, char **argv)
     }
 
     HttpClient client(host, static_cast<std::uint16_t>(port));
+    client.setConnectTimeoutMs(
+        static_cast<unsigned>(connect_timeout_ms));
+    HttpRetryPolicy policy;
+    policy.maxAttempts = static_cast<unsigned>(retries) + 1;
+    policy.retryPosts = retry_posts;
+    policy.totalDeadlineMs = deadline_ms;
+    client.setRetryPolicy(policy);
+
+    const std::string method = use_get ? "GET" : "POST";
     HttpClientResponse response;
     std::string error;
     for (std::uint64_t i = 0; i < repeat; ++i) {
-        bool ok = use_get
-                      ? client.get(path, &response, &error)
-                      : client.post(path, body, &response,
-                                    &error);
-        if (!ok)
+        if (!client.requestWithRetry(method, path, {},
+                                     use_get ? "" : body,
+                                     &response, &error))
             fatal("request failed: ", error);
     }
 

@@ -20,6 +20,7 @@
 
 #include "server/server.hh"
 #include "util/cli.hh"
+#include "util/fault.hh"
 #include "util/logging.hh"
 #include "util/metrics.hh"
 
@@ -34,10 +35,14 @@ main(int argc, char **argv)
     std::uint64_t cache_mb = 64;
     std::uint64_t shards = 16;
     double ttl_seconds = 0.0;
+    double stale_seconds = 0.0;
     std::uint64_t deadline_ms = 10000;
     std::uint64_t idle_timeout_ms = 5000;
     std::uint64_t max_inflight = 256;
     std::uint64_t max_body_kib = 1024;
+    double shed_p99_ms = 0.0;
+    bool degrade = false;
+    std::string faults;
     std::string metrics_json;
     bool log_requests = false;
     bool trace = false;
@@ -59,6 +64,9 @@ main(int argc, char **argv)
                      "result-cache shards");
     parser.addOption("--ttl-seconds", &ttl_seconds, "S",
                      "result-cache TTL (0 = never expires)");
+    parser.addOption("--stale-seconds", &stale_seconds, "S",
+                     "serve expired entries this long while one "
+                     "request revalidates (0 = off)");
     parser.addOption("--deadline-ms", &deadline_ms, "MS",
                      "per-request deadline (0 = none)");
     parser.addOption("--idle-timeout-ms", &idle_timeout_ms, "MS",
@@ -68,6 +76,16 @@ main(int argc, char **argv)
                      "(0 = unlimited)");
     parser.addOption("--max-body-kib", &max_body_kib, "KIB",
                      "largest accepted request body");
+    parser.addOption("--shed-p99-ms", &shed_p99_ms, "MS",
+                     "shed sweeps once the recent p99 latency "
+                     "exceeds this (0 = off)");
+    parser.addFlag("--degrade", &degrade,
+                   "serve pressed sweeps at reduced resolution "
+                   "instead of shedding them");
+    parser.addOption("--faults", &faults, "PLAN",
+                     "deterministic fault-injection plan, e.g. "
+                     "'seed=7;http.read=prob:0.01' (also via "
+                     "BWWALL_FAULTS)");
     parser.addOption("--metrics-json", &metrics_json, "FILE",
                      "flush the metrics registry here on exit");
     parser.addFlag("--log-requests", &log_requests,
@@ -90,11 +108,14 @@ main(int argc, char **argv)
         static_cast<std::size_t>(cache_mb) << 20;
     config.cacheShards = static_cast<std::size_t>(shards);
     config.cacheTtlSeconds = ttl_seconds;
+    config.cacheStaleSeconds = stale_seconds;
     config.deadlineMs = static_cast<unsigned>(deadline_ms);
     config.idleTimeoutMs = static_cast<unsigned>(idle_timeout_ms);
     config.maxInflight = static_cast<unsigned>(max_inflight);
     config.maxBodyBytes =
         static_cast<std::size_t>(max_body_kib) << 10;
+    config.shedP99Ms = shed_p99_ms;
+    config.degradeSweeps = degrade;
     config.logRequests = log_requests;
     config.trace = trace || trace_all || !trace_out.empty();
     config.traceAll = trace_all;
@@ -108,6 +129,18 @@ main(int argc, char **argv)
     pthread_sigmask(SIG_BLOCK, &signals, nullptr);
 
     BwwallServer server(config);
+    // Arm fault injection before any request can hit a point;
+    // --faults wins over the BWWALL_FAULTS environment variable.
+    if (!faults.empty()) {
+        FaultConfig fault_config;
+        std::string fault_error;
+        if (!parseFaultConfig(faults, &fault_config, &fault_error))
+            parser.usageError("--faults: " + fault_error);
+        installFaults(fault_config, &server.metrics());
+        inform("fault injection armed: ", faults);
+    } else if (installFaultsFromEnv(&server.metrics())) {
+        inform("fault injection armed from BWWALL_FAULTS");
+    }
     server.start();
     // Machine-readable port line for scripts driving --port 0.
     std::cout << "bwwalld listening on " << config.bindAddress
@@ -119,6 +152,7 @@ main(int argc, char **argv)
            signal_number == SIGTERM ? "SIGTERM" : "SIGINT",
            "; draining");
     server.stop();
+    uninstallFaults();
     if (!metrics_json.empty())
         server.metrics().writeJsonFile(metrics_json);
     if (!trace_out.empty() && server.traceRecorder() != nullptr) {

@@ -27,6 +27,7 @@
 #include "trace/profiles.hh"
 #include "trace/trace_io.hh"
 #include "util/cli.hh"
+#include "util/error.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
 #include "util/units.hh"
@@ -151,7 +152,14 @@ main(int argc, char **argv)
     // Build the reference stream.
     std::unique_ptr<TraceSource> trace;
     if (!trace_path.empty()) {
-        trace = std::make_unique<FileTraceSource>(trace_path, true);
+        // Structured loading: a truncated, corrupt, or missing
+        // trace is a one-line classified error and exit 1, not an
+        // abort deep inside the replay loop.
+        Expected<TraceFileData> loaded = readTraceFile(trace_path);
+        if (!loaded.ok())
+            return failWithError("cachesim_cli", loaded.error());
+        trace = std::make_unique<FileTraceSource>(
+            std::move(loaded.value()), trace_path, true);
     } else {
         bool found = false;
         for (const WorkloadProfileSpec &spec : figure1Profiles()) {

@@ -47,6 +47,7 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <set>
 #include <string>
 
 #include "bwwall.hh" // umbrella header: the whole public API
@@ -105,7 +106,71 @@ main(int argc, char **argv)
     parser.addOption("--json", &json_path, "FILE",
                      "write the run's metrics registry as JSON");
     parser.parseOrExit(argc, argv);
-    const ConfigFile config = ConfigFile::parseFile(config_path);
+
+    // Unreadable or malformed files are one structured line and
+    // exit 1, never a stack trace.
+    Expected<ConfigFile> parsed =
+        ConfigFile::tryParseFile(config_path);
+    if (!parsed.ok())
+        return failWithError("experiment_runner", parsed.error());
+    const ConfigFile config = parsed.value();
+
+    // Reject typos and contradictions instead of silently ignoring
+    // them: every key must be known, and keys that only modify an
+    // absent section are mistakes worth stopping for.
+    static const std::set<std::string> known_keys = {
+        "alpha",          "scale",
+        "budget",         "generations",
+        "bandwidth_growth", "techniques",
+        "assume",         "throughput",
+        "stall_share",    "jobs",
+        "cache_profiles", "cache_kib",
+        "cache_warm",     "cache_accesses",
+        "cache_shards",   "curve_profiles",
+        "curve_kib",      "curve_estimator",
+        "curve_sample_rate", "curve_warm",
+        "curve_accesses", "curve_seed",
+    };
+    for (const std::string &key : config.keys()) {
+        if (known_keys.count(key) == 0) {
+            return failWithError(
+                "experiment_runner",
+                {ErrorCategory::InvalidInput,
+                 "unknown key '" + key + "' in '" + config_path +
+                     "'"});
+        }
+    }
+    const auto requireAnchor = [&](const char *key,
+                                   const char *anchor) {
+        if (!config.has(key) || config.has(anchor))
+            return 0;
+        return failWithError(
+            "experiment_runner",
+            {ErrorCategory::InvalidInput,
+             std::string("'") + key + "' only applies with '" +
+                 anchor + "', which '" + config_path +
+                 "' does not set"});
+    };
+    for (const char *key :
+         {"cache_kib", "cache_warm", "cache_accesses",
+          "cache_shards"}) {
+        if (requireAnchor(key, "cache_profiles") != 0)
+            return EXIT_FAILURE;
+    }
+    for (const char *key :
+         {"curve_kib", "curve_estimator", "curve_sample_rate",
+          "curve_warm", "curve_accesses", "curve_seed"}) {
+        if (requireAnchor(key, "curve_profiles") != 0)
+            return EXIT_FAILURE;
+    }
+    if (config.has("stall_share") &&
+        !config.getBool("throughput", false)) {
+        return failWithError(
+            "experiment_runner",
+            {ErrorCategory::InvalidInput,
+             "'stall_share' only applies with 'throughput = "
+             "true'"});
+    }
 
     const double alpha = config.getDouble("alpha", 0.5);
     const double scale = config.getDouble("scale", 2.0);

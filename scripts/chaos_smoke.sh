@@ -1,0 +1,186 @@
+#!/usr/bin/env bash
+# Chaos smoke test for bwwalld under deterministic fault injection.
+#
+# Usage: scripts/chaos_smoke.sh BWWALLD_BINARY [CLIENT_BINARY]
+#
+# Starts the daemon with --faults arming every wired fault point at
+# >= 1 % (plus overload control, stale serving, and sweep
+# degradation), hammers it with a mixed curl workload, and asserts
+# the robustness contract: the process never crashes, every response
+# carries a deliberate status (200/400/424/500/503/504 — nothing
+# else), no request hangs, every armed fault point actually fired,
+# and metrics stay coherent.  Finally SIGTERMs the daemon and
+# requires a clean drain (exit 0).  CI runs this against an
+# AddressSanitizer build.
+set -euo pipefail
+
+bwwalld="${1:?usage: chaos_smoke.sh BWWALLD_BINARY [CLIENT_BINARY]}"
+client="${2:-}"
+
+work=$(mktemp -d)
+server_pid=""
+cleanup() {
+    if [ -n "$server_pid" ] && kill -0 "$server_pid" 2>/dev/null; then
+        kill -9 "$server_pid" 2>/dev/null || true
+    fi
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "FAIL: $*" >&2
+    echo "--- server log ---" >&2
+    cat "$work/server.log" >&2 || true
+    exit 1
+}
+
+# Every fault point wired into the serving path, each at >= 1 %.
+# (trace.read/trace.write/mem.event_dispatch are wired in library
+# code the daemon does not execute; their unit tests cover them.)
+plan='seed=7'
+plan="$plan;http.read=prob:0.02"
+plan="$plan;http.write=prob:0.01"
+plan="$plan;http.write.short=prob:0.05"
+plan="$plan;server.accept=prob:0.02"
+plan="$plan;cache.compute=prob:0.05"
+plan="$plan;model.solve=prob:0.05"
+
+"$bwwalld" --port 0 --threads 4 --ttl-seconds 0.2 \
+    --stale-seconds 30 --shed-p99-ms 250 --degrade \
+    --faults "$plan" \
+    --metrics-json "$work/final_metrics.json" \
+    >"$work/server.out" 2>"$work/server.log" &
+server_pid=$!
+
+port=""
+for _ in $(seq 1 100); do
+    if ! kill -0 "$server_pid" 2>/dev/null; then
+        fail "server exited before binding"
+    fi
+    port=$(sed -n 's/^bwwalld listening on .*:\([0-9]*\)$/\1/p' \
+        "$work/server.out" | head -n1)
+    [ -n "$port" ] && break
+    sleep 0.1
+done
+[ -n "$port" ] || fail "could not parse the listening port"
+base="http://127.0.0.1:$port"
+echo "== chaos bwwalld up on port $port (plan: $plan)"
+
+# --- the storm --------------------------------------------------------
+# A mixed workload; every curl has a hard timeout so a hung
+# connection fails the run instead of wedging it.  Injected faults
+# make individual requests fail (dropped connections read as curl
+# exit != 0 — expected); what must hold is that every *status* the
+# server does send is deliberate.
+rounds=60
+: >"$work/statuses.txt"
+for i in $(seq 1 "$rounds"); do
+    # Distinct bodies each round so most requests miss the cache and
+    # exercise the compute-side fault points (cache.compute,
+    # model.solve); round 1's bodies repeat so hits and stale serves
+    # happen too.
+    n=$((i % 30))
+    solve="{\"alpha\":0.5,\"total_ceas\":$((32 + n))}"
+    traffic="{\"cores\":$((8 + n)),\"alpha\":0.5,\"total_ceas\":32}"
+    sweep="{\"kind\":\"scaling\",\"generations\":$((2 + n % 4))}"
+    pids=()
+    for spec in "/v1/solve $solve" "/v1/traffic $traffic" \
+        "/v1/sweep $sweep" "/healthz"; do
+        (
+            path=${spec%% *}
+            body=${spec#* }
+            if [ "$path" = "$spec" ]; then
+                curl -s -o /dev/null -m 10 -w '%{http_code}\n' \
+                    "$base$path" >>"$work/statuses.txt" || true
+            else
+                curl -s -o /dev/null -m 10 -w '%{http_code}\n' \
+                    -X POST -d "$body" "$base$path" \
+                    >>"$work/statuses.txt" || true
+            fi
+        ) &
+        pids+=($!)
+    done
+    wait "${pids[@]}"
+done
+
+kill -0 "$server_pid" || fail "server crashed during the storm"
+total=$(wc -l <"$work/statuses.txt")
+[ "$total" -ge $((rounds * 2)) ] ||
+    fail "only $total/$((rounds * 4)) requests produced a status"
+
+# curl prints 000 when the transport died (injected read/write/accept
+# faults); every real status must be a deliberate one.
+bad=$(grep -cvE '^(000|200|400|424|500|503|504)$' \
+    "$work/statuses.txt" || true)
+[ "$bad" -eq 0 ] || {
+    sort "$work/statuses.txt" | uniq -c >&2
+    fail "$bad responses had an unexpected status"
+}
+ok=$(grep -c '^200$' "$work/statuses.txt" || true)
+[ "$ok" -gt 0 ] || fail "no request succeeded under chaos"
+echo "== storm OK: $total statuses, $ok x 200, 0 unexpected"
+
+# --- liveness after the storm -----------------------------------------
+# The server must still serve cleanly (faults are probabilistic, so
+# allow a few tries).
+alive=""
+for _ in $(seq 1 20); do
+    if [ "$(curl -s -m 5 -o /dev/null -w '%{http_code}' \
+        "$base/healthz")" = 200 ]; then
+        alive=yes
+        break
+    fi
+done
+[ -n "$alive" ] || fail "server unresponsive after the storm"
+
+# --- metrics coherence ------------------------------------------------
+curl -s -m 10 "$base/metrics?format=json" >"$work/metrics.json" ||
+    fail "/metrics unreachable after the storm"
+metrics_value() {
+    python3 - "$1" "$2" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+print(report.get("counters", {}).get(sys.argv[2], 0))
+EOF
+}
+for point in http.read http.write http.write.short server.accept \
+    cache.compute model.solve; do
+    fired=$(metrics_value "$work/metrics.json" \
+        "faults.fired.$point")
+    [ "$fired" -gt 0 ] ||
+        fail "armed fault point '$point' never fired"
+done
+echo "== every armed fault point fired"
+
+requests=$(metrics_value "$work/metrics.json" server.requests)
+errors=$(metrics_value "$work/metrics.json" server.handler_errors)
+[ "$requests" -gt 0 ] || fail "server.requests is zero"
+[ "$errors" -gt 0 ] ||
+    fail "no handler errors despite injected compute faults"
+[ "$errors" -le "$requests" ] ||
+    fail "handler_errors ($errors) exceeds requests ($requests)"
+
+# --- retrying client rides out the chaos ------------------------------
+if [ -n "$client" ]; then
+    "$client" --port "$port" --path /v1/traffic --body "$traffic" \
+        --retries 8 --retry-posts --deadline-ms 20000 \
+        >"$work/client.json" ||
+        fail "retrying bwwall_client failed under chaos"
+    grep -q '"relative_traffic"' "$work/client.json" ||
+        fail "client response malformed"
+    echo "== retrying bwwall_client OK"
+fi
+
+# --- graceful drain under chaos ---------------------------------------
+kill -TERM "$server_pid"
+drain_status=0
+wait "$server_pid" || drain_status=$?
+[ "$drain_status" -eq 0 ] || fail "drain exited $drain_status, want 0"
+server_pid=""
+[ -s "$work/final_metrics.json" ] ||
+    fail "--metrics-json was not written on drain"
+python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
+    "$work/final_metrics.json" || fail "final metrics are not JSON"
+echo "== graceful drain OK"
+echo "chaos smoke: all checks passed"

@@ -17,7 +17,7 @@
 
 // Library version.
 #define BWWALL_VERSION_MAJOR 1
-#define BWWALL_VERSION_MINOR 2
+#define BWWALL_VERSION_MINOR 3
 #define BWWALL_VERSION_PATCH 0
 
 #include "cache/coherent_system.hh"
@@ -51,6 +51,7 @@
 #include "server/http_client.hh"
 #include "server/json.hh"
 #include "server/model_service.hh"
+#include "server/overload.hh"
 #include "server/result_cache.hh"
 #include "server/server.hh"
 #include "trace/power_law_trace.hh"
@@ -65,6 +66,8 @@
 #include "util/cli.hh"
 #include "util/config.hh"
 #include "util/distributions.hh"
+#include "util/error.hh"
+#include "util/fault.hh"
 #include "util/linear_fit.hh"
 #include "util/metrics.hh"
 #include "util/rng.hh"

@@ -1,5 +1,7 @@
 #include "mem/event_queue.hh"
 
+#include "util/error.hh"
+#include "util/fault.hh"
 #include "util/logging.hh"
 
 namespace bwwall {
@@ -29,6 +31,13 @@ EventQueue::runOne()
     Event event = events_.top();
     events_.pop();
     now_ = event.when;
+    // The event is consumed (popped, clock advanced) but its work is
+    // lost — the chaos harness's model of a dropped timer interrupt.
+    if (FAULT_POINT("mem.event_dispatch")) {
+        throw Errored(ErrorCategory::Faulted,
+                      "injected fault 'mem.event_dispatch' at tick " +
+                          std::to_string(event.when));
+    }
     event.callback();
     return true;
 }

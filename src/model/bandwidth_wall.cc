@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "model/power_law.hh"
+#include "util/fault.hh"
 #include "util/logging.hh"
 
 namespace bwwall {
@@ -25,6 +26,61 @@ validateScenario(const ScalingScenario &scenario)
 }
 
 } // namespace
+
+std::optional<Error>
+scenarioError(const ScalingScenario &scenario)
+{
+    if (!std::isfinite(scenario.alpha) ||
+        !std::isfinite(scenario.totalCeas) ||
+        !std::isfinite(scenario.trafficBudget) ||
+        !std::isfinite(scenario.baseline.totalCeas) ||
+        !std::isfinite(scenario.baseline.coreCeas)) {
+        return Error{ErrorCategory::NonFinite,
+                     "scenario contains a non-finite field"};
+    }
+    if (scenario.baseline.totalCeas <= 0.0)
+        return Error{ErrorCategory::InvalidInput,
+                     "baseline requires a positive die area"};
+    if (scenario.baseline.coreCeas <= 0.0)
+        return Error{ErrorCategory::InvalidInput,
+                     "baseline requires a positive core area"};
+    if (scenario.baseline.cacheCeas() < 0.0)
+        return Error{ErrorCategory::InvalidInput,
+                     "baseline core area exceeds the die"};
+    if (scenario.alpha <= 0.0)
+        return Error{ErrorCategory::InvalidInput,
+                     "scenario requires alpha > 0"};
+    if (scenario.totalCeas <= 0.0)
+        return Error{ErrorCategory::InvalidInput,
+                     "scenario requires a positive die area"};
+    if (scenario.trafficBudget <= 0.0)
+        return Error{ErrorCategory::InvalidInput,
+                     "scenario requires a positive traffic budget"};
+    return std::nullopt;
+}
+
+Expected<SolveResult>
+trySolveSupportableCores(const ScalingScenario &scenario)
+{
+    if (std::optional<Error> bad = scenarioError(scenario))
+        return *bad;
+    if (FAULT_POINT("model.solve")) {
+        return Error{ErrorCategory::NonConvergence,
+                     "solver failed to converge (injected fault "
+                     "'model.solve')"};
+    }
+    SolveResult result = solveSupportableCores(scenario);
+    const bool inconsistent = result.supportableCores > 0 &&
+        (!std::isfinite(result.trafficAtSolution) ||
+         !std::isfinite(result.fractionalCores) ||
+         result.trafficAtSolution >
+             scenario.trafficBudget * (1.0 + 1e-9));
+    if (inconsistent) {
+        return Error{ErrorCategory::NonConvergence,
+                     "solver produced an inconsistent solution"};
+    }
+    return result;
+}
 
 double
 relativeTraffic(const ScalingScenario &scenario, double cores)

@@ -8,10 +8,12 @@
 #ifndef BWWALL_MODEL_BANDWIDTH_WALL_HH
 #define BWWALL_MODEL_BANDWIDTH_WALL_HH
 
+#include <optional>
 #include <vector>
 
 #include "model/cmp_config.hh"
 #include "model/technique.hh"
+#include "util/error.hh"
 
 namespace bwwall {
 
@@ -68,6 +70,24 @@ struct SolveResult
  * Uses the monotonicity of M2/M1 in the core count.
  */
 SolveResult solveSupportableCores(const ScalingScenario &scenario);
+
+/**
+ * Classifies a bad scenario without terminating: non-finite fields
+ * are NonFinite, range violations are InvalidInput, and a healthy
+ * scenario is nullopt.  The fatal() path (validateScenario inside
+ * the solvers) keeps its contract for CLI-style callers.
+ */
+std::optional<Error> scenarioError(const ScalingScenario &scenario);
+
+/**
+ * Non-fatal twin of solveSupportableCores() for servers and tools
+ * that must degrade instead of exiting: scenarioError() failures
+ * come back as Expected errors, and a solver that produces a
+ * non-finite or budget-violating solution (or an injected
+ * FAULT_POINT("model.solve") firing) reports NonConvergence.
+ */
+Expected<SolveResult>
+trySolveSupportableCores(const ScalingScenario &scenario);
 
 /** Largest physically placeable core count for the scenario. */
 double maxPlaceableCores(const ScalingScenario &scenario);

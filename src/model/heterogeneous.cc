@@ -98,6 +98,64 @@ heterogeneousTraffic(const HeterogeneousScenario &scenario,
            effects.directFactor;
 }
 
+Expected<HeterogeneousResult>
+trySolveHeterogeneous(const HeterogeneousScenario &scenario)
+{
+    if (!std::isfinite(scenario.alpha) ||
+        !std::isfinite(scenario.totalCeas) ||
+        !std::isfinite(scenario.trafficBudget) ||
+        !std::isfinite(scenario.baseline.totalCeas) ||
+        !std::isfinite(scenario.baseline.coreCeas)) {
+        return Error{ErrorCategory::NonFinite,
+                     "heterogeneous scenario contains a non-finite "
+                     "field"};
+    }
+    if (scenario.baseline.totalCeas <= 0.0 ||
+        scenario.baseline.coreCeas <= 0.0 ||
+        scenario.baseline.cacheCeas() < 0.0) {
+        return Error{ErrorCategory::InvalidInput,
+                     "heterogeneous scenario baseline is invalid"};
+    }
+    if (scenario.alpha <= 0.0 || scenario.totalCeas <= 0.0 ||
+        scenario.trafficBudget <= 0.0) {
+        return Error{ErrorCategory::InvalidInput,
+                     "heterogeneous scenario requires positive "
+                     "alpha, die area, and budget"};
+    }
+    for (const CoreClass *core_class :
+         {&scenario.big, &scenario.little}) {
+        if (!std::isfinite(core_class->areaCeas) ||
+            !std::isfinite(core_class->performance) ||
+            !std::isfinite(core_class->trafficRate)) {
+            return Error{ErrorCategory::NonFinite,
+                         "core class '" + core_class->name +
+                             "' contains a non-finite field"};
+        }
+        if (core_class->areaCeas <= 0.0 ||
+            core_class->performance <= 0.0 ||
+            core_class->trafficRate <= 0.0) {
+            return Error{ErrorCategory::InvalidInput,
+                         "core class '" + core_class->name +
+                             "' requires positive area, "
+                             "performance, and traffic rate"};
+        }
+    }
+    if (combineEffects(scenario.techniques).sharedFraction >= 0.0) {
+        return Error{ErrorCategory::InvalidInput,
+                     "data sharing is not supported in the "
+                     "heterogeneous extension"};
+    }
+    HeterogeneousResult result = solveHeterogeneous(scenario);
+    if (result.bigCores + result.littleCores > 0 &&
+        (!std::isfinite(result.throughput) ||
+         !std::isfinite(result.traffic))) {
+        return Error{ErrorCategory::NonConvergence,
+                     "heterogeneous search produced a non-finite "
+                     "optimum"};
+    }
+    return result;
+}
+
 HeterogeneousResult
 solveHeterogeneous(const HeterogeneousScenario &scenario)
 {

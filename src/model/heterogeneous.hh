@@ -22,6 +22,7 @@
 
 #include "model/cmp_config.hh"
 #include "model/technique.hh"
+#include "util/error.hh"
 
 namespace bwwall {
 
@@ -101,6 +102,15 @@ struct HeterogeneousResult
  */
 HeterogeneousResult solveHeterogeneous(
     const HeterogeneousScenario &scenario);
+
+/**
+ * Non-fatal twin of solveHeterogeneous(): non-finite fields are
+ * NonFinite; range violations, and the unsupported data-sharing
+ * technique, are InvalidInput; a search ending on a non-finite
+ * optimum is NonConvergence.
+ */
+Expected<HeterogeneousResult>
+trySolveHeterogeneous(const HeterogeneousScenario &scenario);
 
 } // namespace bwwall
 

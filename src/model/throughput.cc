@@ -89,6 +89,32 @@ solveThroughputOptimal(const ScalingScenario &scenario,
     return solveImpl(scenario, params, true);
 }
 
+Expected<ThroughputSolveResult>
+trySolveThroughputOptimal(const ScalingScenario &scenario,
+                          const ThroughputModelParams &params)
+{
+    if (std::optional<Error> bad = scenarioError(scenario))
+        return *bad;
+    if (!std::isfinite(params.memoryStallShare)) {
+        return Error{ErrorCategory::NonFinite,
+                     "memory stall share is not finite"};
+    }
+    if (params.memoryStallShare < 0.0 ||
+        params.memoryStallShare >= 1.0) {
+        return Error{ErrorCategory::InvalidInput,
+                     "memory stall share must be in [0, 1)"};
+    }
+    ThroughputSolveResult result =
+        solveImpl(scenario, params, true);
+    if (result.cores > 0 && (!std::isfinite(result.throughput) ||
+                             !std::isfinite(result.traffic))) {
+        return Error{ErrorCategory::NonConvergence,
+                     "throughput search produced a non-finite "
+                     "optimum"};
+    }
+    return result;
+}
+
 ThroughputSolveResult
 solveThroughputUnconstrained(const ScalingScenario &scenario,
                              const ThroughputModelParams &params)

@@ -65,6 +65,16 @@ ThroughputSolveResult solveThroughputOptimal(
     const ThroughputModelParams &params);
 
 /**
+ * Non-fatal twin of solveThroughputOptimal(): scenario problems are
+ * classified by scenarioError(), a non-finite or out-of-range stall
+ * share is NonFinite/InvalidInput, and a search that ends on a
+ * non-finite throughput is NonConvergence.
+ */
+Expected<ThroughputSolveResult>
+trySolveThroughputOptimal(const ScalingScenario &scenario,
+                          const ThroughputModelParams &params);
+
+/**
  * The same maximisation with the traffic budget ignored — what the
  * chip could do if bandwidth were free.  Comparing against the
  * constrained result prices the wall in throughput terms.

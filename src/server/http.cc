@@ -9,6 +9,7 @@
 #include <cstdlib>
 
 #include "server/json.hh"
+#include "util/fault.hh"
 
 namespace bwwall {
 
@@ -62,6 +63,9 @@ nextLine(const std::string &head, std::size_t *cursor,
 HttpConnection::Fill
 HttpConnection::fillMore()
 {
+    // The chaos harness's short read / peer reset.
+    if (FAULT_POINT("http.read"))
+        return Fill::Error;
     char chunk[kReadChunk];
     while (true) {
         const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
@@ -218,14 +222,29 @@ HttpConnection::writeResponse(const HttpResponse &response)
     wire += std::to_string(response.body.size());
     wire += "\r\nConnection: ";
     wire += response.close ? "close" : "keep-alive";
+    for (const auto &[name, value] : response.headers) {
+        wire += "\r\n";
+        wire += name;
+        wire += ": ";
+        wire += value;
+    }
     wire += "\r\n\r\n";
     wire += response.body;
+
+    // The chaos harness's peer reset mid-response.
+    if (FAULT_POINT("http.write"))
+        return false;
 
     const char *data = wire.data();
     std::size_t remaining = wire.size();
     while (remaining > 0) {
+        // A firing "http.write.short" caps this send at one byte,
+        // forcing the loop through its partial-write continuation —
+        // exactly what a full socket buffer does.
+        const std::size_t chunk =
+            FAULT_POINT("http.write.short") ? 1 : remaining;
         const ssize_t wrote =
-            ::send(fd_, data, remaining, MSG_NOSIGNAL);
+            ::send(fd_, data, chunk, MSG_NOSIGNAL);
         if (wrote < 0) {
             if (errno == EINTR)
                 continue;
@@ -253,10 +272,18 @@ httpStatusText(int status)
         return "Request Timeout";
       case 413:
         return "Payload Too Large";
+      case 422:
+        return "Unprocessable Content";
+      case 424:
+        return "Failed Dependency";
+      case 429:
+        return "Too Many Requests";
       case 500:
         return "Internal Server Error";
       case 501:
         return "Not Implemented";
+      case 502:
+        return "Bad Gateway";
       case 503:
         return "Service Unavailable";
       case 504:
@@ -271,6 +298,23 @@ httpErrorResponse(int status, const std::string &message)
 {
     JsonValue body = JsonValue::makeObject();
     body.set("error", JsonValue(message));
+    body.set("status", JsonValue(static_cast<double>(status)));
+    HttpResponse response;
+    response.status = status;
+    response.body = body.dump();
+    response.body += '\n';
+    return response;
+}
+
+HttpResponse
+httpErrorResponseFor(const Error &error)
+{
+    const int status = httpStatusFor(error.category);
+    JsonValue body = JsonValue::makeObject();
+    body.set("error", JsonValue(error.message));
+    body.set("category",
+             JsonValue(std::string(
+                 errorCategoryName(error.category))));
     body.set("status", JsonValue(static_cast<double>(status)));
     HttpResponse response;
     response.status = status;

@@ -19,6 +19,8 @@
 #include <map>
 #include <string>
 
+#include "util/error.hh"
+
 namespace bwwall {
 
 /** One parsed request. */
@@ -42,6 +44,12 @@ struct HttpResponse
     int status = 200;
     std::string contentType = "application/json";
     std::string body;
+
+    /**
+     * Extra response headers (Retry-After, X-BWWall-Stale, ...),
+     * serialized verbatim after the framing headers.
+     */
+    std::map<std::string, std::string> headers;
 
     /** Send "Connection: close" and stop serving the connection. */
     bool close = false;
@@ -109,6 +117,14 @@ const char *httpStatusText(int status);
 /** A canned {"error": message} JSON response. */
 HttpResponse httpErrorResponse(int status,
                                const std::string &message);
+
+/**
+ * The taxonomy rendering of an Error: status from httpStatusFor()
+ * and a {"error", "category", "status"} JSON body, so every
+ * classified failure looks the same on the wire (docs/SERVER.md
+ * tabulates the mapping).
+ */
+HttpResponse httpErrorResponseFor(const Error &error);
 
 } // namespace bwwall
 

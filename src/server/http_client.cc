@@ -1,13 +1,19 @@
 #include "server/http_client.hh"
 
+#include <fcntl.h>
 #include <netdb.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/types.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
 namespace bwwall {
 
@@ -53,6 +59,57 @@ HttpClient::disconnect()
 }
 
 bool
+HttpClient::connectOne(int fd, const void *address,
+                       unsigned addressLen, std::string *failure)
+{
+    const sockaddr *addr =
+        static_cast<const sockaddr *>(address);
+    const socklen_t len = static_cast<socklen_t>(addressLen);
+    if (connectTimeoutMs_ == 0) {
+        if (::connect(fd, addr, len) == 0)
+            return true;
+        *failure = std::strerror(errno);
+        return false;
+    }
+
+    // Bounded connect: go non-blocking, poll for writability, read
+    // the outcome from SO_ERROR, then restore blocking mode.
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+        *failure = std::strerror(errno);
+        return false;
+    }
+    bool ok = false;
+    if (::connect(fd, addr, len) == 0) {
+        ok = true;
+    } else if (errno != EINPROGRESS) {
+        *failure = std::strerror(errno);
+    } else {
+        pollfd pfd{fd, POLLOUT, 0};
+        const int ready =
+            ::poll(&pfd, 1, static_cast<int>(connectTimeoutMs_));
+        if (ready == 0) {
+            *failure = "timed out after " +
+                       std::to_string(connectTimeoutMs_) + " ms";
+        } else if (ready < 0) {
+            *failure = std::strerror(errno);
+        } else {
+            int soerror = 0;
+            socklen_t soerror_len = sizeof(soerror);
+            ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerror,
+                         &soerror_len);
+            if (soerror == 0)
+                ok = true;
+            else
+                *failure = std::strerror(soerror);
+        }
+    }
+    if (ok)
+        ::fcntl(fd, F_SETFL, flags);
+    return ok;
+}
+
+bool
 HttpClient::connect(std::string *error)
 {
     disconnect();
@@ -70,21 +127,20 @@ HttpClient::connect(std::string *error)
         return false;
     }
 
-    int last_errno = 0;
+    std::string failure = "no usable addresses";
     for (addrinfo *entry = results; entry;
          entry = entry->ai_next) {
         int fd = ::socket(entry->ai_family, entry->ai_socktype,
                           entry->ai_protocol);
         if (fd < 0) {
-            last_errno = errno;
+            failure = std::strerror(errno);
             continue;
         }
-        if (::connect(fd, entry->ai_addr, entry->ai_addrlen) ==
-            0) {
+        if (connectOne(fd, entry->ai_addr, entry->ai_addrlen,
+                       &failure)) {
             fd_ = fd;
             break;
         }
-        last_errno = errno;
         ::close(fd);
     }
     ::freeaddrinfo(results);
@@ -92,7 +148,7 @@ HttpClient::connect(std::string *error)
     if (fd_ < 0) {
         if (error) {
             *error = "connect " + host_ + ":" + service + ": " +
-                     std::strerror(last_errno);
+                     failure;
         }
         return false;
     }
@@ -251,6 +307,129 @@ HttpClient::request(
         return sendAll(wire, error) && readResponse(out, error);
     }
     return true;
+}
+
+namespace {
+
+/**
+ * Statuses the server sends before doing any work, so retrying is
+ * safe even for non-idempotent methods.
+ */
+bool
+refusedWithoutWork(int status)
+{
+    return status == 503 || status == 429;
+}
+
+} // namespace
+
+bool
+HttpClient::requestWithRetry(
+    const std::string &method, const std::string &target,
+    const std::map<std::string, std::string> &headers,
+    const std::string &body, HttpClientResponse *out,
+    std::string *error)
+{
+    const HttpRetryPolicy &policy = retryPolicy_;
+    const auto start = std::chrono::steady_clock::now();
+    if (jitterState_ == 0)
+        jitterState_ = policy.seed | 1;
+    const bool idempotent = method != "POST" || policy.retryPosts;
+    double backoff_ms = policy.initialBackoffMs;
+    std::string last_error;
+
+    for (unsigned attempt = 1;; ++attempt) {
+        std::map<std::string, std::string> attempt_headers =
+            headers;
+        if (policy.totalDeadlineMs > 0.0) {
+            const double elapsed_ms =
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            const double remaining =
+                policy.totalDeadlineMs - elapsed_ms;
+            if (remaining <= 0.0) {
+                if (error)
+                    *error = "deadline exhausted after " +
+                             std::to_string(attempt - 1) +
+                             " attempt(s): " + last_error;
+                return false;
+            }
+            attempt_headers["X-BWWall-Deadline-Ms"] =
+                std::to_string(std::max(
+                    1L, std::lround(remaining)));
+        }
+
+        std::string attempt_error;
+        const bool transported =
+            request(method, target, attempt_headers, body, out,
+                    &attempt_error);
+        if (transported && !refusedWithoutWork(out->status))
+            return true;
+
+        double retry_after_ms = 0.0;
+        if (transported) {
+            last_error =
+                "HTTP " + std::to_string(out->status) +
+                " from " + target;
+            const auto hint = out->headers.find("retry-after");
+            if (hint != out->headers.end())
+                retry_after_ms =
+                    std::atof(hint->second.c_str()) * 1000.0;
+        } else {
+            last_error = attempt_error;
+            if (!idempotent) {
+                // The connection died mid-exchange; the server may
+                // have processed this POST, so do not resend it.
+                if (error)
+                    *error = last_error +
+                             " (not retried: non-idempotent)";
+                return false;
+            }
+        }
+
+        if (attempt >= policy.maxAttempts ||
+            retriesUsed_ >= policy.budget) {
+            if (error) {
+                *error = last_error + " (after " +
+                         std::to_string(attempt) + " attempt" +
+                         (attempt == 1 ? "" : "s") +
+                         (retriesUsed_ >= policy.budget
+                              ? "; retry budget exhausted)"
+                              : ")");
+            }
+            return false;
+        }
+        ++retriesUsed_;
+
+        // Capped exponential backoff with deterministic jitter,
+        // stretched to any Retry-After hint (itself capped).
+        jitterState_ =
+            jitterState_ * 6364136223846793005ULL +
+            1442695040888963407ULL;
+        const double unit =
+            static_cast<double>(jitterState_ >> 11) * 0x1.0p-53;
+        double wait_ms =
+            std::min(backoff_ms, policy.maxBackoffMs) *
+            (1.0 + policy.jitter * (2.0 * unit - 1.0));
+        wait_ms = std::max(
+            wait_ms, std::min(retry_after_ms,
+                              policy.maxBackoffMs));
+        if (policy.totalDeadlineMs > 0.0) {
+            const double elapsed_ms =
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            wait_ms = std::min(
+                wait_ms, policy.totalDeadlineMs - elapsed_ms);
+        }
+        if (wait_ms > 0.0) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(
+                    wait_ms));
+        }
+        backoff_ms *= 2.0;
+    }
 }
 
 } // namespace bwwall

@@ -7,6 +7,15 @@
  * the daemon through the same code path.  Keep-alive by default:
  * one HttpClient is one TCP connection, reconnecting transparently
  * when the server (or a Connection: close response) drops it.
+ *
+ * Robustness knobs:
+ *  - setConnectTimeoutMs() bounds connect() (non-blocking connect +
+ *    poll) so an unreachable server fails fast instead of hanging
+ *    in the kernel's SYN retries;
+ *  - requestWithRetry() layers an idempotency-aware retry policy on
+ *    request(): capped exponential backoff with deterministic
+ *    jitter, a lifetime retry budget, Retry-After awareness, and a
+ *    total deadline the server sees via X-BWWall-Deadline-Ms.
  */
 
 #ifndef BWWALL_SERVER_HTTP_CLIENT_HH
@@ -25,6 +34,48 @@ struct HttpClientResponse
     /** Header fields, names lowercased. */
     std::map<std::string, std::string> headers;
     std::string body;
+};
+
+/** Tuning of HttpClient::requestWithRetry(). */
+struct HttpRetryPolicy
+{
+    /** Tries per request, the first included (1 = no retries). */
+    unsigned maxAttempts = 3;
+
+    /** Backoff before the first retry; doubles per attempt. */
+    double initialBackoffMs = 50.0;
+
+    /** Backoff cap (also caps honored Retry-After hints). */
+    double maxBackoffMs = 1000.0;
+
+    /** Jitter as a fraction of the backoff, in [0, 1]. */
+    double jitter = 0.2;
+
+    /** Deterministic jitter stream (clients are reproducible). */
+    std::uint64_t seed = 1;
+
+    /**
+     * Lifetime retry budget across all requests on this client: a
+     * struggling server gets at most this many extra requests, no
+     * matter how many callers retry.
+     */
+    unsigned budget = 16;
+
+    /**
+     * Retry POSTs after transport errors.  Off by default: a POST
+     * whose connection died mid-exchange may have been processed.
+     * (503/429 responses are always safe to retry — the server
+     * explicitly refused the work.)
+     */
+    bool retryPosts = false;
+
+    /**
+     * Total wall-clock deadline across attempts, milliseconds
+     * (0 = none).  The remaining budget rides along as the
+     * X-BWWall-Deadline-Ms request header, so the server's own
+     * deadline tightens to what the client will actually wait for.
+     */
+    double totalDeadlineMs = 0.0;
 };
 
 /** One keep-alive connection to an HTTP server. */
@@ -76,10 +127,38 @@ class HttpClient
         return request("POST", target, body, out, error);
     }
 
+    /**
+     * request() under the configured HttpRetryPolicy.  Returns
+     * false with *error set once the attempts, the budget, or the
+     * deadline are exhausted; *out then holds the last response if
+     * any attempt transported.
+     */
+    bool requestWithRetry(
+        const std::string &method, const std::string &target,
+        const std::map<std::string, std::string> &headers,
+        const std::string &body, HttpClientResponse *out,
+        std::string *error = nullptr);
+
+    /** Connect timeout, milliseconds (0 = the OS default). */
+    void setConnectTimeoutMs(unsigned ms)
+    {
+        connectTimeoutMs_ = ms;
+    }
+
+    void setRetryPolicy(const HttpRetryPolicy &policy)
+    {
+        retryPolicy_ = policy;
+    }
+
+    /** Retries consumed from the lifetime budget so far. */
+    unsigned retriesUsed() const { return retriesUsed_; }
+
     bool connected() const { return fd_ >= 0; }
 
   private:
     bool connect(std::string *error);
+    bool connectOne(int fd, const void *address,
+                    unsigned addressLen, std::string *failure);
     void disconnect();
     bool sendAll(const std::string &wire, std::string *error);
     bool readResponse(HttpClientResponse *out,
@@ -88,6 +167,10 @@ class HttpClient
     std::string host_;
     std::uint16_t port_;
     int fd_ = -1;
+    unsigned connectTimeoutMs_ = 0;
+    HttpRetryPolicy retryPolicy_;
+    unsigned retriesUsed_ = 0;
+    std::uint64_t jitterState_ = 0;
     std::string buffer_;
 };
 

@@ -1,5 +1,6 @@
 #include "server/model_service.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 #include <set>
@@ -10,6 +11,7 @@
 #include "model/bandwidth_wall.hh"
 #include "model/scaling_study.hh"
 #include "trace/profiles.hh"
+#include "util/error.hh"
 #include "util/units.hh"
 
 namespace bwwall {
@@ -319,7 +321,11 @@ handleSolve(const JsonValue &request)
 {
     requireKnownKeys(request, kScenarioKeys, "request");
     const ScalingScenario scenario = parseScenario(request);
-    const SolveResult result = solveSupportableCores(scenario);
+    Expected<SolveResult> solved =
+        trySolveSupportableCores(scenario);
+    if (!solved.ok())
+        throw Errored(solved.error());
+    const SolveResult result = solved.value();
 
     JsonValue payload = JsonValue::makeObject();
     payload.set("alpha", JsonValue(scenario.alpha));
@@ -514,6 +520,42 @@ canonicalCacheKey(const std::string &path,
                   const JsonValue &request)
 {
     return path + '\n' + request.dump();
+}
+
+bool
+degradeSweepRequest(JsonValue *request)
+{
+    if (request == nullptr || !request->isObject())
+        return false;
+    const JsonValue *kind_value = request->find("kind");
+    if (kind_value != nullptr && !kind_value->isString())
+        return false;
+    const std::string kind = kind_value == nullptr
+                                 ? "scaling"
+                                 : kind_value->asString();
+    bool changed = false;
+    const auto reduceNumber = [&](const char *key, double fallback,
+                                  double divisor, double floor) {
+        const JsonValue *value = request->find(key);
+        const double current =
+            value != nullptr && value->isNumber() ? value->asNumber()
+                                                  : fallback;
+        const double reduced = std::max(
+            floor, std::floor(current / divisor));
+        if (reduced < current) {
+            request->set(key, JsonValue(reduced));
+            changed = true;
+        }
+    };
+    if (kind == "miss_curve") {
+        // An eighth of the simulated accesses keeps the power-law
+        // fit usable while cutting compute by roughly 8x.
+        reduceNumber("accesses", 200000.0, 8.0, 1000.0);
+        reduceNumber("warm", 100000.0, 8.0, 0.0);
+    } else if (kind == "scaling" || kind == "figure15") {
+        reduceNumber("generations", 4.0, 2.0, 1.0);
+    }
+    return changed;
 }
 
 CachedResponse

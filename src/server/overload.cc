@@ -1,0 +1,157 @@
+#include "server/overload.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/metrics.hh"
+
+namespace bwwall {
+
+namespace {
+
+/** Inflight fraction beyond which expensive work is pressed. */
+constexpr double kExpensivePressure = 0.75;
+
+} // namespace
+
+OverloadController::OverloadController(OverloadConfig config,
+                                       MetricsRegistry *metrics)
+    : config_(config), metrics_(metrics)
+{
+    latencies_.resize(
+        std::max<std::size_t>(config_.latencyWindow, 1));
+}
+
+bool
+OverloadController::isExpensive(const std::string &path)
+{
+    return path == "/v1/sweep";
+}
+
+double
+OverloadController::p99Locked(Clock::time_point now) const
+{
+    std::vector<double> sorted;
+    sorted.reserve(latencyCount_);
+    const auto horizon =
+        std::chrono::duration<double>(
+            config_.latencyHorizonSeconds);
+    for (std::size_t i = 0; i < latencyCount_; ++i) {
+        const Sample &sample = latencies_[i];
+        if (now - sample.when <= horizon)
+            sorted.push_back(sample.seconds);
+    }
+    if (sorted.empty())
+        return 0.0;
+    std::sort(sorted.begin(), sorted.end());
+    // Nearest-rank p99, matching bench/perf_server's quantiles.
+    const std::size_t rank = static_cast<std::size_t>(
+        std::ceil(0.99 * static_cast<double>(sorted.size())));
+    return sorted[std::min(rank == 0 ? 0 : rank - 1,
+                           sorted.size() - 1)];
+}
+
+AdmitDecision
+OverloadController::admit(const std::string &path, unsigned inflight)
+{
+    const bool expensive = isExpensive(path);
+    std::lock_guard<std::mutex> lock(mutex_);
+
+    Breaker &breaker = breakers_[path];
+    if (breaker.open) {
+        const double since =
+            std::chrono::duration<double>(Clock::now() -
+                                          breaker.openedAt)
+                .count();
+        if (since >= config_.breakerCooldownSeconds &&
+            !breaker.probing) {
+            // Half-open: admit one probe; its outcome (observe())
+            // closes or re-opens the breaker.
+            breaker.probing = true;
+        } else {
+            return AdmitDecision::Shed;
+        }
+    }
+
+    const double pressure = config_.maxInflight == 0
+        ? 0.0
+        : static_cast<double>(inflight) /
+            static_cast<double>(config_.maxInflight);
+    const double p99 = p99Locked(Clock::now());
+    const bool latency_pressed =
+        config_.shedP99Seconds > 0.0 && p99 > config_.shedP99Seconds;
+    if (latency_pressed && p99 > 2.0 * config_.shedP99Seconds) {
+        // Far past the latency target: shed even cheap work.
+        return AdmitDecision::Shed;
+    }
+    if (expensive && (latency_pressed ||
+                      pressure >= kExpensivePressure)) {
+        return config_.degradeSweeps ? AdmitDecision::AdmitDegraded
+                                     : AdmitDecision::Shed;
+    }
+    if (expensive && config_.degradeSweeps &&
+        pressure >= config_.degradePressure) {
+        return AdmitDecision::AdmitDegraded;
+    }
+    return AdmitDecision::Admit;
+}
+
+void
+OverloadController::observe(const std::string &path, double seconds,
+                            bool failure)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    latencies_[latencyNext_] = {Clock::now(), seconds};
+    latencyNext_ = (latencyNext_ + 1) % latencies_.size();
+    latencyCount_ = std::min(latencyCount_ + 1, latencies_.size());
+
+    Breaker &breaker = breakers_[path];
+    if (failure) {
+        ++breaker.consecutiveFailures;
+        if (breaker.probing) {
+            // Failed probe: re-open for another cooldown.
+            breaker.probing = false;
+            breaker.openedAt = Clock::now();
+            if (metrics_ != nullptr)
+                metrics_->addCounter("server.breaker_reopened");
+        } else if (!breaker.open &&
+                   breaker.consecutiveFailures >=
+                       config_.breakerThreshold) {
+            breaker.open = true;
+            breaker.openedAt = Clock::now();
+            if (metrics_ != nullptr)
+                metrics_->addCounter("server.breaker_opened");
+        }
+    } else {
+        breaker.consecutiveFailures = 0;
+        if (breaker.open) {
+            breaker.open = false;
+            breaker.probing = false;
+            if (metrics_ != nullptr)
+                metrics_->addCounter("server.breaker_closed");
+        }
+    }
+}
+
+unsigned
+OverloadController::retryAfterSeconds() const
+{
+    return config_.retryAfterSeconds;
+}
+
+double
+OverloadController::recentP99Seconds() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return p99Locked(Clock::now());
+}
+
+bool
+OverloadController::breakerOpen(const std::string &path) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = breakers_.find(path);
+    return it != breakers_.end() && it->second.open;
+}
+
+} // namespace bwwall

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Admission control, per-endpoint breakers, and degradation policy.
+ *
+ * bwwalld's accept loop already sheds whole connections past
+ * --max-inflight; this controller adds the request-level layer that
+ * makes shedding *selective*: expensive endpoints (/v1/sweep) give
+ * way before cheap ones (/v1/traffic), a sliding-window p99 latency
+ * threshold sheds before queues grow unbounded, and a per-endpoint
+ * breaker stops hammering a handler that keeps failing.  Every shed
+ * is a 503 with a Retry-After hint; with degradation enabled, sweeps
+ * under pressure are admitted at reduced resolution instead of shed
+ * (the server marks them X-BWWall-Degraded).
+ *
+ * Decisions are deterministic functions of the observed history —
+ * no randomness — so a test can drive the breaker open and closed
+ * with a scripted request sequence.
+ */
+
+#ifndef BWWALL_SERVER_OVERLOAD_HH
+#define BWWALL_SERVER_OVERLOAD_HH
+
+#include <chrono>
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace bwwall {
+
+class MetricsRegistry;
+
+/** Tuning of the request-level overload policy. */
+struct OverloadConfig
+{
+    /** Mirrors ServerConfig::maxInflight (the 100 % pressure mark). */
+    unsigned maxInflight = 256;
+
+    /**
+     * Shed expensive endpoints once the recent p99 latency exceeds
+     * this many seconds (0 disables latency-based admission);
+     * everything sheds beyond twice this threshold.
+     */
+    double shedP99Seconds = 0.0;
+
+    /** Completions in the sliding latency window. */
+    std::size_t latencyWindow = 128;
+
+    /**
+     * Latency samples older than this many seconds stop counting
+     * toward the p99, so a full latency shed (which starves the
+     * window of new samples) clears itself instead of sticking
+     * forever.
+     */
+    double latencyHorizonSeconds = 1.0;
+
+    /** Consecutive 5xx responses that open an endpoint's breaker. */
+    unsigned breakerThreshold = 5;
+
+    /** Seconds an open breaker sheds before probing again. */
+    double breakerCooldownSeconds = 1.0;
+
+    /** The Retry-After hint attached to every shed response. */
+    unsigned retryAfterSeconds = 1;
+
+    /** Admit expensive work degraded (not shed) when pressed. */
+    bool degradeSweeps = false;
+
+    /**
+     * Inflight fraction of maxInflight beyond which admitted sweeps
+     * are degraded (with degradeSweeps; 0 degrades every sweep).
+     */
+    double degradePressure = 0.5;
+};
+
+/** What to do with one arriving model query. */
+enum class AdmitDecision
+{
+    Admit,         ///< serve normally
+    AdmitDegraded, ///< serve at reduced resolution (sweeps only)
+    Shed,          ///< 503 + Retry-After
+};
+
+/**
+ * The server consults admit() before dispatching each model query
+ * and reports every completion through observe(); both are cheap
+ * (one small critical section) relative to any model computation.
+ */
+class OverloadController
+{
+  public:
+    explicit OverloadController(OverloadConfig config,
+                                MetricsRegistry *metrics = nullptr);
+
+    /** /v1/sweep is the expensive endpoint class. */
+    static bool isExpensive(const std::string &path);
+
+    /**
+     * Decides one arriving request given the server's current
+     * inflight connection count.
+     */
+    AdmitDecision admit(const std::string &path, unsigned inflight);
+
+    /**
+     * Records one completed request: latency feeds the p99 window,
+     * and server-side failures (5xx) feed the endpoint's breaker.
+     */
+    void observe(const std::string &path, double seconds,
+                 bool failure);
+
+    /** The Retry-After value for shed responses, in seconds. */
+    unsigned retryAfterSeconds() const;
+
+    /** The p99 over the sliding window (0 until it has samples). */
+    double recentP99Seconds() const;
+
+    /** True while @p path's breaker sheds (tests/metrics). */
+    bool breakerOpen(const std::string &path) const;
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    struct Breaker
+    {
+        unsigned consecutiveFailures = 0;
+        bool open = false;
+        /** One probe is allowed through after the cooldown. */
+        bool probing = false;
+        Clock::time_point openedAt{};
+    };
+
+    struct Sample
+    {
+        Clock::time_point when{};
+        double seconds = 0.0;
+    };
+
+    double p99Locked(Clock::time_point now) const;
+
+    OverloadConfig config_;
+    MetricsRegistry *metrics_;
+    mutable std::mutex mutex_;
+    /** Ring buffer of recent request latencies. */
+    std::vector<Sample> latencies_;
+    std::size_t latencyNext_ = 0;
+    std::size_t latencyCount_ = 0;
+    std::map<std::string, Breaker> breakers_;
+};
+
+} // namespace bwwall
+
+#endif // BWWALL_SERVER_OVERLOAD_HH

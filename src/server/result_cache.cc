@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "trace/hashing.hh"
+#include "util/error.hh"
+#include "util/fault.hh"
 #include "util/metrics.hh"
 
 namespace bwwall {
@@ -44,6 +46,10 @@ ResultCache::ResultCache(const ResultCacheConfig &config,
     if (config.ttlSeconds > 0.0)
         ttl_ = std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::duration<double>(config.ttlSeconds));
+    if (config.staleSeconds > 0.0)
+        stale_ =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::duration<double>(config.staleSeconds));
     shards_.reserve(shards);
     for (std::size_t i = 0; i < shards; ++i)
         shards_.push_back(std::make_unique<Shard>());
@@ -73,6 +79,10 @@ ResultCache::insertLocked(
     const std::size_t bytes = entryBytes(key, *response);
     if (shardBudget_ == 0 || bytes > shardBudget_)
         return; // would never fit; serve uncached
+    // A revalidation replaces the stale entry it left in place.
+    const auto existing = shard.entries.find(key);
+    if (existing != shard.entries.end())
+        eraseLocked(shard, existing);
     while (shard.bytes + bytes > shardBudget_ &&
            !shard.lru.empty()) {
         const auto victim = shard.entries.find(shard.lru.back());
@@ -102,18 +112,37 @@ ResultCache::getOrCompute(const std::string &key,
         std::unique_lock<std::mutex> lock(shard.mutex);
         const auto it = shard.entries.find(key);
         if (it != shard.entries.end()) {
-            const bool expired = ttl_.count() > 0 &&
-                                 Clock::now() >= it->second.expiry;
+            const auto now = Clock::now();
+            const bool expired =
+                ttl_.count() > 0 && now >= it->second.expiry;
             if (!expired) {
                 shard.lru.splice(shard.lru.begin(), shard.lru,
                                  it->second.lruIt);
                 if (metrics_ != nullptr)
                     metrics_->addCounter("cache.hits");
-                return {it->second.response, true, false};
+                return {it->second.response, true, false, false};
             }
-            eraseLocked(shard, it);
-            if (metrics_ != nullptr)
-                metrics_->addCounter("cache.expired");
+            const bool within_stale =
+                stale_.count() > 0 &&
+                now < it->second.expiry + stale_;
+            if (!within_stale) {
+                eraseLocked(shard, it);
+                if (metrics_ != nullptr)
+                    metrics_->addCounter("cache.expired");
+            } else if (shard.flights.count(key) != 0) {
+                // A revalidation is already in flight: serve the
+                // expired entry instead of joining it.
+                shard.lru.splice(shard.lru.begin(), shard.lru,
+                                 it->second.lruIt);
+                if (metrics_ != nullptr)
+                    metrics_->addCounter("cache.stale_served");
+                return {it->second.response, true, false, true};
+            } else {
+                // This caller becomes the revalidating flight; the
+                // stale entry stays behind for concurrent callers.
+                if (metrics_ != nullptr)
+                    metrics_->addCounter("cache.revalidations");
+            }
         }
         // The thread that registers the flight owns the compute;
         // everyone else joins it and waits for the result.
@@ -143,6 +172,10 @@ ResultCache::getOrCompute(const std::string &key,
     std::shared_ptr<const CachedResponse> response;
     std::exception_ptr error;
     try {
+        if (FAULT_POINT("cache.compute")) {
+            throw Errored(ErrorCategory::Faulted,
+                          "injected fault 'cache.compute'");
+        }
         response =
             std::make_shared<const CachedResponse>(compute());
     } catch (...) {

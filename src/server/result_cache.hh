@@ -13,6 +13,15 @@
  *
  * Only status-200 responses are cached; errors are shared with the
  * waiters of the flight that produced them but never stored.
+ *
+ * Stale-while-revalidate: with a staleSeconds grace window, an entry
+ * past its TTL is not dropped immediately — the first caller to see
+ * it becomes the revalidating flight and recomputes, while
+ * concurrent callers are served the expired entry (Outcome.stale; the
+ * server adds an X-BWWall-Stale header) instead of piling onto the
+ * flight.  If the revalidation fails, the stale entry survives for
+ * the next attempt, so a transient compute fault degrades freshness
+ * instead of availability.
  */
 
 #ifndef BWWALL_SERVER_RESULT_CACHE_HH
@@ -55,6 +64,13 @@ struct ResultCacheConfig
 
     /** Seconds before an entry expires; 0 = never. */
     double ttlSeconds = 0.0;
+
+    /**
+     * Grace window after expiry during which a stale entry may
+     * still be served while one flight revalidates; 0 disables
+     * stale serving.  Only meaningful with a TTL.
+     */
+    double staleSeconds = 0.0;
 };
 
 /** Sharded LRU + TTL + single-flight response cache. */
@@ -81,6 +97,12 @@ class ResultCache
 
         /** Joined another request's in-flight computation. */
         bool sharedFlight = false;
+
+        /**
+         * Served an expired entry inside the stale window while a
+         * concurrent flight revalidates it.
+         */
+        bool stale = false;
     };
 
     /**
@@ -149,6 +171,7 @@ class ResultCache
 
     std::size_t shardBudget_ = 0;
     std::chrono::nanoseconds ttl_{0};
+    std::chrono::nanoseconds stale_{0};
     std::vector<std::unique_ptr<Shard>> shards_;
     MetricsRegistry *metrics_ = nullptr;
 };

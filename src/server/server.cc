@@ -8,11 +8,14 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <sstream>
 
 #include "server/json.hh"
 #include "server/model_service.hh"
+#include "util/fault.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 
@@ -60,8 +63,20 @@ BwwallServer::BwwallServer(ServerConfig config)
     cache_config.shardCount = config_.cacheShards;
     cache_config.maxBytes = config_.cacheBytes;
     cache_config.ttlSeconds = config_.cacheTtlSeconds;
+    cache_config.staleSeconds = config_.cacheStaleSeconds;
     cache_ = std::make_unique<ResultCache>(cache_config,
                                            &metrics_);
+    OverloadConfig overload_config;
+    overload_config.maxInflight = config_.maxInflight;
+    overload_config.shedP99Seconds = config_.shedP99Ms / 1000.0;
+    overload_config.breakerThreshold = config_.breakerThreshold;
+    overload_config.breakerCooldownSeconds =
+        config_.breakerCooldownSeconds;
+    overload_config.retryAfterSeconds = config_.retryAfterSeconds;
+    overload_config.degradeSweeps = config_.degradeSweeps;
+    overload_config.degradePressure = config_.degradePressure;
+    overload_ = std::make_unique<OverloadController>(
+        overload_config, &metrics_);
     if (config_.trace) {
         // Standby unless traceAll: only threads inside a
         // ScopedThreadTrace (the per-request opt-in) record.
@@ -154,6 +169,12 @@ BwwallServer::acceptLoop()
             continue;
         }
         metrics_.addCounter("server.connections");
+        // The chaos harness's client that vanishes between accept
+        // and service (connection reset at the doorstep).
+        if (FAULT_POINT("server.accept")) {
+            ::close(fd);
+            continue;
+        }
         setReceiveTimeout(fd, config_.idleTimeoutMs);
 
         // Admission control: shed beyond the in-flight limit with
@@ -167,6 +188,8 @@ BwwallServer::acceptLoop()
                 fd, {16u << 10, config_.maxBodyBytes});
             HttpResponse response = httpErrorResponse(
                 503, "server at capacity; retry later");
+            response.headers["Retry-After"] =
+                std::to_string(config_.retryAfterSeconds);
             response.close = true;
             connection.writeResponse(response);
             ::close(fd);
@@ -323,7 +346,8 @@ BwwallServer::handleMetrics(const HttpRequest &request) const
 
 HttpResponse
 BwwallServer::handleModelQuery(const HttpRequest &request,
-                               Clock::time_point received)
+                               Clock::time_point received,
+                               bool degraded)
 {
     JsonValue body;
     std::string parse_error;
@@ -336,15 +360,43 @@ BwwallServer::handleModelQuery(const HttpRequest &request,
                                   &body, &parse_error);
     }
     if (!parsed)
-        return httpErrorResponse(400,
-                                 "malformed JSON body: " +
-                                     parse_error);
+        return httpErrorResponseFor(
+            {ErrorCategory::InvalidInput,
+             "malformed JSON body: " + parse_error});
     if (!body.isObject())
-        return httpErrorResponse(
-            400, "request body must be a JSON object");
+        return httpErrorResponseFor(
+            {ErrorCategory::InvalidInput,
+             "request body must be a JSON object"});
 
-    const double deadline =
+    bool was_degraded = false;
+    if (degraded && request.path == "/v1/sweep") {
+        // The transformed body is also the cache key, so degraded
+        // and full-resolution answers never collide in the cache.
+        was_degraded = degradeSweepRequest(&body);
+        if (was_degraded)
+            metrics_.addCounter("server.degraded");
+    }
+
+    // The effective deadline is the stricter of the server's
+    // --deadline-ms and the client's X-BWWall-Deadline-Ms budget.
+    double deadline =
         static_cast<double>(config_.deadlineMs) / 1000.0;
+    bool has_deadline = config_.deadlineMs != 0;
+    const auto budget =
+        request.headers.find("x-bwwall-deadline-ms");
+    if (budget != request.headers.end()) {
+        char *end = nullptr;
+        const double client_ms =
+            std::strtod(budget->second.c_str(), &end);
+        if (end != nullptr && *end == '\0' &&
+            std::isfinite(client_ms) && client_ms > 0.0) {
+            const double client = client_ms / 1000.0;
+            if (!has_deadline || client < deadline) {
+                deadline = client;
+                has_deadline = true;
+            }
+        }
+    }
     try {
         const std::string key =
             canonicalCacheKey(request.path, body);
@@ -357,8 +409,7 @@ BwwallServer::handleModelQuery(const HttpRequest &request,
         traceInstant(outcome.hit ? "server.cache_hit"
                                  : "server.cache_miss");
 
-        if (config_.deadlineMs != 0 &&
-            secondsSince(received) > deadline) {
+        if (has_deadline && secondsSince(received) > deadline) {
             // The answer is computed (and cached for the retry),
             // but this caller's deadline has already passed.
             metrics_.addCounter("server.deadline_exceeded");
@@ -369,13 +420,24 @@ BwwallServer::handleModelQuery(const HttpRequest &request,
         response.status = outcome.response->status;
         response.contentType = outcome.response->contentType;
         response.body = outcome.response->body;
+        if (outcome.stale) {
+            metrics_.addCounter("server.stale_served");
+            response.headers["X-BWWall-Stale"] = "1";
+        }
+        if (was_degraded)
+            response.headers["X-BWWall-Degraded"] = "1";
         return response;
     } catch (const BadRequest &e) {
-        return httpErrorResponse(400, e.what());
+        return httpErrorResponseFor(
+            {ErrorCategory::InvalidInput, e.what()});
+    } catch (const Errored &e) {
+        metrics_.addCounter("server.handler_errors");
+        return httpErrorResponseFor(e.error());
     } catch (const std::exception &e) {
         metrics_.addCounter("server.handler_errors");
-        return httpErrorResponse(
-            500, std::string("internal error: ") + e.what());
+        return httpErrorResponseFor(
+            {ErrorCategory::Faulted,
+             std::string("internal error: ") + e.what()});
     }
 }
 
@@ -405,11 +467,31 @@ BwwallServer::dispatch(const HttpRequest &request,
                        ? handleTrace()
                        : httpErrorResponse(405, "use GET /v1/trace");
     } else if (isModelQueryPath(request.path)) {
-        response =
-            request.method == "POST"
-                ? handleModelQuery(request, received)
-                : httpErrorResponse(
-                      405, "model queries are POST requests");
+        if (request.method != "POST") {
+            response = httpErrorResponse(
+                405, "model queries are POST requests");
+        } else {
+            const AdmitDecision decision = overload_->admit(
+                request.path,
+                inflight_.load(std::memory_order_relaxed));
+            if (decision == AdmitDecision::Shed) {
+                metrics_.addCounter("server.shed");
+                response = httpErrorResponseFor(
+                    {ErrorCategory::Overload,
+                     "shed by overload control; retry later"});
+                response.headers["Retry-After"] = std::to_string(
+                    overload_->retryAfterSeconds());
+            } else {
+                response = handleModelQuery(
+                    request, received,
+                    decision == AdmitDecision::AdmitDegraded);
+                // Sheds are not observed: only served requests
+                // feed the latency window and the breakers.
+                overload_->observe(request.path,
+                                   secondsSince(received),
+                                   response.status >= 500);
+            }
+        }
     } else {
         response = httpErrorResponse(
             404, "unknown path '" + request.path + "'");

@@ -11,7 +11,16 @@
  *
  * Robustness is first-class:
  *  - admission control: beyond --max-inflight queued + active
- *    connections, new arrivals get an immediate 503 and close;
+ *    connections, new arrivals get an immediate 503 (with a
+ *    Retry-After hint) and close;
+ *  - selective shedding: an OverloadController sheds expensive
+ *    endpoints (/v1/sweep) first under inflight or p99-latency
+ *    pressure, with per-endpoint circuit breakers, and can serve
+ *    sweeps at reduced resolution (X-BWWall-Degraded) instead;
+ *  - stale-while-revalidate: expired cache entries are served
+ *    (X-BWWall-Stale) while one request recomputes them;
+ *  - error taxonomy: handler failures map through bwwall::Error
+ *    categories to structured JSON bodies and precise statuses;
  *  - per-request deadline: requests that overrun --deadline-ms
  *    answer 504 (the computed result still lands in the cache, so
  *    a retry is a hit);
@@ -40,6 +49,7 @@
 #include <thread>
 
 #include "server/http.hh"
+#include "server/overload.hh"
 #include "server/result_cache.hh"
 #include "util/metrics.hh"
 #include "util/trace_span.hh"
@@ -69,6 +79,13 @@ struct ServerConfig
     /** Result-cache TTL in seconds (0 = entries never expire). */
     double cacheTtlSeconds = 0.0;
 
+    /**
+     * Stale-while-revalidate grace after TTL expiry, seconds: an
+     * expired entry may still be served (marked X-BWWall-Stale)
+     * while one request recomputes it.  0 disables stale serving.
+     */
+    double cacheStaleSeconds = 0.0;
+
     /** Per-request deadline in milliseconds (0 = none). */
     unsigned deadlineMs = 10000;
 
@@ -77,6 +94,31 @@ struct ServerConfig
 
     /** Admission limit: queued + active connections before 503. */
     unsigned maxInflight = 256;
+
+    /**
+     * Shed expensive endpoints once the recent p99 latency exceeds
+     * this many milliseconds (0 disables latency-based shedding);
+     * everything sheds beyond twice the threshold.
+     */
+    double shedP99Ms = 0.0;
+
+    /** Serve pressed sweeps at reduced resolution instead of 503. */
+    bool degradeSweeps = false;
+
+    /**
+     * Inflight fraction of maxInflight beyond which admitted sweeps
+     * are degraded (with degradeSweeps; 0 degrades every sweep).
+     */
+    double degradePressure = 0.5;
+
+    /** Consecutive 5xx that open an endpoint's circuit breaker. */
+    unsigned breakerThreshold = 5;
+
+    /** Seconds an open breaker sheds before probing again. */
+    double breakerCooldownSeconds = 1.0;
+
+    /** The Retry-After hint on shed responses, seconds. */
+    unsigned retryAfterSeconds = 1;
 
     /** Largest accepted request body. */
     std::size_t maxBodyBytes = 1u << 20;
@@ -133,6 +175,7 @@ class BwwallServer
 
     MetricsRegistry &metrics() { return metrics_; }
     ResultCache &cache() { return *cache_; }
+    OverloadController &overload() { return *overload_; }
 
     /** The owned recorder; null unless config.trace. */
     TraceRecorder *traceRecorder() { return recorder_.get(); }
@@ -158,8 +201,10 @@ class BwwallServer
     HttpResponse dispatch(const HttpRequest &request,
                           Clock::time_point received);
 
+    /** @param degraded Serve this sweep at reduced resolution. */
     HttpResponse handleModelQuery(const HttpRequest &request,
-                                  Clock::time_point received);
+                                  Clock::time_point received,
+                                  bool degraded);
 
     HttpResponse handleMetrics(const HttpRequest &request) const;
 
@@ -171,6 +216,7 @@ class BwwallServer
     ServerConfig config_;
     MetricsRegistry metrics_;
     std::unique_ptr<ResultCache> cache_;
+    std::unique_ptr<OverloadController> overload_;
     std::unique_ptr<TraceRecorder> recorder_;
     std::unique_ptr<ThreadPool> pool_;
 

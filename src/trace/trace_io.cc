@@ -2,7 +2,9 @@
 
 #include <array>
 #include <cstring>
+#include <utility>
 
+#include "util/fault.hh"
 #include "util/logging.hh"
 
 namespace bwwall {
@@ -13,6 +15,8 @@ constexpr char kMagic[4] = {'B', 'W', 'T', 'R'};
 constexpr std::uint32_t kVersion = 1;
 constexpr std::size_t kHeaderBytes = 16;
 constexpr std::size_t kRecordBytes = 12;
+/** Declared line sizes above this are treated as corruption. */
+constexpr std::uint32_t kMaxPlausibleLineBytes = 1u << 20;
 
 void
 packU32(std::uint8_t *dest, std::uint32_t value)
@@ -65,6 +69,8 @@ TraceWriter::write(const MemoryAccess &access)
     record[11] = 0;
     out_.write(reinterpret_cast<const char *>(record.data()),
                static_cast<std::streamsize>(record.size()));
+    if (FAULT_POINT("trace.write"))
+        out_.setstate(std::ios::failbit);
     if (!out_)
         fatal("TraceWriter: write failed (disk full?)");
     ++records_;
@@ -89,24 +95,50 @@ TraceWriter::close()
         fatal("TraceWriter: close failed");
 }
 
-FileTraceSource::FileTraceSource(const std::string &path, bool loop)
-    : path_(path), loop_(loop)
+Expected<TraceFileData>
+readTraceFile(const std::string &path)
 {
+    if (FAULT_POINT("trace.read")) {
+        return Error{ErrorCategory::Faulted,
+                     "injected fault 'trace.read' while loading '" +
+                         path + "'"};
+    }
     std::ifstream in(path, std::ios::binary);
-    if (!in)
-        fatal("FileTraceSource cannot open '", path, "'");
+    if (!in) {
+        return Error{ErrorCategory::Io,
+                     "cannot open trace file '" + path + "'"};
+    }
 
     std::array<std::uint8_t, kHeaderBytes> header{};
     in.read(reinterpret_cast<char *>(header.data()),
             static_cast<std::streamsize>(header.size()));
     if (in.gcount() != static_cast<std::streamsize>(kHeaderBytes) ||
         std::memcmp(header.data(), kMagic, 4) != 0) {
-        fatal("'", path, "' is not a bwwall trace file");
+        return Error{ErrorCategory::InvalidInput,
+                     "'" + path + "' is not a bwwall trace file"};
     }
     const std::uint32_t version = unpackU32(header.data() + 4);
-    if (version != kVersion)
-        fatal("'", path, "' has unsupported trace version ", version);
-    lineBytesHint_ = unpackU32(header.data() + 8);
+    if (version != kVersion) {
+        return Error{ErrorCategory::InvalidInput,
+                     "'" + path + "' has unsupported trace version " +
+                         std::to_string(version)};
+    }
+    if (unpackU32(header.data() + 12) != 0) {
+        return Error{ErrorCategory::InvalidInput,
+                     "'" + path +
+                         "' has a corrupt header (reserved bytes "
+                         "are not zero)"};
+    }
+    TraceFileData data;
+    data.lineBytesHint = unpackU32(header.data() + 8);
+    if (data.lineBytesHint == 0 ||
+        data.lineBytesHint > kMaxPlausibleLineBytes) {
+        return Error{ErrorCategory::InvalidInput,
+                     "'" + path +
+                         "' declares an implausible line size of " +
+                         std::to_string(data.lineBytesHint) +
+                         " bytes"};
+    }
 
     std::array<std::uint8_t, kRecordBytes> record{};
     for (;;) {
@@ -114,8 +146,11 @@ FileTraceSource::FileTraceSource(const std::string &path, bool loop)
                 static_cast<std::streamsize>(record.size()));
         if (in.gcount() == 0 && in.eof())
             break;
-        if (in.gcount() != static_cast<std::streamsize>(kRecordBytes))
-            fatal("'", path, "' is truncated mid-record");
+        if (in.gcount() !=
+            static_cast<std::streamsize>(kRecordBytes)) {
+            return Error{ErrorCategory::Io,
+                         "'" + path + "' is truncated mid-record"};
+        }
         MemoryAccess access;
         std::memcpy(&access.address, record.data(), 8);
         std::uint16_t thread;
@@ -123,10 +158,33 @@ FileTraceSource::FileTraceSource(const std::string &path, bool loop)
         access.thread = thread;
         access.type = record[10] == 0 ? AccessType::Read
                                       : AccessType::Write;
-        records_.push_back(access);
+        data.records.push_back(access);
     }
+    if (data.records.empty()) {
+        return Error{ErrorCategory::InvalidInput,
+                     "'" + path + "' contains no records"};
+    }
+    return data;
+}
+
+FileTraceSource::FileTraceSource(const std::string &path, bool loop)
+    : path_(path), loop_(loop)
+{
+    Expected<TraceFileData> loaded = readTraceFile(path);
+    if (!loaded)
+        fatal("FileTraceSource: ", loaded.error().toString());
+    lineBytesHint_ = loaded.value().lineBytesHint;
+    records_ = std::move(loaded.value().records);
+}
+
+FileTraceSource::FileTraceSource(TraceFileData data, std::string name,
+                                 bool loop)
+    : path_(std::move(name)), loop_(loop),
+      lineBytesHint_(data.lineBytesHint),
+      records_(std::move(data.records))
+{
     if (records_.empty())
-        fatal("'", path, "' contains no records");
+        fatal("FileTraceSource: empty trace data for '", path_, "'");
 }
 
 MemoryAccess

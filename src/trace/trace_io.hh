@@ -8,6 +8,14 @@
  * simulators.  The format is a fixed 16-byte header ("BWTR", version,
  * line-size hint) followed by packed 12-byte little-endian records:
  * u64 address, u16 thread, u8 type, u8 reserved.
+ *
+ * Two loading paths share one parser: readTraceFile() classifies
+ * every failure (missing file, bad magic, implausible header,
+ * truncated record) as a structured Error without throwing or
+ * over-reading, for callers that must degrade gracefully (bwwalld,
+ * cachesim_cli); FileTraceSource keeps the historical contract of a
+ * fatal() one-liner for scripts that want any bad input to stop the
+ * run.
  */
 
 #ifndef BWWALL_TRACE_TRACE_IO_HH
@@ -19,8 +27,26 @@
 #include <vector>
 
 #include "trace/trace_source.hh"
+#include "util/error.hh"
 
 namespace bwwall {
+
+/** A fully-loaded trace file: the header hint plus every record. */
+struct TraceFileData
+{
+    std::uint32_t lineBytesHint = 64;
+    std::vector<MemoryAccess> records;
+};
+
+/**
+ * Loads and validates @p path.  Errors are classified: a file that
+ * cannot be opened or is truncated mid-record is Io; a bad magic, an
+ * unsupported version, nonzero reserved header bytes, an implausible
+ * declared line size (0 or > 1 MiB), or an empty trace is
+ * InvalidInput.  Never throws and never reads past the declared
+ * record grid.
+ */
+Expected<TraceFileData> readTraceFile(const std::string &path);
 
 /** Streams MemoryAccess records to a trace file. */
 class TraceWriter
@@ -67,6 +93,10 @@ class FileTraceSource : public TraceSource
      * size() to bound the replay).
      */
     explicit FileTraceSource(const std::string &path, bool loop = true);
+
+    /** Wraps records already loaded by readTraceFile(). */
+    FileTraceSource(TraceFileData data, std::string name,
+                    bool loop = true);
 
     MemoryAccess next() override;
     void reset() override;

@@ -218,6 +218,12 @@ CliParser::parseKnown(int argc, char **argv, Status *status)
     int kept = 1; // argv[0] always survives
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            printUsage(std::cout);
+            if (status != nullptr)
+                *status = Status::Help;
+            return kept;
+        }
         if (const Spec *spec = find(arg)) {
             if (spec->isFlag) {
                 spec->apply("");

@@ -89,7 +89,8 @@ class CliParser
      * flags/options in place, keeps everything else (including
      * argv[0]) in order, and returns the new argc.  Bad values for
      * *registered* options still produce Error via *status when the
-     * pointer is non-null.
+     * pointer is non-null, and --help/-h prints the usage text and
+     * reports Help, exactly as parse() does.
      */
     int parseKnown(int argc, char **argv, Status *status = nullptr);
 

@@ -31,16 +31,33 @@ trim(const std::string &text)
 ConfigFile
 ConfigFile::parseFile(const std::string &path)
 {
-    std::ifstream in(path);
-    if (!in)
-        fatal("cannot open configuration file '", path, "'");
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    return parseString(buffer.str());
+    Expected<ConfigFile> parsed = tryParseFile(path);
+    if (!parsed.ok())
+        fatal(parsed.error().message);
+    return parsed.value();
 }
 
-ConfigFile
-ConfigFile::parseString(const std::string &text)
+Expected<ConfigFile>
+ConfigFile::tryParseFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        return Error{ErrorCategory::Io,
+                     "cannot open configuration file '" + path +
+                         "'"};
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    Expected<ConfigFile> parsed = tryParseString(buffer.str());
+    if (!parsed.ok()) {
+        return Error{parsed.error().category,
+                     "'" + path + "': " + parsed.error().message};
+    }
+    return parsed;
+}
+
+Expected<ConfigFile>
+ConfigFile::tryParseString(const std::string &text)
 {
     ConfigFile config;
     std::istringstream in(text);
@@ -56,17 +73,32 @@ ConfigFile::parseString(const std::string &text)
             continue;
         const std::size_t equals = trimmed.find('=');
         if (equals == std::string::npos) {
-            fatal("configuration line ", line_number,
-                  " is not 'key = value': '", trimmed, "'");
+            return Error{ErrorCategory::InvalidInput,
+                         "configuration line " +
+                             std::to_string(line_number) +
+                             " is not 'key = value': '" + trimmed +
+                             "'"};
         }
         const std::string key = trim(trimmed.substr(0, equals));
         const std::string value = trim(trimmed.substr(equals + 1));
-        if (key.empty())
-            fatal("configuration line ", line_number,
-                  " has an empty key");
+        if (key.empty()) {
+            return Error{ErrorCategory::InvalidInput,
+                         "configuration line " +
+                             std::to_string(line_number) +
+                             " has an empty key"};
+        }
         config.values_[key] = value;
     }
     return config;
+}
+
+ConfigFile
+ConfigFile::parseString(const std::string &text)
+{
+    Expected<ConfigFile> parsed = tryParseString(text);
+    if (!parsed.ok())
+        fatal(parsed.error().message);
+    return parsed.value();
 }
 
 bool

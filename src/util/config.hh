@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "util/error.hh"
+
 namespace bwwall {
 
 /** Parsed key/value configuration. */
@@ -24,6 +26,17 @@ class ConfigFile
   public:
     /** Parses a file; fatal on unreadable files or malformed lines. */
     static ConfigFile parseFile(const std::string &path);
+
+    /**
+     * Non-fatal parseFile for tools that own their exit path:
+     * unreadable files are Io errors, malformed lines InvalidInput.
+     */
+    static Expected<ConfigFile>
+    tryParseFile(const std::string &path);
+
+    /** Non-fatal parseString (malformed lines are InvalidInput). */
+    static Expected<ConfigFile>
+    tryParseString(const std::string &text);
 
     /** Parses configuration text directly (for tests/tools). */
     static ConfigFile parseString(const std::string &text);

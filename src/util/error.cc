@@ -1,0 +1,71 @@
+#include "util/error.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace bwwall {
+
+const char *
+errorCategoryName(ErrorCategory category)
+{
+    switch (category) {
+      case ErrorCategory::InvalidInput:
+        return "invalid_input";
+      case ErrorCategory::NonFinite:
+        return "non_finite";
+      case ErrorCategory::NonConvergence:
+        return "non_convergence";
+      case ErrorCategory::Io:
+        return "io";
+      case ErrorCategory::Overload:
+        return "overload";
+      case ErrorCategory::Faulted:
+        return "faulted";
+    }
+    return "unknown";
+}
+
+int
+httpStatusFor(ErrorCategory category)
+{
+    switch (category) {
+      case ErrorCategory::InvalidInput:
+        return 400;
+      case ErrorCategory::NonFinite:
+        return 422;
+      case ErrorCategory::NonConvergence:
+        return 424;
+      case ErrorCategory::Io:
+        return 502;
+      case ErrorCategory::Overload:
+        return 503;
+      case ErrorCategory::Faulted:
+        return 500;
+    }
+    return 500;
+}
+
+std::string
+Error::toString() const
+{
+    std::string text = errorCategoryName(category);
+    text += ": ";
+    text += message;
+    return text;
+}
+
+int
+failWithError(const std::string &tool, const Error &error)
+{
+    std::string line = tool;
+    line += ": error: ";
+    line += error.toString();
+    line += "\n";
+    // One write(2) so concurrent log lines never interleave mid-line,
+    // matching the logging.cc discipline.
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fflush(stderr);
+    return EXIT_FAILURE;
+}
+
+} // namespace bwwall

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Structured error taxonomy shared by the solvers, trace I/O, the
+ * server, and the CLI tools.
+ *
+ * Every recoverable failure in bwwall falls into one of six
+ * categories, and each category has exactly one HTTP status, so a
+ * failure classified once deep in the library surfaces with the same
+ * meaning at every boundary: a solver returns
+ * Expected<T>{Error{NonFinite, ...}}, the model service rethrows it
+ * as Errored, bwwalld maps it to a 422 JSON body naming the
+ * category, and a CLI tool prints a one-line
+ * "tool: error: non_finite: ..." and exits 1.
+ *
+ * The mapping (kept in lockstep with docs/SERVER.md):
+ *
+ *   InvalidInput   -> 400  caller passed a malformed request
+ *   NonFinite      -> 422  inputs were well-formed but produced NaN
+ *   NonConvergence -> 424  a solver failed to reach a fixed point
+ *   Io             -> 502  a file or stream could not be read/written
+ *   Overload       -> 503  shed by admission control; retry later
+ *   Faulted        -> 500  an injected or internal fault fired
+ *
+ * Expected<T> is the hand-rolled value-or-Error carrier (the
+ * toolchain predates std::expected): functions that used to fatal()
+ * on bad input grow a try* twin returning Expected so servers and
+ * tools can degrade instead of dying.
+ */
+
+#ifndef BWWALL_UTIL_ERROR_HH
+#define BWWALL_UTIL_ERROR_HH
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/logging.hh"
+
+namespace bwwall {
+
+/** The failure classes; see the file comment for the HTTP mapping. */
+enum class ErrorCategory
+{
+    InvalidInput,   ///< malformed or out-of-range caller input
+    NonFinite,      ///< well-formed input produced NaN or infinity
+    NonConvergence, ///< a solver exhausted its iteration budget
+    Io,             ///< a file or stream failed mid-operation
+    Overload,       ///< shed by admission control; safe to retry
+    Faulted,        ///< an injected or internal fault fired
+};
+
+/** Stable snake_case name ("invalid_input", "io", ...) for JSON. */
+const char *errorCategoryName(ErrorCategory category);
+
+/** The one HTTP status each category maps to (400/422/424/502/503/500). */
+int httpStatusFor(ErrorCategory category);
+
+/** A classified failure: what kind, and a human-readable why. */
+struct Error
+{
+    ErrorCategory category = ErrorCategory::InvalidInput;
+    std::string message;
+
+    /** "category_name: message" — the CLI / log rendering. */
+    std::string toString() const;
+};
+
+/**
+ * Exception carrier for layers that communicate by throw (the server
+ * worker path): wraps an Error so a catch site can recover the
+ * category instead of pattern-matching what() strings.
+ */
+class Errored : public std::runtime_error
+{
+  public:
+    explicit Errored(Error error)
+        : std::runtime_error(error.toString()), error_(std::move(error))
+    {}
+
+    Errored(ErrorCategory category, std::string message)
+        : Errored(Error{category, std::move(message)})
+    {}
+
+    const Error &error() const { return error_; }
+
+  private:
+    Error error_;
+};
+
+/**
+ * Value-or-Error result.  Construct from a T or an Error; test with
+ * ok() / operator bool; value() and error() panic() when called on
+ * the wrong alternative, because that is a caller bug, not an input
+ * error.
+ */
+template <typename T>
+class Expected
+{
+  public:
+    Expected(T value) : state_(std::move(value)) {}
+    Expected(Error error) : state_(std::move(error)) {}
+
+    bool ok() const { return std::holds_alternative<T>(state_); }
+    explicit operator bool() const { return ok(); }
+
+    T &
+    value()
+    {
+        if (!ok())
+            panic("Expected::value() on an error: ", error().toString());
+        return std::get<T>(state_);
+    }
+
+    const T &
+    value() const
+    {
+        if (!ok())
+            panic("Expected::value() on an error: ", error().toString());
+        return std::get<T>(state_);
+    }
+
+    const Error &
+    error() const
+    {
+        if (ok())
+            panic("Expected::error() on a value");
+        return std::get<Error>(state_);
+    }
+
+    /** The value, or throws the error wrapped in Errored. */
+    T
+    valueOrThrow() &&
+    {
+        if (!ok())
+            throw Errored(std::get<Error>(state_));
+        return std::move(std::get<T>(state_));
+    }
+
+  private:
+    std::variant<T, Error> state_;
+};
+
+/**
+ * Prints "tool: error: category: message" to stderr as one line and
+ * returns EXIT_FAILURE — the uniform way cachesim_cli and
+ * experiment_runner turn an Error into a process exit status.
+ */
+int failWithError(const std::string &tool, const Error &error);
+
+} // namespace bwwall
+
+#endif // BWWALL_UTIL_ERROR_HH

@@ -1,0 +1,331 @@
+#include "util/fault.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <unordered_map>
+
+#include "util/logging.hh"
+#include "util/metrics.hh"
+
+namespace bwwall {
+namespace fault_detail {
+
+std::atomic<bool> g_armed{false};
+
+namespace {
+
+/** SplitMix64 finalizer: the per-hit decision hash. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** FNV-1a over the point name; folded into the decision hash. */
+std::uint64_t
+hashName(const std::string &name)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : name) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+struct PointState
+{
+    FaultSpec spec;
+    std::uint64_t seed = 0; ///< plan seed ^ hashName(point)
+    std::string metricName; ///< "faults.fired.<point>"
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> fired{0};
+};
+
+struct Plan
+{
+    std::unordered_map<std::string, std::unique_ptr<PointState>>
+        points;
+    MetricsRegistry *metrics = nullptr;
+};
+
+/**
+ * The installed plan.  Mirrors trace_detail::g_recorder: swapped
+ * only while fault points are quiescent, so the armed fast path may
+ * read it with a relaxed load and no reclamation protocol.
+ */
+std::atomic<Plan *> g_plan{nullptr};
+
+bool
+decide(PointState &state, std::uint64_t hit)
+{
+    const FaultSpec &spec = state.spec;
+    switch (spec.mode) {
+      case FaultSpec::Mode::Probability: {
+        // Hash (seed, point, hit) to a uniform in [0, 1).
+        const double unit =
+            static_cast<double>(mix64(state.seed ^ hit) >> 11) *
+            0x1.0p-53;
+        return unit < spec.probability;
+      }
+      case FaultSpec::Mode::Nth:
+        return hit == spec.n;
+      case FaultSpec::Mode::Every:
+        return spec.n != 0 && hit % spec.n == 0;
+      case FaultSpec::Mode::Schedule:
+        return std::binary_search(spec.schedule.begin(),
+                                  spec.schedule.end(), hit);
+    }
+    return false;
+}
+
+} // namespace
+
+bool
+shouldFire(const char *point)
+{
+    Plan *plan = g_plan.load(std::memory_order_acquire);
+    if (plan == nullptr)
+        return false;
+    auto it = plan->points.find(point);
+    if (it == plan->points.end())
+        return false;
+    PointState &state = *it->second;
+    const std::uint64_t hit =
+        state.hits.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (!decide(state, hit))
+        return false;
+    state.fired.fetch_add(1, std::memory_order_relaxed);
+    if (plan->metrics != nullptr)
+        plan->metrics->addCounter(state.metricName);
+    return true;
+}
+
+} // namespace fault_detail
+
+namespace {
+
+using fault_detail::g_armed;
+using fault_detail::g_plan;
+
+/** Retired plans; kept alive so a racing reader never frees under. */
+std::vector<std::unique_ptr<fault_detail::Plan>> &
+retiredPlans()
+{
+    static std::vector<std::unique_ptr<fault_detail::Plan>> plans;
+    return plans;
+}
+
+bool
+parseUint(const std::string &text, std::uint64_t *value)
+{
+    if (text.empty())
+        return false;
+    std::uint64_t parsed = 0;
+    for (char c : text) {
+        if (c < '0' || c > '9')
+            return false;
+        parsed = parsed * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    *value = parsed;
+    return true;
+}
+
+bool
+parseEntry(const std::string &entry, FaultConfig *config,
+           std::string *error)
+{
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+        *error = "fault entry '" + entry +
+                 "' is not of the form point=mode:value";
+        return false;
+    }
+    const std::string point = entry.substr(0, eq);
+    const std::string rest = entry.substr(eq + 1);
+    if (point == "seed") {
+        if (!parseUint(rest, &config->seed)) {
+            *error = "fault seed '" + rest +
+                     "' is not an unsigned integer";
+            return false;
+        }
+        return true;
+    }
+    const std::size_t colon = rest.find(':');
+    if (colon == std::string::npos) {
+        *error = "fault entry '" + entry +
+                 "' is missing the mode (prob:|nth:|every:|sched:)";
+        return false;
+    }
+    const std::string mode = rest.substr(0, colon);
+    const std::string value = rest.substr(colon + 1);
+    FaultSpec spec;
+    spec.point = point;
+    if (mode == "prob") {
+        char *end = nullptr;
+        spec.mode = FaultSpec::Mode::Probability;
+        spec.probability = std::strtod(value.c_str(), &end);
+        if (value.empty() || end == nullptr || *end != '\0' ||
+            !(spec.probability >= 0.0) || spec.probability > 1.0) {
+            *error = "fault probability '" + value +
+                     "' for point '" + point +
+                     "' is not in [0, 1]";
+            return false;
+        }
+    } else if (mode == "nth" || mode == "every") {
+        spec.mode = mode == "nth" ? FaultSpec::Mode::Nth
+                                  : FaultSpec::Mode::Every;
+        if (!parseUint(value, &spec.n) || spec.n == 0) {
+            *error = "fault count '" + value + "' for point '" +
+                     point + "' is not a positive integer";
+            return false;
+        }
+    } else if (mode == "sched") {
+        spec.mode = FaultSpec::Mode::Schedule;
+        std::size_t start = 0;
+        while (start <= value.size()) {
+            const std::size_t comma = value.find(',', start);
+            const std::string item =
+                value.substr(start, comma == std::string::npos
+                                        ? std::string::npos
+                                        : comma - start);
+            std::uint64_t hit = 0;
+            if (!parseUint(item, &hit) || hit == 0) {
+                *error = "fault schedule item '" + item +
+                         "' for point '" + point +
+                         "' is not a positive integer";
+                return false;
+            }
+            spec.schedule.push_back(hit);
+            if (comma == std::string::npos)
+                break;
+            start = comma + 1;
+        }
+        std::sort(spec.schedule.begin(), spec.schedule.end());
+    } else {
+        *error = "unknown fault mode '" + mode + "' for point '" +
+                 point + "' (expected prob, nth, every, or sched)";
+        return false;
+    }
+    config->specs.push_back(std::move(spec));
+    return true;
+}
+
+} // namespace
+
+bool
+parseFaultConfig(const std::string &text, FaultConfig *config,
+                 std::string *error)
+{
+    *config = FaultConfig{};
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        const std::size_t semi = text.find(';', start);
+        const std::string entry =
+            text.substr(start, semi == std::string::npos
+                                   ? std::string::npos
+                                   : semi - start);
+        if (!entry.empty() && !parseEntry(entry, config, error))
+            return false;
+        if (semi == std::string::npos)
+            break;
+        start = semi + 1;
+    }
+    return true;
+}
+
+void
+installFaults(const FaultConfig &config, MetricsRegistry *metrics)
+{
+    uninstallFaults();
+    if (config.specs.empty())
+        return;
+    auto plan = std::make_unique<fault_detail::Plan>();
+    plan->metrics = metrics;
+    for (const FaultSpec &spec : config.specs) {
+        auto state = std::make_unique<fault_detail::PointState>();
+        state->spec = spec;
+        state->seed =
+            config.seed ^ fault_detail::hashName(spec.point);
+        state->metricName = "faults.fired." + spec.point;
+        plan->points[spec.point] = std::move(state);
+    }
+    g_plan.store(plan.get(), std::memory_order_release);
+    g_armed.store(true, std::memory_order_relaxed);
+    retiredPlans().push_back(std::move(plan));
+}
+
+void
+uninstallFaults()
+{
+    g_armed.store(false, std::memory_order_relaxed);
+    g_plan.store(nullptr, std::memory_order_release);
+}
+
+bool
+installFaultsFromEnv(MetricsRegistry *metrics)
+{
+    const char *env = std::getenv("BWWALL_FAULTS");
+    if (env == nullptr || env[0] == '\0')
+        return false;
+    FaultConfig config;
+    std::string error;
+    if (!parseFaultConfig(env, &config, &error))
+        fatal("BWWALL_FAULTS: ", error);
+    if (config.specs.empty())
+        return false;
+    installFaults(config, metrics);
+    return true;
+}
+
+namespace {
+
+std::uint64_t
+pointCount(const std::string &point, bool fired)
+{
+    fault_detail::Plan *plan =
+        g_plan.load(std::memory_order_acquire);
+    if (plan == nullptr)
+        return 0;
+    auto it = plan->points.find(point);
+    if (it == plan->points.end())
+        return 0;
+    const auto &state = *it->second;
+    return fired ? state.fired.load(std::memory_order_relaxed)
+                 : state.hits.load(std::memory_order_relaxed);
+}
+
+} // namespace
+
+std::uint64_t
+faultHitCount(const std::string &point)
+{
+    return pointCount(point, false);
+}
+
+std::uint64_t
+faultFiredCount(const std::string &point)
+{
+    return pointCount(point, true);
+}
+
+ScopedFaultInjection::ScopedFaultInjection(const std::string &plan,
+                                           MetricsRegistry *metrics)
+{
+    FaultConfig config;
+    std::string error;
+    if (!parseFaultConfig(plan, &config, &error))
+        fatal("fault plan: ", error);
+    installFaults(config, metrics);
+}
+
+ScopedFaultInjection::~ScopedFaultInjection()
+{
+    uninstallFaults();
+}
+
+} // namespace bwwall

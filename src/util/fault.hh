@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Deterministic, seeded fault injection behind near-free guards.
+ *
+ * A fault *point* is a named site in production code —
+ * FAULT_POINT("http.read") — that normally does nothing and costs
+ * one relaxed atomic load plus a branch (the trace_span discipline;
+ * bench/perf_trace_overhead's < 2 % disabled-overhead gate covers
+ * the same pattern).  When a fault plan is installed, each hit of an
+ * armed point is counted and the plan decides whether the point
+ * *fires*; the call site then simulates its local failure (a short
+ * read, a dropped connection, a solver error) through the exact
+ * error path real hardware would take.
+ *
+ * Plans are text, from --faults or the BWWALL_FAULTS environment
+ * variable, as ';'-separated entries:
+ *
+ *   http.read=prob:0.01      fire ~1 % of hits
+ *   cache.compute=nth:3      fire exactly on the 3rd hit
+ *   http.write.short=every:2 fire on every 2nd hit (2, 4, 6, ...)
+ *   server.accept=sched:1,5  fire on hits 1 and 5
+ *   seed=42                  the plan-wide RNG seed
+ *
+ * Determinism: probability decisions hash (seed, point name, hit
+ * index) through SplitMix64 — no shared RNG stream, no locks on the
+ * armed path, and the same plan replays the same firing pattern for
+ * the same per-point hit sequence regardless of thread interleaving
+ * across points.
+ *
+ * Installation is process-wide and follows TraceRecorder's
+ * lifecycle rules: install/uninstall only while fault points are
+ * quiescent (daemon startup, test setup).  Fired points count into
+ * faults.fired.<point> on an optional MetricsRegistry so chaos runs
+ * can assert coverage.
+ */
+
+#ifndef BWWALL_UTIL_FAULT_HH
+#define BWWALL_UTIL_FAULT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bwwall {
+
+class MetricsRegistry;
+
+namespace fault_detail {
+
+/** Process-wide arm switch; set only while a plan is installed. */
+extern std::atomic<bool> g_armed;
+
+/** The slow path: counts the hit and decides whether to fire. */
+bool shouldFire(const char *point);
+
+} // namespace fault_detail
+
+/** True when any fault plan is installed (one relaxed load). */
+inline bool
+faultsArmed()
+{
+    return fault_detail::g_armed.load(std::memory_order_relaxed);
+}
+
+/**
+ * The guard every wired site calls: false (and nearly free) with no
+ * plan installed; otherwise true when this hit of @p point fires.
+ * Pass a string literal.
+ */
+inline bool
+faultPoint(const char *point)
+{
+    if (!faultsArmed())
+        return false;
+    return fault_detail::shouldFire(point);
+}
+
+/** The conventional spelling at injection sites. */
+#define FAULT_POINT(point) ::bwwall::faultPoint(point)
+
+/** How one armed point decides to fire. */
+struct FaultSpec
+{
+    enum class Mode
+    {
+        Probability, ///< fire each hit with probability `probability`
+        Nth,         ///< fire exactly on hit number `n` (1-based)
+        Every,       ///< fire on hits n, 2n, 3n, ...
+        Schedule,    ///< fire on the listed 1-based hit numbers
+    };
+
+    std::string point;
+    Mode mode = Mode::Probability;
+    double probability = 0.0;
+    std::uint64_t n = 0;
+    std::vector<std::uint64_t> schedule; ///< sorted, Schedule mode
+};
+
+/** A parsed fault plan: the seed plus one spec per armed point. */
+struct FaultConfig
+{
+    std::uint64_t seed = 1;
+    std::vector<FaultSpec> specs;
+};
+
+/**
+ * Parses the plan grammar described in the file comment.  Returns
+ * false and sets *error (a one-line diagnostic naming the bad entry)
+ * on malformed text; an empty string parses to an empty plan.
+ */
+bool parseFaultConfig(const std::string &text, FaultConfig *config,
+                      std::string *error);
+
+/**
+ * Installs @p config process-wide, replacing any previous plan; an
+ * empty plan disarms.  Fired points count into
+ * faults.fired.<point> on @p metrics when non-null.  Call only while
+ * fault points are quiescent.
+ */
+void installFaults(const FaultConfig &config,
+                   MetricsRegistry *metrics = nullptr);
+
+/** Disarms and discards the installed plan (quiescence required). */
+void uninstallFaults();
+
+/**
+ * Installs a plan from BWWALL_FAULTS when set and non-empty;
+ * fatal() on a malformed value.  Returns true when a plan was
+ * installed.
+ */
+bool installFaultsFromEnv(MetricsRegistry *metrics = nullptr);
+
+/** Hits of @p point under the installed plan (0 when not armed). */
+std::uint64_t faultHitCount(const std::string &point);
+
+/** Fires of @p point under the installed plan (0 when not armed). */
+std::uint64_t faultFiredCount(const std::string &point);
+
+/**
+ * Test helper: parses and installs a plan for the enclosing scope,
+ * uninstalling on destruction.  fatal() on a malformed plan.
+ */
+class ScopedFaultInjection
+{
+  public:
+    explicit ScopedFaultInjection(const std::string &plan,
+                                  MetricsRegistry *metrics = nullptr);
+    ~ScopedFaultInjection();
+
+    ScopedFaultInjection(const ScopedFaultInjection &) = delete;
+    ScopedFaultInjection &
+    operator=(const ScopedFaultInjection &) = delete;
+};
+
+} // namespace bwwall
+
+#endif // BWWALL_UTIL_FAULT_HH

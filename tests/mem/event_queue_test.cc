@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "mem/event_queue.hh"
+#include "util/error.hh"
+#include "util/fault.hh"
 
 namespace bwwall {
 namespace {
@@ -75,6 +77,35 @@ TEST(EventQueueTest, ScheduleAfterUsesCurrentTime)
     });
     events.runAll();
     EXPECT_EQ(seen, 42u);
+}
+
+TEST(EventQueueTest, InjectedDispatchFaultThrowsStructuredError)
+{
+    ScopedFaultInjection faults("mem.event_dispatch=nth:2");
+    EventQueue events;
+    int fired = 0;
+    events.schedule(10, [&] { ++fired; });
+    events.schedule(20, [&] { ++fired; });
+    events.schedule(30, [&] { ++fired; });
+
+    EXPECT_TRUE(events.runOne());
+    try {
+        events.runOne();
+        FAIL() << "expected Errored";
+    } catch (const Errored &errored) {
+        EXPECT_EQ(errored.error().category,
+                  ErrorCategory::Faulted);
+        EXPECT_NE(errored.error().message.find(
+                      "mem.event_dispatch"),
+                  std::string::npos);
+    }
+    // The faulted event is consumed (a dropped timer interrupt),
+    // but the queue stays coherent: time advanced and the rest of
+    // the schedule still runs.
+    EXPECT_EQ(events.now(), 20u);
+    EXPECT_TRUE(events.runOne());
+    EXPECT_EQ(fired, 2);
+    EXPECT_TRUE(events.empty());
 }
 
 } // namespace

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <set>
@@ -22,6 +23,7 @@
 #include "server/json.hh"
 #include "server/model_service.hh"
 #include "server/server.hh"
+#include "util/fault.hh"
 
 namespace bwwall {
 namespace {
@@ -379,6 +381,246 @@ TEST(HttpErrorResponseTest, ShapesAStructuredBody)
     ASSERT_TRUE(JsonValue::parse(response.body, &payload));
     EXPECT_EQ(payload.find("error")->asString(), "at capacity");
     EXPECT_DOUBLE_EQ(payload.find("status")->asNumber(), 503.0);
+}
+
+// ---- Robustness: fault injection, overload, retries ----
+
+/** The category field of a structured error body. */
+std::string
+errorCategoryOf(const std::string &body)
+{
+    JsonValue payload;
+    if (!JsonValue::parse(body, &payload))
+        return "";
+    const JsonValue *category = payload.find("category");
+    return category != nullptr ? category->asString() : "";
+}
+
+TEST_F(HttpServerTest, InjectedComputeFaultIsA500ThenRecovers)
+{
+    ScopedFaultInjection faults("cache.compute=nth:1",
+                                &server_->metrics());
+    const HttpClientResponse faulted =
+        post("/v1/solve", "{\"alpha\":0.5,\"total_ceas\":32}");
+    EXPECT_EQ(faulted.status, 500);
+    EXPECT_EQ(errorCategoryOf(faulted.body), "faulted");
+
+    // Errors are never cached: the retry recomputes and succeeds.
+    const HttpClientResponse retried =
+        post("/v1/solve", "{\"alpha\":0.5,\"total_ceas\":32}");
+    EXPECT_EQ(retried.status, 200);
+    EXPECT_GE(server_->metrics().counter(
+                  "faults.fired.cache.compute"),
+              1u);
+}
+
+TEST_F(HttpServerTest, InjectedSolverFaultIsA424NonConvergence)
+{
+    ScopedFaultInjection faults("model.solve=nth:1");
+    const HttpClientResponse faulted =
+        post("/v1/solve", "{\"alpha\":0.5,\"total_ceas\":32}");
+    EXPECT_EQ(faulted.status, 424);
+    EXPECT_EQ(errorCategoryOf(faulted.body), "non_convergence");
+    EXPECT_EQ(post("/v1/solve",
+                   "{\"alpha\":0.5,\"total_ceas\":32}")
+                  .status,
+              200);
+}
+
+TEST_F(HttpServerTest, ShortWritesPreserveByteIdentity)
+{
+    // One clean request for the reference bytes, then force the
+    // server's send path to dribble single-byte chunks.
+    const HttpClientResponse reference = get("/healthz");
+    ASSERT_EQ(reference.status, 200);
+
+    ScopedFaultInjection faults("http.write.short=prob:1");
+    const HttpClientResponse dribbled = get("/healthz");
+    EXPECT_EQ(dribbled.status, 200);
+    EXPECT_EQ(dribbled.body, reference.body);
+    EXPECT_EQ(dribbled.headers.at("content-type"),
+              reference.headers.at("content-type"));
+}
+
+TEST_F(HttpServerTest, DroppedAcceptIsSurvivedByAReconnect)
+{
+    ScopedFaultInjection faults("server.accept=nth:1",
+                                &server_->metrics());
+    // The server closes the first accepted connection; the client's
+    // stale-connection retry opens a second one and succeeds.
+    EXPECT_EQ(get("/healthz").status, 200);
+    EXPECT_EQ(faultFiredCount("server.accept"), 1u);
+}
+
+TEST_F(HttpServerTest, ClientDeadlineHeaderYieldsA504)
+{
+    HttpClientResponse response;
+    std::string error;
+    // A microscopic budget expires during any real compute; the
+    // result is still cached for a later retry.
+    ASSERT_TRUE(client_->request(
+        "POST", "/v1/sweep", {{"X-BWWall-Deadline-Ms", "0.01"}},
+        "{\"kind\":\"scaling\",\"generations\":3}", &response,
+        &error))
+        << error;
+    EXPECT_EQ(response.status, 504);
+    EXPECT_GE(server_->metrics().counter(
+                  "server.deadline_exceeded"),
+              1u);
+
+    // Without the budget header the same query serves fine.
+    const HttpClientResponse retry = post(
+        "/v1/sweep", "{\"kind\":\"scaling\",\"generations\":3}");
+    EXPECT_EQ(retry.status, 200);
+}
+
+TEST(HttpServerOverloadTest, BreakerShedsSweepsButNotTraffic)
+{
+    ServerConfig config;
+    config.port = 0;
+    config.threads = 2;
+    config.breakerThreshold = 2;
+    config.breakerCooldownSeconds = 60.0;
+    BwwallServer server(config);
+    server.start();
+    {
+        HttpClient client("127.0.0.1", server.port());
+        HttpClientResponse response;
+        std::string error;
+
+        // Two injected compute faults on /v1/sweep open its breaker.
+        ScopedFaultInjection faults("cache.compute=sched:1,2",
+                                    &server.metrics());
+        const std::string sweep =
+            "{\"kind\":\"scaling\",\"generations\":2}";
+        for (int i = 0; i < 2; ++i) {
+            ASSERT_TRUE(client.post("/v1/sweep", sweep, &response,
+                                    &error))
+                << error;
+            EXPECT_EQ(response.status, 500);
+        }
+        EXPECT_TRUE(server.overload().breakerOpen("/v1/sweep"));
+        EXPECT_EQ(server.metrics().counter(
+                      "server.breaker_opened"),
+                  1u);
+
+        // The third sweep sheds with a Retry-After hint...
+        ASSERT_TRUE(
+            client.post("/v1/sweep", sweep, &response, &error))
+            << error;
+        EXPECT_EQ(response.status, 503);
+        EXPECT_EQ(errorCategoryOf(response.body), "overload");
+        EXPECT_EQ(response.headers.at("retry-after"), "1");
+        EXPECT_GE(server.metrics().counter("server.shed"), 1u);
+
+        // ...while the cheap endpoint keeps serving.
+        ASSERT_TRUE(client.post("/v1/traffic",
+                                "{\"cores\":8,\"alpha\":0.5,"
+                                "\"total_ceas\":32}",
+                                &response, &error))
+            << error;
+        EXPECT_EQ(response.status, 200);
+    }
+    server.stop();
+}
+
+TEST(HttpServerOverloadTest, RetryRidesOutABreakerShed)
+{
+    ServerConfig config;
+    config.port = 0;
+    config.threads = 2;
+    config.breakerThreshold = 1;
+    config.breakerCooldownSeconds = 0.05;
+    BwwallServer server(config);
+    server.start();
+    {
+        HttpClient client("127.0.0.1", server.port());
+        HttpClientResponse response;
+        std::string error;
+        const std::string sweep =
+            "{\"kind\":\"scaling\",\"generations\":2}";
+
+        // One injected fault opens the breaker immediately.
+        ScopedFaultInjection faults("cache.compute=sched:1",
+                                    &server.metrics());
+        ASSERT_TRUE(
+            client.post("/v1/sweep", sweep, &response, &error))
+            << error;
+        ASSERT_EQ(response.status, 500);
+
+        // The retrying client absorbs the shed: its backoff outlasts
+        // the cooldown, the half-open probe serves, and the caller
+        // never sees the 503.
+        HttpRetryPolicy policy;
+        policy.maxAttempts = 5;
+        policy.initialBackoffMs = 80.0;
+        policy.maxBackoffMs = 120.0;
+        policy.retryPosts = true;
+        client.setRetryPolicy(policy);
+        ASSERT_TRUE(client.requestWithRetry("POST", "/v1/sweep", {},
+                                            sweep, &response,
+                                            &error))
+            << error;
+        EXPECT_EQ(response.status, 200);
+        EXPECT_GE(client.retriesUsed(), 1u);
+        EXPECT_EQ(server.metrics().counter(
+                      "server.breaker_closed"),
+                  1u);
+    }
+    server.stop();
+}
+
+TEST(HttpServerOverloadTest, PressedSweepsAreServedDegraded)
+{
+    ServerConfig config;
+    config.port = 0;
+    config.threads = 2;
+    config.degradeSweeps = true;
+    config.degradePressure = 0.0; // degrade every admitted sweep
+    BwwallServer server(config);
+    server.start();
+    {
+        HttpClient client("127.0.0.1", server.port());
+        HttpClientResponse response;
+        std::string error;
+        ASSERT_TRUE(client.post(
+            "/v1/sweep",
+            "{\"kind\":\"scaling\",\"generations\":8}", &response,
+            &error))
+            << error;
+        EXPECT_EQ(response.status, 200);
+        EXPECT_EQ(response.headers.at("x-bwwall-degraded"), "1");
+        EXPECT_GE(server.metrics().counter("server.degraded"), 1u);
+
+        // Cheap endpoints never carry the degraded marker.
+        ASSERT_TRUE(client.post("/v1/solve",
+                                "{\"alpha\":0.5,\"total_ceas\":32}",
+                                &response, &error))
+            << error;
+        EXPECT_EQ(response.status, 200);
+        EXPECT_EQ(response.headers.count("x-bwwall-degraded"), 0u);
+    }
+    server.stop();
+}
+
+TEST(HttpClientTimeoutTest, ConnectTimeoutBoundsUnreachableHosts)
+{
+    // 10.255.255.1 is reserved/non-routable: connects either hang
+    // (the case the timeout exists for) or fail fast with a network
+    // error.  Either way the call must return promptly and report
+    // failure.
+    HttpClient client("10.255.255.1", 81);
+    client.setConnectTimeoutMs(150);
+    HttpClientResponse response;
+    std::string error;
+    const auto start = std::chrono::steady_clock::now();
+    EXPECT_FALSE(client.get("/healthz", &response, &error));
+    const double elapsed =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    EXPECT_LT(elapsed, 5.0);
+    EXPECT_FALSE(error.empty());
 }
 
 } // namespace

@@ -313,6 +313,131 @@ TEST(ResultCacheTest, ExceptionReachesEveryFlightWaiter)
     EXPECT_EQ(cache.entryCount(), 0u);
 }
 
+TEST(ResultCacheTest, StaleWindowServesExpiredWhileRevalidating)
+{
+    ResultCacheConfig config;
+    config.shardCount = 1;
+    config.ttlSeconds = 0.03;
+    config.staleSeconds = 10.0;
+    MetricsRegistry metrics;
+    ResultCache cache(config, &metrics);
+
+    cache.getOrCompute("k", [] { return responseOf("v1"); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+
+    // The first caller to see the expired entry becomes the
+    // revalidating flight; gate its compute so a concurrent caller
+    // is guaranteed to arrive while it is still in flight.
+    std::mutex gate_mutex;
+    std::condition_variable gate_cv;
+    std::atomic<bool> computing{false};
+    bool release = false;
+    std::thread revalidator([&] {
+        const ResultCache::Outcome fresh = cache.getOrCompute(
+            "k", [&] {
+                computing.store(true);
+                std::unique_lock<std::mutex> lock(gate_mutex);
+                gate_cv.wait(lock, [&] { return release; });
+                return responseOf("v2");
+            });
+        EXPECT_EQ(fresh.response->body, "v2");
+        EXPECT_FALSE(fresh.stale);
+    });
+    while (!computing.load())
+        std::this_thread::yield();
+
+    // The concurrent caller is served the expired entry instead of
+    // blocking on the flight.
+    const ResultCache::Outcome stale = cache.getOrCompute(
+        "k", [] { return responseOf("never"); });
+    EXPECT_TRUE(stale.hit);
+    EXPECT_TRUE(stale.stale);
+    EXPECT_EQ(stale.response->body, "v1");
+
+    {
+        std::lock_guard<std::mutex> lock(gate_mutex);
+        release = true;
+    }
+    gate_cv.notify_all();
+    revalidator.join();
+
+    EXPECT_GE(metrics.counter("cache.stale_served"), 1u);
+    EXPECT_GE(metrics.counter("cache.revalidations"), 1u);
+
+    // Revalidation replaced the entry: the next lookup is fresh.
+    const ResultCache::Outcome after = cache.getOrCompute(
+        "k", [] { return responseOf("never"); });
+    EXPECT_TRUE(after.hit);
+    EXPECT_FALSE(after.stale);
+    EXPECT_EQ(after.response->body, "v2");
+}
+
+TEST(ResultCacheTest, FailedRevalidationKeepsTheStaleEntry)
+{
+    ResultCacheConfig config;
+    config.shardCount = 1;
+    config.ttlSeconds = 0.03;
+    config.staleSeconds = 10.0;
+    ResultCache cache(config);
+
+    cache.getOrCompute("k", [] { return responseOf("v1"); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+
+    // The revalidation faults; freshness degrades, not availability.
+    EXPECT_THROW(cache.getOrCompute(
+                     "k",
+                     []() -> CachedResponse {
+                         throw std::runtime_error("compute fault");
+                     }),
+                 std::runtime_error);
+    EXPECT_EQ(cache.entryCount(), 1u);
+
+    // The surviving stale entry still shields concurrent callers
+    // from the next revalidation attempt.
+    std::atomic<bool> computing{false};
+    std::mutex gate_mutex;
+    std::condition_variable gate_cv;
+    bool release = false;
+    std::thread retry([&] {
+        cache.getOrCompute("k", [&] {
+            computing.store(true);
+            std::unique_lock<std::mutex> lock(gate_mutex);
+            gate_cv.wait(lock, [&] { return release; });
+            return responseOf("v2");
+        });
+    });
+    while (!computing.load())
+        std::this_thread::yield();
+    const ResultCache::Outcome stale = cache.getOrCompute(
+        "k", [] { return responseOf("never"); });
+    EXPECT_TRUE(stale.stale);
+    EXPECT_EQ(stale.response->body, "v1");
+    {
+        std::lock_guard<std::mutex> lock(gate_mutex);
+        release = true;
+    }
+    gate_cv.notify_all();
+    retry.join();
+}
+
+TEST(ResultCacheTest, HardExpiryBeyondStaleWindowRecomputes)
+{
+    ResultCacheConfig config;
+    config.ttlSeconds = 0.02;
+    config.staleSeconds = 0.02;
+    MetricsRegistry metrics;
+    ResultCache cache(config, &metrics);
+
+    cache.getOrCompute("k", [] { return responseOf("v1"); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    const ResultCache::Outcome after = cache.getOrCompute(
+        "k", [] { return responseOf("v2"); });
+    EXPECT_FALSE(after.hit);
+    EXPECT_FALSE(after.stale);
+    EXPECT_EQ(after.response->body, "v2");
+    EXPECT_GE(metrics.counter("cache.expired"), 1u);
+}
+
 TEST(ResultCacheTest, ConcurrentDistinctKeysDoNotCorruptShards)
 {
     ResultCacheConfig config;

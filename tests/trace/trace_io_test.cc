@@ -7,10 +7,12 @@
 
 #include <cstdio>
 #include <fstream>
+#include <functional>
 #include <string>
 
 #include "trace/power_law_trace.hh"
 #include "trace/trace_io.hh"
+#include "util/fault.hh"
 
 namespace bwwall {
 namespace {
@@ -161,6 +163,167 @@ TEST_F(TraceIoTest, RejectsEmptyTrace)
     }
     EXPECT_EXIT(FileTraceSource(path_, true),
                 ::testing::ExitedWithCode(1), "no records");
+}
+
+// readTraceFile is the structured twin of FileTraceSource's fatal()
+// path: every malformed input must come back as a classified Error —
+// never a throw, never a read past the declared record grid.
+
+/** Reads the whole file, mutates it via @p rewrite, writes it back. */
+void
+rewriteFile(const std::string &path,
+            const std::function<void(std::string &)> &rewrite)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    in.close();
+    rewrite(bytes);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST_F(TraceIoTest, ReadTraceFileRoundTrips)
+{
+    {
+        TraceWriter writer(path_, 128);
+        writer.write({0x1000, AccessType::Read, 2});
+        writer.write({0x2040, AccessType::Write, 3});
+    }
+    Expected<TraceFileData> loaded = readTraceFile(path_);
+    ASSERT_TRUE(loaded.ok()) << loaded.error().toString();
+    EXPECT_EQ(loaded.value().lineBytesHint, 128u);
+    ASSERT_EQ(loaded.value().records.size(), 2u);
+    EXPECT_EQ(loaded.value().records[0].address, 0x1000u);
+    EXPECT_EQ(loaded.value().records[1].type, AccessType::Write);
+}
+
+TEST_F(TraceIoTest, ReadTraceFileMissingFileIsIo)
+{
+    const Expected<TraceFileData> loaded =
+        readTraceFile("/nonexistent/nope.bwtr");
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.error().category, ErrorCategory::Io);
+    EXPECT_NE(loaded.error().message.find("cannot open"),
+              std::string::npos);
+}
+
+TEST_F(TraceIoTest, ReadTraceFileBadMagicIsInvalidInput)
+{
+    {
+        std::ofstream out(path_, std::ios::binary);
+        out << "GARBAGE header that is long enough to read";
+    }
+    const Expected<TraceFileData> loaded = readTraceFile(path_);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.error().category, ErrorCategory::InvalidInput);
+    EXPECT_NE(loaded.error().message.find("not a bwwall trace"),
+              std::string::npos);
+}
+
+TEST_F(TraceIoTest, ReadTraceFileCorruptReservedBytesIsInvalidInput)
+{
+    {
+        TraceWriter writer(path_);
+        writer.write({0x40, AccessType::Read, 0});
+    }
+    // Bytes 12..15 of the header are reserved-zero; flip one.
+    rewriteFile(path_, [](std::string &bytes) { bytes[13] = 'X'; });
+    const Expected<TraceFileData> loaded = readTraceFile(path_);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.error().category, ErrorCategory::InvalidInput);
+    EXPECT_NE(loaded.error().message.find("corrupt header"),
+              std::string::npos);
+}
+
+TEST_F(TraceIoTest, ReadTraceFileAbsurdLineSizeIsInvalidInput)
+{
+    {
+        TraceWriter writer(path_);
+        writer.write({0x40, AccessType::Read, 0});
+    }
+    // The declared line size lives in header bytes 8..11; 16 MiB is
+    // past the 1 MiB plausibility cap.
+    rewriteFile(path_, [](std::string &bytes) {
+        bytes[8] = 0;
+        bytes[9] = 0;
+        bytes[10] = 0;
+        bytes[11] = 1; // little-endian 0x01000000
+    });
+    const Expected<TraceFileData> loaded = readTraceFile(path_);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.error().category, ErrorCategory::InvalidInput);
+    EXPECT_NE(loaded.error().message.find("implausible line size"),
+              std::string::npos);
+}
+
+TEST_F(TraceIoTest, ReadTraceFileZeroLineSizeIsInvalidInput)
+{
+    {
+        TraceWriter writer(path_);
+        writer.write({0x40, AccessType::Read, 0});
+    }
+    rewriteFile(path_, [](std::string &bytes) {
+        bytes[8] = bytes[9] = bytes[10] = bytes[11] = 0;
+    });
+    const Expected<TraceFileData> loaded = readTraceFile(path_);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.error().category, ErrorCategory::InvalidInput);
+}
+
+TEST_F(TraceIoTest, ReadTraceFileTruncatedRecordIsIo)
+{
+    {
+        TraceWriter writer(path_);
+        writer.write({0x40, AccessType::Read, 0});
+        writer.write({0x80, AccessType::Write, 1});
+    }
+    rewriteFile(path_, [](std::string &bytes) {
+        bytes.resize(bytes.size() - 5);
+    });
+    const Expected<TraceFileData> loaded = readTraceFile(path_);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.error().category, ErrorCategory::Io);
+    EXPECT_NE(loaded.error().message.find("truncated mid-record"),
+              std::string::npos);
+}
+
+TEST_F(TraceIoTest, ReadTraceFileEmptyTraceIsInvalidInput)
+{
+    {
+        TraceWriter writer(path_);
+    }
+    const Expected<TraceFileData> loaded = readTraceFile(path_);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.error().category, ErrorCategory::InvalidInput);
+    EXPECT_NE(loaded.error().message.find("no records"),
+              std::string::npos);
+}
+
+TEST_F(TraceIoTest, InjectedTraceReadFaultIsFaulted)
+{
+    {
+        TraceWriter writer(path_);
+        writer.write({0x40, AccessType::Read, 0});
+    }
+    ScopedFaultInjection faults("trace.read=nth:1");
+    const Expected<TraceFileData> loaded = readTraceFile(path_);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.error().category, ErrorCategory::Faulted);
+    // The next load (the fault fired once) succeeds normally.
+    EXPECT_TRUE(readTraceFile(path_).ok());
+}
+
+TEST_F(TraceIoTest, InjectedTraceWriteFaultIsFatalDiskError)
+{
+    ScopedFaultInjection faults("trace.write=nth:1");
+    EXPECT_EXIT(
+        {
+            TraceWriter writer(path_);
+            writer.write({0x40, AccessType::Read, 0});
+        },
+        ::testing::ExitedWithCode(1), "write failed");
 }
 
 } // namespace

@@ -196,6 +196,22 @@ TEST(CliParserTest, ParseKnownCompactsRecognisedArguments)
     EXPECT_TRUE(csv);
 }
 
+TEST(CliParserTest, ParseKnownHandlesHelpLikeParse)
+{
+    bool chaos = false;
+    CliParser parser("prog");
+    parser.addFlag("--chaos", &chaos, "storm mode");
+    Argv argv({"prog", "--benchmark_filter=BM_Foo", "--help"});
+    CliParser::Status status = CliParser::Status::Ok;
+    testing::internal::CaptureStdout();
+    parser.parseKnown(argv.argc(), argv.argv(), &status);
+    const std::string usage =
+        testing::internal::GetCapturedStdout();
+    EXPECT_EQ(status, CliParser::Status::Help);
+    EXPECT_NE(usage.find("--chaos"), std::string::npos);
+    EXPECT_NE(usage.find("--help"), std::string::npos);
+}
+
 TEST(CliParserTest, ParseKnownReportsBadValuesForOwnOptions)
 {
     std::uint64_t seed = 0;

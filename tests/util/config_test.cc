@@ -97,5 +97,38 @@ TEST(ConfigTest, RejectsMissingFile)
                 ::testing::ExitedWithCode(1), "cannot open");
 }
 
+// The try* twins classify failures as structured Errors so tools can
+// print one "tool: error: category: ..." line instead of dying in
+// the library.
+
+TEST(ConfigTest, TryParseStringReturnsTheConfig)
+{
+    const Expected<ConfigFile> parsed =
+        ConfigFile::tryParseString("alpha = 0.5\n");
+    ASSERT_TRUE(parsed.ok()) << parsed.error().toString();
+    EXPECT_DOUBLE_EQ(parsed.value().getDouble("alpha", 0.0), 0.5);
+}
+
+TEST(ConfigTest, TryParseStringClassifiesMalformedLines)
+{
+    const Expected<ConfigFile> parsed =
+        ConfigFile::tryParseString("not a key value line\n");
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_EQ(parsed.error().category,
+              ErrorCategory::InvalidInput);
+    EXPECT_NE(parsed.error().message.find("key = value"),
+              std::string::npos);
+}
+
+TEST(ConfigTest, TryParseFileClassifiesMissingFileAsIo)
+{
+    const Expected<ConfigFile> parsed =
+        ConfigFile::tryParseFile("/nonexistent/nope.cfg");
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_EQ(parsed.error().category, ErrorCategory::Io);
+    EXPECT_NE(parsed.error().message.find("cannot open"),
+              std::string::npos);
+}
+
 } // namespace
 } // namespace bwwall

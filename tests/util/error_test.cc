@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tests for the structured error taxonomy: category names, the
+ * category-to-HTTP-status mapping, Error rendering, the Expected
+ * value-or-error carrier, and the Errored exception round-trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/error.hh"
+
+namespace bwwall {
+namespace {
+
+TEST(ErrorTest, CategoryNamesAreStableSnakeCase)
+{
+    EXPECT_STREQ(errorCategoryName(ErrorCategory::InvalidInput),
+                 "invalid_input");
+    EXPECT_STREQ(errorCategoryName(ErrorCategory::NonFinite),
+                 "non_finite");
+    EXPECT_STREQ(errorCategoryName(ErrorCategory::NonConvergence),
+                 "non_convergence");
+    EXPECT_STREQ(errorCategoryName(ErrorCategory::Io), "io");
+    EXPECT_STREQ(errorCategoryName(ErrorCategory::Overload),
+                 "overload");
+    EXPECT_STREQ(errorCategoryName(ErrorCategory::Faulted),
+                 "faulted");
+}
+
+TEST(ErrorTest, EveryCategoryMapsToExactlyOneStatus)
+{
+    EXPECT_EQ(httpStatusFor(ErrorCategory::InvalidInput), 400);
+    EXPECT_EQ(httpStatusFor(ErrorCategory::NonFinite), 422);
+    EXPECT_EQ(httpStatusFor(ErrorCategory::NonConvergence), 424);
+    EXPECT_EQ(httpStatusFor(ErrorCategory::Io), 502);
+    EXPECT_EQ(httpStatusFor(ErrorCategory::Overload), 503);
+    EXPECT_EQ(httpStatusFor(ErrorCategory::Faulted), 500);
+}
+
+TEST(ErrorTest, ToStringPrefixesTheCategoryName)
+{
+    const Error error{ErrorCategory::NonConvergence,
+                      "no fixed point after 64 iterations"};
+    EXPECT_EQ(error.toString(),
+              "non_convergence: no fixed point after 64 iterations");
+}
+
+TEST(ErrorTest, ExpectedHoldsValue)
+{
+    const Expected<int> good(7);
+    ASSERT_TRUE(good.ok());
+    EXPECT_TRUE(static_cast<bool>(good));
+    EXPECT_EQ(good.value(), 7);
+}
+
+TEST(ErrorTest, ExpectedHoldsError)
+{
+    const Expected<int> bad(
+        Error{ErrorCategory::Io, "cannot open trace"});
+    ASSERT_FALSE(bad.ok());
+    EXPECT_FALSE(static_cast<bool>(bad));
+    EXPECT_EQ(bad.error().category, ErrorCategory::Io);
+    EXPECT_EQ(bad.error().message, "cannot open trace");
+}
+
+TEST(ErrorTest, ValueOrThrowReturnsTheValue)
+{
+    Expected<std::string> good(std::string("payload"));
+    EXPECT_EQ(std::move(good).valueOrThrow(), "payload");
+}
+
+TEST(ErrorTest, ValueOrThrowThrowsErrored)
+{
+    Expected<std::string> bad(
+        Error{ErrorCategory::NonFinite, "alpha produced NaN"});
+    try {
+        std::move(bad).valueOrThrow();
+        FAIL() << "expected Errored";
+    } catch (const Errored &errored) {
+        EXPECT_EQ(errored.error().category,
+                  ErrorCategory::NonFinite);
+        EXPECT_EQ(errored.error().message, "alpha produced NaN");
+        // what() carries the rendered one-liner for generic catch
+        // sites that only log.
+        EXPECT_STREQ(errored.what(),
+                     "non_finite: alpha produced NaN");
+    }
+}
+
+TEST(ErrorTest, ErroredCategoryConstructorRoundTrips)
+{
+    const Errored errored(ErrorCategory::Overload,
+                          "shed by admission control");
+    EXPECT_EQ(errored.error().category, ErrorCategory::Overload);
+    EXPECT_EQ(errored.error().toString(),
+              "overload: shed by admission control");
+}
+
+TEST(ErrorTest, ValueAccessOnErrorPanics)
+{
+    const Expected<int> bad(Error{ErrorCategory::Io, "gone"});
+    EXPECT_DEATH(bad.value(), "Expected::value");
+}
+
+TEST(ErrorTest, ErrorAccessOnValuePanics)
+{
+    const Expected<int> good(3);
+    EXPECT_DEATH(good.error(), "Expected::error");
+}
+
+} // namespace
+} // namespace bwwall

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Tests for the deterministic fault-injection framework: the plan
+ * grammar, every firing mode, hit/fired accounting, replay
+ * determinism (same plan + seed => identical firing pattern), the
+ * metrics wiring, and the guarantee that unarmed points never fire.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/fault.hh"
+#include "util/metrics.hh"
+
+namespace bwwall {
+namespace {
+
+/** Runs @p hits of @p point and records which ones fired. */
+std::vector<bool>
+firingPattern(const char *point, int hits)
+{
+    std::vector<bool> fired;
+    fired.reserve(static_cast<std::size_t>(hits));
+    for (int i = 0; i < hits; ++i)
+        fired.push_back(faultPoint(point));
+    return fired;
+}
+
+TEST(FaultTest, UnarmedPointsNeverFire)
+{
+    ASSERT_FALSE(faultsArmed());
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_FALSE(FAULT_POINT("test.unarmed"));
+    EXPECT_EQ(faultHitCount("test.unarmed"), 0u);
+    EXPECT_EQ(faultFiredCount("test.unarmed"), 0u);
+}
+
+TEST(FaultTest, NthFiresExactlyOnce)
+{
+    ScopedFaultInjection faults("test.nth=nth:3");
+    const std::vector<bool> fired = firingPattern("test.nth", 6);
+    const std::vector<bool> expected = {false, false, true,
+                                        false, false, false};
+    EXPECT_EQ(fired, expected);
+    EXPECT_EQ(faultHitCount("test.nth"), 6u);
+    EXPECT_EQ(faultFiredCount("test.nth"), 1u);
+}
+
+TEST(FaultTest, EveryFiresPeriodically)
+{
+    ScopedFaultInjection faults("test.every=every:2");
+    const std::vector<bool> fired = firingPattern("test.every", 6);
+    const std::vector<bool> expected = {false, true, false,
+                                        true,  false, true};
+    EXPECT_EQ(fired, expected);
+    EXPECT_EQ(faultFiredCount("test.every"), 3u);
+}
+
+TEST(FaultTest, ScheduleFiresOnListedHits)
+{
+    ScopedFaultInjection faults("test.sched=sched:1,4,5");
+    const std::vector<bool> fired = firingPattern("test.sched", 7);
+    const std::vector<bool> expected = {true,  false, false, true,
+                                        true,  false, false};
+    EXPECT_EQ(fired, expected);
+    EXPECT_EQ(faultFiredCount("test.sched"), 3u);
+}
+
+TEST(FaultTest, ProbabilityZeroNeverFiresAndOneAlwaysFires)
+{
+    {
+        ScopedFaultInjection faults("test.p=prob:0");
+        for (int i = 0; i < 200; ++i)
+            EXPECT_FALSE(faultPoint("test.p"));
+    }
+    {
+        ScopedFaultInjection faults("test.p=prob:1");
+        for (int i = 0; i < 200; ++i)
+            EXPECT_TRUE(faultPoint("test.p"));
+    }
+}
+
+TEST(FaultTest, ProbabilityIsDeterministicPerSeed)
+{
+    std::vector<bool> first, second;
+    {
+        ScopedFaultInjection faults("seed=42;test.det=prob:0.3");
+        first = firingPattern("test.det", 500);
+    }
+    {
+        ScopedFaultInjection faults("seed=42;test.det=prob:0.3");
+        second = firingPattern("test.det", 500);
+    }
+    EXPECT_EQ(first, second);
+
+    // A different seed reshuffles the pattern (with 500 draws at
+    // p=0.3 a collision would need ~2^-500 luck).
+    std::vector<bool> reseeded;
+    {
+        ScopedFaultInjection faults("seed=43;test.det=prob:0.3");
+        reseeded = firingPattern("test.det", 500);
+    }
+    EXPECT_NE(first, reseeded);
+}
+
+TEST(FaultTest, ProbabilityFiringRateIsRoughlyCalibrated)
+{
+    ScopedFaultInjection faults("seed=7;test.rate=prob:0.2");
+    int fires = 0;
+    for (int i = 0; i < 2000; ++i)
+        fires += faultPoint("test.rate") ? 1 : 0;
+    // Mean 400; six sigmas is about 107.
+    EXPECT_GT(fires, 290);
+    EXPECT_LT(fires, 510);
+}
+
+TEST(FaultTest, PointsAreIndependent)
+{
+    ScopedFaultInjection faults("test.a=nth:1;test.b=nth:2");
+    EXPECT_TRUE(faultPoint("test.a"));
+    // test.b has its own hit counter: its first hit must not fire.
+    EXPECT_FALSE(faultPoint("test.b"));
+    EXPECT_TRUE(faultPoint("test.b"));
+    // A point absent from the plan never fires even while armed.
+    EXPECT_FALSE(faultPoint("test.c"));
+    EXPECT_EQ(faultHitCount("test.c"), 0u);
+}
+
+TEST(FaultTest, FiredPointsCountIntoMetrics)
+{
+    MetricsRegistry metrics;
+    {
+        ScopedFaultInjection faults("test.metric=every:2",
+                                    &metrics);
+        firingPattern("test.metric", 10);
+    }
+    EXPECT_EQ(metrics.counter("faults.fired.test.metric"), 5u);
+}
+
+TEST(FaultTest, UninstallDisarms)
+{
+    {
+        ScopedFaultInjection faults("test.off=prob:1");
+        EXPECT_TRUE(faultsArmed());
+        EXPECT_TRUE(faultPoint("test.off"));
+    }
+    EXPECT_FALSE(faultsArmed());
+    EXPECT_FALSE(faultPoint("test.off"));
+    EXPECT_EQ(faultFiredCount("test.off"), 0u);
+}
+
+TEST(FaultTest, ParseAcceptsTheDocumentedGrammar)
+{
+    FaultConfig config;
+    std::string error;
+    ASSERT_TRUE(parseFaultConfig(
+        "seed=9;a=prob:0.5;b=nth:4;c=every:3;d=sched:2,8,9",
+        &config, &error))
+        << error;
+    EXPECT_EQ(config.seed, 9u);
+    ASSERT_EQ(config.specs.size(), 4u);
+    EXPECT_EQ(config.specs[0].point, "a");
+    EXPECT_EQ(config.specs[0].mode, FaultSpec::Mode::Probability);
+    EXPECT_DOUBLE_EQ(config.specs[0].probability, 0.5);
+    EXPECT_EQ(config.specs[1].mode, FaultSpec::Mode::Nth);
+    EXPECT_EQ(config.specs[1].n, 4u);
+    EXPECT_EQ(config.specs[2].mode, FaultSpec::Mode::Every);
+    EXPECT_EQ(config.specs[2].n, 3u);
+    EXPECT_EQ(config.specs[3].mode, FaultSpec::Mode::Schedule);
+    EXPECT_EQ(config.specs[3].schedule,
+              (std::vector<std::uint64_t>{2, 8, 9}));
+}
+
+TEST(FaultTest, ParseEmptyTextIsAnEmptyPlan)
+{
+    FaultConfig config;
+    std::string error;
+    ASSERT_TRUE(parseFaultConfig("", &config, &error)) << error;
+    EXPECT_TRUE(config.specs.empty());
+}
+
+TEST(FaultTest, ParseRejectsMalformedEntries)
+{
+    const std::vector<std::string> bad = {
+        "nonsense",            // no '='
+        "p=prob",              // no mode argument
+        "p=prob:2",            // probability out of [0, 1]
+        "p=prob:x",            // not a number
+        "p=nth:0",             // hit numbers are 1-based
+        "p=every:0",           // period must be positive
+        "p=sched:",            // empty schedule
+        "p=sched:3,x",         // non-numeric schedule entry
+        "p=launch:3",          // unknown mode
+        "seed=banana",         // non-numeric seed
+    };
+    for (const std::string &plan : bad) {
+        FaultConfig config;
+        std::string error;
+        EXPECT_FALSE(parseFaultConfig(plan, &config, &error))
+            << "accepted: " << plan;
+        EXPECT_FALSE(error.empty()) << plan;
+    }
+}
+
+TEST(FaultTest, InstallReplacesThePreviousPlan)
+{
+    MetricsRegistry metrics;
+    FaultConfig first;
+    std::string error;
+    ASSERT_TRUE(parseFaultConfig("test.swap=prob:1", &first,
+                                 &error));
+    installFaults(first, &metrics);
+    EXPECT_TRUE(faultPoint("test.swap"));
+
+    FaultConfig second;
+    ASSERT_TRUE(parseFaultConfig("test.swap=prob:0", &second,
+                                 &error));
+    installFaults(second, &metrics);
+    EXPECT_FALSE(faultPoint("test.swap"));
+    // Counters restart with the new plan.
+    EXPECT_EQ(faultHitCount("test.swap"), 1u);
+    uninstallFaults();
+}
+
+} // namespace
+} // namespace bwwall
