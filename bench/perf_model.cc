@@ -4,24 +4,34 @@
  * evaluation, the supportable-core solver, and full multi-generation
  * studies.  Not a paper artifact — library performance.
  *
- * In addition to the google-benchmark suite, a custom main() runs a
- * timed jobs=1 versus jobs=4 saturation sweep and (with --json FILE)
- * writes a MetricsRegistry report containing the measured parallel
- * speedup and a bit-identical flag comparing the two result sets.
+ * In addition to the google-benchmark suite, a custom main() runs
+ * two explicit comparisons and (with --json FILE) writes a
+ * MetricsRegistry report for the CI gates: a single-threaded
+ * batch-vs-scalar model solve over a generation × alpha grid
+ * (model.points_per_sec.{scalar,batch}, model.batch_speedup,
+ * model.batch_identical — the >= 3x CI gate keys on these), and a
+ * timed jobs=1 versus jobs=4 saturation sweep with its parallel
+ * speedup and bit-identical flag (saturation.*).
  */
 
 #include <benchmark/benchmark.h>
 
+#include <bit>
 #include <chrono>
+#include <cmath>
+#include <cstdint>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "bench_util.hh"
 #include "mem/system_sim.hh"
+#include "model/batch_solver.hh"
 #include "model/scaling_study.hh"
 #include "util/cli.hh"
 #include "util/metrics.hh"
 #include "util/thread_pool.hh"
+#include "util/trace_span.hh"
 
 namespace bwwall {
 namespace {
@@ -77,6 +87,226 @@ BM_Figure15Study(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_Figure15Study);
+
+/**
+ * The generation × alpha grid the batch-vs-scalar comparison solves:
+ * six die doublings at five workload exponents under the paper's
+ * constant-bandwidth budget, with the Figure 16 combined technique
+ * set in effect.
+ */
+BatchGrid
+throughputGrid()
+{
+    BatchGrid grid;
+    // A paper-style combined study: compression, dense and stacked
+    // cache, filtering, and smaller cores all at once (the scalar
+    // path re-composes this set on every traffic evaluation; the
+    // batch path binds it once per grid).
+    grid.techniques = {cacheLinkCompression(2.0), dramCache(8.0),
+                       stackedCache(1.0), smallCacheLines(0.4),
+                       unusedDataFilter(0.25), smallerCores(0.7)};
+    grid.reserve(30);
+    for (int generation = 1; generation <= 6; ++generation) {
+        const double total_ceas = 16.0 * std::pow(2.0, generation);
+        for (const double alpha : {0.3, 0.4, 0.5, 0.6, 0.7})
+            grid.push(alpha, total_ceas, 1.0);
+    }
+    return grid;
+}
+
+void
+BM_ThroughputGridScalar(benchmark::State &state)
+{
+    const BatchGrid grid = throughputGrid();
+    const ThroughputModelParams params;
+    for (auto _ : state) {
+        for (std::size_t i = 0; i < grid.points(); ++i) {
+            benchmark::DoNotOptimize(
+                solveThroughputOptimal(grid.scenarioAt(i), params));
+        }
+    }
+    state.SetItemsProcessed(
+        state.iterations() *
+        static_cast<std::int64_t>(grid.points()));
+}
+BENCHMARK(BM_ThroughputGridScalar)->Unit(benchmark::kMicrosecond);
+
+void
+BM_ThroughputGridBatch(benchmark::State &state)
+{
+    const BatchGrid grid = throughputGrid();
+    const ThroughputModelParams params;
+    std::vector<int> cores(grid.points());
+    std::vector<double> throughput(grid.points());
+    std::vector<double> traffic(grid.points());
+    std::vector<std::uint8_t> limited(grid.points());
+    const ThroughputBatchOut out{cores.data(), throughput.data(),
+                                 traffic.data(), limited.data()};
+    for (auto _ : state) {
+        solveThroughputBatch(grid, params, out);
+        benchmark::DoNotOptimize(throughput.data());
+    }
+    state.SetItemsProcessed(
+        state.iterations() *
+        static_cast<std::int64_t>(grid.points()));
+}
+BENCHMARK(BM_ThroughputGridBatch)->Unit(benchmark::kMicrosecond);
+
+/** Bitwise double comparison (the batch contract is bit-identity). */
+bool
+bitEqual(double a, double b)
+{
+    return std::bit_cast<std::uint64_t>(a) ==
+           std::bit_cast<std::uint64_t>(b);
+}
+
+/**
+ * Single-threaded batch-vs-scalar comparison over throughputGrid():
+ * times both paths (best of `reps` passes), checks bit-identity of
+ * every output field, and records the model.* gauges the CI
+ * regression harness and the >= 3x speedup gate key on.
+ */
+void
+measureBatchSpeedup(MetricsRegistry &metrics)
+{
+    const BatchGrid grid = throughputGrid();
+    const ThroughputModelParams params;
+    const std::size_t count = grid.points();
+    const int reps = quickMode() ? 5 : 25;
+    using Clock = std::chrono::steady_clock;
+
+    // Scalar path, as the pre-batch clients ran it: per-point
+    // scenario construction plus the scalar solvers.
+    std::vector<ThroughputSolveResult> scalar_throughput(count);
+    std::vector<SolveResult> scalar_supportable(count);
+    double scalar_seconds = 0.0;
+    double scalar_supportable_seconds = 0.0;
+    {
+        Span span("bench.model_scalar");
+        for (int rep = 0; rep < reps; ++rep) {
+            const auto start = Clock::now();
+            for (std::size_t i = 0; i < count; ++i) {
+                scalar_throughput[i] = solveThroughputOptimal(
+                    grid.scenarioAt(i), params);
+            }
+            const double elapsed =
+                std::chrono::duration<double>(Clock::now() - start)
+                    .count();
+            if (rep == 0 || elapsed < scalar_seconds)
+                scalar_seconds = elapsed;
+        }
+        for (int rep = 0; rep < reps; ++rep) {
+            const auto start = Clock::now();
+            for (std::size_t i = 0; i < count; ++i) {
+                scalar_supportable[i] =
+                    solveSupportableCores(grid.scenarioAt(i));
+            }
+            const double elapsed =
+                std::chrono::duration<double>(Clock::now() - start)
+                    .count();
+            if (rep == 0 || elapsed < scalar_supportable_seconds)
+                scalar_supportable_seconds = elapsed;
+        }
+    }
+
+    // Batch path: caller-owned columns allocated once, outside the
+    // timed region.
+    std::vector<int> cores(count);
+    std::vector<double> throughput(count);
+    std::vector<double> traffic(count);
+    std::vector<std::uint8_t> limited(count);
+    const ThroughputBatchOut batch_out{cores.data(),
+                                       throughput.data(),
+                                       traffic.data(),
+                                       limited.data()};
+    std::vector<int> sup_cores(count);
+    std::vector<double> sup_fractional(count);
+    std::vector<double> sup_traffic(count);
+    std::vector<double> sup_core_area(count);
+    std::vector<double> sup_cache(count);
+    const SupportableBatchOut supportable_out{
+        sup_cores.data(), sup_fractional.data(), sup_traffic.data(),
+        sup_core_area.data(), sup_cache.data()};
+    double batch_seconds = 0.0;
+    double batch_supportable_seconds = 0.0;
+    {
+        Span span("bench.model_batch");
+        for (int rep = 0; rep < reps; ++rep) {
+            const auto start = Clock::now();
+            solveThroughputBatch(grid, params, batch_out);
+            const double elapsed =
+                std::chrono::duration<double>(Clock::now() - start)
+                    .count();
+            if (rep == 0 || elapsed < batch_seconds)
+                batch_seconds = elapsed;
+        }
+        for (int rep = 0; rep < reps; ++rep) {
+            const auto start = Clock::now();
+            solveSupportableBatch(grid, supportable_out);
+            const double elapsed =
+                std::chrono::duration<double>(Clock::now() - start)
+                    .count();
+            if (rep == 0 || elapsed < batch_supportable_seconds)
+                batch_supportable_seconds = elapsed;
+        }
+    }
+
+    bool identical = true;
+    for (std::size_t i = 0; i < count; ++i) {
+        identical = identical &&
+            scalar_throughput[i].cores == cores[i] &&
+            bitEqual(scalar_throughput[i].throughput,
+                     throughput[i]) &&
+            bitEqual(scalar_throughput[i].traffic, traffic[i]) &&
+            scalar_throughput[i].bandwidthLimited ==
+                (limited[i] != 0) &&
+            scalar_supportable[i].supportableCores ==
+                sup_cores[i] &&
+            bitEqual(scalar_supportable[i].fractionalCores,
+                     sup_fractional[i]) &&
+            bitEqual(scalar_supportable[i].trafficAtSolution,
+                     sup_traffic[i]) &&
+            bitEqual(scalar_supportable[i].coreAreaFraction,
+                     sup_core_area[i]) &&
+            bitEqual(scalar_supportable[i].cachePerCore,
+                     sup_cache[i]);
+    }
+
+    const double points = static_cast<double>(count);
+    const double scalar_rate =
+        scalar_seconds > 0.0 ? points / scalar_seconds : 0.0;
+    const double batch_rate =
+        batch_seconds > 0.0 ? points / batch_seconds : 0.0;
+    const double speedup =
+        batch_seconds > 0.0 ? scalar_seconds / batch_seconds : 0.0;
+    const double supportable_speedup = batch_supportable_seconds > 0.0
+        ? scalar_supportable_seconds / batch_supportable_seconds
+        : 0.0;
+
+    metrics.addCounter("model.batch_points", count);
+    metrics.setGauge("model.points_per_sec.scalar", scalar_rate);
+    metrics.setGauge("model.points_per_sec.batch", batch_rate);
+    metrics.setGauge("model.batch_speedup", speedup);
+    metrics.setGauge("model.supportable_points_per_sec.scalar",
+                     scalar_supportable_seconds > 0.0
+                         ? points / scalar_supportable_seconds
+                         : 0.0);
+    metrics.setGauge("model.supportable_points_per_sec.batch",
+                     batch_supportable_seconds > 0.0
+                         ? points / batch_supportable_seconds
+                         : 0.0);
+    metrics.setGauge("model.supportable_batch_speedup",
+                     supportable_speedup);
+    metrics.setGauge("model.batch_identical",
+                     identical ? 1.0 : 0.0);
+
+    std::cout << "model throughput grid: scalar "
+              << scalar_rate << " pts/s, batch " << batch_rate
+              << " pts/s, speedup " << speedup
+              << "x (supportable " << supportable_speedup
+              << "x), results "
+              << (identical ? "bit-identical" : "DIVERGED") << '\n';
+}
 
 /** Sweep parameters shared by the BM_ and the speedup measurement. */
 SaturationSweepParams
@@ -200,6 +430,7 @@ main(int argc, char **argv)
     benchmark::Shutdown();
 
     bwwall::MetricsRegistry metrics;
+    bwwall::measureBatchSpeedup(metrics);
     bwwall::measureSweepSpeedup(metrics);
     if (!options.jsonPath.empty()) {
         metrics.writeJsonFile(options.jsonPath);

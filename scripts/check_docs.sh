@@ -59,7 +59,7 @@ done
 # --- 3. documented flags exist in a binary's --help ------------------
 # Flags used by external tools in CI/docs prose, not by our binaries.
 allow_external='^--(help|version|dry-run|output-on-failure|test-dir|
-build|benchmark_[a-z_]*|gtest_[a-z_]*)$'
+build|benchmark_[a-z_]*|gtest_[a-z_]*|baselines|metrics|update)$'
 
 help_binaries=(
     examples/bwwalld

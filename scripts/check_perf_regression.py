@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Compare fresh bench-smoke gauges against committed baselines.
+
+Each file in the baseline directory (bench/baselines/*.json) names a
+metrics JSON (as written by the benches' --json flag) and a set of
+gauge expectations:
+
+    {
+      "metrics": "perf_model.json",
+      "gauges": {
+        "model.batch_speedup": {"value": 3.5, "min_ratio": 0.8},
+        "perf_server.hit.p99_ms": {"value": 10.0, "max_ratio": 5.0}
+      }
+    }
+
+For every listed gauge the fresh value must stay inside the band
+derived from the committed reference:
+
+    value * min_ratio <= current            (when min_ratio is set)
+    current <= value * max_ratio            (when max_ratio is set)
+
+Higher-is-better gauges (throughputs, speedups) set min_ratio;
+lower-is-better gauges (latencies, error bounds) set max_ratio; exact
+invariants (bit-identity flags) set both to 1.0.  Bands are wide by
+design — shared CI runners are noisy — so a failure here means a real
+regression, not jitter.  An optional "note" per gauge documents the
+band; the checker ignores it.
+
+Usage:
+    check_perf_regression.py [--baselines DIR] [--metrics DIR]
+    check_perf_regression.py --update ...   # rewrite reference values
+                                            # from the fresh run,
+                                            # keeping bands and notes
+
+Exit status is 0 when every gauge is inside its band, 1 otherwise;
+the diff of every violation is printed either way.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load_json(path):
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def check_baseline(baseline_path, metrics_dir, update):
+    """Checks one baseline file; returns a list of failure strings."""
+    baseline = load_json(baseline_path)
+    metrics_path = metrics_dir / baseline["metrics"]
+    if not metrics_path.exists():
+        return [f"{baseline_path.name}: metrics file "
+                f"{metrics_path} not found"]
+    gauges = load_json(metrics_path).get("gauges", {})
+
+    failures = []
+    print(f"-- {baseline_path.name} vs {metrics_path}")
+    for name in sorted(baseline["gauges"]):
+        expect = baseline["gauges"][name]
+        if name not in gauges:
+            failures.append(f"{name}: gauge missing from "
+                            f"{metrics_path.name}")
+            print(f"   FAIL {name}: missing")
+            continue
+        current = gauges[name]
+        reference = expect["value"]
+        low = (reference * expect["min_ratio"]
+               if "min_ratio" in expect else None)
+        high = (reference * expect["max_ratio"]
+                if "max_ratio" in expect else None)
+        band = "[{}, {}]".format(
+            "-inf" if low is None else f"{low:g}",
+            "+inf" if high is None else f"{high:g}")
+        ok = ((low is None or current >= low) and
+              (high is None or current <= high))
+        verdict = "ok  " if ok else "FAIL"
+        print(f"   {verdict} {name}: current {current:g}, "
+              f"reference {reference:g}, allowed {band}")
+        if not ok:
+            failures.append(f"{name}: {current:g} outside {band} "
+                            f"(reference {reference:g})")
+        if update:
+            expect["value"] = current
+
+    if update:
+        with open(baseline_path, "w") as handle:
+            json.dump(baseline, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"   updated reference values in {baseline_path}")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Gate fresh bench gauges against committed "
+                    "baselines.")
+    parser.add_argument("--baselines", default="bench/baselines",
+                        type=pathlib.Path,
+                        help="directory of committed baseline JSONs")
+    parser.add_argument("--metrics", default="metrics",
+                        type=pathlib.Path,
+                        help="directory of fresh bench --json output")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite baseline reference values from "
+                             "the fresh run (bands and notes kept)")
+    args = parser.parse_args()
+
+    baseline_paths = sorted(args.baselines.glob("*.json"))
+    if not baseline_paths:
+        print(f"error: no baselines under {args.baselines}",
+              file=sys.stderr)
+        return 1
+
+    failures = []
+    for path in baseline_paths:
+        failures += check_baseline(path, args.metrics, args.update)
+
+    if failures:
+        print(f"\n{len(failures)} perf regression(s):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"\nall gauges within their baseline bands "
+          f"({len(baseline_paths)} file(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

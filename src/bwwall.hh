@@ -17,7 +17,7 @@
 
 // Library version.
 #define BWWALL_VERSION_MAJOR 1
-#define BWWALL_VERSION_MINOR 3
+#define BWWALL_VERSION_MINOR 4
 #define BWWALL_VERSION_PATCH 0
 
 #include "cache/coherent_system.hh"
@@ -40,6 +40,7 @@
 #include "mem/system_sim.hh"
 #include "model/assumptions.hh"
 #include "model/bandwidth_wall.hh"
+#include "model/batch_solver.hh"
 #include "model/cmp_config.hh"
 #include "model/extensions.hh"
 #include "model/heterogeneous.hh"

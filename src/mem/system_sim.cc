@@ -104,6 +104,21 @@ runSaturationSweep(const SaturationSweepParams &params)
     return points;
 }
 
+void
+runSaturationSweepInto(const SaturationSweepParams &params,
+                       const SaturationBatchOut &out)
+{
+    const std::vector<SaturationPoint> points =
+        runSaturationSweep(params);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        out.cores[i] = points[i].cores;
+        out.aggregateThroughput[i] = points[i].aggregateThroughput;
+        out.perCoreThroughput[i] = points[i].perCoreThroughput;
+        out.channelUtilization[i] = points[i].channelUtilization;
+        out.averageQueueingDelay[i] = points[i].averageQueueingDelay;
+    }
+}
+
 double
 channelSaturationThroughput(const MemoryChannelConfig &channel,
                             std::uint64_t request_bytes)

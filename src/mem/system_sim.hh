@@ -65,6 +65,29 @@ std::vector<SaturationPoint> runSaturationSweep(
     const SaturationSweepParams &params);
 
 /**
+ * Caller-owned output columns of a saturation sweep, one entry per
+ * params.coreCounts element; field meanings match SaturationPoint
+ * member for member.  The SoA twin of the sweep for contiguous-buffer
+ * consumers (benches, the batch-model regression gates).
+ */
+struct SaturationBatchOut
+{
+    unsigned *cores = nullptr;
+    double *aggregateThroughput = nullptr;
+    double *perCoreThroughput = nullptr;
+    double *channelUtilization = nullptr;
+    double *averageQueueingDelay = nullptr;
+};
+
+/**
+ * runSaturationSweep() scattered into caller-owned columns.  Results
+ * and metrics are bit-identical to the vector form; every pointer in
+ * `out` must reference at least params.coreCounts.size() elements.
+ */
+void runSaturationSweepInto(const SaturationSweepParams &params,
+                            const SaturationBatchOut &out);
+
+/**
  * Analytic saturation throughput of the channel, in work units per
  * 1000 cycles: bandwidth divided by bytes per work unit.
  */

@@ -1,17 +1,14 @@
 #include "model/bandwidth_wall.hh"
 
 #include <cmath>
-#include <limits>
 
-#include "model/power_law.hh"
+#include "model/batch_solver.hh"
 #include "util/fault.hh"
 #include "util/logging.hh"
 
 namespace bwwall {
 
 namespace {
-
-constexpr double kInfinity = std::numeric_limits<double>::infinity();
 
 void
 validateScenario(const ScalingScenario &scenario)
@@ -28,35 +25,43 @@ validateScenario(const ScalingScenario &scenario)
 } // namespace
 
 std::optional<Error>
-scenarioError(const ScalingScenario &scenario)
+scenarioPointError(const CmpConfig &baseline, double alpha,
+                   double total_ceas, double traffic_budget)
 {
-    if (!std::isfinite(scenario.alpha) ||
-        !std::isfinite(scenario.totalCeas) ||
-        !std::isfinite(scenario.trafficBudget) ||
-        !std::isfinite(scenario.baseline.totalCeas) ||
-        !std::isfinite(scenario.baseline.coreCeas)) {
+    if (!std::isfinite(alpha) || !std::isfinite(total_ceas) ||
+        !std::isfinite(traffic_budget) ||
+        !std::isfinite(baseline.totalCeas) ||
+        !std::isfinite(baseline.coreCeas)) {
         return Error{ErrorCategory::NonFinite,
                      "scenario contains a non-finite field"};
     }
-    if (scenario.baseline.totalCeas <= 0.0)
+    if (baseline.totalCeas <= 0.0)
         return Error{ErrorCategory::InvalidInput,
                      "baseline requires a positive die area"};
-    if (scenario.baseline.coreCeas <= 0.0)
+    if (baseline.coreCeas <= 0.0)
         return Error{ErrorCategory::InvalidInput,
                      "baseline requires a positive core area"};
-    if (scenario.baseline.cacheCeas() < 0.0)
+    if (baseline.cacheCeas() < 0.0)
         return Error{ErrorCategory::InvalidInput,
                      "baseline core area exceeds the die"};
-    if (scenario.alpha <= 0.0)
+    if (alpha <= 0.0)
         return Error{ErrorCategory::InvalidInput,
                      "scenario requires alpha > 0"};
-    if (scenario.totalCeas <= 0.0)
+    if (total_ceas <= 0.0)
         return Error{ErrorCategory::InvalidInput,
                      "scenario requires a positive die area"};
-    if (scenario.trafficBudget <= 0.0)
+    if (traffic_budget <= 0.0)
         return Error{ErrorCategory::InvalidInput,
                      "scenario requires a positive traffic budget"};
     return std::nullopt;
+}
+
+std::optional<Error>
+scenarioError(const ScalingScenario &scenario)
+{
+    return scenarioPointError(scenario.baseline, scenario.alpha,
+                              scenario.totalCeas,
+                              scenario.trafficBudget);
 }
 
 Expected<SolveResult>
@@ -89,44 +94,14 @@ relativeTraffic(const ScalingScenario &scenario, double cores)
     if (cores <= 0.0)
         fatal("relativeTraffic requires a positive core count");
 
-    const TechniqueEffects effects =
-        combineEffects(scenario.techniques);
-
-    const double core_area = cores * effects.coreAreaFraction;
-    if (core_area > scenario.totalCeas)
-        return kInfinity; // cores do not fit on the die
-
-    const double on_die_cache =
-        (scenario.totalCeas - core_area) * effects.cacheDensity;
-    const double stacked_cache = effects.stackedLayers *
-        scenario.totalCeas * effects.stackedDensity;
-    const double cache_ceas = on_die_cache + stacked_cache;
-    if (cache_ceas <= 0.0)
-        return kInfinity; // no cache at all: unbounded traffic
-
-    // Data sharing shrinks the number of independent traffic sources
-    // (paper Eq. 14) and pools the shared cache (paper Eq. 13).
-    const double effective_cores = effects.sharedFraction >= 0.0
-        ? effects.sharedFraction +
-              (1.0 - effects.sharedFraction) * cores
-        : cores;
-
-    // With a pooled (shared) cache the per-thread capacity divides
-    // by the traffic-equivalent cores; with private caches shared
-    // lines replicate and each core keeps its plain share (paper
-    // footnote 1).
-    const double capacity_divisor =
-        effects.sharedFraction >= 0.0 && !effects.sharingPoolsCache
-            ? cores
-            : effective_cores;
-    const double effective_cache_per_core =
-        cache_ceas * effects.capacityFactor / capacity_divisor;
-
-    const PowerLaw law(scenario.alpha);
-    const double s1 = scenario.baseline.cachePerCore();
-    return (effective_cores / scenario.baseline.coreCeas) *
-           law.trafficScale(effective_cache_per_core / s1) *
-           effects.directFactor;
+    // The Eq. 5-14 math lives in TrafficKernel so the scalar and SoA
+    // batch paths evaluate one shared expression; negating alpha for
+    // the kernel's pre-negated exponent is exact, so this delegation
+    // is bit-identical to the historical inline body.
+    const TrafficKernel kernel(scenario.baseline,
+                               combineEffects(scenario.techniques));
+    return kernel.trafficAt(scenario.totalCeas, -scenario.alpha,
+                            cores);
 }
 
 double

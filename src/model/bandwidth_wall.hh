@@ -80,6 +80,16 @@ SolveResult solveSupportableCores(const ScalingScenario &scenario);
 std::optional<Error> scenarioError(const ScalingScenario &scenario);
 
 /**
+ * scenarioError() on decomposed fields — the batch solver's per-point
+ * classification.  scenarioError() delegates here so the scalar and
+ * SoA paths share one check order and one set of messages.
+ */
+std::optional<Error> scenarioPointError(const CmpConfig &baseline,
+                                        double alpha,
+                                        double total_ceas,
+                                        double traffic_budget);
+
+/**
  * Non-fatal twin of solveSupportableCores() for servers and tools
  * that must degrade instead of exiting: scenarioError() failures
  * come back as Expected errors, and a solver that produces a

@@ -1,0 +1,524 @@
+#include "model/batch_solver.hh"
+
+#include <cmath>
+#include <limits>
+#include <optional>
+
+#include "model/power_law.hh"
+#include "util/fault.hh"
+#include "util/logging.hh"
+
+namespace bwwall {
+
+namespace {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+/** baseline.validate() as an initializer-friendly pass-through. */
+const CmpConfig &
+validatedBaseline(const CmpConfig &baseline)
+{
+    baseline.validate();
+    return baseline;
+}
+
+/**
+ * relativeCorePerformance() with the power-law exponent pre-negated;
+ * checks, expressions, and messages mirror the scalar twin so the
+ * fatal() behaviour and every produced bit line up.
+ */
+double
+corePerf(const ThroughputModelParams &params, double neg_alpha,
+         double cache_per_core_ratio)
+{
+    if (params.memoryStallShare < 0.0 ||
+        params.memoryStallShare >= 1.0) {
+        fatal("memory stall share must be in [0, 1)");
+    }
+    if (cache_per_core_ratio <= 0.0)
+        fatal("cache-per-core ratio must be positive");
+    const double k =
+        params.memoryStallShare / (1.0 - params.memoryStallShare);
+    return (1.0 + k) /
+           (1.0 + k *
+                powerLawTrafficScale(cache_per_core_ratio, neg_alpha));
+}
+
+} // namespace
+
+ScalingScenario
+BatchGrid::scenarioAt(std::size_t i) const
+{
+    ScalingScenario scenario;
+    scenario.baseline = baseline;
+    scenario.alpha = alpha[i];
+    scenario.totalCeas = totalCeas[i];
+    scenario.trafficBudget = trafficBudget[i];
+    scenario.techniques = techniques;
+    return scenario;
+}
+
+TrafficKernel::TrafficKernel(const CmpConfig &baseline,
+                             const TechniqueEffects &effects)
+    : effects_(effects), base_core_ceas_(baseline.coreCeas),
+      s1_(baseline.cachePerCore())
+{}
+
+double
+TrafficKernel::trafficAt(double total_ceas, double neg_alpha,
+                         double cores) const
+{
+    // The one copy of the Eq. 5-14 traffic expression; the scalar
+    // relativeTraffic() delegates here.  Operand order and
+    // association are load-bearing: any expression change breaks the
+    // bit-identity contract with historical results.
+    const double core_area = cores * effects_.coreAreaFraction;
+    if (core_area > total_ceas)
+        return kInfinity; // cores do not fit on the die
+
+    const double on_die_cache =
+        (total_ceas - core_area) * effects_.cacheDensity;
+    const double stacked_cache =
+        effects_.stackedLayers * total_ceas * effects_.stackedDensity;
+    const double cache_ceas = on_die_cache + stacked_cache;
+    if (cache_ceas <= 0.0)
+        return kInfinity; // no cache at all: unbounded traffic
+
+    // Data sharing shrinks the number of independent traffic sources
+    // (paper Eq. 14) and pools the shared cache (paper Eq. 13).
+    const double effective_cores = effects_.sharedFraction >= 0.0
+        ? effects_.sharedFraction +
+              (1.0 - effects_.sharedFraction) * cores
+        : cores;
+
+    // With a pooled (shared) cache the per-thread capacity divides
+    // by the traffic-equivalent cores; with private caches shared
+    // lines replicate and each core keeps its plain share (paper
+    // footnote 1).
+    const double capacity_divisor =
+        effects_.sharedFraction >= 0.0 && !effects_.sharingPoolsCache
+            ? cores
+            : effective_cores;
+    const double effective_cache_per_core =
+        cache_ceas * effects_.capacityFactor / capacity_divisor;
+
+    const double capacity_ratio = effective_cache_per_core / s1_;
+    if (capacity_ratio <= 0.0)
+        fatal("PowerLaw::trafficScale requires a positive ratio");
+    return (effective_cores / base_core_ceas_) *
+           powerLawTrafficScale(capacity_ratio, neg_alpha) *
+           effects_.directFactor;
+}
+
+BatchSolver::BatchSolver(const CmpConfig &baseline,
+                         const std::vector<Technique> &techniques)
+    : baseline_(baseline),
+      kernel_(validatedBaseline(baseline_), combineEffects(techniques))
+{}
+
+void
+BatchSolver::validatePoint(double alpha, double total_ceas,
+                           double traffic_budget) const
+{
+    // baseline_.validate() held at construction; these mirror the
+    // per-point half of validateScenario(), same order and messages.
+    if (alpha <= 0.0)
+        fatal("scenario requires alpha > 0");
+    if (total_ceas <= 0.0)
+        fatal("scenario requires a positive die area");
+    if (traffic_budget <= 0.0)
+        fatal("scenario requires a positive traffic budget");
+}
+
+double
+BatchSolver::traffic(double alpha, double total_ceas,
+                     double traffic_budget, double cores) const
+{
+    validatePoint(alpha, total_ceas, traffic_budget);
+    if (cores <= 0.0)
+        fatal("relativeTraffic requires a positive core count");
+    return kernel_.trafficAt(total_ceas, -alpha, cores);
+}
+
+SolveResult
+BatchSolver::solveSupportable(double alpha, double total_ceas,
+                              double traffic_budget) const
+{
+    validatePoint(alpha, total_ceas, traffic_budget);
+    const TechniqueEffects &effects = kernel_.effects();
+    const double neg_alpha = -alpha;
+
+    SolveResult result;
+    const double max_cores = total_ceas / effects.coreAreaFraction;
+    const int max_whole =
+        static_cast<int>(std::floor(max_cores + 1e-9));
+    if (max_whole < 1)
+        return result;
+
+    // traffic_lo tracks the traffic at the current integer lower
+    // bound; relativeTraffic is pure, so reusing the bisection's last
+    // within-budget evaluation equals the scalar recomputation.
+    double traffic_lo = kernel_.trafficAt(total_ceas, neg_alpha, 1.0);
+    if (traffic_lo > traffic_budget)
+        return result; // even one core breaks the budget
+
+    int lo = 1, hi = max_whole;
+    while (lo < hi) {
+        const int mid = lo + (hi - lo + 1) / 2;
+        const double traffic = kernel_.trafficAt(
+            total_ceas, neg_alpha, static_cast<double>(mid));
+        if (traffic <= traffic_budget) {
+            lo = mid;
+            traffic_lo = traffic;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    result.supportableCores = lo;
+    result.trafficAtSolution = traffic_lo;
+
+    // Real-valued crossing.  The scalar loop always runs 100 halving
+    // steps; once mid collides with an endpoint the invariants
+    // (traffic(flo) <= budget < traffic(fhi)) pin every further
+    // iteration to a no-op, so breaking there changes nothing.
+    double flo = 1.0, fhi = max_cores;
+    if (kernel_.trafficAt(total_ceas, neg_alpha, fhi) <=
+        traffic_budget) {
+        result.fractionalCores = fhi;
+    } else {
+        for (int iteration = 0; iteration < 100; ++iteration) {
+            const double mid = 0.5 * (flo + fhi);
+            if (mid == flo || mid == fhi)
+                break;
+            if (kernel_.trafficAt(total_ceas, neg_alpha, mid) <=
+                traffic_budget) {
+                flo = mid;
+            } else {
+                fhi = mid;
+            }
+        }
+        result.fractionalCores = flo;
+    }
+
+    const double core_area =
+        static_cast<double>(lo) * effects.coreAreaFraction;
+    result.coreAreaFraction = core_area / total_ceas;
+    result.cachePerCore =
+        (total_ceas - core_area +
+         effects.stackedLayers * total_ceas) /
+        static_cast<double>(lo);
+    return result;
+}
+
+ThroughputSolveResult
+BatchSolver::solveThroughput(const ThroughputModelParams &params,
+                             double alpha, double total_ceas,
+                             double traffic_budget,
+                             bool enforce_budget) const
+{
+    validatePoint(alpha, total_ceas, traffic_budget);
+    const TechniqueEffects &effects = kernel_.effects();
+    const double neg_alpha = -alpha;
+    const double s1 = kernel_.baselineCachePerCore();
+    const double max_cores = total_ceas / effects.coreAreaFraction;
+    const int max_whole =
+        static_cast<int>(std::floor(max_cores + 1e-9));
+
+    ThroughputSolveResult best;
+    if (max_whole < 1)
+        return best;
+
+    if (!enforce_budget) {
+        // Unconstrained mode keeps the scalar scan shape (traffic is
+        // needed at every count anyway for the isfinite gate).
+        for (int cores = 1; cores <= max_whole; ++cores) {
+            const double traffic = kernel_.trafficAt(
+                total_ceas, neg_alpha, static_cast<double>(cores));
+            if (!std::isfinite(traffic))
+                continue;
+            const double core_area =
+                cores * effects.coreAreaFraction;
+            const double cache_ceas =
+                (total_ceas - core_area) * effects.cacheDensity +
+                effects.stackedLayers * total_ceas *
+                    effects.stackedDensity;
+            if (cache_ceas <= 0.0)
+                continue;
+            const double ratio = cache_ceas *
+                effects.capacityFactor /
+                (static_cast<double>(cores) * s1);
+            const double throughput = static_cast<double>(cores) *
+                corePerf(params, neg_alpha, ratio);
+            if (throughput > best.throughput) {
+                best.cores = cores;
+                best.throughput = throughput;
+                best.traffic = traffic;
+            }
+        }
+        return best;
+    }
+
+    // Budget-enforced mode: the scalar scan breaks at the first
+    // finite over-budget core count, and infeasible (infinite
+    // traffic) counts form a suffix, so the contributing counts are
+    // exactly [1, cutoff] for the largest within-budget cutoff.
+    // Finding it up front lets the scan below skip the per-core
+    // traffic evaluation — and its std::pow — entirely.
+    const double traffic_one =
+        kernel_.trafficAt(total_ceas, neg_alpha, 1.0);
+    if (!(std::isfinite(traffic_one) &&
+          traffic_one <= traffic_budget)) {
+        return best; // scalar: immediate break or all-infeasible
+    }
+    int scan_end = max_whole;
+    const double traffic_max = kernel_.trafficAt(
+        total_ceas, neg_alpha, static_cast<double>(max_whole));
+    if (!(std::isfinite(traffic_max) &&
+          traffic_max <= traffic_budget)) {
+        // Budget binds somewhere inside (1, max_whole): bisect.
+        int lo = 1, hi = max_whole;
+        while (lo < hi) {
+            const int mid = lo + (hi - lo + 1) / 2;
+            const double traffic = kernel_.trafficAt(
+                total_ceas, neg_alpha, static_cast<double>(mid));
+            if (std::isfinite(traffic) && traffic <= traffic_budget)
+                lo = mid;
+            else
+                hi = mid - 1;
+        }
+        scan_end = lo;
+    }
+
+    // The scan is non-empty and every count in it reaches the
+    // per-core performance term, so the scalar twin's stall-share
+    // check fires here on its first iteration too; hoisting it (and
+    // the pure k constants) out of the loop is behaviour-identical.
+    if (params.memoryStallShare < 0.0 ||
+        params.memoryStallShare >= 1.0) {
+        fatal("memory stall share must be in [0, 1)");
+    }
+    const double k =
+        params.memoryStallShare / (1.0 - params.memoryStallShare);
+    const double one_plus_k = 1.0 + k;
+
+    for (int cores = 1; cores <= scan_end; ++cores) {
+        const double core_area = cores * effects.coreAreaFraction;
+        const double cache_ceas =
+            (total_ceas - core_area) * effects.cacheDensity +
+            effects.stackedLayers * total_ceas *
+                effects.stackedDensity;
+        if (cache_ceas <= 0.0)
+            continue;
+        const double ratio = cache_ceas * effects.capacityFactor /
+            (static_cast<double>(cores) * s1);
+        if (ratio <= 0.0)
+            fatal("cache-per-core ratio must be positive");
+        const double throughput = static_cast<double>(cores) *
+            (one_plus_k /
+             (1.0 + k * powerLawTrafficScale(ratio, neg_alpha)));
+        if (throughput > best.throughput) {
+            best.cores = cores;
+            best.throughput = throughput;
+        }
+    }
+
+    if (best.cores > 0) {
+        // The scan above skipped the traffic column; recomputing at
+        // the argmax is the scalar loop's tracked value (pure
+        // function, identical argument).
+        best.traffic = kernel_.trafficAt(
+            total_ceas, neg_alpha, static_cast<double>(best.cores));
+    }
+    if (best.cores > 0 && best.cores < max_whole) {
+        const double next_traffic = kernel_.trafficAt(
+            total_ceas, neg_alpha,
+            static_cast<double>(best.cores + 1));
+        best.bandwidthLimited = next_traffic > traffic_budget;
+    }
+    return best;
+}
+
+void
+evaluateTrafficBatch(const BatchGrid &grid, const double *cores,
+                     double *traffic_out)
+{
+    const std::size_t count = grid.points();
+    if (count == 0)
+        return;
+    const BatchSolver solver(grid.baseline, grid.techniques);
+    for (std::size_t i = 0; i < count; ++i) {
+        traffic_out[i] =
+            solver.traffic(grid.alpha[i], grid.totalCeas[i],
+                           grid.trafficBudget[i], cores[i]);
+    }
+}
+
+void
+solveSupportableBatch(const BatchGrid &grid,
+                      const SupportableBatchOut &out)
+{
+    const std::size_t count = grid.points();
+    if (count == 0)
+        return;
+    const BatchSolver solver(grid.baseline, grid.techniques);
+    for (std::size_t i = 0; i < count; ++i) {
+        const SolveResult result = solver.solveSupportable(
+            grid.alpha[i], grid.totalCeas[i], grid.trafficBudget[i]);
+        out.supportableCores[i] = result.supportableCores;
+        out.fractionalCores[i] = result.fractionalCores;
+        out.trafficAtSolution[i] = result.trafficAtSolution;
+        out.coreAreaFraction[i] = result.coreAreaFraction;
+        out.cachePerCore[i] = result.cachePerCore;
+    }
+}
+
+namespace {
+
+void
+solveThroughputBatchImpl(const BatchGrid &grid,
+                         const ThroughputModelParams &params,
+                         const ThroughputBatchOut &out,
+                         bool enforce_budget)
+{
+    const std::size_t count = grid.points();
+    if (count == 0)
+        return;
+    const BatchSolver solver(grid.baseline, grid.techniques);
+    for (std::size_t i = 0; i < count; ++i) {
+        const ThroughputSolveResult result = solver.solveThroughput(
+            params, grid.alpha[i], grid.totalCeas[i],
+            grid.trafficBudget[i], enforce_budget);
+        out.cores[i] = result.cores;
+        out.throughput[i] = result.throughput;
+        out.traffic[i] = result.traffic;
+        out.bandwidthLimited[i] =
+            result.bandwidthLimited ? std::uint8_t{1}
+                                    : std::uint8_t{0};
+    }
+}
+
+} // namespace
+
+void
+solveThroughputBatch(const BatchGrid &grid,
+                     const ThroughputModelParams &params,
+                     const ThroughputBatchOut &out)
+{
+    solveThroughputBatchImpl(grid, params, out, true);
+}
+
+void
+solveThroughputUnconstrainedBatch(const BatchGrid &grid,
+                                  const ThroughputModelParams &params,
+                                  const ThroughputBatchOut &out)
+{
+    solveThroughputBatchImpl(grid, params, out, false);
+}
+
+std::size_t
+trySolveSupportableBatch(const BatchGrid &grid,
+                         const SupportableBatchOut &out,
+                         const BatchPointStatus &status)
+{
+    const std::size_t count = grid.points();
+    std::optional<BatchSolver> solver;
+    std::size_t ok_count = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        // Classification, fault injection, and the inconsistency
+        // check run per point in grid order, so an armed fault plan
+        // sees the same model.solve hit sequence as a scalar loop of
+        // trySolveSupportableCores() calls.
+        std::optional<Error> bad = scenarioPointError(
+            grid.baseline, grid.alpha[i], grid.totalCeas[i],
+            grid.trafficBudget[i]);
+        if (!bad && FAULT_POINT("model.solve")) {
+            bad = Error{ErrorCategory::NonConvergence,
+                        "solver failed to converge (injected fault "
+                        "'model.solve')"};
+        }
+        if (bad) {
+            status.ok[i] = 0;
+            status.errors[i] = *bad;
+            continue;
+        }
+        if (!solver)
+            solver.emplace(grid.baseline, grid.techniques);
+        const SolveResult result = solver->solveSupportable(
+            grid.alpha[i], grid.totalCeas[i], grid.trafficBudget[i]);
+        const bool inconsistent = result.supportableCores > 0 &&
+            (!std::isfinite(result.trafficAtSolution) ||
+             !std::isfinite(result.fractionalCores) ||
+             result.trafficAtSolution >
+                 grid.trafficBudget[i] * (1.0 + 1e-9));
+        if (inconsistent) {
+            status.ok[i] = 0;
+            status.errors[i] =
+                Error{ErrorCategory::NonConvergence,
+                      "solver produced an inconsistent solution"};
+            continue;
+        }
+        status.ok[i] = 1;
+        out.supportableCores[i] = result.supportableCores;
+        out.fractionalCores[i] = result.fractionalCores;
+        out.trafficAtSolution[i] = result.trafficAtSolution;
+        out.coreAreaFraction[i] = result.coreAreaFraction;
+        out.cachePerCore[i] = result.cachePerCore;
+        ++ok_count;
+    }
+    return ok_count;
+}
+
+std::size_t
+trySolveThroughputBatch(const BatchGrid &grid,
+                        const ThroughputModelParams &params,
+                        const ThroughputBatchOut &out,
+                        const BatchPointStatus &status)
+{
+    const std::size_t count = grid.points();
+    std::optional<BatchSolver> solver;
+    std::size_t ok_count = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        std::optional<Error> bad = scenarioPointError(
+            grid.baseline, grid.alpha[i], grid.totalCeas[i],
+            grid.trafficBudget[i]);
+        if (!bad && !std::isfinite(params.memoryStallShare)) {
+            bad = Error{ErrorCategory::NonFinite,
+                        "memory stall share is not finite"};
+        }
+        if (!bad && (params.memoryStallShare < 0.0 ||
+                     params.memoryStallShare >= 1.0)) {
+            bad = Error{ErrorCategory::InvalidInput,
+                        "memory stall share must be in [0, 1)"};
+        }
+        if (bad) {
+            status.ok[i] = 0;
+            status.errors[i] = *bad;
+            continue;
+        }
+        if (!solver)
+            solver.emplace(grid.baseline, grid.techniques);
+        const ThroughputSolveResult result = solver->solveThroughput(
+            params, grid.alpha[i], grid.totalCeas[i],
+            grid.trafficBudget[i], true);
+        if (result.cores > 0 && (!std::isfinite(result.throughput) ||
+                                 !std::isfinite(result.traffic))) {
+            status.ok[i] = 0;
+            status.errors[i] =
+                Error{ErrorCategory::NonConvergence,
+                      "throughput search produced a non-finite "
+                      "optimum"};
+            continue;
+        }
+        status.ok[i] = 1;
+        out.cores[i] = result.cores;
+        out.throughput[i] = result.throughput;
+        out.traffic[i] = result.traffic;
+        out.bandwidthLimited[i] =
+            result.bandwidthLimited ? std::uint8_t{1}
+                                    : std::uint8_t{0};
+        ++ok_count;
+    }
+    return ok_count;
+}
+
+} // namespace bwwall

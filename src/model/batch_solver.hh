@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Structure-of-arrays batch evaluation of the Eq. 1-14 solver hot
+ * path.
+ *
+ * The paper's results section is thousands of evaluations of the
+ * same analytical pipeline swept over generations × area
+ * allocations.  The scalar entry points (relativeTraffic,
+ * solveSupportableCores, solveThroughputOptimal) pay per-point costs
+ * that are invariant across any one sweep: scenario construction
+ * (a std::vector<Technique> copy with strings), validation,
+ * technique composition (combineEffects), and PowerLaw setup.  The
+ * batch API hoists all of that out of the inner loop:
+ *
+ *  - BatchGrid holds the sweep as flat SoA columns (alpha, totalCeas,
+ *    trafficBudget) plus one shared baseline + technique set; pushing
+ *    a point is three doubles, not a scenario copy.
+ *  - BatchSolver binds the per-grid invariants once (combined
+ *    technique effects, baseline S1, validation) and solves single
+ *    points scalar-identically, so parallel sweeps can shard a grid
+ *    across tasks.
+ *  - solveSupportableBatch / solveThroughputBatch evaluate a whole
+ *    grid per call into caller-owned contiguous buffers with no
+ *    per-point allocation.
+ *
+ * Bit-identity contract: every batch result is bit-identical to the
+ * scalar path (PR 3's byte-identical-response and cache-key
+ * invariants depend on this).  The kernel replicates the scalar
+ * expressions term for term — same operand order, same association —
+ * and its only deviations are provably value-preserving:
+ *
+ *  1. Hoisting: combineEffects(), baseline.cachePerCore(), and
+ *     validation are deterministic pure computations, so computing
+ *     them once per grid instead of once per traffic evaluation
+ *     yields the same bits.
+ *  2. Fractional-bisection fixed point: the scalar solver always runs
+ *     100 halving iterations; once `mid == flo || mid == fhi` the
+ *     interval can no longer change (the loop invariants pin which
+ *     side `mid` joins), so every remaining iteration is a no-op and
+ *     the batch path breaks out early.
+ *  3. Memoized re-evaluation: relativeTraffic is pure, so reusing the
+ *     value computed during bisection for `trafficAtSolution` equals
+ *     the scalar path's recomputation.
+ *  4. Budget-cutoff bisection (throughput): the scalar scan breaks at
+ *     the first finite over-budget traffic, which under the traffic
+ *     monotonicity the scalar solver itself already relies on equals
+ *     the largest within-budget core count; the batch path finds that
+ *     cutoff by bisection and then skips the per-core traffic
+ *     evaluation (and its std::pow) inside the scan entirely.
+ *
+ * The scalar entry points remain the readable reference oracle; the
+ * property tests in tests/model/batch_solver_test.cc assert bitwise
+ * equality between the two on randomized grids.  See
+ * docs/PERFORMANCE.md for layout, usage, and measured speedups.
+ */
+
+#ifndef BWWALL_MODEL_BATCH_SOLVER_HH
+#define BWWALL_MODEL_BATCH_SOLVER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "model/throughput.hh"
+
+namespace bwwall {
+
+/**
+ * A sweep grid in structure-of-arrays form: one shared baseline and
+ * technique set, and three flat columns indexed by point.  Columns
+ * always have equal length; use push() to grow them together.
+ */
+struct BatchGrid
+{
+    /** Reference configuration shared by every point. */
+    CmpConfig baseline = niagara2Baseline();
+
+    /** Techniques in effect at every point. */
+    std::vector<Technique> techniques;
+
+    /** @name SoA columns (parallel arrays, one entry per point)
+     *  @{ */
+    std::vector<double> alpha;
+    std::vector<double> totalCeas;
+    std::vector<double> trafficBudget;
+    /** @} */
+
+    std::size_t
+    points() const
+    {
+        return alpha.size();
+    }
+
+    void
+    reserve(std::size_t count)
+    {
+        alpha.reserve(count);
+        totalCeas.reserve(count);
+        trafficBudget.reserve(count);
+    }
+
+    /** Appends one sweep point. */
+    void
+    push(double point_alpha, double point_total_ceas,
+         double point_traffic_budget)
+    {
+        alpha.push_back(point_alpha);
+        totalCeas.push_back(point_total_ceas);
+        trafficBudget.push_back(point_traffic_budget);
+    }
+
+    /** Point i as a scalar-API scenario (copies the techniques). */
+    ScalingScenario scenarioAt(std::size_t i) const;
+};
+
+/**
+ * Caller-owned output columns of a supportable-cores batch solve.
+ * Every pointer must reference at least grid.points() elements.
+ * Field meanings match SolveResult member for member.
+ */
+struct SupportableBatchOut
+{
+    int *supportableCores = nullptr;
+    double *fractionalCores = nullptr;
+    double *trafficAtSolution = nullptr;
+    double *coreAreaFraction = nullptr;
+    double *cachePerCore = nullptr;
+};
+
+/**
+ * Caller-owned output columns of a throughput batch solve.  Field
+ * meanings match ThroughputSolveResult member for member
+ * (bandwidthLimited as 0/1).
+ */
+struct ThroughputBatchOut
+{
+    int *cores = nullptr;
+    double *throughput = nullptr;
+    double *traffic = nullptr;
+    std::uint8_t *bandwidthLimited = nullptr;
+};
+
+/**
+ * Caller-owned per-point status columns for the try* batch variants:
+ * ok[i] is 1 when point i solved (its output columns are valid) and
+ * 0 when it failed (errors[i] holds the classification the scalar
+ * try* twin would have returned).
+ */
+struct BatchPointStatus
+{
+    std::uint8_t *ok = nullptr;
+    Error *errors = nullptr;
+};
+
+/**
+ * The Eq. 5-14 traffic expression with every grid-invariant input
+ * pre-bound: combined technique effects, baseline core CEAs, and the
+ * baseline cache per core S1.  trafficAt() is expression-identical
+ * to relativeTraffic() — the scalar entry point delegates here so
+ * there is exactly one copy of the model math.
+ */
+class TrafficKernel
+{
+  public:
+    /** @pre baseline.validate() holds. */
+    TrafficKernel(const CmpConfig &baseline,
+                  const TechniqueEffects &effects);
+
+    /**
+     * Relative traffic M2/M1 at `cores` cores on a `total_ceas` die
+     * for a workload with exponent -neg_alpha (pass the negated
+     * alpha; the power law raises to -alpha and negation is exact).
+     * Returns +infinity for infeasible configurations.
+     */
+    double trafficAt(double total_ceas, double neg_alpha,
+                     double cores) const;
+
+    const TechniqueEffects &
+    effects() const
+    {
+        return effects_;
+    }
+
+    /** Baseline cache per core S1. */
+    double
+    baselineCachePerCore() const
+    {
+        return s1_;
+    }
+
+  private:
+    TechniqueEffects effects_;
+    double base_core_ceas_;
+    double s1_;
+};
+
+/**
+ * Per-grid solver: validates the shared baseline and composes the
+ * techniques once, then solves individual points bit-identically to
+ * the scalar entry points.  Point solves are const and touch no
+ * shared mutable state, so a parallel sweep can share one solver
+ * across tasks.
+ */
+class BatchSolver
+{
+  public:
+    /** Binds grid invariants; fatal on an invalid baseline. */
+    BatchSolver(const CmpConfig &baseline,
+                const std::vector<Technique> &techniques);
+
+    /** Bit-identical twin of solveSupportableCores() for one point. */
+    SolveResult solveSupportable(double alpha, double total_ceas,
+                                 double traffic_budget) const;
+
+    /** Bit-identical twin of solveThroughputOptimal() (enforce =
+     *  true) / solveThroughputUnconstrained() (enforce = false). */
+    ThroughputSolveResult
+    solveThroughput(const ThroughputModelParams &params, double alpha,
+                    double total_ceas, double traffic_budget,
+                    bool enforce_budget) const;
+
+    /** Bit-identical twin of relativeTraffic() for one point. */
+    double traffic(double alpha, double total_ceas,
+                   double traffic_budget, double cores) const;
+
+    const TrafficKernel &
+    kernel() const
+    {
+        return kernel_;
+    }
+
+  private:
+    /** Scalar validateScenario() for one point (fatal on failure). */
+    void validatePoint(double alpha, double total_ceas,
+                       double traffic_budget) const;
+
+    CmpConfig baseline_;
+    TrafficKernel kernel_;
+};
+
+/**
+ * Evaluates relativeTraffic over the whole grid at the given
+ * per-point core counts into the caller-owned `traffic_out` column —
+ * the flat-loop building block for traffic-surface sweeps.
+ */
+void evaluateTrafficBatch(const BatchGrid &grid, const double *cores,
+                          double *traffic_out);
+
+/** solveSupportableCores() over the whole grid, one call. */
+void solveSupportableBatch(const BatchGrid &grid,
+                           const SupportableBatchOut &out);
+
+/** solveThroughputOptimal() over the whole grid, one call. */
+void solveThroughputBatch(const BatchGrid &grid,
+                          const ThroughputModelParams &params,
+                          const ThroughputBatchOut &out);
+
+/** solveThroughputUnconstrained() over the whole grid, one call. */
+void solveThroughputUnconstrainedBatch(
+    const BatchGrid &grid, const ThroughputModelParams &params,
+    const ThroughputBatchOut &out);
+
+/**
+ * trySolveSupportableCores() over the whole grid: per-point
+ * Expected<T> semantics (scenario classification, the
+ * FAULT_POINT("model.solve") injection point, and the inconsistency
+ * check) land in `status`; output columns are written only for ok
+ * points.  Returns the number of ok points.
+ */
+std::size_t trySolveSupportableBatch(const BatchGrid &grid,
+                                     const SupportableBatchOut &out,
+                                     const BatchPointStatus &status);
+
+/**
+ * trySolveThroughputOptimal() over the whole grid with per-point
+ * status, mirroring trySolveSupportableBatch().  Returns the number
+ * of ok points.
+ */
+std::size_t trySolveThroughputBatch(const BatchGrid &grid,
+                                    const ThroughputModelParams &params,
+                                    const ThroughputBatchOut &out,
+                                    const BatchPointStatus &status);
+
+} // namespace bwwall
+
+#endif // BWWALL_MODEL_BATCH_SOLVER_HH

@@ -72,6 +72,20 @@ class PowerLaw
     double alpha_;
 };
 
+/**
+ * Kernel form of PowerLaw::trafficScale() for pre-negated exponents:
+ * pow(capacity_ratio, neg_alpha) with no checks.  Negation is exact
+ * in IEEE arithmetic, so for neg_alpha = -alpha this is bit-identical
+ * to trafficScale(capacity_ratio); the batch solver hoists the
+ * negation (and the positive-ratio precondition check) out of its
+ * inner loops.
+ */
+inline double
+powerLawTrafficScale(double capacity_ratio, double neg_alpha)
+{
+    return std::pow(capacity_ratio, neg_alpha);
+}
+
 } // namespace bwwall
 
 #endif // BWWALL_MODEL_POWER_LAW_HH

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cmath>
 
+#include "model/batch_solver.hh"
 #include "util/logging.hh"
 #include "util/metrics.hh"
 #include "util/thread_pool.hh"
@@ -12,30 +13,22 @@ namespace bwwall {
 
 namespace {
 
-/** Evaluates one generation; a pure function of the parameters. */
-GenerationResult
-evaluateGeneration(const ScalingStudyParams &params, int generation)
+/** The study's generation × budget grid in SoA form. */
+BatchGrid
+studyGrid(const ScalingStudyParams &params)
 {
-    Span span("scaling.generation",
-              static_cast<std::uint64_t>(generation));
-    const double scale = std::pow(2.0, generation);
-
-    ScalingScenario scenario;
-    scenario.baseline = params.baseline;
-    scenario.alpha = params.alpha;
-    scenario.totalCeas = params.baseline.totalCeas * scale;
-    scenario.trafficBudget =
-        std::pow(params.bandwidthGrowthPerGeneration, generation);
-    scenario.techniques = params.techniques;
-
-    const SolveResult solved = solveSupportableCores(scenario);
-
-    GenerationResult result;
-    result.scale = scale;
-    result.totalCeas = scenario.totalCeas;
-    result.cores = solved.supportableCores;
-    result.coreAreaFraction = solved.coreAreaFraction;
-    return result;
+    BatchGrid grid;
+    grid.baseline = params.baseline;
+    grid.techniques = params.techniques;
+    grid.reserve(static_cast<std::size_t>(params.generations));
+    for (int generation = 1; generation <= params.generations;
+         ++generation) {
+        const double scale = std::pow(2.0, generation);
+        grid.push(params.alpha, params.baseline.totalCeas * scale,
+                  std::pow(params.bandwidthGrowthPerGeneration,
+                           generation));
+    }
+    return grid;
 }
 
 } // namespace
@@ -48,13 +41,27 @@ runScalingStudy(const ScalingStudyParams &params)
 
     Span span("scaling.study");
     const auto start = std::chrono::steady_clock::now();
-    // One task per generation; each evaluation is pure, so the
-    // parallel study is bit-identical to the serial one.
+    // Build the grid and bind the per-study invariants (technique
+    // composition, baseline validation) once; each task then solves
+    // its point through the shared BatchSolver.  Point solves are
+    // pure and bit-identical to solveSupportableCores(), so the
+    // parallel study matches the serial one bit for bit.
+    const BatchGrid grid = studyGrid(params);
+    const BatchSolver solver(grid.baseline, grid.techniques);
     std::vector<GenerationResult> results = parallelMap(
-        static_cast<std::size_t>(params.generations), params.jobs,
-        [&params](std::size_t g) {
-            return evaluateGeneration(params,
-                                      static_cast<int>(g) + 1);
+        grid.points(), params.jobs,
+        [&grid, &solver](std::size_t g) {
+            Span generation_span("scaling.generation", g + 1);
+            const SolveResult solved = solver.solveSupportable(
+                grid.alpha[g], grid.totalCeas[g],
+                grid.trafficBudget[g]);
+            GenerationResult result;
+            result.scale =
+                std::pow(2.0, static_cast<int>(g) + 1);
+            result.totalCeas = grid.totalCeas[g];
+            result.cores = solved.supportableCores;
+            result.coreAreaFraction = solved.coreAreaFraction;
+            return result;
         });
 
     if (params.metrics != nullptr) {

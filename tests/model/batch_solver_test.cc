@@ -1,0 +1,460 @@
+/**
+ * @file
+ * Property tests for the SoA batch solver: every batch entry point
+ * must be *bit-identical* to its scalar twin (PR 3's
+ * byte-identical-response and cache-key invariants ride on this),
+ * and the try* variants must classify per-point failures exactly as
+ * the scalar Expected<T> paths do.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "model/batch_solver.hh"
+#include "util/fault.hh"
+#include "util/rng.hh"
+
+namespace bwwall {
+namespace {
+
+/** Bitwise equality — the only comparison these tests accept. */
+bool
+bitEqual(double a, double b)
+{
+    return std::bit_cast<std::uint64_t>(a) ==
+           std::bit_cast<std::uint64_t>(b);
+}
+
+/** Builds a random technique set (possibly empty). */
+std::vector<Technique>
+randomTechniques(Rng &rng)
+{
+    std::vector<Technique> techniques;
+    if (rng.nextBernoulli(0.5))
+        techniques.push_back(cacheCompression(
+            1.0 + rng.nextDouble() * 2.5));
+    if (rng.nextBernoulli(0.3))
+        techniques.push_back(dramCache(2.0 + rng.nextDouble() * 14.0));
+    if (rng.nextBernoulli(0.3))
+        techniques.push_back(stackedCache(
+            rng.nextBernoulli(0.5) ? 1.0
+                                   : 2.0 + rng.nextDouble() * 14.0));
+    if (rng.nextBernoulli(0.3))
+        techniques.push_back(unusedDataFilter(rng.nextDouble() * 0.8));
+    if (rng.nextBernoulli(0.3))
+        techniques.push_back(smallerCores(
+            0.0125 + rng.nextDouble() * 0.9));
+    if (rng.nextBernoulli(0.5))
+        techniques.push_back(linkCompression(
+            1.0 + rng.nextDouble() * 2.5));
+    if (rng.nextBernoulli(0.3))
+        techniques.push_back(sectoredCache(rng.nextDouble() * 0.8));
+    if (rng.nextBernoulli(0.3))
+        techniques.push_back(smallCacheLines(rng.nextDouble() * 0.8));
+    // At most one data-sharing flavour may be combined.
+    if (rng.nextBernoulli(0.2))
+        techniques.push_back(dataSharing(rng.nextDouble()));
+    else if (rng.nextBernoulli(0.2))
+        techniques.push_back(dataSharingPrivateCaches(
+            rng.nextDouble()));
+    return techniques;
+}
+
+/** A random grid with valid points over the fuzz tests' ranges. */
+BatchGrid
+randomGrid(Rng &rng, std::size_t count)
+{
+    BatchGrid grid;
+    grid.techniques = randomTechniques(rng);
+    grid.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        grid.push(0.2 + rng.nextDouble() * 0.7,
+                  16.0 * std::pow(2.0, rng.nextBounded(7)),
+                  0.5 + rng.nextDouble() * 2.5);
+    }
+    return grid;
+}
+
+/** Caller-owned columns sized for one grid. */
+struct SupportableColumns
+{
+    explicit SupportableColumns(std::size_t count)
+        : supportableCores(count, -1), fractionalCores(count, -1.0),
+          trafficAtSolution(count, -1.0),
+          coreAreaFraction(count, -1.0), cachePerCore(count, -1.0)
+    {}
+
+    SupportableBatchOut
+    out()
+    {
+        return {supportableCores.data(), fractionalCores.data(),
+                trafficAtSolution.data(), coreAreaFraction.data(),
+                cachePerCore.data()};
+    }
+
+    std::vector<int> supportableCores;
+    std::vector<double> fractionalCores;
+    std::vector<double> trafficAtSolution;
+    std::vector<double> coreAreaFraction;
+    std::vector<double> cachePerCore;
+};
+
+struct ThroughputColumns
+{
+    explicit ThroughputColumns(std::size_t count)
+        : cores(count, -1), throughput(count, -1.0),
+          traffic(count, -1.0), bandwidthLimited(count, 255)
+    {}
+
+    ThroughputBatchOut
+    out()
+    {
+        return {cores.data(), throughput.data(), traffic.data(),
+                bandwidthLimited.data()};
+    }
+
+    std::vector<int> cores;
+    std::vector<double> throughput;
+    std::vector<double> traffic;
+    std::vector<std::uint8_t> bandwidthLimited;
+};
+
+struct StatusColumns
+{
+    explicit StatusColumns(std::size_t count)
+        : ok(count, 255), errors(count)
+    {}
+
+    BatchPointStatus
+    status()
+    {
+        return {ok.data(), errors.data()};
+    }
+
+    std::vector<std::uint8_t> ok;
+    std::vector<Error> errors;
+};
+
+void
+expectSupportableBits(const SolveResult &scalar,
+                      const SupportableColumns &batch, std::size_t i)
+{
+    EXPECT_EQ(scalar.supportableCores, batch.supportableCores[i]);
+    EXPECT_TRUE(bitEqual(scalar.fractionalCores,
+                         batch.fractionalCores[i]));
+    EXPECT_TRUE(bitEqual(scalar.trafficAtSolution,
+                         batch.trafficAtSolution[i]));
+    EXPECT_TRUE(bitEqual(scalar.coreAreaFraction,
+                         batch.coreAreaFraction[i]));
+    EXPECT_TRUE(bitEqual(scalar.cachePerCore, batch.cachePerCore[i]));
+}
+
+void
+expectThroughputBits(const ThroughputSolveResult &scalar,
+                     const ThroughputColumns &batch, std::size_t i)
+{
+    EXPECT_EQ(scalar.cores, batch.cores[i]);
+    EXPECT_TRUE(bitEqual(scalar.throughput, batch.throughput[i]));
+    EXPECT_TRUE(bitEqual(scalar.traffic, batch.traffic[i]));
+    EXPECT_EQ(scalar.bandwidthLimited ? 1 : 0,
+              static_cast<int>(batch.bandwidthLimited[i]));
+}
+
+class BatchSolverFuzzTest
+    : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(BatchSolverFuzzTest, SupportableMatchesScalarBitForBit)
+{
+    Rng rng(GetParam());
+    for (int round = 0; round < 25; ++round) {
+        const BatchGrid grid =
+            randomGrid(rng, 1 + rng.nextBounded(24));
+        SupportableColumns batch(grid.points());
+        solveSupportableBatch(grid, batch.out());
+        for (std::size_t i = 0; i < grid.points(); ++i) {
+            const SolveResult scalar =
+                solveSupportableCores(grid.scenarioAt(i));
+            expectSupportableBits(scalar, batch, i);
+        }
+    }
+}
+
+TEST_P(BatchSolverFuzzTest, ThroughputMatchesScalarBitForBit)
+{
+    Rng rng(GetParam() + 500);
+    for (int round = 0; round < 20; ++round) {
+        const BatchGrid grid =
+            randomGrid(rng, 1 + rng.nextBounded(16));
+        ThroughputModelParams params;
+        params.memoryStallShare = rng.nextDouble() * 0.9;
+
+        ThroughputColumns constrained(grid.points());
+        solveThroughputBatch(grid, params, constrained.out());
+        ThroughputColumns unconstrained(grid.points());
+        solveThroughputUnconstrainedBatch(grid, params,
+                                          unconstrained.out());
+        for (std::size_t i = 0; i < grid.points(); ++i) {
+            const ScalingScenario scenario = grid.scenarioAt(i);
+            expectThroughputBits(
+                solveThroughputOptimal(scenario, params), constrained,
+                i);
+            expectThroughputBits(
+                solveThroughputUnconstrained(scenario, params),
+                unconstrained, i);
+        }
+    }
+}
+
+TEST_P(BatchSolverFuzzTest, TrafficSurfaceMatchesScalarBitForBit)
+{
+    Rng rng(GetParam() + 1000);
+    for (int round = 0; round < 25; ++round) {
+        const BatchGrid grid =
+            randomGrid(rng, 1 + rng.nextBounded(24));
+        std::vector<double> cores(grid.points());
+        for (double &count : cores)
+            count = 1.0 + rng.nextDouble() * 255.0;
+
+        std::vector<double> traffic(grid.points(), -1.0);
+        evaluateTrafficBatch(grid, cores.data(), traffic.data());
+        for (std::size_t i = 0; i < grid.points(); ++i) {
+            EXPECT_TRUE(bitEqual(
+                relativeTraffic(grid.scenarioAt(i), cores[i]),
+                traffic[i]));
+        }
+    }
+}
+
+TEST_P(BatchSolverFuzzTest, TryVariantsMatchScalarOnHealthyGrids)
+{
+    Rng rng(GetParam() + 2000);
+    for (int round = 0; round < 10; ++round) {
+        const BatchGrid grid =
+            randomGrid(rng, 1 + rng.nextBounded(12));
+        ThroughputModelParams params;
+        params.memoryStallShare = rng.nextDouble() * 0.9;
+
+        SupportableColumns supportable(grid.points());
+        StatusColumns supportable_status(grid.points());
+        ASSERT_EQ(grid.points(),
+                  trySolveSupportableBatch(grid, supportable.out(),
+                                           supportable_status.status()));
+        ThroughputColumns throughput(grid.points());
+        StatusColumns throughput_status(grid.points());
+        ASSERT_EQ(grid.points(),
+                  trySolveThroughputBatch(grid, params,
+                                          throughput.out(),
+                                          throughput_status.status()));
+        for (std::size_t i = 0; i < grid.points(); ++i) {
+            EXPECT_EQ(1, supportable_status.ok[i]);
+            EXPECT_EQ(1, throughput_status.ok[i]);
+            const ScalingScenario scenario = grid.scenarioAt(i);
+            const Expected<SolveResult> scalar =
+                trySolveSupportableCores(scenario);
+            ASSERT_TRUE(scalar.ok());
+            expectSupportableBits(scalar.value(), supportable, i);
+            const Expected<ThroughputSolveResult> scalar_throughput =
+                trySolveThroughputOptimal(scenario, params);
+            ASSERT_TRUE(scalar_throughput.ok());
+            expectThroughputBits(scalar_throughput.value(),
+                                 throughput, i);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchSolverFuzzTest,
+                         ::testing::Values(1u, 2u, 3u));
+
+TEST(BatchSolverTest, EmptyGridIsANoOp)
+{
+    const BatchGrid grid;
+    ASSERT_EQ(0u, grid.points());
+    // Null output columns must not be touched when there is nothing
+    // to solve.
+    solveSupportableBatch(grid, SupportableBatchOut{});
+    solveThroughputBatch(grid, ThroughputModelParams{},
+                         ThroughputBatchOut{});
+    solveThroughputUnconstrainedBatch(grid, ThroughputModelParams{},
+                                      ThroughputBatchOut{});
+    evaluateTrafficBatch(grid, nullptr, nullptr);
+    EXPECT_EQ(0u, trySolveSupportableBatch(grid, SupportableBatchOut{},
+                                           BatchPointStatus{}));
+    EXPECT_EQ(0u,
+              trySolveThroughputBatch(grid, ThroughputModelParams{},
+                                      ThroughputBatchOut{},
+                                      BatchPointStatus{}));
+}
+
+TEST(BatchSolverTest, SinglePointGridMatchesScalar)
+{
+    BatchGrid grid;
+    grid.techniques = {cacheCompression(2.0), dramCache(8.0)};
+    grid.push(0.5, 64.0, 1.0);
+
+    SupportableColumns supportable(1);
+    solveSupportableBatch(grid, supportable.out());
+    expectSupportableBits(solveSupportableCores(grid.scenarioAt(0)),
+                          supportable, 0);
+
+    ThroughputColumns throughput(1);
+    const ThroughputModelParams params;
+    solveThroughputBatch(grid, params, throughput.out());
+    expectThroughputBits(
+        solveThroughputOptimal(grid.scenarioAt(0), params),
+        throughput, 0);
+}
+
+TEST(BatchSolverTest, BatchSolverPointApiMatchesScalar)
+{
+    const BatchGrid grid = [] {
+        BatchGrid g;
+        g.techniques = {stackedCache(1.0), linkCompression(2.0)};
+        g.push(0.4, 128.0, 1.5);
+        return g;
+    }();
+    const BatchSolver solver(grid.baseline, grid.techniques);
+    const ScalingScenario scenario = grid.scenarioAt(0);
+
+    const SolveResult scalar = solveSupportableCores(scenario);
+    const SolveResult point = solver.solveSupportable(
+        grid.alpha[0], grid.totalCeas[0], grid.trafficBudget[0]);
+    EXPECT_EQ(scalar.supportableCores, point.supportableCores);
+    EXPECT_TRUE(bitEqual(scalar.fractionalCores,
+                         point.fractionalCores));
+    EXPECT_TRUE(bitEqual(scalar.trafficAtSolution,
+                         point.trafficAtSolution));
+    EXPECT_TRUE(bitEqual(scalar.cachePerCore, point.cachePerCore));
+
+    EXPECT_TRUE(bitEqual(
+        relativeTraffic(scenario, 7.0),
+        solver.traffic(grid.alpha[0], grid.totalCeas[0],
+                       grid.trafficBudget[0], 7.0)));
+}
+
+/**
+ * Per-point classification: bad points must come back with exactly
+ * the category and message the scalar try* twin returns, good points
+ * must still solve, and outputs must only be written for ok points.
+ */
+TEST(BatchSolverTest, TryBatchClassifiesBadPointsLikeScalar)
+{
+    BatchGrid grid;
+    grid.techniques = {cacheCompression(2.0)};
+    grid.push(0.5, 64.0, 1.0);  // good
+    grid.push(std::numeric_limits<double>::quiet_NaN(), 64.0,
+              1.0);             // NonFinite scenario
+    grid.push(-0.5, 64.0, 1.0); // alpha out of range
+    grid.push(0.5, -4.0, 1.0);  // non-positive die
+    grid.push(0.5, 64.0, 0.0);  // non-positive budget
+    grid.push(0.6, 256.0, 2.0); // good
+
+    SupportableColumns batch(grid.points());
+    StatusColumns status(grid.points());
+    EXPECT_EQ(2u, trySolveSupportableBatch(grid, batch.out(),
+                                           status.status()));
+
+    for (std::size_t i = 0; i < grid.points(); ++i) {
+        const Expected<SolveResult> scalar =
+            trySolveSupportableCores(grid.scenarioAt(i));
+        ASSERT_EQ(scalar.ok(), status.ok[i] == 1) << "point " << i;
+        if (scalar.ok()) {
+            expectSupportableBits(scalar.value(), batch, i);
+        } else {
+            EXPECT_EQ(scalar.error().category,
+                      status.errors[i].category) << "point " << i;
+            EXPECT_EQ(scalar.error().message,
+                      status.errors[i].message) << "point " << i;
+            // Failed points must leave the output columns untouched.
+            EXPECT_EQ(-1, batch.supportableCores[i]);
+            EXPECT_TRUE(bitEqual(-1.0, batch.fractionalCores[i]));
+            EXPECT_TRUE(bitEqual(-1.0, batch.trafficAtSolution[i]));
+        }
+    }
+    EXPECT_EQ(ErrorCategory::NonFinite, status.errors[1].category);
+    EXPECT_EQ("scenario contains a non-finite field",
+              status.errors[1].message);
+    EXPECT_EQ(ErrorCategory::InvalidInput, status.errors[4].category);
+    EXPECT_EQ("scenario requires a positive traffic budget",
+              status.errors[4].message);
+}
+
+TEST(BatchSolverTest, TryThroughputBatchClassifiesBadStallShare)
+{
+    BatchGrid grid;
+    grid.push(0.5, 64.0, 1.0);
+    grid.push(0.6, 128.0, 1.5);
+
+    ThroughputModelParams params;
+    params.memoryStallShare =
+        std::numeric_limits<double>::quiet_NaN();
+    ThroughputColumns batch(grid.points());
+    StatusColumns status(grid.points());
+    EXPECT_EQ(0u, trySolveThroughputBatch(grid, params, batch.out(),
+                                          status.status()));
+    for (std::size_t i = 0; i < grid.points(); ++i) {
+        EXPECT_EQ(0, status.ok[i]);
+        EXPECT_EQ(ErrorCategory::NonFinite,
+                  status.errors[i].category);
+        EXPECT_EQ("memory stall share is not finite",
+                  status.errors[i].message);
+        EXPECT_EQ(-1, batch.cores[i]);
+    }
+
+    params.memoryStallShare = 1.5;
+    EXPECT_EQ(0u, trySolveThroughputBatch(grid, params, batch.out(),
+                                          status.status()));
+    for (std::size_t i = 0; i < grid.points(); ++i) {
+        EXPECT_EQ(0, status.ok[i]);
+        EXPECT_EQ(ErrorCategory::InvalidInput,
+                  status.errors[i].category);
+        EXPECT_EQ("memory stall share must be in [0, 1)",
+                  status.errors[i].message);
+    }
+}
+
+/**
+ * The batch try path must hit FAULT_POINT("model.solve") once per
+ * otherwise-healthy point, in grid order — the same hit sequence as
+ * a scalar try loop — so a deterministic plan fails the same points.
+ */
+TEST(BatchSolverTest, FaultInjectionFailsSamePointsAsScalarLoop)
+{
+    BatchGrid grid;
+    for (int i = 0; i < 6; ++i)
+        grid.push(0.4 + 0.05 * i, 64.0, 1.0 + 0.1 * i);
+
+    std::vector<bool> batch_ok;
+    {
+        ScopedFaultInjection faults("model.solve=sched:2,5");
+        SupportableColumns batch(grid.points());
+        StatusColumns status(grid.points());
+        EXPECT_EQ(4u, trySolveSupportableBatch(grid, batch.out(),
+                                               status.status()));
+        for (std::size_t i = 0; i < grid.points(); ++i) {
+            batch_ok.push_back(status.ok[i] == 1);
+            if (status.ok[i] == 0) {
+                EXPECT_EQ(ErrorCategory::NonConvergence,
+                          status.errors[i].category);
+                EXPECT_EQ("solver failed to converge (injected fault "
+                          "'model.solve')",
+                          status.errors[i].message);
+            }
+        }
+    }
+    {
+        ScopedFaultInjection faults("model.solve=sched:2,5");
+        for (std::size_t i = 0; i < grid.points(); ++i) {
+            EXPECT_EQ(trySolveSupportableCores(grid.scenarioAt(i)).ok(),
+                      batch_ok[i]) << "point " << i;
+        }
+    }
+}
+
+} // namespace
+} // namespace bwwall
