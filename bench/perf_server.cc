@@ -16,8 +16,17 @@
  * then the same bodies are replayed (every request hits).  Local
  * target: warm >= 10x cold qps.
  *
- * CI gates both with slack through the --json MetricsRegistry report
- * (see .github/workflows/ci.yml, bench-smoke).
+ * Phase 3 (keep-alive connection capacity): opens --connections
+ * keep-alive connections — far more than the server has compute
+ * threads — holds every one open, and probes cache-hit /v1/traffic
+ * latency across the whole fleet.  The blocking thread-per-connection
+ * server parked one connection per worker, so this fleet would have
+ * starved it; the epoll reactor serves it with the same p99 as
+ * phase 1.  CI gates server.max_keepalive_connections and the
+ * fleet-vs-threads capacity ratio (>= 5x).
+ *
+ * CI gates all phases with slack through the --json MetricsRegistry
+ * report (see .github/workflows/ci.yml, bench-smoke).
  */
 
 #include <algorithm>
@@ -25,12 +34,14 @@
 #include <chrono>
 #include <cstdint>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_util.hh"
 #include "server/http_client.hh"
+#include "server/reactor.hh"
 #include "server/server.hh"
 #include "util/fault.hh"
 #include "util/logging.hh"
@@ -70,6 +81,9 @@ runLoad(std::uint16_t port, unsigned threads,
     for (unsigned t = 0; t < threads; ++t) {
         clients.emplace_back([&, t] {
             HttpClient client("127.0.0.1", port);
+            HttpClient::Request probe;
+            probe.method = "POST";
+            probe.target = path;
             HttpClientResponse response;
             std::string error;
             for (;;) {
@@ -79,11 +93,10 @@ runLoad(std::uint16_t port, unsigned threads,
                     break;
                 if (std::chrono::steady_clock::now() >= deadline)
                     break;
-                const std::string &body =
-                    bodies[index % bodies.size()];
+                probe.body = bodies[index % bodies.size()];
                 const auto before =
                     std::chrono::steady_clock::now();
-                if (!client.post(path, body, &response, &error))
+                if (!client.perform(probe, &response, &error))
                     fatal("perf_server transport: ", error);
                 if (response.status != 200) {
                     fatal("perf_server: ", path, " -> ",
@@ -150,6 +163,88 @@ sweepBodies(std::size_t count, std::uint64_t accesses)
     return bodies;
 }
 
+/** Probe latencies measured while a connection fleet stays open. */
+struct CapacityResult
+{
+    unsigned connections = 0;
+    std::vector<double> latencies;
+};
+
+/**
+ * Opens @p connections keep-alive connections, keeps all of them
+ * open, and probes cache-hit latency on @p path across the fleet:
+ * one warm-up pass establishes every connection, then @p rounds
+ * recorded passes post on each connection in turn.  @p drivers
+ * threads partition the fleet; no connection is ever closed, so
+ * from the second pass on the server is holding the entire fleet
+ * while it answers.
+ */
+CapacityResult
+runCapacity(std::uint16_t port, unsigned connections,
+            unsigned drivers, const std::string &path,
+            const std::string &body, unsigned rounds)
+{
+    std::vector<std::unique_ptr<HttpClient>> fleet;
+    fleet.reserve(connections);
+    for (unsigned i = 0; i < connections; ++i) {
+        fleet.push_back(
+            std::make_unique<HttpClient>("127.0.0.1", port));
+    }
+
+    std::vector<std::vector<double>> latencies(drivers);
+    std::vector<std::thread> threads;
+    threads.reserve(drivers);
+    for (unsigned t = 0; t < drivers; ++t) {
+        threads.emplace_back([&, t] {
+            HttpClient::Request probe;
+            probe.method = "POST";
+            probe.target = path;
+            probe.body = body;
+            HttpClientResponse response;
+            std::string error;
+            for (unsigned round = 0; round <= rounds; ++round) {
+                for (unsigned i = t; i < connections;
+                     i += drivers) {
+                    const auto before =
+                        std::chrono::steady_clock::now();
+                    if (!fleet[i]->perform(probe, &response,
+                                           &error))
+                        fatal("perf_server capacity transport: ",
+                              error);
+                    if (response.status != 200) {
+                        fatal("perf_server capacity: ", path,
+                              " -> ", response.status, ": ",
+                              response.body);
+                    }
+                    // Round 0 only establishes the fleet; later
+                    // rounds run against every socket held open.
+                    if (round == 0)
+                        continue;
+                    const std::chrono::duration<double> took =
+                        std::chrono::steady_clock::now() - before;
+                    latencies[t].push_back(took.count());
+                }
+            }
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+
+    CapacityResult result;
+    result.connections = connections;
+    for (unsigned i = 0; i < connections; ++i) {
+        if (!fleet[i]->connected())
+            fatal("perf_server capacity: connection ", i,
+                  " did not survive keep-alive probing");
+    }
+    for (unsigned t = 0; t < drivers; ++t) {
+        result.latencies.insert(result.latencies.end(),
+                                latencies[t].begin(),
+                                latencies[t].end());
+    }
+    return result;
+}
+
 /** Tallies from one chaos phase (see runChaos). */
 struct ChaosResult
 {
@@ -192,6 +287,8 @@ runChaos(std::uint16_t port, unsigned threads,
     for (unsigned t = 0; t < threads; ++t) {
         clients.emplace_back([&, t] {
             HttpClient client("127.0.0.1", port);
+            HttpClient::Request probe;
+            probe.method = "POST";
             HttpClientResponse response;
             std::string error;
             ChaosResult &mine = partial[t];
@@ -204,19 +301,19 @@ runChaos(std::uint16_t port, unsigned threads,
                 const std::uint64_t turn = index % 8;
                 const bool sweep = turn == 7;
                 const bool solve = turn == 5 || turn == 6;
-                const std::string &body =
+                probe.body =
                     sweep ? sweepBodies[index % sweepBodies.size()]
                     : solve
                         ? solveBodies[index % solveBodies.size()]
                         : trafficBodies[index %
                                         trafficBodies.size()];
-                const char *path = sweep    ? "/v1/sweep"
-                                   : solve ? "/v1/solve"
-                                           : "/v1/traffic";
+                probe.target = sweep    ? "/v1/sweep"
+                               : solve ? "/v1/solve"
+                                       : "/v1/traffic";
                 const auto before =
                     std::chrono::steady_clock::now();
                 ++mine.requests;
-                if (!client.post(path, body, &response, &error)) {
+                if (!client.perform(probe, &response, &error)) {
                     // An injected read/write/accept fault killed
                     // the connection; reconnect on the next turn.
                     ++mine.transportErrors;
@@ -303,6 +400,7 @@ main(int argc, char **argv)
 
     std::uint64_t seconds_flag = 0;
     std::uint64_t sweeps_flag = 0;
+    std::uint64_t connections_flag = 0;
     bool chaos = false;
     CliParser parser("perf_server",
                      "closed-loop load generator for the bwwalld "
@@ -313,6 +411,9 @@ main(int argc, char **argv)
     parser.addOption("--sweeps", &sweeps_flag, "N",
                      "distinct miss-curve sweeps in the cold/warm "
                      "phase (default 24, quick 8)");
+    parser.addOption("--connections", &connections_flag, "N",
+                     "keep-alive connections held open in the "
+                     "capacity phase (default 512, quick 256)");
     parser.addFlag("--chaos", &chaos,
                    "drive the server under an armed fault plan and "
                    "report shed/stale/degraded/faulted rates "
@@ -343,7 +444,15 @@ main(int argc, char **argv)
     const std::size_t sweeps =
         sweeps_flag != 0 ? static_cast<std::size_t>(sweeps_flag)
                          : (quickMode() ? 8 : 24);
+    const unsigned connections =
+        connections_flag != 0
+            ? static_cast<unsigned>(connections_flag)
+            : (quickMode() ? 256u : 512u);
     const std::uint64_t accesses = quickScaled(100000, 5);
+
+    // The fleet needs one fd per connection on each side; the
+    // default 1024 soft limit is too small for both ends at once.
+    raiseOpenFileLimit();
 
     ServerConfig config;
     config.port = 0;
@@ -481,11 +590,35 @@ main(int argc, char **argv)
               << warm_qps << " qps, warm/cold " << ratio
               << "x\n";
 
+    // Phase 3: the whole connection fleet held open at once.  The
+    // blocking server held at most one connection per worker
+    // thread, so threads is its capacity and the fleet-vs-threads
+    // ratio is the reactor's step-up.
+    const CapacityResult capacity = runCapacity(
+        port, connections, threads, "/v1/traffic",
+        traffic_body.front(), 3);
+    const double capacity_p99_ms =
+        latencyQuantile(capacity.latencies, 0.99) * 1e3;
+    const double capacity_vs_blocking =
+        static_cast<double>(capacity.connections) /
+        static_cast<double>(threads);
+    std::cout << "keep-alive capacity: " << capacity.connections
+              << " connections held open ("
+              << capacity_vs_blocking
+              << "x the blocking server's " << threads
+              << "), probe p99 " << capacity_p99_ms << " ms\n";
+
     server.stop();
 
     MetricsRegistry metrics;
     metrics.setGauge("perf_server.threads",
                      static_cast<double>(threads));
+    metrics.setGauge("server.max_keepalive_connections",
+                     static_cast<double>(capacity.connections));
+    metrics.setGauge("perf_server.connections.p99_ms",
+                     capacity_p99_ms);
+    metrics.setGauge("perf_server.connections.capacity_vs_blocking",
+                     capacity_vs_blocking);
     metrics.addCounter("perf_server.hit.requests",
                        hits.requests);
     metrics.setGauge("perf_server.hit.qps", hit_qps);

@@ -100,13 +100,16 @@ main(int argc, char **argv)
     policy.totalDeadlineMs = deadline_ms;
     client.setRetryPolicy(policy);
 
-    const std::string method = use_get ? "GET" : "POST";
+    HttpClient::Request request;
+    request.method = use_get ? "GET" : "POST";
+    request.target = path;
+    request.body = use_get ? "" : body;
+    HttpClient::RequestOptions options;
+    options.retry = true;
     HttpClientResponse response;
     std::string error;
     for (std::uint64_t i = 0; i < repeat; ++i) {
-        if (!client.requestWithRetry(method, path, {},
-                                     use_get ? "" : body,
-                                     &response, &error))
+        if (!client.perform(request, options, &response, &error))
             fatal("request failed: ", error);
     }
 

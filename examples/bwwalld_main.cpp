@@ -32,6 +32,8 @@ main(int argc, char **argv)
     ServerConfig config;
     std::uint64_t port = 8080;
     std::uint32_t threads = 0;
+    std::uint32_t io_shards = 0;
+    std::uint64_t max_connections = 16384;
     std::uint64_t cache_mb = 64;
     std::uint64_t shards = 16;
     double ttl_seconds = 0.0;
@@ -58,6 +60,11 @@ main(int argc, char **argv)
                      "bind address");
     parser.addOption("--threads", &threads, "N",
                      "worker threads (0 = BWWALL_JOBS / auto)");
+    parser.addOption("--io-shards", &io_shards, "N",
+                     "event-loop shards (0 = cores, capped at 8)");
+    parser.addOption("--max-connections", &max_connections, "N",
+                     "open-connection limit before 503 shedding "
+                     "at accept (0 = unlimited)");
     parser.addOption("--cache-mb", &cache_mb, "MB",
                      "result-cache byte budget");
     parser.addOption("--shards", &shards, "N",
@@ -104,6 +111,9 @@ main(int argc, char **argv)
         parser.usageError("--port must be at most 65535");
     config.port = static_cast<std::uint16_t>(port);
     config.threads = threads;
+    config.ioShards = io_shards;
+    config.maxConnections =
+        static_cast<unsigned>(max_connections);
     config.cacheBytes =
         static_cast<std::size_t>(cache_mb) << 20;
     config.cacheShards = static_cast<std::size_t>(shards);

@@ -83,9 +83,10 @@ for i in $(seq 1 "$rounds"); do
     solve="{\"alpha\":0.5,\"total_ceas\":$((32 + n))}"
     traffic="{\"cores\":$((8 + n)),\"alpha\":0.5,\"total_ceas\":32}"
     sweep="{\"kind\":\"scaling\",\"generations\":$((2 + n % 4))}"
+    batch="{\"requests\":[{\"path\":\"/v1/solve\",\"body\":$solve},{\"path\":\"/v1/traffic\",\"body\":$traffic}]}"
     pids=()
     for spec in "/v1/solve $solve" "/v1/traffic $traffic" \
-        "/v1/sweep $sweep" "/healthz"; do
+        "/v1/sweep $sweep" "/v1/batch $batch" "/healthz"; do
         (
             path=${spec%% *}
             body=${spec#* }
@@ -106,7 +107,7 @@ done
 kill -0 "$server_pid" || fail "server crashed during the storm"
 total=$(wc -l <"$work/statuses.txt")
 [ "$total" -ge $((rounds * 2)) ] ||
-    fail "only $total/$((rounds * 4)) requests produced a status"
+    fail "only $total/$((rounds * 5)) requests produced a status"
 
 # curl prints 000 when the transport died (injected read/write/accept
 # faults); every real status must be a deliberate one.
@@ -119,6 +120,39 @@ bad=$(grep -cvE '^(000|200|400|424|500|503|504)$' \
 ok=$(grep -c '^200$' "$work/statuses.txt" || true)
 [ "$ok" -gt 0 ] || fail "no request succeeded under chaos"
 echo "== storm OK: $total statuses, $ok x 200, 0 unexpected"
+
+# --- connection churn: sockets killed mid-request ---------------------
+# Sub-second client timeouts abort connections while their sweeps are
+# still computing, so responses come back to connections that no
+# longer exist, and fresh connections churn in behind them — all with
+# the fault plan still armed.  The reactor must drop the stale
+# completions without crashing or wedging.
+for i in $(seq 1 30); do
+    pids=()
+    for j in 1 2 3; do
+        churn_sweep="{\"kind\":\"miss_curve\",\"estimator\":\"stack\",\"size_kib\":128,\"warm\":0,\"accesses\":60000,\"seed\":$((i * 10 + j))}"
+        (
+            curl -s -o /dev/null -m 0.08 -X POST -d "$churn_sweep" \
+                "$base/v1/sweep" || true
+        ) &
+        pids+=($!)
+    done
+    # Plus connections dropped right after the handshake.
+    (exec 3<>"/dev/tcp/127.0.0.1/$port" && exec 3>&-) \
+        2>/dev/null || true
+    wait "${pids[@]}"
+done
+kill -0 "$server_pid" || fail "server crashed during connection churn"
+churn_alive=""
+for _ in $(seq 1 20); do
+    if [ "$(curl -s -m 5 -o /dev/null -w '%{http_code}' \
+        "$base/healthz")" = 200 ]; then
+        churn_alive=yes
+        break
+    fi
+done
+[ -n "$churn_alive" ] || fail "server unresponsive after connection churn"
+echo "== connection churn OK (stale completions dropped)"
 
 # --- liveness after the storm -----------------------------------------
 # The server must still serve cleanly (faults are probabilistic, so

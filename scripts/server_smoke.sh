@@ -77,8 +77,46 @@ cmp -s "$work/traffic1.json" "$work/traffic3.json" ||
     fail "reordered request missed the cache"
 
 curl -sf -X POST -d '{"alpha":0.5,"techniques":[{"label":"CC"}]}' \
-    "$base/v1/solve" | grep -q '"supportable_cores"' ||
+    "$base/v1/solve" >"$work/solve1.json"
+grep -q '"supportable_cores"' "$work/solve1.json" ||
     fail "/v1/solve failed"
+
+# --- /v1/batch --------------------------------------------------------
+# A batch of the two queries above must embed bodies equal to the
+# single-request responses (the gtest suite checks byte identity;
+# here we check value identity plus statuses through curl).
+batch="{\"requests\":[{\"path\":\"/v1/traffic\",\"body\":$traffic},{\"path\":\"/v1/solve\",\"body\":{\"alpha\":0.5,\"techniques\":[{\"label\":\"CC\"}]}}]}"
+curl -sf -X POST -d "$batch" "$base/v1/batch" >"$work/batch.json" ||
+    fail "/v1/batch rejected a valid batch"
+python3 - "$work/batch.json" "$work/traffic1.json" \
+    "$work/solve1.json" <<'EOF' || fail "/v1/batch disagrees with single requests"
+import json, sys
+batch = json.load(open(sys.argv[1]))
+traffic = json.load(open(sys.argv[2]))
+solve = json.load(open(sys.argv[3]))
+assert batch["kind"] == "batch", batch
+assert batch["count"] == 2, batch
+entries = batch["responses"]
+assert [e["status"] for e in entries] == [200, 200], entries
+assert entries[0]["body"] == traffic, "batch traffic != single"
+assert entries[1]["body"] == solve, "batch solve != single"
+EOF
+
+# Batches do not nest, and item errors stay per-item.
+status=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+    -d '{"requests":[{"path":"/v1/batch"}]}' "$base/v1/batch")
+[ "$status" = 400 ] || fail "nested batch got $status, want 400"
+curl -sf -X POST \
+    -d '{"requests":[{"path":"/v1/traffic","body":{}},{"path":"/v1/solve"}]}' \
+    "$base/v1/batch" >"$work/batch_mixed.json" ||
+    fail "batch with a bad item did not answer 200"
+python3 - "$work/batch_mixed.json" <<'EOF' || fail "batch item statuses wrong"
+import json, sys
+entries = json.load(open(sys.argv[1]))["responses"]
+assert [e["status"] for e in entries] == [400, 200], entries
+assert entries[0]["body"]["category"] == "invalid_input", entries[0]
+EOF
+echo "== /v1/batch OK"
 
 # --- error handling ---------------------------------------------------
 status=$(curl -s -o "$work/bad.json" -w '%{http_code}' \

@@ -5,19 +5,18 @@
  * Fine-grained headers (e.g. "model/bandwidth_wall.hh") keep builds
  * lean; include this one for exploratory code and examples.
  *
- * Deprecations: the legacy per-size sweep API in
- * cache/miss_curve.hh (MissCurveSweepParams / measureMissCurve) is
- * superseded by the unified MissCurveSpec / estimateMissCurve
- * engine in cache/miss_curve_estimator.hh and is kept only as
- * [[deprecated]] shims for one release.
+ * 2.0 removed the pre-2.0 MissCurveSweepParams / measureMissCurve
+ * shims; use the MissCurveSpec / estimateMissCurve engine in
+ * cache/miss_curve_estimator.hh.  The HttpClient method-per-shape
+ * overloads remain for one release as wrappers over perform().
  */
 
 #ifndef BWWALL_BWWALL_HH
 #define BWWALL_BWWALL_HH
 
 // Library version.
-#define BWWALL_VERSION_MAJOR 1
-#define BWWALL_VERSION_MINOR 4
+#define BWWALL_VERSION_MAJOR 2
+#define BWWALL_VERSION_MINOR 0
 #define BWWALL_VERSION_PATCH 0
 
 #include "cache/coherent_system.hh"
@@ -53,7 +52,9 @@
 #include "server/json.hh"
 #include "server/model_service.hh"
 #include "server/overload.hh"
+#include "server/reactor.hh"
 #include "server/result_cache.hh"
+#include "server/routes.hh"
 #include "server/server.hh"
 #include "trace/power_law_trace.hh"
 #include "trace/profiles.hh"
@@ -71,6 +72,7 @@
 #include "util/fault.hh"
 #include "util/linear_fit.hh"
 #include "util/metrics.hh"
+#include "util/mpmc_queue.hh"
 #include "util/rng.hh"
 #include "util/stats.hh"
 #include "util/table.hh"

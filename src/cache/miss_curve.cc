@@ -1,28 +1,8 @@
 #include "cache/miss_curve.hh"
 
-#include "cache/miss_curve_estimator.hh"
 #include "util/logging.hh"
 
 namespace bwwall {
-
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-std::vector<MissCurvePoint>
-measureMissCurve(TraceSource &trace, const MissCurveSweepParams &params)
-{
-    // Compatibility shim: forwards to the exact estimator of the
-    // unified engine, preserving the old bit-exact behaviour.
-    MissCurveSpec spec;
-    spec.cache = params.cacheTemplate;
-    spec.capacities = params.capacities;
-    spec.warmupAccesses = params.warmupAccesses;
-    spec.measuredAccesses = params.measuredAccesses;
-    spec.kind = MissCurveEstimatorKind::ExactSim;
-    return estimateMissCurve(trace, spec).points;
-}
-
-#pragma GCC diagnostic pop
 
 PowerLawFit
 fitMissCurve(const std::vector<MissCurvePoint> &points)

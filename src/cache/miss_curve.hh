@@ -2,11 +2,11 @@
  * @file
  * Miss-curve data types and power-law fitting.
  *
- * The sweep machinery that used to live here (MissCurveSweepParams /
- * measureMissCurve) is superseded by the MissCurveEstimator API in
- * cache/miss_curve_estimator.hh, which adds single-pass stack-distance
- * estimation next to the per-size replay; the old entry points remain
- * as deprecated shims for one release.
+ * Sweeps are driven by the MissCurveEstimator API in
+ * cache/miss_curve_estimator.hh (MissCurveSpec + estimateMissCurve),
+ * which pairs per-size replay with single-pass stack-distance
+ * estimation.  (The pre-2.0 MissCurveSweepParams / measureMissCurve
+ * shims are gone.)
  */
 
 #ifndef BWWALL_CACHE_MISS_CURVE_HH
@@ -31,46 +31,6 @@ struct MissCurvePoint
     /** Off-chip bytes per access at this size. */
     double trafficBytesPerAccess = 0.0;
 };
-
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-/**
- * Parameters of a miss-curve sweep.
- * @deprecated Use MissCurveSpec (cache/miss_curve_estimator.hh); it
- * holds one CacheConfig plus the size grid instead of duplicating the
- * fields, and selects between exact and single-pass estimators.
- */
-struct [[deprecated("use MissCurveSpec from "
-                    "cache/miss_curve_estimator.hh")]]
-MissCurveSweepParams
-{
-    /** Cache sizes to measure, in bytes. */
-    std::vector<std::uint64_t> capacities;
-
-    /** Template for every cache (capacityBytes is overwritten). */
-    CacheConfig cacheTemplate;
-
-    /** Accesses replayed to warm each cache before measuring. */
-    std::uint64_t warmupAccesses = 400000;
-
-    /** Accesses measured after warm-up. */
-    std::uint64_t measuredAccesses = 1200000;
-};
-
-/**
- * Measures the miss curve of a trace.  The trace is reset before each
- * cache size so every size observes the byte-identical reference
- * stream.
- * @deprecated Use estimateMissCurve with
- * MissCurveEstimatorKind::ExactSim; this shim forwards there.
- */
-[[deprecated("use estimateMissCurve from "
-             "cache/miss_curve_estimator.hh")]]
-std::vector<MissCurvePoint> measureMissCurve(
-    TraceSource &trace, const MissCurveSweepParams &params);
-
-#pragma GCC diagnostic pop
 
 /**
  * Fits miss rate = c * capacity^-alpha over the measured points;

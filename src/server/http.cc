@@ -1,21 +1,12 @@
 #include "server/http.hh"
 
-#include <sys/socket.h>
-#include <unistd.h>
-
 #include <algorithm>
 #include <cctype>
-#include <cerrno>
 #include <cstdlib>
-
-#include "server/json.hh"
-#include "util/fault.hh"
 
 namespace bwwall {
 
 namespace {
-
-constexpr std::size_t kReadChunk = 8192;
 
 std::string
 toLower(std::string text)
@@ -60,67 +51,30 @@ nextLine(const std::string &head, std::size_t *cursor,
 
 } // namespace
 
-HttpConnection::Fill
-HttpConnection::fillMore()
+HttpParseStatus
+HttpParser::poll(HttpRequest *out)
 {
-    // The chaos harness's short read / peer reset.
-    if (FAULT_POINT("http.read"))
-        return Fill::Error;
-    char chunk[kReadChunk];
-    while (true) {
-        const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
-        if (got > 0) {
-            buffer_.append(chunk, static_cast<std::size_t>(got));
-            return Fill::More;
-        }
-        if (got == 0)
-            return Fill::Eof;
-        if (errno == EINTR)
-            continue;
-        if (errno == EAGAIN || errno == EWOULDBLOCK)
-            return Fill::Timeout;
-        return Fill::Error;
+    // Find the blank line ending the header block.
+    std::size_t head_end = buffer_.find("\r\n\r\n");
+    std::size_t separator = 4;
+    if (head_end == std::string::npos) {
+        head_end = buffer_.find("\n\n");
+        separator = 2;
     }
-}
-
-HttpReadStatus
-HttpConnection::readRequest(HttpRequest *out)
-{
-    // Accumulate until the blank line ending the header block.
-    std::size_t head_end;
-    while (true) {
-        head_end = buffer_.find("\r\n\r\n");
-        std::size_t separator = 4;
-        if (head_end == std::string::npos) {
-            head_end = buffer_.find("\n\n");
-            separator = 2;
-        }
-        if (head_end != std::string::npos) {
-            head_end += separator;
-            break;
-        }
-        if (buffer_.size() > limits_.maxHeaderBytes)
-            return HttpReadStatus::TooLarge;
-        switch (fillMore()) {
-          case Fill::More:
-            continue;
-          case Fill::Eof:
-            return buffer_.empty() ? HttpReadStatus::Closed
-                                   : HttpReadStatus::Malformed;
-          case Fill::Timeout:
-            return HttpReadStatus::Timeout;
-          case Fill::Error:
-            return HttpReadStatus::Malformed;
-        }
+    if (head_end == std::string::npos) {
+        return buffer_.size() > limits_.maxHeaderBytes
+                   ? HttpParseStatus::TooLarge
+                   : HttpParseStatus::NeedMore;
     }
+    head_end += separator;
     if (head_end > limits_.maxHeaderBytes)
-        return HttpReadStatus::TooLarge;
+        return HttpParseStatus::TooLarge;
 
     const std::string head = buffer_.substr(0, head_end);
     std::size_t cursor = 0;
     std::string line;
     if (!nextLine(head, &cursor, &line) || line.empty())
-        return HttpReadStatus::Malformed;
+        return HttpParseStatus::Malformed;
 
     // Request line: METHOD SP TARGET SP VERSION.
     HttpRequest request;
@@ -129,14 +83,14 @@ HttpConnection::readRequest(HttpRequest *out)
         sp1 == std::string::npos ? std::string::npos
                                  : line.find(' ', sp1 + 1);
     if (sp1 == std::string::npos || sp2 == std::string::npos)
-        return HttpReadStatus::Malformed;
+        return HttpParseStatus::Malformed;
     request.method = line.substr(0, sp1);
     request.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
     const std::string version = line.substr(sp2 + 1);
     if (request.method.empty() || request.target.empty())
-        return HttpReadStatus::Malformed;
+        return HttpParseStatus::Malformed;
     if (version != "HTTP/1.1" && version != "HTTP/1.0")
-        return HttpReadStatus::Malformed;
+        return HttpParseStatus::Malformed;
     request.keepAlive = version == "HTTP/1.1";
 
     const std::size_t question = request.target.find('?');
@@ -153,7 +107,7 @@ HttpConnection::readRequest(HttpRequest *out)
             break;
         const std::size_t colon = line.find(':');
         if (colon == std::string::npos)
-            return HttpReadStatus::Malformed;
+            return HttpParseStatus::Malformed;
         request.headers[toLower(line.substr(0, colon))] =
             trim(line.substr(colon + 1));
     }
@@ -168,7 +122,7 @@ HttpConnection::readRequest(HttpRequest *out)
     }
 
     if (request.headers.count("transfer-encoding") != 0)
-        return HttpReadStatus::Unsupported;
+        return HttpParseStatus::Unsupported;
 
     // Body: Content-Length bytes (0 when absent).
     std::size_t body_bytes = 0;
@@ -178,37 +132,27 @@ HttpConnection::readRequest(HttpRequest *out)
         if (text.empty() ||
             text.find_first_not_of("0123456789") !=
                 std::string::npos)
-            return HttpReadStatus::Malformed;
+            return HttpParseStatus::Malformed;
         char *end = nullptr;
         const unsigned long long parsed =
             std::strtoull(text.c_str(), &end, 10);
         if (end == nullptr || *end != '\0')
-            return HttpReadStatus::Malformed;
+            return HttpParseStatus::Malformed;
         body_bytes = static_cast<std::size_t>(parsed);
     }
     if (body_bytes > limits_.maxBodyBytes)
-        return HttpReadStatus::TooLarge;
+        return HttpParseStatus::TooLarge;
 
-    while (buffer_.size() < head_end + body_bytes) {
-        switch (fillMore()) {
-          case Fill::More:
-            continue;
-          case Fill::Eof:
-            return HttpReadStatus::Malformed;
-          case Fill::Timeout:
-            return HttpReadStatus::Timeout;
-          case Fill::Error:
-            return HttpReadStatus::Malformed;
-        }
-    }
+    if (buffer_.size() < head_end + body_bytes)
+        return HttpParseStatus::NeedMore;
     request.body = buffer_.substr(head_end, body_bytes);
     buffer_.erase(0, head_end + body_bytes);
     *out = std::move(request);
-    return HttpReadStatus::Ok;
+    return HttpParseStatus::Ok;
 }
 
-bool
-HttpConnection::writeResponse(const HttpResponse &response)
+std::string
+serializeHttpResponse(const HttpResponse &response)
 {
     std::string wire;
     wire.reserve(response.body.size() + 160);
@@ -230,30 +174,7 @@ HttpConnection::writeResponse(const HttpResponse &response)
     }
     wire += "\r\n\r\n";
     wire += response.body;
-
-    // The chaos harness's peer reset mid-response.
-    if (FAULT_POINT("http.write"))
-        return false;
-
-    const char *data = wire.data();
-    std::size_t remaining = wire.size();
-    while (remaining > 0) {
-        // A firing "http.write.short" caps this send at one byte,
-        // forcing the loop through its partial-write continuation —
-        // exactly what a full socket buffer does.
-        const std::size_t chunk =
-            FAULT_POINT("http.write.short") ? 1 : remaining;
-        const ssize_t wrote =
-            ::send(fd_, data, chunk, MSG_NOSIGNAL);
-        if (wrote < 0) {
-            if (errno == EINTR)
-                continue;
-            return false;
-        }
-        data += wrote;
-        remaining -= static_cast<std::size_t>(wrote);
-    }
-    return true;
+    return wire;
 }
 
 const char *
@@ -306,8 +227,8 @@ httpErrorResponse(int status, const std::string &message)
     return response;
 }
 
-HttpResponse
-httpErrorResponseFor(const Error &error)
+JsonValue
+httpErrorBody(const Error &error)
 {
     const int status = httpStatusFor(error.category);
     JsonValue body = JsonValue::makeObject();
@@ -316,9 +237,15 @@ httpErrorResponseFor(const Error &error)
              JsonValue(std::string(
                  errorCategoryName(error.category))));
     body.set("status", JsonValue(static_cast<double>(status)));
+    return body;
+}
+
+HttpResponse
+httpErrorResponseFor(const Error &error)
+{
     HttpResponse response;
-    response.status = status;
-    response.body = body.dump();
+    response.status = httpStatusFor(error.category);
+    response.body = httpErrorBody(error).dump();
     response.body += '\n';
     return response;
 }

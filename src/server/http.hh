@@ -7,9 +7,16 @@
  * connections, and fixed responses.  Deliberately out of scope:
  * chunked transfer encoding (rejected with 501), multi-line header
  * folding, and TLS.  All limits (header bytes, body bytes) are
- * enforced while reading so a misbehaving client cannot balloon
- * server memory, and every read honours the socket receive timeout
- * so a stalled client cannot pin a worker forever.
+ * enforced while parsing so a misbehaving client cannot balloon
+ * server memory.
+ *
+ * The parser is incremental and socket-free: the reactor's event
+ * loops feed whatever bytes arrived into HttpParser::append() and
+ * poll() either produces a complete request or reports NeedMore, so
+ * one non-blocking shard can interleave thousands of half-read
+ * connections.  Serialization is likewise a pure function
+ * (serializeHttpResponse) producing the exact wire bytes; the I/O
+ * layer owns every send()/recv().
  */
 
 #ifndef BWWALL_SERVER_HTTP_HH
@@ -19,6 +26,7 @@
 #include <map>
 #include <string>
 
+#include "server/json.hh"
 #include "util/error.hh"
 
 namespace bwwall {
@@ -55,14 +63,13 @@ struct HttpResponse
     bool close = false;
 };
 
-/** Outcome of reading one request from a connection. */
-enum class HttpReadStatus
+/** Outcome of one HttpParser::poll(). */
+enum class HttpParseStatus
 {
     Ok,          ///< *out holds a complete request
-    Closed,      ///< peer closed cleanly between requests
+    NeedMore,    ///< the buffered bytes are an incomplete request
     Malformed,   ///< unparseable framing; respond 400 and close
     TooLarge,    ///< header or body limit exceeded; respond 413
-    Timeout,     ///< socket receive timeout expired; close
     Unsupported, ///< valid HTTP this server refuses (chunked); 501
 };
 
@@ -74,42 +81,45 @@ struct HttpLimits
 };
 
 /**
- * One accepted socket being served: buffers leftover bytes between
- * keep-alive requests.  Does not own the fd.
+ * Incremental request parser for one connection: append() raw bytes
+ * as they arrive, poll() for complete requests.  Leftover bytes
+ * (pipelined or half-read follow-up requests) stay buffered between
+ * polls, so keep-alive costs nothing.
  */
-class HttpConnection
+class HttpParser
 {
   public:
-    HttpConnection(int fd, HttpLimits limits)
-        : fd_(fd), limits_(limits)
-    {}
+    explicit HttpParser(HttpLimits limits) : limits_(limits) {}
 
-    /** Reads and parses the next request off the connection. */
-    HttpReadStatus readRequest(HttpRequest *out);
+    /** Buffers @p count raw socket bytes. */
+    void
+    append(const char *data, std::size_t count)
+    {
+        buffer_.append(data, count);
+    }
 
     /**
-     * Serializes and writes a response (headers + body in one
-     * buffer); false when the peer is gone.
+     * Parses the next complete request out of the buffer (consuming
+     * its bytes).  Error statuses are sticky decisions for the
+     * caller to act on: the buffer is left as-is and the connection
+     * should be answered and closed.
      */
-    bool writeResponse(const HttpResponse &response);
+    HttpParseStatus poll(HttpRequest *out);
 
-    int fd() const { return fd_; }
+    /** True when no unconsumed bytes are buffered. */
+    bool empty() const { return buffer_.empty(); }
 
   private:
-    /** Appends more bytes from the socket; false on EOF/error. */
-    enum class Fill
-    {
-        More,
-        Eof,
-        Timeout,
-        Error,
-    };
-    Fill fillMore();
-
-    int fd_;
     HttpLimits limits_;
     std::string buffer_;
 };
+
+/**
+ * The exact wire bytes of a response: status line, framing headers
+ * (Content-Type/Length, Connection), extra headers, blank line,
+ * body.  Byte-identical across runs for identical responses.
+ */
+std::string serializeHttpResponse(const HttpResponse &response);
 
 /** Reason phrase for the handful of statuses the server emits. */
 const char *httpStatusText(int status);
@@ -119,10 +129,16 @@ HttpResponse httpErrorResponse(int status,
                                const std::string &message);
 
 /**
+ * The {"error", "category", "status"} body of a classified Error —
+ * the one rendering shared by whole-request error responses and
+ * per-item errors inside a /v1/batch response.
+ */
+JsonValue httpErrorBody(const Error &error);
+
+/**
  * The taxonomy rendering of an Error: status from httpStatusFor()
- * and a {"error", "category", "status"} JSON body, so every
- * classified failure looks the same on the wire (docs/SERVER.md
- * tabulates the mapping).
+ * and the httpErrorBody() JSON, so every classified failure looks
+ * the same on the wire (docs/SERVER.md tabulates the mapping).
  */
 HttpResponse httpErrorResponseFor(const Error &error);
 

@@ -262,42 +262,32 @@ HttpClient::readResponse(HttpClientResponse *out,
 }
 
 bool
-HttpClient::request(const std::string &method,
-                    const std::string &target,
-                    const std::string &body,
-                    HttpClientResponse *out, std::string *error)
-{
-    return request(method, target, {}, body, out, error);
-}
-
-bool
-HttpClient::request(
-    const std::string &method, const std::string &target,
-    const std::map<std::string, std::string> &headers,
-    const std::string &body, HttpClientResponse *out,
-    std::string *error)
+HttpClient::performOnce(const Request &request,
+                        HttpClientResponse *out,
+                        std::string *error)
 {
     if (fd_ < 0 && !connect(error))
         return false;
 
     std::string wire;
-    wire.reserve(target.size() + body.size() + 128);
-    wire += method;
+    wire.reserve(request.target.size() + request.body.size() +
+                 128);
+    wire += request.method;
     wire += ' ';
-    wire += target;
+    wire += request.target;
     wire += " HTTP/1.1\r\nHost: ";
     wire += host_;
     wire += "\r\nContent-Length: ";
-    wire += std::to_string(body.size());
+    wire += std::to_string(request.body.size());
     wire += "\r\n";
-    for (const auto &[name, value] : headers) {
+    for (const auto &[name, value] : request.headers) {
         wire += name;
         wire += ": ";
         wire += value;
         wire += "\r\n";
     }
     wire += "\r\n";
-    wire += body;
+    wire += request.body;
 
     if (!sendAll(wire, error) || !readResponse(out, error)) {
         // A stale keep-alive connection the server already closed
@@ -324,30 +314,27 @@ refusedWithoutWork(int status)
 } // namespace
 
 bool
-HttpClient::requestWithRetry(
-    const std::string &method, const std::string &target,
-    const std::map<std::string, std::string> &headers,
-    const std::string &body, HttpClientResponse *out,
-    std::string *error)
+HttpClient::retryLoop(const Request &request,
+                      const HttpRetryPolicy &policy,
+                      double deadline_ms, HttpClientResponse *out,
+                      std::string *error)
 {
-    const HttpRetryPolicy &policy = retryPolicy_;
     const auto start = std::chrono::steady_clock::now();
     if (jitterState_ == 0)
         jitterState_ = policy.seed | 1;
-    const bool idempotent = method != "POST" || policy.retryPosts;
+    const bool idempotent =
+        request.method != "POST" || policy.retryPosts;
     double backoff_ms = policy.initialBackoffMs;
     std::string last_error;
 
     for (unsigned attempt = 1;; ++attempt) {
-        std::map<std::string, std::string> attempt_headers =
-            headers;
-        if (policy.totalDeadlineMs > 0.0) {
+        Request attempt_request = request;
+        if (deadline_ms > 0.0) {
             const double elapsed_ms =
                 std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - start)
                     .count();
-            const double remaining =
-                policy.totalDeadlineMs - elapsed_ms;
+            const double remaining = deadline_ms - elapsed_ms;
             if (remaining <= 0.0) {
                 if (error)
                     *error = "deadline exhausted after " +
@@ -355,15 +342,14 @@ HttpClient::requestWithRetry(
                              " attempt(s): " + last_error;
                 return false;
             }
-            attempt_headers["X-BWWall-Deadline-Ms"] =
+            attempt_request.headers["X-BWWall-Deadline-Ms"] =
                 std::to_string(std::max(
                     1L, std::lround(remaining)));
         }
 
         std::string attempt_error;
         const bool transported =
-            request(method, target, attempt_headers, body, out,
-                    &attempt_error);
+            performOnce(attempt_request, out, &attempt_error);
         if (transported && !refusedWithoutWork(out->status))
             return true;
 
@@ -371,7 +357,7 @@ HttpClient::requestWithRetry(
         if (transported) {
             last_error =
                 "HTTP " + std::to_string(out->status) +
-                " from " + target;
+                " from " + request.target;
             const auto hint = out->headers.find("retry-after");
             if (hint != out->headers.end())
                 retry_after_ms =
@@ -415,13 +401,13 @@ HttpClient::requestWithRetry(
         wait_ms = std::max(
             wait_ms, std::min(retry_after_ms,
                               policy.maxBackoffMs));
-        if (policy.totalDeadlineMs > 0.0) {
+        if (deadline_ms > 0.0) {
             const double elapsed_ms =
                 std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - start)
                     .count();
-            wait_ms = std::min(
-                wait_ms, policy.totalDeadlineMs - elapsed_ms);
+            wait_ms = std::min(wait_ms,
+                               deadline_ms - elapsed_ms);
         }
         if (wait_ms > 0.0) {
             std::this_thread::sleep_for(
@@ -430,6 +416,32 @@ HttpClient::requestWithRetry(
         }
         backoff_ms *= 2.0;
     }
+}
+
+bool
+HttpClient::perform(const Request &request,
+                    const RequestOptions &options,
+                    HttpClientResponse *out, std::string *error)
+{
+    const bool retry = options.retry || options.policy != nullptr;
+    if (!retry && options.deadlineMs < 0.0)
+        return performOnce(request, out, error);
+    const HttpRetryPolicy &policy =
+        options.policy != nullptr ? *options.policy
+                                  : retryPolicy_;
+    const double deadline_ms = options.deadlineMs >= 0.0
+                                   ? options.deadlineMs
+                                   : policy.totalDeadlineMs;
+    if (!retry) {
+        // Deadline without retry: one attempt under a one-shot
+        // policy so the X-BWWall-Deadline-Ms header still rides
+        // along.
+        HttpRetryPolicy single = policy;
+        single.maxAttempts = 1;
+        return retryLoop(request, single, deadline_ms, out,
+                         error);
+    }
+    return retryLoop(request, policy, deadline_ms, out, error);
 }
 
 } // namespace bwwall

@@ -8,12 +8,19 @@
  * one HttpClient is one TCP connection, reconnecting transparently
  * when the server (or a Connection: close response) drops it.
  *
+ * The API is one entry point: describe the exchange in a Request
+ * (method, target, headers, body), tune the attempt in
+ * RequestOptions (retry policy, per-call deadline), and call
+ * perform().  The older method-per-shape overloads (request, get,
+ * post, requestWithRetry) remain as thin wrappers over perform()
+ * for one release; new code should call perform() directly.
+ *
  * Robustness knobs:
  *  - setConnectTimeoutMs() bounds connect() (non-blocking connect +
  *    poll) so an unreachable server fails fast instead of hanging
  *    in the kernel's SYN retries;
- *  - requestWithRetry() layers an idempotency-aware retry policy on
- *    request(): capped exponential backoff with deterministic
+ *  - RequestOptions::retry layers an idempotency-aware retry policy
+ *    on the exchange: capped exponential backoff with deterministic
  *    jitter, a lifetime retry budget, Retry-After awareness, and a
  *    total deadline the server sees via X-BWWall-Deadline-Ms.
  */
@@ -82,6 +89,47 @@ struct HttpRetryPolicy
 class HttpClient
 {
   public:
+    /** One exchange to perform(): the what of a request. */
+    struct Request
+    {
+        std::string method = "GET";
+        std::string target = "/";
+
+        /**
+         * Extra request headers ("X-BWWall-Trace" opts a bwwalld
+         * request into span recording — docs/SERVER.md).
+         */
+        std::map<std::string, std::string> headers;
+
+        std::string body;
+    };
+
+    /** The how of one perform() call. */
+    struct RequestOptions
+    {
+        /**
+         * Retry under the client's HttpRetryPolicy (idempotency
+         * aware; see setRetryPolicy()).  Off, a transport failure
+         * fails the call after the single built-in stale
+         * keep-alive reconnect.
+         */
+        bool retry = false;
+
+        /**
+         * Policy override for this call only (implies retry);
+         * null uses the client's configured policy.  Not owned;
+         * must outlive the call.
+         */
+        const HttpRetryPolicy *policy = nullptr;
+
+        /**
+         * Total wall-clock deadline override for this call,
+         * milliseconds; negative defers to the policy's
+         * totalDeadlineMs, 0 disables the deadline.
+         */
+        double deadlineMs = -1.0;
+    };
+
     HttpClient(std::string host, std::uint16_t port)
         : host_(std::move(host)), port_(port)
     {}
@@ -92,52 +140,73 @@ class HttpClient
     HttpClient &operator=(const HttpClient &) = delete;
 
     /**
-     * Sends one request and reads the full response.  Connects (or
-     * reconnects) as needed.  Returns false with *error set on
-     * transport failure; HTTP error statuses are successful
-     * transports.
+     * Sends one request and reads the full response, applying the
+     * options.  Connects (or reconnects) as needed.  Returns false
+     * with *error set on transport failure (or, with retry, once
+     * the attempts, the budget, or the deadline are exhausted; *out
+     * then holds the last response if any attempt transported).
+     * HTTP error statuses are successful transports.
      */
-    bool request(const std::string &method,
-                 const std::string &target,
-                 const std::string &body, HttpClientResponse *out,
+    bool perform(const Request &request,
+                 const RequestOptions &options,
+                 HttpClientResponse *out,
                  std::string *error = nullptr);
 
-    /**
-     * Like request(), with extra request headers ("X-BWWall-Trace"
-     * opts a bwwalld request into span recording — docs/SERVER.md).
-     */
-    bool request(const std::string &method,
-                 const std::string &target,
-                 const std::map<std::string, std::string> &headers,
-                 const std::string &body, HttpClientResponse *out,
-                 std::string *error = nullptr);
+    /** perform() with default options (no retry). */
+    bool
+    perform(const Request &request, HttpClientResponse *out,
+            std::string *error = nullptr)
+    {
+        return perform(request, RequestOptions{}, out, error);
+    }
 
-    /** Convenience wrappers. */
+    /** @name Deprecated wrappers (one release): use perform().
+     *  @{ */
+    bool
+    request(const std::string &method, const std::string &target,
+            const std::string &body, HttpClientResponse *out,
+            std::string *error = nullptr)
+    {
+        return perform({method, target, {}, body}, out, error);
+    }
+
+    bool
+    request(const std::string &method, const std::string &target,
+            const std::map<std::string, std::string> &headers,
+            const std::string &body, HttpClientResponse *out,
+            std::string *error = nullptr)
+    {
+        return perform({method, target, headers, body}, out,
+                       error);
+    }
+
     bool
     get(const std::string &target, HttpClientResponse *out,
         std::string *error = nullptr)
     {
-        return request("GET", target, "", out, error);
+        return perform({"GET", target, {}, ""}, out, error);
     }
 
     bool
     post(const std::string &target, const std::string &body,
          HttpClientResponse *out, std::string *error = nullptr)
     {
-        return request("POST", target, body, out, error);
+        return perform({"POST", target, {}, body}, out, error);
     }
 
-    /**
-     * request() under the configured HttpRetryPolicy.  Returns
-     * false with *error set once the attempts, the budget, or the
-     * deadline are exhausted; *out then holds the last response if
-     * any attempt transported.
-     */
-    bool requestWithRetry(
+    bool
+    requestWithRetry(
         const std::string &method, const std::string &target,
         const std::map<std::string, std::string> &headers,
         const std::string &body, HttpClientResponse *out,
-        std::string *error = nullptr);
+        std::string *error = nullptr)
+    {
+        RequestOptions options;
+        options.retry = true;
+        return perform({method, target, headers, body}, options,
+                       out, error);
+    }
+    /** @} */
 
     /** Connect timeout, milliseconds (0 = the OS default). */
     void setConnectTimeoutMs(unsigned ms)
@@ -163,6 +232,16 @@ class HttpClient
     bool sendAll(const std::string &wire, std::string *error);
     bool readResponse(HttpClientResponse *out,
                       std::string *error);
+
+    /** One exchange, no retries (stale keep-alive reconnect only). */
+    bool performOnce(const Request &request,
+                     HttpClientResponse *out, std::string *error);
+
+    /** The retry loop of perform() with options.retry. */
+    bool retryLoop(const Request &request,
+                   const HttpRetryPolicy &policy,
+                   double deadline_ms, HttpClientResponse *out,
+                   std::string *error);
 
     std::string host_;
     std::uint16_t port_;

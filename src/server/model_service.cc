@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <memory>
 #include <set>
 #include <vector>
@@ -9,7 +10,9 @@
 #include "cache/miss_curve_estimator.hh"
 #include "model/assumptions.hh"
 #include "model/bandwidth_wall.hh"
+#include "model/batch_solver.hh"
 #include "model/scaling_study.hh"
+#include "server/http.hh"
 #include "trace/profiles.hh"
 #include "util/error.hh"
 #include "util/units.hh"
@@ -286,19 +289,15 @@ jsonResponse(const JsonValue &payload)
 // ---------------------------------------------------------------
 // Endpoint handlers.
 
-CachedResponse
-handleTraffic(const JsonValue &request)
+/**
+ * The /v1/traffic payload for one evaluated point — shared by the
+ * single-request handler and /v1/batch so the two are
+ * byte-identical for identical inputs.
+ */
+JsonValue
+trafficResultPayload(const ScalingScenario &scenario, double cores,
+                     double traffic)
 {
-    std::set<std::string> known = kScenarioKeys;
-    known.insert("cores");
-    requireKnownKeys(request, known, "request");
-    if (request.find("cores") == nullptr)
-        throw BadRequest("'cores' is required");
-    const double cores =
-        numberField(request, "cores", 1.0, 0.0625, 1.0e6);
-    const ScalingScenario scenario = parseScenario(request);
-
-    const double traffic = relativeTraffic(scenario, cores);
     JsonValue payload = JsonValue::makeObject();
     payload.set("cores", JsonValue(cores));
     payload.set("alpha", JsonValue(scenario.alpha));
@@ -313,20 +312,14 @@ handleTraffic(const JsonValue &request)
                           traffic <= scenario.trafficBudget));
     payload.set("max_placeable_cores",
                 JsonValue(maxPlaceableCores(scenario)));
-    return jsonResponse(payload);
+    return payload;
 }
 
-CachedResponse
-handleSolve(const JsonValue &request)
+/** The /v1/solve payload for one solved point (see above). */
+JsonValue
+solveResultPayload(const ScalingScenario &scenario,
+                   const SolveResult &result)
 {
-    requireKnownKeys(request, kScenarioKeys, "request");
-    const ScalingScenario scenario = parseScenario(request);
-    Expected<SolveResult> solved =
-        trySolveSupportableCores(scenario);
-    if (!solved.ok())
-        throw Errored(solved.error());
-    const SolveResult result = solved.value();
-
     JsonValue payload = JsonValue::makeObject();
     payload.set("alpha", JsonValue(scenario.alpha));
     payload.set("total_ceas", JsonValue(scenario.totalCeas));
@@ -343,11 +336,48 @@ handleSolve(const JsonValue &request)
     payload.set("core_area_fraction",
                 JsonValue(result.coreAreaFraction));
     payload.set("cache_per_core", JsonValue(result.cachePerCore));
-    return jsonResponse(payload);
+    return payload;
+}
+
+/** Validates a /v1/traffic body and parses its scenario + cores. */
+ScalingScenario
+parseTrafficRequest(const JsonValue &request, double *cores)
+{
+    std::set<std::string> known = kScenarioKeys;
+    known.insert("cores");
+    requireKnownKeys(request, known, "request");
+    if (request.find("cores") == nullptr)
+        throw BadRequest("'cores' is required");
+    *cores = numberField(request, "cores", 1.0, 0.0625, 1.0e6);
+    return parseScenario(request);
 }
 
 CachedResponse
-handleScalingSweep(const JsonValue &request)
+handleTraffic(const JsonValue &request)
+{
+    double cores = 1.0;
+    const ScalingScenario scenario =
+        parseTrafficRequest(request, &cores);
+    const double traffic = relativeTraffic(scenario, cores);
+    return jsonResponse(
+        trafficResultPayload(scenario, cores, traffic));
+}
+
+CachedResponse
+handleSolve(const JsonValue &request)
+{
+    requireKnownKeys(request, kScenarioKeys, "request");
+    const ScalingScenario scenario = parseScenario(request);
+    Expected<SolveResult> solved =
+        trySolveSupportableCores(scenario);
+    if (!solved.ok())
+        throw Errored(solved.error());
+    return jsonResponse(
+        solveResultPayload(scenario, solved.value()));
+}
+
+JsonValue
+scalingSweepPayload(const JsonValue &request)
 {
     ScalingStudyParams params;
     params.baseline = parseBaseline(request);
@@ -368,11 +398,11 @@ handleScalingSweep(const JsonValue &request)
         payload.set("ideal",
                     generationsJson(idealScaling(
                         params.baseline, params.generations)));
-    return jsonResponse(payload);
+    return payload;
 }
 
-CachedResponse
-handleFigure15Sweep(const JsonValue &request)
+JsonValue
+figure15SweepPayload(const JsonValue &request)
 {
     ScalingStudyParams params;
     params.baseline = parseBaseline(request);
@@ -397,7 +427,7 @@ handleFigure15Sweep(const JsonValue &request)
     payload.set("kind", JsonValue("figure15"));
     payload.set("alpha", JsonValue(params.alpha));
     payload.set("techniques", std::move(candles));
-    return jsonResponse(payload);
+    return payload;
 }
 
 const WorkloadProfileSpec &
@@ -412,8 +442,8 @@ profileByName(const std::string &name)
     throw BadRequest("unknown profile '" + name + "'");
 }
 
-CachedResponse
-handleMissCurveSweep(const JsonValue &request)
+JsonValue
+missCurveSweepPayload(const JsonValue &request)
 {
     MissCurveSpec spec;
     spec.cache.capacityBytes =
@@ -469,11 +499,11 @@ handleMissCurveSweep(const JsonValue &request)
     payload.set("points", std::move(points));
     payload.set("alpha", JsonValue(-fit.exponent));
     payload.set("fit_r_squared", JsonValue(fit.rSquared));
-    return jsonResponse(payload);
+    return payload;
 }
 
-CachedResponse
-handleSweep(const JsonValue &request)
+JsonValue
+sweepPayload(const JsonValue &request)
 {
     const std::string kind =
         stringField(request, "kind", "scaling");
@@ -483,14 +513,14 @@ handleSweep(const JsonValue &request)
                           "generations", "bandwidth_growth",
                           "techniques", "include_ideal"},
                          "request");
-        return handleScalingSweep(request);
+        return scalingSweepPayload(request);
     }
     if (kind == "figure15") {
         requireKnownKeys(request,
                          {"kind", "baseline", "alpha",
                           "generations", "bandwidth_growth"},
                          "request");
-        return handleFigure15Sweep(request);
+        return figure15SweepPayload(request);
     }
     if (kind == "miss_curve") {
         requireKnownKeys(request,
@@ -499,11 +529,239 @@ handleSweep(const JsonValue &request)
                           "warm", "accesses", "sample_rate",
                           "seed"},
                          "request");
-        return handleMissCurveSweep(request);
+        return missCurveSweepPayload(request);
     }
     throw BadRequest("unknown sweep kind '" + kind +
                      "'; expected scaling | figure15 | "
                      "miss_curve");
+}
+
+CachedResponse
+handleSweep(const JsonValue &request)
+{
+    return jsonResponse(sweepPayload(request));
+}
+
+// ---------------------------------------------------------------
+// POST /v1/batch: many model queries in one body, one parse, one
+// contiguous dispatch through the SoA batch solver.
+
+/**
+ * Groups /v1/solve and /v1/traffic batch items that share a
+ * (baseline, techniques) pair into one BatchGrid, so the SoA solver
+ * binds the grid invariants once and evaluates every point of the
+ * group in contiguous buffers.
+ */
+struct BatchGroup
+{
+    BatchGrid grid;
+    /** Indices into the batch's item array, one per grid point. */
+    std::vector<std::size_t> members;
+    /** Per-point scenarios for payload building. */
+    std::vector<ScalingScenario> scenarios;
+    /** Per-point core counts (traffic groups only). */
+    std::vector<double> cores;
+};
+
+/**
+ * The grouping key of one parsed item: the canonical baseline plus
+ * the raw techniques spec.  Items with equal keys share grid
+ * invariants by construction.
+ */
+std::string
+batchGroupKey(const ScalingScenario &scenario,
+              const JsonValue &body)
+{
+    const JsonValue *techniques = body.find("techniques");
+    return baselineJson(scenario.baseline).dump() + '\n' +
+           (techniques == nullptr ? std::string()
+                                  : techniques->dump());
+}
+
+/** One item of a batch on its way to a response entry. */
+struct BatchItem
+{
+    std::string path;
+    const JsonValue *body = nullptr;
+    JsonValue result;
+    int status = 200;
+    bool done = false;
+};
+
+/**
+ * Renders a per-item failure into the item's response slot — the
+ * same {"error", "category", "status"} body the single-request
+ * endpoint would have answered.  Faulted errors abort the whole
+ * batch instead (rethrown as Errored) so a fault-injected answer is
+ * never embedded in a cacheable 200.
+ */
+void
+embedItemError(BatchItem *item, const Error &error)
+{
+    if (error.category == ErrorCategory::Faulted)
+        throw Errored(error);
+    item->result = httpErrorBody(error);
+    item->status = httpStatusFor(error.category);
+    item->done = true;
+}
+
+CachedResponse
+handleBatch(const JsonValue &request)
+{
+    requireKnownKeys(request, {"requests"}, "request");
+    const JsonValue *list = request.find("requests");
+    if (list == nullptr)
+        throw BadRequest("'requests' is required");
+    if (!list->isArray())
+        throw BadRequest("'requests' must be an array");
+    const std::size_t count = list->items().size();
+    if (count == 0)
+        throw BadRequest("'requests' must not be empty");
+    if (count > 64)
+        throw BadRequest("at most 64 requests per batch");
+
+    // Envelope validation is strict and batch-fatal; per-item
+    // semantic errors below degrade to per-item error entries.
+    const JsonValue empty_body = JsonValue::makeObject();
+    std::vector<BatchItem> items(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        const JsonValue &entry = list->items()[i];
+        const std::string where =
+            "requests[" + std::to_string(i) + "]";
+        requireKnownKeys(entry, {"path", "body"}, where);
+        const JsonValue *path_value = entry.find("path");
+        if (path_value == nullptr || !path_value->isString())
+            throw BadRequest(where +
+                             " needs a string 'path'");
+        const std::string path = path_value->asString();
+        if (path == "/v1/batch")
+            throw BadRequest(where +
+                             ": batches do not nest");
+        if (!isModelQueryPath(path))
+            throw BadRequest(where + ": unknown path '" + path +
+                             "'");
+        const JsonValue *body = entry.find("body");
+        if (body != nullptr && !body->isObject())
+            throw BadRequest(where +
+                             ": 'body' must be a JSON object");
+        items[i].path = path;
+        items[i].body = body == nullptr ? &empty_body : body;
+    }
+
+    // Parse phase: sweeps evaluate per item; solve and traffic
+    // items accumulate into SoA grids keyed by shared invariants.
+    std::map<std::string, BatchGroup> solve_groups;
+    std::map<std::string, BatchGroup> traffic_groups;
+    for (std::size_t i = 0; i < count; ++i) {
+        BatchItem &item = items[i];
+        try {
+            if (item.path == "/v1/sweep") {
+                item.result = sweepPayload(*item.body);
+                item.done = true;
+                continue;
+            }
+            if (item.path == "/v1/traffic") {
+                double cores = 1.0;
+                ScalingScenario scenario =
+                    parseTrafficRequest(*item.body, &cores);
+                BatchGroup &group = traffic_groups[batchGroupKey(
+                    scenario, *item.body)];
+                if (group.members.empty()) {
+                    group.grid.baseline = scenario.baseline;
+                    group.grid.techniques = scenario.techniques;
+                }
+                group.grid.push(scenario.alpha,
+                                scenario.totalCeas,
+                                scenario.trafficBudget);
+                group.members.push_back(i);
+                group.cores.push_back(cores);
+                group.scenarios.push_back(std::move(scenario));
+                continue;
+            }
+            requireKnownKeys(*item.body, kScenarioKeys,
+                             "request");
+            ScalingScenario scenario = parseScenario(*item.body);
+            BatchGroup &group = solve_groups[batchGroupKey(
+                scenario, *item.body)];
+            if (group.members.empty()) {
+                group.grid.baseline = scenario.baseline;
+                group.grid.techniques = scenario.techniques;
+            }
+            group.grid.push(scenario.alpha, scenario.totalCeas,
+                            scenario.trafficBudget);
+            group.members.push_back(i);
+            group.scenarios.push_back(std::move(scenario));
+        } catch (const BadRequest &e) {
+            embedItemError(&item,
+                           {ErrorCategory::InvalidInput,
+                            e.what()});
+        } catch (const Errored &e) {
+            embedItemError(&item, e.error());
+        }
+    }
+
+    // Dispatch phase: one contiguous batch-solver call per group.
+    for (auto &[key, group] : traffic_groups) {
+        std::vector<double> traffic(group.grid.points());
+        evaluateTrafficBatch(group.grid, group.cores.data(),
+                             traffic.data());
+        for (std::size_t j = 0; j < group.members.size(); ++j) {
+            BatchItem &item = items[group.members[j]];
+            item.result = trafficResultPayload(
+                group.scenarios[j], group.cores[j], traffic[j]);
+            item.done = true;
+        }
+    }
+    for (auto &[key, group] : solve_groups) {
+        const std::size_t points = group.grid.points();
+        std::vector<int> supportable(points);
+        std::vector<double> fractional(points);
+        std::vector<double> traffic_at(points);
+        std::vector<double> core_area(points);
+        std::vector<double> cache_per(points);
+        std::vector<std::uint8_t> ok(points);
+        std::vector<Error> errors(points);
+        SupportableBatchOut out;
+        out.supportableCores = supportable.data();
+        out.fractionalCores = fractional.data();
+        out.trafficAtSolution = traffic_at.data();
+        out.coreAreaFraction = core_area.data();
+        out.cachePerCore = cache_per.data();
+        BatchPointStatus status{ok.data(), errors.data()};
+        trySolveSupportableBatch(group.grid, out, status);
+        for (std::size_t j = 0; j < group.members.size(); ++j) {
+            BatchItem &item = items[group.members[j]];
+            if (ok[j] == 0) {
+                embedItemError(&item, errors[j]);
+                continue;
+            }
+            SolveResult result;
+            result.supportableCores = supportable[j];
+            result.fractionalCores = fractional[j];
+            result.trafficAtSolution = traffic_at[j];
+            result.coreAreaFraction = core_area[j];
+            result.cachePerCore = cache_per[j];
+            item.result = solveResultPayload(group.scenarios[j],
+                                             result);
+            item.done = true;
+        }
+    }
+
+    // One canonical response array, original order preserved.
+    JsonValue responses = JsonValue::makeArray();
+    for (BatchItem &item : items) {
+        JsonValue row = JsonValue::makeObject();
+        row.set("body", std::move(item.result));
+        row.set("status",
+                JsonValue(static_cast<double>(item.status)));
+        responses.append(std::move(row));
+    }
+    JsonValue payload = JsonValue::makeObject();
+    payload.set("count",
+                JsonValue(static_cast<double>(count)));
+    payload.set("kind", JsonValue("batch"));
+    payload.set("responses", std::move(responses));
+    return jsonResponse(payload);
 }
 
 } // namespace
@@ -512,7 +770,7 @@ bool
 isModelQueryPath(const std::string &path)
 {
     return path == "/v1/traffic" || path == "/v1/solve" ||
-           path == "/v1/sweep";
+           path == "/v1/sweep" || path == "/v1/batch";
 }
 
 std::string
@@ -568,6 +826,8 @@ executeModelQuery(const std::string &path,
         return handleSolve(request);
     if (path == "/v1/sweep")
         return handleSweep(request);
+    if (path == "/v1/batch")
+        return handleBatch(request);
     throw BadRequest("unknown model-query path '" + path + "'");
 }
 

@@ -16,6 +16,12 @@
  *  - POST /v1/solve    supportable core count under a budget
  *  - POST /v1/sweep    scaling study / technique comparison /
  *                      miss-curve estimation
+ *  - POST /v1/batch    up to 64 of the above in one body; solve and
+ *                      traffic items sharing a (baseline,
+ *                      techniques) pair dispatch through the SoA
+ *                      batch solver in contiguous buffers, and each
+ *                      embedded response body is byte-identical to
+ *                      the single-request endpoint's answer
  */
 
 #ifndef BWWALL_SERVER_MODEL_SERVICE_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "server/routes.hh"
 #include "util/metrics.hh"
 
 namespace bwwall {
@@ -25,7 +26,15 @@ OverloadController::OverloadController(OverloadConfig config,
 bool
 OverloadController::isExpensive(const std::string &path)
 {
-    return path == "/v1/sweep";
+    const Route *route = findRoute(path);
+    return route != nullptr && route->cost == RouteCost::Expensive;
+}
+
+bool
+OverloadController::isDegradable(const std::string &path)
+{
+    const Route *route = findRoute(path);
+    return route != nullptr && route->degradable;
 }
 
 double
@@ -55,6 +64,10 @@ AdmitDecision
 OverloadController::admit(const std::string &path, unsigned inflight)
 {
     const bool expensive = isExpensive(path);
+    // A batch body cannot be served at reduced resolution (its items
+    // are the client's, verbatim), so only degradable routes trade
+    // shedding for degradation.
+    const bool degradable = isDegradable(path);
     std::lock_guard<std::mutex> lock(mutex_);
 
     Breaker &breaker = breakers_[path];
@@ -86,10 +99,11 @@ OverloadController::admit(const std::string &path, unsigned inflight)
     }
     if (expensive && (latency_pressed ||
                       pressure >= kExpensivePressure)) {
-        return config_.degradeSweeps ? AdmitDecision::AdmitDegraded
-                                     : AdmitDecision::Shed;
+        return config_.degradeSweeps && degradable
+                   ? AdmitDecision::AdmitDegraded
+                   : AdmitDecision::Shed;
     }
-    if (expensive && config_.degradeSweeps &&
+    if (expensive && degradable && config_.degradeSweeps &&
         pressure >= config_.degradePressure) {
         return AdmitDecision::AdmitDegraded;
     }

@@ -2,15 +2,18 @@
  * @file
  * Admission control, per-endpoint breakers, and degradation policy.
  *
- * bwwalld's accept loop already sheds whole connections past
- * --max-inflight; this controller adds the request-level layer that
- * makes shedding *selective*: expensive endpoints (/v1/sweep) give
- * way before cheap ones (/v1/traffic), a sliding-window p99 latency
- * threshold sheds before queues grow unbounded, and a per-endpoint
- * breaker stops hammering a handler that keeps failing.  Every shed
- * is a 503 with a Retry-After hint; with degradation enabled, sweeps
- * under pressure are admitted at reduced resolution instead of shed
- * (the server marks them X-BWWall-Degraded).
+ * bwwalld's reactor already sheds whole connections past
+ * --max-connections and parsed requests past --max-inflight; this
+ * controller adds the request-level layer that makes shedding
+ * *selective*: endpoints the route table (server/routes.hh) marks
+ * Expensive (/v1/sweep, /v1/batch) give way before cheap ones
+ * (/v1/traffic), a sliding-window p99 latency threshold sheds
+ * before queues grow unbounded, and a per-endpoint breaker stops
+ * hammering a handler that keeps failing.  Every shed is a 503 with
+ * a Retry-After hint; with degradation enabled, routes the table
+ * marks degradable (/v1/sweep) are admitted under pressure at
+ * reduced resolution instead of shed (the server marks them
+ * X-BWWall-Degraded).
  *
  * Decisions are deterministic functions of the observed history —
  * no randomness — so a test can drive the breaker open and closed
@@ -93,8 +96,18 @@ class OverloadController
     explicit OverloadController(OverloadConfig config,
                                 MetricsRegistry *metrics = nullptr);
 
-    /** /v1/sweep is the expensive endpoint class. */
+    /**
+     * True for routes in the Expensive cost class of the route
+     * table (/v1/sweep, /v1/batch).
+     */
     static bool isExpensive(const std::string &path);
+
+    /**
+     * True for routes the table marks degradable (/v1/sweep): the
+     * ones degradeSweeps may admit at reduced resolution instead of
+     * shedding.
+     */
+    static bool isDegradable(const std::string &path);
 
     /**
      * Decides one arriving request given the server's current

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * The epoll reactor under bwwalld: C10k I/O for the model service.
+ *
+ * The blocking thread-per-connection layer capped bwwalld at one
+ * keep-alive connection per worker thread — an idle client pinned a
+ * whole worker.  The reactor decouples connections from threads:
+ *
+ *  - One accept thread blocks in poll()/accept() and deals accepted
+ *    sockets round-robin to a small fixed pool of event-loop
+ *    *shards* (one epoll instance + thread each, sized to cores).
+ *  - Each shard owns its connections outright: non-blocking reads
+ *    feed an incremental HttpParser, complete requests are handed to
+ *    a compute pool over a lock-free MPMC queue (an eventfd
+ *    semaphore carries the wakeups, one token per item), and
+ *    finished responses come back through a per-shard completion
+ *    queue drained on an eventfd wake.
+ *  - Write-back is a per-connection output buffer flushed as far as
+ *    the socket allows; EPOLLOUT is armed only while bytes remain,
+ *    so a slow reader costs a buffer, not a thread.
+ *
+ * One request is in flight per connection at a time (EPOLLIN is
+ * disarmed while its request computes), which preserves the blocking
+ * server's serial per-connection semantics — and therefore its
+ * byte-exact response ordering — while tens of thousands of idle
+ * keep-alive connections cost only their sockets.
+ *
+ * Admission is two-layered: a connection cap (maxConnections) sheds
+ * at accept, and a request cap (maxInflight, counting parsed
+ * requests queued or computing) sheds at parse time; both answer
+ * 503 + Retry-After.  The request-level overload policy (breakers,
+ * selective shedding, degraded sweeps) stays in the handler, which
+ * runs on the compute pool.
+ *
+ * Chaos parity: the PR 5 fault points fire in the same places as on
+ * the blocking server — server.accept after the connection counter,
+ * http.read per read-readiness, http.write once per response flush,
+ * http.write.short capping each send() at one byte.
+ */
+
+#ifndef BWWALL_SERVER_REACTOR_HH
+#define BWWALL_SERVER_REACTOR_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "server/http.hh"
+#include "util/mpmc_queue.hh"
+
+namespace bwwall {
+
+class MetricsRegistry;
+
+/** The I/O-layer slice of ServerConfig. */
+struct ReactorConfig
+{
+    std::string bindAddress = "127.0.0.1";
+    std::uint16_t port = 0;
+
+    /** Event-loop shards; resolved by the caller (>= 1). */
+    unsigned ioShards = 1;
+
+    /** Compute-pool threads; resolved by the caller (>= 1). */
+    unsigned computeThreads = 1;
+
+    /** Open-connection cap before accept-time 503 (0 = unlimited). */
+    unsigned maxConnections = 16384;
+
+    /**
+     * Parsed requests queued or computing before parse-time 503
+     * (0 = unlimited).
+     */
+    unsigned maxInflight = 256;
+
+    /** Connections idle this long answer 408 and close (0 = never). */
+    unsigned idleTimeoutMs = 5000;
+
+    std::size_t maxBodyBytes = 1u << 20;
+
+    /** The Retry-After hint on shed responses, seconds. */
+    unsigned retryAfterSeconds = 1;
+};
+
+/**
+ * The event-loop core.  The owner supplies the request handler
+ * (invoked on a compute thread; must not throw) and an optional
+ * trace predicate deciding which requests record spans.
+ */
+class HttpReactor
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    /**
+     * Serves one request.  `received` is when the request finished
+     * parsing; `inflight` is the request-level inflight count for
+     * overload pressure.
+     */
+    using Handler = std::function<HttpResponse(
+        const HttpRequest &request, Clock::time_point received,
+        unsigned inflight)>;
+
+    using TracePredicate =
+        std::function<bool(const HttpRequest &request)>;
+
+    HttpReactor(ReactorConfig config, MetricsRegistry *metrics,
+                Handler handler,
+                TracePredicate traced = nullptr);
+
+    /** Drains and joins if still running. */
+    ~HttpReactor();
+
+    HttpReactor(const HttpReactor &) = delete;
+    HttpReactor &operator=(const HttpReactor &) = delete;
+
+    /**
+     * Binds, listens, and spawns the accept thread, the shards, and
+     * the compute pool.  Fatal on unusable bind configuration.
+     */
+    void start();
+
+    /** The bound port (resolves port 0 after start()). */
+    std::uint16_t port() const { return boundPort_; }
+
+    /**
+     * Begins a graceful drain: stop accepting, close idle
+     * connections immediately, finish queued and computing
+     * requests.  Safe to call from any thread, more than once.
+     */
+    void requestStop();
+
+    /** Blocks until the drain completes and every thread is joined. */
+    void join();
+
+    bool
+    stopping() const
+    {
+        return stopping_.load(std::memory_order_acquire);
+    }
+
+    /** Parsed requests currently queued or computing. */
+    unsigned
+    inflight() const
+    {
+        return inflight_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    struct Conn;
+    struct Shard;
+
+    /** One parsed request on its way to the compute pool. */
+    struct WorkItem
+    {
+        unsigned shard = 0;
+        std::uint64_t connId = 0;
+        HttpRequest request;
+        Clock::time_point received{};
+    };
+
+    /** One serialized response on its way back to a shard. */
+    struct Completion
+    {
+        std::uint64_t connId = 0;
+        std::string wire;
+        bool close = false;
+    };
+
+    void acceptLoop();
+    void shardLoop(unsigned index);
+    void computeLoop();
+
+    void adoptConnections(Shard &shard);
+    void handleReadable(Shard &shard, Conn *conn);
+
+    /** Parses buffered bytes into requests until blocked. */
+    void pumpRequests(Shard &shard, Conn *conn, bool eof);
+
+    void processCompletions(Shard &shard);
+    void sweepIdle(Shard &shard);
+
+    /**
+     * Serializes + enqueues a response (evaluating the http.write
+     * fault) and flushes; false when the connection was closed.
+     */
+    bool respond(Shard &shard, Conn *conn, std::string wire,
+                 bool close_after);
+
+    /** Flushes pending output; false when the connection was closed. */
+    bool flushOutput(Shard &shard, Conn *conn);
+
+    void shedRequest(Shard &shard, Conn *conn);
+    void updateInterest(Shard &shard, Conn *conn);
+    void closeConn(Shard &shard, Conn *conn);
+
+    ReactorConfig config_;
+    MetricsRegistry *metrics_;
+    Handler handler_;
+    TracePredicate traced_;
+
+    int listenFd_ = -1;
+    /** Self-pipe waking the accept poll() on requestStop(). */
+    int wakePipe_[2] = {-1, -1};
+    std::uint16_t boundPort_ = 0;
+
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::vector<std::thread> computeThreads_;
+    std::thread acceptThread_;
+
+    std::unique_ptr<MpmcQueue<WorkItem>> computeQueue_;
+    /** EFD_SEMAPHORE eventfd: one token per queued item (or stop). */
+    int computeSem_ = -1;
+
+    std::atomic<bool> started_{false};
+    std::atomic<bool> stopping_{false};
+    std::atomic<bool> joined_{false};
+    std::atomic<unsigned> connCount_{0};
+    std::atomic<unsigned> inflight_{0};
+    std::atomic<std::uint64_t> nextConnId_{1};
+    std::atomic<unsigned> nextShard_{0};
+};
+
+/**
+ * Raises RLIMIT_NOFILE's soft limit to its hard limit (tens of
+ * thousands of sockets need more than the usual 1024 default) and
+ * returns the resulting soft limit.  Used by the reactor at start()
+ * and by load generators opening large connection fleets.
+ */
+unsigned raiseOpenFileLimit();
+
+} // namespace bwwall
+
+#endif // BWWALL_SERVER_REACTOR_HH

@@ -1,0 +1,53 @@
+#include "server/routes.hh"
+
+namespace bwwall {
+
+namespace {
+
+const Route kRoutes[] = {
+    {"/healthz", "GET", true, RouteHandler::Health,
+     RouteCost::Control, false, "use GET /healthz"},
+    {"/metrics", "GET", false, RouteHandler::Metrics,
+     RouteCost::Control, false, "use GET /metrics"},
+    {"/v1/trace", "GET", false, RouteHandler::Trace,
+     RouteCost::Control, false, "use GET /v1/trace"},
+    {"/v1/traffic", "POST", false, RouteHandler::ModelQuery,
+     RouteCost::Cheap, false, "model queries are POST requests"},
+    {"/v1/solve", "POST", false, RouteHandler::ModelQuery,
+     RouteCost::Cheap, false, "model queries are POST requests"},
+    {"/v1/sweep", "POST", false, RouteHandler::ModelQuery,
+     RouteCost::Expensive, true,
+     "model queries are POST requests"},
+    {"/v1/batch", "POST", false, RouteHandler::ModelQuery,
+     RouteCost::Expensive, false,
+     "model queries are POST requests"},
+};
+
+} // namespace
+
+const Route *
+routeTable(std::size_t *count)
+{
+    *count = sizeof(kRoutes) / sizeof(kRoutes[0]);
+    return kRoutes;
+}
+
+const Route *
+findRoute(const std::string &path)
+{
+    for (const Route &route : kRoutes) {
+        if (path == route.path)
+            return &route;
+    }
+    return nullptr;
+}
+
+bool
+routeAllowsMethod(const Route &route, const std::string &method)
+{
+    if (method == route.method)
+        return true;
+    return route.allowHead && method == "HEAD";
+}
+
+} // namespace bwwall

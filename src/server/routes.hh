@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The declarative route table shared by dispatch and overload
+ * control.
+ *
+ * bwwalld's endpoints used to live in an if/else chain in server.cc
+ * with the overload controller keeping its own idea of which paths
+ * are expensive.  Both now read this one table: each route names its
+ * path, the method it accepts, the handler that serves it, a cost
+ * class (what the overload controller sheds first), and whether the
+ * endpoint supports degraded (reduced-resolution) service.  Adding
+ * an endpoint is one table row; the 405 hint, the admission policy,
+ * and the dispatch switch all follow from it.
+ */
+
+#ifndef BWWALL_SERVER_ROUTES_HH
+#define BWWALL_SERVER_ROUTES_HH
+
+#include <cstddef>
+#include <string>
+
+namespace bwwall {
+
+/** Which server code path serves a route. */
+enum class RouteHandler
+{
+    Health,     ///< GET /healthz liveness probe
+    Metrics,    ///< GET /metrics registry dump
+    Trace,      ///< GET /v1/trace span export
+    ModelQuery, ///< POST model-query endpoints (cache + overload)
+};
+
+/**
+ * Admission cost class.  Control routes bypass overload admission
+ * entirely, Cheap routes shed only in a full latency shed, and
+ * Expensive routes give way first under pressure.
+ */
+enum class RouteCost
+{
+    Control,
+    Cheap,
+    Expensive,
+};
+
+/** One row of the table. */
+struct Route
+{
+    const char *path;
+    const char *method; ///< the one accepted method
+    bool allowHead;     ///< also accept HEAD (health probes)
+    RouteHandler handler;
+    RouteCost cost;
+
+    /**
+     * Under pressure this route may be admitted at reduced
+     * resolution instead of shed (only /v1/sweep: its body has a
+     * well-defined cheaper form; batch bodies do not).
+     */
+    bool degradable;
+
+    /** The 405 body for a wrong-method request. */
+    const char *methodHint;
+};
+
+/** The table; terminated by count, not a sentinel. */
+const Route *routeTable(std::size_t *count);
+
+/** The route serving @p path, or nullptr (a 404). */
+const Route *findRoute(const std::string &path);
+
+/** True when @p method is acceptable for @p route. */
+bool routeAllowsMethod(const Route &route,
+                       const std::string &method);
+
+} // namespace bwwall
+
+#endif // BWWALL_SERVER_ROUTES_HH

@@ -1,39 +1,19 @@
 #include "server/server.hh"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <cerrno>
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
-#include <cstring>
 #include <sstream>
 
 #include "server/json.hh"
 #include "server/model_service.hh"
-#include "util/fault.hh"
+#include "server/routes.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 
 namespace bwwall {
 
 namespace {
-
-void
-setReceiveTimeout(int fd, unsigned timeout_ms)
-{
-    if (timeout_ms == 0)
-        return;
-    timeval tv{};
-    tv.tv_sec = timeout_ms / 1000;
-    tv.tv_usec = static_cast<suseconds_t>(
-        (timeout_ms % 1000) * 1000);
-    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-}
 
 double
 secondsSince(std::chrono::steady_clock::time_point start)
@@ -52,6 +32,15 @@ statusClass(int status)
     if (status < 500)
         return "4xx";
     return "5xx";
+}
+
+/** Event-loop shards when --io-shards is 0: cores, capped at 8. */
+unsigned
+resolveIoShards(unsigned requested)
+{
+    if (requested != 0)
+        return requested;
+    return std::min(resolveJobs(0), 8u);
 }
 
 } // namespace
@@ -96,212 +85,36 @@ BwwallServer::start()
     if (started_.exchange(true))
         panic("BwwallServer::start called twice");
 
-    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (listenFd_ < 0)
-        fatal("socket(): ", std::strerror(errno));
-    const int enable = 1;
-    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &enable,
-                 sizeof(enable));
-
-    sockaddr_in address{};
-    address.sin_family = AF_INET;
-    address.sin_port = htons(config_.port);
-    if (::inet_pton(AF_INET, config_.bindAddress.c_str(),
-                    &address.sin_addr) != 1)
-        fatal("bad bind address '", config_.bindAddress, "'");
-    if (::bind(listenFd_,
-               reinterpret_cast<const sockaddr *>(&address),
-               sizeof(address)) != 0)
-        fatal("bind(", config_.bindAddress, ":", config_.port,
-              "): ", std::strerror(errno));
-    if (::listen(listenFd_, 128) != 0)
-        fatal("listen(): ", std::strerror(errno));
-
-    sockaddr_in bound{};
-    socklen_t bound_len = sizeof(bound);
-    if (::getsockname(listenFd_,
-                      reinterpret_cast<sockaddr *>(&bound),
-                      &bound_len) != 0)
-        fatal("getsockname(): ", std::strerror(errno));
-    boundPort_ = ntohs(bound.sin_port);
-
-    if (::pipe(wakePipe_) != 0)
-        fatal("pipe(): ", std::strerror(errno));
-
     const unsigned threads = resolveJobs(config_.threads);
+    const unsigned shards = resolveIoShards(config_.ioShards);
     metrics_.setGauge("server.threads",
                       static_cast<double>(threads));
-    pool_ = std::make_unique<ThreadPool>(threads);
-    poolThread_ = std::thread([this, threads] {
-        pool_->run(threads, [this](std::size_t) { workerLoop(); });
-    });
-    acceptThread_ = std::thread([this] { acceptLoop(); });
+    metrics_.setGauge("server.io_shards",
+                      static_cast<double>(shards));
+
+    ReactorConfig reactor_config;
+    reactor_config.bindAddress = config_.bindAddress;
+    reactor_config.port = config_.port;
+    reactor_config.ioShards = shards;
+    reactor_config.computeThreads = threads;
+    reactor_config.maxConnections = config_.maxConnections;
+    reactor_config.maxInflight = config_.maxInflight;
+    reactor_config.idleTimeoutMs = config_.idleTimeoutMs;
+    reactor_config.maxBodyBytes = config_.maxBodyBytes;
+    reactor_config.retryAfterSeconds = config_.retryAfterSeconds;
+    reactor_ = std::make_unique<HttpReactor>(
+        reactor_config, &metrics_,
+        [this](const HttpRequest &request,
+               Clock::time_point received, unsigned inflight) {
+            return dispatch(request, received, inflight);
+        },
+        [this](const HttpRequest &request) {
+            return requestTraced(request);
+        });
+    reactor_->start();
     inform("bwwalld listening on ", config_.bindAddress, ":",
-           boundPort_, " (", threads, " worker",
+           reactor_->port(), " (", threads, " worker",
            threads == 1 ? "" : "s", ")");
-}
-
-void
-BwwallServer::acceptLoop()
-{
-    while (!stopping_.load(std::memory_order_acquire)) {
-        pollfd fds[2];
-        fds[0] = {listenFd_, POLLIN, 0};
-        fds[1] = {wakePipe_[0], POLLIN, 0};
-        const int ready = ::poll(fds, 2, -1);
-        if (ready < 0) {
-            if (errno == EINTR)
-                continue;
-            warn("accept poll(): ", std::strerror(errno));
-            break;
-        }
-        if ((fds[1].revents & POLLIN) != 0)
-            break; // woken by requestStop()
-        if ((fds[0].revents & POLLIN) == 0)
-            continue;
-        const int fd = ::accept(listenFd_, nullptr, nullptr);
-        if (fd < 0) {
-            if (errno == EINTR || errno == ECONNABORTED)
-                continue;
-            if (stopping_.load(std::memory_order_acquire))
-                break;
-            warn("accept(): ", std::strerror(errno));
-            continue;
-        }
-        metrics_.addCounter("server.connections");
-        // The chaos harness's client that vanishes between accept
-        // and service (connection reset at the doorstep).
-        if (FAULT_POINT("server.accept")) {
-            ::close(fd);
-            continue;
-        }
-        setReceiveTimeout(fd, config_.idleTimeoutMs);
-
-        // Admission control: shed beyond the in-flight limit with
-        // an immediate 503 instead of queueing unbounded work.
-        const unsigned inflight =
-            inflight_.load(std::memory_order_relaxed);
-        if (config_.maxInflight != 0 &&
-            inflight >= config_.maxInflight) {
-            metrics_.addCounter("server.shed");
-            HttpConnection connection(
-                fd, {16u << 10, config_.maxBodyBytes});
-            HttpResponse response = httpErrorResponse(
-                503, "server at capacity; retry later");
-            response.headers["Retry-After"] =
-                std::to_string(config_.retryAfterSeconds);
-            response.close = true;
-            connection.writeResponse(response);
-            ::close(fd);
-            continue;
-        }
-        inflight_.fetch_add(1, std::memory_order_relaxed);
-        {
-            std::lock_guard<std::mutex> lock(queueMutex_);
-            queue_.push_back(fd);
-        }
-        queueCv_.notify_one();
-    }
-}
-
-int
-BwwallServer::popConnection()
-{
-    std::unique_lock<std::mutex> lock(queueMutex_);
-    queueCv_.wait(lock, [this] {
-        return stopping_.load(std::memory_order_acquire) ||
-               !queue_.empty();
-    });
-    if (queue_.empty())
-        return -1; // stopping and fully drained
-    const int fd = queue_.front();
-    queue_.pop_front();
-    return fd;
-}
-
-void
-BwwallServer::workerLoop()
-{
-    while (true) {
-        const int fd = popConnection();
-        if (fd < 0)
-            return;
-        try {
-            serveConnection(fd);
-        } catch (const std::exception &e) {
-            // A worker must survive anything one connection does.
-            warn("connection aborted: ", e.what());
-            metrics_.addCounter("server.connection_errors");
-        }
-        ::close(fd);
-        inflight_.fetch_sub(1, std::memory_order_relaxed);
-    }
-}
-
-void
-BwwallServer::serveConnection(int fd)
-{
-    HttpConnection connection(fd,
-                              {16u << 10, config_.maxBodyBytes});
-    while (true) {
-        HttpRequest request;
-        const HttpReadStatus status =
-            connection.readRequest(&request);
-        const Clock::time_point received = Clock::now();
-        switch (status) {
-          case HttpReadStatus::Ok:
-            break;
-          case HttpReadStatus::Closed:
-            return;
-          case HttpReadStatus::Timeout: {
-            metrics_.addCounter("server.read_timeouts");
-            HttpResponse timeout = httpErrorResponse(
-                408, "timed out waiting for the request");
-            timeout.close = true;
-            connection.writeResponse(timeout);
-            return;
-          }
-          case HttpReadStatus::TooLarge: {
-            metrics_.addCounter("server.oversized_requests");
-            HttpResponse too_large = httpErrorResponse(
-                413, "request exceeds the configured size limit");
-            too_large.close = true;
-            connection.writeResponse(too_large);
-            return;
-          }
-          case HttpReadStatus::Unsupported: {
-            HttpResponse unsupported = httpErrorResponse(
-                501, "transfer-encoding is not supported");
-            unsupported.close = true;
-            connection.writeResponse(unsupported);
-            return;
-          }
-          case HttpReadStatus::Malformed: {
-            metrics_.addCounter("server.malformed_requests");
-            HttpResponse malformed = httpErrorResponse(
-                400, "malformed HTTP request");
-            malformed.close = true;
-            connection.writeResponse(malformed);
-            return;
-          }
-        }
-
-        const ScopedThreadTrace trace_scope(requestTraced(request));
-        Span request_span("server.request");
-        HttpResponse response = dispatch(request, received);
-        if (!request.keepAlive ||
-            stopping_.load(std::memory_order_acquire))
-            response.close = true;
-        bool written;
-        {
-            Span serialize_span("server.serialize");
-            written = connection.writeResponse(response);
-        }
-        if (!written)
-            return;
-        if (response.close)
-            return;
-    }
 }
 
 bool
@@ -422,10 +235,12 @@ BwwallServer::handleModelQuery(const HttpRequest &request,
         response.body = outcome.response->body;
         if (outcome.stale) {
             metrics_.addCounter("server.stale_served");
-            response.headers["X-BWWall-Stale"] = "1";
+            response.headers["X-BWWall-Stale"] =
+                std::string("1");
         }
         if (was_degraded)
-            response.headers["X-BWWall-Degraded"] = "1";
+            response.headers["X-BWWall-Degraded"] =
+                std::string("1");
         return response;
     } catch (const BadRequest &e) {
         return httpErrorResponseFor(
@@ -443,37 +258,37 @@ BwwallServer::handleModelQuery(const HttpRequest &request,
 
 HttpResponse
 BwwallServer::dispatch(const HttpRequest &request,
-                       Clock::time_point received)
+                       Clock::time_point received,
+                       unsigned inflight)
 {
     metrics_.addCounter("server.requests");
     requestCount_.fetch_add(1, std::memory_order_relaxed);
 
     HttpResponse response;
-    if (request.path == "/healthz") {
-        if (request.method != "GET" && request.method != "HEAD") {
-            response = httpErrorResponse(405, "use GET /healthz");
-        } else {
+    const Route *route = findRoute(request.path);
+    if (route == nullptr) {
+        response = httpErrorResponse(
+            404, "unknown path '" + request.path + "'");
+    } else if (!routeAllowsMethod(*route, request.method)) {
+        response = httpErrorResponse(405, route->methodHint);
+    } else {
+        switch (route->handler) {
+          case RouteHandler::Health: {
             JsonValue payload = JsonValue::makeObject();
             payload.set("status", JsonValue("ok"));
             response.body = payload.dump();
             response.body += '\n';
-        }
-    } else if (request.path == "/metrics") {
-        response = request.method == "GET"
-                       ? handleMetrics(request)
-                       : httpErrorResponse(405, "use GET /metrics");
-    } else if (request.path == "/v1/trace") {
-        response = request.method == "GET"
-                       ? handleTrace()
-                       : httpErrorResponse(405, "use GET /v1/trace");
-    } else if (isModelQueryPath(request.path)) {
-        if (request.method != "POST") {
-            response = httpErrorResponse(
-                405, "model queries are POST requests");
-        } else {
-            const AdmitDecision decision = overload_->admit(
-                request.path,
-                inflight_.load(std::memory_order_relaxed));
+            break;
+          }
+          case RouteHandler::Metrics:
+            response = handleMetrics(request);
+            break;
+          case RouteHandler::Trace:
+            response = handleTrace();
+            break;
+          case RouteHandler::ModelQuery: {
+            const AdmitDecision decision =
+                overload_->admit(request.path, inflight);
             if (decision == AdmitDecision::Shed) {
                 metrics_.addCounter("server.shed");
                 response = httpErrorResponseFor(
@@ -491,10 +306,9 @@ BwwallServer::dispatch(const HttpRequest &request,
                                    secondsSince(received),
                                    response.status >= 500);
             }
+            break;
+          }
         }
-    } else {
-        response = httpErrorResponse(
-            404, "unknown path '" + request.path + "'");
     }
 
     const double elapsed = secondsSince(received);
@@ -515,43 +329,18 @@ BwwallServer::dispatch(const HttpRequest &request,
 void
 BwwallServer::requestStop()
 {
-    if (!started_.load(std::memory_order_acquire))
-        return;
-    if (stopping_.exchange(true))
-        return;
-    // Wake the accept poll; it exits without touching new clients.
-    if (wakePipe_[1] >= 0) {
-        const char byte = 'x';
-        [[maybe_unused]] ssize_t ignored =
-            ::write(wakePipe_[1], &byte, 1);
-    }
-    queueCv_.notify_all();
+    if (reactor_ != nullptr)
+        reactor_->requestStop();
 }
 
 void
 BwwallServer::join()
 {
-    if (!started_.load(std::memory_order_acquire))
+    if (reactor_ == nullptr)
         return;
-    if (joined_.exchange(true))
+    reactor_->join();
+    if (drained_.exchange(true))
         return;
-    if (acceptThread_.joinable())
-        acceptThread_.join();
-    // Accepting has stopped; wake the workers so they drain the
-    // queue and exit once it is empty.
-    queueCv_.notify_all();
-    if (poolThread_.joinable())
-        poolThread_.join();
-    if (listenFd_ >= 0) {
-        ::close(listenFd_);
-        listenFd_ = -1;
-    }
-    for (int &fd : wakePipe_) {
-        if (fd >= 0) {
-            ::close(fd);
-            fd = -1;
-        }
-    }
     metrics_.setGauge("server.drained", 1.0);
     inform("bwwalld drained: served ", requestCount(),
            " request(s)");

@@ -2,21 +2,26 @@
  * @file
  * bwwalld: the concurrent model-query server.
  *
- * Architecture: one accept thread blocks in poll()/accept() on a
- * TCP listening socket and feeds accepted connections through a
- * queue to a fixed worker pool (the existing util/thread_pool run
- * as N long-lived connection-serving tasks).  Each worker owns one
- * connection at a time, serving keep-alive requests serially; the
- * cross-request concurrency is the worker count.
+ * Architecture: an HttpReactor (server/reactor.hh) owns all I/O —
+ * an accept thread deals non-blocking keep-alive sockets to a small
+ * pool of epoll event-loop shards, parsed requests cross a
+ * lock-free queue to a compute pool, and responses come back
+ * through per-shard completion queues — so one daemon holds tens of
+ * thousands of concurrent connections instead of one per worker
+ * thread.  This layer owns the policy on top: the route table
+ * (server/routes.hh) mapping method + path to a handler and a cost
+ * class, the model-service handlers, the result cache, and the
+ * overload controller.
  *
  * Robustness is first-class:
- *  - admission control: beyond --max-inflight queued + active
- *    connections, new arrivals get an immediate 503 (with a
- *    Retry-After hint) and close;
+ *  - admission control: beyond --max-connections open sockets or
+ *    --max-inflight parsed requests in flight, new arrivals get an
+ *    immediate 503 (with a Retry-After hint) and close;
  *  - selective shedding: an OverloadController sheds expensive
- *    endpoints (/v1/sweep) first under inflight or p99-latency
- *    pressure, with per-endpoint circuit breakers, and can serve
- *    sweeps at reduced resolution (X-BWWall-Degraded) instead;
+ *    endpoints (/v1/sweep, /v1/batch) first under inflight or
+ *    p99-latency pressure, with per-endpoint circuit breakers, and
+ *    can serve sweeps at reduced resolution (X-BWWall-Degraded)
+ *    instead;
  *  - stale-while-revalidate: expired cache entries are served
  *    (X-BWWall-Stale) while one request recomputes them;
  *  - error taxonomy: handler failures map through bwwall::Error
@@ -27,8 +32,9 @@
  *  - bounded request bodies (413) and header blocks;
  *  - malformed JSON and bad model parameters become structured
  *    400s, never daemon exits;
- *  - graceful drain: requestStop() stops accepting, lets queued
- *    and in-flight requests finish, then joins every thread.
+ *  - graceful drain: requestStop() stops accepting, closes idle
+ *    connections, lets queued and in-flight requests finish, then
+ *    joins every thread.
  *
  * All answers flow through the sharded single-flight ResultCache,
  * and everything observable lands in a MetricsRegistry served by
@@ -40,23 +46,20 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
 
 #include "server/http.hh"
 #include "server/overload.hh"
+#include "server/reactor.hh"
 #include "server/result_cache.hh"
 #include "util/metrics.hh"
 #include "util/trace_span.hh"
 
 namespace bwwall {
 
-class ThreadPool;
+struct Route;
 
 /** Everything tunable about one bwwalld instance. */
 struct ServerConfig
@@ -67,8 +70,14 @@ struct ServerConfig
     /** TCP port; 0 asks the kernel for an ephemeral port. */
     std::uint16_t port = 0;
 
-    /** Worker threads (0 = BWWALL_JOBS / hardware). */
+    /** Compute-pool threads (0 = BWWALL_JOBS / hardware). */
     unsigned threads = 0;
+
+    /** Event-loop shards (0 = hardware, capped at 8). */
+    unsigned ioShards = 0;
+
+    /** Open-connection cap before accept-time 503 (0 = unlimited). */
+    unsigned maxConnections = 16384;
 
     /** Result-cache byte budget. */
     std::size_t cacheBytes = 64u << 20;
@@ -89,10 +98,10 @@ struct ServerConfig
     /** Per-request deadline in milliseconds (0 = none). */
     unsigned deadlineMs = 10000;
 
-    /** Socket receive timeout per read, milliseconds. */
+    /** Connections idle this long answer 408 and close (0 = never). */
     unsigned idleTimeoutMs = 5000;
 
-    /** Admission limit: queued + active connections before 503. */
+    /** Admission limit: parsed requests queued + computing before 503. */
     unsigned maxInflight = 256;
 
     /**
@@ -150,20 +159,25 @@ class BwwallServer
     BwwallServer &operator=(const BwwallServer &) = delete;
 
     /**
-     * Binds, listens, and spawns the accept thread plus the worker
-     * pool.  Fatal on unusable bind configuration (that is a user
-     * error, not a runtime condition).
+     * Binds, listens, and spawns the reactor (accept thread, epoll
+     * shards, compute pool).  Fatal on unusable bind configuration
+     * (that is a user error, not a runtime condition).
      */
     void start();
 
     /** The bound port (resolves port 0 after start()). */
-    std::uint16_t port() const { return boundPort_; }
+    std::uint16_t
+    port() const
+    {
+        return reactor_ == nullptr ? 0 : reactor_->port();
+    }
 
     /**
-     * Begins a graceful drain: stop accepting, finish queued and
-     * in-flight requests.  Safe to call from any thread, more than
-     * once.  (Not async-signal-safe: call it from a normal thread
-     * after observing a signal flag, not from the handler itself.)
+     * Begins a graceful drain: stop accepting, close idle
+     * connections, finish queued and in-flight requests.  Safe to
+     * call from any thread, more than once.  (Not async-signal-safe:
+     * call it from a normal thread after observing a signal flag,
+     * not from the handler itself.)
      */
     void requestStop();
 
@@ -189,17 +203,10 @@ class BwwallServer
   private:
     using Clock = std::chrono::steady_clock;
 
-    void acceptLoop();
-    void workerLoop();
-
-    /** Pops the next queued connection; -1 when draining is done. */
-    int popConnection();
-
-    void serveConnection(int fd);
-
-    /** Routes one request; never throws. */
+    /** Routes one request via the route table; never throws. */
     HttpResponse dispatch(const HttpRequest &request,
-                          Clock::time_point received);
+                          Clock::time_point received,
+                          unsigned inflight);
 
     /** @param degraded Serve this sweep at reduced resolution. */
     HttpResponse handleModelQuery(const HttpRequest &request,
@@ -218,25 +225,10 @@ class BwwallServer
     std::unique_ptr<ResultCache> cache_;
     std::unique_ptr<OverloadController> overload_;
     std::unique_ptr<TraceRecorder> recorder_;
-    std::unique_ptr<ThreadPool> pool_;
-
-    int listenFd_ = -1;
-    /** Self-pipe waking the accept poll() on requestStop(). */
-    int wakePipe_[2] = {-1, -1};
-    std::uint16_t boundPort_ = 0;
-
-    std::thread acceptThread_;
-    std::thread poolThread_;
-
-    std::mutex queueMutex_;
-    std::condition_variable queueCv_;
-    std::deque<int> queue_;
+    std::unique_ptr<HttpReactor> reactor_;
 
     std::atomic<bool> started_{false};
-    std::atomic<bool> stopping_{false};
-    std::atomic<bool> joined_{false};
-    /** Queued + actively served connections (admission control). */
-    std::atomic<unsigned> inflight_{0};
+    std::atomic<bool> drained_{false};
     std::atomic<std::uint64_t> requestCount_{0};
 };
 

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Bounded lock-free multi-producer/multi-consumer queue.
+ *
+ * The reactor's handoff primitive: I/O shards push parsed requests
+ * to the compute pool and compute workers push serialized responses
+ * back to the owning shard without ever taking a lock on the hot
+ * path.  The design is Dmitry Vyukov's array-based MPMC queue: a
+ * power-of-two ring of cells, each carrying a sequence number that
+ * encodes whether the cell is free to produce into or ready to
+ * consume from.  Producers and consumers claim cells with one CAS on
+ * their own cursor; the per-cell sequence (release-published,
+ * acquire-read) hands the payload across threads.
+ *
+ * Properties that matter here:
+ *  - tryPush/tryPop never block and never allocate; a full queue
+ *    refuses the push (the caller sheds — bounded queues are the
+ *    server's backpressure), an empty queue refuses the pop.
+ *  - FIFO per producer, and no consumer can observe a cell before
+ *    the producer's release store to its sequence.
+ *  - capacity is fixed at construction and rounded up to a power of
+ *    two so index masking is one AND.
+ *
+ * Blocking/wakeup policy deliberately lives outside: callers pair
+ * the queue with an eventfd (reactor shards) or a semaphore-style
+ * eventfd (compute pool) so sleeping is explicit and the queue stays
+ * portable across those uses.
+ */
+
+#ifndef BWWALL_UTIL_MPMC_QUEUE_HH
+#define BWWALL_UTIL_MPMC_QUEUE_HH
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+namespace bwwall {
+
+template <typename T>
+class MpmcQueue
+{
+  public:
+    /** Ring of at least @p capacity cells (rounded up to 2^k). */
+    explicit MpmcQueue(std::size_t capacity)
+    {
+        std::size_t size = 2;
+        while (size < capacity)
+            size *= 2;
+        mask_ = size - 1;
+        cells_ = std::make_unique<Cell[]>(size);
+        for (std::size_t i = 0; i < size; ++i)
+            cells_[i].sequence.store(i,
+                                     std::memory_order_relaxed);
+        head_.store(0, std::memory_order_relaxed);
+        tail_.store(0, std::memory_order_relaxed);
+    }
+
+    MpmcQueue(const MpmcQueue &) = delete;
+    MpmcQueue &operator=(const MpmcQueue &) = delete;
+
+    std::size_t capacity() const { return mask_ + 1; }
+
+    /** Enqueues by move; false when the ring is full. */
+    bool
+    tryPush(T &&value)
+    {
+        std::size_t pos = tail_.load(std::memory_order_relaxed);
+        for (;;) {
+            Cell &cell = cells_[pos & mask_];
+            const std::size_t sequence =
+                cell.sequence.load(std::memory_order_acquire);
+            const std::ptrdiff_t delta =
+                static_cast<std::ptrdiff_t>(sequence) -
+                static_cast<std::ptrdiff_t>(pos);
+            if (delta == 0) {
+                if (tail_.compare_exchange_weak(
+                        pos, pos + 1,
+                        std::memory_order_relaxed))
+                {
+                    cell.value = std::move(value);
+                    cell.sequence.store(
+                        pos + 1, std::memory_order_release);
+                    return true;
+                }
+            } else if (delta < 0) {
+                return false; // the cell is still being consumed
+            } else {
+                pos = tail_.load(std::memory_order_relaxed);
+            }
+        }
+    }
+
+    /** Dequeues into *out; false when the ring is empty. */
+    bool
+    tryPop(T *out)
+    {
+        std::size_t pos = head_.load(std::memory_order_relaxed);
+        for (;;) {
+            Cell &cell = cells_[pos & mask_];
+            const std::size_t sequence =
+                cell.sequence.load(std::memory_order_acquire);
+            const std::ptrdiff_t delta =
+                static_cast<std::ptrdiff_t>(sequence) -
+                static_cast<std::ptrdiff_t>(pos + 1);
+            if (delta == 0) {
+                if (head_.compare_exchange_weak(
+                        pos, pos + 1,
+                        std::memory_order_relaxed))
+                {
+                    *out = std::move(cell.value);
+                    cell.sequence.store(
+                        pos + mask_ + 1,
+                        std::memory_order_release);
+                    return true;
+                }
+            } else if (delta < 0) {
+                return false; // the cell has not been produced yet
+            } else {
+                pos = head_.load(std::memory_order_relaxed);
+            }
+        }
+    }
+
+  private:
+    struct Cell
+    {
+        std::atomic<std::size_t> sequence{0};
+        T value{};
+    };
+
+    /** Cells on their own cache lines would be overkill here; the
+     *  cursors are what producers and consumers actually contend
+     *  on, so only those are padded apart. */
+    std::unique_ptr<Cell[]> cells_;
+    std::size_t mask_ = 0;
+    alignas(64) std::atomic<std::size_t> head_{0};
+    alignas(64) std::atomic<std::size_t> tail_{0};
+};
+
+} // namespace bwwall
+
+#endif // BWWALL_UTIL_MPMC_QUEUE_HH

@@ -169,41 +169,5 @@ TEST(MissCurveTest, SectoredTemplateReducesTraffic)
               plain_points[0].trafficBytesPerAccess);
 }
 
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-/** The deprecated sweep shim must keep its exact-replay behaviour. */
-TEST(MissCurveTest, DeprecatedSweepMatchesExactEstimator)
-{
-    PowerLawTraceParams params;
-    params.alpha = 0.5;
-    params.seed = 31;
-    params.warmLines = 1 << 14;
-    params.maxResidentLines = 1 << 15;
-    PowerLawTrace trace(params);
-
-    MissCurveSweepParams sweep;
-    sweep.capacities = capacityLadder(8 * kKiB, 64 * kKiB);
-    sweep.warmupAccesses = 50000;
-    sweep.measuredAccesses = 100000;
-    const auto shim_points = measureMissCurve(trace, sweep);
-
-    MissCurveSpec spec;
-    spec.kind = MissCurveEstimatorKind::ExactSim;
-    spec.capacities = sweep.capacities;
-    spec.warmupAccesses = sweep.warmupAccesses;
-    spec.measuredAccesses = sweep.measuredAccesses;
-    const auto points = estimateMissCurve(trace, spec).points;
-
-    ASSERT_EQ(shim_points.size(), points.size());
-    for (std::size_t i = 0; i < points.size(); ++i) {
-        EXPECT_EQ(shim_points[i].missRate, points[i].missRate);
-        EXPECT_EQ(shim_points[i].writebackRatio,
-                  points[i].writebackRatio);
-    }
-}
-
-#pragma GCC diagnostic pop
-
 } // namespace
 } // namespace bwwall

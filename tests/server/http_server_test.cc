@@ -16,6 +16,7 @@
 #include <set>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "server/http.hh"
@@ -104,6 +105,63 @@ TEST_F(HttpServerTest, ServerResponseIsByteIdenticalToLibrary)
     // And the cached second serving is byte-identical too.
     const HttpClientResponse again = post("/v1/traffic", text);
     EXPECT_EQ(again.body, direct.body);
+}
+
+TEST_F(HttpServerTest, BatchMatchesSingleRequestsOverTheWire)
+{
+    // N requests issued singly...
+    const std::vector<std::pair<std::string, std::string>>
+        singles = {
+            {"/v1/traffic",
+             "{\"cores\":16,\"alpha\":0.5,\"total_ceas\":32}"},
+            {"/v1/traffic",
+             "{\"cores\":64,\"alpha\":0.5,\"total_ceas\":32}"},
+            {"/v1/solve",
+             "{\"alpha\":0.5,\"total_ceas\":32}"},
+            {"/v1/sweep",
+             "{\"kind\":\"scaling\",\"generations\":3}"},
+        };
+    std::vector<HttpClientResponse> responses;
+    for (const auto &[path, text] : singles) {
+        responses.push_back(post(path, text));
+        ASSERT_EQ(responses.back().status, 200);
+    }
+
+    // ...must be byte-identical to the same N in one batch body.
+    std::string batch = "{\"requests\":[";
+    for (std::size_t i = 0; i < singles.size(); ++i) {
+        batch += std::string(i == 0 ? "" : ",") +
+                 "{\"path\":\"" + singles[i].first +
+                 "\",\"body\":" + singles[i].second + "}";
+    }
+    batch += "]}";
+    const HttpClientResponse wire = post("/v1/batch", batch);
+    ASSERT_EQ(wire.status, 200);
+
+    JsonValue payload;
+    std::string error;
+    ASSERT_TRUE(JsonValue::parse(wire.body, &payload, &error))
+        << error;
+    EXPECT_EQ(payload.find("kind")->asString(), "batch");
+    const JsonValue *entries = payload.find("responses");
+    ASSERT_NE(entries, nullptr);
+    ASSERT_EQ(entries->items().size(), singles.size());
+    for (std::size_t i = 0; i < singles.size(); ++i) {
+        const JsonValue &entry = entries->items()[i];
+        EXPECT_DOUBLE_EQ(entry.find("status")->asNumber(),
+                         200.0);
+        EXPECT_EQ(entry.find("body")->dump() + "\n",
+                  responses[i].body)
+            << singles[i].first << " " << singles[i].second;
+    }
+
+    // The batch itself is served from the cache on a replay.
+    const std::uint64_t misses =
+        server_->metrics().counter("cache.misses");
+    const HttpClientResponse again = post("/v1/batch", batch);
+    EXPECT_EQ(again.body, wire.body);
+    EXPECT_EQ(server_->metrics().counter("cache.misses"),
+              misses);
 }
 
 TEST_F(HttpServerTest, WhitespaceInsensitiveRequestsHitTheCache)

@@ -45,6 +45,7 @@ TEST(ModelServiceTest, RecognisesTheModelQueryPaths)
     EXPECT_TRUE(isModelQueryPath("/v1/traffic"));
     EXPECT_TRUE(isModelQueryPath("/v1/solve"));
     EXPECT_TRUE(isModelQueryPath("/v1/sweep"));
+    EXPECT_TRUE(isModelQueryPath("/v1/batch"));
     EXPECT_FALSE(isModelQueryPath("/v1/other"));
     EXPECT_FALSE(isModelQueryPath("/healthz"));
 }
@@ -276,6 +277,164 @@ TEST(ModelServiceTest, ResponsesEndWithNewline)
         "/v1/solve", request("{\"total_ceas\":32}"));
     ASSERT_FALSE(response.body.empty());
     EXPECT_EQ(response.body.back(), '\n');
+}
+
+// ---- POST /v1/batch: the SoA fan-in endpoint ----
+
+/** The batch's responses[i] entry (body + status). */
+const JsonValue &
+batchEntry(const JsonValue &payload, std::size_t i)
+{
+    const JsonValue *responses = payload.find("responses");
+    EXPECT_NE(responses, nullptr);
+    return responses->items()[i];
+}
+
+TEST(ModelServiceBatchTest, MatchesSingleRequestsByteForByte)
+{
+    // Mixed batch: two traffic points sharing one scenario (one
+    // SoA group), one distinct-alpha traffic point, one solve, and
+    // one sweep.  Every embedded body must re-serialize to the
+    // exact bytes the single-request endpoint answers.
+    const char *bodies[] = {
+        "{\"cores\":16,\"alpha\":0.5,\"total_ceas\":32}",
+        "{\"cores\":64,\"alpha\":0.5,\"total_ceas\":32}",
+        "{\"cores\":16,\"alpha\":0.7,\"total_ceas\":32,"
+        "\"techniques\":[{\"label\":\"CC\"}]}",
+        "{\"alpha\":0.5,\"total_ceas\":32,"
+        "\"techniques\":[{\"label\":\"CC\","
+        "\"assumption\":\"realistic\"}]}",
+        "{\"kind\":\"scaling\",\"generations\":3}",
+    };
+    const char *paths[] = {"/v1/traffic", "/v1/traffic",
+                           "/v1/traffic", "/v1/solve",
+                           "/v1/sweep"};
+
+    std::string batch = "{\"requests\":[";
+    for (int i = 0; i < 5; ++i) {
+        batch += std::string(i == 0 ? "" : ",") +
+                 "{\"path\":\"" + paths[i] + "\",\"body\":" +
+                 bodies[i] + "}";
+    }
+    batch += "]}";
+
+    const CachedResponse response =
+        executeModelQuery("/v1/batch", request(batch));
+    EXPECT_EQ(response.status, 200);
+    const JsonValue payload = body(response);
+    EXPECT_EQ(payload.find("kind")->asString(), "batch");
+    EXPECT_DOUBLE_EQ(payload.find("count")->asNumber(), 5.0);
+
+    for (int i = 0; i < 5; ++i) {
+        const CachedResponse single =
+            executeModelQuery(paths[i], request(bodies[i]));
+        const JsonValue &entry = batchEntry(payload, i);
+        EXPECT_DOUBLE_EQ(entry.find("status")->asNumber(),
+                         200.0);
+        // The golden guarantee, batched: dump + newline is the
+        // single-request response body, byte for byte.
+        EXPECT_EQ(entry.find("body")->dump() + "\n",
+                  single.body)
+            << paths[i] << " " << bodies[i];
+    }
+}
+
+TEST(ModelServiceBatchTest, EmbedsPerItemErrorsAndKeepsOrder)
+{
+    const CachedResponse response = executeModelQuery(
+        "/v1/batch",
+        request("{\"requests\":["
+                "{\"path\":\"/v1/traffic\","
+                "\"body\":{\"cores\":16}},"
+                "{\"path\":\"/v1/traffic\",\"body\":{}},"
+                "{\"path\":\"/v1/solve\","
+                "\"body\":{\"frobnicate\":1}}]}"));
+    // A batch with item-level failures still answers 200: each
+    // slot carries its own status.
+    EXPECT_EQ(response.status, 200);
+    const JsonValue payload = body(response);
+    EXPECT_DOUBLE_EQ(
+        batchEntry(payload, 0).find("status")->asNumber(),
+        200.0);
+
+    const JsonValue &missing = batchEntry(payload, 1);
+    EXPECT_DOUBLE_EQ(missing.find("status")->asNumber(), 400.0);
+    EXPECT_NE(missing.find("body")
+                  ->find("error")
+                  ->asString()
+                  .find("'cores' is required"),
+              std::string::npos);
+    EXPECT_EQ(
+        missing.find("body")->find("category")->asString(),
+        "invalid_input");
+
+    const JsonValue &unknown = batchEntry(payload, 2);
+    EXPECT_DOUBLE_EQ(unknown.find("status")->asNumber(), 400.0);
+}
+
+TEST(ModelServiceBatchTest, EnvelopeErrorsAreBatchFatal)
+{
+    // No requests / wrong type / empty / oversized.
+    EXPECT_THROW(executeModelQuery("/v1/batch", request("{}")),
+                 BadRequest);
+    EXPECT_THROW(executeModelQuery(
+                     "/v1/batch",
+                     request("{\"requests\":{}}")),
+                 BadRequest);
+    EXPECT_THROW(executeModelQuery(
+                     "/v1/batch",
+                     request("{\"requests\":[]}")),
+                 BadRequest);
+    std::string oversized = "{\"requests\":[";
+    for (int i = 0; i < 65; ++i) {
+        oversized += std::string(i == 0 ? "" : ",") +
+                     "{\"path\":\"/v1/solve\"}";
+    }
+    oversized += "]}";
+    EXPECT_THROW(
+        executeModelQuery("/v1/batch", request(oversized)),
+        BadRequest);
+
+    // Unknown envelope keys, paths, nesting, body types.
+    EXPECT_THROW(executeModelQuery(
+                     "/v1/batch",
+                     request("{\"requests\":[],\"mode\":1}")),
+                 BadRequest);
+    EXPECT_THROW(
+        executeModelQuery(
+            "/v1/batch",
+            request("{\"requests\":[{\"path\":\"/nope\"}]}")),
+        BadRequest);
+    EXPECT_THROW(executeModelQuery(
+                     "/v1/batch",
+                     request("{\"requests\":[{\"path\":"
+                             "\"/v1/batch\"}]}")),
+                 BadRequest);
+    EXPECT_THROW(executeModelQuery(
+                     "/v1/batch",
+                     request("{\"requests\":[{\"path\":"
+                             "\"/v1/solve\",\"body\":[]}]}")),
+                 BadRequest);
+    EXPECT_THROW(executeModelQuery(
+                     "/v1/batch",
+                     request("{\"requests\":[{\"path\":"
+                             "\"/v1/solve\",\"extra\":1}]}")),
+                 BadRequest);
+}
+
+TEST(ModelServiceBatchTest, OmittedBodyDefaultsToEmptyObject)
+{
+    // {"path": "/v1/solve"} with no body behaves like posting {}.
+    const CachedResponse batched = executeModelQuery(
+        "/v1/batch",
+        request(
+            "{\"requests\":[{\"path\":\"/v1/solve\"}]}"));
+    const CachedResponse single =
+        executeModelQuery("/v1/solve", request("{}"));
+    const JsonValue payload = body(batched);
+    EXPECT_EQ(
+        batchEntry(payload, 0).find("body")->dump() + "\n",
+        single.body);
 }
 
 } // namespace

@@ -23,11 +23,38 @@ namespace {
 constexpr const char *kSweep = "/v1/sweep";
 constexpr const char *kTraffic = "/v1/traffic";
 
-TEST(OverloadTest, SweepIsTheExpensiveClass)
+TEST(OverloadTest, SweepAndBatchAreTheExpensiveClass)
 {
     EXPECT_TRUE(OverloadController::isExpensive(kSweep));
+    EXPECT_TRUE(OverloadController::isExpensive("/v1/batch"));
     EXPECT_FALSE(OverloadController::isExpensive(kTraffic));
     EXPECT_FALSE(OverloadController::isExpensive("/v1/solve"));
+}
+
+TEST(OverloadTest, OnlySweepsAreDegradable)
+{
+    EXPECT_TRUE(OverloadController::isDegradable(kSweep));
+    // Degrading a batch would rewrite its member requests, so the
+    // batch endpoint sheds under pressure instead.
+    EXPECT_FALSE(OverloadController::isDegradable("/v1/batch"));
+    EXPECT_FALSE(OverloadController::isDegradable(kTraffic));
+}
+
+TEST(OverloadTest, PressedBatchesShedEvenWithDegradationOn)
+{
+    OverloadConfig config;
+    config.maxInflight = 100;
+    config.degradeSweeps = true;
+    config.degradePressure = 0.5;
+    OverloadController control(config);
+    // Sweeps degrade under pressure; batches (expensive but not
+    // degradable) shed at the expensive-pressure mark instead.
+    EXPECT_EQ(control.admit(kSweep, 80),
+              AdmitDecision::AdmitDegraded);
+    EXPECT_EQ(control.admit("/v1/batch", 80),
+              AdmitDecision::Shed);
+    EXPECT_EQ(control.admit("/v1/batch", 50),
+              AdmitDecision::Admit);
 }
 
 TEST(OverloadTest, IdleServerAdmitsEverything)

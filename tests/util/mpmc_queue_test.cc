@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests for the bounded lock-free MPMC queue under the reactor's
+ * compute handoff: FIFO order per producer, capacity behaviour
+ * (tryPush fails full, tryPop fails empty), move-only payloads, and
+ * a multi-producer multi-consumer stress run (the TSan shard checks
+ * the memory ordering).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "util/mpmc_queue.hh"
+
+namespace bwwall {
+namespace {
+
+TEST(MpmcQueueTest, SingleThreadFifo)
+{
+    MpmcQueue<int> queue(8);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_TRUE(queue.tryPush(int(i)));
+    int out = -1;
+    for (int i = 0; i < 8; ++i) {
+        ASSERT_TRUE(queue.tryPop(&out));
+        EXPECT_EQ(out, i);
+    }
+    EXPECT_FALSE(queue.tryPop(&out));
+}
+
+TEST(MpmcQueueTest, PushFailsWhenFullPopFailsWhenEmpty)
+{
+    MpmcQueue<int> queue(4);
+    int out = -1;
+    EXPECT_FALSE(queue.tryPop(&out));
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(queue.tryPush(int(i)));
+    EXPECT_FALSE(queue.tryPush(99));
+    // Freeing one slot re-enables the producer side.
+    ASSERT_TRUE(queue.tryPop(&out));
+    EXPECT_EQ(out, 0);
+    EXPECT_TRUE(queue.tryPush(99));
+}
+
+TEST(MpmcQueueTest, CapacityRoundsUpToAPowerOfTwo)
+{
+    // 5 rounds up to 8: all 8 pushes must land.
+    MpmcQueue<int> queue(5);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_TRUE(queue.tryPush(int(i)));
+    EXPECT_FALSE(queue.tryPush(8));
+}
+
+TEST(MpmcQueueTest, MoveOnlyPayloadsMoveOnlyOnSuccess)
+{
+    MpmcQueue<std::unique_ptr<int>> queue(2);
+    auto a = std::make_unique<int>(1);
+    auto b = std::make_unique<int>(2);
+    auto c = std::make_unique<int>(3);
+    EXPECT_TRUE(queue.tryPush(std::move(a)));
+    EXPECT_TRUE(queue.tryPush(std::move(b)));
+    // A failed push must leave the argument intact so the caller
+    // can retry with std::move in a loop (the reactor does).
+    EXPECT_FALSE(queue.tryPush(std::move(c)));
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(*c, 3);
+
+    std::unique_ptr<int> out;
+    ASSERT_TRUE(queue.tryPop(&out));
+    EXPECT_EQ(*out, 1);
+    EXPECT_TRUE(queue.tryPush(std::move(c)));
+}
+
+TEST(MpmcQueueTest, ManyProducersManyConsumersLoseNothing)
+{
+    constexpr unsigned kProducers = 4;
+    constexpr unsigned kConsumers = 4;
+    constexpr std::uint64_t kPerProducer = 20000;
+    MpmcQueue<std::uint64_t> queue(256);
+
+    std::atomic<std::uint64_t> popped{0};
+    std::atomic<std::uint64_t> sum{0};
+    std::vector<std::thread> threads;
+    for (unsigned p = 0; p < kProducers; ++p) {
+        threads.emplace_back([&, p] {
+            for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+                const std::uint64_t value =
+                    p * kPerProducer + i;
+                while (!queue.tryPush(std::uint64_t(value)))
+                    std::this_thread::yield();
+            }
+        });
+    }
+    for (unsigned c = 0; c < kConsumers; ++c) {
+        threads.emplace_back([&] {
+            std::uint64_t value = 0;
+            for (;;) {
+                if (popped.load(std::memory_order_acquire) >=
+                    kProducers * kPerProducer)
+                    return;
+                if (!queue.tryPop(&value)) {
+                    std::this_thread::yield();
+                    continue;
+                }
+                sum.fetch_add(value,
+                              std::memory_order_relaxed);
+                popped.fetch_add(1, std::memory_order_acq_rel);
+            }
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+
+    const std::uint64_t total = kProducers * kPerProducer;
+    EXPECT_EQ(popped.load(), total);
+    // Every value in [0, total) arrived exactly once.
+    EXPECT_EQ(sum.load(), total * (total - 1) / 2);
+}
+
+TEST(MpmcQueueTest, PerProducerOrderSurvivesConcurrency)
+{
+    constexpr unsigned kProducers = 3;
+    constexpr std::uint64_t kPerProducer = 5000;
+    MpmcQueue<std::uint64_t> queue(128);
+
+    // Value = producer * 2^32 + sequence; one consumer checks that
+    // each producer's sequences arrive monotonically.
+    std::vector<std::thread> producers;
+    for (unsigned p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&, p] {
+            for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+                const std::uint64_t value =
+                    (std::uint64_t(p) << 32) | i;
+                while (!queue.tryPush(std::uint64_t(value)))
+                    std::this_thread::yield();
+            }
+        });
+    }
+
+    std::vector<std::int64_t> last(kProducers, -1);
+    std::uint64_t seen = 0;
+    std::uint64_t value = 0;
+    while (seen < kProducers * kPerProducer) {
+        if (!queue.tryPop(&value)) {
+            std::this_thread::yield();
+            continue;
+        }
+        const unsigned producer =
+            static_cast<unsigned>(value >> 32);
+        const std::int64_t sequence =
+            static_cast<std::int64_t>(value & 0xffffffffu);
+        ASSERT_LT(producer, kProducers);
+        EXPECT_GT(sequence, last[producer]);
+        last[producer] = sequence;
+        ++seen;
+    }
+    for (std::thread &producer : producers)
+        producer.join();
+}
+
+} // namespace
+} // namespace bwwall
