@@ -1,0 +1,370 @@
+/**
+ * @file
+ * perf_ingest: closed-loop load generator for streaming trace
+ * ingestion.
+ *
+ * Starts an in-process BwwallServer on an ephemeral loopback port
+ * and drives K concurrent ingest sessions — each client thread owns
+ * one session and streams text-format trace appends over chunked
+ * Transfer-Encoding, sampling GET snapshots as it goes — while a
+ * co-running fleet posts /v1/solve queries against the same server.
+ * Not a paper artifact — ingestion-path performance.
+ *
+ * Gates (through the --json MetricsRegistry report; bands in
+ * bench/baselines/perf_ingest.json):
+ *  - snapshot freshness: a snapshot taken after an append is acked
+ *    reflects every acked record (appends fold synchronously into
+ *    the estimator, so freshness must be 1.0);
+ *  - snapshot p99: live curves stay interactive under append load;
+ *  - solve p99: ingest storms must not starve the model-query path
+ *    (appends run on shard threads and never touch the compute
+ *    pool, so solve latency holds its perf_server-scale band).
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "server/http_client.hh"
+#include "server/json.hh"
+#include "server/server.hh"
+#include "trace/power_law_trace.hh"
+#include "util/logging.hh"
+
+namespace bwwall {
+namespace {
+
+/** Exact quantile (nearest-rank) over a phase's latencies. */
+double
+latencyQuantile(const std::vector<double> &latencies, double q)
+{
+    if (latencies.empty())
+        return 0.0;
+    std::vector<double> sorted = latencies;
+    std::sort(sorted.begin(), sorted.end());
+    const double position =
+        q * static_cast<double>(sorted.size() - 1);
+    return sorted[static_cast<std::size_t>(position + 0.5)];
+}
+
+/** One text-format trace block (seed varies per session). */
+std::string
+textTraceBlock(std::size_t records, std::uint64_t seed)
+{
+    PowerLawTraceParams params;
+    params.alpha = 0.45;
+    params.writeLineFraction = 0.3;
+    params.seed = seed;
+    params.warmLines = 1 << 12;
+    params.maxResidentLines = 1 << 13;
+    PowerLawTrace trace(params);
+    std::string text;
+    text.reserve(records * 16);
+    for (std::size_t i = 0; i < records; ++i) {
+        const MemoryAccess access = trace.next();
+        text += access.type == AccessType::Write ? 'W' : 'R';
+        text += ' ';
+        text += std::to_string(access.address);
+        text += '\n';
+    }
+    return text;
+}
+
+/** Tallies from one ingest session's lifetime. */
+struct IngestStats
+{
+    std::uint64_t appends = 0;
+    std::uint64_t records = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t snapshots = 0;
+    /** Snapshot GET wall latency, seconds, unsorted. */
+    std::vector<double> snapshotLatencies;
+    /** Worst snapshot_records / acked_records seen (1.0 = fresh). */
+    double minFreshness = 1.0;
+    bool fitValid = false;
+};
+
+/**
+ * One session: create, stream appends in 64 KiB wire chunks until
+ * the deadline, GET a snapshot every few appends, finalize.
+ */
+IngestStats
+runIngestSession(std::uint16_t port, std::uint64_t seed,
+                 const std::string &block,
+                 std::size_t blockRecords,
+                 std::chrono::steady_clock::time_point deadline)
+{
+    HttpClient client("127.0.0.1", port);
+    HttpClientResponse response;
+    std::string error;
+
+    if (!client.perform(
+            {"POST", "/v1/trace/ingest", {},
+             "{\"size_kib\":1024,\"sample_rate\":0.05,"
+             "\"format\":\"text\",\"seed\":" +
+                 std::to_string(seed) + "}",
+             {}},
+            &response, &error))
+        fatal("perf_ingest create transport: ", error);
+    if (response.status != 200)
+        fatal("perf_ingest create: ", response.status, ": ",
+              response.body);
+    JsonValue created;
+    if (!JsonValue::parse(response.body, &created, &error))
+        fatal("perf_ingest create parse: ", error);
+    const std::string id = created.find("id")->asString();
+    const std::string target = "/v1/trace/ingest/" + id;
+
+    IngestStats stats;
+    while (std::chrono::steady_clock::now() < deadline) {
+        HttpClient::Request append;
+        append.method = "POST";
+        append.target = target;
+        append.bodyProvider =
+            [&block, offset = std::size_t{0}](
+                char *buffer, std::size_t cap) mutable {
+                const std::size_t step =
+                    std::min(cap, block.size() - offset);
+                std::memcpy(buffer, block.data() + offset, step);
+                offset += step;
+                return step;
+            };
+        if (!client.perform(append, &response, &error))
+            fatal("perf_ingest append transport: ", error);
+        if (response.status != 200)
+            fatal("perf_ingest append: ", response.status, ": ",
+                  response.body);
+        ++stats.appends;
+        stats.records += blockRecords;
+        stats.bytes += block.size();
+
+        if (stats.appends % 4 != 0)
+            continue;
+        const auto before = std::chrono::steady_clock::now();
+        if (!client.perform({"GET", target, {}, "", {}},
+                            &response, &error))
+            fatal("perf_ingest snapshot transport: ", error);
+        if (response.status != 200)
+            fatal("perf_ingest snapshot: ", response.status, ": ",
+                  response.body);
+        const std::chrono::duration<double> took =
+            std::chrono::steady_clock::now() - before;
+        stats.snapshotLatencies.push_back(took.count());
+        ++stats.snapshots;
+        JsonValue snapshot;
+        if (!JsonValue::parse(response.body, &snapshot, &error))
+            fatal("perf_ingest snapshot parse: ", error);
+        const double seen =
+            snapshot.find("records")->asNumber();
+        const double freshness =
+            seen / static_cast<double>(stats.records);
+        stats.minFreshness =
+            std::min(stats.minFreshness, freshness);
+        if (const JsonValue *fit = snapshot.find("fit_valid"))
+            stats.fitValid = stats.fitValid || fit->asBool();
+    }
+
+    if (!client.perform({"DELETE", target, {}, "", {}},
+                        &response, &error))
+        fatal("perf_ingest finalize transport: ", error);
+    if (response.status != 200)
+        fatal("perf_ingest finalize: ", response.status, ": ",
+              response.body);
+    return stats;
+}
+
+/** Co-running /v1/solve latencies while the ingest storm rages. */
+std::vector<double>
+runSolveLoop(std::uint16_t port,
+             std::chrono::steady_clock::time_point deadline,
+             std::uint64_t seed)
+{
+    HttpClient client("127.0.0.1", port);
+    HttpClient::Request probe;
+    probe.method = "POST";
+    probe.target = "/v1/solve";
+    HttpClientResponse response;
+    std::string error;
+    const std::vector<std::string> bodies = {
+        "{\"alpha\":0.5,\"total_ceas\":32}",
+        "{\"alpha\":0.6,\"total_ceas\":64,"
+        "\"traffic_budget\":1.5}",
+        "{\"alpha\":0.45,\"total_ceas\":32,"
+        "\"techniques\":[{\"label\":\"CC\","
+        "\"assumption\":\"realistic\"}]}",
+    };
+    std::vector<double> latencies;
+    std::uint64_t turn = seed;
+    while (std::chrono::steady_clock::now() < deadline) {
+        probe.body = bodies[turn++ % bodies.size()];
+        const auto before = std::chrono::steady_clock::now();
+        if (!client.perform(probe, &response, &error))
+            fatal("perf_ingest solve transport: ", error);
+        if (response.status != 200)
+            fatal("perf_ingest solve: ", response.status, ": ",
+                  response.body);
+        const std::chrono::duration<double> took =
+            std::chrono::steady_clock::now() - before;
+        latencies.push_back(took.count());
+    }
+    return latencies;
+}
+
+} // namespace
+} // namespace bwwall
+
+int
+main(int argc, char **argv)
+{
+    using namespace bwwall;
+
+    std::uint64_t seconds_flag = 0;
+    std::uint64_t sessions_flag = 0;
+    CliParser parser("perf_ingest",
+                     "closed-loop load generator for streaming "
+                     "trace ingestion (concurrent sessions + "
+                     "co-running solves)");
+    parser.addOption("--seconds", &seconds_flag, "S",
+                     "storm duration (default 2, quick 1)");
+    parser.addOption("--sessions", &sessions_flag, "N",
+                     "concurrent ingest sessions (default 8)");
+    // scripts/reproduce_all.sh treats every perf_* binary as a
+    // google-benchmark main and passes --benchmark_min_time in
+    // quick mode; accept and ignore that family only.
+    BenchOptions options;
+    options.registerWith(parser);
+    CliParser::Status status = CliParser::Status::Ok;
+    argc = parser.parseKnown(argc, argv, &status);
+    if (status != CliParser::Status::Ok)
+        return status == CliParser::Status::Help ? 0 : 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]).rfind("--benchmark_", 0) != 0) {
+            std::cerr << "perf_ingest: unknown argument "
+                      << argv[i] << "\n";
+            return 1;
+        }
+    }
+    options.startTraceExport();
+
+    const unsigned sessions =
+        sessions_flag != 0 ? static_cast<unsigned>(sessions_flag)
+                           : 8u;
+    const unsigned solvers = options.jobs == 0 ? 4 : options.jobs;
+    const double seconds =
+        seconds_flag != 0 ? static_cast<double>(seconds_flag)
+                          : (quickMode() ? 1.0 : 2.0);
+    const std::size_t block_records =
+        static_cast<std::size_t>(quickScaled(20000, 4));
+
+    ServerConfig config;
+    config.port = 0;
+    config.deadlineMs = 0;
+    config.maxIngestSessions = sessions + 4;
+    config.maxSessionBytes = 0; // the loop is duration-bounded
+    BwwallServer server(config);
+    server.start();
+    const std::uint16_t port = server.port();
+    std::cout << "perf_ingest: bwwalld on 127.0.0.1:" << port
+              << ", " << sessions << " ingest sessions, "
+              << solvers << " solve clients\n";
+
+    const std::chrono::steady_clock::time_point deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<
+            std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(seconds));
+
+    std::vector<IngestStats> perSession(sessions);
+    std::vector<std::vector<double>> perSolver(solvers);
+    std::vector<std::thread> threads;
+    threads.reserve(sessions + solvers);
+    for (unsigned s = 0; s < sessions; ++s) {
+        threads.emplace_back([&, s] {
+            const std::string block =
+                textTraceBlock(block_records, s + 1);
+            perSession[s] = runIngestSession(
+                port, s + 1, block, block_records, deadline);
+        });
+    }
+    for (unsigned t = 0; t < solvers; ++t) {
+        threads.emplace_back([&, t] {
+            perSolver[t] = runSolveLoop(port, deadline, t);
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+    server.stop();
+
+    IngestStats total;
+    std::uint64_t fit_sessions = 0;
+    for (const IngestStats &stats : perSession) {
+        total.appends += stats.appends;
+        total.records += stats.records;
+        total.bytes += stats.bytes;
+        total.snapshots += stats.snapshots;
+        total.snapshotLatencies.insert(
+            total.snapshotLatencies.end(),
+            stats.snapshotLatencies.begin(),
+            stats.snapshotLatencies.end());
+        total.minFreshness =
+            std::min(total.minFreshness, stats.minFreshness);
+        fit_sessions += stats.fitValid ? 1 : 0;
+    }
+    std::vector<double> solve_latencies;
+    for (const std::vector<double> &mine : perSolver)
+        solve_latencies.insert(solve_latencies.end(),
+                               mine.begin(), mine.end());
+
+    const double records_per_s =
+        static_cast<double>(total.records) / seconds;
+    const double ingest_mib_s =
+        static_cast<double>(total.bytes) / seconds / (1 << 20);
+    const double snapshot_p99_ms =
+        latencyQuantile(total.snapshotLatencies, 0.99) * 1e3;
+    const double solve_p99_ms =
+        latencyQuantile(solve_latencies, 0.99) * 1e3;
+    const double solve_qps =
+        static_cast<double>(solve_latencies.size()) / seconds;
+
+    std::cout << "ingest: " << total.appends << " appends, "
+              << total.records << " records ("
+              << records_per_s << " records/s, " << ingest_mib_s
+              << " MiB/s), " << total.snapshots
+              << " snapshots (p99 " << snapshot_p99_ms
+              << " ms), freshness " << total.minFreshness
+              << ", fits on " << fit_sessions << "/" << sessions
+              << " sessions\n";
+    std::cout << "co-running /v1/solve: "
+              << solve_latencies.size() << " requests ("
+              << solve_qps << " qps), p99 " << solve_p99_ms
+              << " ms\n";
+
+    MetricsRegistry metrics;
+    metrics.setGauge("perf_ingest.sessions",
+                     static_cast<double>(sessions));
+    metrics.addCounter("perf_ingest.appends", total.appends);
+    metrics.addCounter("perf_ingest.records", total.records);
+    metrics.addCounter("perf_ingest.snapshots", total.snapshots);
+    metrics.setGauge("perf_ingest.records_per_s", records_per_s);
+    metrics.setGauge("perf_ingest.mib_per_s", ingest_mib_s);
+    metrics.setGauge("perf_ingest.snapshot.p99_ms",
+                     snapshot_p99_ms);
+    metrics.setGauge("perf_ingest.snapshot.freshness",
+                     total.minFreshness);
+    metrics.setGauge("perf_ingest.fit_sessions",
+                     static_cast<double>(fit_sessions));
+    metrics.setGauge("perf_ingest.solve.qps", solve_qps);
+    metrics.setGauge("perf_ingest.solve.p99_ms", solve_p99_ms);
+    emitMetricsJson(metrics, options);
+
+    // The freshness contract is structural (appends fold
+    // synchronously), so a violation is a bug, not a slow run.
+    return total.minFreshness >= 1.0 ? 0 : 1;
+}

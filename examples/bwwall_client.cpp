@@ -14,6 +14,8 @@
  *   bwwall_client --port 8080 --path /v1/sweep --body-file req.json
  */
 
+#include <algorithm>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -33,6 +35,8 @@ main(int argc, char **argv)
     std::string body = "{}";
     std::string body_file;
     bool use_get = false;
+    std::string method;
+    std::uint64_t chunk_kib = 0;
     std::uint64_t repeat = 1;
     bool show_status = false;
     std::uint64_t connect_timeout_ms = 0;
@@ -52,6 +56,13 @@ main(int argc, char **argv)
                      "read the request body from a file");
     parser.addFlag("--get", &use_get,
                    "send GET instead of POST (no body)");
+    parser.addOption("--method", &method, "VERB",
+                     "HTTP method override (e.g. DELETE to "
+                     "finalize an ingest session)");
+    parser.addOption("--chunk-kib", &chunk_kib, "KIB",
+                     "stream the body with Transfer-Encoding: "
+                     "chunked in KIB-sized chunks (trace-ingest "
+                     "appends; 0 = send Content-Length)");
     parser.addOption("--repeat", &repeat, "N",
                      "send the request N times, print the last "
                      "response");
@@ -101,7 +112,8 @@ main(int argc, char **argv)
     client.setRetryPolicy(policy);
 
     HttpClient::Request request;
-    request.method = use_get ? "GET" : "POST";
+    request.method =
+        !method.empty() ? method : (use_get ? "GET" : "POST");
     request.target = path;
     request.body = use_get ? "" : body;
     HttpClient::RequestOptions options;
@@ -109,6 +121,24 @@ main(int argc, char **argv)
     HttpClientResponse response;
     std::string error;
     for (std::uint64_t i = 0; i < repeat; ++i) {
+        if (chunk_kib != 0 && !use_get) {
+            // Stream the body: one wire chunk per --chunk-kib
+            // slice (streamed requests are single-attempt, so the
+            // retry options do not apply).
+            request.bodyProvider =
+                [&body, chunk_kib, offset = std::size_t{0}](
+                    char *buffer, std::size_t cap) mutable {
+                    const std::size_t step = std::min(
+                        {cap,
+                         static_cast<std::size_t>(chunk_kib)
+                             << 10,
+                         body.size() - offset});
+                    std::memcpy(buffer, body.data() + offset,
+                                step);
+                    offset += step;
+                    return step;
+                };
+        }
         if (!client.perform(request, options, &response, &error))
             fatal("request failed: ", error);
     }

@@ -42,6 +42,9 @@ main(int argc, char **argv)
     std::uint64_t idle_timeout_ms = 5000;
     std::uint64_t max_inflight = 256;
     std::uint64_t max_body_kib = 1024;
+    std::uint64_t max_sessions = 64;
+    std::uint64_t max_session_bytes = 64ull << 20;
+    double ingest_ttl_seconds = 300.0;
     double shed_p99_ms = 0.0;
     bool degrade = false;
     std::string faults;
@@ -83,6 +86,17 @@ main(int argc, char **argv)
                      "(0 = unlimited)");
     parser.addOption("--max-body-kib", &max_body_kib, "KIB",
                      "largest accepted request body");
+    parser.addOption("--max-sessions", &max_sessions, "N",
+                     "concurrent trace-ingest sessions before "
+                     "creates answer 503");
+    parser.addOption("--max-session-bytes", &max_session_bytes,
+                     "BYTES",
+                     "per-ingest-session appended-byte budget "
+                     "before 413 (0 = unlimited)");
+    parser.addOption("--ingest-ttl-seconds", &ingest_ttl_seconds,
+                     "S",
+                     "idle seconds before an ingest session is "
+                     "swept (0 = never)");
     parser.addOption("--shed-p99-ms", &shed_p99_ms, "MS",
                      "shed sweeps once the recent p99 latency "
                      "exceeds this (0 = off)");
@@ -124,6 +138,11 @@ main(int argc, char **argv)
     config.maxInflight = static_cast<unsigned>(max_inflight);
     config.maxBodyBytes =
         static_cast<std::size_t>(max_body_kib) << 10;
+    config.maxIngestSessions =
+        static_cast<std::size_t>(max_sessions);
+    config.maxSessionBytes =
+        static_cast<std::size_t>(max_session_bytes);
+    config.ingestTtlSeconds = ingest_ttl_seconds;
     config.shedP99Ms = shed_p99_ms;
     config.degradeSweeps = degrade;
     config.logRequests = log_requests;

@@ -44,9 +44,15 @@ plan="$plan;http.write.short=prob:0.05"
 plan="$plan;server.accept=prob:0.02"
 plan="$plan;cache.compute=prob:0.05"
 plan="$plan;model.solve=prob:0.05"
+# Higher than the rest: only appends that reach an open session's
+# sink hit these points (budget/lifecycle refusals short-circuit).
+plan="$plan;ingest.append=prob:0.2"
+plan="$plan;ingest.snapshot=prob:0.1"
 
 "$bwwalld" --port 0 --threads 4 --ttl-seconds 0.2 \
     --stale-seconds 30 --shed-p99-ms 250 --degrade \
+    --max-sessions 8 --max-session-bytes 65536 \
+    --ingest-ttl-seconds 30 \
     --faults "$plan" \
     --metrics-json "$work/final_metrics.json" \
     >"$work/server.out" 2>"$work/server.log" &
@@ -121,6 +127,92 @@ ok=$(grep -c '^200$' "$work/statuses.txt" || true)
 [ "$ok" -gt 0 ] || fail "no request succeeded under chaos"
 echo "== storm OK: $total statuses, $ok x 200, 0 unexpected"
 
+# --- ingest storm -----------------------------------------------------
+# Streaming-ingest lifecycle under the same armed fault plan: session
+# creates up to (and past) the --max-sessions cap, appends that
+# organically blow the 64 KiB --max-session-bytes budget, snapshots,
+# finalizes, appends to finalized and unknown sessions.  Every status
+# must be deliberate — the ingest taxonomy adds 404 (unknown id),
+# 409 (lifecycle conflict), and 413 (budget) to the storm set — and
+# every 500 body must name the injected-fault category.
+python3 - "$work" <<'EOF'
+import random, sys
+random.seed(11)
+lines = []
+for _ in range(2200):
+    kind = "W" if random.random() < 0.3 else "R"
+    lines.append(f"{kind} {random.randrange(1, 1 << 20) * 64}")
+with open(sys.argv[1] + "/ingest_append.txt", "w") as out:
+    out.write("\n".join(lines) + "\n")
+EOF
+echo '{"format":"text","sample_rate":0.5,"size_kib":256}' \
+    >"$work/ingest_create.json"
+
+mkdir "$work/ingest_bodies"
+ingest_req=0
+ingest_curl() { # METHOD PATH [DATA_FILE]
+    ingest_req=$((ingest_req + 1))
+    local out="$work/ingest_bodies/$ingest_req"
+    if [ -n "${3:-}" ]; then
+        curl -s -m 10 -o "$out" -w '%{http_code}\n' -X "$1" \
+            --data-binary @"$3" "$base$2" \
+            >>"$work/ingest_statuses.txt" || true
+    else
+        curl -s -m 10 -o "$out" -w '%{http_code}\n' -X "$1" \
+            "$base$2" >>"$work/ingest_statuses.txt" || true
+    fi
+}
+
+: >"$work/ingest_statuses.txt"
+ids=()
+for i in $(seq 1 10); do
+    # Two past the --max-sessions cap: 503s are part of the contract.
+    ingest_curl POST /v1/trace/ingest "$work/ingest_create.json"
+    id=$(python3 -c 'import json, sys
+try:
+    print(json.load(open(sys.argv[1])).get("id", ""))
+except Exception:
+    print("")' "$work/ingest_bodies/$ingest_req")
+    [ -n "$id" ] && ids+=("$id")
+done
+[ "${#ids[@]}" -ge 1 ] || fail "no ingest session survived creation"
+
+for i in $(seq 1 40); do
+    id=${ids[$((i % ${#ids[@]}))]}
+    ingest_curl POST "/v1/trace/ingest/$id" "$work/ingest_append.txt"
+    ingest_curl GET "/v1/trace/ingest/$id"
+    if [ $((i % 7)) -eq 0 ]; then
+        ingest_curl POST /v1/trace/ingest/ingest-9999 \
+            "$work/ingest_append.txt"
+    fi
+    if [ $((i % 10)) -eq 0 ]; then
+        ingest_curl DELETE "/v1/trace/ingest/$id"
+        ingest_curl POST "/v1/trace/ingest/$id" \
+            "$work/ingest_append.txt"
+    fi
+done
+kill -0 "$server_pid" || fail "server crashed during the ingest storm"
+
+bad=$(grep -cvE '^(000|200|400|404|409|413|500|503)$' \
+    "$work/ingest_statuses.txt" || true)
+[ "$bad" -eq 0 ] || {
+    sort "$work/ingest_statuses.txt" | uniq -c >&2
+    fail "$bad ingest responses had an unexpected status"
+}
+for want in 200 404 409 413; do
+    grep -q "^$want\$" "$work/ingest_statuses.txt" ||
+        fail "ingest storm never produced a $want"
+done
+# Zero unexpected 5xx: every 500 is the injected fault, by name.
+for body in "$work/ingest_bodies"/*; do
+    if grep -q '"status":500' "$body" 2>/dev/null; then
+        grep -q '"category":"faulted"' "$body" ||
+            fail "a 500 body was not the injected fault: $(cat "$body")"
+    fi
+done
+ingest_total=$(wc -l <"$work/ingest_statuses.txt")
+echo "== ingest storm OK: $ingest_total statuses, taxonomy complete"
+
 # --- connection churn: sockets killed mid-request ---------------------
 # Sub-second client timeouts abort connections while their sweeps are
 # still computing, so responses come back to connections that no
@@ -179,7 +271,7 @@ print(report.get("counters", {}).get(sys.argv[2], 0))
 EOF
 }
 for point in http.read http.write http.write.short server.accept \
-    cache.compute model.solve; do
+    cache.compute model.solve ingest.append ingest.snapshot; do
     fired=$(metrics_value "$work/metrics.json" \
         "faults.fired.$point")
     [ "$fired" -gt 0 ] ||

@@ -73,6 +73,7 @@ help_binaries=(
     bench/fig16_combined_techniques
     bench/claim_bandwidth_saturation
     bench/perf_server
+    bench/perf_ingest
     bench/perf_trace_overhead
 )
 

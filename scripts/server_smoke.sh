@@ -198,6 +198,107 @@ if [ -n "$client" ]; then
     echo "== bwwall_client OK"
 fi
 
+# --- streaming trace ingestion ---------------------------------------
+# Round-trip: a binary BWTR trace split into 3 parts at non-record
+# offsets, streamed as chunked appends, must produce a live curve
+# identical (at printed precision) to cachesim_cli --curve over the
+# same file.  sample_rate 1.0 and warm 0 make the paths comparable.
+python3 - "$work" <<'EOF'
+import random, struct, sys
+random.seed(42)
+out = bytearray(b"BWTR")
+out += struct.pack("<II", 1, 64)
+out += b"\0" * 4
+for _ in range(30000):
+    idx = min(int(random.paretovariate(1.2)), 4095)
+    addr = (idx + 1) * 64 + random.randrange(0, 64)
+    typ = 1 if random.random() < 0.3 else 0
+    out += struct.pack("<QHBx", addr, 0, typ)
+data = bytes(out)
+open(sys.argv[1] + "/trace.bin", "wb").write(data)
+# Split at deliberately non-record-aligned offsets: reassembly
+# across appends is part of what this phase proves.
+a, b = 100003, 220007
+open(sys.argv[1] + "/part1", "wb").write(data[:a])
+open(sys.argv[1] + "/part2", "wb").write(data[a:b])
+open(sys.argv[1] + "/part3", "wb").write(data[b:])
+EOF
+
+ingest_body='{"size_kib":256,"line_bytes":64,"assoc":8,"warm":0,"sample_rate":1.0,"format":"binary"}'
+curl -sf -X POST -d "$ingest_body" "$base/v1/trace/ingest" \
+    >"$work/ingest_create.json" || fail "ingest create rejected"
+ingest_id=$(python3 -c \
+    "import json,sys; print(json.load(open(sys.argv[1]))['id'])" \
+    "$work/ingest_create.json")
+[ -n "$ingest_id" ] || fail "ingest create returned no id"
+
+for part in part1 part2 part3; do
+    if [ -n "$client" ]; then
+        # Chunked Transfer-Encoding in 4 KiB wire chunks.
+        "$client" --port "$port" \
+            --path "/v1/trace/ingest/$ingest_id" \
+            --body-file "$work/$part" --chunk-kib 4 \
+            >"$work/append_$part.json" ||
+            fail "chunked append of $part failed"
+    else
+        curl -sf -X POST --data-binary @"$work/$part" \
+            "$base/v1/trace/ingest/$ingest_id" \
+            >"$work/append_$part.json" ||
+            fail "append of $part failed"
+    fi
+done
+grep -q '"records":30000' "$work/append_part3.json" ||
+    fail "appends did not decode across chunk boundaries"
+
+curl -sf "$base/v1/trace/ingest/$ingest_id" \
+    >"$work/ingest_snapshot.json" || fail "ingest snapshot failed"
+cachesim="$(dirname "$bwwalld")/cachesim_cli"
+if [ -x "$cachesim" ]; then
+    "$cachesim" --trace "$work/trace.bin" --curve --size 256 \
+        --warm 0 --accesses 30000 --estimator sampled \
+        --sample-rate 1.0 >"$work/cachesim_curve.txt" ||
+        fail "cachesim_cli --curve failed"
+    python3 - "$work/ingest_snapshot.json" \
+        "$work/cachesim_curve.txt" <<'EOF' || fail "live curve diverged from cachesim_cli --curve"
+import json, sys
+snapshot = json.load(open(sys.argv[1]))
+assert snapshot["records"] == 30000, snapshot["records"]
+live = {int(p["capacity_kib"]): p for p in snapshot["points"]}
+rows = 0
+for line in open(sys.argv[2]):
+    fields = line.split()
+    if len(fields) != 4 or not fields[0].isdigit():
+        continue
+    rows += 1
+    point = live[int(fields[0])]
+    for want, got in ((fields[1], point["miss_rate"]),
+                      (fields[2], point["writeback_ratio"]),
+                      (fields[3], point["traffic_bytes_per_access"])):
+        # Match at printed precision: half a unit in the last
+        # printed decimal place.
+        decimals = len(want.split(".")[1]) if "." in want else 0
+        assert abs(float(want) - got) <= 0.51 * 10.0 ** -decimals, \
+            f"capacity {fields[0]}: {want} vs {got}"
+print(f"compared {rows} capacities")
+assert rows == len(live), (rows, len(live))
+EOF
+else
+    echo "== cachesim_cli not built; skipping curve cross-check"
+fi
+
+# Lifecycle taxonomy over the wire: finalize, then 409s and 404s.
+curl -sf -X DELETE "$base/v1/trace/ingest/$ingest_id" \
+    >"$work/ingest_final.json" || fail "ingest finalize failed"
+grep -q '"state":"finalized"' "$work/ingest_final.json" ||
+    fail "finalize did not report state finalized"
+status=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+    --data-binary @"$work/part1" "$base/v1/trace/ingest/$ingest_id")
+[ "$status" = 409 ] || fail "append after finalize got $status, want 409"
+status=$(curl -s -o /dev/null -w '%{http_code}' \
+    "$base/v1/trace/ingest/ingest-999")
+[ "$status" = 404 ] || fail "unknown ingest id got $status, want 404"
+echo "== trace ingestion OK (3 chunked appends, live curve matches cachesim_cli)"
+
 # --- graceful drain ---------------------------------------------------
 kill -TERM "$server_pid"
 drain_status=0

@@ -5,6 +5,7 @@
 
 #include "cache/set_assoc_cache.hh"
 #include "trace/stack_distance.hh"
+#include "trace/streaming_estimator.hh"
 #include "util/logging.hh"
 #include "util/trace_span.hh"
 
@@ -49,98 +50,6 @@ requireStackModelable(const MissCurveSpec &spec,
               spec.sampleRate);
 }
 
-/**
- * Per-capacity miss and write-back mass from the profiler's weighted
- * histograms, with the binomial set-conflict correction.
- *
- * An access with stack distance d sees d-1 distinct intervening
- * lines.  With S sets and uniformly hashed addresses each intervener
- * lands in the access's set with probability 1/S, so under LRU the
- * access misses with probability P(Binomial(d-1, 1/S) >= A).  For a
- * fully associative cache (S == 1) this degenerates to the exact
- * threshold d > capacity, keeping the estimator bit-exact against
- * the simulator there.  The same eviction probability weights the
- * write-back windows.
- */
-struct CorrectedMass
-{
-    double misses = 0.0;
-    double writebacks = 0.0;
-};
-
-CorrectedMass
-correctedMass(const StackDistanceProfiler &profiler,
-              const CacheConfig &config, std::uint64_t capacity_lines)
-{
-    const std::vector<double> &dist = profiler.distanceWeights();
-    const std::vector<double> &wb = profiler.writebackWeights();
-
-    CorrectedMass mass;
-    mass.misses = profiler.coldWeight();
-    mass.writebacks = profiler.coldWritebackWeight();
-
-    std::uint64_t ways = config.associativity == 0
-                             ? capacity_lines
-                             : std::min<std::uint64_t>(
-                                   config.associativity,
-                                   capacity_lines);
-    ways = std::max<std::uint64_t>(ways, 1);
-    const std::uint64_t sets = std::max<std::uint64_t>(
-        capacity_lines / ways, 1);
-
-    if (sets == 1) {
-        // Fully associative: exact LRU threshold at the capacity.
-        for (std::size_t d = static_cast<std::size_t>(capacity_lines) + 1;
-             d < dist.size(); ++d)
-            mass.misses += dist[d];
-        for (std::size_t g = static_cast<std::size_t>(capacity_lines) + 1;
-             g < wb.size(); ++g)
-            mass.writebacks += wb[g];
-        return mass;
-    }
-
-    // Suffix sums let the scan stop once the miss probability has
-    // saturated without losing the histogram tails.
-    const std::size_t length = std::max(dist.size(), wb.size());
-    std::vector<double> dist_suffix(length + 1, 0.0);
-    std::vector<double> wb_suffix(length + 1, 0.0);
-    for (std::size_t d = length; d > 0; --d) {
-        dist_suffix[d - 1] =
-            dist_suffix[d] + (d - 1 < dist.size() ? dist[d - 1] : 0.0);
-        wb_suffix[d - 1] =
-            wb_suffix[d] + (d - 1 < wb.size() ? wb[d - 1] : 0.0);
-    }
-
-    const double p = 1.0 / static_cast<double>(sets);
-    // pmf[k] = P(Binomial(d-1, p) == k) for k < ways, maintained
-    // incrementally as d grows; the miss probability is 1 - sum(pmf).
-    std::vector<double> pmf(static_cast<std::size_t>(ways), 0.0);
-    pmf[0] = 1.0;
-    double hit_probability = 1.0;
-
-    for (std::size_t d = 1; d < length; ++d) {
-        const double miss_probability = 1.0 - hit_probability;
-        if (miss_probability > 1.0 - 1e-12) {
-            mass.misses += dist_suffix[d];
-            mass.writebacks += wb_suffix[d];
-            return mass;
-        }
-        if (d < dist.size())
-            mass.misses += dist[d] * miss_probability;
-        if (d < wb.size())
-            mass.writebacks += wb[d] * miss_probability;
-
-        // Advance the binomial from d-1 to d intervening lines.
-        for (std::size_t k = pmf.size(); k-- > 1;)
-            pmf[k] = pmf[k] * (1.0 - p) + pmf[k - 1] * p;
-        pmf[0] *= 1.0 - p;
-        hit_probability = 0.0;
-        for (const double mass_k : pmf)
-            hit_probability += mass_k;
-    }
-    return mass;
-}
-
 /** Shared implementation of the two stack-based estimators. */
 MissCurve
 stackEstimate(TraceSource &trace, const MissCurveSpec &spec,
@@ -155,17 +64,11 @@ stackEstimate(TraceSource &trace, const MissCurveSpec &spec,
         max_capacity_lines = std::max(max_capacity_lines,
                                       capacity / spec.cache.lineBytes);
 
-    StackDistanceProfilerConfig profiler_config;
-    profiler_config.lineBytes = spec.cache.lineBytes;
-    // Distances past 4x the largest grid capacity saturate the miss
-    // probability at every grid point, so lumping them with the
-    // compulsory misses loses nothing and bounds memory.
-    profiler_config.maxTrackedDistance = std::max<std::size_t>(
-        static_cast<std::size_t>(max_capacity_lines) * 4, 1024);
-    profiler_config.sampleRate = sample_rate;
-    profiler_config.maxSampledLines = max_sampled_lines;
-    profiler_config.seed = spec.seed;
-    StackDistanceProfiler profiler(profiler_config);
+    // Same derivation the streaming estimator uses, so the two paths
+    // stay bit-identical (trace/streaming_estimator.hh).
+    StackDistanceProfiler profiler(streamingProfilerConfig(
+        spec.cache.lineBytes, max_capacity_lines, sample_rate,
+        max_sampled_lines, spec.seed));
 
     trace.reset();
     {
@@ -196,8 +99,9 @@ stackEstimate(TraceSource &trace, const MissCurveSpec &spec,
     curve.sampledAccesses = profiler.sampledAccesses();
     curve.points.reserve(spec.capacities.size());
     for (const std::uint64_t capacity : spec.capacities) {
-        const CorrectedMass mass = correctedMass(
-            profiler, spec.cache, capacity / spec.cache.lineBytes);
+        const StackCurveMass mass = correctedStackMass(
+            profiler, capacity / spec.cache.lineBytes,
+            spec.cache.associativity);
         MissCurvePoint point;
         point.capacityBytes = capacity;
         point.missRate = accesses == 0.0 ? 0.0

@@ -54,6 +54,11 @@ nextLine(const std::string &head, std::size_t *cursor,
 HttpParseStatus
 HttpParser::poll(HttpRequest *out)
 {
+    if (mode_ == Mode::StreamBody)
+        return HttpParseStatus::NeedMore; // drain via takeBody()
+    if (mode_ == Mode::BufferedBody)
+        return continueBufferedBody(out);
+
     // Find the blank line ending the header block.
     std::size_t head_end = buffer_.find("\r\n\r\n");
     std::size_t separator = 4;
@@ -121,11 +126,19 @@ HttpParser::poll(HttpRequest *out)
             request.keepAlive = true;
     }
 
-    if (request.headers.count("transfer-encoding") != 0)
+    const auto transfer = request.headers.find("transfer-encoding");
+    const bool chunked_body =
+        transfer != request.headers.end() &&
+        toLower(trim(transfer->second)) == "chunked";
+    if (transfer != request.headers.end() && !chunked_body)
         return HttpParseStatus::Unsupported;
+    // Both framings at once is a request-smuggling vector.
+    if (chunked_body &&
+        request.headers.count("content-length") != 0)
+        return HttpParseStatus::Malformed;
 
     // Body: Content-Length bytes (0 when absent).
-    std::size_t body_bytes = 0;
+    std::uint64_t body_bytes = 0;
     const auto length = request.headers.find("content-length");
     if (length != request.headers.end()) {
         const std::string &text = length->second;
@@ -138,17 +151,163 @@ HttpParser::poll(HttpRequest *out)
             std::strtoull(text.c_str(), &end, 10);
         if (end == nullptr || *end != '\0')
             return HttpParseStatus::Malformed;
-        body_bytes = static_cast<std::size_t>(parsed);
+        body_bytes = parsed;
     }
+
+    const bool streamed = streamPredicate_ != nullptr &&
+                          streamPredicate_(request);
+    if (streamed) {
+        // Hand out the head; the body crosses takeBody() in bounded
+        // chunks, so maxBodyBytes does not apply (the stream's own
+        // byte budget does).
+        buffer_.erase(0, head_end);
+        mode_ = Mode::StreamBody;
+        chunked_ = chunked_body;
+        bodyRemaining_ = body_bytes;
+        chunkPhase_ = ChunkPhase::Size;
+        *out = std::move(request);
+        return HttpParseStatus::Streaming;
+    }
+
+    if (chunked_body) {
+        buffer_.erase(0, head_end);
+        mode_ = Mode::BufferedBody;
+        chunked_ = true;
+        chunkPhase_ = ChunkPhase::Size;
+        pending_ = std::move(request);
+        return continueBufferedBody(out);
+    }
+
     if (body_bytes > limits_.maxBodyBytes)
         return HttpParseStatus::TooLarge;
-
     if (buffer_.size() < head_end + body_bytes)
         return HttpParseStatus::NeedMore;
-    request.body = buffer_.substr(head_end, body_bytes);
-    buffer_.erase(0, head_end + body_bytes);
+    request.body = buffer_.substr(
+        head_end, static_cast<std::size_t>(body_bytes));
+    buffer_.erase(
+        0, head_end + static_cast<std::size_t>(body_bytes));
     *out = std::move(request);
     return HttpParseStatus::Ok;
+}
+
+HttpParseStatus
+HttpParser::continueBufferedBody(HttpRequest *out)
+{
+    bool done = false;
+    if (!decodeChunked(&pending_.body, &done))
+        return HttpParseStatus::Malformed;
+    if (pending_.body.size() > limits_.maxBodyBytes)
+        return HttpParseStatus::TooLarge;
+    if (!done)
+        return HttpParseStatus::NeedMore;
+    mode_ = Mode::Head;
+    *out = std::move(pending_);
+    pending_ = HttpRequest{};
+    return HttpParseStatus::Ok;
+}
+
+HttpParseStatus
+HttpParser::takeBody(std::string *out, bool *done)
+{
+    *done = false;
+    if (mode_ != Mode::StreamBody)
+        return HttpParseStatus::Malformed;
+    if (chunked_) {
+        if (!decodeChunked(out, done))
+            return HttpParseStatus::Malformed;
+    } else {
+        const std::size_t take = static_cast<std::size_t>(
+            std::min<std::uint64_t>(buffer_.size(),
+                                    bodyRemaining_));
+        out->append(buffer_, 0, take);
+        buffer_.erase(0, take);
+        bodyRemaining_ -= take;
+        *done = bodyRemaining_ == 0;
+    }
+    if (*done)
+        mode_ = Mode::Head;
+    return HttpParseStatus::Ok;
+}
+
+bool
+HttpParser::decodeChunked(std::string *out, bool *done)
+{
+    *done = false;
+    for (;;) {
+        switch (chunkPhase_) {
+          case ChunkPhase::Size: {
+            const std::size_t eol = buffer_.find('\n');
+            if (eol == std::string::npos) {
+                // A size line cannot legitimately get this long.
+                return buffer_.size() <= 1024;
+            }
+            std::string line = buffer_.substr(0, eol);
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            const std::size_t semi = line.find(';');
+            if (semi != std::string::npos)
+                line = line.substr(0, semi); // drop chunk extensions
+            line = trim(line);
+            if (line.empty() || line.size() > 16 ||
+                line.find_first_not_of("0123456789abcdefABCDEF") !=
+                    std::string::npos)
+                return false;
+            chunkRemaining_ =
+                std::strtoull(line.c_str(), nullptr, 16);
+            buffer_.erase(0, eol + 1);
+            chunkPhase_ = chunkRemaining_ == 0
+                              ? ChunkPhase::Trailer
+                              : ChunkPhase::Data;
+            break;
+          }
+          case ChunkPhase::Data: {
+            if (buffer_.empty())
+                return true;
+            const std::size_t take = static_cast<std::size_t>(
+                std::min<std::uint64_t>(buffer_.size(),
+                                        chunkRemaining_));
+            out->append(buffer_, 0, take);
+            buffer_.erase(0, take);
+            chunkRemaining_ -= take;
+            if (chunkRemaining_ != 0)
+                return true;
+            chunkPhase_ = ChunkPhase::DataEnd;
+            break;
+          }
+          case ChunkPhase::DataEnd: {
+            if (buffer_.empty())
+                return true;
+            if (buffer_[0] == '\n') {
+                buffer_.erase(0, 1);
+            } else if (buffer_[0] == '\r') {
+                if (buffer_.size() < 2)
+                    return true;
+                if (buffer_[1] != '\n')
+                    return false;
+                buffer_.erase(0, 2);
+            } else {
+                return false;
+            }
+            chunkPhase_ = ChunkPhase::Size;
+            break;
+          }
+          case ChunkPhase::Trailer: {
+            const std::size_t eol = buffer_.find('\n');
+            if (eol == std::string::npos)
+                return buffer_.size() <= limits_.maxHeaderBytes;
+            std::string line = buffer_.substr(0, eol);
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            buffer_.erase(0, eol + 1);
+            if (line.empty()) {
+                *done = true;
+                chunkPhase_ = ChunkPhase::Size;
+                return true;
+            }
+            break; // trailer fields are ignored
+          }
+        }
+    }
 }
 
 std::string
@@ -191,6 +350,8 @@ httpStatusText(int status)
         return "Method Not Allowed";
       case 408:
         return "Request Timeout";
+      case 409:
+        return "Conflict";
       case 413:
         return "Payload Too Large";
       case 422:

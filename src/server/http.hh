@@ -3,12 +3,20 @@
  * Minimal HTTP/1.1 framing for bwwalld — no third-party deps.
  *
  * Just enough of RFC 9112 for a JSON query API on loopback/LAN:
- * request-line + headers + Content-Length bodies, keep-alive
- * connections, and fixed responses.  Deliberately out of scope:
- * chunked transfer encoding (rejected with 501), multi-line header
- * folding, and TLS.  All limits (header bytes, body bytes) are
- * enforced while parsing so a misbehaving client cannot balloon
- * server memory.
+ * request-line + headers + Content-Length or chunked bodies,
+ * keep-alive connections, and fixed responses.  Deliberately out of
+ * scope: transfer codings other than chunked (rejected with 501),
+ * multi-line header folding, and TLS.  All limits (header bytes,
+ * body bytes) are enforced while parsing so a misbehaving client
+ * cannot balloon server memory.
+ *
+ * Routes flagged `streaming` in the route table use the parser's
+ * streaming-body mode: poll() returns Streaming as soon as the head
+ * is complete, and the caller drains the decoded body incrementally
+ * with takeBody() — a multi-megabyte upload crosses the server in
+ * bounded chunks instead of buffering whole.  Streamed bodies are
+ * exempt from maxBodyBytes (the ingest session's byte budget governs
+ * them); buffered bodies, chunked or not, stay capped.
  *
  * The parser is incremental and socket-free: the reactor's event
  * loops feed whatever bytes arrived into HttpParser::append() and
@@ -23,6 +31,8 @@
 #define BWWALL_SERVER_HTTP_HH
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 
@@ -70,7 +80,8 @@ enum class HttpParseStatus
     NeedMore,    ///< the buffered bytes are an incomplete request
     Malformed,   ///< unparseable framing; respond 400 and close
     TooLarge,    ///< header or body limit exceeded; respond 413
-    Unsupported, ///< valid HTTP this server refuses (chunked); 501
+    Unsupported, ///< a transfer coding other than chunked; 501
+    Streaming,   ///< *out holds the head; drain via takeBody()
 };
 
 /** Read-side limits of one connection. */
@@ -89,7 +100,22 @@ struct HttpLimits
 class HttpParser
 {
   public:
+    /**
+     * Decides, from the head alone, whether a request's body is
+     * delivered incrementally (poll() returns Streaming) instead of
+     * buffered into HttpRequest::body.
+     */
+    using StreamPredicate =
+        std::function<bool(const HttpRequest &request)>;
+
     explicit HttpParser(HttpLimits limits) : limits_(limits) {}
+
+    /** Routes with the `streaming` flag install this (reactor). */
+    void
+    setStreamPredicate(StreamPredicate predicate)
+    {
+        streamPredicate_ = std::move(predicate);
+    }
 
     /** Buffers @p count raw socket bytes. */
     void
@@ -102,16 +128,60 @@ class HttpParser
      * Parses the next complete request out of the buffer (consuming
      * its bytes).  Error statuses are sticky decisions for the
      * caller to act on: the buffer is left as-is and the connection
-     * should be answered and closed.
+     * should be answered and closed.  Streaming means *out holds the
+     * parsed head and the body must be drained with takeBody().
      */
     HttpParseStatus poll(HttpRequest *out);
+
+    /**
+     * Streaming-body mode only: decodes whatever body bytes are
+     * buffered, appending them to *out, and sets *done once the body
+     * (Content-Length or chunked framing) is complete — after which
+     * the parser is back in head mode for the next request.  Returns
+     * Ok or Malformed (bad chunk framing; close the connection).
+     */
+    HttpParseStatus takeBody(std::string *out, bool *done);
+
+    /** True while a streaming body is being drained. */
+    bool streamingBody() const { return mode_ == Mode::StreamBody; }
 
     /** True when no unconsumed bytes are buffered. */
     bool empty() const { return buffer_.empty(); }
 
   private:
+    enum class Mode
+    {
+        Head,        ///< parsing a request head
+        BufferedBody,///< decoding a chunked body into pending_
+        StreamBody,  ///< body handed out through takeBody()
+    };
+
+    enum class ChunkPhase
+    {
+        Size,    ///< reading a chunk-size line
+        Data,    ///< inside chunk data
+        DataEnd, ///< expecting the CRLF after chunk data
+        Trailer, ///< reading (and discarding) trailer lines
+    };
+
+    /** Decodes buffered chunked-coding bytes into *out; false means
+     * malformed framing. */
+    bool decodeChunked(std::string *out, bool *done);
+
+    HttpParseStatus continueBufferedBody(HttpRequest *out);
+
     HttpLimits limits_;
+    StreamPredicate streamPredicate_;
     std::string buffer_;
+
+    Mode mode_ = Mode::Head;
+    bool chunked_ = false;
+    /** Content-Length bytes still owed (non-chunked bodies). */
+    std::uint64_t bodyRemaining_ = 0;
+    std::uint64_t chunkRemaining_ = 0;
+    ChunkPhase chunkPhase_ = ChunkPhase::Size;
+    /** The request whose chunked body is being buffered. */
+    HttpRequest pending_;
 };
 
 /**

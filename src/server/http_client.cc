@@ -277,9 +277,13 @@ HttpClient::performOnce(const Request &request,
     wire += request.target;
     wire += " HTTP/1.1\r\nHost: ";
     wire += host_;
-    wire += "\r\nContent-Length: ";
-    wire += std::to_string(request.body.size());
-    wire += "\r\n";
+    if (request.bodyProvider) {
+        wire += "\r\nTransfer-Encoding: chunked\r\n";
+    } else {
+        wire += "\r\nContent-Length: ";
+        wire += std::to_string(request.body.size());
+        wire += "\r\n";
+    }
     for (const auto &[name, value] : request.headers) {
         wire += name;
         wire += ": ";
@@ -287,6 +291,37 @@ HttpClient::performOnce(const Request &request,
         wire += "\r\n";
     }
     wire += "\r\n";
+
+    if (request.bodyProvider) {
+        // The provider is consumed as it runs, so a streamed
+        // request gets exactly one attempt: no stale keep-alive
+        // resend, no retry loop.
+        if (!sendAll(wire, error))
+            return false;
+        char buffer[64 << 10];
+        for (;;) {
+            const std::size_t count =
+                request.bodyProvider(buffer, sizeof(buffer));
+            if (count == 0)
+                break;
+            if (count > sizeof(buffer)) {
+                if (error != nullptr)
+                    *error = "body provider overran its buffer";
+                disconnect();
+                return false;
+            }
+            char size_line[32];
+            std::snprintf(size_line, sizeof(size_line),
+                          "%zx\r\n", count);
+            std::string chunk(size_line);
+            chunk.append(buffer, count);
+            chunk += "\r\n";
+            if (!sendAll(chunk, error))
+                return false;
+        }
+        return sendAll("0\r\n\r\n", error) &&
+               readResponse(out, error);
+    }
     wire += request.body;
 
     if (!sendAll(wire, error) || !readResponse(out, error)) {
@@ -424,6 +459,8 @@ HttpClient::perform(const Request &request,
                     HttpClientResponse *out, std::string *error)
 {
     const bool retry = options.retry || options.policy != nullptr;
+    if (request.bodyProvider) // streamed: single attempt, always
+        return performOnce(request, out, error);
     if (!retry && options.deadlineMs < 0.0)
         return performOnce(request, out, error);
     const HttpRetryPolicy &policy =

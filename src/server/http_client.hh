@@ -28,7 +28,9 @@
 #ifndef BWWALL_SERVER_HTTP_CLIENT_HH
 #define BWWALL_SERVER_HTTP_CLIENT_HH
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 
@@ -102,6 +104,19 @@ class HttpClient
         std::map<std::string, std::string> headers;
 
         std::string body;
+
+        /**
+         * When set, the request body streams with
+         * Transfer-Encoding: chunked: the provider is called
+         * repeatedly to fill up to @p cap bytes of @p buffer and
+         * returns how many it wrote, with 0 ending the stream
+         * (each non-empty fill is one wire chunk); `body` is then
+         * ignored.  Streamed requests are sent exactly once — the
+         * provider is consumed as it runs, so neither the stale
+         * keep-alive resend nor RequestOptions::retry applies.
+         */
+        std::function<std::size_t(char *buffer, std::size_t cap)>
+            bodyProvider;
     };
 
     /** The how of one perform() call. */
@@ -167,7 +182,7 @@ class HttpClient
             const std::string &body, HttpClientResponse *out,
             std::string *error = nullptr)
     {
-        return perform({method, target, {}, body}, out, error);
+        return perform({method, target, {}, body, {}}, out, error);
     }
 
     bool
@@ -176,7 +191,7 @@ class HttpClient
             const std::string &body, HttpClientResponse *out,
             std::string *error = nullptr)
     {
-        return perform({method, target, headers, body}, out,
+        return perform({method, target, headers, body, {}}, out,
                        error);
     }
 
@@ -184,14 +199,14 @@ class HttpClient
     get(const std::string &target, HttpClientResponse *out,
         std::string *error = nullptr)
     {
-        return perform({"GET", target, {}, ""}, out, error);
+        return perform({"GET", target, {}, "", {}}, out, error);
     }
 
     bool
     post(const std::string &target, const std::string &body,
          HttpClientResponse *out, std::string *error = nullptr)
     {
-        return perform({"POST", target, {}, body}, out, error);
+        return perform({"POST", target, {}, body, {}}, out, error);
     }
 
     bool
@@ -203,7 +218,7 @@ class HttpClient
     {
         RequestOptions options;
         options.retry = true;
-        return perform({method, target, headers, body}, options,
+        return perform({method, target, headers, body, {}}, options,
                        out, error);
     }
     /** @} */

@@ -19,10 +19,8 @@
 
 namespace bwwall {
 
-namespace {
-
 // ---------------------------------------------------------------
-// Strict request-field access.
+// Strict request-field access (shared with server/ingest_session.cc).
 
 void
 requireKnownKeys(const JsonValue &object,
@@ -79,6 +77,8 @@ stringField(const JsonValue &object, const std::string &key,
         throw BadRequest("'" + key + "' must be a string");
     return value->asString();
 }
+
+namespace {
 
 bool
 boolField(const JsonValue &object, const std::string &key,

@@ -27,6 +27,8 @@
 #ifndef BWWALL_SERVER_MODEL_SERVICE_HH
 #define BWWALL_SERVER_MODEL_SERVICE_HH
 
+#include <cstdint>
+#include <set>
 #include <stdexcept>
 #include <string>
 
@@ -41,6 +43,27 @@ class BadRequest : public std::runtime_error
   public:
     using std::runtime_error::runtime_error;
 };
+
+/**
+ * Strict request-field access shared by the model-query and ingest
+ * parsers: unknown keys, wrong types, and out-of-range values throw
+ * BadRequest, never get silently ignored.
+ */
+void requireKnownKeys(const JsonValue &object,
+                      const std::set<std::string> &known,
+                      const std::string &where);
+
+double numberField(const JsonValue &object, const std::string &key,
+                   double fallback, double min, double max);
+
+std::uint64_t integerField(const JsonValue &object,
+                           const std::string &key,
+                           std::uint64_t fallback,
+                           std::uint64_t min, std::uint64_t max);
+
+std::string stringField(const JsonValue &object,
+                        const std::string &key,
+                        const std::string &fallback);
 
 /** True for the cacheable POST model-query paths (/v1/...). */
 bool isModelQueryPath(const std::string &path);

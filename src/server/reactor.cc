@@ -75,6 +75,16 @@ struct HttpReactor::Conn
     /** A request from this connection is queued or computing. */
     bool computing = false;
 
+    /**
+     * Open sink of an in-progress streaming upload.  Destroying the
+     * Conn (closeConn, drain) destroys the sink, which by contract
+     * is the abort notification.
+     */
+    std::unique_ptr<HttpStreamSink> sink;
+
+    /** keepAlive of the streaming request being drained. */
+    bool streamKeepAlive = true;
+
     bool closeAfterWrite = false;
 
     /** EPOLLOUT is armed (pending output met EAGAIN). */
@@ -117,9 +127,13 @@ struct HttpReactor::Shard
 
 HttpReactor::HttpReactor(ReactorConfig config,
                          MetricsRegistry *metrics, Handler handler,
-                         TracePredicate traced)
+                         TracePredicate traced,
+                         StreamPredicate streamed,
+                         StreamOpenFn streamOpen)
     : config_(std::move(config)), metrics_(metrics),
-      handler_(std::move(handler)), traced_(std::move(traced))
+      handler_(std::move(handler)), traced_(std::move(traced)),
+      streamed_(std::move(streamed)),
+      streamOpen_(std::move(streamOpen))
 {}
 
 HttpReactor::~HttpReactor()
@@ -288,6 +302,8 @@ HttpReactor::adoptConnections(Shard &shard)
         auto conn = std::make_unique<Conn>(
             fd, id, HttpLimits{16u << 10, config_.maxBodyBytes},
             Clock::now());
+        if (streamed_ != nullptr)
+            conn->parser.setStreamPredicate(streamed_);
         epoll_event event{};
         event.events = EPOLLIN;
         event.data.u64 = id;
@@ -395,8 +411,60 @@ HttpReactor::shedRequest(Shard &shard, Conn *conn)
 }
 
 void
+HttpReactor::pumpStreamBody(Shard &shard, Conn *conn, bool eof)
+{
+    std::string body;
+    bool done = false;
+    if (conn->parser.takeBody(&body, &done) !=
+        HttpParseStatus::Ok) {
+        metrics_->addCounter("server.malformed_requests");
+        HttpResponse malformed = httpErrorResponse(
+            400, "malformed chunked body");
+        malformed.close = true;
+        conn->sink.reset(); // destroyed-before-complete == abort
+        respond(shard, conn, serializeHttpResponse(malformed),
+                true);
+        return;
+    }
+    if (!body.empty()) {
+        HttpResponse error;
+        if (!conn->sink->onData(body.data(), body.size(),
+                                &error)) {
+            // The refused chunk desynchronized the body framing:
+            // answer and close.
+            conn->sink.reset();
+            error.close = true;
+            respond(shard, conn, serializeHttpResponse(error),
+                    true);
+            return;
+        }
+    }
+    if (done) {
+        HttpResponse response = conn->sink->onComplete();
+        conn->sink.reset();
+        if (!conn->streamKeepAlive || stopping())
+            response.close = true;
+        if (!respond(shard, conn, serializeHttpResponse(response),
+                     response.close))
+            return;
+        if (!response.close)
+            pumpRequests(shard, conn, eof);
+        return;
+    }
+    if (eof) {
+        // Peer vanished mid-stream; the sink's destructor records
+        // the abort.
+        closeConn(shard, conn);
+    }
+}
+
+void
 HttpReactor::pumpRequests(Shard &shard, Conn *conn, bool eof)
 {
+    if (conn->sink != nullptr) {
+        pumpStreamBody(shard, conn, eof);
+        return;
+    }
     if (conn->computing)
         return; // strictly one request in flight per connection
     HttpRequest request;
@@ -464,10 +532,28 @@ HttpReactor::pumpRequests(Shard &shard, Conn *conn, bool eof)
       }
       case HttpParseStatus::Unsupported: {
         HttpResponse unsupported = httpErrorResponse(
-            501, "transfer-encoding is not supported");
+            501, "only chunked transfer-encoding is supported");
         unsupported.close = true;
         respond(shard, conn, serializeHttpResponse(unsupported),
                 true);
+        return;
+      }
+      case HttpParseStatus::Streaming: {
+        HttpResponse refusal = httpErrorResponse(
+            404, "no handler for the streamed request");
+        std::unique_ptr<HttpStreamSink> sink;
+        if (streamOpen_ != nullptr)
+            sink = streamOpen_(request, &refusal);
+        if (sink == nullptr) {
+            // The unread body desynchronizes the connection: close.
+            refusal.close = true;
+            respond(shard, conn, serializeHttpResponse(refusal),
+                    true);
+            return;
+        }
+        conn->sink = std::move(sink);
+        conn->streamKeepAlive = request.keepAlive;
+        pumpStreamBody(shard, conn, eof);
         return;
       }
     }

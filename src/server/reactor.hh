@@ -89,6 +89,32 @@ struct ReactorConfig
 };
 
 /**
+ * Receives one streamed request body, chunk by chunk, on the shard
+ * thread that owns the connection — a streaming upload therefore
+ * never occupies a compute thread between chunks and never counts
+ * toward maxInflight.  Contract: if the sink is destroyed before
+ * onComplete() was called, the stream was aborted (peer vanished,
+ * fault, drain); implementations treat destruction-without-complete
+ * as the abort notification.
+ */
+class HttpStreamSink
+{
+  public:
+    virtual ~HttpStreamSink() = default;
+
+    /**
+     * Consumes one decoded body chunk.  Returning false fails the
+     * stream: *error is sent and the connection closes (the body
+     * framing is out of sync once a chunk is refused).
+     */
+    virtual bool onData(const char *data, std::size_t count,
+                        HttpResponse *error) = 0;
+
+    /** The body completed; produce the response. */
+    virtual HttpResponse onComplete() = 0;
+};
+
+/**
  * The event-loop core.  The owner supplies the request handler
  * (invoked on a compute thread; must not throw) and an optional
  * trace predicate deciding which requests record spans.
@@ -110,9 +136,26 @@ class HttpReactor
     using TracePredicate =
         std::function<bool(const HttpRequest &request)>;
 
+    /**
+     * Decides from the head whether a request body streams (see
+     * HttpParser::StreamPredicate; the server derives this from the
+     * route table's streaming flag).
+     */
+    using StreamPredicate = HttpParser::StreamPredicate;
+
+    /**
+     * Opens a sink for a streaming request, or returns nullptr and
+     * fills *refusal (e.g. 404 unknown session, 413 budget).  Runs
+     * on the shard thread; must be fast and must not block.
+     */
+    using StreamOpenFn = std::function<std::unique_ptr<HttpStreamSink>(
+        const HttpRequest &request, HttpResponse *refusal)>;
+
     HttpReactor(ReactorConfig config, MetricsRegistry *metrics,
                 Handler handler,
-                TracePredicate traced = nullptr);
+                TracePredicate traced = nullptr,
+                StreamPredicate streamed = nullptr,
+                StreamOpenFn streamOpen = nullptr);
 
     /** Drains and joins if still running. */
     ~HttpReactor();
@@ -183,6 +226,9 @@ class HttpReactor
     /** Parses buffered bytes into requests until blocked. */
     void pumpRequests(Shard &shard, Conn *conn, bool eof);
 
+    /** Feeds buffered streaming-body bytes into the open sink. */
+    void pumpStreamBody(Shard &shard, Conn *conn, bool eof);
+
     void processCompletions(Shard &shard);
     void sweepIdle(Shard &shard);
 
@@ -204,6 +250,8 @@ class HttpReactor
     MetricsRegistry *metrics_;
     Handler handler_;
     TracePredicate traced_;
+    StreamPredicate streamed_;
+    StreamOpenFn streamOpen_;
 
     int listenFd_ = -1;
     /** Self-pipe waking the accept poll() on requestStop(). */

@@ -24,10 +24,12 @@ namespace bwwall {
 /** Which server code path serves a route. */
 enum class RouteHandler
 {
-    Health,     ///< GET /healthz liveness probe
-    Metrics,    ///< GET /metrics registry dump
-    Trace,      ///< GET /v1/trace span export
-    ModelQuery, ///< POST model-query endpoints (cache + overload)
+    Health,        ///< GET /healthz liveness probe
+    Metrics,       ///< GET /metrics registry dump
+    Trace,         ///< GET /v1/trace span export
+    ModelQuery,    ///< POST model-query endpoints (cache + overload)
+    IngestCreate,  ///< POST /v1/trace/ingest session creation
+    IngestSession, ///< per-session append / snapshot / finalize
 };
 
 /**
@@ -45,18 +47,35 @@ enum class RouteCost
 /** One row of the table. */
 struct Route
 {
+    /**
+     * Either an exact path or a pattern whose final segment is the
+     * literal "{id}" (e.g. "/v1/trace/ingest/{id}"), matching any
+     * single non-empty segment there.
+     */
     const char *path;
-    const char *method; ///< the one accepted method
-    bool allowHead;     ///< also accept HEAD (health probes)
+
+    /** Space-separated accepted methods ("POST", "POST GET DELETE"). */
+    const char *method;
+
+    bool allowHead; ///< also accept HEAD (health probes)
     RouteHandler handler;
     RouteCost cost;
 
     /**
      * Under pressure this route may be admitted at reduced
-     * resolution instead of shed (only /v1/sweep: its body has a
-     * well-defined cheaper form; batch bodies do not).
+     * resolution instead of shed (/v1/sweep and ingest snapshots:
+     * both have a well-defined cheaper form; batch bodies do not).
      */
     bool degradable;
+
+    /**
+     * POST bodies on this route are streamed: the reactor hands the
+     * body to a stream sink chunk by chunk instead of buffering it,
+     * and the per-request maxBodyBytes limit is replaced by the
+     * sink's own byte budget (for ingest appends, the session's
+     * --max-session-bytes — enforced with the same 413 taxonomy).
+     */
+    bool streaming;
 
     /** The 405 body for a wrong-method request. */
     const char *methodHint;
@@ -71,6 +90,13 @@ const Route *findRoute(const std::string &path);
 /** True when @p method is acceptable for @p route. */
 bool routeAllowsMethod(const Route &route,
                        const std::string &method);
+
+/**
+ * The concrete text matched by a pattern route's "{id}" segment
+ * (empty for exact routes or a non-matching path).
+ */
+std::string routePathParam(const Route &route,
+                           const std::string &path);
 
 } // namespace bwwall
 

@@ -66,6 +66,13 @@ BwwallServer::BwwallServer(ServerConfig config)
     overload_config.degradePressure = config_.degradePressure;
     overload_ = std::make_unique<OverloadController>(
         overload_config, &metrics_);
+    IngestConfig ingest_config;
+    ingest_config.maxSessions = config_.maxIngestSessions;
+    ingest_config.maxSessionBytes = config_.maxSessionBytes;
+    ingest_config.ttlSeconds = config_.ingestTtlSeconds;
+    ingest_config.retryAfterSeconds = config_.retryAfterSeconds;
+    ingest_ = std::make_unique<IngestSessionManager>(ingest_config,
+                                                     &metrics_);
     if (config_.trace) {
         // Standby unless traceAll: only threads inside a
         // ScopedThreadTrace (the per-request opt-in) record.
@@ -110,6 +117,30 @@ BwwallServer::start()
         },
         [this](const HttpRequest &request) {
             return requestTraced(request);
+        },
+        [](const HttpRequest &request) {
+            // Only streaming-flagged routes' POST bodies stream;
+            // everything else buffers as before.
+            const Route *route = findRoute(request.path);
+            return route != nullptr && route->streaming &&
+                   request.method == "POST";
+        },
+        [this](const HttpRequest &request,
+               HttpResponse *refusal) {
+            // Shard-thread append admission: map lookups only.
+            metrics_.addCounter("server.requests");
+            requestCount_.fetch_add(1, std::memory_order_relaxed);
+            const Route *route = findRoute(request.path);
+            if (route == nullptr || !route->streaming) {
+                *refusal = httpErrorResponse(
+                    404, "unknown path '" + request.path + "'");
+                return std::unique_ptr<HttpStreamSink>();
+            }
+            const std::string endpoint =
+                std::string("server.endpoint.") + route->path;
+            metrics_.addCounter(endpoint + ".requests");
+            return ingest_->openAppend(
+                routePathParam(*route, request.path), refusal);
         });
     reactor_->start();
     inform("bwwalld listening on ", config_.bindAddress, ":",
@@ -257,6 +288,80 @@ BwwallServer::handleModelQuery(const HttpRequest &request,
 }
 
 HttpResponse
+BwwallServer::handleIngestCreate(const HttpRequest &request)
+{
+    JsonValue body;
+    std::string parse_error;
+    if (!JsonValue::parse(request.body.empty() ? "{}"
+                                               : request.body,
+                          &body, &parse_error))
+        return httpErrorResponseFor(
+            {ErrorCategory::InvalidInput,
+             "malformed JSON body: " + parse_error});
+    if (!body.isObject())
+        return httpErrorResponseFor(
+            {ErrorCategory::InvalidInput,
+             "request body must be a JSON object"});
+    try {
+        return ingest_->create(body);
+    } catch (const BadRequest &e) {
+        return httpErrorResponseFor(
+            {ErrorCategory::InvalidInput, e.what()});
+    } catch (const std::exception &e) {
+        metrics_.addCounter("server.handler_errors");
+        return httpErrorResponseFor(
+            {ErrorCategory::Faulted,
+             std::string("internal error: ") + e.what()});
+    }
+}
+
+HttpResponse
+BwwallServer::handleIngestSession(const HttpRequest &request,
+                                  const Route &route,
+                                  unsigned inflight)
+{
+    const std::string id = routePathParam(route, request.path);
+    try {
+        if (request.method == "DELETE")
+            return ingest_->finalize(id);
+        // GET/HEAD snapshots go through overload admission (keyed
+        // by the route pattern, not the per-id path, to bound the
+        // breaker map); degraded service drops curve resolution.
+        const AdmitDecision decision =
+            overload_->admit(route.path, inflight);
+        if (decision == AdmitDecision::Shed) {
+            metrics_.addCounter("server.shed");
+            HttpResponse shed = httpErrorResponseFor(
+                {ErrorCategory::Overload,
+                 "shed by overload control; retry later"});
+            shed.headers["Retry-After"] = std::to_string(
+                overload_->retryAfterSeconds());
+            return shed;
+        }
+        const bool degraded =
+            decision == AdmitDecision::AdmitDegraded;
+        const auto received = Clock::now();
+        HttpResponse response = ingest_->snapshot(id, degraded);
+        if (degraded && response.status == 200) {
+            metrics_.addCounter("server.degraded");
+            response.headers["X-BWWall-Degraded"] =
+                std::string("1");
+        }
+        overload_->observe(route.path, secondsSince(received),
+                           response.status >= 500);
+        return response;
+    } catch (const Errored &e) {
+        metrics_.addCounter("server.handler_errors");
+        return httpErrorResponseFor(e.error());
+    } catch (const std::exception &e) {
+        metrics_.addCounter("server.handler_errors");
+        return httpErrorResponseFor(
+            {ErrorCategory::Faulted,
+             std::string("internal error: ") + e.what()});
+    }
+}
+
+HttpResponse
 BwwallServer::dispatch(const HttpRequest &request,
                        Clock::time_point received,
                        unsigned inflight)
@@ -308,12 +413,23 @@ BwwallServer::dispatch(const HttpRequest &request,
             }
             break;
           }
+          case RouteHandler::IngestCreate:
+            response = handleIngestCreate(request);
+            break;
+          case RouteHandler::IngestSession:
+            response =
+                handleIngestSession(request, *route, inflight);
+            break;
         }
     }
 
     const double elapsed = secondsSince(received);
+    // Pattern routes aggregate under the route's path so per-id
+    // URLs cannot grow the registry without bound.
     const std::string endpoint =
-        "server.endpoint." + request.path;
+        "server.endpoint." + (route != nullptr
+                                  ? std::string(route->path)
+                                  : request.path);
     metrics_.addCounter(endpoint + ".requests");
     metrics_.observeHistogram(endpoint + ".latency_seconds",
                               elapsed);

@@ -51,6 +51,7 @@
 #include <string>
 
 #include "server/http.hh"
+#include "server/ingest_session.hh"
 #include "server/overload.hh"
 #include "server/reactor.hh"
 #include "server/result_cache.hh"
@@ -132,6 +133,19 @@ struct ServerConfig
     /** Largest accepted request body. */
     std::size_t maxBodyBytes = 1u << 20;
 
+    /** Concurrent ingest sessions before create answers 503. */
+    std::size_t maxIngestSessions = 64;
+
+    /**
+     * Per-ingest-session appended-byte budget; streamed append
+     * bodies are exempt from maxBodyBytes and capped by this
+     * instead (413; 0 = unlimited).
+     */
+    std::size_t maxSessionBytes = 64u << 20;
+
+    /** Seconds an idle ingest session lives before being swept. */
+    double ingestTtlSeconds = 300.0;
+
     /** inform() one line per served request. */
     bool logRequests = false;
 
@@ -190,6 +204,7 @@ class BwwallServer
     MetricsRegistry &metrics() { return metrics_; }
     ResultCache &cache() { return *cache_; }
     OverloadController &overload() { return *overload_; }
+    IngestSessionManager &ingest() { return *ingest_; }
 
     /** The owned recorder; null unless config.trace. */
     TraceRecorder *traceRecorder() { return recorder_.get(); }
@@ -208,6 +223,14 @@ class BwwallServer
                           Clock::time_point received,
                           unsigned inflight);
 
+    /** POST /v1/trace/ingest: parse the body, open a session. */
+    HttpResponse handleIngestCreate(const HttpRequest &request);
+
+    /** GET/DELETE on /v1/trace/ingest/{id}. */
+    HttpResponse handleIngestSession(const HttpRequest &request,
+                                     const Route &route,
+                                     unsigned inflight);
+
     /** @param degraded Serve this sweep at reduced resolution. */
     HttpResponse handleModelQuery(const HttpRequest &request,
                                   Clock::time_point received,
@@ -224,6 +247,7 @@ class BwwallServer
     MetricsRegistry metrics_;
     std::unique_ptr<ResultCache> cache_;
     std::unique_ptr<OverloadController> overload_;
+    std::unique_ptr<IngestSessionManager> ingest_;
     std::unique_ptr<TraceRecorder> recorder_;
     std::unique_ptr<HttpReactor> reactor_;
 

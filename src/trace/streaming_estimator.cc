@@ -1,0 +1,220 @@
+#include "trace/streaming_estimator.hh"
+
+#include <algorithm>
+
+#include "util/linear_fit.hh"
+#include "util/logging.hh"
+
+namespace bwwall {
+
+namespace {
+
+StreamingEstimatorConfig
+validated(StreamingEstimatorConfig config)
+{
+    if (config.capacities.empty())
+        fatal("streaming estimator requires at least one capacity");
+    if (config.lineBytes == 0)
+        fatal("streaming estimator requires a nonzero line size");
+    for (const std::uint64_t capacity : config.capacities) {
+        if (capacity < config.lineBytes ||
+            capacity % config.lineBytes != 0) {
+            fatal("streaming-curve capacity ", capacity,
+                  " is not a multiple of the ", config.lineBytes,
+                  "-byte line size");
+        }
+    }
+    if (config.sampleRate <= 0.0 || config.sampleRate > 1.0)
+        fatal("streaming estimator requires a sample rate in (0, 1], "
+              "got ",
+              config.sampleRate);
+    return config;
+}
+
+StackDistanceProfilerConfig
+profilerConfigFor(const StreamingEstimatorConfig &config)
+{
+    std::uint64_t max_capacity_lines = 0;
+    for (const std::uint64_t capacity : config.capacities)
+        max_capacity_lines = std::max(max_capacity_lines,
+                                      capacity / config.lineBytes);
+    return streamingProfilerConfig(config.lineBytes,
+                                   max_capacity_lines,
+                                   config.sampleRate,
+                                   config.maxSampledLines,
+                                   config.seed);
+}
+
+} // namespace
+
+StackCurveMass
+correctedStackMass(const StackDistanceProfiler &profiler,
+                   std::uint64_t capacity_lines,
+                   std::uint32_t associativity)
+{
+    const std::vector<double> &dist = profiler.distanceWeights();
+    const std::vector<double> &wb = profiler.writebackWeights();
+
+    StackCurveMass mass;
+    mass.misses = profiler.coldWeight();
+    mass.writebacks = profiler.coldWritebackWeight();
+
+    std::uint64_t ways = associativity == 0
+                             ? capacity_lines
+                             : std::min<std::uint64_t>(associativity,
+                                                       capacity_lines);
+    ways = std::max<std::uint64_t>(ways, 1);
+    const std::uint64_t sets = std::max<std::uint64_t>(
+        capacity_lines / ways, 1);
+
+    if (sets == 1) {
+        // Fully associative: exact LRU threshold at the capacity.
+        for (std::size_t d = static_cast<std::size_t>(capacity_lines) + 1;
+             d < dist.size(); ++d)
+            mass.misses += dist[d];
+        for (std::size_t g = static_cast<std::size_t>(capacity_lines) + 1;
+             g < wb.size(); ++g)
+            mass.writebacks += wb[g];
+        return mass;
+    }
+
+    // Suffix sums let the scan stop once the miss probability has
+    // saturated without losing the histogram tails.
+    const std::size_t length = std::max(dist.size(), wb.size());
+    std::vector<double> dist_suffix(length + 1, 0.0);
+    std::vector<double> wb_suffix(length + 1, 0.0);
+    for (std::size_t d = length; d > 0; --d) {
+        dist_suffix[d - 1] =
+            dist_suffix[d] + (d - 1 < dist.size() ? dist[d - 1] : 0.0);
+        wb_suffix[d - 1] =
+            wb_suffix[d] + (d - 1 < wb.size() ? wb[d - 1] : 0.0);
+    }
+
+    const double p = 1.0 / static_cast<double>(sets);
+    // pmf[k] = P(Binomial(d-1, p) == k) for k < ways, maintained
+    // incrementally as d grows; the miss probability is 1 - sum(pmf).
+    std::vector<double> pmf(static_cast<std::size_t>(ways), 0.0);
+    pmf[0] = 1.0;
+    double hit_probability = 1.0;
+
+    for (std::size_t d = 1; d < length; ++d) {
+        const double miss_probability = 1.0 - hit_probability;
+        if (miss_probability > 1.0 - 1e-12) {
+            mass.misses += dist_suffix[d];
+            mass.writebacks += wb_suffix[d];
+            return mass;
+        }
+        if (d < dist.size())
+            mass.misses += dist[d] * miss_probability;
+        if (d < wb.size())
+            mass.writebacks += wb[d] * miss_probability;
+
+        // Advance the binomial from d-1 to d intervening lines.
+        for (std::size_t k = pmf.size(); k-- > 1;)
+            pmf[k] = pmf[k] * (1.0 - p) + pmf[k - 1] * p;
+        pmf[0] *= 1.0 - p;
+        hit_probability = 0.0;
+        for (const double mass_k : pmf)
+            hit_probability += mass_k;
+    }
+    return mass;
+}
+
+StackDistanceProfilerConfig
+streamingProfilerConfig(std::uint32_t line_bytes,
+                        std::uint64_t max_capacity_lines,
+                        double sample_rate,
+                        std::size_t max_sampled_lines,
+                        std::uint64_t seed)
+{
+    StackDistanceProfilerConfig profiler_config;
+    profiler_config.lineBytes = line_bytes;
+    profiler_config.maxTrackedDistance = std::max<std::size_t>(
+        static_cast<std::size_t>(max_capacity_lines) * 4, 1024);
+    profiler_config.sampleRate = sample_rate;
+    profiler_config.maxSampledLines = max_sampled_lines;
+    profiler_config.seed = seed;
+    return profiler_config;
+}
+
+StreamingMissCurveEstimator::StreamingMissCurveEstimator(
+    const StreamingEstimatorConfig &config)
+    : config_(validated(config)), profiler_(profilerConfigFor(config_))
+{
+}
+
+void
+StreamingMissCurveEstimator::append(const MemoryAccess *records,
+                                    std::size_t count)
+{
+    for (std::size_t i = 0; i < count; ++i) {
+        profiler_.observe(records[i]);
+        ++recordsSeen_;
+        // The warm-up boundary depends only on the absolute stream
+        // position, never on chunk framing, so any chunking of the
+        // same trace resets the counters at the same record.
+        if (recordsSeen_ == config_.warmupAccesses)
+            profiler_.resetCounters();
+    }
+}
+
+StreamingSnapshot
+StreamingMissCurveEstimator::snapshot() const
+{
+    StreamingSnapshot snap;
+    snap.recordsSeen = recordsSeen_;
+    snap.profiledAccesses = profiler_.totalAccesses();
+    snap.sampledAccesses = profiler_.sampledAccesses();
+    snap.currentSampleRate = profiler_.currentSampleRate();
+
+    // Identical readout to the one-shot stackEstimate(): the exact
+    // access count N is the denominator (SHARDS_adj — distance-1
+    // accesses can never miss, so topping that bucket up to N only
+    // fixes the denominator, which using N directly already does).
+    const auto accesses =
+        static_cast<double>(profiler_.totalAccesses());
+
+    snap.points.reserve(config_.capacities.size());
+    for (const std::uint64_t capacity : config_.capacities) {
+        const StackCurveMass mass = correctedStackMass(
+            profiler_, capacity / config_.lineBytes,
+            config_.associativity);
+        StreamingCurvePoint point;
+        point.capacityBytes = capacity;
+        point.missRate = accesses == 0.0 ? 0.0
+                                         : mass.misses / accesses;
+        point.writebackRatio =
+            mass.misses == 0.0 ? 0.0 : mass.writebacks / mass.misses;
+        point.trafficBytesPerAccess =
+            accesses == 0.0
+                ? 0.0
+                : (mass.misses + mass.writebacks) *
+                      static_cast<double>(config_.lineBytes) /
+                      accesses;
+        snap.points.push_back(point);
+    }
+
+    // fitPowerLaw (the same fit MissCurve::fit() runs) requires
+    // positive values, so a snapshot taken before any measured miss
+    // mass exists reports fitValid = false instead of dying.
+    bool fittable = snap.points.size() >= 2;
+    for (const StreamingCurvePoint &point : snap.points)
+        if (point.missRate <= 0.0)
+            fittable = false;
+    if (fittable) {
+        std::vector<double> sizes, rates;
+        sizes.reserve(snap.points.size());
+        rates.reserve(snap.points.size());
+        for (const StreamingCurvePoint &point : snap.points) {
+            sizes.push_back(static_cast<double>(point.capacityBytes));
+            rates.push_back(point.missRate);
+        }
+        const PowerLawFit fit = fitPowerLaw(sizes, rates);
+        snap.fitValid = true;
+        snap.alpha = -fit.exponent;
+        snap.fitRSquared = fit.rSquared;
+    }
+    return snap;
+}
+
+} // namespace bwwall

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Incremental (streaming) SHARDS miss-curve estimation.
+ *
+ * The one-shot estimators in cache/miss_curve_estimator.hh replay a
+ * TraceSource they control; the ingestion path instead receives a
+ * reference stream in arbitrary chunks over the network and must be
+ * able to produce a miss curve *between* chunks.  Because the
+ * underlying StackDistanceProfiler is a pure fold over the access
+ * sequence, feeding it chunk by chunk is bit-identical to feeding it
+ * the concatenated trace — provided the warm-up boundary and the
+ * per-capacity readout are computed the same way.  This header owns
+ * both pieces so the streaming and one-shot paths cannot drift:
+ *
+ *  - correctedStackMass() is the binomial set-conflict correction
+ *    (previously private to miss_curve_estimator.cc); the one-shot
+ *    estimators now call it too.
+ *  - streamingProfilerConfig() derives the profiler configuration
+ *    (notably maxTrackedDistance) with the same formula the one-shot
+ *    stack estimators use.
+ *
+ * Memory is bounded regardless of stream length: SHARDS fixed-size
+ * (R_max) mode caps resident sampled lines, and maxTrackedDistance
+ * caps the histogram and recency-stack footprint.
+ */
+
+#ifndef BWWALL_TRACE_STREAMING_ESTIMATOR_HH
+#define BWWALL_TRACE_STREAMING_ESTIMATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/access.hh"
+#include "trace/stack_distance.hh"
+
+namespace bwwall {
+
+/** Per-capacity miss and write-back mass after set-conflict correction. */
+struct StackCurveMass
+{
+    double misses = 0.0;
+    double writebacks = 0.0;
+};
+
+/**
+ * Per-capacity miss and write-back mass from the profiler's weighted
+ * histograms, with the binomial set-conflict correction.
+ *
+ * An access with stack distance d sees d-1 distinct intervening
+ * lines.  With S sets and uniformly hashed addresses each intervener
+ * lands in the access's set with probability 1/S, so under LRU the
+ * access misses with probability P(Binomial(d-1, 1/S) >= A).  For a
+ * fully associative cache (S == 1, i.e. @p associativity 0 or >=
+ * capacity) this degenerates to the exact threshold d > capacity,
+ * keeping the estimator bit-exact against the simulator there.  The
+ * same eviction probability weights the write-back windows.
+ */
+StackCurveMass correctedStackMass(const StackDistanceProfiler &profiler,
+                                  std::uint64_t capacity_lines,
+                                  std::uint32_t associativity);
+
+/**
+ * The profiler configuration both the one-shot stack estimators and
+ * the streaming estimator build from the same inputs.  Distances past
+ * 4x the largest grid capacity saturate the miss probability at every
+ * grid point, so lumping them with the compulsory misses loses
+ * nothing and bounds memory.
+ */
+StackDistanceProfilerConfig
+streamingProfilerConfig(std::uint32_t line_bytes,
+                        std::uint64_t max_capacity_lines,
+                        double sample_rate,
+                        std::size_t max_sampled_lines,
+                        std::uint64_t seed);
+
+/** Configuration of a StreamingMissCurveEstimator. */
+struct StreamingEstimatorConfig
+{
+    /** Cache-line granularity at which addresses are collapsed. */
+    std::uint32_t lineBytes = 64;
+
+    /** Ways per set; 0 models a fully associative cache. */
+    std::uint32_t associativity = 0;
+
+    /** Capacity grid in bytes (each a multiple of lineBytes). */
+    std::vector<std::uint64_t> capacities;
+
+    /**
+     * Records at the front of the stream that warm the recency stack
+     * without counting toward the histograms (the streaming analogue
+     * of MissCurveSpec::warmupAccesses).
+     */
+    std::uint64_t warmupAccesses = 0;
+
+    /** SHARDS fixed-rate sampling rate in (0, 1]; 1.0 is exact. */
+    double sampleRate = 1.0;
+
+    /**
+     * When non-zero: SHARDS fixed-size (R_max) mode — at most this
+     * many sampled lines stay resident, giving a hard memory bound
+     * for unbounded streams.
+     */
+    std::size_t maxSampledLines = 0;
+
+    /** Salt of the spatial sampling hash. */
+    std::uint64_t seed = 1;
+};
+
+/** One point of a streamed miss curve (trace-layer mirror of
+ * MissCurvePoint; src/trace cannot depend on src/cache). */
+struct StreamingCurvePoint
+{
+    std::uint64_t capacityBytes = 0;
+    double missRate = 0.0;
+    double writebackRatio = 0.0;
+    double trafficBytesPerAccess = 0.0;
+};
+
+/** A snapshot of the live curve after some number of chunks. */
+struct StreamingSnapshot
+{
+    std::vector<StreamingCurvePoint> points;
+
+    /** True when the power-law fit below is meaningful (>= 2 grid
+     * points, every miss rate positive). */
+    bool fitValid = false;
+    /** Paper's alpha (= -exponent of the power-law fit). */
+    double alpha = 0.0;
+    double fitRSquared = 0.0;
+
+    /** Every record appended so far, warm-up included. */
+    std::uint64_t recordsSeen = 0;
+    /** Records counted by the histograms (post warm-up). */
+    std::uint64_t profiledAccesses = 0;
+    /** Of those, records that passed the spatial sampling filter. */
+    std::uint64_t sampledAccesses = 0;
+    /** Current SHARDS rate (decays in fixed-size mode). */
+    double currentSampleRate = 1.0;
+};
+
+/**
+ * Incremental SHARDS engine: append access records in chunks of any
+ * size (including empty), snapshot the miss curve at any point.
+ *
+ * Invariant (unit-tested): for any partition of a trace into chunks,
+ * snapshot() after appending them all is bit-identical to one-shot
+ * SHARDS (SampledStackDistanceEstimator) over the concatenated trace
+ * with the same configuration.
+ */
+class StreamingMissCurveEstimator
+{
+  public:
+    /** Validates the configuration with fatal() on nonsense (empty
+     * capacity grid, capacity not a line multiple, bad rate). */
+    explicit StreamingMissCurveEstimator(
+        const StreamingEstimatorConfig &config);
+
+    /** Appends one chunk of records (count may be zero). */
+    void append(const MemoryAccess *records, std::size_t count);
+
+    void append(const std::vector<MemoryAccess> &records)
+    {
+        append(records.data(), records.size());
+    }
+
+    /**
+     * Reads out the current curve without disturbing the stream;
+     * append() can continue afterwards and later snapshots remain
+     * bit-identical to one-shot runs over the longer prefix.
+     */
+    StreamingSnapshot snapshot() const;
+
+    /** Every record appended so far, warm-up included. */
+    std::uint64_t recordsSeen() const { return recordsSeen_; }
+
+    const StreamingEstimatorConfig &config() const { return config_; }
+
+  private:
+    StreamingEstimatorConfig config_;
+    StackDistanceProfiler profiler_;
+    std::uint64_t recordsSeen_ = 0;
+};
+
+} // namespace bwwall
+
+#endif // BWWALL_TRACE_STREAMING_ESTIMATOR_HH

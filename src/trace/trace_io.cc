@@ -1,6 +1,8 @@
 #include "trace/trace_io.hh"
 
 #include <array>
+#include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <utility>
 
@@ -13,8 +15,8 @@ namespace {
 
 constexpr char kMagic[4] = {'B', 'W', 'T', 'R'};
 constexpr std::uint32_t kVersion = 1;
-constexpr std::size_t kHeaderBytes = 16;
-constexpr std::size_t kRecordBytes = 12;
+constexpr std::size_t kHeaderBytes = kTraceHeaderBytes;
+constexpr std::size_t kRecordBytes = kTraceRecordBytes;
 /** Declared line sizes above this are treated as corruption. */
 constexpr std::uint32_t kMaxPlausibleLineBytes = 1u << 20;
 
@@ -30,6 +32,51 @@ unpackU32(const std::uint8_t *src)
     std::uint32_t value;
     std::memcpy(&value, src, 4);
     return value;
+}
+
+/** Unpacks one packed 12-byte record (shared by the file reader and
+ * the streaming decoder so the two paths cannot diverge). */
+MemoryAccess
+unpackRecord(const std::uint8_t *record)
+{
+    MemoryAccess access;
+    std::memcpy(&access.address, record, 8);
+    std::uint16_t thread;
+    std::memcpy(&thread, record + 8, 2);
+    access.thread = thread;
+    access.type = record[10] == 0 ? AccessType::Read
+                                  : AccessType::Write;
+    return access;
+}
+
+/** Validates a 16-byte BWTR header; on success stores the line-size
+ * hint.  @p origin names the stream for error messages. */
+Expected<std::uint32_t>
+validateHeader(const std::uint8_t *header, const std::string &origin)
+{
+    if (std::memcmp(header, kMagic, 4) != 0) {
+        return Error{ErrorCategory::InvalidInput,
+                     origin + " is not a bwwall trace stream"};
+    }
+    const std::uint32_t version = unpackU32(header + 4);
+    if (version != kVersion) {
+        return Error{ErrorCategory::InvalidInput,
+                     origin + " has unsupported trace version " +
+                         std::to_string(version)};
+    }
+    if (unpackU32(header + 12) != 0) {
+        return Error{ErrorCategory::InvalidInput,
+                     origin + " has a corrupt header (reserved bytes "
+                              "are not zero)"};
+    }
+    const std::uint32_t hint = unpackU32(header + 8);
+    if (hint == 0 || hint > kMaxPlausibleLineBytes) {
+        return Error{ErrorCategory::InvalidInput,
+                     origin +
+                         " declares an implausible line size of " +
+                         std::to_string(hint) + " bytes"};
+    }
+    return hint;
 }
 
 } // namespace
@@ -112,33 +159,16 @@ readTraceFile(const std::string &path)
     std::array<std::uint8_t, kHeaderBytes> header{};
     in.read(reinterpret_cast<char *>(header.data()),
             static_cast<std::streamsize>(header.size()));
-    if (in.gcount() != static_cast<std::streamsize>(kHeaderBytes) ||
-        std::memcmp(header.data(), kMagic, 4) != 0) {
+    if (in.gcount() != static_cast<std::streamsize>(kHeaderBytes)) {
         return Error{ErrorCategory::InvalidInput,
                      "'" + path + "' is not a bwwall trace file"};
     }
-    const std::uint32_t version = unpackU32(header.data() + 4);
-    if (version != kVersion) {
-        return Error{ErrorCategory::InvalidInput,
-                     "'" + path + "' has unsupported trace version " +
-                         std::to_string(version)};
-    }
-    if (unpackU32(header.data() + 12) != 0) {
-        return Error{ErrorCategory::InvalidInput,
-                     "'" + path +
-                         "' has a corrupt header (reserved bytes "
-                         "are not zero)"};
-    }
+    Expected<std::uint32_t> hint =
+        validateHeader(header.data(), "'" + path + "'");
+    if (!hint)
+        return hint.error();
     TraceFileData data;
-    data.lineBytesHint = unpackU32(header.data() + 8);
-    if (data.lineBytesHint == 0 ||
-        data.lineBytesHint > kMaxPlausibleLineBytes) {
-        return Error{ErrorCategory::InvalidInput,
-                     "'" + path +
-                         "' declares an implausible line size of " +
-                         std::to_string(data.lineBytesHint) +
-                         " bytes"};
-    }
+    data.lineBytesHint = hint.value();
 
     std::array<std::uint8_t, kRecordBytes> record{};
     for (;;) {
@@ -151,20 +181,181 @@ readTraceFile(const std::string &path)
             return Error{ErrorCategory::Io,
                          "'" + path + "' is truncated mid-record"};
         }
-        MemoryAccess access;
-        std::memcpy(&access.address, record.data(), 8);
-        std::uint16_t thread;
-        std::memcpy(&thread, record.data() + 8, 2);
-        access.thread = thread;
-        access.type = record[10] == 0 ? AccessType::Read
-                                      : AccessType::Write;
-        data.records.push_back(access);
+        data.records.push_back(unpackRecord(record.data()));
     }
     if (data.records.empty()) {
         return Error{ErrorCategory::InvalidInput,
                      "'" + path + "' contains no records"};
     }
     return data;
+}
+
+StreamingTraceDecoder::StreamingTraceDecoder(Format format)
+    : format_(format)
+{
+}
+
+Error
+StreamingTraceDecoder::poison(const std::string &message)
+{
+    poisoned_ = true;
+    return Error{ErrorCategory::InvalidInput, message};
+}
+
+Expected<std::size_t>
+StreamingTraceDecoder::drainBinary(std::vector<MemoryAccess> *out)
+{
+    std::size_t appended = 0;
+    std::size_t offset = 0;
+    if (!headerDone_) {
+        if (buffer_.size() < kHeaderBytes)
+            return appended;
+        Expected<std::uint32_t> hint = validateHeader(
+            reinterpret_cast<const std::uint8_t *>(buffer_.data()),
+            "the streamed trace");
+        if (!hint)
+            return poison(hint.error().message);
+        lineBytesHint_ = hint.value();
+        headerDone_ = true;
+        offset = kHeaderBytes;
+    }
+    while (buffer_.size() - offset >= kRecordBytes) {
+        out->push_back(unpackRecord(
+            reinterpret_cast<const std::uint8_t *>(buffer_.data()) +
+            offset));
+        offset += kRecordBytes;
+        ++appended;
+    }
+    buffer_.erase(0, offset);
+    records_ += appended;
+    return appended;
+}
+
+Expected<std::size_t>
+StreamingTraceDecoder::drainText(bool flush_tail,
+                                 std::vector<MemoryAccess> *out)
+{
+    std::size_t appended = 0;
+    std::size_t start = 0;
+    for (;;) {
+        std::size_t end = buffer_.find('\n', start);
+        bool tail = end == std::string::npos;
+        if (tail && !flush_tail)
+            break;
+        if (tail && start >= buffer_.size())
+            break;
+        std::string line = buffer_.substr(
+            start, tail ? std::string::npos : end - start);
+        start = tail ? buffer_.size() : end + 1;
+
+        // Trim, then skip blank lines and # comments.
+        const char *ws = " \t\r";
+        const std::size_t first = line.find_first_not_of(ws);
+        if (first == std::string::npos) {
+            if (tail)
+                break;
+            continue;
+        }
+        line = line.substr(first,
+                           line.find_last_not_of(ws) - first + 1);
+        if (line[0] == '#') {
+            if (tail)
+                break;
+            continue;
+        }
+
+        MemoryAccess access;
+        const char type = line[0];
+        if (type == 'R' || type == 'r')
+            access.type = AccessType::Read;
+        else if (type == 'W' || type == 'w')
+            access.type = AccessType::Write;
+        else {
+            buffer_.erase(0, start);
+            return poison("text trace record must start with R or W: '" +
+                          line + "'");
+        }
+        const char *cursor = line.c_str() + 1;
+        if (*cursor != ' ' && *cursor != '\t') {
+            buffer_.erase(0, start);
+            return poison("text trace record lacks an address: '" +
+                          line + "'");
+        }
+        char *after = nullptr;
+        errno = 0;
+        access.address = std::strtoull(cursor, &after, 0);
+        if (after == cursor || errno == ERANGE) {
+            buffer_.erase(0, start);
+            return poison("unparseable address in text trace record '" +
+                          line + "'");
+        }
+        cursor = after;
+        while (*cursor == ' ' || *cursor == '\t')
+            ++cursor;
+        if (*cursor != '\0') {
+            errno = 0;
+            const unsigned long thread =
+                std::strtoul(cursor, &after, 0);
+            if (after == cursor || errno == ERANGE ||
+                thread > 0xffff || *after != '\0') {
+                buffer_.erase(0, start);
+                return poison(
+                    "unparseable thread in text trace record '" +
+                    line + "'");
+            }
+            access.thread = static_cast<ThreadId>(thread);
+        }
+        out->push_back(access);
+        ++appended;
+        if (tail)
+            break;
+    }
+    buffer_.erase(0, start);
+    records_ += appended;
+    return appended;
+}
+
+Expected<std::size_t>
+StreamingTraceDecoder::feed(const char *data, std::size_t count,
+                            std::vector<MemoryAccess> *out)
+{
+    if (poisoned_) {
+        return Error{ErrorCategory::InvalidInput,
+                     "trace decoder already failed; stream aborted"};
+    }
+    buffer_.append(data, count);
+    if (format_ == Format::Auto) {
+        if (buffer_.size() < 4)
+            return std::size_t(0); // need more lookahead to sniff
+        format_ = std::memcmp(buffer_.data(), kMagic, 4) == 0
+                      ? Format::Binary
+                      : Format::Text;
+    }
+    return format_ == Format::Binary ? drainBinary(out)
+                                     : drainText(false, out);
+}
+
+Expected<std::size_t>
+StreamingTraceDecoder::finish(std::vector<MemoryAccess> *out)
+{
+    if (poisoned_) {
+        return Error{ErrorCategory::InvalidInput,
+                     "trace decoder already failed; stream aborted"};
+    }
+    if (format_ == Format::Auto) {
+        // Too short to sniff: only an empty stream is acceptable.
+        if (buffer_.empty())
+            return std::size_t(0);
+        format_ = Format::Text;
+    }
+    if (format_ == Format::Binary) {
+        if (!headerDone_ && !buffer_.empty())
+            return poison("streamed trace ended mid-header");
+        if (!buffer_.empty())
+            return poison("streamed trace ended mid-record");
+        return std::size_t(0);
+    }
+    return drainText(true, out);
 }
 
 FileTraceSource::FileTraceSource(const std::string &path, bool loop)

@@ -38,6 +38,70 @@ struct TraceFileData
     std::vector<MemoryAccess> records;
 };
 
+/** BWTR wire-format geometry, shared with the streaming decoder. */
+constexpr std::size_t kTraceHeaderBytes = 16;
+constexpr std::size_t kTraceRecordBytes = 12;
+
+/**
+ * Incremental decoder for access-record streams delivered in
+ * arbitrary chunks (the ingestion endpoints feed it network reads).
+ *
+ * Two wire formats share the decoder:
+ *
+ *  - **binary**: the BWTR trace-file format byte for byte (16-byte
+ *    header, packed 12-byte records), so a recorded trace file can be
+ *    streamed as-is;
+ *  - **text**: one record per line, `R <address> [thread]` or
+ *    `W <address> [thread]` with decimal or 0x-prefixed hex
+ *    addresses; blank lines and `#` comments are skipped.
+ *
+ * Format::Auto sniffs the first four bytes ("BWTR" selects binary)
+ * and needs at most one chunk of lookahead.  Chunk boundaries are
+ * arbitrary: headers, records, and lines may split anywhere.  Errors
+ * are InvalidInput and poison the decoder; feeding after an error
+ * keeps failing.
+ */
+class StreamingTraceDecoder
+{
+  public:
+    enum class Format { Auto, Binary, Text };
+
+    explicit StreamingTraceDecoder(Format format = Format::Auto);
+
+    /**
+     * Consumes one chunk, appending every record that completed to
+     * @p out.  Returns the number of records appended.
+     */
+    Expected<std::size_t> feed(const char *data, std::size_t count,
+                               std::vector<MemoryAccess> *out);
+
+    /**
+     * Declares end of stream: fails if the stream stopped mid-header
+     * or mid-record (binary) and flushes a final unterminated line
+     * (text).  Returns the records appended by the flush.
+     */
+    Expected<std::size_t> finish(std::vector<MemoryAccess> *out);
+
+    /** Records decoded over the decoder's lifetime. */
+    std::uint64_t recordsDecoded() const { return records_; }
+
+    /** Line-size hint from a binary header (64 until one arrives). */
+    std::uint32_t lineBytesHint() const { return lineBytesHint_; }
+
+  private:
+    Expected<std::size_t> drainBinary(std::vector<MemoryAccess> *out);
+    Expected<std::size_t> drainText(bool flush_tail,
+                                    std::vector<MemoryAccess> *out);
+    Error poison(const std::string &message);
+
+    Format format_;
+    bool headerDone_ = false;
+    bool poisoned_ = false;
+    std::uint32_t lineBytesHint_ = 64;
+    std::uint64_t records_ = 0;
+    std::string buffer_;
+};
+
 /**
  * Loads and validates @p path.  Errors are classified: a file that
  * cannot be opened or is truncated mid-record is Io; a bad magic, an

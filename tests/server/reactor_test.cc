@@ -59,7 +59,7 @@ TEST(ReactorTest, HoldsFarMoreConnectionsThanComputeThreads)
     for (unsigned round = 0; round < 2; ++round) {
         for (unsigned i = 0; i < kFleet; ++i) {
             ASSERT_TRUE(fleet[i]->perform(
-                {"GET", "/healthz", {}, ""}, &response, &error))
+                {"GET", "/healthz", {}, "", {}}, &response, &error))
                 << "conn " << i << ": " << error;
             EXPECT_EQ(response.status, 200);
         }
@@ -85,11 +85,11 @@ TEST(ReactorTest, ConnectionCapShedsAtAccept)
     HttpClient second("127.0.0.1", server->port());
     HttpClientResponse response;
     std::string error;
-    ASSERT_TRUE(first.perform({"GET", "/healthz", {}, ""},
+    ASSERT_TRUE(first.perform({"GET", "/healthz", {}, "", {}},
                               &response, &error))
         << error;
     EXPECT_EQ(response.status, 200);
-    ASSERT_TRUE(second.perform({"GET", "/healthz", {}, ""},
+    ASSERT_TRUE(second.perform({"GET", "/healthz", {}, "", {}},
                                &response, &error))
         << error;
     EXPECT_EQ(response.status, 200);
@@ -97,7 +97,7 @@ TEST(ReactorTest, ConnectionCapShedsAtAccept)
     // The third connection is refused at the doorstep with the
     // same 503 + Retry-After contract as request-level shedding.
     HttpClient third("127.0.0.1", server->port());
-    ASSERT_TRUE(third.perform({"GET", "/healthz", {}, ""},
+    ASSERT_TRUE(third.perform({"GET", "/healthz", {}, "", {}},
                               &response, &error))
         << error;
     EXPECT_EQ(response.status, 503);
@@ -107,7 +107,7 @@ TEST(ReactorTest, ConnectionCapShedsAtAccept)
     EXPECT_GE(server->metrics().counter("server.shed"), 1u);
 
     // The parked connections still serve.
-    ASSERT_TRUE(first.perform({"GET", "/healthz", {}, ""},
+    ASSERT_TRUE(first.perform({"GET", "/healthz", {}, "", {}},
                               &response, &error))
         << error;
     EXPECT_EQ(response.status, 200);
@@ -186,7 +186,7 @@ TEST(ReactorTest, DrainDoesNotWaitOutIdleConnections)
         fleet.push_back(std::make_unique<HttpClient>(
             "127.0.0.1", server->port()));
         ASSERT_TRUE(fleet.back()->perform(
-            {"GET", "/healthz", {}, ""}, &response, &error))
+            {"GET", "/healthz", {}, "", {}}, &response, &error))
             << error;
     }
     const auto start = std::chrono::steady_clock::now();
@@ -222,7 +222,8 @@ TEST(ReactorTest, ConnectionChurnServesEveryRequest)
                 if (!client.perform(
                         {"POST", "/v1/traffic", {},
                          "{\"cores\":16,\"alpha\":0.5,"
-                         "\"total_ceas\":32}"},
+                         "\"total_ceas\":32}",
+                         {}},
                         &response, &error) ||
                     response.status != 200)
                     failures.fetch_add(1);

@@ -1,0 +1,334 @@
+/**
+ * @file
+ * The streaming-ingestion invariant: a StreamingMissCurveEstimator
+ * fed a trace in chunks — any chunking, empty chunks included — is
+ * bit-identical to the one-shot SHARDS estimator over the
+ * concatenated trace, and the StreamingTraceDecoder reassembles
+ * records across arbitrary byte-level splits.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "cache/miss_curve_estimator.hh"
+#include "trace/power_law_trace.hh"
+#include "trace/streaming_estimator.hh"
+#include "trace/trace_io.hh"
+#include "util/units.hh"
+
+namespace bwwall {
+namespace {
+
+std::vector<MemoryAccess>
+makeRecords(std::size_t count, std::uint64_t seed)
+{
+    PowerLawTraceParams params;
+    params.alpha = 0.45;
+    params.writeLineFraction = 0.3;
+    params.seed = seed;
+    params.warmLines = 1 << 12;
+    params.maxResidentLines = 1 << 13;
+    PowerLawTrace trace(params);
+    std::vector<MemoryAccess> records;
+    records.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        records.push_back(trace.next());
+    return records;
+}
+
+MissCurveSpec
+oneShotSpec(const StreamingEstimatorConfig &config,
+            std::uint64_t measured)
+{
+    MissCurveSpec spec;
+    spec.cache.lineBytes = config.lineBytes;
+    spec.cache.associativity = config.associativity;
+    spec.capacities = config.capacities;
+    spec.warmupAccesses = config.warmupAccesses;
+    spec.measuredAccesses = measured;
+    spec.kind = MissCurveEstimatorKind::SampledStackDistance;
+    spec.sampleRate = config.sampleRate;
+    spec.maxSampledLines = config.maxSampledLines;
+    spec.seed = config.seed;
+    return spec;
+}
+
+/** One-shot SHARDS over the whole record vector. */
+MissCurve
+oneShotCurve(const std::vector<MemoryAccess> &records,
+             const StreamingEstimatorConfig &config)
+{
+    TraceFileData data;
+    data.lineBytesHint = config.lineBytes;
+    data.records = records;
+    FileTraceSource source(std::move(data), "memory", false);
+    return estimateMissCurve(
+        source, oneShotSpec(config,
+                            records.size() -
+                                config.warmupAccesses));
+}
+
+void
+expectBitIdentical(const MissCurve &expected,
+                   const StreamingSnapshot &snapshot)
+{
+    ASSERT_EQ(expected.points.size(), snapshot.points.size());
+    for (std::size_t i = 0; i < expected.points.size(); ++i) {
+        EXPECT_EQ(expected.points[i].capacityBytes,
+                  snapshot.points[i].capacityBytes);
+        EXPECT_EQ(expected.points[i].missRate,
+                  snapshot.points[i].missRate);
+        EXPECT_EQ(expected.points[i].writebackRatio,
+                  snapshot.points[i].writebackRatio);
+        EXPECT_EQ(expected.points[i].trafficBytesPerAccess,
+                  snapshot.points[i].trafficBytesPerAccess);
+    }
+}
+
+StreamingEstimatorConfig
+baseConfig()
+{
+    StreamingEstimatorConfig config;
+    config.lineBytes = 64;
+    config.associativity = 8;
+    config.capacities = capacityLadder(4 * kKiB, 64 * kKiB);
+    config.warmupAccesses = 10000;
+    config.sampleRate = 0.5;
+    config.seed = 7;
+    return config;
+}
+
+TEST(StreamingEstimatorTest, RandomChunkingMatchesOneShot)
+{
+    const std::vector<MemoryAccess> records =
+        makeRecords(60000, 11);
+    const StreamingEstimatorConfig config = baseConfig();
+    const MissCurve expected = oneShotCurve(records, config);
+
+    std::mt19937_64 rng(99);
+    for (int round = 0; round < 3; ++round) {
+        StreamingMissCurveEstimator streaming(config);
+        std::size_t offset = 0;
+        while (offset < records.size()) {
+            // Chunk sizes from 0 (empty append) to ~4093 records.
+            const std::size_t step = std::min<std::size_t>(
+                rng() % 4094, records.size() - offset);
+            streaming.append(records.data() + offset, step);
+            offset += step;
+        }
+        const StreamingSnapshot snapshot = streaming.snapshot();
+        EXPECT_EQ(records.size(), snapshot.recordsSeen);
+        expectBitIdentical(expected, snapshot);
+    }
+}
+
+TEST(StreamingEstimatorTest, SingleRecordChunksMatchOneShot)
+{
+    const std::vector<MemoryAccess> records =
+        makeRecords(30000, 12);
+    StreamingEstimatorConfig config = baseConfig();
+    // Warm-up boundary lands mid-stream: the reset must happen at
+    // exactly the same record regardless of chunking.
+    config.warmupAccesses = 7777;
+    const MissCurve expected = oneShotCurve(records, config);
+
+    StreamingMissCurveEstimator streaming(config);
+    for (const MemoryAccess &record : records)
+        streaming.append(&record, 1);
+    expectBitIdentical(expected, streaming.snapshot());
+}
+
+TEST(StreamingEstimatorTest, FixedSizeModeMatchesOneShot)
+{
+    const std::vector<MemoryAccess> records =
+        makeRecords(50000, 13);
+    StreamingEstimatorConfig config = baseConfig();
+    // R_max mode: the hard memory bound for unbounded streams.
+    config.sampleRate = 1.0;
+    config.maxSampledLines = 512;
+    const MissCurve expected = oneShotCurve(records, config);
+
+    StreamingMissCurveEstimator streaming(config);
+    streaming.append(records.data(), 17);
+    streaming.append(records.data() + 17, 0);
+    streaming.append(records.data() + 17, records.size() - 17);
+    expectBitIdentical(expected, streaming.snapshot());
+}
+
+TEST(StreamingEstimatorTest, SnapshotThenContinueStaysIdentical)
+{
+    const std::vector<MemoryAccess> records =
+        makeRecords(40000, 14);
+    const StreamingEstimatorConfig config = baseConfig();
+
+    StreamingMissCurveEstimator streaming(config);
+    streaming.append(records.data(), records.size() / 2);
+    // A mid-stream readout must not disturb later snapshots.
+    const StreamingSnapshot mid = streaming.snapshot();
+    EXPECT_EQ(records.size() / 2, mid.recordsSeen);
+    streaming.append(records.data() + records.size() / 2,
+                     records.size() - records.size() / 2);
+
+    expectBitIdentical(oneShotCurve(records, config),
+                       streaming.snapshot());
+}
+
+TEST(StreamingEstimatorTest, AlphaMatchesOneShotFit)
+{
+    const std::vector<MemoryAccess> records =
+        makeRecords(60000, 15);
+    const StreamingEstimatorConfig config = baseConfig();
+    const MissCurve expected = oneShotCurve(records, config);
+
+    StreamingMissCurveEstimator streaming(config);
+    streaming.append(records);
+    const StreamingSnapshot snapshot = streaming.snapshot();
+    ASSERT_TRUE(snapshot.fitValid);
+    const PowerLawFit fit = expected.fit();
+    EXPECT_EQ(-fit.exponent, snapshot.alpha);
+    EXPECT_EQ(fit.rSquared, snapshot.fitRSquared);
+}
+
+TEST(StreamingEstimatorTest, EmptyStreamHasNoFit)
+{
+    StreamingMissCurveEstimator streaming(baseConfig());
+    const StreamingSnapshot snapshot = streaming.snapshot();
+    EXPECT_EQ(0u, snapshot.recordsSeen);
+    EXPECT_FALSE(snapshot.fitValid);
+    for (const StreamingCurvePoint &point : snapshot.points)
+        EXPECT_EQ(0.0, point.missRate);
+}
+
+// ---------------------------------------------------------------
+// StreamingTraceDecoder: byte-split reassembly.
+
+std::string
+binaryWire(const std::vector<MemoryAccess> &records)
+{
+    std::string wire;
+    wire += "BWTR";
+    const std::uint32_t version = 1;
+    const std::uint32_t line_bytes = 64;
+    wire.append(reinterpret_cast<const char *>(&version), 4);
+    wire.append(reinterpret_cast<const char *>(&line_bytes), 4);
+    wire.append(4, '\0');
+    for (const MemoryAccess &record : records) {
+        const std::uint64_t address = record.address;
+        const std::uint16_t thread =
+            static_cast<std::uint16_t>(record.thread);
+        const std::uint8_t type =
+            record.type == AccessType::Write ? 1 : 0;
+        wire.append(reinterpret_cast<const char *>(&address), 8);
+        wire.append(reinterpret_cast<const char *>(&thread), 2);
+        wire.append(reinterpret_cast<const char *>(&type), 1);
+        wire.append(1, '\0');
+    }
+    return wire;
+}
+
+TEST(StreamingTraceDecoderTest, BinarySplitAtEveryByte)
+{
+    const std::vector<MemoryAccess> records = {
+        {0x1000, AccessType::Read, 0},
+        {0x2040, AccessType::Write, 3},
+        {0xfff80, AccessType::Read, 1},
+    };
+    const std::string wire = binaryWire(records);
+    for (std::size_t split = 0; split <= wire.size(); ++split) {
+        StreamingTraceDecoder decoder;
+        std::vector<MemoryAccess> decoded;
+        ASSERT_TRUE(decoder.feed(wire.data(), split, &decoded)
+                        .ok());
+        ASSERT_TRUE(decoder
+                        .feed(wire.data() + split,
+                              wire.size() - split, &decoded)
+                        .ok());
+        ASSERT_TRUE(decoder.finish(&decoded).ok());
+        ASSERT_EQ(records.size(), decoded.size());
+        for (std::size_t i = 0; i < records.size(); ++i) {
+            EXPECT_EQ(records[i].address, decoded[i].address);
+            EXPECT_EQ(records[i].type, decoded[i].type);
+            EXPECT_EQ(records[i].thread, decoded[i].thread);
+        }
+        EXPECT_EQ(64u, decoder.lineBytesHint());
+    }
+}
+
+TEST(StreamingTraceDecoderTest, TextRecordsAcrossChunks)
+{
+    const std::string wire =
+        "# comment\nR 0x1000\nW 0x2040 3\n\nR 4096\nW 0x80";
+    StreamingTraceDecoder decoder(
+        StreamingTraceDecoder::Format::Text);
+    std::vector<MemoryAccess> decoded;
+    // Split mid-line: the half-read line waits for its newline.
+    ASSERT_TRUE(decoder.feed(wire.data(), 15, &decoded).ok());
+    ASSERT_TRUE(decoder
+                    .feed(wire.data() + 15, wire.size() - 15,
+                          &decoded)
+                    .ok());
+    // The trailing unterminated "W 0x80" flushes on finish().
+    ASSERT_TRUE(decoder.finish(&decoded).ok());
+    ASSERT_EQ(4u, decoded.size());
+    EXPECT_EQ(0x1000u, decoded[0].address);
+    EXPECT_EQ(AccessType::Read, decoded[0].type);
+    EXPECT_EQ(0x2040u, decoded[1].address);
+    EXPECT_EQ(AccessType::Write, decoded[1].type);
+    EXPECT_EQ(3u, decoded[1].thread);
+    EXPECT_EQ(4096u, decoded[2].address);
+    EXPECT_EQ(0x80u, decoded[3].address);
+}
+
+TEST(StreamingTraceDecoderTest, AutoDetectsBothFormats)
+{
+    {
+        StreamingTraceDecoder decoder;
+        std::vector<MemoryAccess> decoded;
+        const std::string wire = "R 0x40\n";
+        ASSERT_TRUE(
+            decoder.feed(wire.data(), wire.size(), &decoded)
+                .ok());
+        EXPECT_EQ(1u, decoded.size());
+    }
+    {
+        const std::string wire =
+            binaryWire({{0x40, AccessType::Read, 0}});
+        StreamingTraceDecoder decoder;
+        std::vector<MemoryAccess> decoded;
+        ASSERT_TRUE(
+            decoder.feed(wire.data(), wire.size(), &decoded)
+                .ok());
+        EXPECT_EQ(1u, decoded.size());
+    }
+}
+
+TEST(StreamingTraceDecoderTest, ErrorsPoisonTheStream)
+{
+    StreamingTraceDecoder decoder(
+        StreamingTraceDecoder::Format::Text);
+    std::vector<MemoryAccess> decoded;
+    const std::string bad = "X 0x40\n";
+    EXPECT_FALSE(
+        decoder.feed(bad.data(), bad.size(), &decoded).ok());
+    const std::string good = "R 0x40\n";
+    EXPECT_FALSE(
+        decoder.feed(good.data(), good.size(), &decoded).ok());
+}
+
+TEST(StreamingTraceDecoderTest, FinishMidRecordFails)
+{
+    const std::string wire =
+        binaryWire({{0x40, AccessType::Read, 0}});
+    StreamingTraceDecoder decoder;
+    std::vector<MemoryAccess> decoded;
+    ASSERT_TRUE(
+        decoder.feed(wire.data(), wire.size() - 3, &decoded)
+            .ok());
+    EXPECT_FALSE(decoder.finish(&decoded).ok());
+}
+
+} // namespace
+} // namespace bwwall
