@@ -25,6 +25,16 @@
  * phase 1.  CI gates server.max_keepalive_connections and the
  * fleet-vs-threads capacity ratio (>= 5x).
  *
+ * Phase 4 (three-node cluster, docs/CLUSTER.md): starts three more
+ * in-process servers, forms them into a consistent-hash cluster
+ * (configureCluster after start(), once the ephemeral ports are
+ * known), and gates the cluster invariants under load: every
+ * remote-owned miss fills from its owner (peer-fill hit ratio 1),
+ * a hot key stormed across all three nodes computes exactly once
+ * cluster-wide, every node's answer is byte-identical to the
+ * single-node reference, and the warm cluster p99 stays in the
+ * single-node cache-hit band.
+ *
  * CI gates all phases with slack through the --json MetricsRegistry
  * report (see .github/workflows/ci.yml, bench-smoke).
  */
@@ -40,6 +50,7 @@
 #include <vector>
 
 #include "bench/bench_util.hh"
+#include "server/cluster.hh"
 #include "server/http_client.hh"
 #include "server/reactor.hh"
 #include "server/server.hh"
@@ -61,10 +72,12 @@ struct LoadResult
 /**
  * Closed loop: @p threads clients round-robin over @p bodies until
  * @p totalRequests have been sent (0 = unlimited) or @p maxSeconds
- * elapse.  Every response must be HTTP 200.
+ * elapse.  Every response must be HTTP 200.  Thread t drives
+ * @p ports [t % size], so a multi-port fleet spreads the clients
+ * across every node at once (single-node phases pass one port).
  */
 LoadResult
-runLoad(std::uint16_t port, unsigned threads,
+runLoad(const std::vector<std::uint16_t> &ports, unsigned threads,
         const std::string &path,
         const std::vector<std::string> &bodies,
         std::uint64_t totalRequests, double maxSeconds)
@@ -80,7 +93,8 @@ runLoad(std::uint16_t port, unsigned threads,
     clients.reserve(threads);
     for (unsigned t = 0; t < threads; ++t) {
         clients.emplace_back([&, t] {
-            HttpClient client("127.0.0.1", port);
+            HttpClient client("127.0.0.1",
+                              ports[t % ports.size()]);
             HttpClient::Request probe;
             probe.method = "POST";
             probe.target = path;
@@ -560,7 +574,7 @@ main(int argc, char **argv)
         "\"techniques\":[{\"label\":\"CC\","
         "\"assumption\":\"realistic\"}]}"};
     const LoadResult hits = runLoad(
-        port, threads, "/v1/traffic", traffic_body, 0, seconds);
+        {port}, threads, "/v1/traffic", traffic_body, 0, seconds);
     const double hit_qps = qps(hits);
     const double hit_p50_ms =
         latencyQuantile(hits.latencies, 0.50) * 1e3;
@@ -576,10 +590,11 @@ main(int argc, char **argv)
         sweepBodies(sweeps, accesses);
     server.cache().invalidateAll();
     const LoadResult cold = runLoad(
-        port, threads, "/v1/sweep", bodies, bodies.size(), 600.0);
+        {port}, threads, "/v1/sweep", bodies, bodies.size(),
+        600.0);
     const std::uint64_t warm_rounds = 20;
     const LoadResult warm =
-        runLoad(port, threads, "/v1/sweep", bodies,
+        runLoad({port}, threads, "/v1/sweep", bodies,
                 bodies.size() * warm_rounds, 600.0);
     const double cold_qps = qps(cold);
     const double warm_qps = qps(warm);
@@ -608,6 +623,130 @@ main(int argc, char **argv)
               << "x the blocking server's " << threads
               << "), probe p99 " << capacity_p99_ms << " ms\n";
 
+    // Phase 4: a three-node consistent-hash cluster over the same
+    // model queries, with the phase-1 server as the single-node
+    // reference (docs/CLUSTER.md).
+    std::vector<std::unique_ptr<BwwallServer>> nodes;
+    std::vector<std::uint16_t> node_ports;
+    std::vector<std::string> members;
+    for (int i = 0; i < 3; ++i) {
+        ServerConfig node_config;
+        node_config.port = 0;
+        node_config.threads = threads;
+        nodes.push_back(
+            std::make_unique<BwwallServer>(node_config));
+        nodes.back()->start();
+        node_ports.push_back(nodes.back()->port());
+        members.push_back(
+            "127.0.0.1:" +
+            std::to_string(nodes.back()->port()));
+    }
+    ClusterConfig cluster_config;
+    cluster_config.peers = members;
+    cluster_config.peerDeadlineMs = 5000;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        cluster_config.self = members[i];
+        nodes[i]->configureCluster(cluster_config);
+    }
+
+    // 4a: distinct solves posted to node 0 only.  Roughly 2/3 of
+    // the keys are owned elsewhere, so they must fill from their
+    // owners; with every peer up the fill hit ratio is 1.
+    std::vector<std::string> fill_bodies;
+    for (std::size_t i = 0; i < sweeps * 4; ++i) {
+        fill_bodies.push_back("{\"alpha\":0." +
+                              std::to_string(100 + i) + "}");
+    }
+    runLoad({node_ports[0]}, threads, "/v1/solve", fill_bodies,
+            fill_bodies.size(), 600.0);
+    const std::uint64_t fill_attempts =
+        nodes[0]->metrics().counter("cluster.peer_fill.attempts");
+    const std::uint64_t fill_hits =
+        nodes[0]->metrics().counter("cluster.peer_fill.hits");
+    const double fill_hit_ratio =
+        fill_attempts > 0
+            ? static_cast<double>(fill_hits) /
+                  static_cast<double>(fill_attempts)
+            : 0.0;
+    const double remote_share =
+        static_cast<double>(fill_attempts) /
+        static_cast<double>(fill_bodies.size());
+
+    // 4b: one hot key stormed across all three nodes at once.  The
+    // owner computes; the other two fill from it; the cluster-wide
+    // compute count (owned + local fallbacks) must be exactly 1.
+    const std::string hot_body =
+        "{\"kind\":\"miss_curve\",\"estimator\":\"stack\","
+        "\"size_kib\":128,\"warm\":0,\"accesses\":" +
+        std::to_string(accesses) + ",\"seed\":9001}";
+    const auto clusterComputes = [&nodes] {
+        std::uint64_t total = 0;
+        for (const auto &node : nodes) {
+            total +=
+                node->metrics().counter(
+                    "cluster.requests.owned") +
+                node->metrics().counter(
+                    "cluster.local_fallback_computes");
+        }
+        return total;
+    };
+    const std::uint64_t computes_before = clusterComputes();
+    runLoad(node_ports, threads, "/v1/sweep", {hot_body},
+            static_cast<std::uint64_t>(threads) * 8, 600.0);
+    const std::uint64_t hot_key_computes =
+        clusterComputes() - computes_before;
+
+    // 4c: byte identity — every node's answer for the hot key and
+    // a sample of the solves must equal the single-node reference.
+    double value_identity = 1.0;
+    {
+        std::vector<std::string> probes = {hot_body};
+        for (std::size_t i = 0;
+             i < fill_bodies.size() && i < 8; ++i)
+            probes.push_back(fill_bodies[i]);
+        HttpClient reference("127.0.0.1", port);
+        HttpClientResponse expected;
+        HttpClientResponse got;
+        std::string error;
+        for (const std::string &probe : probes) {
+            const std::string path =
+                probe.find("miss_curve") != std::string::npos
+                    ? "/v1/sweep"
+                    : "/v1/solve";
+            if (!reference.post(path, probe, &expected, &error))
+                fatal("perf_server cluster reference: ", error);
+            for (const std::uint16_t node_port : node_ports) {
+                HttpClient client("127.0.0.1", node_port);
+                if (!client.post(path, probe, &got, &error))
+                    fatal("perf_server cluster probe: ", error);
+                if (got.status != 200 ||
+                    got.body != expected.body)
+                    value_identity = 0.0;
+            }
+        }
+    }
+
+    // 4d: warm cluster latency — the hot key is cached on every
+    // node now, so cache-hit p99 across the fleet must stay in the
+    // single-node band.
+    const LoadResult cluster_hits = runLoad(
+        node_ports, threads, "/v1/sweep", {hot_body}, 0, seconds);
+    const double cluster_p99_ms =
+        latencyQuantile(cluster_hits.latencies, 0.99) * 1e3;
+    const double cluster_p99_vs_single =
+        hit_p99_ms > 0.0 ? cluster_p99_ms / hit_p99_ms : 0.0;
+    std::cout << "cluster: 3 nodes, fill hit ratio "
+              << fill_hit_ratio << " (" << fill_attempts
+              << " fills, remote share " << remote_share
+              << "), hot-key computes " << hot_key_computes
+              << ", value identity " << value_identity
+              << ", warm p99 " << cluster_p99_ms << " ms ("
+              << cluster_p99_vs_single << "x single-node)\n";
+
+    for (const auto &node : nodes)
+        node->stop();
+    nodes.clear();
+
     server.stop();
 
     MetricsRegistry metrics;
@@ -628,6 +767,23 @@ main(int argc, char **argv)
     metrics.setGauge("perf_server.sweep.cold_qps", cold_qps);
     metrics.setGauge("perf_server.sweep.warm_qps", warm_qps);
     metrics.setGauge("perf_server.sweep.warm_over_cold", ratio);
+    metrics.setGauge("perf_server.cluster.nodes", 3.0);
+    metrics.addCounter("perf_server.cluster.fill.attempts",
+                       fill_attempts);
+    metrics.addCounter("perf_server.cluster.fill.hits",
+                       fill_hits);
+    metrics.setGauge("perf_server.cluster.fill.hit_ratio",
+                     fill_hit_ratio);
+    metrics.setGauge("perf_server.cluster.fill.remote_share",
+                     remote_share);
+    metrics.setGauge("perf_server.cluster.hot_key_computes",
+                     static_cast<double>(hot_key_computes));
+    metrics.setGauge("perf_server.cluster.value_identity",
+                     value_identity);
+    metrics.setGauge("perf_server.cluster.p99_ms",
+                     cluster_p99_ms);
+    metrics.setGauge("perf_server.cluster.p99_vs_single",
+                     cluster_p99_vs_single);
     emitMetricsJson(metrics, options);
     return 0;
 }

@@ -1,0 +1,391 @@
+/**
+ * @file
+ * bwwall_router: a thin consistent-hash front for a bwwalld
+ * cluster (docs/CLUSTER.md).
+ *
+ * The router holds the same rendezvous shard map as the nodes —
+ * built from the same --peers list — and forwards each model query
+ * to the node that owns its canonical cache key, so a fleet of
+ * clients needs no cluster awareness at all.  It is deliberately
+ * stateless: no cache, no model code, one upstream exchange per
+ * request.  When the owner is unreachable it walks the key's
+ * rendezvous failover order (the exact map the surviving nodes
+ * agree on among themselves), so killing a node mid-storm costs
+ * retries, not errors.
+ *
+ * Endpoints:
+ *   POST /v1/{traffic,solve,sweep,batch}  forwarded to the owner
+ *   GET  /v1/cluster   the router's own shard-map view
+ *   GET  /healthz      local liveness ("kind":"router")
+ *   GET  /metrics      local router.* counters
+ *   anything else      404 (the router fronts model queries only)
+ *
+ * Examples:
+ *   bwwall_router --port 8090 \
+ *       --peers 127.0.0.1:8081,127.0.0.1:8082,127.0.0.1:8083
+ *   curl -s -X POST localhost:8090/v1/solve -d '{"alpha":0.5}'
+ */
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <arpa/inet.h>
+#include <atomic>
+#include <csignal>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "server/cluster.hh"
+#include "server/http.hh"
+#include "server/http_client.hh"
+#include "server/json.hh"
+#include "server/model_service.hh"
+#include "util/cli.hh"
+#include "util/error.hh"
+#include "util/logging.hh"
+#include "util/metrics.hh"
+
+using namespace bwwall;
+
+namespace {
+
+/** Everything the connection threads share. */
+struct Router
+{
+    std::unique_ptr<Cluster> cluster;
+    MetricsRegistry metrics;
+    double deadlineMs = 10000.0;
+    unsigned attemptsPerNode = 2;
+    bool logRequests = false;
+};
+
+/**
+ * Forwards @p request to the owner of its canonical key, walking
+ * the rendezvous failover order while nodes are unreachable.
+ */
+HttpResponse
+routeModelQuery(Router &router, const HttpRequest &request)
+{
+    JsonValue body;
+    std::string parse_error;
+    if (!JsonValue::parse(request.body.empty() ? "{}"
+                                               : request.body,
+                          &body, &parse_error))
+        return httpErrorResponseFor(
+            {ErrorCategory::InvalidInput,
+             "malformed JSON body: " + parse_error});
+    if (!body.isObject())
+        return httpErrorResponseFor(
+            {ErrorCategory::InvalidInput,
+             "request body must be a JSON object"});
+
+    // The same key the nodes shard and cache on, so router and
+    // cluster agree on ownership by construction.
+    const std::string key =
+        canonicalCacheKey(request.path, body);
+    const std::string canonical = body.dump();
+    const Cluster &cluster = *router.cluster;
+    const std::vector<std::size_t> order =
+        cluster.preferenceOrder(key);
+
+    HttpClient::Request upstream;
+    upstream.method = "POST";
+    upstream.target = request.path;
+    upstream.body = canonical;
+    // Client deadline and trace opt-in ride through unchanged.
+    for (const char *header :
+         {"x-bwwall-deadline-ms", "x-bwwall-trace"}) {
+        const auto value = request.headers.find(header);
+        if (value != request.headers.end())
+            upstream.headers[header] = value->second;
+    }
+
+    std::string last_error;
+    for (std::size_t rank = 0; rank < order.size(); ++rank) {
+        const std::string &node = cluster.nodes()[order[rank]];
+        const std::size_t colon = node.rfind(':');
+        HttpClient client(
+            node.substr(0, colon),
+            static_cast<std::uint16_t>(
+                std::stoul(node.substr(colon + 1))));
+        client.setConnectTimeoutMs(
+            cluster.config().connectTimeoutMs);
+        HttpRetryPolicy policy;
+        policy.maxAttempts = router.attemptsPerNode;
+        policy.initialBackoffMs = 10.0;
+        policy.maxBackoffMs = 100.0;
+        policy.retryPosts = true;
+        policy.budget = 1u << 20;
+        policy.seed = rendezvousHash(key) ^ rank;
+        client.setRetryPolicy(policy);
+        HttpClient::RequestOptions options;
+        options.retry = true;
+        options.deadlineMs = router.deadlineMs;
+        HttpClientResponse response;
+        if (client.perform(upstream, options, &response,
+                           &last_error)) {
+            if (rank != 0)
+                router.metrics.addCounter("router.failovers");
+            router.metrics.addCounter("router.forwarded");
+            HttpResponse out;
+            out.status = response.status;
+            out.body = response.body;
+            const auto type =
+                response.headers.find("content-type");
+            if (type != response.headers.end())
+                out.contentType = type->second;
+            out.headers["X-BWWall-Routed-To"] = node;
+            return out;
+        }
+        router.metrics.addCounter("router.node_unreachable");
+    }
+    router.metrics.addCounter("router.upstream_failures");
+    return httpErrorResponseFor(
+        {ErrorCategory::Io,
+         "no cluster node reachable: " + last_error});
+}
+
+HttpResponse
+dispatch(Router &router, const HttpRequest &request)
+{
+    router.metrics.addCounter("router.requests");
+    if (request.path == "/healthz") {
+        JsonValue payload = JsonValue::makeObject();
+        payload.set("status", JsonValue("ok"));
+        payload.set("kind", JsonValue("router"));
+        HttpResponse response;
+        response.body = payload.dump();
+        response.body += '\n';
+        return response;
+    }
+    if (request.path == "/metrics") {
+        std::ostringstream oss;
+        router.metrics.writeText(oss);
+        HttpResponse response;
+        response.contentType = "text/plain";
+        response.body = oss.str();
+        return response;
+    }
+    if (request.path == "/v1/cluster") {
+        HttpResponse response;
+        response.body = router.cluster->statusJson().dump();
+        response.body += '\n';
+        return response;
+    }
+    if (isModelQueryPath(request.path)) {
+        if (request.method != "POST")
+            return httpErrorResponse(
+                405, "model queries are POST requests");
+        return routeModelQuery(router, request);
+    }
+    return httpErrorResponse(
+        404, "unknown path '" + request.path +
+                 "' (the router fronts model queries)");
+}
+
+/** Writes all of @p wire to @p fd; false on a dead peer. */
+bool
+sendAll(int fd, const std::string &wire)
+{
+    std::size_t sent = 0;
+    while (sent < wire.size()) {
+        const ssize_t n =
+            send(fd, wire.data() + sent, wire.size() - sent,
+                 MSG_NOSIGNAL);
+        if (n <= 0)
+            return false;
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/** One keep-alive connection: parse, dispatch, respond, repeat. */
+void
+serveConnection(Router &router, int fd)
+{
+    HttpLimits limits;
+    HttpParser parser(limits);
+    char buffer[16 << 10];
+    for (;;) {
+        HttpRequest request;
+        const HttpParseStatus status = parser.poll(&request);
+        if (status == HttpParseStatus::NeedMore) {
+            const ssize_t n =
+                recv(fd, buffer, sizeof(buffer), 0);
+            if (n <= 0)
+                break;
+            parser.append(buffer, static_cast<std::size_t>(n));
+            continue;
+        }
+        HttpResponse response;
+        bool close_after = false;
+        if (status == HttpParseStatus::Ok) {
+            response = dispatch(router, request);
+            close_after = !request.keepAlive;
+            if (router.logRequests)
+                inform(request.method, ' ', request.target,
+                       " -> ", response.status);
+        } else {
+            response = httpErrorResponse(
+                status == HttpParseStatus::TooLarge ? 413 : 400,
+                "malformed request");
+            close_after = true;
+        }
+        response.close = close_after;
+        if (!sendAll(fd, serializeHttpResponse(response)) ||
+            close_after)
+            break;
+    }
+    close(fd);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string bind_address = "127.0.0.1";
+    std::uint64_t port = 8090;
+    std::string peers;
+    std::uint64_t peer_deadline_ms = 10000;
+    std::uint64_t peer_attempts = 2;
+    std::uint64_t connect_timeout_ms = 250;
+    bool log_requests = false;
+
+    CliParser parser("bwwall_router",
+                     "consistent-hash router fronting a bwwalld "
+                     "cluster (no cache, no model code)");
+    parser.addOption("--bind", &bind_address, "ADDR",
+                     "bind address");
+    parser.addOption("--port", &port, "PORT",
+                     "TCP port (0 = ephemeral)");
+    parser.addOption("--peers", &peers, "LIST",
+                     "cluster membership as host:port,host:port,"
+                     "... (the same list every node was started "
+                     "with)");
+    parser.addOption("--peer-deadline-ms", &peer_deadline_ms,
+                     "MS",
+                     "total upstream budget per forwarded "
+                     "request");
+    parser.addOption("--peer-attempts", &peer_attempts, "N",
+                     "attempts per node before failing over");
+    parser.addOption("--connect-timeout-ms", &connect_timeout_ms,
+                     "MS", "per-attempt connect() bound");
+    parser.addFlag("--log-requests", &log_requests,
+                   "log one line per routed request");
+    parser.parseOrExit(argc, argv);
+
+    if (port > 65535)
+        parser.usageError("--port must be at most 65535");
+    if (peers.empty())
+        parser.usageError("--peers is required");
+
+    Router router;
+    ClusterConfig cluster_config;
+    std::string peer_error;
+    if (!parsePeerList(peers, &cluster_config.peers,
+                       &peer_error))
+        parser.usageError("--peers: " + peer_error);
+    cluster_config.peerDeadlineMs =
+        static_cast<unsigned>(peer_deadline_ms);
+    cluster_config.peerAttempts =
+        static_cast<unsigned>(peer_attempts);
+    cluster_config.connectTimeoutMs =
+        static_cast<unsigned>(connect_timeout_ms);
+    try {
+        router.cluster = std::make_unique<Cluster>(
+            cluster_config, &router.metrics);
+    } catch (const BadRequest &e) {
+        parser.usageError(e.what());
+    }
+    router.deadlineMs = static_cast<double>(peer_deadline_ms);
+    router.attemptsPerNode =
+        static_cast<unsigned>(peer_attempts);
+    router.logRequests = log_requests;
+
+    // Route SIGINT/SIGTERM to sigwait below (bwwalld's pattern).
+    sigset_t signals;
+    sigemptyset(&signals);
+    sigaddset(&signals, SIGINT);
+    sigaddset(&signals, SIGTERM);
+    pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+    const int listen_fd =
+        socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listen_fd < 0)
+        panic("socket: ", std::strerror(errno));
+    const int enable = 1;
+    setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &enable,
+               sizeof(enable));
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (inet_pton(AF_INET, bind_address.c_str(),
+                  &address.sin_addr) != 1)
+        parser.usageError("--bind: unusable address '" +
+                          bind_address + "'");
+    if (bind(listen_fd,
+             reinterpret_cast<const sockaddr *>(&address),
+             sizeof(address)) != 0)
+        panic("bind ", bind_address, ":", port, ": ",
+              std::strerror(errno));
+    if (listen(listen_fd, 128) != 0)
+        panic("listen: ", std::strerror(errno));
+    socklen_t address_len = sizeof(address);
+    getsockname(listen_fd,
+                reinterpret_cast<sockaddr *>(&address),
+                &address_len);
+
+    std::atomic<bool> stopping{false};
+    std::vector<std::thread> connections;
+    std::mutex connections_mutex;
+    std::thread acceptor([&] {
+        for (;;) {
+            const int fd = accept(listen_fd, nullptr, nullptr);
+            if (fd < 0) {
+                if (stopping.load())
+                    break;
+                continue;
+            }
+            const int nodelay = 1;
+            setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay,
+                       sizeof(nodelay));
+            std::lock_guard<std::mutex> lock(connections_mutex);
+            connections.emplace_back(
+                [&router, fd] { serveConnection(router, fd); });
+        }
+    });
+
+    // Machine-readable port line for scripts driving --port 0.
+    std::cout << "bwwall_router listening on " << bind_address
+              << ":" << ntohs(address.sin_port) << " ("
+              << router.cluster->nodeCount() << " node"
+              << (router.cluster->nodeCount() == 1 ? "" : "s")
+              << ")" << std::endl;
+
+    int signal_number = 0;
+    sigwait(&signals, &signal_number);
+    inform("received ",
+           signal_number == SIGTERM ? "SIGTERM" : "SIGINT",
+           "; draining");
+    stopping.store(true);
+    shutdown(listen_fd, SHUT_RDWR);
+    close(listen_fd);
+    acceptor.join();
+    {
+        std::lock_guard<std::mutex> lock(connections_mutex);
+        for (std::thread &connection : connections)
+            connection.join();
+    }
+    inform("bwwall_router drained: routed ",
+           router.metrics.counter("router.forwarded"),
+           " request(s)");
+    return 0;
+}

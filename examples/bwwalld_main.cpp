@@ -15,6 +15,7 @@
  *   curl -s -X POST localhost:8080/v1/solve -d '{"alpha":0.5}'
  */
 
+#include <algorithm>
 #include <csignal>
 #include <iostream>
 
@@ -47,6 +48,10 @@ main(int argc, char **argv)
     double ingest_ttl_seconds = 300.0;
     double shed_p99_ms = 0.0;
     bool degrade = false;
+    std::string peers;
+    std::string self;
+    std::uint64_t peer_deadline_ms = 1000;
+    std::uint64_t peer_attempts = 2;
     std::string faults;
     std::string metrics_json;
     bool log_requests = false;
@@ -103,6 +108,18 @@ main(int argc, char **argv)
     parser.addFlag("--degrade", &degrade,
                    "serve pressed sweeps at reduced resolution "
                    "instead of shedding them");
+    parser.addOption("--peers", &peers, "LIST",
+                     "cluster membership as host:port,host:port,"
+                     "... (every node passes the same list; empty "
+                     "= single-node)");
+    parser.addOption("--self", &self, "HOST:PORT",
+                     "this node's entry in --peers (spelled "
+                     "identically)");
+    parser.addOption("--peer-deadline-ms", &peer_deadline_ms,
+                     "MS",
+                     "wall-clock budget of one peer cache fill");
+    parser.addOption("--peer-attempts", &peer_attempts, "N",
+                     "attempts per peer fill, the first included");
     parser.addOption("--faults", &faults, "PLAN",
                      "deterministic fault-injection plan, e.g. "
                      "'seed=7;http.read=prob:0.01' (also via "
@@ -145,6 +162,27 @@ main(int argc, char **argv)
     config.ingestTtlSeconds = ingest_ttl_seconds;
     config.shedP99Ms = shed_p99_ms;
     config.degradeSweeps = degrade;
+    if (!peers.empty()) {
+        std::string peer_error;
+        if (!parsePeerList(peers, &config.cluster.peers,
+                           &peer_error))
+            parser.usageError("--peers: " + peer_error);
+        if (self.empty())
+            parser.usageError(
+                "--peers requires --self HOST:PORT");
+        if (std::find(config.cluster.peers.begin(),
+                      config.cluster.peers.end(),
+                      self) == config.cluster.peers.end())
+            parser.usageError("--self '" + self +
+                              "' is not in --peers");
+        config.cluster.self = self;
+        config.cluster.peerDeadlineMs =
+            static_cast<unsigned>(peer_deadline_ms);
+        config.cluster.peerAttempts =
+            static_cast<unsigned>(peer_attempts);
+    } else if (!self.empty()) {
+        parser.usageError("--self requires --peers");
+    }
     config.logRequests = log_requests;
     config.trace = trace || trace_all || !trace_out.empty();
     config.traceAll = trace_all;

@@ -3,13 +3,19 @@
 #
 # Usage: scripts/check_docs.sh [BUILD_DIR]
 #
-# Three checks keep the docs from drifting away from the code:
+# Five checks keep the docs from drifting away from the code:
 #   1. every page under docs/ is linked from the README;
 #   2. every relative markdown link (and every docs/X.md mention)
 #      in README.md, DESIGN.md, and docs/ resolves to a real file;
 #   3. every `--flag` mentioned in the docs exists in the --help
 #      output of at least one built binary (so a renamed or removed
-#      flag cannot survive in prose).
+#      flag cannot survive in prose);
+#   4. every /v1/* route registered in src/server/routes.cc is
+#      mentioned in docs/SERVER.md (no undocumented endpoints);
+#   5. every cluster flag (the --peers family) documented in
+#      docs/SERVER.md appears in `bwwalld --help` specifically —
+#      check 3 would also accept a flag that only bwwall_router
+#      grew, which is exactly the drift this catches.
 set -euo pipefail
 
 build_dir="${1:-build}"
@@ -63,6 +69,7 @@ build|benchmark_[a-z_]*|gtest_[a-z_]*|baselines|metrics|update)$'
 
 help_binaries=(
     examples/bwwalld
+    examples/bwwall_router
     examples/bwwall_client
     examples/design_explorer
     examples/cachesim_cli
@@ -106,6 +113,26 @@ for flag in $doc_flags; do
         fail "documented flag $flag not found in any --help output"
     fi
 done
+
+# --- 4. every /v1 route in routes.cc is documented -------------------
+while IFS= read -r route; do
+    if ! grep -qF -- "$route" docs/SERVER.md; then
+        fail "route $route (src/server/routes.cc) is not" \
+            "mentioned in docs/SERVER.md"
+    fi
+done < <(grep -o '"/v1[^"]*"' src/server/routes.cc |
+    tr -d '"' | sort -u)
+
+# --- 5. documented cluster flags exist in bwwalld --------------------
+bwwalld_help=$(timeout 20 "$build_dir/examples/bwwalld" --help \
+    2>&1 || true)
+while IFS= read -r flag; do
+    if ! echo "$bwwalld_help" | grep -qF -- "$flag"; then
+        fail "cluster flag $flag in docs/SERVER.md is not in" \
+            "bwwalld --help"
+    fi
+done < <(grep -o '\--\(peers\|self\|peer-[a-z-]*\)' \
+    docs/SERVER.md | sort -u)
 
 if [ "$failures" -ne 0 ]; then
     echo "check_docs: $failures problem(s)" >&2

@@ -1,0 +1,241 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the bwwalld cluster (docs/CLUSTER.md).
+#
+# Usage: scripts/cluster_smoke.sh BWWALLD_BINARY ROUTER_BINARY
+#
+# Starts three bwwalld nodes formed into a consistent-hash cluster, a
+# bwwall_router in front of them, and one single-node reference
+# daemon, then checks the cluster invariants over the wire:
+#
+#   - /v1/cluster reports the membership on every node and the router
+#   - the same query answered via any node, the router, and the
+#     single reference daemon is byte-identical
+#   - exactly one node (the owner) answers without the peer-fill
+#     marker; the other two fill from it
+#   - a hot-key storm across all nodes and the router computes
+#     exactly once cluster-wide
+#   - killing a node mid-storm produces zero 5xx through the router
+#     (failover) and zero 5xx on the survivors (local fallback)
+#   - the survivors and the router drain cleanly on SIGTERM
+#
+# CI runs this against an AddressSanitizer build.
+set -euo pipefail
+
+bwwalld="${1:?usage: cluster_smoke.sh BWWALLD_BINARY ROUTER_BINARY}"
+router_bin="${2:?usage: cluster_smoke.sh BWWALLD_BINARY ROUTER_BINARY}"
+
+work=$(mktemp -d)
+pids=()
+cleanup() {
+    for pid in "${pids[@]}"; do
+        kill -9 "$pid" 2>/dev/null || true
+    done
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "FAIL: $*" >&2
+    for log in "$work"/*.log; do
+        echo "--- $log ---" >&2
+        cat "$log" >&2 || true
+    done
+    exit 1
+}
+
+# Reserve three ports up front: unlike the single-node smoke, every
+# member must know the full peer list (including its own address)
+# before it binds, so --port 0 scraping cannot work here.
+read -r -a node_ports <<<"$(python3 - <<'EOF'
+import socket
+socks = [socket.socket() for _ in range(3)]
+for sock in socks:
+    sock.bind(("127.0.0.1", 0))
+print(" ".join(str(sock.getsockname()[1]) for sock in socks))
+for sock in socks:
+    sock.close()
+EOF
+)"
+peers="127.0.0.1:${node_ports[0]},127.0.0.1:${node_ports[1]},127.0.0.1:${node_ports[2]}"
+
+for i in 0 1 2; do
+    "$bwwalld" --port "${node_ports[$i]}" --threads 2 \
+        --peers "$peers" --self "127.0.0.1:${node_ports[$i]}" \
+        >"$work/node$i.out" 2>"$work/node$i.log" &
+    pids+=($!)
+done
+
+# The single-node reference: same solver, no cluster.
+"$bwwalld" --port 0 --threads 2 \
+    >"$work/single.out" 2>"$work/single.log" &
+pids+=($!)
+
+"$router_bin" --port 0 --peers "$peers" \
+    >"$work/router.out" 2>"$work/router.log" &
+router_pid=$!
+pids+=($!)
+
+wait_port() { # wait_port OUT_FILE PROGRAM -> prints the port
+    local port=""
+    for _ in $(seq 1 100); do
+        port=$(sed -n \
+            "s/^$2 listening on .*:\([0-9]*\).*$/\1/p" \
+            "$1" | head -n1)
+        [ -n "$port" ] && break
+        sleep 0.1
+    done
+    [ -n "$port" ] || fail "could not parse the port from $1"
+    echo "$port"
+}
+for i in 0 1 2; do
+    wait_port "$work/node$i.out" bwwalld >/dev/null
+done
+single_port=$(wait_port "$work/single.out" bwwalld)
+router_port=$(wait_port "$work/router.out" bwwall_router)
+single="http://127.0.0.1:$single_port"
+router="http://127.0.0.1:$router_port"
+node() { echo "http://127.0.0.1:${node_ports[$1]}"; }
+echo "== cluster up: nodes ${node_ports[*]}, router $router_port, single $single_port"
+
+# --- membership -------------------------------------------------------
+for i in 0 1 2; do
+    curl -sf "$(node $i)/v1/cluster" >"$work/cluster$i.json"
+    grep -q '"enabled":true' "$work/cluster$i.json" ||
+        fail "node $i reports cluster disabled"
+    grep -q '"node_count":3' "$work/cluster$i.json" ||
+        fail "node $i does not see 3 members"
+done
+curl -sf "$router/v1/cluster" >"$work/cluster_router.json"
+grep -q '"node_count":3' "$work/cluster_router.json" ||
+    fail "router does not see 3 members"
+body=$(curl -sf "$router/healthz")
+[ "$body" = '{"kind":"router","status":"ok"}' ] ||
+    fail "router /healthz said: $body"
+echo "== membership OK"
+
+# --- byte identity and peer fill --------------------------------------
+# The same solve via every node, the router, and the single-node
+# reference must be byte-identical; exactly one node (the owner)
+# answers without the X-BWWall-Peer-Filled marker.
+solve='{"alpha":0.55,"total_ceas":32}'
+curl -sf -X POST -d "$solve" "$single/v1/solve" >"$work/ref.json"
+grep -q '"supportable_cores"' "$work/ref.json" ||
+    fail "reference /v1/solve failed"
+filled=0
+for i in 0 1 2; do
+    curl -sf -D "$work/head$i.txt" -X POST -d "$solve" \
+        "$(node $i)/v1/solve" >"$work/solve$i.json"
+    cmp -s "$work/ref.json" "$work/solve$i.json" ||
+        fail "node $i bytes differ from the single-node reference"
+    if grep -qi '^x-bwwall-peer-filled:' "$work/head$i.txt"; then
+        filled=$((filled + 1))
+    fi
+done
+[ "$filled" -eq 2 ] ||
+    fail "expected 2 peer-filled answers out of 3, saw $filled"
+curl -sf -X POST -d "$solve" "$router/v1/solve" \
+    >"$work/solve_router.json"
+cmp -s "$work/ref.json" "$work/solve_router.json" ||
+    fail "router bytes differ from the single-node reference"
+grep -qi '^x-bwwall-routed-to:' <(curl -sf -D - -o /dev/null \
+    -X POST -d "$solve" "$router/v1/solve") ||
+    fail "router did not stamp X-BWWall-Routed-To"
+echo "== byte identity OK (owner + 2 fills, router agrees)"
+
+# --- hot-key storm: one compute cluster-wide --------------------------
+metrics_value() { # metrics_value FILE COUNTER
+    python3 - "$1" "$2" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+print(report.get("counters", {}).get(sys.argv[2], 0))
+EOF
+}
+cluster_computes() {
+    local total=0
+    for i in 0 1 2; do
+        curl -sf "$(node $i)/metrics?format=json" \
+            >"$work/m$i.json" || return 1
+        local owned fallback
+        owned=$(metrics_value "$work/m$i.json" \
+            cluster.requests.owned)
+        fallback=$(metrics_value "$work/m$i.json" \
+            cluster.local_fallback_computes)
+        total=$((total + owned + fallback))
+    done
+    echo "$total"
+}
+before=$(cluster_computes)
+sweep='{"kind":"miss_curve","estimator":"stack","size_kib":64,"warm":1000,"accesses":5000,"seed":77}'
+(
+    curl_pids=()
+    for round in 1 2; do
+        for i in 0 1 2; do
+            curl -sf -X POST -d "$sweep" "$(node $i)/v1/sweep" \
+                >"$work/storm_n${i}_$round.json" &
+            curl_pids+=($!)
+        done
+        curl -sf -X POST -d "$sweep" "$router/v1/sweep" \
+            >"$work/storm_r_$round.json" &
+        curl_pids+=($!)
+    done
+    wait "${curl_pids[@]}"
+)
+for out in "$work"/storm_*.json; do
+    cmp -s "$work/storm_n0_1.json" "$out" ||
+        fail "hot-key storm answers diverged ($out)"
+done
+after=$(cluster_computes)
+[ $((after - before)) -eq 1 ] ||
+    fail "hot-key storm computed $((after - before)) times cluster-wide, want 1"
+echo "== hot-key storm OK (1 compute for 8 concurrent duplicates)"
+
+# --- node-kill drill: zero unexpected 5xx -----------------------------
+# Distinct keys through the router while the owner of ~1/3 of them
+# is SIGKILLed mid-storm: the router must fail over and the
+# survivors must absorb the keyspace, so every answer is 200.
+(
+    curl_pids=()
+    for k in $(seq 1 40); do
+        curl -s -o "$work/drill$k.json" -w '%{http_code}\n' \
+            -X POST -d "{\"alpha\":0.$((500 + k))}" \
+            "$router/v1/solve" >>"$work/drill_codes.txt" &
+        curl_pids+=($!)
+        if [ "$k" -eq 8 ]; then
+            kill -9 "${pids[2]}" 2>/dev/null || true
+        fi
+    done
+    wait "${curl_pids[@]}"
+)
+wait "${pids[2]}" 2>/dev/null || true # reap the killed node
+sort -u "$work/drill_codes.txt" >"$work/drill_unique.txt"
+[ "$(cat "$work/drill_unique.txt")" = "200" ] ||
+    fail "node-kill drill saw statuses: $(tr '\n' ' ' <"$work/drill_unique.txt")"
+[ "$(wc -l <"$work/drill_codes.txt")" -eq 40 ] ||
+    fail "node-kill drill lost requests"
+
+# The survivors now own the dead node's keys and answer with the
+# same bytes the single-node reference computes.
+kill_probe='{"alpha":0.777}'
+curl -sf -X POST -d "$kill_probe" "$single/v1/solve" \
+    >"$work/kill_ref.json"
+curl -sf -X POST -d "$kill_probe" "$(node 0)/v1/solve" \
+    >"$work/kill_n0.json"
+cmp -s "$work/kill_ref.json" "$work/kill_n0.json" ||
+    fail "post-kill bytes differ from the single-node reference"
+curl -sf "$router/metrics" >"$work/router_metrics.txt"
+grep -q '^counter router.forwarded ' "$work/router_metrics.txt" ||
+    fail "router metrics lack router.forwarded"
+echo "== node-kill drill OK (40/40 answered 200 through the router)"
+
+# --- graceful drain ---------------------------------------------------
+for pid in "${pids[0]}" "${pids[1]}" "${pids[3]}" "$router_pid"; do
+    kill -TERM "$pid" 2>/dev/null || true
+done
+for pid in "${pids[0]}" "${pids[1]}" "${pids[3]}" "$router_pid"; do
+    status=0
+    wait "$pid" || status=$?
+    [ "$status" -eq 0 ] || fail "pid $pid drained with status $status"
+done
+pids=()
+echo "cluster smoke: all checks passed"

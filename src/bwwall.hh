@@ -47,6 +47,7 @@
 #include "model/scaling_study.hh"
 #include "model/technique.hh"
 #include "model/throughput.hh"
+#include "server/cluster.hh"
 #include "server/http.hh"
 #include "server/http_client.hh"
 #include "server/json.hh"
@@ -73,6 +74,7 @@
 #include "util/linear_fit.hh"
 #include "util/metrics.hh"
 #include "util/mpmc_queue.hh"
+#include "util/rendezvous.hh"
 #include "util/rng.hh"
 #include "util/stats.hh"
 #include "util/table.hh"

@@ -1,0 +1,288 @@
+#include "server/cluster.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "server/http_client.hh"
+#include "server/json.hh"
+#include "server/model_service.hh"
+#include "util/fault.hh"
+#include "util/metrics.hh"
+
+namespace bwwall {
+
+namespace {
+
+/** Clients kept warm per peer; extra concurrent fills reconnect. */
+constexpr std::size_t kPoolDepth = 4;
+
+/** Splits "host:port"; false unless both halves are usable. */
+bool
+splitHostPort(const std::string &peer, std::string *host,
+              std::uint16_t *port)
+{
+    const std::size_t colon = peer.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == peer.size())
+        return false;
+    unsigned long value = 0;
+    for (std::size_t i = colon + 1; i < peer.size(); ++i) {
+        const char c = peer[i];
+        if (c < '0' || c > '9')
+            return false;
+        value = value * 10 + static_cast<unsigned long>(c - '0');
+        if (value > 65535)
+            return false;
+    }
+    if (value == 0)
+        return false;
+    *host = peer.substr(0, colon);
+    *port = static_cast<std::uint16_t>(value);
+    return true;
+}
+
+} // namespace
+
+bool
+parsePeerList(const std::string &text,
+              std::vector<std::string> *out, std::string *error)
+{
+    out->clear();
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        std::size_t end = text.find(',', start);
+        if (end == std::string::npos)
+            end = text.size();
+        const std::string entry =
+            text.substr(start, end - start);
+        start = end + 1;
+        if (entry.empty()) {
+            if (text.empty() && out->empty())
+                return true;
+            *error = "empty peer entry in '" + text + "'";
+            return false;
+        }
+        std::string host;
+        std::uint16_t port = 0;
+        if (!splitHostPort(entry, &host, &port)) {
+            *error = "peer '" + entry +
+                     "' is not host:port with a port in 1..65535";
+            return false;
+        }
+        if (std::find(out->begin(), out->end(), entry) !=
+            out->end()) {
+            *error = "duplicate peer '" + entry + "'";
+            return false;
+        }
+        out->push_back(entry);
+        if (end == text.size())
+            break;
+    }
+    return true;
+}
+
+Cluster::Cluster(ClusterConfig config, MetricsRegistry *metrics)
+    : config_(std::move(config)), metrics_(metrics)
+{
+    nodes_ = config_.peers;
+    std::sort(nodes_.begin(), nodes_.end());
+    nodes_.erase(std::unique(nodes_.begin(), nodes_.end()),
+                 nodes_.end());
+    if (nodes_.empty())
+        throw BadRequest("cluster peer list is empty");
+    for (const std::string &node : nodes_) {
+        std::string host;
+        std::uint16_t port = 0;
+        if (!splitHostPort(node, &host, &port))
+            throw BadRequest("peer '" + node +
+                             "' is not host:port");
+    }
+    if (!config_.self.empty() &&
+        std::find(nodes_.begin(), nodes_.end(), config_.self) ==
+            nodes_.end())
+        throw BadRequest("--self '" + config_.self +
+                         "' is not in the peer list");
+    if (config_.peerAttempts == 0)
+        config_.peerAttempts = 1;
+    if (metrics_ != nullptr) {
+        metrics_->setGauge(
+            "cluster.nodes",
+            static_cast<double>(nodes_.size()));
+        metrics_->setGauge("cluster.enabled",
+                           enabled() ? 1.0 : 0.0);
+    }
+    for (const std::string &node : nodes_)
+        pools_.emplace_back(
+            node, std::vector<std::unique_ptr<HttpClient>>());
+}
+
+Cluster::~Cluster() = default;
+
+void
+Cluster::count(const char *name) const
+{
+    if (metrics_ != nullptr)
+        metrics_->addCounter(name);
+}
+
+std::unique_ptr<HttpClient>
+Cluster::acquireClient(const std::string &peer)
+{
+    std::uint64_t sequence = 0;
+    {
+        std::lock_guard<std::mutex> lock(poolMutex_);
+        sequence = ++fillSequence_;
+        for (auto &pool : pools_) {
+            if (pool.first != peer)
+                continue;
+            if (!pool.second.empty()) {
+                auto client = std::move(pool.second.back());
+                pool.second.pop_back();
+                return client;
+            }
+            break;
+        }
+    }
+    std::string host;
+    std::uint16_t port = 0;
+    if (!splitHostPort(peer, &host, &port))
+        return nullptr;
+    auto client = std::make_unique<HttpClient>(host, port);
+    client->setConnectTimeoutMs(config_.connectTimeoutMs);
+    HttpRetryPolicy policy;
+    policy.maxAttempts = config_.peerAttempts;
+    policy.initialBackoffMs = 10.0;
+    policy.maxBackoffMs = 100.0;
+    // Deterministic per-client jitter stream; fills are few and
+    // bounded, so the lifetime budget never throttles a storm.
+    policy.seed = rendezvousMix(config_.seed ^ sequence);
+    policy.budget = 1u << 20;
+    // A fill POST is safe to retry: model queries are pure and the
+    // owner's single-flight cache dedupes re-sent work.
+    policy.retryPosts = true;
+    client->setRetryPolicy(policy);
+    return client;
+}
+
+void
+Cluster::releaseClient(const std::string &peer,
+                       std::unique_ptr<HttpClient> client)
+{
+    std::lock_guard<std::mutex> lock(poolMutex_);
+    for (auto &pool : pools_) {
+        if (pool.first != peer)
+            continue;
+        if (pool.second.size() < kPoolDepth)
+            pool.second.push_back(std::move(client));
+        return;
+    }
+}
+
+bool
+Cluster::fillFromPeer(const std::string &peer,
+                      const std::string &path,
+                      const std::string &body,
+                      double remainingSeconds, HttpResponse *out)
+{
+    count("cluster.peer_fill.attempts");
+    double deadline_ms =
+        static_cast<double>(config_.peerDeadlineMs);
+    if (remainingSeconds >= 0.0)
+        deadline_ms =
+            std::min(deadline_ms, remainingSeconds * 1000.0);
+    if (deadline_ms < 1.0) {
+        // The caller's budget is already gone; computing locally
+        // at least leaves the answer cached for its retry.
+        count("cluster.peer_fill.skipped");
+        return false;
+    }
+    if (FAULT_POINT("cluster.peer_fill")) {
+        count("cluster.peer_fill.errors");
+        return false;
+    }
+
+    auto client = acquireClient(peer);
+    if (client == nullptr) {
+        count("cluster.peer_fill.errors");
+        return false;
+    }
+    HttpClient::Request request;
+    request.method = "POST";
+    request.target = path;
+    request.headers[kPeerFillHeader] = std::string("1");
+    request.body = body;
+    HttpClient::RequestOptions options;
+    options.retry = true;
+    options.deadlineMs = deadline_ms;
+    HttpClientResponse response;
+    std::string error;
+    const bool transported =
+        client->perform(request, options, &response, &error);
+    if (transported)
+        releaseClient(peer, std::move(client));
+    if (!transported) {
+        count("cluster.peer_fill.errors");
+        return false;
+    }
+    if (response.status != 200 ||
+        response.headers.count("x-bwwall-degraded") != 0 ||
+        response.headers.count("x-bwwall-stale") != 0) {
+        // The owner refused (shed, breaker, deadline) or answered
+        // in a form a direct solve would not produce; fall back to
+        // a local compute rather than cache non-canonical bytes.
+        count("cluster.peer_fill.rejected");
+        return false;
+    }
+    count("cluster.peer_fill.hits");
+    out->status = response.status;
+    out->body = response.body;
+    const auto type = response.headers.find("content-type");
+    if (type != response.headers.end())
+        out->contentType = type->second;
+    out->headers[kPeerFilledHeader] = std::string("1");
+    return true;
+}
+
+JsonValue
+Cluster::statusJson() const
+{
+    JsonValue payload = JsonValue::makeObject();
+    payload.set("kind", JsonValue("cluster"));
+    payload.set("enabled", JsonValue(enabled()));
+    payload.set("self", JsonValue(config_.self));
+    char seed_hex[19];
+    std::snprintf(seed_hex, sizeof(seed_hex), "0x%016llx",
+                  static_cast<unsigned long long>(config_.seed));
+    payload.set("seed", JsonValue(std::string(seed_hex)));
+    JsonValue members = JsonValue::makeArray();
+    for (const std::string &node : nodes_)
+        members.append(JsonValue(node));
+    payload.set("nodes", members);
+    payload.set("node_count",
+                JsonValue(static_cast<double>(nodes_.size())));
+    payload.set(
+        "peer_deadline_ms",
+        JsonValue(static_cast<double>(config_.peerDeadlineMs)));
+    if (metrics_ != nullptr) {
+        JsonValue stats = JsonValue::makeObject();
+        static const char *const kStats[] = {
+            "cluster.requests.owned",
+            "cluster.requests.remote",
+            "cluster.peer_fill.attempts",
+            "cluster.peer_fill.hits",
+            "cluster.peer_fill.rejected",
+            "cluster.peer_fill.errors",
+            "cluster.peer_fill.skipped",
+            "cluster.peer_fill.received",
+            "cluster.local_fallback_computes",
+        };
+        for (const char *name : kStats)
+            stats.set(name,
+                      JsonValue(static_cast<double>(
+                          metrics_->counter(name))));
+        payload.set("stats", stats);
+    }
+    return payload;
+}
+
+} // namespace bwwall

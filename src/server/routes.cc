@@ -13,6 +13,8 @@ const Route kRoutes[] = {
      RouteCost::Control, false, false, "use GET /metrics"},
     {"/v1/trace", "GET", false, RouteHandler::Trace,
      RouteCost::Control, false, false, "use GET /v1/trace"},
+    {"/v1/cluster", "GET", false, RouteHandler::Cluster,
+     RouteCost::Control, false, false, "use GET /v1/cluster"},
     {"/v1/traffic", "POST", false, RouteHandler::ModelQuery,
      RouteCost::Cheap, false, false,
      "model queries are POST requests"},

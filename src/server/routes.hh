@@ -27,6 +27,7 @@ enum class RouteHandler
     Health,        ///< GET /healthz liveness probe
     Metrics,       ///< GET /metrics registry dump
     Trace,         ///< GET /v1/trace span export
+    Cluster,       ///< GET /v1/cluster membership + shard stats
     ModelQuery,    ///< POST model-query endpoints (cache + overload)
     IngestCreate,  ///< POST /v1/trace/ingest session creation
     IngestSession, ///< per-session append / snapshot / finalize

@@ -79,6 +79,17 @@ BwwallServer::BwwallServer(ServerConfig config)
         recorder_ = std::make_unique<TraceRecorder>();
         recorder_->install(config_.traceAll);
     }
+    if (!config_.cluster.peers.empty())
+        configureCluster(config_.cluster);
+}
+
+void
+BwwallServer::configureCluster(ClusterConfig config)
+{
+    auto cluster =
+        std::make_shared<Cluster>(std::move(config), &metrics_);
+    std::lock_guard<std::mutex> lock(clusterMutex_);
+    cluster_ = std::move(cluster);
 }
 
 BwwallServer::~BwwallServer()
@@ -174,6 +185,25 @@ BwwallServer::handleTrace() const
 }
 
 HttpResponse
+BwwallServer::handleCluster() const
+{
+    HttpResponse response;
+    const std::shared_ptr<Cluster> cluster = clusterSnapshot();
+    if (cluster == nullptr) {
+        JsonValue payload = JsonValue::makeObject();
+        payload.set("kind", JsonValue("cluster"));
+        payload.set("enabled", JsonValue(false));
+        payload.set("nodes", JsonValue::makeArray());
+        payload.set("node_count", JsonValue(0.0));
+        response.body = payload.dump();
+    } else {
+        response.body = cluster->statusJson().dump();
+    }
+    response.body += '\n';
+    return response;
+}
+
+HttpResponse
 BwwallServer::handleMetrics(const HttpRequest &request) const
 {
     std::ostringstream oss;
@@ -244,9 +274,66 @@ BwwallServer::handleModelQuery(const HttpRequest &request,
     try {
         const std::string key =
             canonicalCacheKey(request.path, body);
+
+        // Cluster mode (docs/CLUSTER.md): on a local miss for a
+        // key another node owns, ask the owner once before
+        // computing.  The fill runs inside the single-flight
+        // compute slot, so concurrent identical requests here
+        // still collapse to one RPC, and the owner's own
+        // single-flight makes the cluster-wide compute count one.
+        // The loop-prevention rule: a request already marked
+        // X-BWWall-Peer-Fill is answered locally, never
+        // re-forwarded.
+        const std::shared_ptr<Cluster> cluster =
+            clusterSnapshot();
+        const bool peer_fill_request =
+            request.headers.count(kPeerFillHeaderLower) != 0;
+        if (peer_fill_request)
+            metrics_.addCounter("cluster.peer_fill.received");
+        bool peer_filled = false;
         Span cache_span("server.cache");
         const ResultCache::Outcome outcome =
             cache_->getOrCompute(key, [&] {
+                if (cluster != nullptr && cluster->enabled()) {
+                    if (cluster->selfOwns(key)) {
+                        // Counted whether the miss arrived
+                        // directly or as a fill RPC, so
+                        // owned + fallbacks is the exact
+                        // cluster-wide compute count.
+                        metrics_.addCounter(
+                            "cluster.requests.owned");
+                    } else if (peer_fill_request) {
+                        // Loop prevention: a fill for a key we
+                        // do not own (membership disagreement)
+                        // computes locally, never re-forwards.
+                        metrics_.addCounter(
+                            "cluster.local_fallback_computes");
+                    } else {
+                        metrics_.addCounter(
+                            "cluster.requests.remote");
+                        Span fill_span("server.peer_fill");
+                        HttpResponse filled;
+                        const double remaining =
+                            has_deadline
+                                ? deadline -
+                                      secondsSince(received)
+                                : -1.0;
+                        if (cluster->fillFromPeer(
+                                cluster->owner(key),
+                                request.path, body.dump(),
+                                remaining, &filled)) {
+                            peer_filled = true;
+                            CachedResponse cached;
+                            cached.status = filled.status;
+                            cached.contentType =
+                                filled.contentType;
+                            cached.body = filled.body;
+                            return cached;
+                        }
+                        metrics_.addCounter(
+                            "cluster.local_fallback_computes");
+                    }
+                }
                 Span compute_span("server.compute");
                 return executeModelQuery(request.path, body);
             });
@@ -269,6 +356,9 @@ BwwallServer::handleModelQuery(const HttpRequest &request,
             response.headers["X-BWWall-Stale"] =
                 std::string("1");
         }
+        if (peer_filled)
+            response.headers[kPeerFilledHeader] =
+                std::string("1");
         if (was_degraded)
             response.headers["X-BWWall-Degraded"] =
                 std::string("1");
@@ -390,6 +480,9 @@ BwwallServer::dispatch(const HttpRequest &request,
             break;
           case RouteHandler::Trace:
             response = handleTrace();
+            break;
+          case RouteHandler::Cluster:
+            response = handleCluster();
             break;
           case RouteHandler::ModelQuery: {
             const AdmitDecision decision =

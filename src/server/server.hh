@@ -48,8 +48,10 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 
+#include "server/cluster.hh"
 #include "server/http.hh"
 #include "server/ingest_session.hh"
 #include "server/overload.hh"
@@ -158,6 +160,14 @@ struct ServerConfig
 
     /** With trace: record every request, opt-in header or not. */
     bool traceAll = false;
+
+    /**
+     * Cluster membership (docs/CLUSTER.md): peers + self + the
+     * peer-fill budget.  An empty peer list is single-node mode;
+     * configureCluster() can also (re)install membership after
+     * start, for harnesses whose ports are only known then.
+     */
+    ClusterConfig cluster;
 };
 
 /** The daemon: listen, serve, drain. */
@@ -206,6 +216,20 @@ class BwwallServer
     OverloadController &overload() { return *overload_; }
     IngestSessionManager &ingest() { return *ingest_; }
 
+    /**
+     * Installs (or replaces) cluster membership.  Thread-safe:
+     * in-flight requests finish on the snapshot they started with.
+     * Throws BadRequest on an unusable configuration.
+     */
+    void configureCluster(ClusterConfig config);
+
+    /** The live membership snapshot; null in single-node mode. */
+    std::shared_ptr<Cluster> clusterSnapshot() const
+    {
+        std::lock_guard<std::mutex> lock(clusterMutex_);
+        return cluster_;
+    }
+
     /** The owned recorder; null unless config.trace. */
     TraceRecorder *traceRecorder() { return recorder_.get(); }
 
@@ -240,6 +264,9 @@ class BwwallServer
 
     HttpResponse handleTrace() const;
 
+    /** GET /v1/cluster: membership + per-node peer-fill stats. */
+    HttpResponse handleCluster() const;
+
     /** True when this request opted into (or is forced into) tracing. */
     bool requestTraced(const HttpRequest &request) const;
 
@@ -250,6 +277,9 @@ class BwwallServer
     std::unique_ptr<IngestSessionManager> ingest_;
     std::unique_ptr<TraceRecorder> recorder_;
     std::unique_ptr<HttpReactor> reactor_;
+
+    mutable std::mutex clusterMutex_;
+    std::shared_ptr<Cluster> cluster_;
 
     std::atomic<bool> started_{false};
     std::atomic<bool> drained_{false};

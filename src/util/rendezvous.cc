@@ -1,0 +1,70 @@
+#include "util/rendezvous.hh"
+
+#include <algorithm>
+#include <numeric>
+
+namespace bwwall {
+
+std::uint64_t
+rendezvousHash(std::string_view bytes, std::uint64_t seed)
+{
+    // FNV-1a, seed folded into the offset basis, then finalised:
+    // FNV alone mixes low bits poorly and HRW compares raw scores.
+    std::uint64_t hash = 1469598103934665603ull ^ seed;
+    for (const char c : bytes) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 1099511628211ull;
+    }
+    return rendezvousMix(hash);
+}
+
+std::uint64_t
+rendezvousScore(std::string_view node, std::string_view key,
+                std::uint64_t seed)
+{
+    // Hash node and key separately so "ab"+"c" and "a"+"bc" cannot
+    // collide, then mix the pair; the seed rides in both hashes.
+    const std::uint64_t node_hash = rendezvousHash(node, seed);
+    const std::uint64_t key_hash = rendezvousHash(key, seed);
+    return rendezvousMix(node_hash ^
+                         (key_hash + 0x9e3779b97f4a7c15ull +
+                          (node_hash << 6) + (node_hash >> 2)));
+}
+
+std::size_t
+rendezvousOwner(const std::vector<std::string> &nodes,
+                std::string_view key, std::uint64_t seed)
+{
+    std::size_t best = std::string::npos;
+    std::uint64_t best_score = 0;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        const std::uint64_t score =
+            rendezvousScore(nodes[i], key, seed);
+        if (best == std::string::npos || score > best_score ||
+            (score == best_score && nodes[i] < nodes[best])) {
+            best = i;
+            best_score = score;
+        }
+    }
+    return best;
+}
+
+std::vector<std::size_t>
+rendezvousOrder(const std::vector<std::string> &nodes,
+                std::string_view key, std::uint64_t seed)
+{
+    std::vector<std::uint64_t> scores(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i)
+        scores[i] = rendezvousScore(nodes[i], key, seed);
+    std::vector<std::size_t> order(nodes.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  if (scores[a] != scores[b])
+                      return scores[a] > scores[b];
+                  return nodes[a] < nodes[b];
+              });
+    return order;
+}
+
+} // namespace bwwall

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Rendezvous (highest-random-weight) hashing: the pure shard map
+ * underneath bwwalld's cluster mode.
+ *
+ * Every node scores every key independently —
+ * score(node, key) = mix(seed, hash(node), hash(key)) — and the
+ * node with the highest score owns the key.  Two properties make
+ * this the right consistent hash for a small, mostly static peer
+ * set:
+ *
+ *  - **Agreement without coordination.**  Any process holding the
+ *    same (node list, seed) computes the same owner for every key,
+ *    regardless of the order the nodes were listed in.  The router,
+ *    every bwwalld instance, and the tests all agree by
+ *    construction.
+ *  - **Minimal movement.**  Removing a node reassigns exactly the
+ *    keys it owned (each survivor's score is unchanged); adding a
+ *    node steals only the keys the newcomer now wins, ~K/N of them
+ *    in expectation.  No virtual-node ring bookkeeping required.
+ *
+ * Determinism: scores mix through the same SplitMix64 finaliser the
+ * rest of the tree uses, but defined locally — util/ is the
+ * dependency floor and may not include trace/hashing.hh.  The seed
+ * is part of the map: clusters with different seeds shard
+ * differently, and every member must be started with the same one.
+ */
+
+#ifndef BWWALL_UTIL_RENDEZVOUS_HH
+#define BWWALL_UTIL_RENDEZVOUS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bwwall {
+
+/** Default cluster hash seed ("BWWL" | "CLST"). */
+constexpr std::uint64_t kRendezvousSeed = 0x4257574c434c5354ull;
+
+/**
+ * SplitMix64 finaliser: a cheap, well-mixed bijection on 64-bit
+ * words (identical mixing to trace/hashing.hh, restated here
+ * because util/ sits below trace/).
+ */
+constexpr std::uint64_t
+rendezvousMix(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** FNV-1a over @p bytes, finalised through rendezvousMix. */
+std::uint64_t rendezvousHash(std::string_view bytes,
+                             std::uint64_t seed = kRendezvousSeed);
+
+/**
+ * The HRW score of @p node for @p key under @p seed.  Pure: equal
+ * arguments always produce equal scores, across processes and
+ * platforms.
+ */
+std::uint64_t rendezvousScore(std::string_view node,
+                              std::string_view key,
+                              std::uint64_t seed = kRendezvousSeed);
+
+/**
+ * Index into @p nodes of the owner of @p key: the highest-scoring
+ * node, ties broken toward the lexicographically smallest name so
+ * duplicate-free node lists in any order agree.  Returns npos for
+ * an empty node list.
+ */
+std::size_t
+rendezvousOwner(const std::vector<std::string> &nodes,
+                std::string_view key,
+                std::uint64_t seed = kRendezvousSeed);
+
+/**
+ * All node indices ordered by descending score (the owner first).
+ * The failover order: when nodes[order[0]] is unreachable, the
+ * next-preferred node is order[1], and removing the owner from the
+ * list promotes exactly that node — so routing through the order
+ * agrees with the map the survivors compute among themselves.
+ */
+std::vector<std::size_t>
+rendezvousOrder(const std::vector<std::string> &nodes,
+                std::string_view key,
+                std::uint64_t seed = kRendezvousSeed);
+
+} // namespace bwwall
+
+#endif // BWWALL_UTIL_RENDEZVOUS_HH

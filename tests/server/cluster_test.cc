@@ -1,0 +1,337 @@
+/**
+ * @file
+ * Cluster-mode tests: peer-list parsing, Cluster validation, the
+ * /v1/cluster endpoint, and the peer-fill protocol over the wire —
+ * fills hit the owner's cache, a forwarded request is never
+ * re-forwarded (the loop-prevention rule), and a dead owner
+ * degrades to a local compute, never an error (docs/CLUSTER.md).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "server/cluster.hh"
+#include "server/http_client.hh"
+#include "server/json.hh"
+#include "server/model_service.hh"
+#include "server/server.hh"
+
+namespace bwwall {
+namespace {
+
+TEST(PeerList, ParsesHostPortLists)
+{
+    std::vector<std::string> peers;
+    std::string error;
+    ASSERT_TRUE(parsePeerList(
+        "127.0.0.1:8081,127.0.0.1:8082,10.0.0.1:80", &peers,
+        &error))
+        << error;
+    ASSERT_EQ(peers.size(), 3u);
+    EXPECT_EQ(peers[0], "127.0.0.1:8081");
+    EXPECT_EQ(peers[2], "10.0.0.1:80");
+}
+
+TEST(PeerList, RejectsBadEntries)
+{
+    std::vector<std::string> peers;
+    std::string error;
+    EXPECT_FALSE(parsePeerList("127.0.0.1", &peers, &error));
+    EXPECT_FALSE(parsePeerList("host:", &peers, &error));
+    EXPECT_FALSE(parsePeerList(":8081", &peers, &error));
+    EXPECT_FALSE(parsePeerList("host:0", &peers, &error));
+    EXPECT_FALSE(parsePeerList("host:70000", &peers, &error));
+    EXPECT_FALSE(parsePeerList("host:80,,host:81", &peers,
+                               &error));
+    EXPECT_FALSE(parsePeerList("host:80,host:80", &peers,
+                               &error));
+    EXPECT_NE(error.find("duplicate"), std::string::npos);
+}
+
+TEST(PeerList, EmptyListIsSingleNode)
+{
+    std::vector<std::string> peers = {"leftover"};
+    std::string error;
+    ASSERT_TRUE(parsePeerList("", &peers, &error));
+    EXPECT_TRUE(peers.empty());
+}
+
+TEST(Cluster, ValidatesMembership)
+{
+    ClusterConfig config;
+    config.peers = {"127.0.0.1:8081", "127.0.0.1:8082"};
+    config.self = "127.0.0.1:9999";
+    EXPECT_THROW(Cluster(config, nullptr), BadRequest);
+    config.self = "127.0.0.1:8081";
+    EXPECT_NO_THROW(Cluster(config, nullptr));
+    config.peers.clear();
+    EXPECT_THROW(Cluster(config, nullptr), BadRequest);
+}
+
+TEST(Cluster, RouterHasNoSelfAndOwnsNothing)
+{
+    ClusterConfig config;
+    config.peers = {"127.0.0.1:8081", "127.0.0.1:8082"};
+    Cluster cluster(config, nullptr);
+    EXPECT_FALSE(cluster.enabled());
+    EXPECT_FALSE(cluster.selfOwns("any-key"));
+    // It still computes the same owner the members do.
+    config.self = "127.0.0.1:8081";
+    Cluster member(config, nullptr);
+    EXPECT_EQ(cluster.owner("any-key"), member.owner("any-key"));
+}
+
+TEST(Cluster, StatusJsonShape)
+{
+    ClusterConfig config;
+    config.peers = {"127.0.0.1:8082", "127.0.0.1:8081"};
+    config.self = "127.0.0.1:8081";
+    Cluster cluster(config, nullptr);
+    const JsonValue payload = cluster.statusJson();
+    ASSERT_TRUE(payload.isObject());
+    EXPECT_EQ(payload.find("kind")->asString(), "cluster");
+    EXPECT_TRUE(payload.find("enabled")->asBool());
+    // Membership is canonicalized: sorted regardless of input.
+    const JsonValue &nodes = *payload.find("nodes");
+    ASSERT_EQ(nodes.items().size(), 2u);
+    EXPECT_EQ(nodes.items()[0].asString(), "127.0.0.1:8081");
+    EXPECT_EQ(payload.find("seed")->asString(),
+              "0x4257574c434c5354");
+}
+
+/**
+ * Two real servers formed into a cluster after start() (ephemeral
+ * ports are only known then), plus a reference single node.
+ */
+class ClusterWireTest : public testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        ServerConfig config;
+        config.port = 0;
+        config.threads = 2;
+        a_ = std::make_unique<BwwallServer>(config);
+        b_ = std::make_unique<BwwallServer>(config);
+        single_ = std::make_unique<BwwallServer>(config);
+        a_->start();
+        b_->start();
+        single_->start();
+        selfA_ = "127.0.0.1:" + std::to_string(a_->port());
+        selfB_ = "127.0.0.1:" + std::to_string(b_->port());
+        ClusterConfig cluster;
+        cluster.peers = {selfA_, selfB_};
+        cluster.peerDeadlineMs = 5000;
+        cluster.connectTimeoutMs = 200;
+        cluster.self = selfA_;
+        a_->configureCluster(cluster);
+        cluster.self = selfB_;
+        b_->configureCluster(cluster);
+        clientA_ = std::make_unique<HttpClient>("127.0.0.1",
+                                                a_->port());
+    }
+
+    void
+    TearDown() override
+    {
+        clientA_.reset();
+        if (a_)
+            a_->stop();
+        if (b_)
+            b_->stop();
+        if (single_)
+            single_->stop();
+    }
+
+    /** A solve body whose canonical key the given node owns. */
+    std::string
+    bodyOwnedBy(const BwwallServer &node, const std::string &self)
+    {
+        const auto cluster = node.clusterSnapshot();
+        for (int i = 0; i < 200; ++i) {
+            const std::string text =
+                "{\"alpha\":0." + std::to_string(100 + i) + "}";
+            JsonValue body;
+            std::string error;
+            EXPECT_TRUE(JsonValue::parse(text, &body, &error));
+            const std::string key =
+                canonicalCacheKey("/v1/solve", body);
+            if (cluster->owner(key) == self)
+                return text;
+        }
+        ADD_FAILURE() << "no key owned by " << self;
+        return "{}";
+    }
+
+    HttpClientResponse
+    postA(const std::string &body,
+          std::map<std::string, std::string> headers = {})
+    {
+        HttpClientResponse response;
+        std::string error;
+        EXPECT_TRUE(clientA_->perform({"POST", "/v1/solve",
+                                       std::move(headers), body,
+                                       {}},
+                                      &response, &error))
+            << error;
+        return response;
+    }
+
+    std::unique_ptr<BwwallServer> a_;
+    std::unique_ptr<BwwallServer> b_;
+    std::unique_ptr<BwwallServer> single_;
+    std::string selfA_;
+    std::string selfB_;
+    std::unique_ptr<HttpClient> clientA_;
+};
+
+TEST_F(ClusterWireTest, PeerFillIsByteIdenticalAndCounted)
+{
+    const std::string body = bodyOwnedBy(*a_, selfB_);
+    const HttpClientResponse filled = postA(body);
+    ASSERT_EQ(filled.status, 200);
+    EXPECT_EQ(filled.headers.count("x-bwwall-peer-filled"), 1u);
+    EXPECT_EQ(a_->metrics().counter("cluster.peer_fill.hits"),
+              1u);
+    EXPECT_EQ(
+        b_->metrics().counter("cluster.peer_fill.received"),
+        1u);
+    // The owner computed it; the filler did not.
+    EXPECT_EQ(a_->metrics().counter(
+                  "cluster.local_fallback_computes"),
+              0u);
+
+    // Byte identity: the filled answer equals a single-node solve.
+    HttpClient single("127.0.0.1", single_->port());
+    HttpClientResponse direct;
+    std::string error;
+    ASSERT_TRUE(
+        single.post("/v1/solve", body, &direct, &error))
+        << error;
+    EXPECT_EQ(filled.body, direct.body);
+
+    // The fill landed in A's cache: a repeat is a local hit, no
+    // second RPC.
+    postA(body);
+    EXPECT_EQ(
+        a_->metrics().counter("cluster.peer_fill.attempts"),
+        1u);
+}
+
+TEST_F(ClusterWireTest, OwnedKeysNeverFill)
+{
+    const std::string body = bodyOwnedBy(*a_, selfA_);
+    const HttpClientResponse response = postA(body);
+    ASSERT_EQ(response.status, 200);
+    EXPECT_EQ(response.headers.count("x-bwwall-peer-filled"),
+              0u);
+    EXPECT_EQ(
+        a_->metrics().counter("cluster.peer_fill.attempts"),
+        0u);
+    EXPECT_EQ(a_->metrics().counter("cluster.requests.owned"),
+              1u);
+}
+
+TEST_F(ClusterWireTest, ForwardedRequestIsNeverReForwarded)
+{
+    // Send A a request it does NOT own, marked as already
+    // forwarded: the loop-prevention rule says A answers locally
+    // and must not fill from B, even though B owns the key.
+    const std::string body = bodyOwnedBy(*a_, selfB_);
+    const HttpClientResponse response =
+        postA(body, {{kPeerFillHeader, "1"}});
+    ASSERT_EQ(response.status, 200);
+    EXPECT_EQ(response.headers.count("x-bwwall-peer-filled"),
+              0u);
+    EXPECT_EQ(
+        a_->metrics().counter("cluster.peer_fill.attempts"),
+        0u);
+    EXPECT_EQ(
+        a_->metrics().counter("cluster.peer_fill.received"),
+        1u);
+    EXPECT_EQ(
+        b_->metrics().counter("cluster.peer_fill.received"),
+        0u);
+}
+
+TEST_F(ClusterWireTest, DeadOwnerFallsBackToLocalCompute)
+{
+    const std::string body = bodyOwnedBy(*a_, selfB_);
+    // Tighten the fill budget so the test stays fast, then kill
+    // the owner: the fill errors and A absorbs the keyspace.
+    ClusterConfig cluster;
+    cluster.peers = {selfA_, selfB_};
+    cluster.self = selfA_;
+    cluster.peerDeadlineMs = 300;
+    cluster.peerAttempts = 1;
+    cluster.connectTimeoutMs = 100;
+    a_->configureCluster(cluster);
+    b_->stop();
+    b_.reset();
+
+    const HttpClientResponse response = postA(body);
+    ASSERT_EQ(response.status, 200);
+    EXPECT_EQ(response.headers.count("x-bwwall-peer-filled"),
+              0u);
+    EXPECT_EQ(
+        a_->metrics().counter("cluster.peer_fill.errors"), 1u);
+    EXPECT_EQ(a_->metrics().counter(
+                  "cluster.local_fallback_computes"),
+              1u);
+
+    // Byte identity survives the failure path.
+    HttpClient single("127.0.0.1", single_->port());
+    HttpClientResponse direct;
+    std::string error;
+    ASSERT_TRUE(
+        single.post("/v1/solve", body, &direct, &error))
+        << error;
+    EXPECT_EQ(response.body, direct.body);
+}
+
+TEST_F(ClusterWireTest, ClusterEndpointReportsMembership)
+{
+    HttpClientResponse response;
+    std::string error;
+    ASSERT_TRUE(
+        clientA_->get("/v1/cluster", &response, &error))
+        << error;
+    ASSERT_EQ(response.status, 200);
+    JsonValue payload;
+    ASSERT_TRUE(
+        JsonValue::parse(response.body, &payload, &error))
+        << error;
+    EXPECT_TRUE(payload.find("enabled")->asBool());
+    EXPECT_EQ(payload.find("self")->asString(), selfA_);
+    EXPECT_EQ(payload.find("node_count")->asNumber(), 2.0);
+    ASSERT_NE(payload.find("stats"), nullptr);
+}
+
+TEST(ClusterEndpoint, SingleNodeReportsDisabled)
+{
+    ServerConfig config;
+    config.port = 0;
+    config.threads = 1;
+    BwwallServer server(config);
+    server.start();
+    HttpClient client("127.0.0.1", server.port());
+    HttpClientResponse response;
+    std::string error;
+    ASSERT_TRUE(client.get("/v1/cluster", &response, &error))
+        << error;
+    ASSERT_EQ(response.status, 200);
+    JsonValue payload;
+    ASSERT_TRUE(
+        JsonValue::parse(response.body, &payload, &error))
+        << error;
+    EXPECT_FALSE(payload.find("enabled")->asBool());
+    EXPECT_EQ(payload.find("node_count")->asNumber(), 0.0);
+    server.stop();
+}
+
+} // namespace
+} // namespace bwwall

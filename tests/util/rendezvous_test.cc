@@ -1,0 +1,181 @@
+/**
+ * @file
+ * The shard map as a pure function: deterministic ownership,
+ * order-independence, balance, minimal key movement on membership
+ * change, and stable failover order (docs/CLUSTER.md).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/rendezvous.hh"
+
+namespace bwwall {
+namespace {
+
+std::vector<std::string>
+threeNodes()
+{
+    return {"127.0.0.1:8081", "127.0.0.1:8082",
+            "127.0.0.1:8083"};
+}
+
+std::vector<std::string>
+syntheticKeys(std::size_t count)
+{
+    std::vector<std::string> keys;
+    keys.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        keys.push_back("/v1/solve\n{\"alpha\":0." +
+                       std::to_string(100 + i) + "}");
+    return keys;
+}
+
+TEST(Rendezvous, ScoreIsDeterministic)
+{
+    const std::uint64_t a =
+        rendezvousScore("127.0.0.1:8081", "key-1");
+    const std::uint64_t b =
+        rendezvousScore("127.0.0.1:8081", "key-1");
+    EXPECT_EQ(a, b);
+    // Node, key, and seed all matter.
+    EXPECT_NE(a, rendezvousScore("127.0.0.1:8082", "key-1"));
+    EXPECT_NE(a, rendezvousScore("127.0.0.1:8081", "key-2"));
+    EXPECT_NE(a, rendezvousScore("127.0.0.1:8081", "key-1",
+                                 kRendezvousSeed + 1));
+}
+
+TEST(Rendezvous, SeparateHashesCannotSmear)
+{
+    // Concatenation ambiguity must not alias (node, key) pairs.
+    EXPECT_NE(rendezvousScore("ab", "c"),
+              rendezvousScore("a", "bc"));
+}
+
+TEST(Rendezvous, OwnerIgnoresNodeListOrder)
+{
+    const auto keys = syntheticKeys(200);
+    std::vector<std::string> forward = threeNodes();
+    std::vector<std::string> reversed(forward.rbegin(),
+                                      forward.rend());
+    for (const std::string &key : keys) {
+        const std::size_t a = rendezvousOwner(forward, key);
+        const std::size_t b = rendezvousOwner(reversed, key);
+        EXPECT_EQ(forward[a], reversed[b]) << key;
+    }
+}
+
+TEST(Rendezvous, EmptyNodeListHasNoOwner)
+{
+    const std::vector<std::string> none;
+    EXPECT_EQ(rendezvousOwner(none, "key"), std::string::npos);
+    EXPECT_TRUE(rendezvousOrder(none, "key").empty());
+}
+
+TEST(Rendezvous, SingleNodeOwnsEverything)
+{
+    const std::vector<std::string> one = {"127.0.0.1:8081"};
+    for (const std::string &key : syntheticKeys(50))
+        EXPECT_EQ(rendezvousOwner(one, key), 0u);
+}
+
+TEST(Rendezvous, OwnershipIsRoughlyBalanced)
+{
+    const auto nodes = threeNodes();
+    std::map<std::size_t, std::size_t> counts;
+    const std::size_t kKeys = 3000;
+    for (const std::string &key : syntheticKeys(kKeys))
+        ++counts[rendezvousOwner(nodes, key)];
+    // Every node owns a share; no node owns more than half.  The
+    // expectation is kKeys/3 each and the hash is deterministic,
+    // so these loose bounds cannot flake.
+    ASSERT_EQ(counts.size(), nodes.size());
+    for (const auto &entry : counts) {
+        EXPECT_GT(entry.second, kKeys / 6) << entry.first;
+        EXPECT_LT(entry.second, kKeys / 2) << entry.first;
+    }
+}
+
+TEST(Rendezvous, NodeRemovalMovesOnlyItsKeys)
+{
+    const auto nodes = threeNodes();
+    const auto keys = syntheticKeys(1000);
+    std::vector<std::string> survivors = {nodes[0], nodes[2]};
+    for (const std::string &key : keys) {
+        const std::string &before =
+            nodes[rendezvousOwner(nodes, key)];
+        const std::string &after =
+            survivors[rendezvousOwner(survivors, key)];
+        if (before != nodes[1]) {
+            // Keys the removed node did not own must not move:
+            // every survivor's score is unchanged.
+            EXPECT_EQ(before, after) << key;
+        } else {
+            EXPECT_NE(after, nodes[1]) << key;
+        }
+    }
+}
+
+TEST(Rendezvous, NodeJoinMovesAtMostItsShare)
+{
+    auto nodes = threeNodes();
+    const auto keys = syntheticKeys(2000);
+    std::vector<std::string> grown = nodes;
+    grown.push_back("127.0.0.1:8084");
+    std::size_t moved = 0;
+    for (const std::string &key : keys) {
+        const std::string &before =
+            nodes[rendezvousOwner(nodes, key)];
+        const std::string &after =
+            grown[rendezvousOwner(grown, key)];
+        if (before != after) {
+            // A key only ever moves *to* the newcomer.
+            EXPECT_EQ(after, "127.0.0.1:8084") << key;
+            ++moved;
+        }
+    }
+    // ~K/N keys remap in expectation; 2x slack, deterministic.
+    EXPECT_LE(moved, 2 * keys.size() / grown.size());
+    EXPECT_GT(moved, 0u);
+}
+
+TEST(Rendezvous, OrderStartsAtOwnerAndPermutesAllNodes)
+{
+    const auto nodes = threeNodes();
+    for (const std::string &key : syntheticKeys(100)) {
+        const auto order = rendezvousOrder(nodes, key);
+        ASSERT_EQ(order.size(), nodes.size());
+        EXPECT_EQ(order[0], rendezvousOwner(nodes, key));
+        auto sorted = order;
+        std::sort(sorted.begin(), sorted.end());
+        for (std::size_t i = 0; i < sorted.size(); ++i)
+            EXPECT_EQ(sorted[i], i);
+    }
+}
+
+TEST(Rendezvous, FailoverAgreesWithSurvivorMap)
+{
+    // The router's failover target (second in the order) must be
+    // the node the survivors would elect once the owner is gone —
+    // otherwise a node kill splits the cluster's view of the map.
+    const auto nodes = threeNodes();
+    for (const std::string &key : syntheticKeys(300)) {
+        const auto order = rendezvousOrder(nodes, key);
+        std::vector<std::string> survivors;
+        for (std::size_t i = 0; i < nodes.size(); ++i) {
+            if (i != order[0])
+                survivors.push_back(nodes[i]);
+        }
+        EXPECT_EQ(
+            survivors[rendezvousOwner(survivors, key)],
+            nodes[order[1]])
+            << key;
+    }
+}
+
+} // namespace
+} // namespace bwwall
