@@ -743,6 +743,75 @@ main(int argc, char **argv)
               << ", warm p99 " << cluster_p99_ms << " ms ("
               << cluster_p99_vs_single << "x single-node)\n";
 
+    // 4e: peer death.  Re-form the cluster with a live health
+    // prober, take a healthy baseline of distinct solves through
+    // two nodes, then kill the third.  Once the prober ejects it,
+    // fills to the corpse are skipped (local fallback) instead of
+    // burning the peer deadline, so steady-state p99 through the
+    // survivors must stay inside the healthy band.  runLoad()
+    // fatals on any non-200, so the survivors also must not shed
+    // a single request.
+    const unsigned probe_interval_ms = 100;
+    cluster_config.probeIntervalMs = probe_interval_ms;
+    cluster_config.probeTimeoutMs = 250;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        cluster_config.self = members[i];
+        nodes[i]->configureCluster(cluster_config);
+    }
+    const std::vector<std::uint16_t> survivor_ports = {
+        node_ports[0], node_ports[1]};
+    std::vector<std::string> healthy_bodies;
+    std::vector<std::string> dead_bodies;
+    for (std::size_t i = 0; i < sweeps * 4; ++i) {
+        healthy_bodies.push_back(
+            "{\"alpha\":0." + std::to_string(5000 + i) + "}");
+        dead_bodies.push_back(
+            "{\"alpha\":0." + std::to_string(7000 + i) + "}");
+    }
+    const LoadResult healthy_load =
+        runLoad(survivor_ports, threads, "/v1/solve",
+                healthy_bodies, healthy_bodies.size(), 600.0);
+    const double healthy_p99_ms =
+        latencyQuantile(healthy_load.latencies, 0.99) * 1e3;
+
+    nodes[2]->stop();
+    const auto eject_deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::seconds(10);
+    bool ejected = false;
+    while (!ejected &&
+           std::chrono::steady_clock::now() < eject_deadline) {
+        ejected =
+            nodes[0]->clusterSnapshot()->peerState(members[2]) ==
+                BreakerState::Open &&
+            nodes[1]->clusterSnapshot()->peerState(members[2]) ==
+                BreakerState::Open;
+        if (!ejected)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(10));
+    }
+    if (!ejected)
+        fatal("perf_server: prober never ejected the dead peer");
+
+    const LoadResult dead_load =
+        runLoad(survivor_ports, threads, "/v1/solve",
+                dead_bodies, dead_bodies.size(), 600.0);
+    const double dead_p99_ms =
+        latencyQuantile(dead_load.latencies, 0.99) * 1e3;
+    const double dead_peer_p99_vs_healthy =
+        healthy_p99_ms > 0.0 ? dead_p99_ms / healthy_p99_ms
+                             : 0.0;
+    const std::uint64_t dead_peer_skips =
+        nodes[0]->metrics().counter(
+            "cluster.peer_fill.peer_down") +
+        nodes[1]->metrics().counter(
+            "cluster.peer_fill.peer_down");
+    std::cout << "dead peer: healthy p99 " << healthy_p99_ms
+              << " ms, one node down p99 " << dead_p99_ms
+              << " ms (" << dead_peer_p99_vs_healthy
+              << "x healthy), " << dead_peer_skips
+              << " fills skipped without a connect\n";
+
     for (const auto &node : nodes)
         node->stop();
     nodes.clear();
@@ -784,6 +853,15 @@ main(int argc, char **argv)
                      cluster_p99_ms);
     metrics.setGauge("perf_server.cluster.p99_vs_single",
                      cluster_p99_vs_single);
+    metrics.setGauge("perf_server.cluster.healthy_p99_ms",
+                     healthy_p99_ms);
+    metrics.setGauge("perf_server.cluster.dead_peer_p99_ms",
+                     dead_p99_ms);
+    metrics.setGauge(
+        "perf_server.cluster.dead_peer_p99_vs_healthy",
+        dead_peer_p99_vs_healthy);
+    metrics.addCounter("perf_server.cluster.dead_peer_skips",
+                       dead_peer_skips);
     emitMetricsJson(metrics, options);
     return 0;
 }

@@ -67,6 +67,27 @@ struct Router
 };
 
 /**
+ * The standard {"error","category","status"} taxonomy body at an
+ * arbitrary status, for router-local refusals (404, 405, parse
+ * errors) whose statuses have no ErrorCategory of their own —
+ * clients parse one error shape everywhere.
+ */
+HttpResponse
+taxonomyError(int status, const char *category,
+              const std::string &message)
+{
+    JsonValue body = JsonValue::makeObject();
+    body.set("error", JsonValue(message));
+    body.set("category", JsonValue(std::string(category)));
+    body.set("status", JsonValue(static_cast<double>(status)));
+    HttpResponse response;
+    response.status = status;
+    response.body = body.dump();
+    response.body += '\n';
+    return response;
+}
+
+/**
  * Forwards @p request to the owner of its canonical key, walking
  * the rendezvous failover order while nodes are unreachable.
  */
@@ -91,9 +112,28 @@ routeModelQuery(Router &router, const HttpRequest &request)
     const std::string key =
         canonicalCacheKey(request.path, body);
     const std::string canonical = body.dump();
-    const Cluster &cluster = *router.cluster;
-    const std::vector<std::size_t> order =
+    Cluster &cluster = *router.cluster;
+
+    // The rendezvous walk, up nodes first: a node the health layer
+    // has marked down is demoted to last resort (never dropped —
+    // with every node down, trying one beats refusing outright),
+    // so requests stop spending connect timeouts rediscovering a
+    // dead node on every walk.
+    const std::vector<std::size_t> preference =
         cluster.preferenceOrder(key);
+    const std::size_t owner_index = preference.front();
+    std::vector<std::size_t> order;
+    std::vector<std::size_t> demoted;
+    for (const std::size_t index : preference) {
+        if (cluster.peerAvailable(cluster.nodes()[index]))
+            order.push_back(index);
+        else
+            demoted.push_back(index);
+    }
+    if (!demoted.empty())
+        router.metrics.addCounter("router.skipped_down",
+                                  demoted.size());
+    order.insert(order.end(), demoted.begin(), demoted.end());
 
     HttpClient::Request upstream;
     upstream.method = "POST";
@@ -117,11 +157,16 @@ routeModelQuery(Router &router, const HttpRequest &request)
                 std::stoul(node.substr(colon + 1))));
         client.setConnectTimeoutMs(
             cluster.config().connectTimeoutMs);
+        client.setReadTimeoutMs(
+            static_cast<unsigned>(router.deadlineMs));
         HttpRetryPolicy policy;
         policy.maxAttempts = router.attemptsPerNode;
         policy.initialBackoffMs = 10.0;
         policy.maxBackoffMs = 100.0;
         policy.retryPosts = true;
+        // A refused connect fails the node over immediately; the
+        // health layer remembers it for the next walk.
+        policy.failFastOnRefused = true;
         policy.budget = 1u << 20;
         policy.seed = rendezvousHash(key) ^ rank;
         client.setRetryPolicy(policy);
@@ -131,7 +176,13 @@ routeModelQuery(Router &router, const HttpRequest &request)
         HttpClientResponse response;
         if (client.perform(upstream, options, &response,
                            &last_error)) {
-            if (rank != 0)
+            // 5xx still answers the client (the node spoke), but
+            // counts against its health so a sick node is demoted.
+            if (response.status >= 500)
+                cluster.notePeerFailure(node);
+            else
+                cluster.notePeerSuccess(node);
+            if (order[rank] != owner_index)
                 router.metrics.addCounter("router.failovers");
             router.metrics.addCounter("router.forwarded");
             HttpResponse out;
@@ -144,6 +195,7 @@ routeModelQuery(Router &router, const HttpRequest &request)
             out.headers["X-BWWall-Routed-To"] = node;
             return out;
         }
+        cluster.notePeerFailure(node);
         router.metrics.addCounter("router.node_unreachable");
     }
     router.metrics.addCounter("router.upstream_failures");
@@ -181,13 +233,15 @@ dispatch(Router &router, const HttpRequest &request)
     }
     if (isModelQueryPath(request.path)) {
         if (request.method != "POST")
-            return httpErrorResponse(
-                405, "model queries are POST requests");
+            return taxonomyError(
+                405, "invalid_input",
+                "model queries are POST requests");
         return routeModelQuery(router, request);
     }
-    return httpErrorResponse(
-        404, "unknown path '" + request.path +
-                 "' (the router fronts model queries)");
+    return taxonomyError(
+        404, "invalid_input",
+        "unknown path '" + request.path +
+            "' (the router fronts model queries)");
 }
 
 /** Writes all of @p wire to @p fd; false on a dead peer. */
@@ -233,9 +287,9 @@ serveConnection(Router &router, int fd)
                 inform(request.method, ' ', request.target,
                        " -> ", response.status);
         } else {
-            response = httpErrorResponse(
+            response = taxonomyError(
                 status == HttpParseStatus::TooLarge ? 413 : 400,
-                "malformed request");
+                "invalid_input", "malformed request");
             close_after = true;
         }
         response.close = close_after;
@@ -257,6 +311,8 @@ main(int argc, char **argv)
     std::uint64_t peer_deadline_ms = 10000;
     std::uint64_t peer_attempts = 2;
     std::uint64_t connect_timeout_ms = 250;
+    std::uint64_t peer_probe_interval_ms = 1000;
+    std::uint64_t peer_failure_threshold = 3;
     bool log_requests = false;
 
     CliParser parser("bwwall_router",
@@ -278,6 +334,15 @@ main(int argc, char **argv)
                      "attempts per node before failing over");
     parser.addOption("--connect-timeout-ms", &connect_timeout_ms,
                      "MS", "per-attempt connect() bound");
+    parser.addOption("--peer-probe-interval-ms",
+                     &peer_probe_interval_ms, "MS",
+                     "background /healthz probe cadence; a node "
+                     "whose probe fails is demoted in the walk "
+                     "until one succeeds (0 = off)");
+    parser.addOption("--peer-failure-threshold",
+                     &peer_failure_threshold, "N",
+                     "consecutive forward failures that demote a "
+                     "node");
     parser.addFlag("--log-requests", &log_requests,
                    "log one line per routed request");
     parser.parseOrExit(argc, argv);
@@ -299,6 +364,10 @@ main(int argc, char **argv)
         static_cast<unsigned>(peer_attempts);
     cluster_config.connectTimeoutMs =
         static_cast<unsigned>(connect_timeout_ms);
+    cluster_config.probeIntervalMs =
+        static_cast<unsigned>(peer_probe_interval_ms);
+    cluster_config.peerFailureThreshold =
+        static_cast<unsigned>(peer_failure_threshold);
     try {
         router.cluster = std::make_unique<Cluster>(
             cluster_config, &router.metrics);

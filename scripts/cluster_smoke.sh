@@ -14,8 +14,15 @@
 #     marker; the other two fill from it
 #   - a hot-key storm across all nodes and the router computes
 #     exactly once cluster-wide
+#   - a SIGSTOPped node (a "gray failure": the kernel still accepts,
+#     nothing answers) is ejected by the health probers on its peers
+#     and the router, traffic through the router stays 100% 200s,
+#     and SIGCONT reinstates it
 #   - killing a node mid-storm produces zero 5xx through the router
 #     (failover) and zero 5xx on the survivors (local fallback)
+#   - a SIGTERMed node snapshots its result cache on drain and a
+#     restart on the same port serves byte-identical warm hits from
+#     the persisted snapshot (cache.persist.loaded > 0)
 #   - the survivors and the router drain cleanly on SIGTERM
 #
 # CI runs this against an AddressSanitizer build.
@@ -58,9 +65,12 @@ EOF
 )"
 peers="127.0.0.1:${node_ports[0]},127.0.0.1:${node_ports[1]},127.0.0.1:${node_ports[2]}"
 
+probe_ms=200
 for i in 0 1 2; do
     "$bwwalld" --port "${node_ports[$i]}" --threads 2 \
         --peers "$peers" --self "127.0.0.1:${node_ports[$i]}" \
+        --peer-probe-interval-ms "$probe_ms" \
+        --cache-persist-path "$work/node$i.snap" \
         >"$work/node$i.out" 2>"$work/node$i.log" &
     pids+=($!)
 done
@@ -71,6 +81,7 @@ done
 pids+=($!)
 
 "$router_bin" --port 0 --peers "$peers" \
+    --peer-probe-interval-ms "$probe_ms" \
     >"$work/router.out" 2>"$work/router.log" &
 router_pid=$!
 pids+=($!)
@@ -190,6 +201,58 @@ after=$(cluster_computes)
     fail "hot-key storm computed $((after - before)) times cluster-wide, want 1"
 echo "== hot-key storm OK (1 compute for 8 concurrent duplicates)"
 
+# --- gray failure: SIGSTOP, ejection, zero 5xx, reinstatement ---------
+# A stopped process is the nastiest failure mode: the kernel still
+# completes TCP handshakes into the listen backlog, so only a probe
+# read-timeout (not a connect refusal) can unmask it.  The health
+# probers on the peers and the router must eject the node, traffic
+# through the router must stay 100% 200s while it is down, and
+# SIGCONT must reinstate it via the same probes.
+peer_state() { # peer_state BASE_URL PEER -> prints the health state
+    curl -sf "$1/v1/cluster" |
+        python3 -c '
+import json, sys
+report = json.load(sys.stdin)
+health = report.get("health") or {}
+print((health.get(sys.argv[1]) or {}).get("state", "closed"))
+' "$2"
+}
+wait_state() { # wait_state BASE_URL PEER STATE
+    for _ in $(seq 1 50); do
+        [ "$(peer_state "$1" "$2")" = "$3" ] && return 0
+        sleep 0.1
+    done
+    return 1
+}
+gray_peer="127.0.0.1:${node_ports[1]}"
+kill -STOP "${pids[1]}"
+wait_state "$(node 0)" "$gray_peer" open ||
+    fail "node 0 never ejected the stopped node"
+wait_state "$(node 2)" "$gray_peer" open ||
+    fail "node 2 never ejected the stopped node"
+wait_state "$router" "$gray_peer" open ||
+    fail "the router never ejected the stopped node"
+(
+    curl_pids=()
+    for k in $(seq 1 20); do
+        curl -s -o "$work/gray$k.json" -w '%{http_code}\n' \
+            -X POST -d "{\"alpha\":0.$((300 + k))}" \
+            "$router/v1/solve" >>"$work/gray_codes.txt" &
+        curl_pids+=($!)
+    done
+    wait "${curl_pids[@]}"
+)
+[ "$(sort -u "$work/gray_codes.txt")" = "200" ] ||
+    fail "gray-failure storm saw statuses: $(sort -u "$work/gray_codes.txt" | tr '\n' ' ')"
+[ "$(wc -l <"$work/gray_codes.txt")" -eq 20 ] ||
+    fail "gray-failure storm lost requests"
+kill -CONT "${pids[1]}"
+wait_state "$(node 0)" "$gray_peer" closed ||
+    fail "node 0 never reinstated the resumed node"
+wait_state "$router" "$gray_peer" closed ||
+    fail "the router never reinstated the resumed node"
+echo "== gray failure OK (ejected while stopped, 20/20 answered 200, reinstated on CONT)"
+
 # --- node-kill drill: zero unexpected 5xx -----------------------------
 # Distinct keys through the router while the owner of ~1/3 of them
 # is SIGKILLed mid-storm: the router must fail over and the
@@ -227,6 +290,43 @@ curl -sf "$router/metrics" >"$work/router_metrics.txt"
 grep -q '^counter router.forwarded ' "$work/router_metrics.txt" ||
     fail "router metrics lack router.forwarded"
 echo "== node-kill drill OK (40/40 answered 200 through the router)"
+
+# --- warm restart: drain snapshot, reload, byte-identical hits --------
+# SIGTERM node 1: the graceful drain snapshots its result cache.  A
+# restart on the same port must load the snapshot and serve the
+# pre-restart answer as a warm cache hit, byte for byte.
+warm='{"alpha":0.888}'
+curl -sf -X POST -d "$warm" "$(node 1)/v1/solve" \
+    >"$work/warm_before.json"
+grep -q '"supportable_cores"' "$work/warm_before.json" ||
+    fail "pre-restart solve failed"
+kill -TERM "${pids[1]}"
+status=0
+wait "${pids[1]}" || status=$?
+[ "$status" -eq 0 ] || fail "node 1 drained with status $status"
+[ -s "$work/node1.snap" ] ||
+    fail "node 1 left no cache snapshot on drain"
+"$bwwalld" --port "${node_ports[1]}" --threads 2 \
+    --peers "$peers" --self "127.0.0.1:${node_ports[1]}" \
+    --peer-probe-interval-ms "$probe_ms" \
+    --cache-persist-path "$work/node1.snap" \
+    >"$work/node1_restart.out" 2>"$work/node1_restart.log" &
+pids[1]=$!
+wait_port "$work/node1_restart.out" bwwalld >/dev/null
+curl -sf "$(node 1)/metrics?format=json" >"$work/m1_restart.json"
+loaded=$(metrics_value "$work/m1_restart.json" cache.persist.loaded)
+[ "$loaded" -gt 0 ] ||
+    fail "restarted node loaded $loaded snapshot entries, want > 0"
+hits_before=$(metrics_value "$work/m1_restart.json" cache.hits)
+curl -sf -X POST -d "$warm" "$(node 1)/v1/solve" \
+    >"$work/warm_after.json"
+cmp -s "$work/warm_before.json" "$work/warm_after.json" ||
+    fail "post-restart bytes differ from the pre-restart answer"
+curl -sf "$(node 1)/metrics?format=json" >"$work/m1_after.json"
+hits_after=$(metrics_value "$work/m1_after.json" cache.hits)
+[ "$hits_after" -gt "$hits_before" ] ||
+    fail "post-restart answer was not a warm cache hit"
+echo "== warm restart OK ($loaded entries reloaded, byte-identical warm hit)"
 
 # --- graceful drain ---------------------------------------------------
 for pid in "${pids[0]}" "${pids[1]}" "${pids[3]}" "$router_pid"; do

@@ -84,6 +84,17 @@ parsePeerList(const std::string &text,
 Cluster::Cluster(ClusterConfig config, MetricsRegistry *metrics)
     : config_(std::move(config)), metrics_(metrics)
 {
+    if (config_.peerFailureThreshold == 0)
+        config_.peerFailureThreshold = 1;
+    healthConfig_.failureThreshold = config_.peerFailureThreshold;
+    healthConfig_.cooldownSeconds = 1.0;
+    healthConfig_.cooldownGrowth = 2.0;
+    healthConfig_.maxCooldownSeconds = 30.0;
+    // Jitter keeps a fleet of nodes from re-probing one dead peer
+    // in lockstep; the stream is seeded from the shared map seed so
+    // runs stay reproducible.
+    healthConfig_.jitter = 0.1;
+    healthConfig_.seed = rendezvousMix(config_.seed);
     nodes_ = config_.peers;
     std::sort(nodes_.begin(), nodes_.end());
     nodes_.erase(std::unique(nodes_.begin(), nodes_.end()),
@@ -114,9 +125,25 @@ Cluster::Cluster(ClusterConfig config, MetricsRegistry *metrics)
     for (const std::string &node : nodes_)
         pools_.emplace_back(
             node, std::vector<std::unique_ptr<HttpClient>>());
+    if (metrics_ != nullptr)
+        metrics_->setGauge("cluster.health.peers_down", 0.0);
+    bool has_remote = false;
+    for (const std::string &node : nodes_)
+        has_remote = has_remote || node != config_.self;
+    if (config_.probeIntervalMs > 0 && has_remote)
+        prober_ = std::thread(&Cluster::proberLoop, this);
 }
 
-Cluster::~Cluster() = default;
+Cluster::~Cluster()
+{
+    {
+        std::lock_guard<std::mutex> lock(proberMutex_);
+        proberStop_ = true;
+    }
+    proberCv_.notify_all();
+    if (prober_.joinable())
+        prober_.join();
+}
 
 void
 Cluster::count(const char *name) const
@@ -149,6 +176,10 @@ Cluster::acquireClient(const std::string &peer)
         return nullptr;
     auto client = std::make_unique<HttpClient>(host, port);
     client->setConnectTimeoutMs(config_.connectTimeoutMs);
+    // Bound the read too: a SIGSTOPped peer accepts the connect
+    // but never answers, and without this the fill would hold its
+    // compute slot until the caller's client gave up.
+    client->setReadTimeoutMs(config_.peerDeadlineMs);
     HttpRetryPolicy policy;
     policy.maxAttempts = config_.peerAttempts;
     policy.initialBackoffMs = 10.0;
@@ -160,6 +191,10 @@ Cluster::acquireClient(const std::string &peer)
     // A fill POST is safe to retry: model queries are pure and the
     // owner's single-flight cache dedupes re-sent work.
     policy.retryPosts = true;
+    // But a refused connect is not worth a second try within one
+    // fill — the owner's process is gone; fall back to the local
+    // compute and let the breaker/prober handle reinstatement.
+    policy.failFastOnRefused = true;
     client->setRetryPolicy(policy);
     return client;
 }
@@ -178,6 +213,131 @@ Cluster::releaseClient(const std::string &peer,
     }
 }
 
+Breaker &
+Cluster::healthFor(const std::string &peer)
+{
+    const auto it = health_.find(peer);
+    if (it != health_.end())
+        return it->second;
+    BreakerConfig config = healthConfig_;
+    config.seed = rendezvousMix(
+        healthConfig_.seed ^ rendezvousHash(peer, config_.seed));
+    return health_.try_emplace(peer, config).first->second;
+}
+
+void
+Cluster::noteHealthEventLocked(BreakerEvent event)
+{
+    if (metrics_ == nullptr)
+        return;
+    switch (event) {
+      case BreakerEvent::Opened:
+      case BreakerEvent::Reopened:
+        metrics_->addCounter("cluster.health.ejections");
+        break;
+      case BreakerEvent::Closed:
+        metrics_->addCounter("cluster.health.reinstatements");
+        break;
+      case BreakerEvent::None:
+        return;
+    }
+    double down = 0.0;
+    for (const auto &entry : health_)
+        if (entry.second.state() != BreakerState::Closed)
+            down += 1.0;
+    metrics_->setGauge("cluster.health.peers_down", down);
+}
+
+bool
+Cluster::peerAvailable(const std::string &peer)
+{
+    std::lock_guard<std::mutex> lock(healthMutex_);
+    Breaker &breaker = healthFor(peer);
+    if (config_.probeIntervalMs > 0) {
+        // The prober owns reinstatement: a down peer stays skipped
+        // until a probe succeeds, so no request ever spends its
+        // deadline rediscovering a known-dead peer.
+        return breaker.state() == BreakerState::Closed;
+    }
+    // No prober: fills themselves drive recovery through the
+    // breaker's own half-open trial.
+    return breaker.allow(Breaker::Clock::now());
+}
+
+void
+Cluster::notePeerSuccess(const std::string &peer)
+{
+    std::lock_guard<std::mutex> lock(healthMutex_);
+    noteHealthEventLocked(healthFor(peer).recordSuccess(
+        Breaker::Clock::now()));
+}
+
+void
+Cluster::notePeerFailure(const std::string &peer)
+{
+    std::lock_guard<std::mutex> lock(healthMutex_);
+    noteHealthEventLocked(healthFor(peer).recordFailure(
+        Breaker::Clock::now()));
+}
+
+BreakerState
+Cluster::peerState(const std::string &peer) const
+{
+    std::lock_guard<std::mutex> lock(healthMutex_);
+    const auto it = health_.find(peer);
+    return it == health_.end() ? BreakerState::Closed
+                               : it->second.state();
+}
+
+void
+Cluster::probePeersOnce()
+{
+    for (const std::string &node : nodes_) {
+        if (node == config_.self)
+            continue;
+        std::string host;
+        std::uint16_t port = 0;
+        if (!splitHostPort(node, &host, &port))
+            continue;
+        // A fresh connection per probe: the point is to test the
+        // peer's accept path now, not to reuse a socket that may
+        // have been healthy a minute ago.
+        HttpClient client(host, port);
+        client.setConnectTimeoutMs(config_.probeTimeoutMs);
+        client.setReadTimeoutMs(config_.probeTimeoutMs);
+        count("cluster.health.probes");
+        HttpClientResponse response;
+        const bool healthy = client.get("/healthz", &response) &&
+                             response.status == 200;
+        if (!healthy)
+            count("cluster.health.probe_failures");
+        const auto now = Breaker::Clock::now();
+        std::lock_guard<std::mutex> lock(healthMutex_);
+        Breaker &breaker = healthFor(node);
+        noteHealthEventLocked(healthy ? breaker.reset(now)
+                                      : breaker.trip(now));
+    }
+}
+
+void
+Cluster::proberLoop()
+{
+    const auto interval =
+        std::chrono::milliseconds(config_.probeIntervalMs);
+    std::unique_lock<std::mutex> lock(proberMutex_);
+    while (!proberStop_) {
+        // Wait first: probing the instant the daemon boots would
+        // eject peers that are a rolling restart behind us, only
+        // to reinstate them one interval later.
+        if (proberCv_.wait_for(lock, interval,
+                               [this] { return proberStop_; }))
+            break;
+        lock.unlock();
+        probePeersOnce();
+        lock.lock();
+    }
+}
+
 bool
 Cluster::fillFromPeer(const std::string &peer,
                       const std::string &path,
@@ -185,6 +345,12 @@ Cluster::fillFromPeer(const std::string &peer,
                       double remainingSeconds, HttpResponse *out)
 {
     count("cluster.peer_fill.attempts");
+    if (!peerAvailable(peer)) {
+        // Known-down owner: straight to the local compute without
+        // burning any of the caller's remaining deadline.
+        count("cluster.peer_fill.peer_down");
+        return false;
+    }
     double deadline_ms =
         static_cast<double>(config_.peerDeadlineMs);
     if (remainingSeconds >= 0.0)
@@ -219,9 +385,19 @@ Cluster::fillFromPeer(const std::string &peer,
     const bool transported =
         client->perform(request, options, &response, &error);
     if (transported)
+        notePeerSuccess(peer);
+    else
+        notePeerFailure(peer);
+    if (transported)
         releaseClient(peer, std::move(client));
     if (!transported) {
-        count("cluster.peer_fill.errors");
+        // An outright refusal means nobody is listening — a crash
+        // or restart, not load — and perform() gave up without
+        // burning a retry attempt (failFastOnRefused).
+        count(client->lastFailureKind() ==
+                      HttpClient::FailureKind::ConnectRefused
+                  ? "cluster.peer_fill.refused"
+                  : "cluster.peer_fill.errors");
         return false;
     }
     if (response.status != 200 ||
@@ -263,6 +439,33 @@ Cluster::statusJson() const
     payload.set(
         "peer_deadline_ms",
         JsonValue(static_cast<double>(config_.peerDeadlineMs)));
+    payload.set(
+        "peer_probe_interval_ms",
+        JsonValue(static_cast<double>(config_.probeIntervalMs)));
+    {
+        JsonValue health = JsonValue::makeObject();
+        std::lock_guard<std::mutex> lock(healthMutex_);
+        for (const std::string &node : nodes_) {
+            if (node == config_.self)
+                continue;
+            JsonValue entry = JsonValue::makeObject();
+            const auto it = health_.find(node);
+            const BreakerState state =
+                it == health_.end() ? BreakerState::Closed
+                                    : it->second.state();
+            const unsigned failures =
+                it == health_.end()
+                    ? 0
+                    : it->second.consecutiveFailures();
+            entry.set("state",
+                      JsonValue(std::string(
+                          breakerStateName(state))));
+            entry.set("consecutive_failures",
+                      JsonValue(static_cast<double>(failures)));
+            health.set(node, entry);
+        }
+        payload.set("health", health);
+    }
     if (metrics_ != nullptr) {
         JsonValue stats = JsonValue::makeObject();
         static const char *const kStats[] = {
@@ -274,7 +477,13 @@ Cluster::statusJson() const
             "cluster.peer_fill.errors",
             "cluster.peer_fill.skipped",
             "cluster.peer_fill.received",
+            "cluster.peer_fill.refused",
+            "cluster.peer_fill.peer_down",
             "cluster.local_fallback_computes",
+            "cluster.health.probes",
+            "cluster.health.probe_failures",
+            "cluster.health.ejections",
+            "cluster.health.reinstatements",
         };
         for (const char *name : kStats)
             stats.set(name,

@@ -29,15 +29,19 @@
 #ifndef BWWALL_SERVER_CLUSTER_HH
 #define BWWALL_SERVER_CLUSTER_HH
 
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "server/http.hh"
+#include "util/breaker.hh"
 #include "util/rendezvous.hh"
 
 namespace bwwall {
@@ -84,6 +88,27 @@ struct ClusterConfig
 
     /** connect() bound per attempt, milliseconds. */
     unsigned connectTimeoutMs = 250;
+
+    /**
+     * Cadence of the background /healthz prober, milliseconds
+     * (0 — the default — disables it).  With the prober running,
+     * a peer whose probe fails is ejected (fills to it skipped
+     * instantly) and reinstated by the next successful probe, so
+     * ejection and recovery both land within one interval.
+     * Without it, peer health is driven purely by fill outcomes
+     * and the breaker's own half-open cooldown.
+     */
+    unsigned probeIntervalMs = 0;
+
+    /** Bound on one probe's connect and read, milliseconds. */
+    unsigned probeTimeoutMs = 250;
+
+    /**
+     * Consecutive fill transport failures that mark a peer down
+     * even between probes (a dead peer stops burning deadlines
+     * after this many fills, not after the next probe tick).
+     */
+    unsigned peerFailureThreshold = 3;
 
     /** Shard-map seed; every member must agree (docs/CLUSTER.md). */
     std::uint64_t seed = kRendezvousSeed;
@@ -185,9 +210,42 @@ class Cluster
                       const std::string &body,
                       double remainingSeconds, HttpResponse *out);
 
+    /** @name Peer health
+     * One util/breaker.hh Breaker per non-self peer, fed by fill
+     * outcomes (and by the router's forward outcomes) and — when
+     * probeIntervalMs > 0 — driven authoritatively by the
+     * background /healthz prober: a failed probe trips the
+     * breaker, a successful one resets it.  A down peer is
+     * skipped instantly (cluster.peer_fill.peer_down) instead of
+     * burning the request's remaining deadline on a doomed RPC.
+     *  @{ */
+
+    /**
+     * True when a fill/forward to @p peer may proceed.  With the
+     * prober running, only a closed breaker admits — reinstatement
+     * is the prober's job.  Without it, an open breaker admits one
+     * half-open trial per cooldown, so fills themselves drive
+     * recovery.
+     */
+    bool peerAvailable(const std::string &peer);
+
+    /** Reports one fill/forward success on @p peer. */
+    void notePeerSuccess(const std::string &peer);
+
+    /** Reports one fill/forward transport failure on @p peer. */
+    void notePeerFailure(const std::string &peer);
+
+    /** @p peer's breaker state (Closed = fillable). */
+    BreakerState peerState(const std::string &peer) const;
+
+    /** Runs one probe pass over every non-self peer, now. */
+    void probePeersOnce();
+    /** @} */
+
     /**
      * The /v1/cluster payload: kind, enabled, self, seed (hex),
-     * the node list, and the cluster.* stat counters.
+     * the node list with per-peer health, the probe interval, and
+     * the cluster.* stat counters.
      */
     JsonValue statusJson() const;
 
@@ -204,6 +262,19 @@ class Cluster
 
     void count(const char *name) const;
 
+    /** @p peer's breaker, created closed on first touch. */
+    Breaker &healthFor(const std::string &peer);
+
+    /**
+     * Counts a breaker transition (cluster.health.ejections /
+     * .reinstatements) and refreshes the peers_down gauge.
+     * Callers hold healthMutex_.
+     */
+    void noteHealthEventLocked(BreakerEvent event);
+
+    /** The prober thread body: probe, sleep, repeat. */
+    void proberLoop();
+
     ClusterConfig config_;
     std::vector<std::string> nodes_;
     MetricsRegistry *metrics_;
@@ -214,6 +285,15 @@ class Cluster
                   std::vector<std::unique_ptr<HttpClient>>>>
         pools_;
     std::uint64_t fillSequence_ = 0;
+
+    mutable std::mutex healthMutex_;
+    std::map<std::string, Breaker> health_;
+    BreakerConfig healthConfig_;
+
+    std::thread prober_;
+    std::mutex proberMutex_;
+    std::condition_variable proberCv_;
+    bool proberStop_ = false;
 };
 
 } // namespace bwwall

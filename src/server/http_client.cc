@@ -68,6 +68,9 @@ HttpClient::connectOne(int fd, const void *address,
     if (connectTimeoutMs_ == 0) {
         if (::connect(fd, addr, len) == 0)
             return true;
+        lastFailure_ = errno == ECONNREFUSED
+                           ? FailureKind::ConnectRefused
+                           : FailureKind::Other;
         *failure = std::strerror(errno);
         return false;
     }
@@ -83,25 +86,34 @@ HttpClient::connectOne(int fd, const void *address,
     if (::connect(fd, addr, len) == 0) {
         ok = true;
     } else if (errno != EINPROGRESS) {
+        lastFailure_ = errno == ECONNREFUSED
+                           ? FailureKind::ConnectRefused
+                           : FailureKind::Other;
         *failure = std::strerror(errno);
     } else {
         pollfd pfd{fd, POLLOUT, 0};
         const int ready =
             ::poll(&pfd, 1, static_cast<int>(connectTimeoutMs_));
         if (ready == 0) {
+            lastFailure_ = FailureKind::ConnectTimeout;
             *failure = "timed out after " +
                        std::to_string(connectTimeoutMs_) + " ms";
         } else if (ready < 0) {
+            lastFailure_ = FailureKind::Other;
             *failure = std::strerror(errno);
         } else {
             int soerror = 0;
             socklen_t soerror_len = sizeof(soerror);
             ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerror,
                          &soerror_len);
-            if (soerror == 0)
+            if (soerror == 0) {
                 ok = true;
-            else
+            } else {
+                lastFailure_ = soerror == ECONNREFUSED
+                                   ? FailureKind::ConnectRefused
+                                   : FailureKind::Other;
                 *failure = std::strerror(soerror);
+            }
         }
     }
     if (ok)
@@ -165,6 +177,7 @@ HttpClient::sendAll(const std::string &wire, std::string *error)
         if (n < 0) {
             if (errno == EINTR)
                 continue;
+            lastFailure_ = FailureKind::Other;
             if (error)
                 *error = std::string("send: ") +
                          std::strerror(errno);
@@ -179,21 +192,70 @@ bool
 HttpClient::readResponse(HttpClientResponse *out,
                          std::string *error)
 {
+    // The whole response (headers + body) shares one read bound; a
+    // half-read response is useless, so a timeout also drops the
+    // connection.
+    const auto read_deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(readTimeoutMs_);
+    const auto recv_some = [&](char *chunk, std::size_t cap,
+                               ssize_t *n) -> bool {
+        for (;;) {
+            if (readTimeoutMs_ != 0) {
+                const auto remaining =
+                    std::chrono::duration_cast<
+                        std::chrono::milliseconds>(
+                        read_deadline -
+                        std::chrono::steady_clock::now())
+                        .count();
+                pollfd pfd{fd_, POLLIN, 0};
+                const int ready = remaining <= 0
+                    ? 0
+                    : ::poll(&pfd, 1,
+                             static_cast<int>(remaining));
+                if (ready == 0) {
+                    lastFailure_ = FailureKind::ReadTimeout;
+                    if (error)
+                        *error =
+                            "read timed out after " +
+                            std::to_string(readTimeoutMs_) +
+                            " ms";
+                    disconnect();
+                    return false;
+                }
+                if (ready < 0) {
+                    if (errno == EINTR)
+                        continue;
+                    if (error)
+                        *error = std::string("poll: ") +
+                                 std::strerror(errno);
+                    return false;
+                }
+            }
+            *n = ::recv(fd_, chunk, cap, 0);
+            if (*n < 0 && errno == EINTR)
+                continue;
+            if (*n <= 0) {
+                if (error)
+                    *error =
+                        *n == 0
+                            ? "connection closed mid-response"
+                            : std::string("recv: ") +
+                                  std::strerror(errno);
+                return false;
+            }
+            return true;
+        }
+    };
+
     // Pull bytes until the header block is complete.
     std::size_t header_end;
     while ((header_end = buffer_.find("\r\n\r\n")) ==
            std::string::npos) {
         char chunk[4096];
-        ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-        if (n < 0 && errno == EINTR)
-            continue;
-        if (n <= 0) {
-            if (error)
-                *error = n == 0 ? "connection closed mid-response"
-                                : std::string("recv: ") +
-                                      std::strerror(errno);
+        ssize_t n = 0;
+        if (!recv_some(chunk, sizeof(chunk), &n))
             return false;
-        }
         buffer_.append(chunk, static_cast<std::size_t>(n));
     }
 
@@ -240,14 +302,9 @@ HttpClient::readResponse(HttpClientResponse *out,
                                 nullptr, 10));
     while (buffer_.size() < want) {
         char chunk[4096];
-        ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-        if (n < 0 && errno == EINTR)
-            continue;
-        if (n <= 0) {
-            if (error)
-                *error = "connection closed mid-body";
+        ssize_t n = 0;
+        if (!recv_some(chunk, sizeof(chunk), &n))
             return false;
-        }
         buffer_.append(chunk, static_cast<std::size_t>(n));
     }
     out->body = buffer_.substr(0, want);
@@ -266,8 +323,13 @@ HttpClient::performOnce(const Request &request,
                         HttpClientResponse *out,
                         std::string *error)
 {
-    if (fd_ < 0 && !connect(error))
+    lastFailure_ = FailureKind::None;
+    const bool reused = fd_ >= 0;
+    if (!reused && !connect(error)) {
+        if (lastFailure_ == FailureKind::None)
+            lastFailure_ = FailureKind::Other;
         return false;
+    }
 
     std::string wire;
     wire.reserve(request.target.size() + request.body.size() +
@@ -324,14 +386,20 @@ HttpClient::performOnce(const Request &request,
     }
     wire += request.body;
 
-    if (!sendAll(wire, error) || !readResponse(out, error)) {
-        // A stale keep-alive connection the server already closed
-        // shows up as a transport error; retry once on a fresh one.
-        if (!connect(error))
-            return false;
-        return sendAll(wire, error) && readResponse(out, error);
+    bool ok = sendAll(wire, error) && readResponse(out, error);
+    if (!ok && lastFailure_ != FailureKind::ReadTimeout) {
+        // A connection the server dropped between our exchange's
+        // send and read (a stale keep-alive socket, a shed accept)
+        // shows up as a transport error; retry once on a fresh
+        // one.  Not after a read timeout — the full bound was
+        // already spent waiting, and re-sending would double it.
+        lastFailure_ = FailureKind::None;
+        ok = connect(error) && sendAll(wire, error) &&
+             readResponse(out, error);
     }
-    return true;
+    if (!ok && lastFailure_ == FailureKind::None)
+        lastFailure_ = FailureKind::Other;
+    return ok;
 }
 
 namespace {
@@ -405,6 +473,16 @@ HttpClient::retryLoop(const Request &request,
                 if (error)
                     *error = last_error +
                              " (not retried: non-idempotent)";
+                return false;
+            }
+            if (policy.failFastOnRefused &&
+                lastFailure_ == FailureKind::ConnectRefused) {
+                // Nobody is listening: fail now, before this
+                // refusal consumes a retry attempt or any backoff
+                // sleep from the caller's budget.
+                if (error)
+                    *error = last_error +
+                             " (not retried: connection refused)";
                 return false;
             }
         }

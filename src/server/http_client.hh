@@ -19,10 +19,18 @@
  *  - setConnectTimeoutMs() bounds connect() (non-blocking connect +
  *    poll) so an unreachable server fails fast instead of hanging
  *    in the kernel's SYN retries;
+ *  - setReadTimeoutMs() bounds reading one response, so a peer that
+ *    accepts the connection but never answers (SIGSTOPped, wedged)
+ *    cannot hang the caller;
  *  - RequestOptions::retry layers an idempotency-aware retry policy
  *    on the exchange: capped exponential backoff with deterministic
  *    jitter, a lifetime retry budget, Retry-After awareness, and a
- *    total deadline the server sees via X-BWWall-Deadline-Ms.
+ *    total deadline the server sees via X-BWWall-Deadline-Ms;
+ *  - lastFailureKind() classifies transport failures (connection
+ *    refused vs timed out vs other), and
+ *    HttpRetryPolicy::failFastOnRefused turns an outright refusal
+ *    into an immediate failure instead of a retried one — the
+ *    cluster's peer-health layer keys off both.
  */
 
 #ifndef BWWALL_SERVER_HTTP_CLIENT_HH
@@ -85,12 +93,39 @@ struct HttpRetryPolicy
      * deadline tightens to what the client will actually wait for.
      */
     double totalDeadlineMs = 0.0;
+
+    /**
+     * Give up immediately on an outright connection refusal
+     * instead of burning retry attempts on it: a closed port means
+     * nobody is listening, and backing off cannot change that
+     * within one call's budget.  The refusal is still reported as
+     * a transport failure (FailureKind::ConnectRefused) so callers
+     * can classify it.  Off by default — a server restarting
+     * between attempts is exactly what retries are for.
+     */
+    bool failFastOnRefused = false;
 };
 
 /** One keep-alive connection to an HTTP server. */
 class HttpClient
 {
   public:
+    /**
+     * How the last perform() failed, for callers that react
+     * differently to "nobody is listening" (connection refused —
+     * the peer process is gone) than to "listening but not
+     * answering" (timeouts — the peer may be wedged or slow).
+     * None after a successful transport.
+     */
+    enum class FailureKind
+    {
+        None,
+        ConnectRefused, ///< connect() answered ECONNREFUSED
+        ConnectTimeout, ///< connect() outlived its bound
+        ReadTimeout,    ///< the response outlived the read bound
+        Other,          ///< resolve/send/parse/close failures
+    };
+
     /** One exchange to perform(): the what of a request. */
     struct Request
     {
@@ -229,6 +264,22 @@ class HttpClient
         connectTimeoutMs_ = ms;
     }
 
+    /**
+     * Bounds reading one response, milliseconds (0 = wait forever,
+     * the historical behavior).  Without it a peer that accepts the
+     * connection but never answers — a SIGSTOPped process, a
+     * wedged event loop — hangs the caller indefinitely; with it
+     * the read fails (FailureKind::ReadTimeout) and the connection
+     * is dropped, since a half-read response is unusable.
+     */
+    void setReadTimeoutMs(unsigned ms) { readTimeoutMs_ = ms; }
+
+    /** Classification of the last perform() transport failure. */
+    FailureKind lastFailureKind() const
+    {
+        return lastFailure_;
+    }
+
     void setRetryPolicy(const HttpRetryPolicy &policy)
     {
         retryPolicy_ = policy;
@@ -262,6 +313,8 @@ class HttpClient
     std::uint16_t port_;
     int fd_ = -1;
     unsigned connectTimeoutMs_ = 0;
+    unsigned readTimeoutMs_ = 0;
+    FailureKind lastFailure_ = FailureKind::None;
     HttpRetryPolicy retryPolicy_;
     unsigned retriesUsed_ = 0;
     std::uint64_t jitterState_ = 0;

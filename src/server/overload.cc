@@ -21,6 +21,44 @@ OverloadController::OverloadController(OverloadConfig config,
 {
     latencies_.resize(
         std::max<std::size_t>(config_.latencyWindow, 1));
+    // Endpoint breakers keep their historical semantics: a fixed,
+    // unjittered cooldown (tests drive the lifecycle with scripted
+    // sleeps) and consecutive-failure counting only.
+    breakerConfig_.failureThreshold = config_.breakerThreshold;
+    breakerConfig_.cooldownSeconds =
+        config_.breakerCooldownSeconds;
+    breakerConfig_.cooldownGrowth = 1.0;
+    breakerConfig_.jitter = 0.0;
+}
+
+Breaker &
+OverloadController::breakerFor(const std::string &path)
+{
+    const auto it = breakers_.find(path);
+    if (it != breakers_.end())
+        return it->second;
+    return breakers_.try_emplace(path, breakerConfig_)
+        .first->second;
+}
+
+void
+OverloadController::countEvent(BreakerEvent event)
+{
+    if (metrics_ == nullptr)
+        return;
+    switch (event) {
+      case BreakerEvent::Opened:
+        metrics_->addCounter("server.breaker_opened");
+        break;
+      case BreakerEvent::Reopened:
+        metrics_->addCounter("server.breaker_reopened");
+        break;
+      case BreakerEvent::Closed:
+        metrics_->addCounter("server.breaker_closed");
+        break;
+      case BreakerEvent::None:
+        break;
+    }
 }
 
 bool
@@ -70,21 +108,10 @@ OverloadController::admit(const std::string &path, unsigned inflight)
     const bool degradable = isDegradable(path);
     std::lock_guard<std::mutex> lock(mutex_);
 
-    Breaker &breaker = breakers_[path];
-    if (breaker.open) {
-        const double since =
-            std::chrono::duration<double>(Clock::now() -
-                                          breaker.openedAt)
-                .count();
-        if (since >= config_.breakerCooldownSeconds &&
-            !breaker.probing) {
-            // Half-open: admit one probe; its outcome (observe())
-            // closes or re-opens the breaker.
-            breaker.probing = true;
-        } else {
-            return AdmitDecision::Shed;
-        }
-    }
+    // An open breaker sheds; after its cooldown allow() admits one
+    // half-open probe, whose outcome (observe()) closes or re-opens.
+    if (!breakerFor(path).allow(Clock::now()))
+        return AdmitDecision::Shed;
 
     const double pressure = config_.maxInflight == 0
         ? 0.0
@@ -119,32 +146,9 @@ OverloadController::observe(const std::string &path, double seconds,
     latencyNext_ = (latencyNext_ + 1) % latencies_.size();
     latencyCount_ = std::min(latencyCount_ + 1, latencies_.size());
 
-    Breaker &breaker = breakers_[path];
-    if (failure) {
-        ++breaker.consecutiveFailures;
-        if (breaker.probing) {
-            // Failed probe: re-open for another cooldown.
-            breaker.probing = false;
-            breaker.openedAt = Clock::now();
-            if (metrics_ != nullptr)
-                metrics_->addCounter("server.breaker_reopened");
-        } else if (!breaker.open &&
-                   breaker.consecutiveFailures >=
-                       config_.breakerThreshold) {
-            breaker.open = true;
-            breaker.openedAt = Clock::now();
-            if (metrics_ != nullptr)
-                metrics_->addCounter("server.breaker_opened");
-        }
-    } else {
-        breaker.consecutiveFailures = 0;
-        if (breaker.open) {
-            breaker.open = false;
-            breaker.probing = false;
-            if (metrics_ != nullptr)
-                metrics_->addCounter("server.breaker_closed");
-        }
-    }
+    Breaker &breaker = breakerFor(path);
+    countEvent(failure ? breaker.recordFailure(Clock::now())
+                       : breaker.recordSuccess(Clock::now()));
 }
 
 unsigned
@@ -165,7 +169,8 @@ OverloadController::breakerOpen(const std::string &path) const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = breakers_.find(path);
-    return it != breakers_.end() && it->second.open;
+    return it != breakers_.end() &&
+           it->second.state() != BreakerState::Closed;
 }
 
 } // namespace bwwall

@@ -8,8 +8,10 @@
  * *selective*: endpoints the route table (server/routes.hh) marks
  * Expensive (/v1/sweep, /v1/batch) give way before cheap ones
  * (/v1/traffic), a sliding-window p99 latency threshold sheds
- * before queues grow unbounded, and a per-endpoint breaker stops
- * hammering a handler that keeps failing.  Every shed is a 503 with
+ * before queues grow unbounded, and a per-endpoint circuit breaker
+ * (util/breaker.hh — the same component that tracks cluster peer
+ * health) stops hammering a handler that keeps failing.  Every shed
+ * is a 503 with
  * a Retry-After hint; with degradation enabled, routes the table
  * marks degradable (/v1/sweep) are admitted under pressure at
  * reduced resolution instead of shed (the server marks them
@@ -29,6 +31,8 @@
 #include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/breaker.hh"
 
 namespace bwwall {
 
@@ -134,15 +138,6 @@ class OverloadController
   private:
     using Clock = std::chrono::steady_clock;
 
-    struct Breaker
-    {
-        unsigned consecutiveFailures = 0;
-        bool open = false;
-        /** One probe is allowed through after the cooldown. */
-        bool probing = false;
-        Clock::time_point openedAt{};
-    };
-
     struct Sample
     {
         Clock::time_point when{};
@@ -151,7 +146,15 @@ class OverloadController
 
     double p99Locked(Clock::time_point now) const;
 
+    /** The endpoint's breaker, created closed on first touch. */
+    Breaker &breakerFor(const std::string &path);
+
+    /** Counts a breaker transition into the server.* namespace. */
+    void countEvent(BreakerEvent event);
+
     OverloadConfig config_;
+    /** Per-endpoint breaker tuning derived from config_. */
+    BreakerConfig breakerConfig_;
     MetricsRegistry *metrics_;
     mutable std::mutex mutex_;
     /** Ring buffer of recent request latencies. */

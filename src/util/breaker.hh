@@ -1,0 +1,195 @@
+/**
+ * @file
+ * A reusable circuit breaker: closed / open / half-open.
+ *
+ * Extracted from the per-endpoint breaker that grew inside
+ * server/overload.cc so the same lifecycle can guard any repeatedly
+ * failing dependency — an HTTP endpoint's handler, a cluster peer,
+ * a downstream service.  The state machine is the classic one:
+ *
+ *   Closed    every call allowed; consecutive failures (and,
+ *             optionally, a windowed failure rate or
+ *             slower-than-threshold latencies) count against the
+ *             breaker, and reaching the threshold opens it.
+ *   Open      calls denied while the cooldown runs.  The cooldown
+ *             is capped-jitter exponential: each re-open stretches
+ *             it by cooldownGrowth up to maxCooldownSeconds, with a
+ *             deterministic jitter fraction so a fleet of breakers
+ *             guarding one dead peer does not probe in lockstep.
+ *   HalfOpen  after the cooldown one probe call is allowed; its
+ *             success closes the breaker (and resets the cooldown
+ *             ladder), its failure re-opens it on the next rung.
+ *
+ * Callers that do not want probabilistic recovery can drive the
+ * breaker externally: trip() forces it open (a failed health
+ * probe), reset() forces it closed (a successful one).  Every
+ * mutator returns the transition it caused so callers can count
+ * opened/reopened/closed events in their own metric namespace.
+ *
+ * Deliberately not thread-safe: every current holder (the overload
+ * controller's breaker map, the cluster's peer-health map) already
+ * serializes access under its own mutex, and time is passed in so
+ * tests can drive the lifecycle without sleeping.
+ */
+
+#ifndef BWWALL_UTIL_BREAKER_HH
+#define BWWALL_UTIL_BREAKER_HH
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bwwall {
+
+/** Tuning of one Breaker. */
+struct BreakerConfig
+{
+    /** Consecutive failures that open the breaker. */
+    unsigned failureThreshold = 5;
+
+    /**
+     * Also open once the failure rate over the last failureWindow
+     * outcomes reaches this fraction (0 disables rate tracking).
+     * Catches a dependency that fails often but never consecutively.
+     */
+    double failureRateThreshold = 0.0;
+
+    /** Outcomes in the failure-rate window. */
+    std::size_t failureWindow = 16;
+
+    /**
+     * Observations slower than this many seconds count as failures
+     * in observe() even when the call nominally succeeded (0
+     * disables latency observation).
+     */
+    double latencyThresholdSeconds = 0.0;
+
+    /** Base cooldown before the first half-open probe, seconds. */
+    double cooldownSeconds = 1.0;
+
+    /**
+     * Cooldown multiplier per re-open, so a flapping dependency is
+     * probed less and less often (1.0 = fixed cooldown).
+     */
+    double cooldownGrowth = 2.0;
+
+    /** Ceiling of the grown cooldown, seconds. */
+    double maxCooldownSeconds = 30.0;
+
+    /**
+     * Jitter as a fraction of the cooldown, in [0, 1), drawn from a
+     * deterministic per-breaker stream (seeded below) so runs are
+     * reproducible but breakers do not re-probe in lockstep.
+     */
+    double jitter = 0.0;
+
+    /** Jitter stream seed. */
+    std::uint64_t seed = 1;
+};
+
+/** Where the breaker is in its lifecycle. */
+enum class BreakerState
+{
+    Closed,   ///< calls flow; failures are being counted
+    Open,     ///< calls denied until the cooldown elapses
+    HalfOpen, ///< one probe is in flight; its outcome decides
+};
+
+/** The transition (if any) a mutator caused, for callers' metrics. */
+enum class BreakerEvent
+{
+    None,
+    Opened,   ///< Closed -> Open
+    Reopened, ///< HalfOpen -> Open (a failed probe)
+    Closed,   ///< Open/HalfOpen -> Closed
+};
+
+/** One circuit breaker.  Not thread-safe; callers lock. */
+class Breaker
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    explicit Breaker(BreakerConfig config = BreakerConfig{});
+
+    /**
+     * True when a call may proceed now.  In the Open state this is
+     * the transition point: once the cooldown has elapsed the
+     * breaker moves to HalfOpen and admits exactly one probe;
+     * further calls are denied until that probe reports back.
+     */
+    bool allow(Clock::time_point now);
+
+    /**
+     * Records one successful call: clears the consecutive-failure
+     * count and closes the breaker from any state (the dependency
+     * answered, whatever the breaker believed).
+     */
+    BreakerEvent recordSuccess(Clock::time_point now);
+
+    /** Records one failed call. */
+    BreakerEvent recordFailure(Clock::time_point now);
+
+    /**
+     * recordSuccess/recordFailure with latency classification: a
+     * nominally successful call slower than latencyThresholdSeconds
+     * is treated as a failure.
+     */
+    BreakerEvent observe(Clock::time_point now, double seconds,
+                         bool failure);
+
+    /**
+     * Forces the breaker open — an out-of-band signal (a failed
+     * health probe) established the dependency is down.  Restarts
+     * the cooldown when already open.
+     */
+    BreakerEvent trip(Clock::time_point now);
+
+    /**
+     * Forces the breaker closed and forgets all failure history —
+     * an out-of-band signal established the dependency is healthy.
+     */
+    BreakerEvent reset(Clock::time_point now);
+
+    BreakerState state() const { return state_; }
+
+    unsigned consecutiveFailures() const
+    {
+        return consecutiveFailures_;
+    }
+
+    /** The cooldown currently in force (grown and jittered). */
+    double cooldownSeconds() const { return cooldown_; }
+
+    const BreakerConfig &config() const { return config_; }
+
+  private:
+    void pushOutcome(bool failure);
+    bool rateTripped() const;
+    BreakerEvent openNow(Clock::time_point now,
+                         BreakerEvent event);
+    double nextCooldown();
+
+    BreakerConfig config_;
+    BreakerState state_ = BreakerState::Closed;
+    unsigned consecutiveFailures_ = 0;
+    /** Re-opens since the last close (the cooldown ladder rung). */
+    unsigned reopenCount_ = 0;
+    Clock::time_point openedAt_{};
+    double cooldown_ = 0.0;
+    std::uint64_t jitterState_;
+
+    /** Ring of recent outcomes (true = failure) for the rate. */
+    std::vector<char> window_;
+    std::size_t windowNext_ = 0;
+    std::size_t windowCount_ = 0;
+    std::size_t windowFailures_ = 0;
+};
+
+/** Human-readable state name ("closed" / "open" / "half_open"). */
+const char *breakerStateName(BreakerState state);
+
+} // namespace bwwall
+
+#endif // BWWALL_UTIL_BREAKER_HH

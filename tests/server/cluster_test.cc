@@ -9,8 +9,10 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "server/cluster.hh"
@@ -100,6 +102,60 @@ TEST(Cluster, StatusJsonShape)
     EXPECT_EQ(nodes.items()[0].asString(), "127.0.0.1:8081");
     EXPECT_EQ(payload.find("seed")->asString(),
               "0x4257574c434c5354");
+}
+
+TEST(Cluster, PeerHealthOpensAfterThresholdAndGatesFills)
+{
+    MetricsRegistry metrics;
+    ClusterConfig config;
+    config.peers = {"127.0.0.1:8081", "127.0.0.1:8082"};
+    config.self = "127.0.0.1:8081";
+    config.peerFailureThreshold = 3;
+    Cluster cluster(config, &metrics);
+    const std::string peer = "127.0.0.1:8082";
+
+    EXPECT_TRUE(cluster.peerAvailable(peer));
+    cluster.notePeerFailure(peer);
+    cluster.notePeerFailure(peer);
+    EXPECT_TRUE(cluster.peerAvailable(peer));
+    cluster.notePeerFailure(peer);
+    EXPECT_EQ(cluster.peerState(peer), BreakerState::Open);
+    EXPECT_FALSE(cluster.peerAvailable(peer));
+    EXPECT_EQ(metrics.counter("cluster.health.ejections"), 1u);
+    EXPECT_EQ(metrics.gauge("cluster.health.peers_down"), 1.0);
+
+    // An out-of-band success (a probe, a router forward) closes
+    // the breaker and reinstates the peer immediately.
+    cluster.notePeerSuccess(peer);
+    EXPECT_EQ(cluster.peerState(peer), BreakerState::Closed);
+    EXPECT_TRUE(cluster.peerAvailable(peer));
+    EXPECT_EQ(metrics.counter("cluster.health.reinstatements"),
+              1u);
+    EXPECT_EQ(metrics.gauge("cluster.health.peers_down"), 0.0);
+}
+
+TEST(Cluster, StatusJsonReportsPeerHealth)
+{
+    MetricsRegistry metrics;
+    ClusterConfig config;
+    config.peers = {"127.0.0.1:8081", "127.0.0.1:8082"};
+    config.self = "127.0.0.1:8081";
+    config.peerFailureThreshold = 1;
+    Cluster cluster(config, &metrics);
+    cluster.notePeerFailure("127.0.0.1:8082");
+
+    const JsonValue payload = cluster.statusJson();
+    const JsonValue *health = payload.find("health");
+    ASSERT_NE(health, nullptr);
+    const JsonValue *peer = health->find("127.0.0.1:8082");
+    ASSERT_NE(peer, nullptr);
+    EXPECT_EQ(peer->find("state")->asString(), "open");
+    EXPECT_EQ(peer->find("consecutive_failures")->asNumber(),
+              1.0);
+    // Self is not a peer of itself.
+    EXPECT_EQ(health->find("127.0.0.1:8081"), nullptr);
+    EXPECT_EQ(payload.find("peer_probe_interval_ms")->asNumber(),
+              0.0);
 }
 
 /**
@@ -277,8 +333,12 @@ TEST_F(ClusterWireTest, DeadOwnerFallsBackToLocalCompute)
     ASSERT_EQ(response.status, 200);
     EXPECT_EQ(response.headers.count("x-bwwall-peer-filled"),
               0u);
+    // A dead owner answers ECONNREFUSED, which classifies apart
+    // from slow/transport errors and is never retried.
     EXPECT_EQ(
-        a_->metrics().counter("cluster.peer_fill.errors"), 1u);
+        a_->metrics().counter("cluster.peer_fill.refused"), 1u);
+    EXPECT_EQ(
+        a_->metrics().counter("cluster.peer_fill.errors"), 0u);
     EXPECT_EQ(a_->metrics().counter(
                   "cluster.local_fallback_computes"),
               1u);
@@ -291,6 +351,103 @@ TEST_F(ClusterWireTest, DeadOwnerFallsBackToLocalCompute)
         single.post("/v1/solve", body, &direct, &error))
         << error;
     EXPECT_EQ(response.body, direct.body);
+}
+
+TEST_F(ClusterWireTest, RepeatedRefusalsEjectThePeer)
+{
+    // Distinct bodies B owns, so every request is a fresh fill.
+    std::vector<std::string> bodies;
+    const auto cluster_view = a_->clusterSnapshot();
+    for (int i = 0; i < 400 && bodies.size() < 5; ++i) {
+        const std::string text =
+            "{\"alpha\":0." + std::to_string(100 + i) + "}";
+        JsonValue body;
+        std::string error;
+        ASSERT_TRUE(JsonValue::parse(text, &body, &error));
+        if (cluster_view->owner(canonicalCacheKey(
+                "/v1/solve", body)) == selfB_)
+            bodies.push_back(text);
+    }
+    ASSERT_EQ(bodies.size(), 5u);
+
+    ClusterConfig cluster;
+    cluster.peers = {selfA_, selfB_};
+    cluster.self = selfA_;
+    cluster.peerDeadlineMs = 300;
+    cluster.peerAttempts = 1;
+    cluster.connectTimeoutMs = 100;
+    cluster.peerFailureThreshold = 3;
+    a_->configureCluster(cluster);
+    b_->stop();
+    b_.reset();
+
+    for (const std::string &body : bodies)
+        ASSERT_EQ(postA(body).status, 200);
+    // Three refused fills open B's breaker; the remaining two are
+    // skipped instantly without even attempting a connect.
+    EXPECT_EQ(
+        a_->metrics().counter("cluster.peer_fill.refused"), 3u);
+    EXPECT_EQ(
+        a_->metrics().counter("cluster.peer_fill.peer_down"),
+        2u);
+    EXPECT_EQ(a_->metrics().counter("cluster.health.ejections"),
+              1u);
+    EXPECT_EQ(a_->clusterSnapshot()->peerState(selfB_),
+              BreakerState::Open);
+    EXPECT_EQ(a_->metrics().counter(
+                  "cluster.local_fallback_computes"),
+              5u);
+}
+
+TEST_F(ClusterWireTest, ProberEjectsDeadPeerAndReinstates)
+{
+    ClusterConfig cluster;
+    cluster.peers = {selfA_, selfB_};
+    cluster.self = selfA_;
+    cluster.peerDeadlineMs = 300;
+    cluster.connectTimeoutMs = 100;
+    cluster.probeIntervalMs = 50;
+    cluster.probeTimeoutMs = 100;
+    a_->configureCluster(cluster);
+
+    const auto wait_for_state = [&](BreakerState want) {
+        for (int i = 0; i < 100; ++i) {
+            if (a_->clusterSnapshot()->peerState(selfB_) == want)
+                return true;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(20));
+        }
+        return false;
+    };
+
+    // Healthy peer: probes keep it closed.
+    ASSERT_TRUE(wait_for_state(BreakerState::Closed));
+
+    const std::uint16_t port_b = b_->port();
+    b_->stop();
+    b_.reset();
+    // Ejection lands within roughly one probe interval.
+    ASSERT_TRUE(wait_for_state(BreakerState::Open));
+    EXPECT_GE(a_->metrics().counter("cluster.health.ejections"),
+              1u);
+
+    // A fill while B is down is skipped, not attempted.
+    const std::string body = bodyOwnedBy(*a_, selfB_);
+    ASSERT_EQ(postA(body).status, 200);
+    EXPECT_GE(
+        a_->metrics().counter("cluster.peer_fill.peer_down"),
+        1u);
+
+    // Restart B on its old port: the next probe reinstates it.
+    ServerConfig config;
+    config.port = port_b;
+    config.threads = 2;
+    b_ = std::make_unique<BwwallServer>(config);
+    b_->start();
+    ASSERT_TRUE(wait_for_state(BreakerState::Closed));
+    EXPECT_GE(
+        a_->metrics().counter("cluster.health.reinstatements"),
+        1u);
 }
 
 TEST_F(ClusterWireTest, ClusterEndpointReportsMembership)

@@ -157,6 +157,57 @@ TEST(Rendezvous, OrderStartsAtOwnerAndPermutesAllNodes)
     }
 }
 
+TEST(Rendezvous, EjectionPromotesExactlyTheNextPreferredNode)
+{
+    // The health layer's ejection model: removing a down owner
+    // must route every key it owned to exactly the next node in
+    // that key's own preference order (no global reshuffle), and
+    // keys the down node did not own must not move at all.
+    const auto nodes = threeNodes();
+    for (std::size_t down = 0; down < nodes.size(); ++down) {
+        std::vector<std::string> survivors;
+        for (std::size_t i = 0; i < nodes.size(); ++i) {
+            if (i != down)
+                survivors.push_back(nodes[i]);
+        }
+        for (const std::string &key : syntheticKeys(300)) {
+            const auto order = rendezvousOrder(nodes, key);
+            const std::string &survivor_owner =
+                survivors[rendezvousOwner(survivors, key)];
+            // The first preference-order entry that is not the
+            // down node is the promoted owner.
+            const std::size_t expected =
+                order[0] == down ? order[1] : order[0];
+            EXPECT_EQ(survivor_owner, nodes[expected]) << key;
+        }
+    }
+}
+
+TEST(Rendezvous, ReinstatementRestoresTheOriginalMapExactly)
+{
+    // Recovery must be movement-free: once a down node returns,
+    // every key lands back on its original owner with its
+    // original full preference order — no residual displacement
+    // from the ejection episode.  (The map is a pure function of
+    // membership, so this guards against any future stateful
+    // "remembered" ejection leaking into scoring.)
+    const auto nodes = threeNodes();
+    for (const std::string &key : syntheticKeys(300)) {
+        const auto before = rendezvousOrder(nodes, key);
+        std::vector<std::string> survivors;
+        for (std::size_t i = 0; i < nodes.size(); ++i) {
+            if (i != before[0])
+                survivors.push_back(nodes[i]);
+        }
+        // Eject, then reinstate.
+        (void)rendezvousOwner(survivors, key);
+        const auto after = rendezvousOrder(nodes, key);
+        EXPECT_EQ(before, after) << key;
+        EXPECT_EQ(rendezvousOwner(nodes, key), before[0])
+            << key;
+    }
+}
+
 TEST(Rendezvous, FailoverAgreesWithSurvivorMap)
 {
     // The router's failover target (second in the order) must be
